@@ -1,0 +1,87 @@
+"""Shared benchmark infrastructure.
+
+Figure 1 benches run at the calibrated paper scale (see
+``repro.experiments.config.PAPER_APP_PARAMS``); ablation benches run at the
+quick scale.  Each Figure 1 bench records its speedup row into a
+session-wide table that is printed after the run — the regenerated figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.figure1 import PAPER_FIGURE1
+from repro.experiments.runner import build_program, run_policy
+from repro.metrics.report import SpeedupCell, SpeedupTable
+
+#: Seeds used for the speedup measurements in the benches.
+BENCH_SEEDS = (0, 1)
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> ExperimentConfig:
+    return ExperimentConfig.paper(seeds=BENCH_SEEDS)
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    return ExperimentConfig.quick(seeds=(0,))
+
+
+@pytest.fixture(scope="session")
+def figure1_table():
+    """Collects per-app speedups; printed at end of session."""
+    return SpeedupTable(baseline="las", policies=["dfifo", "rgp+las", "ep"])
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _print_figure1(request, figure1_table):
+    yield
+    if figure1_table.apps:
+        lines = [
+            "",
+            figure1_table.render(
+                "Figure 1 reproduction — speedup vs LAS (bullion S16 model)"
+            ),
+            "",
+            "paper reference points: "
+            + ", ".join(f"{k}={v}" for k, v in PAPER_FIGURE1.items()),
+        ]
+        capman = request.config.pluginmanager.get_plugin("capturemanager")
+        out = "\n".join(lines)
+        if capman:
+            with capman.global_and_fixture_disabled():
+                print(out)
+        else:  # pragma: no cover
+            print(out)
+
+
+def measure_app(config: ExperimentConfig, table: SpeedupTable, app_name: str,
+                benchmark) -> dict[str, float]:
+    """Benchmark one LAS simulation and record the app's speedup row."""
+    program = build_program(config, app_name)
+
+    def las_run():
+        return run_policy(
+            config, program, "las",
+        )
+
+    # The benchmarked quantity: one full LAS simulation sweep of the app.
+    baseline = benchmark.pedantic(las_run, rounds=1, iterations=1)
+    speedups = {}
+    for policy in table.policies:
+        stats = run_policy(config, program, policy)
+        speedup = baseline.makespan_mean / stats.makespan_mean
+        speedups[policy] = speedup
+        table.add(
+            app_name, policy,
+            SpeedupCell(
+                speedup=speedup,
+                speedup_std=0.0,
+                makespan_mean=stats.makespan_mean,
+                remote_fraction=stats.remote_fraction_mean,
+            ),
+        )
+    return speedups

@@ -1,0 +1,80 @@
+"""Ablation D — LAS design points (§2.1) and RGP propagation (§2.2.1).
+
+Quantifies the LAS cold-start rule (Drebes threshold vs the poster's
+literal "most of the data unallocated" wording) and the alternative
+partition-propagation policies the poster mentions but does not evaluate.
+"""
+
+import pytest
+
+from repro.core.rgp import RGPScheduler
+from repro.experiments.runner import build_program, run_policy
+from repro.schedulers import LASScheduler
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    from repro.experiments import ExperimentConfig
+
+    return ExperimentConfig.quick(seeds=(0, 1))
+
+
+@pytest.mark.parametrize("threshold", (0.0, 0.5))
+def test_las_cold_start_threshold(cfg, threshold, benchmark):
+    program = build_program(cfg, "histogram")
+
+    def run():
+        return run_policy(
+            cfg, program, f"las(thr={threshold})",
+            lambda: LASScheduler(random_threshold=threshold),
+        )
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.makespan_mean > 0
+
+
+def test_drebes_threshold_beats_poster_on_histogram(cfg, benchmark):
+    """Outputs dominate the integral histogram's accesses, so the literal
+    0.5 rule randomises nearly every scan task — the Drebes rule (random
+    only when nothing is allocated) must win."""
+    program = build_program(cfg, "histogram")
+
+    def run():
+        drebes = run_policy(cfg, program, "las/drebes",
+                            lambda: LASScheduler(random_threshold=0.0))
+        poster = run_policy(cfg, program, "las/poster",
+                            lambda: LASScheduler(random_threshold=0.5))
+        return drebes.makespan_mean, poster.makespan_mean
+
+    drebes_mk, poster_mk = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert drebes_mk <= poster_mk * 1.02
+
+
+@pytest.mark.parametrize("prop", ("las", "repartition", "cyclic", "random"))
+def test_rgp_propagation_policies(cfg, prop, benchmark):
+    program = build_program(cfg, "nstream")
+
+    def run():
+        return run_policy(
+            cfg, program, f"rgp/{prop}",
+            lambda: RGPScheduler(window_size=64, propagation=prop),
+        )
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.makespan_mean > 0
+
+
+def test_las_propagation_beats_random_propagation(cfg, benchmark):
+    program = build_program(cfg, "nstream")
+
+    def run():
+        las_prop = run_policy(cfg, program, "rgp/las",
+                              lambda: RGPScheduler(window_size=64,
+                                                   propagation="las"))
+        rnd_prop = run_policy(cfg, program, "rgp/random",
+                              lambda: RGPScheduler(window_size=64,
+                                                   propagation="random"))
+        return las_prop.makespan_mean, rnd_prop.makespan_mean
+
+    las_mk, rnd_mk = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert las_mk < rnd_mk

@@ -1,0 +1,94 @@
+"""Ablation B — partitioner choice inside RGP, plus raw partitioner speed.
+
+Two aspects: (a) end-to-end speedup of RGP+LAS with each partitioner on a
+TDG window; (b) the partitioners' own runtime and cut quality on the same
+window graph (SCOTCH-replacement quality check).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rgp import RGPScheduler
+from repro.experiments.runner import build_program, run_policy
+from repro.graph import CSRGraph
+from repro.machine import bullion_s16
+from repro.partition import (
+    PARTITIONERS,
+    TargetArchitecture,
+    by_name,
+    edge_cut,
+    imbalance,
+)
+
+PARTITIONER_NAMES = ("drb", "multilevel", "spectral", "random")
+
+
+@pytest.fixture(scope="module")
+def quick_config_module():
+    from repro.experiments import ExperimentConfig
+
+    return ExperimentConfig.quick(seeds=(0,))
+
+
+@pytest.fixture(scope="module")
+def window_graph(quick_config_module):
+    """The jacobi TDG prefix the RGP window actually partitions."""
+    prog = build_program(quick_config_module, "jacobi")
+    cutoff = prog.first_partition_point(quick_config_module.window_size)
+    return CSRGraph.from_tdg(prog.tdg.prefix(cutoff))
+
+
+@pytest.mark.parametrize("pname", PARTITIONER_NAMES)
+def test_rgp_with_partitioner(quick_config_module, pname, benchmark):
+    cfg = quick_config_module
+    program = build_program(cfg, "jacobi")
+
+    def run():
+        return run_policy(
+            cfg, program, f"rgp+las/{pname}",
+            lambda: RGPScheduler(
+                partitioner=by_name(pname), window_size=cfg.window_size,
+                propagation="las",
+            ),
+        )
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.makespan_mean > 0
+
+
+@pytest.mark.parametrize("pname", PARTITIONER_NAMES)
+def test_partitioner_speed_and_quality(window_graph, pname, benchmark):
+    """Time one k=8 partition of the real window graph; record its cut."""
+    target = TargetArchitecture.from_topology(bullion_s16())
+    partitioner = by_name(pname)
+
+    result = benchmark(
+        lambda: partitioner.partition(window_graph, 8, target=target, seed=0)
+    )
+    cut = edge_cut(window_graph, result.parts)
+    assert imbalance(window_graph, result.parts, 8) < 0.5
+    if pname != "random":
+        rand = by_name("random").partition(window_graph, 8, seed=0)
+        assert cut <= edge_cut(window_graph, rand.parts)
+
+
+def test_drb_beats_floors_end_to_end(quick_config_module, benchmark):
+    """DRB-driven RGP must beat random-partition RGP on NStream."""
+    cfg = quick_config_module
+    program = build_program(cfg, "nstream")
+
+    def run():
+        makespans = {}
+        for pname in ("drb", "random"):
+            stats = run_policy(
+                cfg, program, f"rgp/{pname}",
+                lambda p=pname: RGPScheduler(
+                    partitioner=by_name(p), window_size=cfg.window_size,
+                    propagation="las",
+                ),
+            )
+            makespans[pname] = stats.makespan_mean
+        return makespans
+
+    makespans = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert makespans["drb"] < makespans["random"]

@@ -1,0 +1,57 @@
+"""Ablation C — NUMA scale: 2/4/8 sockets at a fixed 32 cores.
+
+The paper's motivation (§1): NUMA effects grow with socket count.  The
+RGP+LAS advantage over LAS must therefore grow (or at least not shrink)
+with more sockets.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import build_program, run_policy
+from repro.machine.presets import custom
+
+SOCKETS = (2, 4, 8)
+
+
+def config_for(n_sockets: int) -> ExperimentConfig:
+    base = ExperimentConfig.quick(seeds=(0, 1))
+    return ExperimentConfig(
+        topology=custom(n_sockets, 32 // n_sockets, remote=21.0,
+                        name=f"{n_sockets}s"),
+        app_params=base.app_params,
+        seeds=base.seeds,
+        window_size=base.window_size,
+        steal=base.steal,
+    )
+
+
+@pytest.mark.parametrize("n_sockets", SOCKETS)
+def test_socket_scaling_nstream(n_sockets, benchmark):
+    cfg = config_for(n_sockets)
+    program = build_program(cfg, "nstream")
+
+    def run():
+        las = run_policy(cfg, program, "las")
+        rgp = run_policy(cfg, program, "rgp+las")
+        return las.makespan_mean / rgp.makespan_mean
+
+    speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert speedup > 0.8
+
+
+def test_numa_advantage_grows_with_sockets(benchmark):
+    """RGP+LAS/LAS speedup on NStream: 8 sockets >= 2 sockets."""
+
+    def run():
+        speedups = {}
+        for n in (2, 8):
+            cfg = config_for(n)
+            program = build_program(cfg, "nstream")
+            las = run_policy(cfg, program, "las")
+            rgp = run_policy(cfg, program, "rgp+las")
+            speedups[n] = las.makespan_mean / rgp.makespan_mean
+        return speedups
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert speedups[8] >= speedups[2] - 0.1

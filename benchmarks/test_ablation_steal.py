@@ -1,0 +1,66 @@
+"""Ablation G — work-stealing policy (off / near / global).
+
+Not in the poster, but load-bearing for its NStream result: global
+stealing launders LAS's cold-start imbalance through remote execution and
+compresses the EP/LAS gap; module-local ("near") stealing preserves it.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import build_program, run_policy
+
+STEAL_MODES = ("off", "near", "global")
+
+
+def cfg_with(steal: str) -> ExperimentConfig:
+    return ExperimentConfig.quick(seeds=(0, 1), steal=steal)
+
+
+@pytest.mark.parametrize("steal", STEAL_MODES)
+def test_steal_mode_nstream(steal, benchmark):
+    cfg = cfg_with(steal)
+    program = build_program(cfg, "nstream")
+
+    def run():
+        las = run_policy(cfg, program, "las")
+        ep = run_policy(cfg, program, "ep")
+        return las.makespan_mean / ep.makespan_mean
+
+    ep_speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ep_speedup > 0.8
+
+
+def test_global_steal_compresses_nstream_gap(benchmark):
+    """EP/LAS gap: near-stealing must preserve at least as much of the
+    cold-start imbalance as global stealing."""
+
+    def run():
+        gaps = {}
+        for steal in ("near", "global"):
+            cfg = cfg_with(steal)
+            program = build_program(cfg, "nstream")
+            las = run_policy(cfg, program, "las")
+            ep = run_policy(cfg, program, "ep")
+            gaps[steal] = las.makespan_mean / ep.makespan_mean
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert gaps["near"] >= gaps["global"] - 0.1
+
+
+def test_migration_baseline_never_beats_rgp(benchmark):
+    """Ablation F companion: reactive migration vs proactive RGP+LAS."""
+    from repro.schedulers import MigratingLASWrapper
+
+    cfg = cfg_with("near")
+    program = build_program(cfg, "nstream")
+
+    def run():
+        rgp = run_policy(cfg, program, "rgp+las")
+        mig = run_policy(cfg, program, "las+migrate",
+                         lambda: MigratingLASWrapper(period=5.0))
+        return rgp.makespan_mean, mig.makespan_mean
+
+    rgp_mk, mig_mk = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rgp_mk <= mig_mk * 1.05

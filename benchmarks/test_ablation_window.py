@@ -1,0 +1,60 @@
+"""Ablation A — RGP window-size sensitivity (DESIGN.md per-experiment index).
+
+The paper introduces the window-size limit but does not sweep it; this
+bench quantifies it: tiny windows degenerate RGP+LAS towards plain LAS
+(nothing is partitioned), large windows recover the full static placement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rgp import RGPScheduler
+from repro.experiments.runner import build_program, run_policy
+
+WINDOWS = (16, 128, 1024)
+
+
+@pytest.fixture(scope="module")
+def nstream_program(quick_config_module):
+    return build_program(quick_config_module, "nstream")
+
+
+@pytest.fixture(scope="module")
+def quick_config_module():
+    from repro.experiments import ExperimentConfig
+
+    return ExperimentConfig.quick(seeds=(0, 1))
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_window_sweep_nstream(quick_config_module, nstream_program, window,
+                              benchmark):
+    cfg = quick_config_module
+
+    def run():
+        return run_policy(
+            cfg, nstream_program, f"rgp+las(w={window})",
+            lambda: RGPScheduler(window_size=window, propagation="las"),
+        )
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.makespan_mean > 0
+
+
+def test_window_monotone_benefit(quick_config_module, nstream_program,
+                                 benchmark):
+    """On NStream a full window must beat a degenerate one."""
+    cfg = quick_config_module
+
+    def run():
+        makespans = {}
+        for w in (1, 1024):
+            stats = run_policy(
+                cfg, nstream_program, f"rgp+las(w={w})",
+                lambda w=w: RGPScheduler(window_size=w, propagation="las"),
+            )
+            makespans[w] = stats.makespan_mean
+        return makespans
+
+    makespans = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert makespans[1024] <= makespans[1] * 1.05

@@ -1,0 +1,85 @@
+"""Microbenchmarks of the substrates themselves (engine throughput).
+
+Not a paper exhibit — these track the reproduction's own performance:
+simulator event throughput, partitioner speed, dependence derivation and
+memory-manager query rates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.graph import CSRGraph, grid_graph
+from repro.machine import Interconnect, MemoryManager, StreamKey, bullion_s16
+from repro.partition import DualRecursiveBipartitioner, TargetArchitecture
+from repro.runtime import TaskProgram, simulate
+from repro.schedulers import make_scheduler
+
+TOPO = bullion_s16()
+
+
+def test_simulator_throughput(benchmark):
+    """Tasks simulated per benchmark round (~1.8k-task program)."""
+    prog = make_app("gauss-seidel", nt=12, tile=32, sweeps=4).build(8)
+
+    def run():
+        return simulate(prog, TOPO, make_scheduler("las"), seed=0).n_tasks
+
+    n = benchmark(run)
+    assert n == prog.n_tasks
+
+
+def test_program_build_throughput(benchmark):
+    """TDG construction + dependence derivation speed."""
+
+    def build():
+        return make_app("jacobi", nt=12, tile=16, sweeps=6).build(8).n_tasks
+
+    assert benchmark(build) > 0
+
+
+def test_partitioner_window_speed(benchmark):
+    """DRB on a 1024-vertex window-like grid graph, k=8."""
+    g = CSRGraph.from_tdg(grid_graph(32, 32))
+    target = TargetArchitecture.from_topology(TOPO)
+    p = DualRecursiveBipartitioner()
+
+    res = benchmark(lambda: p.partition(g, 8, target=target, seed=0))
+    assert len(res.parts) == 1024
+
+
+def test_memory_manager_query_rate(benchmark):
+    mm = MemoryManager(8)
+    for key in range(64):
+        mm.register(key, 262144)
+        mm.touch(key, key % 8)
+
+    def queries():
+        total = 0
+        for key in range(64):
+            total += mm.node_bytes_of_range(key, 4096, 131072).total_bound
+        return total
+
+    assert benchmark(queries) > 0
+
+
+def test_interconnect_rate_computation(benchmark):
+    ic = Interconnect(TOPO)
+    rng = np.random.default_rng(0)
+    streams = [
+        StreamKey(int(rng.integers(8)), int(rng.integers(8)), g)
+        for g in range(32)
+    ]
+    rates = benchmark(lambda: ic.stream_rates(streams))
+    assert len(rates) == 32
+
+
+def test_dependency_tracking_rate(benchmark):
+    def build():
+        p = TaskProgram()
+        objs = [p.data(f"o{i}", 4096) for i in range(32)]
+        for t in range(2000):
+            p.task(ins=[objs[t % 32]], outs=[objs[(t + 1) % 32]])
+        return p.n_tasks
+
+    assert benchmark(build) == 2000

@@ -1,0 +1,106 @@
+"""Figure 1 regeneration — one benchmark per application bar group.
+
+Each test benchmarks the LAS baseline simulation of one application at
+paper scale, measures the DFIFO / RGP+LAS / EP speedups against it, records
+the row into the session table (printed at the end — the reproduced
+figure), and asserts the published *shape*:
+
+* DFIFO loses clearly on the memory-bound apps (paper annotations 0.40,
+  0.42, 0.49, 0.68);
+* EP and RGP+LAS sit in or above the LAS band, with the NStream blow-out
+  (paper: 1.75 / 1.74);
+* QR is the flat negative control.
+
+Margins are deliberately generous: the claim is shape, not absolute values.
+"""
+
+import pytest
+
+
+def test_figure1_cg(paper_config, figure1_table, benchmark):
+    from conftest import measure_app
+
+    s = measure_app(paper_config, figure1_table, "cg", benchmark)
+    assert s["dfifo"] < 0.8
+    assert s["rgp+las"] > 0.95
+
+
+def test_figure1_gauss_seidel(paper_config, figure1_table, benchmark):
+    from conftest import measure_app
+
+    s = measure_app(paper_config, figure1_table, "gauss-seidel", benchmark)
+    assert s["dfifo"] < 0.9
+    assert 0.7 < s["rgp+las"] < 1.4
+    assert 0.7 < s["ep"] < 1.5
+
+
+def test_figure1_histogram(paper_config, figure1_table, benchmark):
+    from conftest import measure_app
+
+    s = measure_app(paper_config, figure1_table, "histogram", benchmark)
+    # Paper: DFIFO = 0.40 — the second-worst DFIFO case.
+    assert s["dfifo"] < 0.6
+    assert s["ep"] > 0.8
+
+
+def test_figure1_jacobi(paper_config, figure1_table, benchmark):
+    from conftest import measure_app
+
+    s = measure_app(paper_config, figure1_table, "jacobi", benchmark)
+    # Paper: DFIFO = 0.42.
+    assert s["dfifo"] < 0.6
+    assert s["rgp+las"] > 1.0
+    assert s["ep"] > 1.0
+
+
+def test_figure1_nstream(paper_config, figure1_table, benchmark):
+    from conftest import measure_app
+
+    s = measure_app(paper_config, figure1_table, "nstream", benchmark)
+    # Paper: DFIFO = 0.49, EP = 1.75, RGP+LAS = 1.74 — the blow-out case.
+    assert s["dfifo"] < 0.7
+    assert s["ep"] > 1.4
+    assert s["rgp+las"] > 1.4
+    assert abs(s["ep"] - s["rgp+las"]) < 0.35  # RGP+LAS tracks EP
+
+
+def test_figure1_qr(paper_config, figure1_table, benchmark):
+    from conftest import measure_app
+
+    s = measure_app(paper_config, figure1_table, "qr", benchmark)
+    # Compute-bound negative control: every policy within ~35 % of LAS.
+    assert 0.6 < s["dfifo"]
+    assert 0.7 < s["rgp+las"] < 1.35
+    assert 0.7 < s["ep"] < 1.45
+
+
+def test_figure1_redblack(paper_config, figure1_table, benchmark):
+    from conftest import measure_app
+
+    s = measure_app(paper_config, figure1_table, "redblack", benchmark)
+    assert s["dfifo"] < 0.7
+    assert 0.8 < s["rgp+las"] < 1.4
+
+
+def test_figure1_symminv(paper_config, figure1_table, benchmark):
+    from conftest import measure_app
+
+    s = measure_app(paper_config, figure1_table, "symminv", benchmark)
+    # Paper: DFIFO = 0.68 — the mildest DFIFO collapse.
+    assert 0.55 < s["dfifo"] < 1.0
+    assert 0.8 < s["rgp+las"] < 1.4
+
+
+def test_figure1_geomean(figure1_table, benchmark):
+    """Runs after the per-app benches: the paper's headline number.
+
+    Paper: RGP+LAS geometric mean 1.12x over LAS; DFIFO well below 1.
+    """
+    if len(figure1_table.apps) < 8:
+        pytest.skip("per-app benches did not all run")
+    gm_rgp = benchmark(lambda: figure1_table.geomean("rgp+las"))
+    gm_dfifo = figure1_table.geomean("dfifo")
+    gm_ep = figure1_table.geomean("ep")
+    assert 1.0 <= gm_rgp <= 1.25, f"RGP+LAS geomean {gm_rgp:.3f} (paper 1.12)"
+    assert gm_dfifo < 0.7, f"DFIFO geomean {gm_dfifo:.3f}"
+    assert gm_ep >= gm_rgp - 0.05, "EP should not trail RGP+LAS materially"

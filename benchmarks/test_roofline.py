@@ -1,0 +1,67 @@
+"""Roofline study: where does placement stop mattering?
+
+Sweeps the synthetic workload's compute intensity from pure streaming to
+compute-bound and measures the RGP+LAS advantage over random placement.
+The crossover (advantage -> 1) locates the machine model's roofline ridge
+— the quantitative backdrop for Figure 1's QR-vs-NStream contrast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import SyntheticApp
+from repro.machine import Interconnect, bullion_s16
+from repro.runtime import Simulator
+from repro.schedulers import make_scheduler
+
+TOPO = bullion_s16()
+# 131072-byte blocks stream in ~0.9 time units per task at the 0.30 core
+# cap, so intensity 128 (work ~4.1) is firmly compute-bound.
+INTENSITIES = (0.0, 32.0, 128.0)
+
+
+def run_policy(program, policy, seeds=(0, 1)):
+    out = []
+    for seed in seeds:
+        sim = Simulator(
+            program, TOPO, make_scheduler(policy),
+            interconnect=Interconnect(TOPO, link_fraction=0.45,
+                                      core_fraction=0.30),
+            steal="near", seed=seed,
+        )
+        out.append(sim.run().makespan)
+    return float(np.mean(out))
+
+
+@pytest.mark.parametrize("intensity", INTENSITIES)
+def test_roofline_point(intensity, benchmark):
+    app = SyntheticApp(kind="chains", scale=40, bytes_per_unit=131072,
+                       compute_intensity=intensity)
+    program = app.build(8)
+
+    def run():
+        random_mk = run_policy(program, "random")
+        rgp_mk = run_policy(program, "rgp+las")
+        return random_mk / rgp_mk
+
+    advantage = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert advantage > 0.8
+
+
+def test_placement_advantage_shrinks_with_intensity(benchmark):
+    """The RGP-vs-random gap must be largest for streaming workloads."""
+
+    def run():
+        gaps = {}
+        for intensity in (0.0, 128.0):
+            app = SyntheticApp(kind="chains", scale=40,
+                               bytes_per_unit=131072,
+                               compute_intensity=intensity)
+            program = app.build(8)
+            gaps[intensity] = run_policy(program, "random") / run_policy(
+                program, "rgp+las"
+            )
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert gaps[0.0] > gaps[128.0]

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Domain example: bring your own application to the RGP scheduler.
+
+Shows the full workflow a library user follows for a *new* task-parallel
+code (here: a blocked sparse matrix-vector pipeline with a reduction),
+including:
+
+* real numpy payloads + verification that the scheduler never changes
+  numerics (the executor replays the simulated order);
+* inspecting the TDG the runtime derived;
+* partitioning the window by hand with the SCOTCH-style partitioner and
+  reading the mapping before running the simulation.
+
+Run:  python examples/custom_application.py
+"""
+
+import numpy as np
+
+from repro import (
+    TaskProgram,
+    bullion_s16,
+    execute_in_order,
+    make_scheduler,
+    simulate,
+)
+from repro.core import partition_window
+from repro.graph import summarize
+from repro.partition import DualRecursiveBipartitioner
+
+N_BLOCKS = 16
+BLOCK = 512  # rows per block
+
+
+def build(with_payload: bool) -> tuple[TaskProgram, dict]:
+    """y = A x three times, then alpha = <y, y> (blocked, band matrix A)."""
+    rng = np.random.default_rng(42)
+    ctx = {
+        "A": rng.standard_normal((N_BLOCKS * BLOCK, 3)),  # tridiagonal bands
+        "x": np.zeros(N_BLOCKS * BLOCK),
+        "y": np.zeros(N_BLOCKS * BLOCK),
+        "partials": np.zeros(N_BLOCKS),
+        "alpha": [0.0],
+    }
+    prog = TaskProgram("custom-spmv")
+    bytes_per_block = BLOCK * 8
+    x_objs, y_objs = [], []
+    for b in range(N_BLOCKS):
+        x_objs.append(prog.data(f"x[{b}]", bytes_per_block))
+        y_objs.append(prog.data(f"y[{b}]", bytes_per_block))
+
+    def init_fn(b):
+        def fn():
+            ctx["x"][b * BLOCK:(b + 1) * BLOCK] = 1.0 / (b + 1)
+        return fn
+
+    def spmv_fn(b):
+        def fn():
+            sl = np.s_[b * BLOCK:(b + 1) * BLOCK]
+            x = ctx["x"]
+            lo, hi = b * BLOCK, (b + 1) * BLOCK
+            main = ctx["A"][sl, 1] * x[sl]
+            left = np.zeros(BLOCK)
+            left[1:] = ctx["A"][lo + 1:hi, 0] * x[lo:hi - 1]
+            if b > 0:
+                left[0] = ctx["A"][lo, 0] * x[lo - 1]
+            right = np.zeros(BLOCK)
+            right[:-1] = ctx["A"][lo:hi - 1, 2] * x[lo + 1:hi]
+            if b < N_BLOCKS - 1:
+                right[-1] = ctx["A"][hi - 1, 2] * x[hi]
+            ctx["y"][sl] = main + left + right
+        return fn
+
+    def copy_fn(b):
+        def fn():
+            sl = np.s_[b * BLOCK:(b + 1) * BLOCK]
+            ctx["x"][sl] = ctx["y"][sl]
+        return fn
+
+    def dot_fn(b):
+        def fn():
+            sl = np.s_[b * BLOCK:(b + 1) * BLOCK]
+            ctx["partials"][b] = float(np.vdot(ctx["y"][sl], ctx["y"][sl]))
+        return fn
+
+    def reduce_fn():
+        ctx["alpha"][0] = float(ctx["partials"].sum())
+
+    for b in range(N_BLOCKS):
+        prog.task(f"init({b})", outs=[x_objs[b]], work=0.01,
+                  fn=init_fn(b) if with_payload else None,
+                  meta={"ep_socket": b * 8 // N_BLOCKS})
+    for sweep in range(3):
+        for b in range(N_BLOCKS):
+            ins = [x_objs[b]]
+            if b > 0:
+                ins.append(x_objs[b - 1])
+            if b < N_BLOCKS - 1:
+                ins.append(x_objs[b + 1])
+            prog.task(f"spmv({sweep},{b})", ins=ins, outs=[y_objs[b]],
+                      work=0.03, fn=spmv_fn(b) if with_payload else None,
+                      meta={"ep_socket": b * 8 // N_BLOCKS})
+        for b in range(N_BLOCKS):
+            prog.task(f"copy({sweep},{b})", ins=[y_objs[b]],
+                      outs=[x_objs[b]], work=0.01,
+                      fn=copy_fn(b) if with_payload else None,
+                      meta={"ep_socket": b * 8 // N_BLOCKS})
+    partial_objs = [prog.data(f"p[{b}]", 8) for b in range(N_BLOCKS)]
+    for b in range(N_BLOCKS):
+        prog.task(f"dot({b})", ins=[y_objs[b]], outs=[partial_objs[b]],
+                  work=0.01, fn=dot_fn(b) if with_payload else None,
+                  meta={"ep_socket": b * 8 // N_BLOCKS})
+    alpha_obj = prog.data("alpha", 8)
+    prog.task("reduce", ins=partial_objs, outs=[alpha_obj], work=0.005,
+              fn=reduce_fn if with_payload else None, meta={"ep_socket": 0})
+    return prog.finalize(), ctx
+
+
+def reference_alpha() -> float:
+    """Plain numpy reference of the same pipeline."""
+    prog, ctx = build(with_payload=True)
+    for task in prog.tasks:  # creation order is always legal
+        if task.fn:
+            task.fn()
+    return ctx["alpha"][0]
+
+
+def main() -> None:
+    topology = bullion_s16()
+    program, _ = build(with_payload=False)
+    print("derived TDG:", summarize(program.tdg), "\n")
+
+    # Inspect the window mapping the RGP scheduler would use.
+    plan = partition_window(program.tdg, program.n_tasks, topology,
+                            DualRecursiveBipartitioner(), seed=0)
+    counts = np.bincount(plan.assignment, minlength=8)
+    print("window partition tasks per socket:", counts)
+
+    expected = reference_alpha()
+    for policy in ("las", "rgp+las", "dfifo"):
+        program_p, ctx = build(with_payload=True)
+        result = simulate(program_p, topology, make_scheduler(policy), seed=3)
+        execute_in_order(program_p, result.completion_order())
+        status = "OK" if abs(ctx["alpha"][0] - expected) < 1e-9 else "MISMATCH"
+        print(f"{policy:8s} makespan={result.makespan:8.3f} "
+              f"alpha={ctx['alpha'][0]:.6f} [{status}]")
+    print(f"\nreference alpha = {expected:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 1 and compare against the published values.
+
+This is the headline experiment: speedup over the LAS baseline of DFIFO,
+RGP+LAS and EP on eight task-parallel applications, simulated on the
+bullion S16 model (8 sockets x 4 cores).
+
+Run:  python examples/figure1_reproduction.py            (full, ~5 min)
+      python examples/figure1_reproduction.py --quick    (reduced, ~30 s)
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ExperimentConfig, run_figure1
+from repro.experiments.figure1 import PAPER_FIGURE1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--seeds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    cfg = (ExperimentConfig.quick if args.quick else ExperimentConfig.paper)(
+        seeds=tuple(range(args.seeds))
+    )
+    t0 = time.time()
+    result = run_figure1(cfg, progress=lambda m: print(f"  {m}",
+                                                       file=sys.stderr))
+    print(f"\n({time.time() - t0:.0f}s)\n")
+    print(result.render())
+
+    print("\npaper vs measured (annotated points):")
+    for (app, policy), paper_value in sorted(PAPER_FIGURE1.items()):
+        if app == "geomean":
+            measured = result.table.geomean(policy)
+        else:
+            measured = result.table.speedup(app, policy)
+        print(f"  {app:12s} {policy:8s} paper={paper_value:5.2f} "
+              f"measured={measured:5.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""repro — Runtime graph partitioning for NUMA-aware DAG scheduling.
+
+A from-scratch Python reproduction of
+
+    Sánchez Barrera et al., "POSTER: Graph partitioning applied to DAG
+    scheduling to reduce NUMA effects", PPoPP 2018.
+
+Subsystems (see DESIGN.md for the full inventory):
+
+* :mod:`repro.machine`     — NUMA topology, page placement, interconnect;
+* :mod:`repro.graph`       — task dependency graph and analyses;
+* :mod:`repro.partition`   — SCOTCH-style graph partitioners (from scratch);
+* :mod:`repro.runtime`     — task runtime + discrete-event simulator;
+* :mod:`repro.schedulers`  — DFIFO / LAS / EP baselines;
+* :mod:`repro.core`        — the paper's contribution: RGP and RGP+LAS;
+* :mod:`repro.apps`        — the eight evaluation benchmarks;
+* :mod:`repro.experiments` — Figure 1 harness and ablations.
+
+Quickstart::
+
+    from repro import bullion_s16, make_app, make_scheduler, simulate
+
+    topo = bullion_s16()
+    program = make_app("jacobi", nt=8, tile=64, sweeps=4).build(topo.n_sockets)
+    result = simulate(program, topo, make_scheduler("rgp+las"))
+    print(result.summary())
+"""
+
+from .apps import APPS, TaskApplication, make_app
+from .core import RGPLASScheduler, RGPScheduler
+from .errors import ReproError
+from .machine import (
+    Interconnect,
+    MemoryManager,
+    NumaTopology,
+    bullion_s16,
+    single_socket,
+    two_socket,
+)
+from .partition import (
+    PARTITIONERS,
+    DualRecursiveBipartitioner,
+    MultilevelKWay,
+    SpectralPartitioner,
+    TargetArchitecture,
+)
+from .runtime import (
+    AccessMode,
+    DataAccess,
+    DataObject,
+    SimulationResult,
+    Simulator,
+    Task,
+    TaskProgram,
+    execute,
+    execute_in_order,
+    simulate,
+)
+from .schedulers import (
+    SCHEDULERS,
+    DFIFOScheduler,
+    EPScheduler,
+    LASScheduler,
+    Scheduler,
+    make_scheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPS",
+    "PARTITIONERS",
+    "SCHEDULERS",
+    "AccessMode",
+    "DFIFOScheduler",
+    "DataAccess",
+    "DataObject",
+    "DualRecursiveBipartitioner",
+    "EPScheduler",
+    "Interconnect",
+    "LASScheduler",
+    "MemoryManager",
+    "MultilevelKWay",
+    "NumaTopology",
+    "RGPLASScheduler",
+    "RGPScheduler",
+    "ReproError",
+    "Scheduler",
+    "SimulationResult",
+    "Simulator",
+    "SpectralPartitioner",
+    "TargetArchitecture",
+    "Task",
+    "TaskApplication",
+    "TaskProgram",
+    "__version__",
+    "bullion_s16",
+    "execute",
+    "execute_in_order",
+    "make_app",
+    "make_scheduler",
+    "simulate",
+    "single_socket",
+    "two_socket",
+]

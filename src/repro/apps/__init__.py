@@ -1,0 +1,66 @@
+"""The paper's eight benchmark applications as task-program generators.
+
+Figure 1's x-axis: Conjugate gradient, Gauss-Seidel, Integral histogram,
+Jacobi, NStream, QR factorization, Red-Black, Symmetric matrix inversion.
+"""
+
+from __future__ import annotations
+
+from .base import FLOP_RATE, TaskApplication, ep_block, ep_block_cyclic_2d
+from .cg import ConjugateGradientApp
+from .gauss_seidel import GaussSeidelApp
+from .histogram import IntegralHistogramApp
+from .jacobi import JacobiApp
+from .nstream import NStreamApp
+from .qr import QRApp
+from .redblack import RedBlackApp
+from .symminv import SymmetricInversionApp
+from .synthetic import SyntheticApp
+from .tiles import TiledField, ep_grid_block
+
+#: Registry: the paper's eight Figure 1 applications plus the synthetic
+#: controlled-structure workload.
+APPS: dict[str, type[TaskApplication]] = {
+    cls.name: cls
+    for cls in (
+        ConjugateGradientApp,
+        GaussSeidelApp,
+        IntegralHistogramApp,
+        JacobiApp,
+        NStreamApp,
+        QRApp,
+        RedBlackApp,
+        SymmetricInversionApp,
+        SyntheticApp,
+    )
+}
+
+
+def make_app(name: str, **params) -> TaskApplication:
+    """Instantiate a benchmark application by name."""
+    try:
+        cls = APPS[name]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; known: {sorted(APPS)}") from None
+    return cls(**params)
+
+
+__all__ = [
+    "APPS",
+    "FLOP_RATE",
+    "ConjugateGradientApp",
+    "GaussSeidelApp",
+    "IntegralHistogramApp",
+    "JacobiApp",
+    "NStreamApp",
+    "QRApp",
+    "RedBlackApp",
+    "SymmetricInversionApp",
+    "SyntheticApp",
+    "TaskApplication",
+    "TiledField",
+    "ep_block",
+    "ep_block_cyclic_2d",
+    "ep_grid_block",
+    "make_app",
+]

@@ -1,0 +1,93 @@
+"""Application framework: each benchmark builds a :class:`TaskProgram`.
+
+An application is a *program generator*: ``build(n_sockets)`` emits the
+tasks, data objects and dependence structure the paper's benchmark would
+create under Nanos++.  Two modes:
+
+* **simulation mode** (default) — data objects carry sizes only; fast, used
+  by the benchmarks;
+* **payload mode** (``with_payload=True``) — tasks close over real numpy
+  arrays and ``verify()`` checks the final numerical result against a plain
+  numpy reference, proving the dependence structure is correct (any
+  scheduler-legal execution order must produce the right answer).
+
+Conventions shared by all apps:
+
+* every task carries ``meta["ep_socket"]`` — the expert-programmer
+  placement (block / block-cyclic, matching the app's data layout);
+* compute cost is ``work = compute_intensity * flops_proxy / FLOP_RATE``
+  with per-app intensities chosen so stream-like codes are memory-bound and
+  factorisations are compute-bound (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import ApplicationError
+from ..runtime.program import TaskProgram
+
+#: Simulated "flop rate": flops per time unit.  One time unit also moves
+#: DEFAULT_NODE_BANDWIDTH bytes from local memory, so a task with
+#: flops/bytes above ~DEFAULT_NODE_BANDWIDTH/FLOP_RATE is compute-bound.
+FLOP_RATE = 4_000_000.0
+
+
+class TaskApplication(ABC):
+    """Base class for the eight paper benchmarks."""
+
+    #: registry/CLI name
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._verify_ctx = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build(self, n_sockets: int, *, with_payload: bool = False) -> TaskProgram:
+        """Generate the task program for a machine with ``n_sockets``."""
+
+    def verify(self) -> float:
+        """Max abs error of the last payload build vs the numpy reference.
+
+        Only valid after ``build(..., with_payload=True)`` **and** running
+        the program's payloads (e.g. via the sequential executor).  Raises
+        :class:`ApplicationError` if no payload build exists.
+        """
+        raise ApplicationError(f"{self.name} does not implement verification")
+
+    # ------------------------------------------------------------------
+    def _require_payload(self):
+        if self._verify_ctx is None:
+            raise ApplicationError(
+                f"{self.name}.verify() called without a payload build"
+            )
+        return self._verify_ctx
+
+    @staticmethod
+    def _check_positive(**kwargs: int) -> None:
+        for key, value in kwargs.items():
+            if value < 1:
+                raise ApplicationError(f"{key} must be >= 1, got {value}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def ep_block(index: int, count: int, n_sockets: int) -> int:
+    """Expert block distribution: contiguous chunks of ``count`` items."""
+    return index * n_sockets // count
+
+
+def ep_block_cyclic_2d(i: int, j: int, n_sockets: int) -> int:
+    """Expert 2-D block-cyclic distribution over a pr x pc socket grid.
+
+    ``pr`` is the most-square factorisation with pr >= pc (8 -> 4x2).
+    """
+    pr = n_sockets
+    for cand in range(1, n_sockets + 1):
+        if n_sockets % cand == 0 and cand >= n_sockets // cand:
+            pr = cand
+            break
+    pc = n_sockets // pr
+    return (i % pr) * pc + (j % pc)

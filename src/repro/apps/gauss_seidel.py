@@ -1,0 +1,120 @@
+"""Gauss-Seidel: in-place blocked relaxation with wavefront dependencies.
+
+Block Gauss-Seidel with Jacobi inner updates: tile (r, c) of sweep ``s``
+consumes the *already updated* W and N neighbour strips of the same sweep
+and the not-yet-updated E and S strips of the previous sweep — exactly the
+dependence pattern the runtime derives from in/inout accesses created in
+row-major tile order.  The TDG is a sequence of diagonal wavefronts, much
+less parallel than Jacobi, which stresses the scheduler's ability to keep
+the wavefront's working set local while it slides across the grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.program import TaskProgram
+from .base import FLOP_RATE, TaskApplication
+from .tiles import TiledField, ep_grid_block
+
+
+class GaussSeidelApp(TaskApplication):
+    """Tiled Gauss-Seidel (block GS, Jacobi update inside each tile)."""
+
+    name = "gauss-seidel"
+
+    def __init__(
+        self,
+        nt: int = 16,
+        tile: int = 128,
+        sweeps: int = 6,
+        barrier_between_sweeps: bool = True,
+    ) -> None:
+        """``barrier_between_sweeps``: taskwait after each sweep, as in the
+        original OmpSs benchmark's outer convergence loop (also an RGP
+        partition trigger).  Without it consecutive sweeps pipeline."""
+        super().__init__()
+        self._check_positive(nt=nt, tile=tile, sweeps=sweeps)
+        self.nt = nt
+        self.tile = tile
+        self.sweeps = sweeps
+        self.barrier_between_sweeps = barrier_between_sweeps
+
+    # ------------------------------------------------------------------
+    def build(self, n_sockets: int, *, with_payload: bool = False) -> TaskProgram:
+        prog = TaskProgram(self.name)
+        nt, tile = self.nt, self.tile
+        u = TiledField(prog, "u", nt, nt, tile, tile)
+        work = 4.0 * tile * tile / FLOP_RATE
+
+        grid = None
+        if with_payload:
+            n = nt * tile
+            grid = np.ones((n + 2, n + 2))
+            self._verify_ctx = grid
+
+        for r, c in u.tiles():
+            fn = self._make_init(grid, r, c) if with_payload else None
+            prog.task(
+                f"init({r},{c})",
+                outs=[u.interior(r, c), *u.own_borders(r, c)],
+                work=tile * tile / FLOP_RATE,
+                fn=fn,
+                meta={"ep_socket": ep_grid_block(r, c, nt, nt, n_sockets)},
+            )
+        for s in range(self.sweeps):
+            if self.barrier_between_sweeps:
+                prog.barrier()
+            for r, c in u.tiles():
+                fn = self._make_sweep(grid, r, c) if with_payload else None
+                prog.task(
+                    f"gs{s}({r},{c})",
+                    ins=u.halo_reads(r, c),
+                    inouts=[u.interior(r, c)],
+                    outs=u.own_borders(r, c),
+                    work=work,
+                    fn=fn,
+                    meta={"ep_socket": ep_grid_block(r, c, nt, nt, n_sockets)},
+                )
+        return prog.finalize()
+
+    # ------------------------------------------------------------------
+    def _make_init(self, grid, r: int, c: int):
+        tile = self.tile
+
+        def init() -> None:
+            grid[1 + r * tile : 1 + (r + 1) * tile,
+                 1 + c * tile : 1 + (c + 1) * tile] = 0.0
+
+        return init
+
+    def _make_sweep(self, grid, r: int, c: int):
+        tile = self.tile
+
+        def sweep() -> None:
+            _block_update(grid, r, c, tile)
+
+        return sweep
+
+    def verify(self) -> float:
+        grid = self._require_payload()
+        n = self.nt * self.tile
+        ref = np.ones((n + 2, n + 2))
+        ref[1:-1, 1:-1] = 0.0
+        for _ in range(self.sweeps):
+            for r in range(self.nt):
+                for c in range(self.nt):
+                    _block_update(ref, r, c, self.tile)
+        return float(np.abs(grid - ref).max())
+
+
+def _block_update(grid: np.ndarray, r: int, c: int, tile: int) -> None:
+    """One tile update: 4-point average using current neighbour values."""
+    r0, c0 = 1 + r * tile, 1 + c * tile
+    rows, cols = np.s_[r0 : r0 + tile], np.s_[c0 : c0 + tile]
+    grid[rows, cols] = 0.25 * (
+        grid[r0 - 1 : r0 + tile - 1, cols]
+        + grid[r0 + 1 : r0 + tile + 1, cols]
+        + grid[rows, c0 - 1 : c0 + tile - 1]
+        + grid[rows, c0 + 1 : c0 + tile + 1]
+    )

@@ -1,0 +1,123 @@
+"""NStream: the STREAM-triad benchmark (a = b + s*c, repeated).
+
+The most memory-bound code in the suite and Figure 1's most dramatic data
+point: EP and RGP+LAS beat LAS by ~1.75x because LAS's random cold-start
+placement leaves whole blocks piled on a few NUMA nodes, and the triad's
+total lack of reuse means that imbalance is paid every iteration; DFIFO
+(0.49x) additionally makes nearly every access remote.
+
+Decomposition: three vectors split into ``n_blocks`` blocks; one init task
+per block (writes a, b, c — this is where deferred allocation binds pages)
+and one triad task per block per iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.program import TaskProgram
+from .base import FLOP_RATE, TaskApplication, ep_block
+
+
+class NStreamApp(TaskApplication):
+    """STREAM triad over blocked vectors.
+
+    Parameters
+    ----------
+    n_blocks:
+        Vector blocks (= independent task chains).  The paper-scale default
+        of 48 gives ~6 blocks per socket on the bullion S16 — few enough
+        that LAS's random placement shows real multinomial imbalance.
+    block_elems:
+        Elements (float64) per block.
+    iterations:
+        Triad sweeps.
+    scalar:
+        The triad scalar.
+    """
+
+    name = "nstream"
+
+    def __init__(
+        self,
+        n_blocks: int = 48,
+        block_elems: int = 64 * 1024,
+        iterations: int = 12,
+        scalar: float = 3.0,
+    ) -> None:
+        super().__init__()
+        self._check_positive(
+            n_blocks=n_blocks, block_elems=block_elems, iterations=iterations
+        )
+        self.n_blocks = n_blocks
+        self.block_elems = block_elems
+        self.iterations = iterations
+        self.scalar = scalar
+
+    def build(self, n_sockets: int, *, with_payload: bool = False) -> TaskProgram:
+        prog = TaskProgram(self.name)
+        nbytes = self.block_elems * 8
+        # Triad: read b and c, write a -> 3 block accesses; ~2 flops/elem.
+        triad_work = 2.0 * self.block_elems / FLOP_RATE
+
+        arrays = None
+        if with_payload:
+            arrays = {
+                name: np.zeros((self.n_blocks, self.block_elems))
+                for name in "abc"
+            }
+            self._verify_ctx = arrays
+
+        for blk in range(self.n_blocks):
+            socket = ep_block(blk, self.n_blocks, n_sockets)
+            a = prog.data(f"a[{blk}]", nbytes)
+            b = prog.data(f"b[{blk}]", nbytes)
+            c = prog.data(f"c[{blk}]", nbytes)
+
+            init_fn = None
+            if arrays is not None:
+                init_fn = self._make_init(arrays, blk)
+            prog.task(
+                f"init({blk})",
+                outs=[a, b, c],
+                work=self.block_elems / FLOP_RATE,
+                fn=init_fn,
+                meta={"ep_socket": socket, "block": blk},
+            )
+            for it in range(self.iterations):
+                triad_fn = None
+                if arrays is not None:
+                    triad_fn = self._make_triad(arrays, blk)
+                prog.task(
+                    f"triad({blk},{it})",
+                    ins=[b, c],
+                    outs=[a],
+                    work=triad_work,
+                    fn=triad_fn,
+                    meta={"ep_socket": socket, "block": blk, "iter": it},
+                )
+        return prog.finalize()
+
+    # ------------------------------------------------------------------
+    def _make_init(self, arrays: dict, blk: int):
+        def init() -> None:
+            arrays["a"][blk] = 0.0
+            arrays["b"][blk] = blk + 1.0
+            arrays["c"][blk] = 0.5 * (blk + 1.0)
+
+        return init
+
+    def _make_triad(self, arrays: dict, blk: int):
+        scalar = self.scalar
+
+        def triad() -> None:
+            arrays["a"][blk] = arrays["b"][blk] + scalar * arrays["c"][blk]
+
+        return triad
+
+    def verify(self) -> float:
+        arrays = self._require_payload()
+        blocks = np.arange(self.n_blocks, dtype=np.float64) + 1.0
+        expected = blocks + self.scalar * 0.5 * blocks  # b + s*c per block
+        err = np.abs(arrays["a"] - expected[:, None]).max()
+        return float(err)

@@ -1,0 +1,167 @@
+"""Tiled QR factorisation (PLASMA-style tall-skinny kernel DAG).
+
+Four kernels with the classic dependence pattern:
+
+* ``geqrt(k)``   — QR of the diagonal tile, producing R_kk and Q_kk;
+* ``larfb(k,j)`` — apply Q_kk^T to the panel row (j > k);
+* ``tsqrt(i,k)`` — QR of [R_kk; A_ik] (serialised down the column),
+  producing a 2T x T reflector block Q2_ik and zeroing A_ik;
+* ``ssrfb(i,k,j)`` — apply Q2_ik^T to [A_kj; A_ij].
+
+The most compute-bound application in the suite (O(T^3) flops per O(T^2)
+bytes): placement barely matters, so Figure 1 shows all policies within a
+few percent of LAS — an important *negative control* for the cost model.
+
+Payload mode stores the per-kernel orthogonal factors explicitly (tiles are
+small) and verifies R^T R == A^T A (Q cancels), plus upper-triangularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.program import TaskProgram
+from .base import FLOP_RATE, TaskApplication, ep_block_cyclic_2d
+
+
+class QRApp(TaskApplication):
+    """Tiled Householder QR of an ``(nt*tile) x (nt*tile)`` matrix."""
+
+    name = "qr"
+
+    def __init__(self, nt: int = 10, tile: int = 96, seed: int = 4242) -> None:
+        super().__init__()
+        self._check_positive(nt=nt, tile=tile)
+        self.nt = nt
+        self.tile = tile
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def build(self, n_sockets: int, *, with_payload: bool = False) -> TaskProgram:
+        prog = TaskProgram(self.name)
+        nt, t = self.nt, self.tile
+        tile_bytes = t * t * 8
+        t3 = float(t) ** 3
+
+        a = [[prog.data(f"A[{i},{j}]", tile_bytes) for j in range(nt)]
+             for i in range(nt)]
+
+        ctx = None
+        if with_payload:
+            rng = np.random.default_rng(self.seed)
+            full = rng.standard_normal((nt * t, nt * t))
+            ctx = {
+                "A0": full.copy(),
+                "tiles": [
+                    [full[i * t : (i + 1) * t, j * t : (j + 1) * t].copy()
+                     for j in range(nt)]
+                    for i in range(nt)
+                ],
+                "q1": {},   # (k) -> Q_kk (T x T)
+                "q2": {},   # (i, k) -> Q2 (2T x T stacked reflector)
+            }
+            self._verify_ctx = ctx
+
+        def ep(i: int, j: int) -> dict:
+            return {"ep_socket": ep_block_cyclic_2d(i, j, n_sockets)}
+
+        for i in range(nt):
+            for j in range(nt):
+                fn = self._t_load(ctx, i, j) if ctx else None
+                prog.task(f"load({i},{j})", outs=[a[i][j]],
+                          work=t * t / FLOP_RATE, fn=fn, meta=ep(i, j))
+
+        for k in range(nt):
+            qkk = prog.data(f"Q[{k}]", tile_bytes)
+            fn = self._t_geqrt(ctx, k) if ctx else None
+            prog.task(f"geqrt({k})", inouts=[a[k][k]], outs=[qkk],
+                      work=2.0 * t3 / FLOP_RATE, fn=fn, meta=ep(k, k))
+            for j in range(k + 1, nt):
+                fn = self._t_larfb(ctx, k, j) if ctx else None
+                prog.task(f"larfb({k},{j})", ins=[qkk], inouts=[a[k][j]],
+                          work=2.0 * t3 / FLOP_RATE, fn=fn, meta=ep(k, j))
+            for i in range(k + 1, nt):
+                # Full 2T x 2T orthogonal factor of the stacked panel.
+                q2 = prog.data(f"Q2[{i},{k}]", 4 * tile_bytes)
+                fn = self._t_tsqrt(ctx, i, k) if ctx else None
+                prog.task(
+                    f"tsqrt({i},{k})",
+                    inouts=[a[k][k], a[i][k]], outs=[q2],
+                    work=3.0 * t3 / FLOP_RATE, fn=fn, meta=ep(i, k),
+                )
+                for j in range(k + 1, nt):
+                    fn = self._t_ssrfb(ctx, i, k, j) if ctx else None
+                    prog.task(
+                        f"ssrfb({i},{k},{j})",
+                        ins=[q2], inouts=[a[k][j], a[i][j]],
+                        work=4.0 * t3 / FLOP_RATE, fn=fn, meta=ep(i, j),
+                    )
+        return prog.finalize()
+
+    # ------------------------------------------------------------------
+    # Payload kernels (explicit small orthogonal factors).
+    # ------------------------------------------------------------------
+    def _t_load(self, ctx, i, j):
+        def fn() -> None:  # tiles were pre-sliced at build time
+            pass
+
+        return fn
+
+    def _t_geqrt(self, ctx, k):
+        def fn() -> None:
+            tiles = ctx["tiles"]
+            q, r = np.linalg.qr(tiles[k][k])
+            ctx["q1"][k] = q
+            tiles[k][k] = r
+
+        return fn
+
+    def _t_larfb(self, ctx, k, j):
+        def fn() -> None:
+            tiles = ctx["tiles"]
+            tiles[k][j] = ctx["q1"][k].T @ tiles[k][j]
+
+        return fn
+
+    def _t_tsqrt(self, ctx, i, k):
+        t = self.tile
+
+        def fn() -> None:
+            tiles = ctx["tiles"]
+            stacked = np.vstack([tiles[k][k], tiles[i][k]])
+            # Full (2T x 2T) Q: ssrfb must transform the whole stacked panel,
+            # not just its column space.
+            q, r = np.linalg.qr(stacked, mode="complete")
+            ctx["q2"][(i, k)] = q
+            tiles[k][k] = r[:t]
+            tiles[i][k] = np.zeros((t, t))
+
+        return fn
+
+    def _t_ssrfb(self, ctx, i, k, j):
+        t = self.tile
+
+        def fn() -> None:
+            tiles = ctx["tiles"]
+            stacked = np.vstack([tiles[k][j], tiles[i][j]])
+            updated = ctx["q2"][(i, k)].T @ stacked
+            tiles[k][j] = updated[:t]
+            tiles[i][j] = updated[t:]
+
+        return fn
+
+    # ------------------------------------------------------------------
+    def verify(self) -> float:
+        """Relative error of R^T R vs A0^T A0, plus triangularity check."""
+        ctx = self._require_payload()
+        nt, t = self.nt, self.tile
+        r_full = np.zeros((nt * t, nt * t))
+        for i in range(nt):
+            for j in range(nt):
+                r_full[i * t : (i + 1) * t, j * t : (j + 1) * t] = ctx["tiles"][i][j]
+        below = np.tril(r_full, k=-1)
+        tri_err = float(np.abs(below).max())
+        gram_ref = ctx["A0"].T @ ctx["A0"]
+        gram_got = r_full.T @ r_full
+        scale = float(np.abs(gram_ref).max()) or 1.0
+        return max(tri_err, float(np.abs(gram_got - gram_ref).max()) / scale)

@@ -1,0 +1,229 @@
+"""Symmetric (SPD) matrix inversion via tiled Cholesky, in three phases.
+
+1. **Cholesky** ``A = L L^T`` — potrf / trsm / syrk / gemm tile kernels;
+2. **Triangular inversion** ``W = L^{-1}`` — trtri on the diagonal plus a
+   gemm-accumulate / trsm recurrence per (i, k) tile;
+3. **Product** ``A^{-1} = W^T W`` — syrk/gemm over the tile columns.
+
+Phases are separated by **taskwait barriers**, like the OmpSs original —
+this is the one suite application that exercises the paper's *barrier*
+partition trigger (the RGP window closes at the first barrier even if the
+window-size limit was not reached).
+
+Mixed compute/memory intensity (O(T^3) kernels but long dependence chains
+and lots of tile reuse across phases): Figure 1 shows DFIFO at 0.68x —
+hurt by remote traffic, but not as catastrophically as the pure streams.
+
+Payload mode runs the real numerics on a well-conditioned SPD matrix and
+verifies ``A_inv @ A0 == I``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from ..runtime.program import TaskProgram
+from .base import FLOP_RATE, TaskApplication, ep_block_cyclic_2d
+
+
+class SymmetricInversionApp(TaskApplication):
+    """Tiled SPD inversion of an ``(nt*tile) x (nt*tile)`` matrix."""
+
+    name = "symminv"
+
+    def __init__(self, nt: int = 10, tile: int = 96, seed: int = 999) -> None:
+        super().__init__()
+        self._check_positive(nt=nt, tile=tile)
+        self.nt = nt
+        self.tile = tile
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def build(self, n_sockets: int, *, with_payload: bool = False) -> TaskProgram:
+        prog = TaskProgram(self.name)
+        nt, t = self.nt, self.tile
+        tile_bytes = t * t * 8
+        t3 = float(t) ** 3
+
+        # Lower-triangular tile storage for A/L (i >= j), plus W and Ainv.
+        a = {(i, j): prog.data(f"A[{i},{j}]", tile_bytes)
+             for i in range(nt) for j in range(i + 1)}
+        w = {(i, k): prog.data(f"W[{i},{k}]", tile_bytes)
+             for i in range(nt) for k in range(i + 1)}
+        ainv = {(i, j): prog.data(f"Ainv[{i},{j}]", tile_bytes)
+                for i in range(nt) for j in range(i + 1)}
+
+        ctx = None
+        if with_payload:
+            ctx = self._make_context()
+            self._verify_ctx = ctx
+
+        def ep(i: int, j: int) -> dict:
+            return {"ep_socket": ep_block_cyclic_2d(i, j, n_sockets)}
+
+        for i in range(nt):
+            for j in range(i + 1):
+                fn = self._t_load(ctx, i, j) if ctx else None
+                prog.task(f"load({i},{j})", outs=[a[(i, j)]],
+                          work=t * t / FLOP_RATE, fn=fn, meta=ep(i, j))
+
+        # Phase 1: Cholesky.
+        for k in range(nt):
+            fn = self._t_potrf(ctx, k) if ctx else None
+            prog.task(f"potrf({k})", inouts=[a[(k, k)]],
+                      work=t3 / 3.0 / FLOP_RATE, fn=fn, meta=ep(k, k))
+            for i in range(k + 1, nt):
+                fn = self._t_trsm(ctx, i, k) if ctx else None
+                prog.task(f"trsm({i},{k})", ins=[a[(k, k)]],
+                          inouts=[a[(i, k)]], work=t3 / FLOP_RATE, fn=fn,
+                          meta=ep(i, k))
+            for i in range(k + 1, nt):
+                for j in range(k + 1, i + 1):
+                    if i == j:
+                        fn = self._t_syrk(ctx, i, k) if ctx else None
+                        prog.task(f"syrk({i},{k})", ins=[a[(i, k)]],
+                                  inouts=[a[(i, i)]], work=t3 / FLOP_RATE,
+                                  fn=fn, meta=ep(i, i))
+                    else:
+                        fn = self._t_gemm1(ctx, i, j, k) if ctx else None
+                        prog.task(f"gemm({i},{j},{k})",
+                                  ins=[a[(i, k)], a[(j, k)]],
+                                  inouts=[a[(i, j)]],
+                                  work=2.0 * t3 / FLOP_RATE, fn=fn,
+                                  meta=ep(i, j))
+        prog.barrier()
+
+        # Phase 2: W = L^{-1} (blocked forward substitution on tiles).
+        for k in range(nt):
+            fn = self._t_trtri(ctx, k) if ctx else None
+            prog.task(f"trtri({k})", ins=[a[(k, k)]], outs=[w[(k, k)]],
+                      work=t3 / 3.0 / FLOP_RATE, fn=fn, meta=ep(k, k))
+            for i in range(k + 1, nt):
+                fn = self._t_w_acc(ctx, i, k) if ctx else None
+                prog.task(
+                    f"w_acc({i},{k})",
+                    ins=[a[(i, j)] for j in range(k, i)]
+                    + [w[(j, k)] for j in range(k, i)]
+                    + [a[(i, i)]],
+                    outs=[w[(i, k)]],
+                    work=(2.0 * (i - k) + 1.0) * t3 / FLOP_RATE,
+                    fn=fn, meta=ep(i, k),
+                )
+        prog.barrier()
+
+        # Phase 3: A^{-1} = W^T W (lower part).
+        for i in range(nt):
+            for j in range(i + 1):
+                fn = self._t_wtw(ctx, i, j) if ctx else None
+                prog.task(
+                    f"wtw({i},{j})",
+                    ins=[w[(m, i)] for m in range(i, nt)]
+                    + [w[(m, j)] for m in range(i, nt)],
+                    outs=[ainv[(i, j)]],
+                    work=2.0 * (nt - i) * t3 / FLOP_RATE,
+                    fn=fn, meta=ep(i, j),
+                )
+        return prog.finalize()
+
+    # ------------------------------------------------------------------
+    # Payload kernels.
+    # ------------------------------------------------------------------
+    def _make_context(self) -> dict:
+        n = self.nt * self.tile
+        rng = np.random.default_rng(self.seed)
+        b = rng.standard_normal((n, n))
+        a0 = b @ b.T / n + 2.0 * np.eye(n)  # well-conditioned SPD
+        t = self.tile
+        return {
+            "A0": a0,
+            "a": {
+                (i, j): a0[i * t : (i + 1) * t, j * t : (j + 1) * t].copy()
+                for i in range(self.nt) for j in range(i + 1)
+            },
+            "w": {},
+            "ainv": {},
+        }
+
+    def _t_load(self, ctx, i, j):
+        def fn() -> None:  # tiles pre-sliced at build time
+            pass
+
+        return fn
+
+    def _t_potrf(self, ctx, k):
+        def fn() -> None:
+            ctx["a"][(k, k)] = np.linalg.cholesky(ctx["a"][(k, k)])
+
+        return fn
+
+    def _t_trsm(self, ctx, i, k):
+        def fn() -> None:
+            lkk = ctx["a"][(k, k)]
+            # A_ik <- A_ik * L_kk^{-T}  (solve X L_kk^T = A_ik)
+            ctx["a"][(i, k)] = scipy.linalg.solve_triangular(
+                lkk, ctx["a"][(i, k)].T, lower=True
+            ).T
+
+        return fn
+
+    def _t_syrk(self, ctx, i, k):
+        def fn() -> None:
+            lik = ctx["a"][(i, k)]
+            ctx["a"][(i, i)] = ctx["a"][(i, i)] - lik @ lik.T
+
+        return fn
+
+    def _t_gemm1(self, ctx, i, j, k):
+        def fn() -> None:
+            ctx["a"][(i, j)] = (
+                ctx["a"][(i, j)] - ctx["a"][(i, k)] @ ctx["a"][(j, k)].T
+            )
+
+        return fn
+
+    def _t_trtri(self, ctx, k):
+        t = self.tile
+
+        def fn() -> None:
+            ctx["w"][(k, k)] = scipy.linalg.solve_triangular(
+                ctx["a"][(k, k)], np.eye(t), lower=True
+            )
+
+        return fn
+
+    def _t_w_acc(self, ctx, i, k):
+        def fn() -> None:
+            # W_ik = -L_ii^{-1} (sum_{j=k}^{i-1} L_ij W_jk)
+            acc = sum(
+                ctx["a"][(i, j)] @ ctx["w"][(j, k)] for j in range(k, i)
+            )
+            ctx["w"][(i, k)] = -scipy.linalg.solve_triangular(
+                ctx["a"][(i, i)], acc, lower=True
+            )
+
+        return fn
+
+    def _t_wtw(self, ctx, i, j):
+        def fn() -> None:
+            ctx["ainv"][(i, j)] = sum(
+                ctx["w"][(m, i)].T @ ctx["w"][(m, j)] for m in range(i, self.nt)
+            )
+
+        return fn
+
+    # ------------------------------------------------------------------
+    def verify(self) -> float:
+        """Max abs of ``Ainv @ A0 - I`` (symmetrised assembly)."""
+        ctx = self._require_payload()
+        nt, t = self.nt, self.tile
+        n = nt * t
+        inv = np.zeros((n, n))
+        for i in range(nt):
+            for j in range(i + 1):
+                blk = ctx["ainv"][(i, j)]
+                inv[i * t : (i + 1) * t, j * t : (j + 1) * t] = blk
+                if i != j:
+                    inv[j * t : (j + 1) * t, i * t : (i + 1) * t] = blk.T
+        residual = inv @ ctx["A0"] - np.eye(n)
+        return float(np.abs(residual).max())

@@ -1,0 +1,148 @@
+"""Synthetic DAG application: controlled-structure workloads.
+
+Wraps the :mod:`repro.graph.generators` DAG families (chains, stencil,
+fork-join, reduction tree, random layered) as a real task program: one
+data object per task output, consumers read the producer's object with the
+generator's edge bytes.  Used for studies where the eight paper benchmarks
+have too much structure — e.g. sweeping parallelism or edge weight while
+holding everything else fixed.
+
+Payload mode computes ``value(v) = 1 + sum(value(pred))`` per task and
+verifies against an independent recomputation over the TDG — any
+scheduler-legal execution order must reproduce it exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ApplicationError
+from ..graph import (
+    TaskGraph,
+    binary_in_tree,
+    fork_join,
+    independent_chains,
+    random_layered,
+    stencil_2d,
+)
+from ..runtime.data import AccessMode, DataAccess
+from ..runtime.program import TaskProgram
+from .base import FLOP_RATE, TaskApplication, ep_block
+
+GENERATORS = {
+    "chains": lambda scale, seed: independent_chains(scale, max(2, scale // 2)),
+    "stencil": lambda scale, seed: stencil_2d(scale, scale, 3),
+    "forkjoin": lambda scale, seed: fork_join(scale, max(2, scale // 2)),
+    "tree": lambda scale, seed: binary_in_tree(max(1, scale.bit_length())),
+    "random": lambda scale, seed: random_layered(
+        max(2, scale // 2), scale, seed=seed
+    ),
+}
+
+
+class SyntheticApp(TaskApplication):
+    """Generator-backed task application.
+
+    Parameters
+    ----------
+    kind:
+        One of ``chains``, ``stencil``, ``forkjoin``, ``tree``, ``random``.
+    scale:
+        Size knob passed to the generator (width / side / chain count).
+    bytes_per_unit:
+        Bytes represented by one unit of generator edge weight.
+    compute_intensity:
+        Compute work per task per KiB of its output object.
+    seed:
+        Seed for the random generator kinds.
+    """
+
+    name = "synthetic"
+
+    def __init__(
+        self,
+        kind: str = "chains",
+        scale: int = 16,
+        bytes_per_unit: int = 65536,
+        compute_intensity: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if kind not in GENERATORS:
+            raise ApplicationError(
+                f"unknown synthetic kind {kind!r}; known: {sorted(GENERATORS)}"
+            )
+        self._check_positive(scale=scale, bytes_per_unit=bytes_per_unit)
+        if compute_intensity < 0:
+            raise ApplicationError("compute_intensity must be >= 0")
+        self.kind = kind
+        self.scale = scale
+        self.bytes_per_unit = bytes_per_unit
+        self.compute_intensity = compute_intensity
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def generate_tdg(self) -> TaskGraph:
+        """The raw generator DAG this app is built from."""
+        return GENERATORS[self.kind](self.scale, self.seed)
+
+    def build(self, n_sockets: int, *, with_payload: bool = False) -> TaskProgram:
+        tdg = self.generate_tdg()
+        prog = TaskProgram(f"synthetic-{self.kind}")
+        n = tdg.n_nodes
+
+        values = None
+        if with_payload:
+            values = np.zeros(n)
+            self._verify_ctx = (tdg, values)
+
+        # Object sizes: enough to carry the fattest outgoing edge.
+        objs = []
+        for v in range(n):
+            out_w = max(
+                [w for w in tdg.successors(v).values()] + [1.0]
+            )
+            objs.append(
+                prog.data(f"out[{v}]", int(out_w * self.bytes_per_unit))
+            )
+        for v in range(n):
+            ins = [
+                DataAccess(
+                    objs[pred], AccessMode.IN,
+                    offset=0,
+                    length=min(objs[pred].size_bytes,
+                               int(w * self.bytes_per_unit)),
+                )
+                for pred, w in sorted(tdg.predecessors(v).items())
+            ]
+            work = (
+                self.compute_intensity * objs[v].size_bytes / 1024.0 / FLOP_RATE
+                * 1000.0
+            )
+            fn = self._make_fn(values, tdg, v) if with_payload else None
+            prog.task(
+                f"{self.kind}({v})",
+                ins=ins,
+                outs=[objs[v]],
+                work=max(work, 1e-6),
+                fn=fn,
+                meta={"ep_socket": ep_block(v, n, n_sockets)},
+            )
+        return prog.finalize()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_fn(values, tdg, v):
+        def fn() -> None:
+            values[v] = 1.0 + sum(values[p] for p in tdg.predecessors(v))
+
+        return fn
+
+    def verify(self) -> float:
+        tdg, values = self._require_payload()
+        from ..graph.analysis import topological_order
+
+        expected = np.zeros(tdg.n_nodes)
+        for v in topological_order(tdg):
+            expected[v] = 1.0 + sum(expected[p] for p in tdg.predecessors(v))
+        return float(np.abs(values - expected).max())

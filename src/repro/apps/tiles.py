@@ -1,0 +1,93 @@
+"""Tiled-field helper for the stencil-family applications.
+
+A 2-D field decomposed into ``nt_r x nt_c`` tiles.  Besides the interior
+object, each tile owns four *border-strip* objects (N/S/E/W).  A stencil
+task writes its interior and its strips and reads the strips of its
+neighbours that face it — so dependence edges carry realistic byte counts
+(thin halos, fat interiors) even though dependence tracking is per-object.
+"""
+
+from __future__ import annotations
+
+from ..errors import ApplicationError
+from ..runtime.data import DataObject
+from ..runtime.program import TaskProgram
+
+#: Border directions, and the direction a neighbour's strip faces us from.
+DIRS = ("N", "S", "E", "W")
+_OPPOSITE = {"N": "S", "S": "N", "E": "W", "W": "E"}
+_OFFSETS = {"N": (-1, 0), "S": (1, 0), "E": (0, 1), "W": (0, -1)}
+
+
+class TiledField:
+    """Data objects of one field (e.g. one Jacobi buffer)."""
+
+    def __init__(
+        self,
+        prog: TaskProgram,
+        name: str,
+        nt_r: int,
+        nt_c: int,
+        tile_rows: int,
+        tile_cols: int,
+        elem_bytes: int = 8,
+    ) -> None:
+        if nt_r < 1 or nt_c < 1 or tile_rows < 1 or tile_cols < 1:
+            raise ApplicationError("tile grid dimensions must be positive")
+        self.name = name
+        self.nt_r = nt_r
+        self.nt_c = nt_c
+        self.tile_rows = tile_rows
+        self.tile_cols = tile_cols
+        self._interior: list[list[DataObject]] = []
+        self._border: dict[tuple[int, int, str], DataObject] = {}
+        tile_bytes = tile_rows * tile_cols * elem_bytes
+        for r in range(nt_r):
+            row = []
+            for c in range(nt_c):
+                row.append(prog.data(f"{name}[{r},{c}]", tile_bytes))
+                for d in DIRS:
+                    strip = tile_cols if d in ("N", "S") else tile_rows
+                    self._border[(r, c, d)] = prog.data(
+                        f"{name}[{r},{c}].{d}", strip * elem_bytes
+                    )
+            self._interior.append(row)
+
+    # ------------------------------------------------------------------
+    def interior(self, r: int, c: int) -> DataObject:
+        return self._interior[r][c]
+
+    def border(self, r: int, c: int, d: str) -> DataObject:
+        return self._border[(r, c, d)]
+
+    def own_borders(self, r: int, c: int) -> list[DataObject]:
+        """All four strips of tile (r, c) — written together with the tile."""
+        return [self._border[(r, c, d)] for d in DIRS]
+
+    def halo_reads(self, r: int, c: int) -> list[DataObject]:
+        """Strips of the existing 4-neighbours that face tile (r, c)."""
+        reads = []
+        for d in DIRS:
+            dr, dc = _OFFSETS[d]
+            nr, nc = r + dr, c + dc
+            if 0 <= nr < self.nt_r and 0 <= nc < self.nt_c:
+                reads.append(self._border[(nr, nc, _OPPOSITE[d])])
+        return reads
+
+    def tiles(self):
+        """Iterate (r, c) row-major."""
+        for r in range(self.nt_r):
+            for c in range(self.nt_c):
+                yield r, c
+
+
+def ep_grid_block(r: int, c: int, nt_r: int, nt_c: int, n_sockets: int) -> int:
+    """Expert placement for grids: contiguous 2-D blocks on a pr x pc
+    socket grid (pr >= pc, most-square factorisation)."""
+    pr = n_sockets
+    for cand in range(1, n_sockets + 1):
+        if n_sockets % cand == 0 and cand >= n_sockets // cand:
+            pr = cand
+            break
+    pc = n_sockets // pr
+    return (r * pr // nt_r) * pc + (c * pc // nt_c)

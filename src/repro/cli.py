@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>`` / ``rgp-repro``.
+
+Commands
+--------
+``figure1``   — regenerate the paper's Figure 1 (table and/or bar form).
+``run``       — simulate one app under one scheduler; optional Gantt chart
+                and CSV/JSON trace export.
+``analyze``   — schedule report (efficiency bounds, node pressure, phase
+                profile, utilisation sparkline) plus optional DOT export.
+``ablation``  — run one of the ablation sweeps (window / partitioner /
+                sockets / las / propagation).
+``apps``      — list the available applications, schedulers and machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import APPS, make_app
+from .experiments.config import ExperimentConfig
+from .machine import presets
+from .metrics.trace import gantt_ascii, write_csv, write_json
+from .runtime.simulator import Simulator
+from .schedulers import SCHEDULERS, make_scheduler
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced problem sizes and fewer seeds")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="number of seeds (default: config preset)")
+    parser.add_argument("--window", type=int, default=None,
+                        help="RGP window size limit")
+
+
+def _config(args) -> ExperimentConfig:
+    cfg = ExperimentConfig.quick() if args.quick else ExperimentConfig.paper()
+    if args.seeds is not None:
+        cfg.seeds = tuple(range(args.seeds))
+    if getattr(args, "window", None) is not None:
+        cfg.window_size = args.window
+    return cfg
+
+
+def cmd_figure1(args) -> int:
+    from .experiments.figure1 import run_figure1
+
+    cfg = _config(args)
+    result = run_figure1(
+        cfg, progress=(lambda m: print(f"  {m}", file=sys.stderr)) if args.verbose else None
+    )
+    print(result.render())
+    if args.bars:
+        print()
+        print(result.render_bars())
+    return 0
+
+
+def cmd_run(args) -> int:
+    cfg = _config(args)
+    topo = presets.by_name(args.machine)
+    params = dict(cfg.app_params.get(args.app, {}))
+    app = make_app(args.app, **params)
+    program = app.build(topo.n_sockets)
+    kwargs = {"window_size": cfg.window_size} if args.scheduler.startswith("rgp") else {}
+    from .machine.interconnect import Interconnect
+
+    interconnect = Interconnect(
+        topo,
+        remote_penalty_exp=cfg.remote_penalty_exp,
+        link_fraction=cfg.link_fraction,
+        core_fraction=cfg.core_fraction,
+    )
+    sim = Simulator(
+        program, topo, make_scheduler(args.scheduler, **kwargs),
+        interconnect=interconnect, seed=args.seed, steal=cfg.steal,
+    )
+    result = sim.run()
+    print(result.summary())
+    if args.gantt:
+        print(gantt_ascii(result))
+    if args.trace_csv:
+        write_csv(result, args.trace_csv)
+        print(f"trace written to {args.trace_csv}")
+    if args.trace_json:
+        write_json(result, args.trace_json)
+        print(f"trace written to {args.trace_json}")
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    from .experiments import ablations
+
+    cfg = _config(args)
+    runner = {
+        "window": ablations.run_window_ablation,
+        "partitioner": ablations.run_partitioner_ablation,
+        "sockets": ablations.run_socket_ablation,
+        "las": ablations.run_las_ablation,
+        "propagation": ablations.run_propagation_ablation,
+    }[args.which]
+    print(runner(cfg).render())
+    return 0
+
+
+def cmd_apps(args) -> int:
+    print("applications:", ", ".join(sorted(APPS)))
+    print("schedulers:  ", ", ".join(sorted(SCHEDULERS)))
+    print("machines:    ", ", ".join(sorted(presets.PRESETS)))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Simulate once and print the full schedule report + timeline."""
+    from .metrics.analysis import schedule_report, utilization_timeline
+
+    cfg = _config(args)
+    topo = presets.by_name(args.machine)
+    params = dict(cfg.app_params.get(args.app, {}))
+    app = make_app(args.app, **params)
+    program = app.build(topo.n_sockets)
+    kwargs = {"window_size": cfg.window_size} if args.scheduler.startswith("rgp") else {}
+    from .machine.interconnect import Interconnect
+
+    sim = Simulator(
+        program, topo, make_scheduler(args.scheduler, **kwargs),
+        interconnect=Interconnect(
+            topo, remote_penalty_exp=cfg.remote_penalty_exp,
+            link_fraction=cfg.link_fraction, core_fraction=cfg.core_fraction,
+        ),
+        seed=args.seed, steal=cfg.steal,
+    )
+    result = sim.run()
+    print(schedule_report(program, result, topo))
+    # Utilisation sparkline.
+    _, busy = utilization_timeline(result, n_points=64)
+    if len(busy):
+        blocks = " .:-=+*#%@"
+        top = max(int(busy.max()), 1)
+        line = "".join(
+            blocks[min(len(blocks) - 1, int(b / top * (len(blocks) - 1)))]
+            for b in busy
+        )
+        print(f"utilization [{line}] (peak {top} cores)")
+    if args.dot:
+        from .graph.dot import write_dot
+
+        write_dot(program.tdg, args.dot, max_nodes=args.dot_max_nodes)
+        print(f"TDG written to {args.dot}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rgp-repro",
+        description=(
+            "Reproduction of 'Graph partitioning applied to DAG scheduling "
+            "to reduce NUMA effects' (PPoPP 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure1", help="regenerate Figure 1")
+    _add_common(p)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument("--bars", action="store_true",
+                   help="render the paper-style clipped bar chart too")
+    p.set_defaults(fn=cmd_figure1)
+
+    p = sub.add_parser("run", help="simulate one app under one scheduler")
+    _add_common(p)
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--scheduler", required=True, choices=sorted(SCHEDULERS))
+    p.add_argument("--machine", default="bullion-s16",
+                   choices=sorted(presets.PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--gantt", action="store_true", help="ASCII Gantt chart")
+    p.add_argument("--trace-csv", default=None)
+    p.add_argument("--trace-json", default=None)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("ablation", help="run an ablation sweep")
+    _add_common(p)
+    p.add_argument("which", choices=["window", "partitioner", "sockets",
+                                     "las", "propagation"])
+    p.set_defaults(fn=cmd_ablation)
+
+    p = sub.add_parser("apps", help="list apps/schedulers/machines")
+    p.set_defaults(fn=cmd_apps)
+
+    p = sub.add_parser("analyze",
+                       help="schedule report for one app/scheduler run")
+    _add_common(p)
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--scheduler", required=True, choices=sorted(SCHEDULERS))
+    p.add_argument("--machine", default="bullion-s16",
+                   choices=sorted(presets.PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dot", default=None, help="write the TDG as DOT")
+    p.add_argument("--dot-max-nodes", type=int, default=2000)
+    p.set_defaults(fn=cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

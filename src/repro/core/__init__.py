@@ -1,0 +1,23 @@
+"""The paper's primary contribution: runtime graph partitioning (RGP).
+
+See :mod:`repro.core.rgp` for the schedulers and
+:mod:`repro.core.window` for the window/trigger machinery.
+"""
+
+from .rgp import PROPAGATION_POLICIES, RGPLASScheduler, RGPScheduler
+from .window import (
+    DEFAULT_WINDOW_SIZE,
+    WindowPlan,
+    initial_window,
+    partition_window,
+)
+
+__all__ = [
+    "DEFAULT_WINDOW_SIZE",
+    "PROPAGATION_POLICIES",
+    "RGPLASScheduler",
+    "RGPScheduler",
+    "WindowPlan",
+    "initial_window",
+    "partition_window",
+]

@@ -1,0 +1,200 @@
+"""Runtime graph partitioning (RGP) schedulers — the paper's contribution.
+
+RGP buffers the TDG until the initial window closes (first barrier or the
+window-size limit), partitions the window's subgraph with a SCOTCH-style
+architecture-aware partitioner (edge weights = dependence bytes, parts =
+sockets), and schedules every window task on its part's socket.  Because of
+deferred allocation this *places the data*, not just the compute.
+
+Tasks beyond the window are handled by a **propagation policy**:
+
+* ``"las"`` — the paper's RGP+LAS: locality-aware scheduling inherits the
+  window's placement through the physical location of each task's
+  dependencies (the only evaluated variant);
+* ``"repartition"`` — partition every subsequent window too, anchoring to
+  already-placed predecessors (a natural extension, used in ablations);
+* ``"random"`` / ``"cyclic"`` — degenerate propagations for ablations.
+
+If ``partition_delay > 0`` the partition result only becomes available at
+that simulated time; window tasks that become ready earlier wait in the
+runtime's *temporary queue* (paper: "If tasks can be executed ... but the
+partition is still pending, they are stored in a temporary queue").
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulerError
+from ..graph.csr import CSRGraph
+from ..partition.anchored import partition_with_anchors
+from ..partition.interface import Partitioner, TargetArchitecture
+from ..partition.recursive import DualRecursiveBipartitioner
+from ..runtime.placement import Placement
+from ..runtime.task import Task
+from ..schedulers.base import Scheduler
+from ..schedulers.las import las_pick_socket
+from .window import DEFAULT_WINDOW_SIZE, initial_window, partition_window
+
+PROPAGATION_POLICIES = ("las", "repartition", "random", "cyclic")
+
+
+class RGPScheduler(Scheduler):
+    """Window-partitioning scheduler with pluggable propagation."""
+
+    name = "rgp"
+
+    def __init__(
+        self,
+        partitioner: Partitioner | None = None,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        propagation: str = "las",
+        partition_delay: float = 0.0,
+        partition_seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        if propagation not in PROPAGATION_POLICIES:
+            raise SchedulerError(
+                f"unknown propagation {propagation!r}; "
+                f"known: {PROPAGATION_POLICIES}"
+            )
+        if window_size < 1:
+            raise SchedulerError(f"window size must be >= 1, got {window_size}")
+        if partition_delay < 0:
+            raise SchedulerError("partition delay must be >= 0")
+        self.partitioner = partitioner or DualRecursiveBipartitioner()
+        self.window_size = int(window_size)
+        self.propagation = propagation
+        self.partition_delay = float(partition_delay)
+        self.partition_seed = partition_seed
+        # Run state (reset per attach/run).
+        self._assignment: dict[int, int] = {}
+        self._cutoff = 0
+        self._partition_ready = False
+        self._next_cyclic = 0
+        self._windows_partitioned = 0
+        #: Decision audit: window-placed vs propagated counts (plus the
+        #: LAS branch breakdown when propagation is "las").
+        self.audit: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def on_program_start(self) -> None:
+        program = self.sim.program
+        self._assignment = {}
+        self._next_cyclic = 0
+        self._windows_partitioned = 0
+        self._cutoff = initial_window(program, self.window_size)
+        seed = (
+            self.partition_seed
+            if self.partition_seed is not None
+            else int(self.rng.integers(2**31))
+        )
+        plan = partition_window(
+            program.tdg, self._cutoff, self.topology, self.partitioner, seed=seed
+        )
+        self._windows_partitioned = 1
+        for tid in range(plan.cutoff):
+            self._assignment[tid] = int(plan.assignment[tid])
+        if self.partition_delay > 0:
+            self._partition_ready = False
+            self.sim.schedule_timer(self.partition_delay, self._on_partition_done)
+        else:
+            self._partition_ready = True
+
+    def _on_partition_done(self) -> None:
+        self._partition_ready = True
+        self.sim.reoffer(list(self.sim.parked))
+
+    # ------------------------------------------------------------------
+    def choose(self, task: Task) -> Placement:
+        if task.tid < self._cutoff:
+            if not self._partition_ready:
+                return Placement(park=True)
+            self.audit["window"] = self.audit.get("window", 0) + 1
+            return Placement(socket=self._assignment[task.tid])
+        self.audit["propagated"] = self.audit.get("propagated", 0) + 1
+        return self._propagate(task)
+
+    def _propagate(self, task: Task) -> Placement:
+        if self.propagation == "las":
+            socket = las_pick_socket(
+                task, self.memory, self.rng, self.topology.n_sockets,
+                audit=self.audit,
+            )
+            return Placement(socket=socket)
+        if self.propagation == "repartition":
+            return Placement(socket=self._repartition_lookup(task))
+        if self.propagation == "cyclic":
+            socket = self._next_cyclic
+            self._next_cyclic = (self._next_cyclic + 1) % self.topology.n_sockets
+            return Placement(socket=socket)
+        return Placement(socket=int(self.rng.integers(self.topology.n_sockets)))
+
+    # ------------------------------------------------------------------
+    # "repartition" propagation: partition later windows on demand.
+    # ------------------------------------------------------------------
+    def _repartition_lookup(self, task: Task) -> int:
+        if task.tid not in self._assignment:
+            self._partition_window_of(task.tid)
+        return self._assignment[task.tid]
+
+    def _partition_window_of(self, tid: int) -> None:
+        """Partition the whole window containing ``tid``.
+
+        The window subgraph is augmented with **anchor** vertices: already
+        -assigned tasks that have dependence edges into the window appear
+        as fixed vertices on their sockets, so the partitioner pulls the
+        window towards the data it consumes (proper fixed-vertex
+        repartitioning, see :mod:`repro.partition.anchored`).
+        """
+        program = self.sim.program
+        lo = self._cutoff + ((tid - self._cutoff) // self.window_size) * self.window_size
+        hi = min(lo + self.window_size, program.n_tasks)
+        window = list(range(lo, hi))
+        # Assigned tasks adjacent to the window become anchors.
+        anchor_olds = sorted({
+            pred
+            for t in window
+            for pred in program.tdg.predecessors(t)
+            if pred in self._assignment
+        })
+        sub, old_ids = program.tdg.subgraph(anchor_olds + window)
+        new_of_old = {old: new for new, old in enumerate(old_ids)}
+        anchors = {
+            new_of_old[old]: self._assignment[old] for old in anchor_olds
+        }
+        csr = CSRGraph.from_tdg(sub)
+        target = TargetArchitecture.from_topology(self.topology)
+        seed = int(self.rng.integers(2**31))
+        result = partition_with_anchors(
+            csr, self.topology.n_sockets, anchors, self.partitioner,
+            target=target, seed=seed,
+        )
+        for new_id, old_id in enumerate(old_ids):
+            if old_id >= lo:  # window tasks only; anchors keep their socket
+                self._assignment[old_id] = int(result.parts[new_id])
+        self._windows_partitioned += 1
+
+    @property
+    def windows_partitioned(self) -> int:
+        """How many windows have been partitioned so far (diagnostics)."""
+        return self._windows_partitioned
+
+
+class RGPLASScheduler(RGPScheduler):
+    """RGP+LAS — the paper's headline policy (fixed LAS propagation)."""
+
+    name = "rgp+las"
+
+    def __init__(
+        self,
+        partitioner: Partitioner | None = None,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        partition_delay: float = 0.0,
+        partition_seed: int | None = None,
+    ) -> None:
+        super().__init__(
+            partitioner=partitioner,
+            window_size=window_size,
+            propagation="las",
+            partition_delay=partition_delay,
+            partition_seed=partition_seed,
+        )

@@ -1,0 +1,66 @@
+"""The RGP window: which prefix of the TDG gets partitioned, and how.
+
+The paper (§2.2): "The graph is updated every time new tasks are
+instantiated, and partitioned once the execution goes through a barrier
+point or a limit in terms of the total number of tasks contained in the
+graph — the window size limit — is reached."
+
+:func:`initial_window` computes that trigger point; :func:`partition_window`
+runs the partitioner on the prefix subgraph with edge weights = dependence
+bytes and the machine's sockets (with their memory latencies) as the
+mapping target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchedulerError
+from ..graph.csr import CSRGraph
+from ..graph.tdg import TaskGraph
+from ..machine.topology import NumaTopology
+from ..partition.interface import Partitioner, TargetArchitecture
+from ..runtime.program import TaskProgram
+
+#: Default window-size limit (tasks).
+DEFAULT_WINDOW_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """Result of partitioning the initial window."""
+
+    cutoff: int  # tasks [0, cutoff) are covered
+    assignment: np.ndarray  # shape (cutoff,), socket per task
+
+
+def initial_window(program: TaskProgram, window_size: int) -> int:
+    """Number of leading tasks in the initial subgraph (trigger point)."""
+    if window_size < 1:
+        raise SchedulerError(f"window size must be >= 1, got {window_size}")
+    return program.first_partition_point(window_size)
+
+
+def partition_window(
+    tdg: TaskGraph,
+    cutoff: int,
+    topology: NumaTopology,
+    partitioner: Partitioner,
+    seed: int = 0,
+) -> WindowPlan:
+    """Partition the first ``cutoff`` tasks onto the machine's sockets.
+
+    Vertex weights are task work (balance = compute balance); edge weights
+    are dependence bytes; the target architecture carries the socket
+    distance matrix so an architecture-aware partitioner (DRB) keeps heavy
+    edges on nearby sockets.
+    """
+    if cutoff < 0:
+        raise SchedulerError("cutoff must be >= 0")
+    prefix = tdg.prefix(cutoff)
+    csr = CSRGraph.from_tdg(prefix)
+    target = TargetArchitecture.from_topology(topology)
+    result = partitioner.partition(csr, topology.n_sockets, target=target, seed=seed)
+    return WindowPlan(cutoff=cutoff, assignment=result.parts)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Invalid NUMA topology specification (bad distance matrix, counts...)."""
+
+
+class MemoryError_(ReproError):
+    """Invalid memory operation (double bind, unknown object, bad range)."""
+
+
+class GraphError(ReproError):
+    """Invalid graph operation (unknown node, cycle, malformed CSR)."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning failure (infeasible balance, bad part count)."""
+
+
+class RuntimeStateError(ReproError):
+    """Task runtime misuse (submit after finalize, unknown data object...)."""
+
+
+class DependencyError(ReproError):
+    """Dependence-tracking violation (task reads data never written/bound)."""
+
+
+class SchedulerError(ReproError):
+    """Scheduler misconfiguration or contract violation."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation invariant violation (deadlock, time warp)."""
+
+
+class ApplicationError(ReproError):
+    """Benchmark application misconfiguration (bad sizes, tile counts)."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness failure (unknown app/policy, empty sweep)."""

@@ -1,0 +1,47 @@
+"""Experiment harness: Figure 1 reproduction and ablation sweeps."""
+
+from .ablations import (
+    AblationResult,
+    run_las_ablation,
+    run_partitioner_ablation,
+    run_propagation_ablation,
+    run_socket_ablation,
+    run_window_ablation,
+)
+from .config import (
+    BASELINE_POLICY,
+    FIGURE1_APPS,
+    FIGURE1_POLICIES,
+    PAPER_APP_PARAMS,
+    QUICK_APP_PARAMS,
+    ExperimentConfig,
+)
+from .figure1 import PAPER_FIGURE1, Figure1Result, run_figure1, run_figure1_app
+from .runner import PolicyStats, build_program, run_policy
+from .sweep import ParameterGrid, SweepRow, run_sweep, write_sweep_csv
+
+__all__ = [
+    "BASELINE_POLICY",
+    "FIGURE1_APPS",
+    "FIGURE1_POLICIES",
+    "PAPER_APP_PARAMS",
+    "PAPER_FIGURE1",
+    "QUICK_APP_PARAMS",
+    "AblationResult",
+    "ExperimentConfig",
+    "Figure1Result",
+    "ParameterGrid",
+    "PolicyStats",
+    "SweepRow",
+    "build_program",
+    "run_figure1",
+    "run_figure1_app",
+    "run_las_ablation",
+    "run_partitioner_ablation",
+    "run_policy",
+    "run_propagation_ablation",
+    "run_socket_ablation",
+    "run_sweep",
+    "run_window_ablation",
+    "write_sweep_csv",
+]

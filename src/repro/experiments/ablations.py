@@ -1,0 +1,208 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond Figure 1 and quantify the knobs the poster describes but
+does not sweep:
+
+* **Window size** (§2.2: "the window size limit") — how large must the
+  initial subgraph be before partitioning it beats LAS's cold start?
+* **Partitioner choice** (§2.2 uses SCOTCH) — architecture-aware DRB vs
+  plain multilevel k-way vs spectral vs random/cyclic floors.
+* **Socket count** (§1 motivation: NUMA effects grow with sockets).
+* **LAS variants** (§2.1) — cold-start randomisation threshold and
+  tie-breaking.
+* **RGP propagation** (§2.2.1: "there are different ways to propagate the
+  partition") — LAS vs repartition vs cyclic vs random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.rgp import RGPScheduler
+from ..machine.presets import custom
+from ..metrics.report import geometric_mean
+from ..partition import by_name as partitioner_by_name
+from ..schedulers import LASScheduler
+from .config import ExperimentConfig
+from .runner import build_program, run_policy
+
+#: Apps used by the ablations (a representative memory/compute mix).
+ABLATION_APPS = ("jacobi", "nstream", "histogram", "qr")
+
+
+@dataclass
+class AblationResult:
+    """Rows of (setting -> app -> speedup vs the config baseline)."""
+
+    title: str
+    settings: list[str] = field(default_factory=list)
+    apps: list[str] = field(default_factory=list)
+    speedups: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def add(self, setting: str, app: str, speedup: float) -> None:
+        if setting not in self.settings:
+            self.settings.append(setting)
+        if app not in self.apps:
+            self.apps.append(app)
+        self.speedups[(setting, app)] = speedup
+
+    def geomean(self, setting: str) -> float:
+        return geometric_mean(
+            self.speedups[(setting, app)] for app in self.apps
+        )
+
+    def render(self) -> str:
+        header = ["setting"] + self.apps + ["geomean"]
+        rows = [header]
+        for s in self.settings:
+            row = [s]
+            for app in self.apps:
+                row.append(f"{self.speedups[(s, app)]:.2f}")
+            row.append(f"{self.geomean(s):.2f}")
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = [self.title]
+        for i, row in enumerate(rows):
+            lines.append("  ".join(c.ljust(widths[j]) for j, c in enumerate(row)))
+            if i == 0:
+                lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        return "\n".join(lines)
+
+
+def run_window_ablation(
+    config: ExperimentConfig | None = None,
+    window_sizes: tuple[int, ...] = (64, 256, 1024, 4096),
+    apps: tuple[str, ...] = ABLATION_APPS,
+) -> AblationResult:
+    """RGP+LAS speedup vs LAS as a function of the window-size limit."""
+    config = config or ExperimentConfig.quick()
+    result = AblationResult(title="Ablation A: RGP+LAS window size (speedup vs LAS)")
+    for app_name in apps:
+        program = build_program(config, app_name)
+        base = run_policy(config, program, config.baseline)
+        for w in window_sizes:
+            stats = run_policy(
+                config, program, f"rgp+las(w={w})",
+                lambda w=w: RGPScheduler(window_size=w, propagation="las"),
+            )
+            result.add(f"window={w}", app_name,
+                       base.makespan_mean / stats.makespan_mean)
+    return result
+
+
+def run_partitioner_ablation(
+    config: ExperimentConfig | None = None,
+    partitioners: tuple[str, ...] = ("drb", "multilevel", "spectral",
+                                     "random", "cyclic"),
+    apps: tuple[str, ...] = ABLATION_APPS,
+) -> AblationResult:
+    """RGP+LAS speedup vs LAS with different window partitioners."""
+    config = config or ExperimentConfig.quick()
+    result = AblationResult(
+        title="Ablation B: window partitioner (RGP+LAS speedup vs LAS)"
+    )
+    for app_name in apps:
+        program = build_program(config, app_name)
+        base = run_policy(config, program, config.baseline)
+        for pname in partitioners:
+            stats = run_policy(
+                config, program, f"rgp+las/{pname}",
+                lambda p=pname: RGPScheduler(
+                    partitioner=partitioner_by_name(p),
+                    window_size=config.window_size,
+                    propagation="las",
+                ),
+            )
+            result.add(pname, app_name,
+                       base.makespan_mean / stats.makespan_mean)
+    return result
+
+
+def run_socket_ablation(
+    config: ExperimentConfig | None = None,
+    socket_counts: tuple[int, ...] = (2, 4, 8),
+    apps: tuple[str, ...] = ("jacobi", "nstream"),
+) -> AblationResult:
+    """RGP+LAS speedup vs LAS as NUMA scale grows (cores fixed at 32)."""
+    config = config or ExperimentConfig.quick()
+    result = AblationResult(
+        title="Ablation C: socket count at 32 cores (RGP+LAS speedup vs LAS)"
+    )
+    for n_sockets in socket_counts:
+        topo = custom(n_sockets, 32 // n_sockets, remote=21.0,
+                      name=f"{n_sockets}-socket")
+        cfg = ExperimentConfig(
+            topology=topo,
+            remote_penalty_exp=config.remote_penalty_exp,
+            link_fraction=config.link_fraction,
+            core_fraction=config.core_fraction,
+            window_size=config.window_size,
+            seeds=config.seeds,
+            app_params={k: dict(v) for k, v in config.app_params.items()},
+            steal=config.steal,
+        )
+        for app_name in apps:
+            program = build_program(cfg, app_name)
+            base = run_policy(cfg, program, cfg.baseline)
+            stats = run_policy(cfg, program, "rgp+las")
+            result.add(f"{n_sockets} sockets", app_name,
+                       base.makespan_mean / stats.makespan_mean)
+    return result
+
+
+def run_las_ablation(
+    config: ExperimentConfig | None = None,
+    apps: tuple[str, ...] = ABLATION_APPS,
+) -> AblationResult:
+    """LAS variants vs default LAS: poster-literal cold start, first-fit
+    tie-break.  Values are speedups of the variant over default LAS."""
+    config = config or ExperimentConfig.quick()
+    variants = {
+        "drebes (thr=0)": dict(random_threshold=0.0),
+        "poster (thr=0.5)": dict(random_threshold=0.5),
+        "tie=first": dict(tie_break="first"),
+    }
+    result = AblationResult(title="Ablation D: LAS variants (speedup vs default LAS)")
+    for app_name in apps:
+        program = build_program(config, app_name)
+        base = run_policy(config, program, config.baseline)
+        for vname, kwargs in variants.items():
+            stats = run_policy(
+                config, program, f"las/{vname}",
+                lambda kw=kwargs: LASScheduler(**kw),
+            )
+            result.add(vname, app_name,
+                       base.makespan_mean / stats.makespan_mean)
+    return result
+
+
+def run_propagation_ablation(
+    config: ExperimentConfig | None = None,
+    apps: tuple[str, ...] = ABLATION_APPS,
+    window_fraction: float = 0.15,
+) -> AblationResult:
+    """RGP propagation policies (speedup vs LAS).
+
+    The window is deliberately small (``window_fraction`` of each
+    program) so that most tasks actually go through the propagation path —
+    with the default full-program window every policy would be identical.
+    """
+    config = config or ExperimentConfig.quick()
+    result = AblationResult(
+        title="Ablation E: RGP propagation policy (speedup vs LAS, "
+              f"window = {window_fraction:.0%} of program)"
+    )
+    for app_name in apps:
+        program = build_program(config, app_name)
+        window = max(8, int(program.n_tasks * window_fraction))
+        base = run_policy(config, program, config.baseline)
+        for prop in ("las", "repartition", "cyclic", "random"):
+            stats = run_policy(
+                config, program, f"rgp/{prop}(w={window})",
+                lambda p=prop, w=window: RGPScheduler(
+                    window_size=w, propagation=p
+                ),
+            )
+            result.add(prop, app_name,
+                       base.makespan_mean / stats.makespan_mean)
+    return result

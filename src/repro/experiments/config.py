@@ -1,0 +1,115 @@
+"""Experiment configuration: machine, cost model, workloads, protocol.
+
+The single place where the reproduction's calibration lives.  The paper's
+platform (bullion S16) is fixed; the two free parameters of the cost model
+are:
+
+* ``remote_penalty_exp`` — how much worse remote bandwidth is than the SLIT
+  ratio suggests (BCS-glued machines degrade super-linearly with distance);
+* per-app problem sizes — scaled down so a full Figure 1 run takes minutes,
+  keeping the compute/memory intensity ratios of the originals.
+
+EXPERIMENTS.md records the calibration and the resulting paper-vs-measured
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ExperimentError
+from ..machine.interconnect import Interconnect
+from ..machine.presets import bullion_s16
+from ..machine.topology import NumaTopology
+
+#: Figure 1 policy set (LAS is the normalisation baseline).
+FIGURE1_POLICIES = ("dfifo", "rgp+las", "ep")
+BASELINE_POLICY = "las"
+
+#: Figure 1 application order (as plotted in the paper).
+FIGURE1_APPS = (
+    "cg",
+    "gauss-seidel",
+    "histogram",
+    "jacobi",
+    "nstream",
+    "qr",
+    "redblack",
+    "symminv",
+)
+
+#: Paper-scale problem sizes (scaled to simulate in minutes, intensity kept).
+PAPER_APP_PARAMS: dict[str, dict[str, Any]] = {
+    "cg": dict(nt=10, tile=96, iterations=6),
+    "gauss-seidel": dict(nt=16, tile=128, sweeps=8),
+    "histogram": dict(nt=16, tile=64, n_bins=16, repeats=6),
+    "jacobi": dict(nt=12, tile=128, sweeps=8),
+    "nstream": dict(n_blocks=40, block_elems=64 * 1024, iterations=12),
+    "qr": dict(nt=10, tile=96),
+    "redblack": dict(nt=16, tile=128, sweeps=6),
+    "symminv": dict(nt=10, tile=96),
+}
+
+#: Reduced sizes for quick runs / CI benchmarks.
+QUICK_APP_PARAMS: dict[str, dict[str, Any]] = {
+    "cg": dict(nt=4, tile=128, iterations=4),
+    "gauss-seidel": dict(nt=8, tile=128, sweeps=4),
+    "histogram": dict(nt=8, tile=64, n_bins=16, repeats=2),
+    "jacobi": dict(nt=8, tile=128, sweeps=4),
+    "nstream": dict(n_blocks=48, block_elems=32 * 1024, iterations=6),
+    "qr": dict(nt=6, tile=96),
+    "redblack": dict(nt=8, tile=128, sweeps=4),
+    "symminv": dict(nt=6, tile=96),
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to run the evaluation."""
+
+    topology: NumaTopology = field(default_factory=bullion_s16)
+    remote_penalty_exp: float = 1.0
+    link_fraction: float | None = 0.45
+    core_fraction: float | None = 0.30
+    window_size: int = 1024
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4)
+    app_params: dict[str, dict[str, Any]] = field(
+        default_factory=lambda: {k: dict(v) for k, v in PAPER_APP_PARAMS.items()}
+    )
+    apps: tuple[str, ...] = FIGURE1_APPS
+    policies: tuple[str, ...] = FIGURE1_POLICIES
+    baseline: str = BASELINE_POLICY
+    steal: bool | str = "near"
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ExperimentError("need at least one seed")
+        if self.baseline in self.policies:
+            raise ExperimentError(
+                "baseline policy must not be listed in policies (it is "
+                "always run)"
+            )
+
+    def interconnect(self) -> Interconnect:
+        return Interconnect(
+            self.topology,
+            remote_penalty_exp=self.remote_penalty_exp,
+            link_fraction=self.link_fraction,
+            core_fraction=self.core_fraction,
+        )
+
+    @classmethod
+    def paper(cls, **overrides) -> "ExperimentConfig":
+        """The full Figure 1 configuration."""
+        return cls(**overrides)
+
+    @classmethod
+    def quick(cls, **overrides) -> "ExperimentConfig":
+        """Smaller sizes + fewer seeds, for CI and benchmarks."""
+        defaults = dict(
+            app_params={k: dict(v) for k, v in QUICK_APP_PARAMS.items()},
+            seeds=(0, 1, 2),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)

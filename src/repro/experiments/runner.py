@@ -1,0 +1,89 @@
+"""Generic experiment runner: (app, policy, seeds) -> aggregated numbers.
+
+Programs are built once per app and reused across policies and seeds (the
+simulator never mutates a program), matching the paper's protocol of
+comparing policies on identical TDGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps import make_app
+from ..errors import ExperimentError
+from ..runtime.program import TaskProgram
+from ..runtime.simulator import Simulator
+from ..schedulers import make_scheduler
+from .config import ExperimentConfig
+
+
+@dataclass(frozen=True)
+class PolicyStats:
+    """Aggregate over seeds of one (program, policy) pair."""
+
+    policy: str
+    makespans: tuple[float, ...]
+    remote_fractions: tuple[float, ...]
+
+    @property
+    def makespan_mean(self) -> float:
+        return float(np.mean(self.makespans))
+
+    @property
+    def makespan_std(self) -> float:
+        return float(np.std(self.makespans))
+
+    @property
+    def remote_fraction_mean(self) -> float:
+        return float(np.mean(self.remote_fractions))
+
+
+def build_program(config: ExperimentConfig, app_name: str) -> TaskProgram:
+    """Instantiate and build one benchmark at the configured size."""
+    try:
+        params = config.app_params[app_name]
+    except KeyError:
+        raise ExperimentError(f"no parameters configured for app {app_name!r}") from None
+    app = make_app(app_name, **params)
+    return app.build(config.topology.n_sockets)
+
+
+def scheduler_kwargs(config: ExperimentConfig, policy: str) -> dict:
+    """Policy construction arguments implied by the config."""
+    if policy in ("rgp", "rgp+las"):
+        return {"window_size": config.window_size}
+    return {}
+
+
+def run_policy(
+    config: ExperimentConfig,
+    program: TaskProgram,
+    policy: str,
+    scheduler_factory=None,
+) -> PolicyStats:
+    """Simulate ``program`` under ``policy`` for every configured seed."""
+    makespans = []
+    remotes = []
+    for seed in config.seeds:
+        if scheduler_factory is not None:
+            sched = scheduler_factory()
+        else:
+            sched = make_scheduler(policy, **scheduler_kwargs(config, policy))
+        sim = Simulator(
+            program,
+            config.topology,
+            sched,
+            interconnect=config.interconnect(),
+            steal=config.steal,
+            seed=seed,
+        )
+        result = sim.run()
+        makespans.append(result.makespan)
+        remotes.append(result.remote_fraction)
+    return PolicyStats(
+        policy=policy,
+        makespans=tuple(makespans),
+        remote_fractions=tuple(remotes),
+    )

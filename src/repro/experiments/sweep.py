@@ -1,0 +1,124 @@
+"""Generic parameter sweeps: cartesian grids of (app, policy, knob) runs.
+
+A light harness for exploratory studies beyond the fixed ablations:
+
+    grid = ParameterGrid(app=["nstream"], policy=["las", "rgp+las"],
+                         window_size=[64, 1024])
+    rows = run_sweep(config, grid)
+
+Each row carries the full parameter assignment plus the measured
+statistics, ready for a DataFrame or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..errors import ExperimentError
+from ..schedulers import make_scheduler
+from .config import ExperimentConfig
+from .runner import build_program, run_policy
+
+#: Grid keys consumed by the harness itself (everything else goes to the
+#: scheduler constructor).
+_RESERVED = ("app", "policy")
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """Cartesian product over named parameter lists."""
+
+    axes: dict[str, list[Any]] = field(default_factory=dict)
+
+    def __init__(self, **axes: list[Any]) -> None:
+        for key, values in axes.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ExperimentError(
+                    f"grid axis {key!r} must be a non-empty list"
+                )
+        if "app" not in axes or "policy" not in axes:
+            raise ExperimentError("grid needs 'app' and 'policy' axes")
+        object.__setattr__(self, "axes", {k: list(v) for k, v in axes.items()})
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        keys = list(self.axes)
+        for combo in itertools.product(*(self.axes[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One grid point plus its measurements."""
+
+    params: dict[str, Any]
+    makespan_mean: float
+    makespan_std: float
+    remote_fraction: float
+
+    def as_flat_dict(self) -> dict[str, Any]:
+        out = dict(self.params)
+        out.update(
+            makespan_mean=self.makespan_mean,
+            makespan_std=self.makespan_std,
+            remote_fraction=self.remote_fraction,
+        )
+        return out
+
+
+def run_sweep(
+    config: ExperimentConfig,
+    grid: ParameterGrid,
+    progress=None,
+) -> list[SweepRow]:
+    """Run every grid point; scheduler kwargs come from the extra axes."""
+    rows: list[SweepRow] = []
+    programs: dict[str, Any] = {}
+    for point in grid.points():
+        app_name = point["app"]
+        policy = point["policy"]
+        sched_kwargs = {k: v for k, v in point.items() if k not in _RESERVED}
+        if app_name not in programs:
+            programs[app_name] = build_program(config, app_name)
+        program = programs[app_name]
+
+        def factory(policy=policy, kwargs=sched_kwargs):
+            return make_scheduler(policy, **kwargs)
+
+        try:
+            stats = run_policy(config, program, policy, factory)
+        except TypeError as exc:
+            raise ExperimentError(
+                f"policy {policy!r} rejected kwargs {sched_kwargs}: {exc}"
+            ) from None
+        row = SweepRow(
+            params=point,
+            makespan_mean=stats.makespan_mean,
+            makespan_std=stats.makespan_std,
+            remote_fraction=stats.remote_fraction_mean,
+        )
+        rows.append(row)
+        if progress:
+            progress(f"{point} -> {stats.makespan_mean:.4g}")
+    return rows
+
+
+def write_sweep_csv(rows: list[SweepRow], path: str | Path) -> None:
+    """Dump sweep rows as CSV (one column per parameter + metrics)."""
+    if not rows:
+        raise ExperimentError("no sweep rows to write")
+    flat = [r.as_flat_dict() for r in rows]
+    fields = sorted({k for row in flat for k in row})
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(flat)

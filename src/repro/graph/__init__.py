@@ -1,0 +1,54 @@
+"""Graph substrate: the task dependency graph and its analyses.
+
+The TDG is the runtime metadata the paper's contribution consumes (DESIGN.md
+§3): an append-only DAG whose edge weights are dependence bytes.  The CSR
+view feeds the partitioners; generators provide known-structure DAGs for
+tests and synthetic studies.
+"""
+
+from .analysis import (
+    GraphSummary,
+    critical_path,
+    critical_path_weight,
+    is_acyclic,
+    level_widths,
+    levels,
+    summarize,
+    topological_order,
+    weakly_connected_components,
+)
+from .csr import CSRGraph
+from .dot import to_dot, write_dot
+from .generators import (
+    binary_in_tree,
+    chain,
+    fork_join,
+    grid_graph,
+    independent_chains,
+    random_layered,
+    stencil_2d,
+)
+from .tdg import TaskGraph
+
+__all__ = [
+    "CSRGraph",
+    "GraphSummary",
+    "TaskGraph",
+    "binary_in_tree",
+    "chain",
+    "critical_path",
+    "critical_path_weight",
+    "fork_join",
+    "grid_graph",
+    "independent_chains",
+    "is_acyclic",
+    "level_widths",
+    "levels",
+    "random_layered",
+    "stencil_2d",
+    "summarize",
+    "to_dot",
+    "topological_order",
+    "weakly_connected_components",
+    "write_dot",
+]

@@ -1,0 +1,164 @@
+"""Structural analyses of task dependency graphs.
+
+These are the quantities a scheduling study cares about: topological order
+(execution legality), critical path (the lower bound no scheduler can beat),
+levels (wavefront width / available parallelism), and connectivity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError
+from .tdg import TaskGraph
+
+
+def topological_order(tdg: TaskGraph) -> list[int]:
+    """Kahn topological order (by construction ids already are one, but this
+    validates the invariant independently and is used by the executor)."""
+    indeg = [tdg.in_degree(v) for v in tdg.nodes()]
+    queue = deque(v for v in tdg.nodes() if indeg[v] == 0)
+    order: list[int] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for dst in tdg.successors(v):
+            indeg[dst] -= 1
+            if indeg[dst] == 0:
+                queue.append(dst)
+    if len(order) != tdg.n_nodes:
+        raise GraphError("graph contains a cycle")  # unreachable by design
+    return order
+
+
+def is_acyclic(tdg: TaskGraph) -> bool:
+    """True iff the graph has a topological order (always, by construction)."""
+    try:
+        topological_order(tdg)
+        return True
+    except GraphError:
+        return False
+
+
+def levels(tdg: TaskGraph) -> np.ndarray:
+    """Level (longest hop distance from any root) of each node."""
+    lvl = np.zeros(tdg.n_nodes, dtype=np.int64)
+    for v in topological_order(tdg):
+        for dst in tdg.successors(v):
+            if lvl[v] + 1 > lvl[dst]:
+                lvl[dst] = lvl[v] + 1
+    return lvl
+
+
+def level_widths(tdg: TaskGraph) -> np.ndarray:
+    """Number of nodes at each level — the DAG's parallelism profile."""
+    lvl = levels(tdg)
+    if len(lvl) == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.bincount(lvl)
+
+
+def critical_path_weight(tdg: TaskGraph) -> float:
+    """Longest path weight, counting node weights only.
+
+    With node weight = task execution time, this is the ideal makespan on
+    infinitely many local cores.
+    """
+    best = np.zeros(tdg.n_nodes, dtype=np.float64)
+    for v in topological_order(tdg):
+        w = tdg.node_weight(v)
+        incoming = tdg.predecessors(v)
+        if incoming:
+            best[v] = w + max(best[p] for p in incoming)
+        else:
+            best[v] = w
+    return float(best.max()) if tdg.n_nodes else 0.0
+
+
+def critical_path(tdg: TaskGraph) -> list[int]:
+    """One longest (node-weighted) path, as a list of node ids."""
+    if tdg.n_nodes == 0:
+        return []
+    best = np.zeros(tdg.n_nodes, dtype=np.float64)
+    prev = np.full(tdg.n_nodes, -1, dtype=np.int64)
+    for v in topological_order(tdg):
+        w = tdg.node_weight(v)
+        incoming = tdg.predecessors(v)
+        if incoming:
+            p = max(incoming, key=lambda u: best[u])
+            best[v] = w + best[p]
+            prev[v] = p
+        else:
+            best[v] = w
+    v = int(np.argmax(best))
+    path = [v]
+    while prev[v] != -1:
+        v = int(prev[v])
+        path.append(v)
+    path.reverse()
+    return path
+
+
+def weakly_connected_components(tdg: TaskGraph) -> list[list[int]]:
+    """Connected components ignoring edge direction, each sorted by id."""
+    seen = [False] * tdg.n_nodes
+    comps: list[list[int]] = []
+    for start in tdg.nodes():
+        if seen[start]:
+            continue
+        comp = []
+        stack = [start]
+        seen[start] = True
+        while stack:
+            v = stack.pop()
+            comp.append(v)
+            for nbr in list(tdg.successors(v)) + list(tdg.predecessors(v)):
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    stack.append(nbr)
+        comps.append(sorted(comp))
+    return comps
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Headline numbers describing a TDG."""
+
+    n_nodes: int
+    n_edges: int
+    total_work: float
+    total_edge_bytes: float
+    critical_path: float
+    n_levels: int
+    max_width: int
+    avg_parallelism: float
+    n_components: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"nodes={self.n_nodes} edges={self.n_edges} "
+            f"work={self.total_work:.3g} cp={self.critical_path:.3g} "
+            f"levels={self.n_levels} max_width={self.max_width} "
+            f"avg_par={self.avg_parallelism:.2f} comps={self.n_components}"
+        )
+
+
+def summarize(tdg: TaskGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for a TDG."""
+    widths = level_widths(tdg)
+    total_work = sum(tdg.node_weight(v) for v in tdg.nodes())
+    cp = critical_path_weight(tdg)
+    return GraphSummary(
+        n_nodes=tdg.n_nodes,
+        n_edges=tdg.n_edges,
+        total_work=total_work,
+        total_edge_bytes=tdg.total_edge_weight,
+        critical_path=cp,
+        n_levels=len(widths),
+        max_width=int(widths.max()) if len(widths) else 0,
+        avg_parallelism=(total_work / cp) if cp > 0 else 0.0,
+        n_components=len(weakly_connected_components(tdg)),
+    )

@@ -1,0 +1,137 @@
+"""Compressed-sparse-row graph used by the partitioners.
+
+Partitioning works on an *undirected* weighted graph: the TDG's direction is
+irrelevant for placement (a byte moved producer->consumer costs the same as
+the reverse), so :func:`CSRGraph.from_tdg` symmetrises and coalesces edges.
+
+Layout follows the METIS/SCOTCH convention:
+
+* ``xadj``   — ``n+1`` offsets into the adjacency arrays;
+* ``adjncy`` — neighbour ids, each undirected edge appears twice;
+* ``adjwgt`` — edge weights aligned with ``adjncy``;
+* ``vwgt``   — vertex weights (task work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .tdg import TaskGraph
+
+
+class CSRGraph:
+    """Immutable undirected weighted graph in CSR form."""
+
+    __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt")
+
+    def __init__(
+        self,
+        xadj: np.ndarray,
+        adjncy: np.ndarray,
+        adjwgt: np.ndarray,
+        vwgt: np.ndarray,
+    ) -> None:
+        self.xadj = np.asarray(xadj, dtype=np.int64)
+        self.adjncy = np.asarray(adjncy, dtype=np.int64)
+        self.adjwgt = np.asarray(adjwgt, dtype=np.float64)
+        self.vwgt = np.asarray(vwgt, dtype=np.float64)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return len(self.xadj) - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges (half the adjacency length)."""
+        return len(self.adjncy) // 2
+
+    @property
+    def total_vertex_weight(self) -> float:
+        return float(self.vwgt.sum())
+
+    def degree(self, v: int) -> int:
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        return self.adjwgt[self.xadj[v] : self.xadj[v + 1]]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`GraphError`."""
+        n = self.n_vertices
+        if n < 0 or self.xadj[0] != 0:
+            raise GraphError("xadj must start at 0")
+        if np.any(np.diff(self.xadj) < 0):
+            raise GraphError("xadj must be non-decreasing")
+        if self.xadj[-1] != len(self.adjncy):
+            raise GraphError("xadj[-1] must equal len(adjncy)")
+        if len(self.adjwgt) != len(self.adjncy):
+            raise GraphError("adjwgt and adjncy lengths differ")
+        if len(self.vwgt) != n:
+            raise GraphError("vwgt length must equal vertex count")
+        if len(self.adjncy) and (
+            self.adjncy.min() < 0 or self.adjncy.max() >= n
+        ):
+            raise GraphError("adjacency references out-of-range vertex")
+        if np.any(self.adjwgt < 0) or np.any(self.vwgt < 0):
+            raise GraphError("weights must be non-negative")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n_vertices: int,
+        edges: list[tuple[int, int, float]],
+        vwgt: np.ndarray | None = None,
+    ) -> "CSRGraph":
+        """Build from an undirected edge list, coalescing duplicates.
+
+        ``(u, v, w)`` and ``(v, u, w')`` (and repeats) merge into a single
+        undirected edge of weight ``w + w'``.  Self-loops are dropped.
+        """
+        merged: dict[tuple[int, int], float] = {}
+        for u, v, w in edges:
+            if not (0 <= u < n_vertices and 0 <= v < n_vertices):
+                raise GraphError(f"edge ({u},{v}) out of range")
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            merged[key] = merged.get(key, 0.0) + float(w)
+
+        counts = np.zeros(n_vertices + 1, dtype=np.int64)
+        for u, v in merged:
+            counts[u + 1] += 1
+            counts[v + 1] += 1
+        xadj = np.cumsum(counts)
+        adjncy = np.zeros(xadj[-1], dtype=np.int64)
+        adjwgt = np.zeros(xadj[-1], dtype=np.float64)
+        cursor = xadj[:-1].copy()
+        for (u, v), w in merged.items():
+            adjncy[cursor[u]] = v
+            adjwgt[cursor[u]] = w
+            cursor[u] += 1
+            adjncy[cursor[v]] = u
+            adjwgt[cursor[v]] = w
+            cursor[v] += 1
+        if vwgt is None:
+            vwgt = np.ones(n_vertices, dtype=np.float64)
+        return cls(xadj, adjncy, adjwgt, np.asarray(vwgt, dtype=np.float64))
+
+    @classmethod
+    def from_tdg(cls, tdg: TaskGraph) -> "CSRGraph":
+        """Symmetrised CSR view of a task dependency graph."""
+        vwgt = np.fromiter(
+            (tdg.node_weight(v) for v in tdg.nodes()),
+            dtype=np.float64,
+            count=tdg.n_nodes,
+        )
+        edges = [(u, v, w) for u, v, w in tdg.edges()]
+        return cls.from_edges(tdg.n_nodes, edges, vwgt)
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n_vertices={self.n_vertices}, n_edges={self.n_edges})"

@@ -1,0 +1,64 @@
+"""Graphviz DOT export of task dependency graphs.
+
+For inspecting what the runtime derived and what the partitioner decided:
+``to_dot(tdg, parts=...)`` colours nodes by socket, scales edge pen width
+by dependence bytes, and labels nodes with the task names.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .tdg import TaskGraph
+
+#: Colour wheel for up to 16 sockets (Graphviz X11 names).
+_COLORS = (
+    "lightblue", "lightcoral", "palegreen", "khaki",
+    "plum", "lightsalmon", "paleturquoise", "lightpink",
+    "wheat", "lightgray", "aquamarine", "thistle",
+    "peachpuff", "powderblue", "mistyrose", "honeydew",
+)
+
+
+def to_dot(
+    tdg: TaskGraph,
+    parts: np.ndarray | None = None,
+    max_nodes: int = 2000,
+    name: str = "tdg",
+) -> str:
+    """Render the TDG as a DOT digraph string.
+
+    ``parts`` (socket per node) colours the nodes; graphs larger than
+    ``max_nodes`` are truncated (DOT rendering degrades far earlier).
+    """
+    n = min(tdg.n_nodes, max_nodes)
+    max_w = max((w for _, _, w in tdg.edges()), default=1.0) or 1.0
+    lines = [f"digraph {name} {{", "  rankdir=TB;",
+             '  node [style=filled, shape=box, fontsize=10];']
+    if tdg.n_nodes > max_nodes:
+        lines.append(f'  // truncated to first {max_nodes} of {tdg.n_nodes} nodes')
+    for v in range(n):
+        label = tdg.label(v) or f"t{v}"
+        color = "white"
+        if parts is not None and v < len(parts):
+            color = _COLORS[int(parts[v]) % len(_COLORS)]
+        lines.append(f'  n{v} [label="{label}", fillcolor="{color}"];')
+    for src, dst, w in tdg.edges():
+        if src >= n or dst >= n:
+            continue
+        pen = 0.5 + 3.0 * (w / max_w)
+        lines.append(f"  n{src} -> n{dst} [penwidth={pen:.2f}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(
+    tdg: TaskGraph,
+    path: str | Path,
+    parts: np.ndarray | None = None,
+    max_nodes: int = 2000,
+) -> None:
+    """Write :func:`to_dot` output to ``path``."""
+    Path(path).write_text(to_dot(tdg, parts=parts, max_nodes=max_nodes))

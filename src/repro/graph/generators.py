@@ -1,0 +1,164 @@
+"""Synthetic DAG generators.
+
+Used by partitioner tests (graphs with known good cuts), by property-based
+tests (random DAGs), and by the synthetic-workload example.  All generators
+are deterministic given their arguments (plus ``seed`` where applicable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .tdg import TaskGraph
+
+
+def chain(length: int, node_weight: float = 1.0, edge_bytes: float = 1.0) -> TaskGraph:
+    """A single dependence chain of ``length`` tasks."""
+    if length < 0:
+        raise GraphError("length must be >= 0")
+    g = TaskGraph()
+    prev = None
+    for _ in range(length):
+        v = g.add_node(node_weight)
+        if prev is not None:
+            g.add_edge(prev, v, edge_bytes)
+        prev = v
+    return g
+
+
+def independent_chains(
+    n_chains: int, length: int, node_weight: float = 1.0, edge_bytes: float = 1.0
+) -> TaskGraph:
+    """``n_chains`` disjoint chains — the NStream-like extreme.
+
+    The optimal k-way partition assigns whole chains to parts; any cut edge
+    is pure loss, which makes this the canonical partitioner sanity check.
+    """
+    g = TaskGraph()
+    for _ in range(n_chains):
+        prev = None
+        for _ in range(length):
+            v = g.add_node(node_weight)
+            if prev is not None:
+                g.add_edge(prev, v, edge_bytes)
+            prev = v
+    return g
+
+
+def fork_join(
+    width: int, n_phases: int, node_weight: float = 1.0, edge_bytes: float = 1.0
+) -> TaskGraph:
+    """Repeated fork-join: source -> ``width`` parallel tasks -> sink -> ...
+
+    Models barrier-style OpenMP programs.
+    """
+    g = TaskGraph()
+    source = g.add_node(node_weight, "source")
+    for _ in range(n_phases):
+        mids = []
+        for _ in range(width):
+            v = g.add_node(node_weight)
+            g.add_edge(source, v, edge_bytes)
+            mids.append(v)
+        sink = g.add_node(node_weight, "join")
+        for v in mids:
+            g.add_edge(v, sink, edge_bytes)
+        source = sink
+    return g
+
+
+def stencil_2d(
+    nx: int,
+    ny: int,
+    n_sweeps: int,
+    node_weight: float = 1.0,
+    edge_bytes: float = 1.0,
+) -> TaskGraph:
+    """Jacobi-style 2-D stencil DAG: each sweep's (i, j) block depends on the
+    previous sweep's (i, j) and its 4 neighbours."""
+    if nx < 1 or ny < 1 or n_sweeps < 1:
+        raise GraphError("stencil dimensions must be positive")
+    g = TaskGraph()
+    prev: list[list[int]] = []
+    for s in range(n_sweeps):
+        cur: list[list[int]] = []
+        for i in range(nx):
+            row = []
+            for j in range(ny):
+                v = g.add_node(node_weight, f"s{s}_{i}_{j}")
+                row.append(v)
+                if s > 0:
+                    g.add_edge(prev[i][j], v, edge_bytes)
+                    for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                        ni, nj = i + di, j + dj
+                        if 0 <= ni < nx and 0 <= nj < ny:
+                            g.add_edge(prev[ni][nj], v, edge_bytes / 4.0)
+            cur.append(row)
+        prev = cur
+    return g
+
+
+def binary_in_tree(depth: int, node_weight: float = 1.0, edge_bytes: float = 1.0) -> TaskGraph:
+    """Reduction tree: 2^depth leaves combined pairwise down to one root."""
+    if depth < 0:
+        raise GraphError("depth must be >= 0")
+    g = TaskGraph()
+    frontier = [g.add_node(node_weight, "leaf") for _ in range(2**depth)]
+    while len(frontier) > 1:
+        nxt = []
+        for a, b in zip(frontier[0::2], frontier[1::2]):
+            v = g.add_node(node_weight, "combine")
+            g.add_edge(a, v, edge_bytes)
+            g.add_edge(b, v, edge_bytes)
+            nxt.append(v)
+        frontier = nxt
+    return g
+
+
+def random_layered(
+    n_layers: int,
+    width: int,
+    edge_prob: float = 0.3,
+    seed: int = 0,
+    max_weight: float = 4.0,
+) -> TaskGraph:
+    """Random layered DAG: edges only go layer ``l`` -> ``l+1``.
+
+    Node and edge weights are drawn uniformly; with ``edge_prob`` each
+    (u, v) cross-layer pair is connected.  Isolated non-first-layer nodes
+    get one incoming edge so every node past layer 0 has a parent.
+    """
+    if not 0.0 <= edge_prob <= 1.0:
+        raise GraphError("edge_prob must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    g = TaskGraph()
+    layers: list[list[int]] = []
+    for _ in range(n_layers):
+        layers.append(
+            [g.add_node(float(rng.uniform(1.0, max_weight))) for _ in range(width)]
+        )
+    for prev_layer, cur_layer in zip(layers, layers[1:]):
+        for v in cur_layer:
+            parents = [u for u in prev_layer if rng.random() < edge_prob]
+            if not parents:
+                parents = [prev_layer[int(rng.integers(len(prev_layer)))]]
+            for u in parents:
+                g.add_edge(u, v, float(rng.uniform(1.0, max_weight)))
+    return g
+
+
+def grid_graph(nx: int, ny: int, edge_bytes: float = 1.0) -> TaskGraph:
+    """A 2-D grid with right/down edges — a planar graph whose balanced cuts
+    are well understood (cut of a k-strip partition ~ ny * (k-1))."""
+    if nx < 1 or ny < 1:
+        raise GraphError("grid dimensions must be positive")
+    g = TaskGraph()
+    ids = [[g.add_node(1.0) for _ in range(ny)] for _ in range(nx)]
+    for i in range(nx):
+        for j in range(ny):
+            if i + 1 < nx:
+                g.add_edge(ids[i][j], ids[i + 1][j], edge_bytes)
+            if j + 1 < ny:
+                g.add_edge(ids[i][j], ids[i][j + 1], edge_bytes)
+    return g

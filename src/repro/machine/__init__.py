@@ -1,0 +1,57 @@
+"""NUMA machine model: topology, page-level memory placement, interconnect.
+
+This package is the hardware substrate of the reproduction.  The paper runs
+on a real Atos bullion S16; we model its observable behaviour — where pages
+live, how fast a socket reaches each memory node, and how concurrent
+accesses share memory-controller bandwidth (see DESIGN.md §2, §4).
+"""
+
+from .interconnect import Interconnect, StreamKey
+from .memory import DEFAULT_PAGE_SIZE, UNBOUND, MemoryManager, RegionPlacement
+from .presets import (
+    DEFAULT_NODE_BANDWIDTH,
+    bullion_s16,
+    by_name,
+    custom,
+    four_socket,
+    single_socket,
+    two_socket,
+)
+from .serialize import (
+    load_topology,
+    parse_numactl_hardware,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from .topology import (
+    LOCAL_DISTANCE,
+    NumaTopology,
+    hierarchical_distance_matrix,
+    uniform_distance_matrix,
+)
+
+__all__ = [
+    "DEFAULT_NODE_BANDWIDTH",
+    "DEFAULT_PAGE_SIZE",
+    "LOCAL_DISTANCE",
+    "UNBOUND",
+    "Interconnect",
+    "MemoryManager",
+    "NumaTopology",
+    "RegionPlacement",
+    "StreamKey",
+    "bullion_s16",
+    "by_name",
+    "custom",
+    "four_socket",
+    "hierarchical_distance_matrix",
+    "load_topology",
+    "parse_numactl_hardware",
+    "save_topology",
+    "single_socket",
+    "topology_from_dict",
+    "topology_to_dict",
+    "two_socket",
+    "uniform_distance_matrix",
+]

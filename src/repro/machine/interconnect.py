@@ -1,0 +1,241 @@
+"""Bandwidth/latency model of the NUMA interconnect with contention.
+
+The simulator charges a task's memory traffic as fluid *streams*: one stream
+per (task, memory node) pair.  The interconnect answers one question: given
+which streams are active right now, at what rate (bytes per time unit) does
+each stream progress?
+
+Model (processor sharing per memory controller):
+
+* each memory node ``n`` has a peak bandwidth ``B_n`` (from the topology);
+* a stream from socket ``s`` to node ``n`` has a *distance efficiency*
+  ``e = bandwidth_factor(s, n) = local_dist / dist(s, n)`` — remote links
+  move fewer bytes per unit time;
+* a node serving ``k`` concurrent streams gives each an equal share of its
+  controller, so the stream's rate is ``e * B_n / k``.
+
+This captures the two first-order NUMA effects the paper exploits: remote
+accesses are slower (distance factor), and piling data on one node serialises
+all its consumers (contention) — the reason locality-aware placement must
+*also* balance data across nodes to win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .topology import NumaTopology
+
+
+@dataclass(frozen=True)
+class StreamKey:
+    """One fluid stream: a task (``group``) on ``socket`` reading/writing
+    memory node ``node``.  Streams with the same group belong to the same
+    running task and share that task's core bandwidth."""
+
+    socket: int
+    node: int
+    group: int = 0
+
+
+def _waterfill(caps: np.ndarray, budget: float) -> np.ndarray:
+    """Max-min fair rates under per-stream caps and a total budget.
+
+    If the caps sum to less than the budget every stream runs at its cap;
+    otherwise streams are filled lowest-cap first, each receiving at most
+    an equal share of what remains (the classic water-filling recursion).
+    """
+    total = caps.sum()
+    if total <= budget:
+        return caps.copy()
+    rates = np.empty_like(caps)
+    order = np.argsort(caps, kind="stable")
+    remaining = budget
+    left = len(caps)
+    for i in order:
+        share = remaining / left
+        r = caps[i] if caps[i] < share else share
+        rates[i] = r
+        remaining -= r
+        left -= 1
+    return rates
+
+
+class Interconnect:
+    """Computes instantaneous stream rates under processor sharing.
+
+    Parameters
+    ----------
+    topology:
+        Machine description (distances, per-node peak bandwidth).
+    remote_penalty_exp:
+        Exponent applied to the distance efficiency; ``1.0`` is the plain
+        SLIT reading, larger values model machines whose remote links
+        degrade faster than the SLIT ratio suggests (ablation knob).
+    latency_cost_per_access:
+        Fixed time charged once per (task, node) stream, scaled by
+        ``dist/local``; models the latency component of an access burst.
+    """
+
+    def __init__(
+        self,
+        topology: NumaTopology,
+        remote_penalty_exp: float = 1.0,
+        latency_cost_per_access: float = 0.0,
+        link_fraction: float | None = 0.45,
+        core_fraction: float | None = 0.35,
+    ) -> None:
+        self.topology = topology
+        self.remote_penalty_exp = float(remote_penalty_exp)
+        self.latency_cost_per_access = float(latency_cost_per_access)
+        if link_fraction is not None and link_fraction <= 0:
+            raise ValueError("link_fraction must be positive or None")
+        #: Each socket's off-socket (QPI/BCS) link bandwidth as a fraction
+        #: of a node's local bandwidth; all remote streams touching the
+        #: socket (either side) share it.  ``None`` disables the constraint.
+        self.link_fraction = link_fraction
+        if core_fraction is not None and core_fraction <= 0:
+            raise ValueError("core_fraction must be positive or None")
+        #: A single core's achievable memory bandwidth as a fraction of a
+        #: node's peak (one core cannot saturate a memory controller; with
+        #: the default 0.35 about three streaming cores do).  All streams
+        #: of one task share this budget.  ``None`` disables the constraint.
+        self.core_fraction = core_fraction
+        n = topology.n_sockets
+        # Precompute efficiency matrix eff[socket, node] in [0, 1].
+        eff = np.empty((n, n), dtype=np.float64)
+        for s in range(n):
+            for m in range(n):
+                eff[s, m] = topology.bandwidth_factor(s, m) ** self.remote_penalty_exp
+        self._eff = eff
+        self._bw = topology.node_bandwidth
+        self._link_bw = (
+            None
+            if link_fraction is None
+            else topology.node_bandwidth * float(link_fraction)
+        )
+
+    def efficiency(self, socket: int, node: int) -> float:
+        """Distance efficiency of a socket->node stream (1.0 = local)."""
+        return float(self._eff[socket, node])
+
+    def access_latency(self, socket: int, node: int) -> float:
+        """Fixed start-up cost of one stream (0 unless configured)."""
+        if self.latency_cost_per_access == 0.0:
+            return 0.0
+        d = self.topology.dist(socket, node)
+        local = self.topology.dist(node, node)
+        return self.latency_cost_per_access * d / local
+
+    def stream_rates(self, streams: list[StreamKey]) -> np.ndarray:
+        """Instantaneous rate of each active stream, aligned with input.
+
+        Max-min fair allocation (progressive filling) under three families
+        of constraints:
+
+        * per-stream cap ``efficiency * B_n`` — a single stream cannot beat
+          its distance-degraded point-to-point bandwidth;
+        * per-node budget ``B_n`` — the memory controller;
+        * per-socket link budget ``link_fraction * B_s`` — all *remote*
+          streams entering or leaving a socket share its interconnect link
+          (this is what makes scattered placements pay an aggregate price,
+          not just a per-stream one);
+        * per-task budget ``core_fraction * B`` — all streams of one task
+          (= one core) share the core's achievable bandwidth.
+
+        All unfrozen streams grow at the same rate; when a resource
+        saturates, its streams freeze; bandwidth they cannot absorb keeps
+        flowing to the others (water-filling).
+        """
+        if not streams:
+            return np.empty(0, dtype=np.float64)
+        n = len(streams)
+        nodes = np.fromiter((s.node for s in streams), dtype=np.int64, count=n)
+        sockets = np.fromiter((s.socket for s in streams), dtype=np.int64, count=n)
+        caps = self._eff[sockets, nodes] * self._bw[nodes]
+        remote = sockets != nodes
+
+        n_sock = self.topology.n_sockets
+        rates = np.zeros(n, dtype=np.float64)
+        active = np.ones(n, dtype=bool)
+        rem_node = self._bw.astype(np.float64).copy()
+        rem_link = self._link_bw.copy() if self._link_bw is not None else None
+        rem_core = None
+        groups = None
+        if self.core_fraction is not None:
+            groups = np.fromiter(
+                (s.group for s in streams), dtype=np.int64, count=n
+            )
+            _, groups = np.unique(groups, return_inverse=True)
+            n_groups = int(groups.max()) + 1
+            # Core budget scaled by the *local* node bandwidth of the socket.
+            per_stream = self.core_fraction * self._bw[sockets]
+            core_budget0 = np.zeros(n_groups)
+            np.maximum.at(core_budget0, groups, per_stream)
+            rem_core = core_budget0.copy()
+        eps = 1e-12
+
+        for _ in range(2 * n + 2 * n_sock + 2):  # bounded; each pass freezes >=1
+            if not active.any():
+                break
+            idx = np.flatnonzero(active)
+            # Uniform growth delta limited by the tightest constraint.
+            node_users = np.bincount(nodes[idx], minlength=n_sock)
+            deltas = [float((caps[idx] - rates[idx]).min())]
+            used_nodes = np.flatnonzero(node_users)
+            deltas.append(float((rem_node[used_nodes] / node_users[used_nodes]).min()))
+            link_users = None
+            if rem_link is not None:
+                ridx = idx[remote[idx]]
+                if len(ridx):
+                    link_users = (
+                        np.bincount(sockets[ridx], minlength=n_sock)
+                        + np.bincount(nodes[ridx], minlength=n_sock)
+                    )
+                    used_links = np.flatnonzero(link_users)
+                    deltas.append(
+                        float((rem_link[used_links] / link_users[used_links]).min())
+                    )
+            group_users = None
+            if rem_core is not None:
+                group_users = np.bincount(groups[idx], minlength=len(rem_core))
+                used_groups = np.flatnonzero(group_users)
+                deltas.append(
+                    float((rem_core[used_groups] / group_users[used_groups]).min())
+                )
+            delta = max(0.0, min(deltas))
+            rates[idx] += delta
+            rem_node -= delta * node_users
+            if rem_link is not None and link_users is not None:
+                rem_link -= delta * link_users
+            if rem_core is not None:
+                rem_core -= delta * group_users
+            # Freeze: cap reached or any used resource saturated.
+            frozen = rates[idx] >= caps[idx] - eps
+            frozen |= rem_node[nodes[idx]] <= eps * self._bw[nodes[idx]]
+            if rem_link is not None:
+                sat_link = rem_link <= eps * np.maximum(self._link_bw, 1.0)
+                frozen |= remote[idx] & (sat_link[sockets[idx]] | sat_link[nodes[idx]])
+            if rem_core is not None:
+                sat_core = rem_core <= eps * np.maximum(core_budget0, 1.0)
+                frozen |= sat_core[groups[idx]]
+            if not frozen.any():
+                frozen[:] = True  # numerical stall guard: freeze everything
+            active[idx[frozen]] = False
+        # Every stream must end with a strictly positive rate.
+        return np.maximum(rates, eps)
+
+    def best_case_time(self, socket: int, bytes_per_node: np.ndarray) -> float:
+        """Uncontended time for a task on ``socket`` to move its traffic.
+
+        Used by cost estimators (not by the simulator, which applies real
+        contention): sum over nodes of bytes / (B_n * efficiency).
+        """
+        t = 0.0
+        for node, nbytes in enumerate(np.asarray(bytes_per_node)):
+            if nbytes > 0:
+                t += float(nbytes) / (self._bw[node] * self._eff[socket, node])
+                t += self.access_latency(socket, node)
+        return t

@@ -1,0 +1,117 @@
+"""Ready-made machine models, including the paper's evaluation platform.
+
+The paper evaluates on an Atos Bull **bullion S16** using 8 sockets with
+4 cores per socket.  The bullion S16 glues 2-socket modules with Bull's BCS
+(eXternal Node Controller) interconnect, so intra-module remote accesses are
+cheaper than inter-module ones — a two-level distance matrix.
+"""
+
+from __future__ import annotations
+
+from .topology import (
+    NumaTopology,
+    hierarchical_distance_matrix,
+    uniform_distance_matrix,
+)
+
+#: Peak per-node bandwidth in bytes per simulated time unit.  One simulated
+#: time unit is "the time to move DEFAULT_NODE_BANDWIDTH bytes locally";
+#: only ratios matter for speedups.
+DEFAULT_NODE_BANDWIDTH = 1_000_000.0
+
+
+def bullion_s16(
+    cores_per_socket: int = 4,
+    node_bandwidth: float = DEFAULT_NODE_BANDWIDTH,
+) -> NumaTopology:
+    """The paper's machine: 8 sockets x 4 cores, two-level NUMA.
+
+    Distances: 10 local, 16 to the sibling socket of the same module,
+    22 across modules (SLIT-style values for a BCS-glued machine).
+    """
+    return NumaTopology(
+        n_sockets=8,
+        cores_per_socket=cores_per_socket,
+        distance=hierarchical_distance_matrix(8, group_size=2, near=16.0, far=22.0),
+        node_bandwidth=node_bandwidth,
+        name="bullion-s16",
+    )
+
+
+def two_socket(
+    cores_per_socket: int = 8,
+    remote: float = 21.0,
+    node_bandwidth: float = DEFAULT_NODE_BANDWIDTH,
+) -> NumaTopology:
+    """Commodity dual-socket server (e.g. 2x Xeon), uniform remote distance."""
+    return NumaTopology(
+        n_sockets=2,
+        cores_per_socket=cores_per_socket,
+        distance=uniform_distance_matrix(2, remote=remote),
+        node_bandwidth=node_bandwidth,
+        name="two-socket",
+    )
+
+
+def four_socket(
+    cores_per_socket: int = 4,
+    remote: float = 20.0,
+    node_bandwidth: float = DEFAULT_NODE_BANDWIDTH,
+) -> NumaTopology:
+    """Four-socket glueless machine, uniform remote distance."""
+    return NumaTopology(
+        n_sockets=4,
+        cores_per_socket=cores_per_socket,
+        distance=uniform_distance_matrix(4, remote=remote),
+        node_bandwidth=node_bandwidth,
+        name="four-socket",
+    )
+
+
+def single_socket(
+    cores: int = 4, node_bandwidth: float = DEFAULT_NODE_BANDWIDTH
+) -> NumaTopology:
+    """UMA machine (degenerate case: every access is local)."""
+    return NumaTopology(
+        n_sockets=1,
+        cores_per_socket=cores,
+        distance=uniform_distance_matrix(1, remote=10.0),
+        node_bandwidth=node_bandwidth,
+        name="single-socket",
+    )
+
+
+def custom(
+    n_sockets: int,
+    cores_per_socket: int,
+    remote: float = 20.0,
+    node_bandwidth: float = DEFAULT_NODE_BANDWIDTH,
+    name: str = "custom",
+) -> NumaTopology:
+    """Uniform-distance machine with arbitrary socket/core counts."""
+    return NumaTopology(
+        n_sockets=n_sockets,
+        cores_per_socket=cores_per_socket,
+        distance=uniform_distance_matrix(n_sockets, remote=remote),
+        node_bandwidth=node_bandwidth,
+        name=name,
+    )
+
+
+PRESETS = {
+    "bullion-s16": bullion_s16,
+    "two-socket": two_socket,
+    "four-socket": four_socket,
+    "single-socket": single_socket,
+}
+
+
+def by_name(name: str, **kwargs) -> NumaTopology:
+    """Look up a preset topology by name."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine preset {name!r}; known: {sorted(PRESETS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,90 @@
+"""Topology serialisation: save/load machine models as JSON.
+
+Lets users describe their own machines (e.g. from ``numactl --hardware``
+output) and feed them to the simulator, and lets experiments record
+exactly which machine they ran on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TopologyError
+from .topology import NumaTopology
+
+
+def topology_to_dict(topology: NumaTopology) -> dict:
+    """Plain-JSON representation of a topology."""
+    return {
+        "name": topology.name,
+        "n_sockets": topology.n_sockets,
+        "cores_per_socket": topology.cores_per_socket,
+        "distance": topology.distance.tolist(),
+        "node_bandwidth": topology.node_bandwidth.tolist(),
+    }
+
+
+def topology_from_dict(doc: dict) -> NumaTopology:
+    """Inverse of :func:`topology_to_dict` (validates on construction)."""
+    try:
+        return NumaTopology(
+            n_sockets=int(doc["n_sockets"]),
+            cores_per_socket=int(doc["cores_per_socket"]),
+            distance=np.asarray(doc["distance"], dtype=np.float64),
+            node_bandwidth=np.asarray(doc["node_bandwidth"], dtype=np.float64),
+            name=str(doc.get("name", "custom")),
+        )
+    except KeyError as exc:
+        raise TopologyError(f"topology document missing field {exc}") from None
+
+
+def save_topology(topology: NumaTopology, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(topology_to_dict(topology), indent=2))
+
+
+def load_topology(path: str | Path) -> NumaTopology:
+    return topology_from_dict(json.loads(Path(path).read_text()))
+
+
+def parse_numactl_hardware(text: str, cores_per_socket: int | None = None,
+                           node_bandwidth: float = 1_000_000.0) -> NumaTopology:
+    """Build a topology from ``numactl --hardware`` output.
+
+    Parses the ``node distances:`` matrix and the ``node N cpus:`` lines
+    (used to infer cores per socket when not given).  Only the fields the
+    model needs are read; anything else is ignored.
+    """
+    lines = text.splitlines()
+    # Distance matrix.
+    try:
+        start = next(i for i, ln in enumerate(lines)
+                     if ln.strip().startswith("node distances"))
+    except StopIteration:
+        raise TopologyError("no 'node distances:' section found") from None
+    rows = []
+    for ln in lines[start + 2:]:
+        parts = ln.split()
+        if len(parts) < 2 or not parts[0].isdigit() and parts[0] != f"{len(rows)}:":
+            if not parts or ":" not in parts[0]:
+                break
+        if ":" not in parts[0]:
+            break
+        rows.append([float(x) for x in parts[1:]])
+    if not rows:
+        raise TopologyError("could not parse the distance matrix")
+    dist = np.asarray(rows)
+    n = dist.shape[0]
+    if cores_per_socket is None:
+        cpu_lines = [ln for ln in lines if "cpus:" in ln]
+        counts = [len(ln.split(":", 1)[1].split()) for ln in cpu_lines[:n]]
+        cores_per_socket = max(1, min(counts) if counts else 1)
+    return NumaTopology(
+        n_sockets=n,
+        cores_per_socket=cores_per_socket,
+        distance=dist,
+        node_bandwidth=node_bandwidth,
+        name="numactl",
+    )

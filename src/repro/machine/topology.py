@@ -1,0 +1,204 @@
+"""NUMA machine topology: sockets, cores and the inter-socket distance matrix.
+
+A :class:`NumaTopology` is a static description of the machine the simulator
+models.  It mirrors what the OS exposes through the ACPI SLIT table: one
+memory node per socket, a symmetric distance matrix whose diagonal is the
+*local* distance (conventionally 10), and a flat list of cores grouped by
+socket.
+
+Distances translate into bandwidth via
+:meth:`NumaTopology.bandwidth_factor`: accessing memory at distance ``d``
+runs at ``local_distance / d`` of the local bandwidth, the usual first-order
+reading of a SLIT entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TopologyError
+
+#: Conventional ACPI SLIT local distance.
+LOCAL_DISTANCE = 10.0
+
+
+@dataclass(frozen=True, eq=False)
+class NumaTopology:
+    """Immutable description of a NUMA machine.
+
+    Parameters
+    ----------
+    n_sockets:
+        Number of sockets; each socket owns exactly one NUMA memory node
+        with node id equal to the socket id.
+    cores_per_socket:
+        Number of cores per socket.  Core ids are dense and grouped:
+        core ``c`` belongs to socket ``c // cores_per_socket``.
+    distance:
+        ``(n_sockets, n_sockets)`` symmetric matrix of SLIT-style distances.
+        The diagonal must be the minimum of each row (local is closest).
+    node_bandwidth:
+        Peak local bandwidth of each memory node, in bytes per simulated
+        time unit.  Scalar values are broadcast to all nodes.
+    name:
+        Human-readable label used in reports.
+    """
+
+    n_sockets: int
+    cores_per_socket: int
+    distance: np.ndarray
+    node_bandwidth: np.ndarray
+    name: str = "numa-machine"
+    _socket_of_core: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise TopologyError(f"need at least one socket, got {self.n_sockets}")
+        if self.cores_per_socket < 1:
+            raise TopologyError(
+                f"need at least one core per socket, got {self.cores_per_socket}"
+            )
+        dist = np.asarray(self.distance, dtype=np.float64)
+        if dist.shape != (self.n_sockets, self.n_sockets):
+            raise TopologyError(
+                f"distance matrix shape {dist.shape} does not match "
+                f"{self.n_sockets} sockets"
+            )
+        if not np.allclose(dist, dist.T):
+            raise TopologyError("distance matrix must be symmetric")
+        if np.any(dist <= 0):
+            raise TopologyError("distances must be strictly positive")
+        if np.any(np.diag(dist)[:, None] > dist + 1e-12):
+            raise TopologyError("local (diagonal) distance must be minimal per row")
+        bw = np.broadcast_to(
+            np.asarray(self.node_bandwidth, dtype=np.float64), (self.n_sockets,)
+        ).copy()
+        if np.any(bw <= 0):
+            raise TopologyError("node bandwidth must be strictly positive")
+        dist = dist.copy()
+        dist.setflags(write=False)
+        object.__setattr__(self, "distance", dist)
+        object.__setattr__(self, "node_bandwidth", bw)
+        self.node_bandwidth.setflags(write=False)
+        socket_of_core = np.repeat(
+            np.arange(self.n_sockets), self.cores_per_socket
+        )
+        object.__setattr__(self, "_socket_of_core", socket_of_core)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        """Total number of cores in the machine."""
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of NUMA memory nodes (one per socket)."""
+        return self.n_sockets
+
+    def socket_of_core(self, core: int) -> int:
+        """Return the socket owning ``core``."""
+        if not 0 <= core < self.n_cores:
+            raise TopologyError(f"core {core} out of range [0, {self.n_cores})")
+        return int(self._socket_of_core[core])
+
+    def cores_of_socket(self, socket: int) -> range:
+        """Return the (contiguous) core-id range of ``socket``."""
+        self._check_socket(socket)
+        lo = socket * self.cores_per_socket
+        return range(lo, lo + self.cores_per_socket)
+
+    def sockets(self) -> range:
+        """Iterate over socket ids."""
+        return range(self.n_sockets)
+
+    def _check_socket(self, socket: int) -> None:
+        if not 0 <= socket < self.n_sockets:
+            raise TopologyError(
+                f"socket {socket} out of range [0, {self.n_sockets})"
+            )
+
+    # ------------------------------------------------------------------
+    # Distance / bandwidth queries
+    # ------------------------------------------------------------------
+    def dist(self, socket_a: int, socket_b: int) -> float:
+        """SLIT distance between two sockets."""
+        self._check_socket(socket_a)
+        self._check_socket(socket_b)
+        return float(self.distance[socket_a, socket_b])
+
+    def bandwidth_factor(self, socket: int, node: int) -> float:
+        """Fraction of ``node``'s local bandwidth seen from ``socket``.
+
+        Equal to ``local_distance / distance`` so a SLIT entry of 20 halves
+        the usable bandwidth, the standard first-order approximation.
+        """
+        d = self.dist(socket, node)
+        local = float(self.distance[node, node])
+        return local / d
+
+    def sockets_by_distance(self, socket: int) -> list[int]:
+        """All sockets ordered by increasing distance from ``socket``.
+
+        ``socket`` itself comes first; ties are broken by socket id so the
+        order is deterministic.
+        """
+        self._check_socket(socket)
+        row = self.distance[socket]
+        return sorted(range(self.n_sockets), key=lambda s: (row[s], s))
+
+    def max_distance(self) -> float:
+        """Largest distance in the matrix (machine 'diameter')."""
+        return float(self.distance.max())
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.name}: {self.n_sockets} sockets x "
+            f"{self.cores_per_socket} cores ({self.n_cores} cores total)"
+        )
+
+
+def uniform_distance_matrix(
+    n_sockets: int, remote: float = 20.0, local: float = LOCAL_DISTANCE
+) -> np.ndarray:
+    """Distance matrix where every remote socket is equally far.
+
+    Models a fully symmetric interconnect (e.g. a small glueless machine).
+    """
+    if remote < local:
+        raise TopologyError("remote distance must be >= local distance")
+    dist = np.full((n_sockets, n_sockets), float(remote))
+    np.fill_diagonal(dist, float(local))
+    return dist
+
+
+def hierarchical_distance_matrix(
+    n_sockets: int,
+    group_size: int,
+    local: float = LOCAL_DISTANCE,
+    near: float = 16.0,
+    far: float = 22.0,
+) -> np.ndarray:
+    """Two-level distance matrix: sockets within a group are *near*,
+    sockets in different groups are *far*.
+
+    Models glued NUMA machines such as the Atos bullion S16, where pairs of
+    sockets share a module and modules are linked by the BCS interconnect.
+    """
+    if n_sockets % group_size != 0:
+        raise TopologyError(
+            f"{n_sockets} sockets cannot be grouped in groups of {group_size}"
+        )
+    if not (local <= near <= far):
+        raise TopologyError("expected local <= near <= far distances")
+    dist = np.full((n_sockets, n_sockets), float(far))
+    for g in range(n_sockets // group_size):
+        lo, hi = g * group_size, (g + 1) * group_size
+        dist[lo:hi, lo:hi] = float(near)
+    np.fill_diagonal(dist, float(local))
+    return dist

@@ -1,0 +1,32 @@
+"""Run statistics, speedup tables and trace export."""
+
+from .analysis import (
+    ScheduleEfficiency,
+    idle_gaps_per_socket,
+    node_pressure,
+    phase_profile,
+    schedule_report,
+    schedule_efficiency,
+    utilization_timeline,
+)
+from .figure import render_figure
+from .report import SpeedupCell, SpeedupTable, geometric_mean
+from .trace import gantt_ascii, to_rows, write_csv, write_json
+
+__all__ = [
+    "ScheduleEfficiency",
+    "SpeedupCell",
+    "SpeedupTable",
+    "gantt_ascii",
+    "geometric_mean",
+    "idle_gaps_per_socket",
+    "node_pressure",
+    "phase_profile",
+    "render_figure",
+    "schedule_report",
+    "schedule_efficiency",
+    "to_rows",
+    "utilization_timeline",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,137 @@
+"""Post-mortem analysis of a simulated schedule.
+
+Answers the questions a scheduling researcher asks after a run:
+
+* **Utilisation timeline** — how many cores were busy at each instant;
+* **Schedule efficiency** — busy time vs (makespan x cores), and the gap
+  to the two lower bounds (critical path, total-work/cores);
+* **Per-socket pressure** — traffic each memory node served vs its share;
+* **Phase profile** — per-task-name-prefix aggregate times (init vs sweep
+  vs reduce...), which is how imbalance hides inside "balanced" runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.analysis import critical_path_weight
+from ..runtime.program import TaskProgram
+from ..runtime.result import SimulationResult
+
+
+def utilization_timeline(
+    result: SimulationResult, n_points: int = 200
+) -> tuple[np.ndarray, np.ndarray]:
+    """(times, busy core counts) sampled at ``n_points`` instants."""
+    if not result.records or result.makespan <= 0:
+        return np.zeros(0), np.zeros(0)
+    times = np.linspace(0.0, result.makespan, n_points)
+    starts = np.array([r.start for r in result.records])
+    finishes = np.array([r.finish for r in result.records])
+    busy = (
+        (starts[None, :] <= times[:, None]) & (finishes[None, :] > times[:, None])
+    ).sum(axis=1)
+    return times, busy.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ScheduleEfficiency:
+    """How close the schedule is to its lower bounds."""
+
+    makespan: float
+    core_utilization: float  # busy / (makespan * cores)
+    critical_path_bound: float  # cp / makespan  (1.0 = cp-limited)
+    throughput_bound: float  # (work / cores) / makespan
+
+    @property
+    def dominant_limit(self) -> str:
+        return (
+            "critical-path"
+            if self.critical_path_bound >= self.throughput_bound
+            else "throughput"
+        )
+
+
+def schedule_efficiency(
+    program: TaskProgram, result: SimulationResult, n_cores: int
+) -> ScheduleEfficiency:
+    """Compare the makespan against the classic two lower bounds.
+
+    Bounds use pure compute work (memory time depends on placement, which
+    is the quantity under study), so they are loose but placement-free.
+    """
+    busy = float(result.busy_time_per_socket.sum())
+    cp = critical_path_weight(program.tdg)
+    work = program.total_work()
+    makespan = result.makespan or 1e-12
+    return ScheduleEfficiency(
+        makespan=result.makespan,
+        core_utilization=busy / (makespan * n_cores),
+        critical_path_bound=cp / makespan,
+        throughput_bound=(work / n_cores) / makespan,
+    )
+
+
+def node_pressure(result: SimulationResult) -> np.ndarray:
+    """Each node's share of total served traffic (sums to 1)."""
+    served = result.bytes_by_pair.sum(axis=0)
+    total = served.sum()
+    if total == 0:
+        return np.zeros_like(served)
+    return served / total
+
+
+def phase_profile(result: SimulationResult) -> dict[str, dict[str, float]]:
+    """Aggregate per task-name prefix (text before ``(`` / digits).
+
+    Returns ``{prefix: {"count", "total_time", "mean_time", "max_time"}}``.
+    """
+    groups: dict[str, list[float]] = defaultdict(list)
+    for rec in result.records:
+        prefix = rec.name.split("(")[0].rstrip("0123456789_")
+        groups[prefix].append(rec.duration)
+    out = {}
+    for prefix, durations in sorted(groups.items()):
+        arr = np.asarray(durations)
+        out[prefix] = {
+            "count": float(len(arr)),
+            "total_time": float(arr.sum()),
+            "mean_time": float(arr.mean()),
+            "max_time": float(arr.max()),
+        }
+    return out
+
+
+def idle_gaps_per_socket(
+    result: SimulationResult, n_sockets: int, cores_per_socket: int
+) -> np.ndarray:
+    """Idle core-time per socket = capacity - busy (absolute units)."""
+    capacity = result.makespan * cores_per_socket
+    return np.maximum(0.0, capacity - result.busy_time_per_socket)
+
+
+def schedule_report(program: TaskProgram, result: SimulationResult,
+           topology) -> str:
+    """Human-readable one-screen schedule report."""
+    eff = schedule_efficiency(program, result, topology.n_cores)
+    pressure = node_pressure(result)
+    lines = [
+        result.summary(),
+        f"core utilization    {eff.core_utilization:6.1%}",
+        f"critical-path bound {eff.critical_path_bound:6.1%}  "
+        f"throughput bound {eff.throughput_bound:6.1%}  "
+        f"(limit: {eff.dominant_limit})",
+        "node traffic share  "
+        + " ".join(f"{p:5.1%}" for p in pressure),
+    ]
+    profile = phase_profile(result)
+    lines.append("phases:")
+    for prefix, stats in profile.items():
+        lines.append(
+            f"  {prefix:<12s} n={int(stats['count']):5d} "
+            f"total={stats['total_time']:9.2f} mean={stats['mean_time']:7.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""ASCII rendering of Figure 1 — bar chart with the paper's clipped axis.
+
+The published figure plots speedup bars in a 0.7-1.3 band and annotates
+values that fall outside it (e.g. NStream's 1.75, Jacobi-DFIFO's 0.42).
+:func:`render_figure` mimics that: one group of bars per application,
+values outside the axis clipped and printed next to the bar.
+"""
+
+from __future__ import annotations
+
+from .report import SpeedupTable
+
+#: Paper axis band.
+AXIS_LO = 0.7
+AXIS_HI = 1.3
+
+_BAR_CHARS = {0: "#", 1: "@", 2: "%", 3: "+"}
+
+
+def render_figure(
+    table: SpeedupTable,
+    width: int = 24,
+    lo: float = AXIS_LO,
+    hi: float = AXIS_HI,
+) -> str:
+    """Render the speedup table as horizontal bars, paper style.
+
+    One row per (application, policy); bar length is linear in the speedup
+    clipped to ``[lo, hi]``; out-of-band values get a ``*`` marker and the
+    numeric annotation the poster uses.  The baseline (1.0) column is
+    marked with ``|``.
+    """
+    lines = []
+    name_w = max(
+        [len(a) for a in table.apps] + [len(p) for p in table.policies] + [7]
+    )
+    base_col = int(round((1.0 - lo) / (hi - lo) * width))
+    header = (
+        " " * (name_w + 10)
+        + f"{lo:.1f}"
+        + " " * (base_col - 3)
+        + "1.0"
+        + " " * (width - base_col - 3)
+        + f"{hi:.1f}"
+    )
+    lines.append(header)
+    for app in table.apps:
+        lines.append(f"{app}:")
+        for i, policy in enumerate(table.policies):
+            cell = table.cells.get((app, policy))
+            if cell is None:
+                continue
+            lines.append(_bar_line(policy, cell.speedup, i, name_w, width,
+                                   lo, hi, base_col))
+        lines.append("")
+    # Geomean group.
+    lines.append("geomean:")
+    for i, policy in enumerate(table.policies):
+        try:
+            gm = table.geomean(policy)
+        except Exception:
+            continue
+        lines.append(_bar_line(policy, gm, i, name_w, width, lo, hi, base_col))
+    return "\n".join(lines)
+
+
+def _bar_line(
+    policy: str, value: float, style: int, name_w: int, width: int,
+    lo: float, hi: float, base_col: int,
+) -> str:
+    clipped = min(max(value, lo), hi)
+    n = int(round((clipped - lo) / (hi - lo) * width))
+    ch = _BAR_CHARS.get(style % len(_BAR_CHARS), "#")
+    bar = list(" " * width)
+    for j in range(n):
+        bar[j] = ch
+    if base_col < width:
+        if bar[base_col] == " ":
+            bar[base_col] = "|"
+    marker = " "
+    annotation = f" {value:5.2f}"
+    if value < lo or value > hi:
+        marker = "*"  # clipped, value annotated (as in the poster)
+    return f"  {policy:<{name_w}} {marker} [{''.join(bar)}]{annotation}"

@@ -1,0 +1,91 @@
+"""Speedup tables and the geometric mean — Figure 1's arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (the paper's aggregate metric)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ExperimentError("geometric mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ExperimentError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+@dataclass
+class SpeedupCell:
+    """One (application, policy) measurement aggregated over seeds."""
+
+    speedup: float
+    speedup_std: float
+    makespan_mean: float
+    remote_fraction: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.speedup:.2f}±{self.speedup_std:.2f}"
+
+
+@dataclass
+class SpeedupTable:
+    """Apps x policies speedups, normalised to a baseline policy."""
+
+    baseline: str
+    policies: list[str]
+    apps: list[str] = field(default_factory=list)
+    cells: dict[tuple[str, str], SpeedupCell] = field(default_factory=dict)
+
+    def add(self, app: str, policy: str, cell: SpeedupCell) -> None:
+        if app not in self.apps:
+            self.apps.append(app)
+        self.cells[(app, policy)] = cell
+
+    def speedup(self, app: str, policy: str) -> float:
+        try:
+            return self.cells[(app, policy)].speedup
+        except KeyError:
+            raise ExperimentError(f"no measurement for ({app}, {policy})") from None
+
+    def geomean(self, policy: str) -> float:
+        """Geometric-mean speedup of a policy across all apps."""
+        return geometric_mean(self.speedup(app, policy) for app in self.apps)
+
+    def rows(self) -> list[list[str]]:
+        """Table rows (apps + geomean) for text rendering."""
+        out = []
+        for app in self.apps:
+            row = [app]
+            for pol in self.policies:
+                cell = self.cells.get((app, pol))
+                row.append(f"{cell.speedup:.2f}" if cell else "-")
+            out.append(row)
+        gm_row = ["geomean"]
+        for pol in self.policies:
+            try:
+                gm_row.append(f"{self.geomean(pol):.2f}")
+            except ExperimentError:
+                gm_row.append("-")
+        out.append(gm_row)
+        return out
+
+    def render(self, title: str = "") -> str:
+        """Fixed-width text table (the shape of Figure 1)."""
+        header = ["application"] + list(self.policies)
+        rows = [header] + self.rows()
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = []
+        if title:
+            lines.append(title)
+        for i, row in enumerate(rows):
+            lines.append(
+                "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+            )
+            if i == 0:
+                lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Trace export: per-task execution records as CSV/JSON rows.
+
+The real system would produce Paraver traces; we export the same content
+(task, core, socket, start, end) in portable formats for offline analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..runtime.result import SimulationResult
+
+_FIELDS = ("tid", "name", "socket", "core", "start", "finish",
+           "local_bytes", "remote_bytes")
+
+
+def to_rows(result: SimulationResult) -> list[dict]:
+    """Records as plain dicts, sorted by start time."""
+    return [
+        {f: getattr(r, f) for f in _FIELDS}
+        for r in sorted(result.records, key=lambda r: (r.start, r.tid))
+    ]
+
+
+def write_csv(result: SimulationResult, path: str | Path) -> None:
+    """Write the task trace as CSV."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        writer.writerows(to_rows(result))
+
+
+def write_json(result: SimulationResult, path: str | Path) -> None:
+    """Write the full result (trace + aggregates) as JSON."""
+    doc = {
+        "program": result.program_name,
+        "scheduler": result.scheduler_name,
+        "machine": result.machine_name,
+        "makespan": result.makespan,
+        "remote_fraction": result.remote_fraction,
+        "steals": result.steals,
+        "seed": result.seed,
+        "tasks": to_rows(result),
+        "bytes_by_pair": result.bytes_by_pair.tolist(),
+        "busy_time_per_socket": result.busy_time_per_socket.tolist(),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def gantt_ascii(result: SimulationResult, width: int = 78, max_cores: int = 64) -> str:
+    """Tiny ASCII Gantt chart (one row per core) for quick inspection."""
+    if not result.records:
+        return "(empty trace)"
+    makespan = result.makespan or 1.0
+    cores = sorted({r.core for r in result.records})[:max_cores]
+    lines = []
+    for core in cores:
+        row = [" "] * width
+        for rec in result.records:
+            if rec.core != core:
+                continue
+            lo = int(rec.start / makespan * (width - 1))
+            hi = max(lo + 1, int(rec.finish / makespan * (width - 1)))
+            for i in range(lo, min(hi, width)):
+                row[i] = "#"
+        lines.append(f"core {core:3d} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Graph partitioning substrate — our from-scratch SCOTCH replacement.
+
+The paper partitions the TDG window with SCOTCH (dual recursive
+bipartitioning mapped onto the machine's sockets, edge weights = dependence
+bytes, accounting for memory latencies).  This package implements that
+family from scratch (DESIGN.md §2/§3):
+
+* :class:`DualRecursiveBipartitioner` — architecture-aware multilevel DRB,
+  the default used by RGP;
+* :class:`MultilevelKWay` — METIS-style recursive bisection (edge cut only);
+* :class:`SpectralPartitioner` — Fiedler-vector bisection baseline;
+* :class:`RandomPartitioner` / :class:`CyclicPartitioner` /
+  :class:`BlockPartitioner` — ablation floors.
+"""
+
+from .anchored import partition_with_anchors
+from .baselines import BlockPartitioner, CyclicPartitioner, RandomPartitioner
+from .coarsen import CoarseningLevel, coarsen_once, coarsen_to, heavy_edge_matching
+from .initial import greedy_graph_growing, random_bisection
+from .interface import (
+    DEFAULT_TOLERANCE,
+    Partitioner,
+    PartitionResult,
+    TargetArchitecture,
+)
+from .kl import MultilevelKWayKL, kl_bisection_refine
+from .metrics import (
+    communication_volume,
+    edge_cut,
+    imbalance,
+    mapping_cost,
+    part_sizes,
+)
+from .multilevel import MultilevelKWay
+from .recursive import DualRecursiveBipartitioner, split_architecture
+from .refine import fm_bisection_refine, greedy_kway_refine
+from .spectral import SpectralPartitioner, fiedler_vector
+
+PARTITIONERS: dict[str, type[Partitioner]] = {
+    cls.name: cls
+    for cls in (
+        DualRecursiveBipartitioner,
+        MultilevelKWay,
+        MultilevelKWayKL,
+        SpectralPartitioner,
+        RandomPartitioner,
+        CyclicPartitioner,
+        BlockPartitioner,
+    )
+}
+
+
+def by_name(name: str, **kwargs) -> Partitioner:
+    """Instantiate a partitioner by registry name."""
+    try:
+        cls = PARTITIONERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown partitioner {name!r}; known: {sorted(PARTITIONERS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "PARTITIONERS",
+    "BlockPartitioner",
+    "CoarseningLevel",
+    "CyclicPartitioner",
+    "DualRecursiveBipartitioner",
+    "MultilevelKWay",
+    "MultilevelKWayKL",
+    "Partitioner",
+    "PartitionResult",
+    "RandomPartitioner",
+    "SpectralPartitioner",
+    "TargetArchitecture",
+    "by_name",
+    "coarsen_once",
+    "coarsen_to",
+    "communication_volume",
+    "edge_cut",
+    "fiedler_vector",
+    "fm_bisection_refine",
+    "greedy_graph_growing",
+    "greedy_kway_refine",
+    "heavy_edge_matching",
+    "imbalance",
+    "kl_bisection_refine",
+    "mapping_cost",
+    "part_sizes",
+    "partition_with_anchors",
+    "random_bisection",
+    "split_architecture",
+]

@@ -1,0 +1,93 @@
+"""Anchored partitioning: partition a subgraph around fixed vertices.
+
+Used by RGP's *repartition* propagation: when a later window is
+partitioned, tasks outside the window that already have a socket (placed
+by an earlier partition or by propagation) appear as **anchor** vertices —
+they pull their window neighbours towards their socket but can never move.
+
+Algorithm:
+
+1. partition the *whole* subgraph (anchors as ordinary vertices), so
+   connectivity to anchors shapes the parts;
+2. relabel parts to sockets with an optimal assignment (Hungarian) that
+   maximises the anchor weight landing on its required socket — the part
+   ids a partitioner returns are arbitrary, the anchors make them not be;
+3. clamp anchors to their sockets and run the anchored greedy k-way
+   refinement (mapping-cost aware) with them fixed.
+
+The relabelling step is what avoids the classic pairwise local minimum: a
+chain segment attached to an anchor moves as a whole part, not one vertex
+at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from ..errors import PartitionError
+from ..graph.csr import CSRGraph
+from .interface import PartitionResult, Partitioner, TargetArchitecture
+from .refine import greedy_kway_refine
+
+
+def partition_with_anchors(
+    graph: CSRGraph,
+    k: int,
+    anchors: dict[int, int],
+    partitioner: Partitioner,
+    *,
+    target: TargetArchitecture | None = None,
+    seed: int = 0,
+    refine_passes: int = 4,
+) -> PartitionResult:
+    """Partition ``graph`` with ``anchors`` (vertex -> part) held fixed.
+
+    Anchor vertex weights do not count against the balance constraint of
+    the free vertices (anchors represent work already placed elsewhere).
+    """
+    n = graph.n_vertices
+    for v, p in anchors.items():
+        if not 0 <= v < n:
+            raise PartitionError(f"anchor vertex {v} out of range")
+        if not 0 <= p < k:
+            raise PartitionError(f"anchor part {p} out of range")
+
+    fixed = np.zeros(n, dtype=bool)
+    for v in anchors:
+        fixed[v] = True
+
+    # 1. Partition everything; anchors participate so connectivity counts.
+    base = partitioner.partition(graph, k, target=target, seed=seed)
+    parts = np.asarray(base.parts, dtype=np.int64).copy()
+
+    # 2. Optimal part -> socket relabelling by anchor affinity.  An
+    # anchor's pull is its total incident edge weight (the bytes that would
+    # go remote if its part landed on the wrong socket).
+    if anchors:
+        affinity = np.zeros((k, k))
+        for v, socket in anchors.items():
+            pull = float(graph.neighbor_weights(v).sum()) + 1.0
+            affinity[parts[v], socket] += pull
+        rows, cols = linear_sum_assignment(-affinity)
+        relabel = np.arange(k)
+        relabel[rows] = cols
+        parts = relabel[parts]
+        # 3. Clamp anchors (a part may hold anchors of several sockets).
+        for v, socket in anchors.items():
+            parts[v] = socket
+
+    capacities = target.capacity if target is not None else None
+    arch = target.distance if target is not None else None
+    refined = greedy_kway_refine(
+        graph, parts, k,
+        capacities=capacities,
+        tolerance=getattr(partitioner, "tolerance", 0.05),
+        arch_distance=arch,
+        passes=refine_passes,
+        fixed=fixed,
+    )
+    # Anchors must not have moved.
+    for v, p in anchors.items():
+        assert refined[v] == p
+    return PartitionResult(parts=refined, k=k)

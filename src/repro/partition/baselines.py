@@ -1,0 +1,94 @@
+"""Trivial partitioners: random and block/cyclic — ablation floors.
+
+Any serious partitioner must beat these; the ablation benchmark
+(`benchmarks/test_ablation_partitioner.py`) reports them as the floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .interface import (
+    Partitioner,
+    PartitionResult,
+    TargetArchitecture,
+)
+
+
+class RandomPartitioner(Partitioner):
+    """Weight-balanced random assignment (shuffle + greedy bin fill)."""
+
+    name = "random"
+
+    def partition(
+        self,
+        graph: CSRGraph,
+        k: int,
+        *,
+        target: TargetArchitecture | None = None,
+        seed: int = 0,
+    ) -> PartitionResult:
+        self._check_k(graph, k)
+        capacities = self._capacities(k, target)
+        rng = np.random.default_rng(seed)
+        n = graph.n_vertices
+        parts = np.zeros(n, dtype=np.int64)
+        fill = np.zeros(k, dtype=np.float64)
+        norm_cap = capacities / capacities.sum()
+        for v in rng.permutation(n):
+            # Least-filled part relative to its capacity share.
+            p = int(np.argmin(fill / norm_cap))
+            parts[v] = p
+            fill[p] += graph.vwgt[v]
+        return PartitionResult(parts=parts, k=k)
+
+
+class CyclicPartitioner(Partitioner):
+    """Round-robin by vertex id — mirrors DFIFO's cyclic placement."""
+
+    name = "cyclic"
+
+    def partition(
+        self,
+        graph: CSRGraph,
+        k: int,
+        *,
+        target: TargetArchitecture | None = None,
+        seed: int = 0,
+    ) -> PartitionResult:
+        self._check_k(graph, k)
+        parts = np.arange(graph.n_vertices, dtype=np.int64) % k
+        return PartitionResult(parts=parts, k=k)
+
+
+class BlockPartitioner(Partitioner):
+    """Contiguous equal-weight blocks in vertex-id (creation) order.
+
+    Surprisingly strong on TDGs whose creation order follows data layout —
+    essentially what an expert programmer's block distribution does.
+    """
+
+    name = "block"
+
+    def partition(
+        self,
+        graph: CSRGraph,
+        k: int,
+        *,
+        target: TargetArchitecture | None = None,
+        seed: int = 0,
+    ) -> PartitionResult:
+        self._check_k(graph, k)
+        capacities = self._capacities(k, target)
+        total = graph.vwgt.sum()
+        bounds = np.cumsum(capacities) / capacities.sum() * total
+        parts = np.zeros(graph.n_vertices, dtype=np.int64)
+        acc = 0.0
+        p = 0
+        for v in range(graph.n_vertices):
+            acc += graph.vwgt[v]
+            parts[v] = p
+            if acc >= bounds[p] and p < k - 1:
+                p += 1
+        return PartitionResult(parts=parts, k=k)

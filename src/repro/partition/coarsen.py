@@ -1,0 +1,114 @@
+"""Graph coarsening by heavy-edge matching (the multilevel 'V' descent).
+
+Heavy-edge matching (HEM) visits vertices in random order and matches each
+unmatched vertex with the unmatched neighbour connected by the heaviest
+edge.  Matched pairs collapse into one coarse vertex whose weight is the
+pair's sum; parallel coarse edges coalesce, and edges internal to a pair
+disappear (they can never be cut again — exactly why HEM preserves heavy
+edges inside parts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+
+@dataclass(frozen=True, eq=False)
+class CoarseningLevel:
+    """One level of the multilevel hierarchy."""
+
+    graph: CSRGraph
+    #: fine vertex -> coarse vertex
+    fine_to_coarse: np.ndarray
+
+
+def heavy_edge_matching(graph: CSRGraph, rng: np.random.Generator) -> np.ndarray:
+    """Return ``match`` where ``match[v]`` is v's partner (or v itself)."""
+    n = graph.n_vertices
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    for v in order:
+        if match[v] != -1:
+            continue
+        nbrs = graph.neighbors(v)
+        wgts = graph.neighbor_weights(v)
+        best = v  # default: stay single
+        best_w = -1.0
+        for u, w in zip(nbrs, wgts):
+            if match[u] == -1 and u != v and w > best_w:
+                best, best_w = int(u), float(w)
+        match[v] = best
+        match[best] = v if best != v else v
+    return match
+
+
+def coarsen_once(
+    graph: CSRGraph, rng: np.random.Generator
+) -> CoarseningLevel | None:
+    """One HEM coarsening step; ``None`` if the graph barely shrinks.
+
+    Returning ``None`` stops the descent (e.g. star graphs where matching
+    saturates), preventing infinite recursion in the multilevel driver.
+    """
+    n = graph.n_vertices
+    match = heavy_edge_matching(graph, rng)
+
+    fine_to_coarse = np.full(n, -1, dtype=np.int64)
+    n_coarse = 0
+    for v in range(n):
+        if fine_to_coarse[v] != -1:
+            continue
+        partner = match[v]
+        fine_to_coarse[v] = n_coarse
+        if partner != v:
+            fine_to_coarse[partner] = n_coarse
+        n_coarse += 1
+
+    if n_coarse >= n or n_coarse > int(0.95 * n):
+        return None  # not shrinking usefully
+
+    # Coarse vertex weights.
+    cvwgt = np.zeros(n_coarse, dtype=np.float64)
+    np.add.at(cvwgt, fine_to_coarse, graph.vwgt)
+
+    # Coarse edges: remap endpoints, drop internal, coalesce duplicates.
+    src = np.repeat(np.arange(n), np.diff(graph.xadj))
+    csrc = fine_to_coarse[src]
+    cdst = fine_to_coarse[graph.adjncy]
+    keep = (csrc < cdst)  # one direction only; drops internal (==) edges
+    edges: dict[tuple[int, int], float] = {}
+    for u, v, w in zip(csrc[keep], cdst[keep], graph.adjwgt[keep]):
+        key = (int(u), int(v))
+        edges[key] = edges.get(key, 0.0) + float(w)
+    coarse = CSRGraph.from_edges(
+        n_coarse, [(u, v, w) for (u, v), w in edges.items()], cvwgt
+    )
+    return CoarseningLevel(graph=coarse, fine_to_coarse=fine_to_coarse)
+
+
+def coarsen_to(
+    graph: CSRGraph,
+    max_vertices: int,
+    rng: np.random.Generator,
+    max_levels: int = 40,
+) -> list[CoarseningLevel]:
+    """Coarsen repeatedly until ``max_vertices`` or no progress.
+
+    Returns the hierarchy, finest first.  The caller partitions the last
+    level's graph and projects back through ``fine_to_coarse`` maps.
+    """
+    levels: list[CoarseningLevel] = []
+    current = graph
+    for _ in range(max_levels):
+        if current.n_vertices <= max_vertices:
+            break
+        level = coarsen_once(current, rng)
+        if level is None:
+            break
+        levels.append(level)
+        current = level.graph
+    return levels

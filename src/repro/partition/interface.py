@@ -1,0 +1,132 @@
+"""Common interface of all graph partitioners.
+
+A partitioner maps each vertex of a :class:`~repro.graph.csr.CSRGraph` to a
+part id in ``[0, k)`` subject to a balance constraint on vertex weight.  For
+*architecture-aware* partitioners (SCOTCH-style static mapping) the target
+is not just ``k`` anonymous parts but ``k`` sockets with a distance matrix;
+:class:`TargetArchitecture` carries that.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import CSRGraph
+
+#: Default allowed imbalance: heaviest part may exceed its ideal share by 5 %.
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True, eq=False)
+class TargetArchitecture:
+    """The machine the parts map onto: ``k`` sockets and their distances.
+
+    ``capacity`` allows heterogeneous targets (more cores on one socket);
+    the paper's machine is homogeneous so it defaults to uniform.
+    """
+
+    distance: np.ndarray
+    capacity: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        dist = np.asarray(self.distance, dtype=np.float64)
+        if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+            raise PartitionError("architecture distance matrix must be square")
+        if not np.allclose(dist, dist.T):
+            raise PartitionError("architecture distance matrix must be symmetric")
+        object.__setattr__(self, "distance", dist)
+        cap = self.capacity
+        if cap is None:
+            cap = np.ones(dist.shape[0], dtype=np.float64)
+        cap = np.asarray(cap, dtype=np.float64)
+        if cap.shape != (dist.shape[0],) or np.any(cap <= 0):
+            raise PartitionError("capacity must be positive, one entry per part")
+        object.__setattr__(self, "capacity", cap)
+
+    @property
+    def k(self) -> int:
+        return self.distance.shape[0]
+
+    @classmethod
+    def from_topology(cls, topology) -> "TargetArchitecture":
+        """Build from a :class:`~repro.machine.topology.NumaTopology`."""
+        return cls(
+            distance=np.asarray(topology.distance, dtype=np.float64),
+            capacity=np.full(topology.n_sockets, float(topology.cores_per_socket)),
+        )
+
+    @classmethod
+    def uniform(cls, k: int) -> "TargetArchitecture":
+        """Anonymous k-part target (all parts equidistant)."""
+        dist = np.ones((k, k)) * 2.0
+        np.fill_diagonal(dist, 1.0)
+        return cls(distance=dist)
+
+
+@dataclass(frozen=True, eq=False)
+class PartitionResult:
+    """Outcome of a partitioning call."""
+
+    parts: np.ndarray  # shape (n,), int64 in [0, k)
+    k: int
+
+    def __post_init__(self) -> None:
+        parts = np.asarray(self.parts, dtype=np.int64)
+        if len(parts) and (parts.min() < 0 or parts.max() >= self.k):
+            raise PartitionError("part ids out of range")
+        object.__setattr__(self, "parts", parts)
+
+    def part_weights(self, vwgt: np.ndarray) -> np.ndarray:
+        """Total vertex weight per part."""
+        return np.bincount(self.parts, weights=vwgt, minlength=self.k)
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+
+class Partitioner(ABC):
+    """Base class: map graph vertices onto ``k`` (possibly weighted) parts."""
+
+    #: short name used by registries/CLI
+    name: str = "abstract"
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE) -> None:
+        if tolerance < 0:
+            raise PartitionError(f"tolerance must be >= 0, got {tolerance}")
+        self.tolerance = float(tolerance)
+
+    @abstractmethod
+    def partition(
+        self,
+        graph: CSRGraph,
+        k: int,
+        *,
+        target: TargetArchitecture | None = None,
+        seed: int = 0,
+    ) -> PartitionResult:
+        """Partition ``graph`` into ``k`` parts.
+
+        ``target`` optionally supplies socket distances/capacities for
+        architecture-aware methods; distance-oblivious methods ignore it
+        except for capacities.
+        """
+
+    # ------------------------------------------------------------------
+    def _check_k(self, graph: CSRGraph, k: int) -> None:
+        if k < 1:
+            raise PartitionError(f"k must be >= 1, got {k}")
+
+    def _capacities(
+        self, k: int, target: TargetArchitecture | None
+    ) -> np.ndarray:
+        if target is None:
+            return np.ones(k, dtype=np.float64)
+        if target.k != k:
+            raise PartitionError(
+                f"target architecture has {target.k} parts, requested {k}"
+            )
+        return target.capacity

@@ -1,0 +1,235 @@
+"""Partition refinement: Fiduccia–Mattheyses for bisections, greedy k-way.
+
+The FM pass moves one vertex at a time, always the highest-gain *feasible*
+move, allowing negative-gain moves (hill climbing) and rolling back to the
+best prefix at the end of the pass.  Feasible means the receiving part stays
+under its weight cap — unless the partition is currently unbalanced, in
+which case only moves out of the overweight part are allowed (balance
+restoration takes priority, as in METIS).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import CSRGraph
+from .metrics import edge_cut
+
+
+def fm_bisection_refine(
+    graph: CSRGraph,
+    parts: np.ndarray,
+    f0: float,
+    tolerance: float,
+    max_passes: int = 8,
+    max_moves_per_pass: int | None = None,
+) -> np.ndarray:
+    """Refine a bisection in place-ish (returns the refined copy)."""
+    if not 0.0 < f0 < 1.0:
+        raise PartitionError(f"part-0 fraction must be in (0, 1), got {f0}")
+    parts = np.asarray(parts, dtype=np.int64).copy()
+    n = graph.n_vertices
+    if n == 0:
+        return parts
+    total = float(graph.vwgt.sum())
+    cap = np.array(
+        [f0 * total * (1.0 + tolerance), (1.0 - f0) * total * (1.0 + tolerance)]
+    )
+    # Caps must admit at least the heaviest single vertex, or nothing can move.
+    cap = np.maximum(cap, float(graph.vwgt.max()))
+    limit = max_moves_per_pass if max_moves_per_pass is not None else n
+
+    for _ in range(max_passes):
+        improved = _fm_pass(graph, parts, cap, limit)
+        if not improved:
+            break
+    return parts
+
+
+def _fm_pass(
+    graph: CSRGraph, parts: np.ndarray, cap: np.ndarray, limit: int
+) -> bool:
+    n = graph.n_vertices
+    vwgt = graph.vwgt
+    weights = np.bincount(parts, weights=vwgt, minlength=2).astype(np.float64)
+
+    # gain[v]: cut reduction if v switches sides = ext(v) - int(v).
+    gain = np.zeros(n, dtype=np.float64)
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        w = graph.neighbor_weights(v)
+        same = parts[nbrs] == parts[v]
+        gain[v] = float(w[~same].sum() - w[same].sum())
+
+    stamp = np.zeros(n, dtype=np.int64)
+    moved = np.zeros(n, dtype=bool)
+    heaps: list[list[tuple[float, int, int]]] = [[], []]  # per source side
+
+    def push(v: int) -> None:
+        heapq.heappush(heaps[parts[v]], (-gain[v], int(stamp[v]), int(v)))
+
+    for v in range(n):
+        push(v)
+
+    def pop_feasible() -> int | None:
+        """Best feasible move across both heaps (lazy invalidation)."""
+        overweight = [weights[s] > cap[s] for s in (0, 1)]
+        must_drain = 0 if overweight[0] else 1 if overweight[1] else None
+        candidates: list[tuple[float, int]] = []  # (neg_gain, side)
+        for side in (0, 1):
+            if must_drain is not None and side != must_drain:
+                continue
+            h = heaps[side]
+            while h:
+                neg_g, st, v = h[0]
+                if moved[v] or st != stamp[v] or parts[v] != side:
+                    heapq.heappop(h)
+                    continue
+                dest = 1 - side
+                if (
+                    must_drain is None
+                    and weights[dest] + vwgt[v] > cap[dest]
+                ):
+                    # Infeasible right now; try the next-best on this side by
+                    # popping it into a stash? Keeping it simple: skip this
+                    # side this round (it will retry after weights change).
+                    break
+                candidates.append((neg_g, side))
+                break
+        if not candidates:
+            return None
+        neg_g, side = min(candidates)
+        _, _, v = heapq.heappop(heaps[side])
+        return v
+
+    def feasible() -> bool:
+        return weights[0] <= cap[0] and weights[1] <= cap[1]
+
+    seq: list[int] = []
+    cum = 0.0
+    # Best prefix is chosen lexicographically: a balanced state always beats
+    # an unbalanced one (otherwise rolling back to the highest-gain prefix
+    # would undo balance-restoring moves that have negative cut gain).
+    initial_feasible = feasible()
+    best_key = (initial_feasible, 0.0)
+    best_len = 0
+    for _ in range(limit):
+        v = pop_feasible()
+        if v is None:
+            break
+        src = int(parts[v])
+        dst = 1 - src
+        cum += gain[v]
+        moved[v] = True
+        parts[v] = dst
+        weights[src] -= vwgt[v]
+        weights[dst] += vwgt[v]
+        seq.append(v)
+        # Update neighbour gains: edge (v,u) changed sides relative to u.
+        for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+            if moved[u]:
+                continue
+            if parts[u] == dst:
+                gain[u] -= 2.0 * w
+            else:
+                gain[u] += 2.0 * w
+            stamp[u] += 1
+            push(int(u))
+        key = (feasible(), cum)
+        if key > (best_key[0], best_key[1] + 1e-12):
+            best_key = key
+            best_len = len(seq)
+
+    # Roll back moves past the best prefix.
+    for v in seq[best_len:]:
+        w = vwgt[v]
+        weights[parts[v]] -= w
+        parts[v] = 1 - parts[v]
+        weights[parts[v]] += w
+    return best_key[1] > 1e-12 or (best_key[0] and not initial_feasible)
+
+
+def greedy_kway_refine(
+    graph: CSRGraph,
+    parts: np.ndarray,
+    k: int,
+    capacities: np.ndarray | None = None,
+    tolerance: float = 0.05,
+    arch_distance: np.ndarray | None = None,
+    passes: int = 4,
+    fixed: np.ndarray | None = None,
+) -> np.ndarray:
+    """Greedy boundary refinement for k-way partitions.
+
+    Each pass scans boundary vertices and applies the single best
+    feasible relocation per vertex.  With ``arch_distance`` the gain is the
+    *mapping cost* reduction (NUMA-aware); otherwise plain edge cut.
+    Vertices flagged in ``fixed`` never move (anchored repartitioning).
+    """
+    parts = np.asarray(parts, dtype=np.int64).copy()
+    n = graph.n_vertices
+    if n == 0 or k == 1:
+        return parts
+    vwgt = graph.vwgt
+    total = float(vwgt.sum())
+    if capacities is None:
+        capacities = np.ones(k, dtype=np.float64)
+    cap = total * capacities / capacities.sum() * (1.0 + tolerance)
+    cap = np.maximum(cap, float(vwgt.max()) if n else 0.0)
+    weights = np.bincount(parts, weights=vwgt, minlength=k).astype(np.float64)
+
+    if arch_distance is None:
+        arch = np.ones((k, k), dtype=np.float64)
+        np.fill_diagonal(arch, 0.0)
+    else:
+        # SLIT-style matrix: diagonal (local) is the cheapest, so keeping an
+        # edge internal is always preferred, weighted by socket proximity.
+        arch = np.asarray(arch_distance, dtype=np.float64)
+
+    if fixed is None:
+        fixed = np.zeros(n, dtype=bool)
+
+    for _ in range(max(1, passes)):
+        any_move = False
+        for v in range(n):
+            if fixed[v]:
+                continue
+            nbrs = graph.neighbors(v)
+            if len(nbrs) == 0:
+                continue
+            wgts = graph.neighbor_weights(v)
+            p = int(parts[v])
+            nbr_parts = parts[nbrs]
+            if np.all(nbr_parts == p):
+                continue  # interior vertex
+            # Connectivity of v to each part.
+            conn = np.zeros(k, dtype=np.float64)
+            np.add.at(conn, nbr_parts, wgts)
+            # Current cost contribution of v's edges.
+            cur_cost = float((wgts * arch[p, nbr_parts]).sum())
+            best_part, best_cost = p, cur_cost
+            for q in np.unique(nbr_parts):
+                q = int(q)
+                if q == p:
+                    continue
+                if weights[q] + vwgt[v] > cap[q]:
+                    continue
+                cost = float((wgts * arch[q, nbr_parts]).sum())
+                if cost < best_cost - 1e-12:
+                    best_cost, best_part = cost, q
+            if best_part != p:
+                parts[v] = best_part
+                weights[p] -= vwgt[v]
+                weights[best_part] += vwgt[v]
+                any_move = True
+        if not any_move:
+            break
+    return parts
+
+
+def refined_cut(graph: CSRGraph, parts: np.ndarray) -> float:
+    """Convenience: edge cut after refinement (re-exported for tests)."""
+    return edge_cut(graph, parts)

@@ -1,0 +1,39 @@
+"""Task runtime: programs, dependence tracking, and the NUMA simulator.
+
+Stands in for Nanos++ (DESIGN.md §2): applications declare data and tasks
+with in/out/inout dependence lists; the runtime derives the TDG; the
+simulator executes it on a modelled NUMA machine under a pluggable
+scheduling policy.
+"""
+
+from .cost import allocated_bytes_per_node, traffic_streams
+from .data import AccessMode, DataAccess, DataObject, reads_of, writes_of
+from .dependencies import DependencyTracker
+from .executor import execute, execute_in_order
+from .placement import Placement
+from .program import TaskProgram
+from .result import SimulationResult, TaskRecord
+from .simulator import Simulator, simulate
+from .task import Task
+from .validation import validate_schedule
+
+__all__ = [
+    "AccessMode",
+    "DataAccess",
+    "DataObject",
+    "DependencyTracker",
+    "Placement",
+    "SimulationResult",
+    "Simulator",
+    "Task",
+    "TaskProgram",
+    "TaskRecord",
+    "allocated_bytes_per_node",
+    "execute",
+    "execute_in_order",
+    "reads_of",
+    "simulate",
+    "traffic_streams",
+    "validate_schedule",
+    "writes_of",
+]

@@ -1,0 +1,51 @@
+"""Cost-model helpers shared by the simulator and the schedulers.
+
+The quantities here are *queries* over the current memory placement; the
+authoritative accounting (what actually gets charged) happens inside the
+simulator when a task starts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.memory import MemoryManager
+from .task import Task
+
+
+def allocated_bytes_per_node(task: Task, memory: MemoryManager) -> tuple[np.ndarray, int]:
+    """(bytes of the task's data already bound, per node; unbound bytes).
+
+    This is the socket weighting of the locality-aware scheduler: "the
+    runtime explores its dependencies and weights the sockets using the
+    size of the allocated input and output data".
+    """
+    per_node = np.zeros(memory.n_nodes, dtype=np.int64)
+    unbound = 0
+    for access in task.accesses:
+        placement = memory.node_bytes_of_range(
+            access.obj.key, access.offset, access.length
+        )
+        per_node += placement.bytes_per_node
+        unbound += placement.unbound_bytes
+    return per_node, unbound
+
+
+def traffic_streams(task: Task, memory: MemoryManager) -> dict[int, float]:
+    """Memory traffic per node for the task *with the current placement*.
+
+    Called by the simulator after deferred allocation has bound the task's
+    pages, so no bytes should remain unbound; any that do (task reading an
+    object no one wrote or pre-bound) are attributed nowhere and surface in
+    the unbound counter of :func:`allocated_bytes_per_node` instead.
+    """
+    streams: dict[int, float] = {}
+    for access in task.accesses:
+        placement = memory.node_bytes_of_range(
+            access.obj.key, access.offset, access.length
+        )
+        mult = access.mode.traffic_multiplier
+        for node in np.flatnonzero(placement.bytes_per_node):
+            nbytes = float(placement.bytes_per_node[node]) * mult
+            streams[int(node)] = streams.get(int(node), 0.0) + nbytes
+    return streams

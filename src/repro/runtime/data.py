@@ -1,0 +1,125 @@
+"""Data objects and task data accesses (the OmpSs ``depend`` clauses).
+
+A :class:`DataObject` is a named contiguous allocation (a tile, a vector
+block...).  Tasks declare :class:`DataAccess` es on objects; the dependence
+tracker derives the TDG from them and the simulator charges their bytes to
+the NUMA nodes holding the pages.
+
+Objects may carry a real numpy ``payload`` so the same program can be
+*executed* (for numerical validation) as well as *simulated*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import RuntimeStateError
+
+
+class AccessMode(enum.Enum):
+    """OpenMP/OmpSs dependence type of one task argument."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.IN, AccessMode.INOUT)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.OUT, AccessMode.INOUT)
+
+    @property
+    def traffic_multiplier(self) -> int:
+        """Memory traffic per byte of the access: INOUT moves data twice."""
+        return 2 if self is AccessMode.INOUT else 1
+
+
+@dataclass(eq=False)
+class DataObject:
+    """A named allocation tracked by the runtime.
+
+    Parameters
+    ----------
+    key:
+        Dense id assigned by the program (index into its object table).
+    name:
+        Human-readable name (used in traces).
+    size_bytes:
+        Allocation size.
+    initial_node:
+        If set, the object is *pre-bound* to this NUMA node before the
+        program runs (externally initialised input).  ``None`` means the
+        allocation is deferred: pages bind on first touch by a task.
+    interleaved:
+        Pre-bind pages round-robin over all nodes (``numactl --interleave``
+        style); mutually exclusive with ``initial_node``.
+    payload:
+        Optional real storage (numpy array) for execution mode.
+    """
+
+    key: int
+    name: str
+    size_bytes: int
+    initial_node: int | None = None
+    interleaved: bool = False
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise RuntimeStateError(
+                f"data object {self.name!r} must have positive size"
+            )
+        if self.initial_node is not None and self.interleaved:
+            raise RuntimeStateError(
+                f"data object {self.name!r}: initial_node and interleaved "
+                "are mutually exclusive"
+            )
+
+    def __repr__(self) -> str:
+        return f"DataObject({self.key}, {self.name!r}, {self.size_bytes}B)"
+
+
+@dataclass(frozen=True)
+class DataAccess:
+    """One task argument: an object (or a byte range of it) plus a mode."""
+
+    obj: DataObject
+    mode: AccessMode
+    offset: int = 0
+    length: int | None = None
+
+    def __post_init__(self) -> None:
+        size = self.obj.size_bytes
+        length = self.length if self.length is not None else size - self.offset
+        if self.offset < 0 or length < 0 or self.offset + length > size:
+            raise RuntimeStateError(
+                f"access range [{self.offset}, {self.offset + length}) outside "
+                f"{self.obj.name!r} of size {size}"
+            )
+
+    @property
+    def bytes(self) -> int:
+        """Length of the accessed range."""
+        if self.length is not None:
+            return self.length
+        return self.obj.size_bytes - self.offset
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Bytes of memory traffic this access generates."""
+        return self.bytes * self.mode.traffic_multiplier
+
+
+def reads_of(accesses: list[DataAccess]) -> list[DataAccess]:
+    """Accesses that read their object."""
+    return [a for a in accesses if a.mode.reads]
+
+
+def writes_of(accesses: list[DataAccess]) -> list[DataAccess]:
+    """Accesses that write their object."""
+    return [a for a in accesses if a.mode.writes]

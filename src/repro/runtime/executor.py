@@ -1,0 +1,64 @@
+"""Sequential executor: really runs the tasks' Python payloads.
+
+Two uses:
+
+* **Numerical validation** — apps attach numpy kernels to their tasks; the
+  executor runs them in a legal order and tests compare against a plain
+  numpy reference.
+* **Schedule validation** — :func:`execute_in_order` replays the *simulated
+  completion order* and verifies it is a legal topological order of the
+  TDG, which end-to-end checks that the simulator never started a task
+  before its dependencies finished.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import DependencyError
+from .program import TaskProgram
+
+
+def execute(program: TaskProgram) -> None:
+    """Run all task payloads in creation order (always a legal order)."""
+    execute_in_order(program, range(program.n_tasks))
+
+
+def execute_in_order(program: TaskProgram, order: Sequence[int]) -> None:
+    """Run task payloads in ``order`` after validating it is legal.
+
+    Legal means: a permutation of all tasks, every task after its TDG
+    predecessors, and epochs non-decreasing only across barrier boundaries
+    (a barrier requires *all* earlier-epoch tasks to precede any later one).
+    """
+    order = list(order)
+    n = program.n_tasks
+    if sorted(order) != list(range(n)):
+        raise DependencyError(
+            f"order is not a permutation of 0..{n - 1} (len={len(order)})"
+        )
+    position = [0] * n
+    for pos, tid in enumerate(order):
+        position[tid] = pos
+    for tid in range(n):
+        for pred in program.tdg.predecessors(tid):
+            if position[pred] > position[tid]:
+                raise DependencyError(
+                    f"task {tid} ({program.tasks[tid].name}) executed before "
+                    f"its dependency {pred} ({program.tasks[pred].name})"
+                )
+    # Barrier legality: epochs must be non-decreasing along the order.
+    last_epoch = 0
+    for tid in order:
+        epoch = program.tasks[tid].epoch
+        if epoch < last_epoch:
+            raise DependencyError(
+                f"task {tid} of epoch {epoch} executed after a task of epoch "
+                f"{last_epoch}: barrier violated"
+            )
+        last_epoch = epoch
+
+    for tid in order:
+        fn = program.tasks[tid].fn
+        if fn is not None:
+            fn()

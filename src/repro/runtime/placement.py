@@ -1,0 +1,36 @@
+"""Placement decisions returned by schedulers to the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a ready task should go.
+
+    Exactly one of the three forms:
+
+    * ``Placement(socket=s)`` — push to socket ``s``'s ready queue
+      (work-pushing, any core of the socket may run it);
+    * ``Placement(core=c)`` — push to core ``c``'s private queue
+      (DFIFO-style per-CPU placement);
+    * ``Placement(park=True)`` — hold the task in the runtime's temporary
+      queue (RGP: ready before the window partition is available); the
+      scheduler must later re-offer it via
+      :meth:`~repro.runtime.simulator.Simulator.reoffer`.
+    """
+
+    socket: int | None = None
+    core: int | None = None
+    park: bool = False
+
+    def __post_init__(self) -> None:
+        n_set = (self.socket is not None) + (self.core is not None) + bool(self.park)
+        if n_set != 1:
+            raise SchedulerError(
+                "Placement needs exactly one of socket=, core=, park=True; "
+                f"got {self!r}"
+            )

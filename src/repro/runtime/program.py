@@ -1,0 +1,188 @@
+"""Task program: the recorded stream of data declarations, tasks, barriers.
+
+:class:`TaskProgram` is what an application hands to the simulator (or to
+the sequential executor).  It plays the role of the application binary plus
+the runtime's task-instantiation phase: a list of data objects, a list of
+tasks in creation order, barrier positions, and the task dependency graph
+derived on the fly by :class:`~repro.runtime.dependencies.DependencyTracker`.
+
+Programs are *reusable*: simulation never mutates them, so the same program
+runs under every scheduler — exactly how the paper compares policies on
+identical TDGs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import RuntimeStateError
+from ..graph.tdg import TaskGraph
+from .data import AccessMode, DataAccess, DataObject
+from .dependencies import DependencyTracker
+from .task import Task
+
+
+class TaskProgram:
+    """Builder + container for a task-parallel program."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self.objects: list[DataObject] = []
+        self.tasks: list[Task] = []
+        self.tdg = TaskGraph()
+        self._tracker = DependencyTracker()
+        #: task index at which each barrier sits: barrier i separates tasks
+        #: with epoch <= i from epoch i+1 tasks.
+        self.barriers: list[int] = []
+        self._epoch = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Construction API (what an application calls)
+    # ------------------------------------------------------------------
+    def data(
+        self,
+        name: str,
+        size_bytes: int,
+        *,
+        initial_node: int | None = None,
+        interleaved: bool = False,
+        payload: Any = None,
+    ) -> DataObject:
+        """Declare a data object (a tile / block / vector)."""
+        self._check_open()
+        obj = DataObject(
+            key=len(self.objects),
+            name=name,
+            size_bytes=int(size_bytes),
+            initial_node=initial_node,
+            interleaved=interleaved,
+            payload=payload,
+        )
+        self.objects.append(obj)
+        return obj
+
+    def task(
+        self,
+        name: str = "",
+        *,
+        ins: list[DataObject | DataAccess] | None = None,
+        outs: list[DataObject | DataAccess] | None = None,
+        inouts: list[DataObject | DataAccess] | None = None,
+        work: float = 0.0,
+        fn: Callable[[], Any] | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> Task:
+        """Create a task with OmpSs-style dependence lists.
+
+        Entries may be plain :class:`DataObject` (whole-object access) or
+        explicit :class:`DataAccess` (sub-range).
+        """
+        self._check_open()
+        accesses: list[DataAccess] = []
+        for lst, mode in (
+            (ins, AccessMode.IN),
+            (outs, AccessMode.OUT),
+            (inouts, AccessMode.INOUT),
+        ):
+            for item in lst or []:
+                if isinstance(item, DataAccess):
+                    if item.mode is not mode:
+                        raise RuntimeStateError(
+                            f"access mode {item.mode} listed under {mode}"
+                        )
+                    accesses.append(item)
+                else:
+                    accesses.append(DataAccess(obj=item, mode=mode))
+        tid = len(self.tasks)
+        task = Task(
+            tid=tid,
+            name=name or f"task{tid}",
+            accesses=tuple(accesses),
+            work=float(work),
+            fn=fn,
+            epoch=self._epoch,
+            meta=meta or {},
+        )
+        self.tasks.append(task)
+        node = self.tdg.add_node(weight=max(task.work, 1e-12), label=task.name)
+        assert node == tid
+        for src, dst, w in self._tracker.edges_for(task):
+            self.tdg.add_edge(src, dst, w)
+        return task
+
+    def barrier(self) -> None:
+        """Insert a taskwait/barrier: later tasks wait for all earlier ones.
+
+        Also one of the paper's two RGP partition triggers.
+        """
+        self._check_open()
+        if self.barriers and self.barriers[-1] == len(self.tasks):
+            return  # consecutive barriers collapse
+        self.barriers.append(len(self.tasks))
+        self._epoch += 1
+
+    def finalize(self) -> "TaskProgram":
+        """Freeze the program (further construction raises)."""
+        self._finalized = True
+        return self
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise RuntimeStateError("program is finalized")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def n_epochs(self) -> int:
+        """Number of barrier epochs (>= 1 for a non-empty program)."""
+        return self._epoch + 1
+
+    def epoch_task_counts(self) -> list[int]:
+        """Number of tasks in each epoch."""
+        counts = [0] * self.n_epochs
+        for t in self.tasks:
+            counts[t.epoch] += 1
+        return counts
+
+    def first_partition_point(self, window_size: int) -> int:
+        """The paper's RGP trigger: ``min(first barrier, window size)``.
+
+        Returns the number of leading tasks forming the initial subgraph.
+        """
+        if window_size < 1:
+            raise RuntimeStateError("window size must be >= 1")
+        first_barrier = self.barriers[0] if self.barriers else self.n_tasks
+        return min(window_size, first_barrier, self.n_tasks)
+
+    def total_work(self) -> float:
+        return sum(t.work for t in self.tasks)
+
+    def total_traffic_bytes(self) -> int:
+        return sum(t.traffic_bytes for t in self.tasks)
+
+    def validate(self) -> None:
+        """Structural checks: ids dense, edges respect creation order."""
+        for i, t in enumerate(self.tasks):
+            if t.tid != i:
+                raise RuntimeStateError(f"task id {t.tid} at position {i}")
+        if self.tdg.n_nodes != self.n_tasks:
+            raise RuntimeStateError("TDG node count != task count")
+        for src, dst, _ in self.tdg.edges():
+            if not (src < dst):
+                raise RuntimeStateError(f"edge {src}->{dst} not forward")
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskProgram({self.name!r}, tasks={self.n_tasks}, "
+            f"objects={self.n_objects}, epochs={self.n_epochs})"
+        )

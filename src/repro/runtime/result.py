@@ -1,0 +1,108 @@
+"""Simulation outcome: per-task records and aggregate NUMA statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Execution record of one task."""
+
+    tid: int
+    name: str
+    socket: int
+    core: int
+    start: float
+    finish: float
+    local_bytes: float = 0.0
+    remote_bytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def remote_fraction(self) -> float:
+        total = self.local_bytes + self.remote_bytes
+        return self.remote_bytes / total if total > 0 else 0.0
+
+
+@dataclass(eq=False)
+class SimulationResult:
+    """Everything a run produced.
+
+    ``bytes_by_pair[s, n]`` is the memory traffic issued by tasks running
+    on socket ``s`` against node ``n`` — the matrix from which locality
+    metrics derive.
+    """
+
+    program_name: str
+    scheduler_name: str
+    machine_name: str
+    makespan: float
+    records: list[TaskRecord]
+    bytes_by_pair: np.ndarray
+    busy_time_per_socket: np.ndarray
+    steals: int = 0
+    parked_tasks: int = 0
+    touch_count: int = 0
+    bytes_on_node: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_traffic(self) -> float:
+        return float(self.bytes_by_pair.sum())
+
+    @property
+    def local_bytes(self) -> float:
+        return float(np.trace(self.bytes_by_pair))
+
+    @property
+    def remote_bytes(self) -> float:
+        return self.total_traffic - self.local_bytes
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of traffic served from a remote node (0 = all local)."""
+        total = self.total_traffic
+        return self.remote_bytes / total if total > 0 else 0.0
+
+    def mean_access_distance(self, distance: np.ndarray) -> float:
+        """Traffic-weighted mean SLIT distance of accesses."""
+        total = self.total_traffic
+        if total == 0:
+            return 0.0
+        return float((self.bytes_by_pair * np.asarray(distance)).sum() / total)
+
+    def completion_order(self) -> list[int]:
+        """Task ids sorted by finish time (ties by id) — a legal execution
+        order the sequential executor can replay."""
+        return [r.tid for r in sorted(self.records, key=lambda r: (r.finish, r.tid))]
+
+    def tasks_per_socket(self) -> np.ndarray:
+        n = len(self.busy_time_per_socket)
+        counts = np.zeros(n, dtype=np.int64)
+        for r in self.records:
+            counts[r.socket] += 1
+        return counts
+
+    def load_imbalance(self) -> float:
+        """max/mean of per-socket busy time (1.0 = perfectly balanced)."""
+        busy = self.busy_time_per_socket
+        mean = busy.mean()
+        return float(busy.max() / mean) if mean > 0 else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.program_name} / {self.scheduler_name} @ {self.machine_name}: "
+            f"makespan={self.makespan:.4g} remote={self.remote_fraction:.1%} "
+            f"imbalance={self.load_imbalance():.2f} steals={self.steals}"
+        )

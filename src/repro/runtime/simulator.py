@@ -1,0 +1,505 @@
+"""Discrete-event NUMA machine simulator with fluid memory streams.
+
+This is the substitute for running on real hardware (DESIGN.md §2).  Time
+advances between *events* (task completions and scheduler timers).  While a
+task runs it owns one core and drains:
+
+* a **compute component** at rate 1 (time units of ``task.work``), and
+* one **memory stream per NUMA node** it touches, whose instantaneous rate
+  comes from :class:`~repro.machine.interconnect.Interconnect` (processor
+  sharing of each node's bandwidth, scaled by socket distance).
+
+A task finishes when compute *and* all streams have drained (roofline-style
+overlap of compute and memory).  Because rates only change when the set of
+running tasks changes, completions can be predicted exactly between events.
+
+Scheduling protocol: when a task becomes ready the attached scheduler's
+``choose(task)`` returns a :class:`~repro.runtime.placement.Placement` —
+a socket queue (work-pushing), a core queue (DFIFO), or *park* (RGP's
+temporary queue while the window partition is pending).  Idle cores pull
+from their queues; optional distance-aware work stealing rebalances.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..machine.interconnect import Interconnect, StreamKey
+from ..machine.memory import DEFAULT_PAGE_SIZE, MemoryManager
+from ..machine.topology import NumaTopology
+from .cost import traffic_streams
+from .placement import Placement
+from .program import TaskProgram
+from .result import SimulationResult, TaskRecord
+from .task import Task
+
+#: Time tolerance (timer coalescing, compute drain).
+_EPS = 1e-9
+#: Byte tolerance: streams hold up to ~1e8 bytes and are drained by
+#: ``rate * dt`` with dt derived from float time arithmetic, so residues of
+#: ~1e-7 bytes are normal round-off, not pending work.  A hundredth of a
+#: byte is far below anything the model can resolve.
+_EPS_BYTES = 1e-2
+
+
+@dataclass(eq=False)
+class _Running:
+    task: Task
+    core: int
+    socket: int
+    start: float
+    compute_remaining: float
+    streams: dict[int, float]  # node -> remaining bytes
+
+    def active_nodes(self) -> list[int]:
+        return [n for n, b in self.streams.items() if b > _EPS_BYTES]
+
+    def is_done(self) -> bool:
+        return self.compute_remaining <= _EPS and not self.active_nodes()
+
+
+@dataclass(order=True)
+class _Timer:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class Simulator:
+    """Simulate one program on one machine under one scheduler."""
+
+    def __init__(
+        self,
+        program: TaskProgram,
+        topology: NumaTopology,
+        scheduler,
+        *,
+        interconnect: Interconnect | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        steal: bool | str = True,
+        steal_distance: float | None = None,
+        seed: int = 0,
+        duration_jitter: float = 0.03,
+        max_iterations: int | None = None,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.topology = topology
+        self.interconnect = interconnect or Interconnect(topology)
+        ic_topo = self.interconnect.topology
+        if (
+            ic_topo.n_sockets != topology.n_sockets
+            or ic_topo.cores_per_socket != topology.cores_per_socket
+            or not np.allclose(ic_topo.distance, topology.distance)
+        ):
+            raise SimulationError(
+                "interconnect was built for a structurally different topology"
+            )
+        # Steal policy: True/"global" (any victim), "near" (victims within
+        # ``steal_distance``, default: strictly closer than the machine
+        # diameter, i.e. same module on the bullion), False/"off".
+        if steal in (True, "global"):
+            self.steal_enabled = True
+            self.steal_distance = float("inf")
+        elif steal == "near":
+            self.steal_enabled = True
+            self.steal_distance = (
+                float(steal_distance)
+                if steal_distance is not None
+                else topology.max_distance() - 1e-9
+            )
+        elif steal in (False, "off"):
+            self.steal_enabled = False
+            self.steal_distance = 0.0
+        else:
+            raise SimulationError(f"unknown steal policy {steal!r}")
+        self.seed = int(seed)
+        if not 0.0 <= duration_jitter < 1.0:
+            raise SimulationError("duration_jitter must be in [0, 1)")
+        # Multiplicative per-task noise (OS noise, cache effects): without it
+        # the fluid model is perfectly periodic and cyclic policies can lock
+        # into accidental task->core alignments a real machine never keeps.
+        self.duration_jitter = float(duration_jitter)
+        self.rng = np.random.default_rng([self.seed, 0x51])
+        self.max_iterations = (
+            max_iterations
+            if max_iterations is not None
+            else 50 * max(1, program.n_tasks) + 1000
+        )
+
+        # Memory image: register all objects, apply explicit pre-bindings.
+        self.memory = MemoryManager(topology.n_nodes, page_size)
+        for obj in program.objects:
+            self.memory.register(obj.key, obj.size_bytes)
+            if obj.initial_node is not None:
+                self.memory.bind(obj.key, obj.initial_node)
+            elif obj.interleaved:
+                self.memory.interleave(obj.key)
+
+        # Queues.
+        self.socket_queues: list[deque[Task]] = [
+            deque() for _ in range(topology.n_sockets)
+        ]
+        self.core_queues: list[deque[Task]] = [deque() for _ in range(topology.n_cores)]
+        self.idle_cores: list[list[int]] = [
+            list(reversed(topology.cores_of_socket(s))) for s in topology.sockets()
+        ]
+        self.parked: list[Task] = []
+
+        # Task state.
+        n = program.n_tasks
+        self.pending_deps = np.array(
+            [program.tdg.in_degree(t) for t in range(n)], dtype=np.int64
+        )
+        self.done = np.zeros(n, dtype=bool)
+        self.n_done = 0
+        self.running: dict[int, _Running] = {}
+
+        # Barrier epochs.
+        self.n_epochs = program.n_epochs
+        self.remaining_in_epoch = np.zeros(self.n_epochs, dtype=np.int64)
+        for t in program.tasks:
+            self.remaining_in_epoch[t.epoch] += 1
+        self.active_epoch = 0
+        self.held_by_epoch: list[list[Task]] = [[] for _ in range(self.n_epochs)]
+
+        # Clock and timers.
+        self.now = 0.0
+        self._timers: list[_Timer] = []
+        self._timer_seq = 0
+
+        # Statistics.
+        self.records: list[TaskRecord] = []
+        self._start_traffic: dict[int, tuple[float, float]] = {}
+        self.bytes_by_pair = np.zeros(
+            (topology.n_sockets, topology.n_nodes), dtype=np.float64
+        )
+        self.busy_time = np.zeros(topology.n_sockets, dtype=np.float64)
+        self.steals = 0
+        self.parked_total = 0
+
+        self.scheduler = scheduler
+        scheduler.attach(self, np.random.default_rng([self.seed, 0xA5]))
+
+    # ------------------------------------------------------------------
+    # Public API used by schedulers
+    # ------------------------------------------------------------------
+    def schedule_timer(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` (e.g. partition completion)."""
+        if delay < 0:
+            raise SimulationError("timer delay must be >= 0")
+        self._timer_seq += 1
+        heapq.heappush(
+            self._timers, _Timer(self.now + delay, self._timer_seq, callback)
+        )
+
+    def reoffer(self, tasks: list[Task]) -> None:
+        """Re-offer previously parked tasks to the scheduler."""
+        still_parked = {t.tid for t in tasks}
+        self.parked = [t for t in self.parked if t.tid not in still_parked]
+        for task in tasks:
+            self._offer(task)
+
+    @property
+    def n_sockets(self) -> int:
+        return self.topology.n_sockets
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the simulation to completion and return the result."""
+        self.scheduler.on_program_start()
+        self._advance_empty_epochs()
+        for task in self.program.tasks:
+            if self.pending_deps[task.tid] == 0:
+                self._on_deps_satisfied(task)
+        self._dispatch()
+
+        iterations = 0
+        n = self.program.n_tasks
+        while self.n_done < n:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise SimulationError(
+                    f"no convergence after {iterations} iterations "
+                    f"({self.n_done}/{n} tasks done) — simulator bug?"
+                )
+            next_completion, finish_by_task = self._predict_completions()
+            next_timer = self._timers[0].time if self._timers else np.inf
+            t_next = min(next_completion, next_timer)
+            if not np.isfinite(t_next):
+                self._raise_deadlock()
+            dt = t_next - self.now
+            if dt > 0:
+                self._drain(dt)
+                self.now = t_next
+            else:
+                self.now = max(self.now, t_next)
+
+            while self._timers and self._timers[0].time <= self.now + _EPS:
+                heapq.heappop(self._timers).callback()
+
+            completed = sorted(
+                (rt for rt in self.running.values() if rt.is_done()),
+                key=lambda rt: rt.task.tid,
+            )
+            for rt in completed:
+                self._finish(rt)
+            self._dispatch()
+
+        return SimulationResult(
+            program_name=self.program.name,
+            scheduler_name=self.scheduler.name,
+            machine_name=self.topology.name,
+            makespan=self.now,
+            records=self.records,
+            bytes_by_pair=self.bytes_by_pair,
+            busy_time_per_socket=self.busy_time,
+            steals=self.steals,
+            parked_tasks=self.parked_total,
+            touch_count=self.memory.touch_count,
+            bytes_on_node=self.memory.bytes_on_node.copy(),
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Readiness and offering
+    # ------------------------------------------------------------------
+    def _on_deps_satisfied(self, task: Task) -> None:
+        if task.epoch > self.active_epoch:
+            self.held_by_epoch[task.epoch].append(task)
+        else:
+            self._offer(task)
+
+    def _offer(self, task: Task) -> None:
+        decision = self.scheduler.choose(task)
+        if not isinstance(decision, Placement):
+            raise SimulationError(
+                f"scheduler {self.scheduler.name!r} returned {decision!r}, "
+                "expected a Placement"
+            )
+        if decision.park:
+            self.parked.append(task)
+            self.parked_total += 1
+        elif decision.core is not None:
+            if not 0 <= decision.core < self.topology.n_cores:
+                raise SimulationError(f"placement core {decision.core} out of range")
+            self.core_queues[decision.core].append(task)
+        else:
+            if not 0 <= decision.socket < self.n_sockets:
+                raise SimulationError(
+                    f"placement socket {decision.socket} out of range"
+                )
+            self.socket_queues[decision.socket].append(task)
+
+    def _advance_empty_epochs(self) -> None:
+        while (
+            self.active_epoch + 1 < self.n_epochs
+            and self.remaining_in_epoch[self.active_epoch] == 0
+        ):
+            self.active_epoch += 1
+            for task in self.held_by_epoch[self.active_epoch]:
+                self._offer(task)
+            self.held_by_epoch[self.active_epoch] = []
+
+    # ------------------------------------------------------------------
+    # Dispatch: idle cores pull work (plus stealing)
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Local starts: core queues first (explicit core placements),
+            # then the socket queue.
+            for s in range(self.n_sockets):
+                idle = self.idle_cores[s]
+                if not idle:
+                    continue
+                # Cores with private work.
+                for core in list(idle):
+                    if self.core_queues[core]:
+                        idle.remove(core)
+                        task = self.core_queues[core].popleft()
+                        self._start(task, core, s)
+                        progress = True
+                while self.idle_cores[s] and self.socket_queues[s]:
+                    core = self.idle_cores[s].pop()
+                    task = self.socket_queues[s].popleft()
+                    self._start(task, core, s)
+                    progress = True
+            if self.steal_enabled and self._try_steal():
+                progress = True
+
+    def _try_steal(self) -> bool:
+        """One round of distance-aware stealing; True if anything moved."""
+        stole = False
+        for s in range(self.n_sockets):
+            if not self.idle_cores[s]:
+                continue
+            for victim in self.topology.sockets_by_distance(s):
+                if victim == s:
+                    continue
+                if self.topology.dist(s, victim) > self.steal_distance:
+                    break  # victims are distance-ordered; all further ones fail
+                task = self._pop_victim_work(victim)
+                if task is None:
+                    continue
+                core = self.idle_cores[s].pop()
+                self.steals += 1
+                self._start(task, core, s)
+                stole = True
+                break
+        return stole
+
+    def _pop_victim_work(self, victim: int) -> Task | None:
+        if self.socket_queues[victim]:
+            return self.socket_queues[victim].popleft()
+        for core in self.topology.cores_of_socket(victim):
+            if self.core_queues[core]:
+                return self.core_queues[core].popleft()
+        return None
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def _start(self, task: Task, core: int, socket: int) -> None:
+        node = socket  # one memory node per socket
+        # Deferred allocation: bind output pages where the producer runs;
+        # first-touch-on-read binds never-written inputs too (OS behaviour).
+        for access in task.accesses:
+            self.memory.touch(access.obj.key, node, access.offset, access.length)
+        streams = traffic_streams(task, self.memory)
+
+        compute = task.work
+        local_bytes = remote_bytes = 0.0
+        for n in streams:
+            compute += self.interconnect.access_latency(socket, n)
+            self.bytes_by_pair[socket, n] += streams[n]
+            if n == socket:
+                local_bytes += streams[n]
+            else:
+                remote_bytes += streams[n]
+        self._start_traffic[task.tid] = (local_bytes, remote_bytes)
+
+        if self.duration_jitter > 0.0:
+            factor = 1.0 + self.duration_jitter * float(self.rng.uniform(-1.0, 1.0))
+            compute *= factor
+            streams = {n: b * factor for n, b in streams.items()}
+
+        self.running[task.tid] = _Running(
+            task=task,
+            core=core,
+            socket=socket,
+            start=self.now,
+            compute_remaining=compute,
+            streams=streams,
+        )
+
+    def _finish(self, rt: _Running) -> None:
+        task = rt.task
+        del self.running[task.tid]
+        self.idle_cores[rt.socket].append(rt.core)
+        self.done[task.tid] = True
+        self.n_done += 1
+        self.busy_time[rt.socket] += self.now - rt.start
+        local_bytes, remote_bytes = self._start_traffic.pop(task.tid, (0.0, 0.0))
+        self.records.append(
+            TaskRecord(
+                tid=task.tid,
+                name=task.name,
+                socket=rt.socket,
+                core=rt.core,
+                start=rt.start,
+                finish=self.now,
+                local_bytes=local_bytes,
+                remote_bytes=remote_bytes,
+            )
+        )
+        self.scheduler.on_task_finished(task)
+
+        self.remaining_in_epoch[task.epoch] -= 1
+        for succ in self.program.tdg.successors(task.tid):
+            self.pending_deps[succ] -= 1
+            if self.pending_deps[succ] == 0:
+                self._on_deps_satisfied(self.program.tasks[succ])
+        # Epoch advance (may cascade through empty epochs).
+        while (
+            self.active_epoch + 1 < self.n_epochs
+            and self.remaining_in_epoch[self.active_epoch] == 0
+        ):
+            self.active_epoch += 1
+            released = self.held_by_epoch[self.active_epoch]
+            self.held_by_epoch[self.active_epoch] = []
+            for held in released:
+                self._offer(held)
+
+    # ------------------------------------------------------------------
+    # Fluid-flow mechanics
+    # ------------------------------------------------------------------
+    def _collect_streams(self) -> tuple[list[StreamKey], list[tuple[_Running, int]]]:
+        keys: list[StreamKey] = []
+        refs: list[tuple[_Running, int]] = []
+        for rt in self.running.values():
+            for n in rt.active_nodes():
+                keys.append(StreamKey(rt.socket, n, group=rt.task.tid))
+                refs.append((rt, n))
+        return keys, refs
+
+    def _predict_completions(self) -> tuple[float, dict[int, float]]:
+        """Earliest absolute finish time over running tasks (exact while the
+        active set is unchanged)."""
+        if not self.running:
+            return np.inf, {}
+        keys, refs = self._collect_streams()
+        rates = self.interconnect.stream_rates(keys)
+        drain_time: dict[int, float] = {
+            tid: rt.compute_remaining for tid, rt in self.running.items()
+        }
+        for (rt, node), rate in zip(refs, rates):
+            if rate <= 0:
+                raise SimulationError("stream with zero rate — bad bandwidth config")
+            t = rt.streams[node] / rate
+            if t > drain_time[rt.task.tid]:
+                drain_time[rt.task.tid] = t
+        finish = {tid: self.now + t for tid, t in drain_time.items()}
+        return min(finish.values()), finish
+
+    def _drain(self, dt: float) -> None:
+        keys, refs = self._collect_streams()
+        rates = self.interconnect.stream_rates(keys)
+        for (rt, node), rate in zip(refs, rates):
+            left = rt.streams[node] - rate * dt
+            rt.streams[node] = left if left > _EPS_BYTES else 0.0
+        for rt in self.running.values():
+            left = rt.compute_remaining - dt
+            rt.compute_remaining = left if left > _EPS else 0.0
+
+    # ------------------------------------------------------------------
+    def _raise_deadlock(self) -> None:
+        queued = sum(len(q) for q in self.socket_queues) + sum(
+            len(q) for q in self.core_queues
+        )
+        raise SimulationError(
+            f"deadlock at t={self.now:.4g}: {self.n_done}/{self.program.n_tasks} "
+            f"done, {len(self.running)} running, {queued} queued, "
+            f"{len(self.parked)} parked, active_epoch={self.active_epoch}. "
+            "Parked tasks with no pending timer usually mean a scheduler "
+            "never re-offered its temporary queue."
+        )
+
+
+def simulate(
+    program: TaskProgram,
+    topology: NumaTopology,
+    scheduler,
+    **kwargs,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    return Simulator(program, topology, scheduler, **kwargs).run()

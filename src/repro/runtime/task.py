@@ -1,0 +1,78 @@
+"""The task record.
+
+Tasks are immutable once created: all mutable scheduling/simulation state
+lives in the simulator, so one :class:`~repro.runtime.program.TaskProgram`
+can be simulated many times under different schedulers without rebuilding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import RuntimeStateError
+from .data import AccessMode, DataAccess
+
+
+@dataclass(eq=False)
+class Task:
+    """One node of the task dependency graph.
+
+    Parameters
+    ----------
+    tid:
+        Dense id in creation order (== TDG node id).
+    name:
+        Label, e.g. ``"potrf(2,2)"``.
+    accesses:
+        Declared data accesses (the ``depend`` clauses).
+    work:
+        Pure compute time in simulated time units (memory time is derived
+        from the accesses and the machine state at run time).
+    fn:
+        Optional real computation, called with no arguments in execution
+        mode (apps close over their numpy payloads).
+    epoch:
+        Barrier epoch: the task may only start once every task of earlier
+        epochs has finished.
+    meta:
+        Free-form metadata; known keys: ``"ep_socket"`` (expert-programmer
+        placement), app-specific tile coordinates.
+    """
+
+    tid: int
+    name: str
+    accesses: tuple[DataAccess, ...]
+    work: float
+    fn: Callable[[], Any] | None = None
+    epoch: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise RuntimeStateError(f"task {self.name!r}: work must be >= 0")
+        if self.epoch < 0:
+            raise RuntimeStateError(f"task {self.name!r}: epoch must be >= 0")
+        self.accesses = tuple(self.accesses)
+
+    # ------------------------------------------------------------------
+    @property
+    def input_bytes(self) -> int:
+        """Bytes read (IN + INOUT)."""
+        return sum(a.bytes for a in self.accesses if a.mode.reads)
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes written (OUT + INOUT)."""
+        return sum(a.bytes for a in self.accesses if a.mode.writes)
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Total memory traffic the task generates."""
+        return sum(a.traffic_bytes for a in self.accesses)
+
+    def accesses_by_mode(self, mode: AccessMode) -> list[DataAccess]:
+        return [a for a in self.accesses if a.mode is mode]
+
+    def __repr__(self) -> str:
+        return f"Task({self.tid}, {self.name!r}, work={self.work:.3g})"

@@ -1,0 +1,118 @@
+"""Schedule validation: prove a simulation result is physically possible.
+
+The executor validates *orders*; this module validates the *timed
+schedule* itself, straight from the records:
+
+* no core runs two tasks at once;
+* every task starts at/after all its TDG predecessors finished;
+* barrier epochs do not overlap;
+* every task ran exactly once, on a core of its recorded socket.
+
+Used by the integration tests after every scheduler change, and exported
+for users debugging their own policies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import SimulationError
+from ..machine.topology import NumaTopology
+from ..runtime.program import TaskProgram
+from ..runtime.result import SimulationResult
+
+#: Scheduling tolerance for float comparisons (simulated time units).
+_TOL = 1e-6
+
+
+def validate_schedule(
+    program: TaskProgram,
+    result: SimulationResult,
+    topology: NumaTopology,
+) -> None:
+    """Raise :class:`SimulationError` on the first inconsistency found."""
+    _check_coverage(program, result)
+    _check_socket_core_consistency(result, topology)
+    _check_core_exclusivity(result)
+    _check_dependences(program, result)
+    _check_barriers(program, result)
+
+
+def _check_coverage(program: TaskProgram, result: SimulationResult) -> None:
+    tids = sorted(r.tid for r in result.records)
+    if tids != list(range(program.n_tasks)):
+        raise SimulationError(
+            f"schedule covers {len(tids)} records for {program.n_tasks} tasks"
+        )
+    for rec in result.records:
+        if rec.finish < rec.start - _TOL:
+            raise SimulationError(
+                f"task {rec.tid} finishes ({rec.finish}) before it starts "
+                f"({rec.start})"
+            )
+        if rec.finish > result.makespan + _TOL:
+            raise SimulationError(
+                f"task {rec.tid} finishes after the makespan"
+            )
+
+
+def _check_socket_core_consistency(
+    result: SimulationResult, topology: NumaTopology
+) -> None:
+    for rec in result.records:
+        if topology.socket_of_core(rec.core) != rec.socket:
+            raise SimulationError(
+                f"task {rec.tid} recorded on core {rec.core} which belongs "
+                f"to socket {topology.socket_of_core(rec.core)}, not "
+                f"{rec.socket}"
+            )
+
+
+def _check_core_exclusivity(result: SimulationResult) -> None:
+    by_core = defaultdict(list)
+    for rec in result.records:
+        by_core[rec.core].append(rec)
+    for core, recs in by_core.items():
+        recs.sort(key=lambda r: r.start)
+        for prev, cur in zip(recs, recs[1:]):
+            if cur.start < prev.finish - _TOL:
+                raise SimulationError(
+                    f"core {core} overlap: task {prev.tid} "
+                    f"[{prev.start:.6g}, {prev.finish:.6g}) and task "
+                    f"{cur.tid} [{cur.start:.6g}, {cur.finish:.6g})"
+                )
+
+
+def _check_dependences(program: TaskProgram, result: SimulationResult) -> None:
+    rec = {r.tid: r for r in result.records}
+    for src, dst, _w in program.tdg.edges():
+        if rec[dst].start < rec[src].finish - _TOL:
+            raise SimulationError(
+                f"dependence violated: task {dst} "
+                f"({program.tasks[dst].name}) started at "
+                f"{rec[dst].start:.6g} before its predecessor {src} "
+                f"({program.tasks[src].name}) finished at "
+                f"{rec[src].finish:.6g}"
+            )
+
+
+def _check_barriers(program: TaskProgram, result: SimulationResult) -> None:
+    rec = {r.tid: r for r in result.records}
+    latest_finish_by_epoch: dict[int, float] = defaultdict(float)
+    earliest_start_by_epoch: dict[int, float] = defaultdict(lambda: float("inf"))
+    for task in program.tasks:
+        r = rec[task.tid]
+        latest_finish_by_epoch[task.epoch] = max(
+            latest_finish_by_epoch[task.epoch], r.finish
+        )
+        earliest_start_by_epoch[task.epoch] = min(
+            earliest_start_by_epoch[task.epoch], r.start
+        )
+    epochs = sorted(latest_finish_by_epoch)
+    for prev, cur in zip(epochs, epochs[1:]):
+        if earliest_start_by_epoch[cur] < latest_finish_by_epoch[prev] - _TOL:
+            raise SimulationError(
+                f"barrier violated: epoch {cur} starts at "
+                f"{earliest_start_by_epoch[cur]:.6g} before epoch {prev} "
+                f"finishes at {latest_finish_by_epoch[prev]:.6g}"
+            )

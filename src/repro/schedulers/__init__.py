@@ -1,0 +1,69 @@
+"""Scheduling policies: the paper's baselines plus the RGP contribution.
+
+The registry maps the paper's policy names to constructors so experiments
+can say ``make_scheduler("rgp+las", window_size=512)``.  The RGP entries
+resolve lazily to :mod:`repro.core` (which itself builds on the baseline
+schedulers here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Scheduler
+from .dfifo import DFIFOScheduler
+from .ep import EP_SOCKET_KEY, EPScheduler
+from .heft import HEFTScheduler
+from .las import LASScheduler, las_pick_socket
+from .migration import MigratingLASWrapper
+from .random_sched import RandomScheduler
+
+
+def _rgp(**kwargs) -> Scheduler:
+    from ..core.rgp import RGPScheduler
+
+    return RGPScheduler(**kwargs)
+
+
+def _rgp_las(**kwargs) -> Scheduler:
+    from ..core.rgp import RGPLASScheduler
+
+    return RGPLASScheduler(**kwargs)
+
+
+SCHEDULERS: dict[str, Callable[..., Scheduler]] = {
+    "dfifo": DFIFOScheduler,
+    "las": LASScheduler,
+    "las+migrate": MigratingLASWrapper,
+    "ep": EPScheduler,
+    "heft": HEFTScheduler,
+    "random": RandomScheduler,
+    "rgp": _rgp,
+    "rgp+las": _rgp_las,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by its paper name."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; known: {sorted(SCHEDULERS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "EP_SOCKET_KEY",
+    "SCHEDULERS",
+    "DFIFOScheduler",
+    "EPScheduler",
+    "HEFTScheduler",
+    "LASScheduler",
+    "MigratingLASWrapper",
+    "RandomScheduler",
+    "Scheduler",
+    "las_pick_socket",
+    "make_scheduler",
+]

@@ -1,0 +1,54 @@
+"""Scheduler interface: the policy plug-point of the runtime.
+
+A scheduler sees exactly what the paper's runtime sees: the machine
+topology, the current page placement (via the simulator's memory manager),
+and each task as it becomes *ready*.  It answers with a
+:class:`~repro.runtime.placement.Placement`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..runtime.placement import Placement
+from ..runtime.task import Task
+
+
+class Scheduler(ABC):
+    """Base class for scheduling policies."""
+
+    #: registry/CLI name
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.sim = None  # set by attach()
+        self.rng: np.random.Generator = np.random.default_rng(0)
+
+    def attach(self, sim, rng: np.random.Generator) -> None:
+        """Bind to a simulator instance before the run starts."""
+        self.sim = sim
+        self.rng = rng
+
+    def on_program_start(self) -> None:
+        """Called once before any task is offered (RGP partitions here)."""
+
+    @abstractmethod
+    def choose(self, task: Task) -> Placement:
+        """Place a ready task."""
+
+    def on_task_finished(self, task: Task) -> None:
+        """Notification after each task completes (for adaptive policies)."""
+
+    # Convenience accessors -------------------------------------------------
+    @property
+    def topology(self):
+        return self.sim.topology
+
+    @property
+    def memory(self):
+        return self.sim.memory
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,31 @@
+"""Expert programmer (EP): placement hardcoded by the benchmark author.
+
+Every application in :mod:`repro.apps` annotates its tasks with a
+``meta["ep_socket"]`` — the distribution a human expert would write into
+the source (block or block-cyclic over sockets, matching the data layout).
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulerError
+from ..runtime.placement import Placement
+from ..runtime.task import Task
+from .base import Scheduler
+
+EP_SOCKET_KEY = "ep_socket"
+
+
+class EPScheduler(Scheduler):
+    """Follows the per-task expert placement annotation."""
+
+    name = "ep"
+
+    def choose(self, task: Task) -> Placement:
+        try:
+            socket = task.meta[EP_SOCKET_KEY]
+        except KeyError:
+            raise SchedulerError(
+                f"task {task.name!r} has no {EP_SOCKET_KEY!r} annotation; "
+                "the application does not support the EP policy"
+            ) from None
+        return Placement(socket=int(socket) % self.topology.n_sockets)

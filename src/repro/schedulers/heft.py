@@ -1,0 +1,105 @@
+"""HEFT: Heterogeneous Earliest-Finish-Time static list scheduling.
+
+A classic whole-DAG baseline from the scheduling literature (Topcuoglu et
+al.), added as an extension: unlike RGP it plans *every* task's placement
+up front from cost estimates, and unlike LAS it ignores the actual page
+placement at run time.  On NUMA machines its weakness is exactly what the
+paper exploits: its estimates assume data sits wherever the producer was
+*planned*, so estimation errors compound, and it cannot react.
+
+Implementation (socket-granular):
+
+* **upward rank**: ``rank(v) = exec_est(v) + max over succ (comm(v, s) +
+  rank(s))`` with communication charged at the machine's average remote
+  bandwidth;
+* tasks in decreasing rank order are assigned to the socket minimising
+  the *estimated finish time*, honouring per-core availability and
+  data-transfer estimates from the planned producer sockets.
+
+The plan is computed in ``on_program_start`` and followed verbatim; the
+simulator's work stealing (if enabled) provides the only dynamism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.placement import Placement
+from ..runtime.task import Task
+from .base import Scheduler
+
+
+class HEFTScheduler(Scheduler):
+    """Static earliest-finish-time list scheduler over sockets."""
+
+    name = "heft"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._plan: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def on_program_start(self) -> None:
+        program = self.sim.program
+        topo = self.topology
+        interconnect = self.sim.interconnect
+        n = program.n_tasks
+        k = topo.n_sockets
+
+        # Cost estimates.
+        local_bw = float(topo.node_bandwidth.mean())
+        effs = [
+            interconnect.efficiency(s, m)
+            for s in range(k) for m in range(k) if s != m
+        ]
+        remote_bw = local_bw * (float(np.mean(effs)) if effs else 1.0)
+
+        def exec_est(task: Task) -> float:
+            # Compute overlapped with local streaming of its own traffic.
+            return max(task.work, task.traffic_bytes / local_bw)
+
+        def comm_est(nbytes: float) -> float:
+            return nbytes / remote_bw
+
+        # Upward ranks (reverse topological = reverse creation order).
+        rank = np.zeros(n)
+        for v in range(n - 1, -1, -1):
+            task = program.tasks[v]
+            best = 0.0
+            for succ, w in program.tdg.successors(v).items():
+                cand = comm_est(w) + rank[succ]
+                if cand > best:
+                    best = cand
+            rank[v] = exec_est(task) + best
+
+        # EFT assignment in decreasing rank order.
+        core_free = np.zeros((k, topo.cores_per_socket))
+        aft = np.zeros(n)  # actual (planned) finish times
+        order = sorted(range(n), key=lambda v: (-rank[v], v))
+        for v in order:
+            task = program.tasks[v]
+            base = exec_est(task)
+            best_socket, best_eft, best_core = 0, np.inf, 0
+            for s in range(k):
+                ready = 0.0
+                for pred, w in program.tdg.predecessors(v).items():
+                    arrive = aft[pred]
+                    if self._plan.get(pred, s) != s:
+                        arrive += comm_est(w)
+                    ready = max(ready, arrive)
+                core = int(np.argmin(core_free[s]))
+                est = max(ready, core_free[s, core])
+                eft = est + base
+                if eft < best_eft - 1e-12:
+                    best_socket, best_eft, best_core = s, eft, core
+            self._plan[v] = best_socket
+            core_free[best_socket, best_core] = best_eft
+            aft[v] = best_eft
+
+    def choose(self, task: Task) -> Placement:
+        return Placement(socket=self._plan[task.tid])
+
+    @property
+    def plan(self) -> dict[int, int]:
+        """The static task -> socket plan (after ``on_program_start``)."""
+        return dict(self._plan)

@@ -1,0 +1,105 @@
+"""Locality-aware scheduling (LAS) — Drebes et al. [PACT'16], the baseline.
+
+Dynamic task-and-data placement built on two mechanisms (paper §2.1):
+
+* **deferred allocation** — output pages bind where the producer runs
+  (implemented by the simulator's first-touch-at-task-start); and
+* **enhanced work-pushing** — at scheduling time the runtime weighs each
+  socket by the bytes of the task's *already allocated* input and output
+  data and pushes the task to the heaviest socket; ties break uniformly at
+  random, and "if most of the data is unallocated, the final socket is
+  randomly chosen among all sockets available to the runtime system".
+
+The random cold-start choice is LAS's Achilles heel that RGP fixes: the
+first tasks (nothing allocated yet) scatter randomly, first-touch then
+pins their output data — and through propagation the whole residual
+computation — to that random initial layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.cost import allocated_bytes_per_node
+from ..runtime.placement import Placement
+from ..runtime.task import Task
+from .base import Scheduler
+
+
+def las_pick_socket(
+    task: Task,
+    memory,
+    rng: np.random.Generator,
+    n_sockets: int,
+    random_threshold: float = 0.0,
+    audit: dict | None = None,
+) -> int:
+    """The LAS socket choice, reusable by RGP+LAS propagation.
+
+    ``random_threshold`` controls the cold-start rule: the socket is chosen
+    uniformly at random iff the *allocated* fraction of the task's data is
+    <= the threshold.  The default 0.0 is Drebes et al.'s behaviour (random
+    only when literally nothing is allocated — under deferred allocation a
+    task's freshly declared outputs are always unallocated and carry no
+    information about where the task should run, so they must not drown
+    out the allocated inputs).  The poster's literal wording "if most of
+    the data is unallocated" corresponds to 0.5 and is exposed as a LAS
+    ablation.
+    """
+    per_node, unbound = allocated_bytes_per_node(task, memory)
+    per_node = per_node[:n_sockets]
+    bound_total = int(per_node.sum())
+    total = bound_total + unbound
+    if bound_total == 0 or (total > 0 and bound_total <= random_threshold * total):
+        if audit is not None:
+            audit["random"] = audit.get("random", 0) + 1
+        return int(rng.integers(n_sockets))
+    best = per_node.max()
+    ties = np.flatnonzero(per_node == best)
+    if audit is not None:
+        key = "weighted" if len(ties) == 1 else "tie"
+        audit[key] = audit.get(key, 0) + 1
+    if len(ties) == 1:
+        return int(ties[0])
+    return int(rng.choice(ties))
+
+
+class LASScheduler(Scheduler):
+    """Enhanced work-pushing by allocated-byte weight (the LAS baseline)."""
+
+    name = "las"
+
+    def __init__(
+        self, tie_break: str = "random", random_threshold: float = 0.0
+    ) -> None:
+        """``tie_break``: ``"random"`` (paper) or ``"first"`` (deterministic
+        lowest-id socket); ``random_threshold``: cold-start rule, see
+        :func:`las_pick_socket` (0.0 = Drebes, 0.5 = poster-literal)."""
+        super().__init__()
+        if tie_break not in ("random", "first"):
+            raise ValueError(f"unknown tie_break {tie_break!r}")
+        if not 0.0 <= random_threshold <= 1.0:
+            raise ValueError("random_threshold must be in [0, 1]")
+        self.tie_break = tie_break
+        self.random_threshold = random_threshold
+        #: Decision audit: how often the weighted / tie / random branch
+        #: fired — the observability handle for the cold-start ablation.
+        self.audit: dict[str, int] = {}
+
+    def choose(self, task: Task) -> Placement:
+        if self.tie_break == "random":
+            socket = las_pick_socket(
+                task, self.memory, self.rng, self.topology.n_sockets,
+                random_threshold=self.random_threshold,
+                audit=self.audit,
+            )
+        else:
+            per_node, unbound = allocated_bytes_per_node(task, self.memory)
+            per_node = per_node[: self.topology.n_sockets]
+            bound = int(per_node.sum())
+            total = bound + unbound
+            if bound == 0 or (total and bound <= self.random_threshold * total):
+                socket = int(self.rng.integers(self.topology.n_sockets))
+            else:
+                socket = int(np.argmax(per_node))
+        return Placement(socket=socket)

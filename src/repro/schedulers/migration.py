@@ -1,0 +1,113 @@
+"""Reactive OS-style page migration — the related-work baseline (§1).
+
+The paper's introduction contrasts runtime-level techniques against OS
+mechanisms (kMAF, Carrefour, hardware-counter-driven migration [2, 3, 8])
+that "do not exploit application-specific information ... they take action
+when the application is already suffering from remote memory accesses".
+
+:class:`MigratingLASWrapper` models that class: an underlying scheduling
+policy runs unmodified while a *migration daemon* wakes up every
+``period`` simulated time units, finds the data objects with the most
+remote traffic since the last wake-up, and migrates their pages to the
+socket that referenced them most.  Migration itself costs time: the daemon
+charges ``migration_cost_per_byte`` by delaying the next wake-up.
+
+This gives the reproduction a quantitative version of the paper's
+qualitative claim: reactive migration recovers some locality but pays for
+it late, while RGP places data correctly *before* first touch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.placement import Placement
+from ..runtime.task import Task
+from .base import Scheduler
+from .las import LASScheduler
+
+
+class MigratingLASWrapper(Scheduler):
+    """LAS placement plus a periodic reactive page-migration daemon."""
+
+    name = "las+migrate"
+
+    def __init__(
+        self,
+        period: float = 10.0,
+        top_k: int = 8,
+        migration_cost_per_byte: float = 2e-6,
+        inner: Scheduler | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("migration period must be positive")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        super().__init__()
+        self.period = float(period)
+        self.top_k = int(top_k)
+        self.migration_cost_per_byte = float(migration_cost_per_byte)
+        self.inner = inner or LASScheduler()
+        #: object key -> per-socket remote reference bytes since last wake
+        self._remote_refs: dict[int, np.ndarray] = {}
+        #: total pages moved (diagnostics)
+        self.pages_migrated = 0
+        self.migration_rounds = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, sim, rng: np.random.Generator) -> None:
+        super().attach(sim, rng)
+        self.inner.attach(sim, rng)
+        self._remote_refs = {}
+        self.pages_migrated = 0
+        self.migration_rounds = 0
+
+    def on_program_start(self) -> None:
+        self.inner.on_program_start()
+        self.sim.schedule_timer(self.period, self._wake)
+
+    def choose(self, task: Task) -> Placement:
+        return self.inner.choose(task)
+
+    def on_task_finished(self, task: Task) -> None:
+        """Record remote references the way a sampling profiler would."""
+        self.inner.on_task_finished(task)
+        memory = self.memory
+        # The socket the task ran on: look it up from its completion record
+        # (the simulator appends it just before calling this hook).
+        socket = self.sim.records[-1].socket
+        for access in task.accesses:
+            placement = memory.node_bytes_of_range(
+                access.obj.key, access.offset, access.length
+            )
+            remote = placement.bytes_per_node.copy()
+            remote[socket] = 0  # local references are fine
+            if remote.any():
+                refs = self._remote_refs.setdefault(
+                    access.obj.key, np.zeros(self.topology.n_sockets)
+                )
+                # Attribute the remote bytes to the *referencing* socket:
+                # that is where the pages should move.
+                refs[socket] += float(remote.sum())
+
+    # ------------------------------------------------------------------
+    def _wake(self) -> None:
+        """One daemon round: migrate the hottest remotely-accessed objects."""
+        self.migration_rounds += 1
+        moved_bytes = 0.0
+        if self._remote_refs:
+            hottest = sorted(
+                self._remote_refs.items(),
+                key=lambda kv: float(kv[1].sum()),
+                reverse=True,
+            )[: self.top_k]
+            for key, refs in hottest:
+                target = int(np.argmax(refs))
+                moved = self.memory.migrate(key, target)
+                self.pages_migrated += moved
+                moved_bytes += moved * self.memory.page_size
+            self._remote_refs.clear()
+        # Next wake-up is delayed by the cost of what we just moved.
+        delay = self.period + moved_bytes * self.migration_cost_per_byte
+        if self.sim.n_done < self.sim.program.n_tasks:
+            self.sim.schedule_timer(delay, self._wake)

@@ -1,0 +1,16 @@
+"""Uniform-random socket placement — a sanity-check floor policy."""
+
+from __future__ import annotations
+
+from ..runtime.placement import Placement
+from ..runtime.task import Task
+from .base import Scheduler
+
+
+class RandomScheduler(Scheduler):
+    """Every ready task goes to a uniformly random socket queue."""
+
+    name = "random"
+
+    def choose(self, task: Task) -> Placement:
+        return Placement(socket=int(self.rng.integers(self.topology.n_sockets)))

@@ -1,0 +1,51 @@
+"""Shared fixtures: small machines and programs used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import bullion_s16, two_socket
+from repro.runtime import TaskProgram
+
+
+@pytest.fixture
+def topo2():
+    """Two sockets x 2 cores — smallest interesting NUMA machine."""
+    return two_socket(cores_per_socket=2)
+
+
+@pytest.fixture
+def topo8():
+    """The paper's bullion S16 model."""
+    return bullion_s16()
+
+
+@pytest.fixture
+def chain_program():
+    """Three-task chain: init writes, two increments follow."""
+    prog = TaskProgram("chain")
+    a = prog.data("a", 8192)
+    prog.task("t0", outs=[a], work=1.0)
+    prog.task("t1", inouts=[a], work=1.0)
+    prog.task("t2", inouts=[a], work=1.0)
+    return prog.finalize()
+
+
+def make_fan_program(width: int = 8, obj_bytes: int = 65536) -> TaskProgram:
+    """One producer per lane, one consumer per lane, plus a final join."""
+    prog = TaskProgram("fan")
+    lanes = []
+    for i in range(width):
+        a = prog.data(f"a{i}", obj_bytes)
+        prog.task(f"prod{i}", outs=[a], work=0.5)
+        lanes.append(a)
+    for i, a in enumerate(lanes):
+        prog.task(f"cons{i}", ins=[a], work=0.5)
+    sink = prog.data("sink", 4096)
+    prog.task("join", ins=lanes, outs=[sink], work=0.1)
+    return prog.finalize()
+
+
+@pytest.fixture
+def fan_program():
+    return make_fan_program()

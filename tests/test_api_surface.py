@@ -1,0 +1,73 @@
+"""API surface tests: the documented top-level interface stays stable."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_names_present(self):
+        # The names the README quickstart uses.
+        for name in ("bullion_s16", "make_app", "make_scheduler", "simulate",
+                     "TaskProgram", "execute_in_order"):
+            assert hasattr(repro, name)
+
+    def test_registries_consistent(self):
+        assert set(repro.APPS) >= {
+            "cg", "gauss-seidel", "histogram", "jacobi", "nstream", "qr",
+            "redblack", "symminv",
+        }
+        assert set(repro.SCHEDULERS) >= {"dfifo", "las", "ep", "rgp+las"}
+        assert set(repro.PARTITIONERS) >= {"drb", "multilevel", "spectral"}
+
+
+class TestSubpackagesImportable:
+    @pytest.mark.parametrize("module", [
+        "repro.machine", "repro.graph", "repro.partition", "repro.runtime",
+        "repro.schedulers", "repro.core", "repro.apps", "repro.metrics",
+        "repro.experiments", "repro.cli", "repro.errors",
+    ])
+    def test_importable(self, module):
+        importlib.import_module(module)
+
+    @pytest.mark.parametrize("module", [
+        "repro.machine", "repro.graph", "repro.partition", "repro.runtime",
+        "repro.schedulers", "repro.core", "repro.apps", "repro.metrics",
+        "repro.experiments",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__all__")
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("obj_name", [
+        "Simulator", "TaskProgram", "NumaTopology", "MemoryManager",
+        "Interconnect", "RGPScheduler", "RGPLASScheduler", "LASScheduler",
+        "DFIFOScheduler", "EPScheduler", "DualRecursiveBipartitioner",
+        "MultilevelKWay", "SpectralPartitioner", "TargetArchitecture",
+        "SimulationResult", "Task", "DataObject", "AccessMode",
+    ])
+    def test_public_classes_documented(self, obj_name):
+        obj = getattr(repro, obj_name)
+        assert inspect.getdoc(obj), f"{obj_name} lacks a docstring"
+
+    def test_all_app_classes_documented(self):
+        for name, cls in repro.APPS.items():
+            assert inspect.getdoc(cls), name
+            assert inspect.getdoc(cls.build), f"{name}.build"
+
+    def test_scheduler_choose_documented(self):
+        assert inspect.getdoc(repro.Scheduler.choose)

@@ -1,0 +1,154 @@
+"""Deeper DAG-shape tests: the apps' dependence structures match the
+published algithms' known properties (kernel orders, wavefronts, phases).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.graph import critical_path, levels, summarize, topological_order
+
+
+def tasks_by_prefix(prog, prefix):
+    return [t for t in prog.tasks if t.name.startswith(prefix)]
+
+
+class TestQRDag:
+    @pytest.fixture(scope="class")
+    def prog(self):
+        return make_app("qr", nt=4, tile=4).build(8)
+
+    def test_panel_order(self, prog):
+        """geqrt(k) must precede every tsqrt(i,k) which serialise in i."""
+        name_to_tid = {t.name: t.tid for t in prog.tasks}
+        lvl = levels(prog.tdg)
+        for k in range(3):
+            g = name_to_tid[f"geqrt({k})"]
+            prev = g
+            for i in range(k + 1, 4):
+                t = name_to_tid[f"tsqrt({i},{k})"]
+                assert lvl[t] > lvl[prev]
+                prev = t
+
+    def test_trailing_update_depends_on_panel(self, prog):
+        name_to_tid = {t.name: t.tid for t in prog.tasks}
+        ss = name_to_tid["ssrfb(1,0,1)"]
+        preds = set(prog.tdg.predecessors(ss))
+        assert name_to_tid["tsqrt(1,0)"] in preds  # Q2 producer
+        assert name_to_tid["larfb(0,1)"] in preds  # panel row state
+
+    def test_critical_path_runs_down_the_diagonal(self, prog):
+        path = critical_path(prog.tdg)
+        names = [prog.tasks[v].name for v in path]
+        # The diagonal chain geqrt(0) ... geqrt/tsqrt of the last panel
+        # must appear in order.
+        assert any(n.startswith("geqrt(0)") or n.startswith("load")
+                   for n in names[:2])
+        assert names[-1].startswith(("ssrfb", "tsqrt", "geqrt"))
+
+    def test_parallelism_grows_then_shrinks(self, prog):
+        s = summarize(prog.tdg)
+        assert s.max_width >= 4  # trailing updates are wide
+        assert s.n_levels >= 10  # panels serialise
+
+
+class TestSymmInvDag:
+    @pytest.fixture(scope="class")
+    def prog(self):
+        return make_app("symminv", nt=4, tile=4).build(8)
+
+    def test_three_epochs(self, prog):
+        assert prog.n_epochs == 3
+        kinds_by_epoch = {}
+        for t in prog.tasks:
+            kind = t.name.split("(")[0]
+            kinds_by_epoch.setdefault(t.epoch, set()).add(kind)
+        assert {"potrf", "trsm", "syrk", "gemm", "load"} >= kinds_by_epoch[0]
+        assert kinds_by_epoch[1] == {"trtri", "w_acc"}
+        assert kinds_by_epoch[2] == {"wtw"}
+
+    def test_potrf_chain(self, prog):
+        """potrf(k) transitively precedes potrf(k+1) via trsm/syrk."""
+        name_to_tid = {t.name: t.tid for t in prog.tasks}
+        lvl = levels(prog.tdg)
+        for k in range(3):
+            assert lvl[name_to_tid[f"potrf({k + 1})"]] > lvl[
+                name_to_tid[f"potrf({k})"]
+            ]
+
+    def test_wtw_reads_all_column_tiles(self, prog):
+        name_to_tid = {t.name: t.tid for t in prog.tasks}
+        # Ainv(0,0) = sum over m of W(m,0)^T W(m,0): 4 distinct W producers.
+        wtw = name_to_tid["wtw(0,0)"]
+        pred_names = {prog.tasks[p].name for p in prog.tdg.predecessors(wtw)}
+        producers = {n for n in pred_names if n.startswith(("trtri", "w_acc"))}
+        assert len(producers) == 4
+
+
+class TestCGDag:
+    @pytest.fixture(scope="class")
+    def prog(self):
+        return make_app("cg", nt=2, tile=4, iterations=2).build(8)
+
+    def test_alpha_fans_out_to_all_axpys(self, prog):
+        name_to_tid = {t.name: t.tid for t in prog.tasks}
+        alpha = name_to_tid["alpha0"]
+        succ_names = {prog.tasks[s].name for s in prog.tdg.successors(alpha)}
+        axpys = {n for n in succ_names if n.startswith("axpy")}
+        assert len(axpys) == 2 * 4  # x and r updates for each of 4 tiles
+
+    def test_iteration_chain_through_scalars(self, prog):
+        """reduce -> alpha -> axpy_r -> dot -> reduce across iterations."""
+        name_to_tid = {t.name: t.tid for t in prog.tasks}
+        lvl = levels(prog.tdg)
+        assert lvl[name_to_tid["reduce_rr1"]] > lvl[name_to_tid["alpha0"]]
+        assert lvl[name_to_tid["alpha1"]] > lvl[name_to_tid["reduce_rr1"]]
+
+    def test_spmv_reads_halos(self, prog):
+        name_to_tid = {t.name: t.tid for t in prog.tasks}
+        spmv = name_to_tid["spmv0(0,0)"]
+        # init(0,0) + neighbour inits via p halos: (0,1) and (1,0).
+        pred_names = {prog.tasks[p].name for p in prog.tdg.predecessors(spmv)}
+        assert {"init(0,0)", "init(0,1)", "init(1,0)"} <= pred_names
+
+
+class TestStencilDags:
+    def test_jacobi_pingpong_alternates(self):
+        prog = make_app("jacobi", nt=2, tile=4, sweeps=3).build(8)
+        name_to_tid = {t.name: t.tid for t in prog.tasks}
+        lvl = levels(prog.tdg)
+        for s in range(2):
+            assert lvl[name_to_tid[f"sweep{s + 1}(0,0)"]] > lvl[
+                name_to_tid[f"sweep{s}(0,0)"]
+            ]
+
+    def test_gs_wavefront_depth(self):
+        prog = make_app("gauss-seidel", nt=4, tile=4, sweeps=1,
+                        barrier_between_sweeps=False).build(8)
+        # A 4x4 tile wavefront: the last tile sits 2*(4-1) hops after the
+        # first, plus the init level.
+        name_to_tid = {t.name: t.tid for t in prog.tasks}
+        lvl = levels(prog.tdg)
+        depth = lvl[name_to_tid["gs0(3,3)"]] - lvl[name_to_tid["gs0(0,0)"]]
+        assert depth == 6
+
+    def test_histogram_repeats_pipeline_via_waw(self):
+        """Frames share buffers: frame k+1's hpass must order after frame
+        k's vpass of the same tile (WAR on the shared hs object)."""
+        prog = make_app("histogram", nt=2, tile=4, n_bins=2,
+                        repeats=2).build(8)
+        name_to_tid = {t.name: t.tid for t in prog.tasks}
+        h1 = name_to_tid["hpass1(0,0)"]
+        preds = {prog.tasks[p].name for p in prog.tdg.predecessors(h1)}
+        assert "vpass0(0,0)" in preds
+
+    def test_redblack_barriers_alternate_colours(self):
+        prog = make_app("redblack", nt=2, tile=4, sweeps=2).build(8)
+        epochs = {}
+        for t in prog.tasks:
+            if t.name.startswith(("red", "black")):
+                colour = t.name.split("0")[0].split("1")[0]
+                epochs.setdefault(t.epoch, set()).add(colour)
+        # Each barrier epoch holds a single colour.
+        for colours in epochs.values():
+            assert len(colours) == 1

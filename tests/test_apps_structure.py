@@ -1,0 +1,171 @@
+"""Structural tests of the benchmark task graphs (no payload, no sim)."""
+
+import pytest
+
+from repro.apps import APPS, make_app
+from repro.apps.base import ep_block, ep_block_cyclic_2d
+from repro.apps.tiles import TiledField, ep_grid_block
+from repro.errors import ApplicationError
+from repro.graph import level_widths, summarize, topological_order
+from repro.runtime import TaskProgram
+
+SMALL = {
+    "nstream": dict(n_blocks=4, block_elems=64, iterations=3),
+    "jacobi": dict(nt=3, tile=4, sweeps=2),
+    "gauss-seidel": dict(nt=3, tile=4, sweeps=2),
+    "redblack": dict(nt=3, tile=4, sweeps=2),
+    "histogram": dict(nt=3, tile=4, n_bins=2, repeats=2),
+    "cg": dict(nt=2, tile=4, iterations=2),
+    "qr": dict(nt=3, tile=4),
+    "symminv": dict(nt=3, tile=4),
+    "synthetic": dict(kind="chains", scale=4, bytes_per_unit=4096),
+}
+
+
+@pytest.mark.parametrize("app_name", sorted(SMALL))
+class TestCommonStructure:
+    def test_builds_valid_program(self, app_name):
+        prog = make_app(app_name, **SMALL[app_name]).build(8)
+        prog.validate()
+        assert prog.n_tasks > 0
+        topological_order(prog.tdg)  # raises on malformed DAGs
+
+    def test_every_task_has_ep_annotation(self, app_name):
+        prog = make_app(app_name, **SMALL[app_name]).build(8)
+        for t in prog.tasks:
+            assert "ep_socket" in t.meta, t.name
+            assert 0 <= t.meta["ep_socket"] < 8
+
+    def test_ep_placement_uses_multiple_sockets(self, app_name):
+        prog = make_app(app_name, **SMALL[app_name]).build(8)
+        sockets = {t.meta["ep_socket"] for t in prog.tasks}
+        assert len(sockets) >= 2
+
+    def test_positive_work(self, app_name):
+        prog = make_app(app_name, **SMALL[app_name]).build(8)
+        assert all(t.work > 0 for t in prog.tasks)
+
+    def test_deterministic_build(self, app_name):
+        a = make_app(app_name, **SMALL[app_name]).build(8)
+        b = make_app(app_name, **SMALL[app_name]).build(8)
+        assert a.n_tasks == b.n_tasks
+        assert sorted(a.tdg.edges()) == sorted(b.tdg.edges())
+
+    def test_bad_params_rejected(self, app_name):
+        cls = APPS[app_name]
+        with pytest.raises(ApplicationError):
+            first_param = next(iter(SMALL[app_name]))
+            cls(**{first_param: 0})
+
+
+class TestTaskCounts:
+    def test_nstream(self):
+        prog = make_app("nstream", n_blocks=4, block_elems=64,
+                        iterations=3).build(8)
+        assert prog.n_tasks == 4 * (1 + 3)
+
+    def test_jacobi(self):
+        prog = make_app("jacobi", nt=3, tile=4, sweeps=2).build(8)
+        assert prog.n_tasks == 9 + 2 * 9
+
+    def test_histogram(self):
+        prog = make_app("histogram", nt=3, tile=4, n_bins=2,
+                        repeats=2).build(8)
+        assert prog.n_tasks == 9 + 2 * (9 + 9)
+
+    def test_qr_kernel_counts(self):
+        nt = 3
+        prog = make_app("qr", nt=nt, tile=4).build(8)
+        names = [t.name.split("(")[0] for t in prog.tasks]
+        assert names.count("geqrt") == nt
+        assert names.count("tsqrt") == nt * (nt - 1) // 2
+        assert names.count("larfb") == nt * (nt - 1) // 2
+        # ssrfb count: sum over k of (nt-k-1)^2
+        assert names.count("ssrfb") == sum(
+            (nt - k - 1) ** 2 for k in range(nt)
+        )
+
+    def test_symminv_phases(self):
+        prog = make_app("symminv", nt=3, tile=4).build(8)
+        assert prog.n_epochs == 3  # cholesky | inversion | product
+
+
+class TestDependenceShapes:
+    def test_nstream_chains_independent(self):
+        prog = make_app("nstream", n_blocks=3, block_elems=64,
+                        iterations=4).build(8)
+        from repro.graph import weakly_connected_components
+
+        comps = weakly_connected_components(prog.tdg)
+        assert len(comps) == 3
+
+    def test_gauss_seidel_wavefront_is_narrow(self):
+        gs = make_app("gauss-seidel", nt=4, tile=4, sweeps=1,
+                      barrier_between_sweeps=False).build(8)
+        # One sweep of a 4x4 wavefront: width peaks at the diagonal (4).
+        widths = level_widths(gs.tdg)
+        assert widths.max() <= 16  # inits are level 0
+        s = summarize(gs.tdg)
+        assert s.n_levels >= 7  # 16 inits + 7 diagonals
+
+    def test_jacobi_sweep_depends_on_five_tiles(self):
+        prog = make_app("jacobi", nt=3, tile=4, sweeps=1).build(8)
+        # Centre tile of the sweep depends on its init + 4 neighbour inits.
+        centre = next(t for t in prog.tasks if t.name == "sweep0(1,1)")
+        assert prog.tdg.in_degree(centre.tid) == 5
+
+    def test_histogram_cross_weave_deps(self):
+        prog = make_app("histogram", nt=3, tile=4, n_bins=2,
+                        repeats=1).build(8)
+        h11 = next(t for t in prog.tasks if t.name == "hpass0(1,1)")
+        v11 = next(t for t in prog.tasks if t.name == "vpass0(1,1)")
+        # hpass(1,1): load(1,1) + hpass(1,0); vpass(1,1): hpass(1,1) + vpass(0,1).
+        assert prog.tdg.in_degree(h11.tid) == 2
+        assert prog.tdg.in_degree(v11.tid) == 2
+
+    def test_redblack_colour_ordering(self):
+        prog = make_app("redblack", nt=3, tile=4, sweeps=1,
+                        barrier_between_phases=False).build(8)
+        red = [t for t in prog.tasks if t.name.startswith("red0")]
+        black = [t for t in prog.tasks if t.name.startswith("black0")]
+        assert len(red) == 5 and len(black) == 4
+        assert max(t.tid for t in red) < min(t.tid for t in black)
+
+    def test_cg_reduction_fan_in(self):
+        prog = make_app("cg", nt=2, tile=4, iterations=1).build(8)
+        reduce0 = next(t for t in prog.tasks if t.name == "reduce_rr0")
+        assert prog.tdg.in_degree(reduce0.tid) == 4  # one partial per tile
+
+
+class TestEPHelpers:
+    def test_ep_block(self):
+        assert [ep_block(i, 8, 4) for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_ep_block_cyclic_2d_range(self):
+        for i in range(6):
+            for j in range(6):
+                assert 0 <= ep_block_cyclic_2d(i, j, 8) < 8
+
+    def test_ep_block_cyclic_2d_grid_shape(self):
+        # 8 sockets -> 4x2 grid.
+        assert ep_block_cyclic_2d(0, 0, 8) != ep_block_cyclic_2d(1, 0, 8)
+        assert ep_block_cyclic_2d(0, 0, 8) != ep_block_cyclic_2d(0, 1, 8)
+        assert ep_block_cyclic_2d(0, 0, 8) == ep_block_cyclic_2d(4, 0, 8)
+        assert ep_block_cyclic_2d(0, 0, 8) == ep_block_cyclic_2d(0, 2, 8)
+
+    def test_ep_grid_block_contiguous(self):
+        # 4x4 tiles over 4 sockets: 2x2 blocks.
+        blocks = {(r, c): ep_grid_block(r, c, 4, 4, 4) for r in range(4)
+                  for c in range(4)}
+        assert blocks[(0, 0)] == blocks[(0, 1)] == blocks[(1, 1)]
+        assert blocks[(0, 0)] != blocks[(2, 2)]
+
+    def test_tiled_field_helpers(self):
+        prog = TaskProgram()
+        f = TiledField(prog, "u", 3, 3, 4, 4)
+        assert len(f.halo_reads(1, 1)) == 4
+        assert len(f.halo_reads(0, 0)) == 2
+        assert len(f.own_borders(2, 2)) == 4
+        assert len(list(f.tiles())) == 9
+        # objects: 9 interiors + 36 borders
+        assert prog.n_objects == 45

@@ -1,0 +1,75 @@
+"""Dedicated tests for the synthetic generator-backed application."""
+
+import pytest
+
+from repro.apps import SyntheticApp, make_app
+from repro.errors import ApplicationError
+from repro.graph import weakly_connected_components
+from repro.machine import bullion_s16
+from repro.runtime import execute, execute_in_order, simulate
+from repro.schedulers import make_scheduler
+
+
+class TestKinds:
+    @pytest.mark.parametrize("kind", ["chains", "stencil", "forkjoin",
+                                      "tree", "random"])
+    def test_all_kinds_build_and_verify(self, kind):
+        app = SyntheticApp(kind=kind, scale=6, bytes_per_unit=4096)
+        prog = app.build(8, with_payload=True)
+        prog.validate()
+        execute(prog)
+        assert app.verify() == 0.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ApplicationError):
+            SyntheticApp(kind="moebius")
+
+    def test_negative_intensity(self):
+        with pytest.raises(ApplicationError):
+            SyntheticApp(compute_intensity=-1.0)
+
+    def test_chains_kind_matches_generator(self):
+        app = SyntheticApp(kind="chains", scale=6)
+        prog = app.build(8)
+        comps = weakly_connected_components(prog.tdg)
+        assert len(comps) == 6
+
+    def test_registry_entry(self):
+        app = make_app("synthetic", kind="tree", scale=8)
+        assert isinstance(app, SyntheticApp)
+
+
+class TestEdgeBytes:
+    def test_edge_bytes_scale_with_generator_weight(self):
+        app = SyntheticApp(kind="chains", scale=2, bytes_per_unit=1000)
+        prog = app.build(4)
+        # Chain edges have generator weight 1 -> 1000 bytes each.
+        weights = {w for _, _, w in prog.tdg.edges()}
+        assert weights == {1000.0}
+
+    def test_random_kind_deterministic_by_seed(self):
+        a = SyntheticApp(kind="random", scale=6, seed=5).build(8)
+        b = SyntheticApp(kind="random", scale=6, seed=5).build(8)
+        assert sorted(a.tdg.edges()) == sorted(b.tdg.edges())
+
+
+class TestSimulated:
+    @pytest.mark.parametrize("kind", ["chains", "random"])
+    def test_simulated_order_verifies(self, kind):
+        topo = bullion_s16()
+        app = SyntheticApp(kind=kind, scale=8, bytes_per_unit=16384, seed=1)
+        prog = app.build(8, with_payload=True)
+        res = simulate(prog, topo, make_scheduler("rgp+las", window_size=16),
+                       seed=0)
+        execute_in_order(prog, res.completion_order())
+        assert app.verify() == 0.0
+
+    def test_chains_partition_cleanly(self):
+        """RGP on synthetic chains: near-zero remote traffic."""
+        topo = bullion_s16()
+        app = SyntheticApp(kind="chains", scale=16, bytes_per_unit=65536)
+        prog = app.build(8)
+        res = simulate(prog, topo,
+                       make_scheduler("rgp+las", window_size=prog.n_tasks),
+                       seed=0, steal=False, duration_jitter=0.0)
+        assert res.remote_fraction < 0.05

@@ -1,0 +1,92 @@
+"""CLI tests (argument parsing and command execution on tiny inputs)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheduler", "las"])
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "jacobi", "--scheduler", "magic"]
+            )
+
+
+class TestCommands:
+    def test_apps_lists_registries(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "jacobi" in out and "rgp+las" in out and "bullion-s16" in out
+
+    def test_run_quick(self, capsys, monkeypatch):
+        self._shrink(monkeypatch)
+        assert main(["run", "--app", "nstream", "--scheduler", "rgp+las",
+                     "--quick", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "core" in out  # gantt
+
+    def test_run_writes_traces(self, tmp_path, monkeypatch, capsys):
+        self._shrink(monkeypatch)
+        csv_path = tmp_path / "t.csv"
+        json_path = tmp_path / "t.json"
+        assert main(["run", "--app", "nstream", "--scheduler", "las",
+                     "--quick", "--trace-csv", str(csv_path),
+                     "--trace-json", str(json_path)]) == 0
+        assert csv_path.exists() and json_path.exists()
+
+    def test_figure1_quick(self, capsys, monkeypatch):
+        self._shrink(monkeypatch)
+        assert main(["figure1", "--quick", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean" in out
+
+    def test_analyze(self, capsys, monkeypatch, tmp_path):
+        self._shrink(monkeypatch)
+        dot = tmp_path / "tdg.dot"
+        assert main(["analyze", "--app", "nstream", "--scheduler", "las",
+                     "--quick", "--dot", str(dot)]) == 0
+        out = capsys.readouterr().out
+        assert "core utilization" in out
+        assert "utilization [" in out
+        assert dot.exists()
+
+    def test_figure1_bars(self, capsys, monkeypatch):
+        self._shrink(monkeypatch)
+        assert main(["figure1", "--quick", "--seeds", "1", "--bars"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean:" in out  # bar chart group
+
+    def test_ablation_window(self, capsys, monkeypatch):
+        self._shrink(monkeypatch)
+        monkeypatch.setattr(
+            "repro.experiments.ablations.ABLATION_APPS", ("nstream",)
+        )
+        assert main(["ablation", "window", "--quick", "--seeds", "1"]) == 0
+        assert "window=" in capsys.readouterr().out
+
+    @staticmethod
+    def _shrink(monkeypatch):
+        """Make --quick truly tiny so CLI tests stay fast."""
+        tiny = {
+            "cg": dict(nt=2, tile=16, iterations=2),
+            "gauss-seidel": dict(nt=3, tile=16, sweeps=2),
+            "histogram": dict(nt=3, tile=16, n_bins=2, repeats=2),
+            "jacobi": dict(nt=3, tile=16, sweeps=2),
+            "nstream": dict(n_blocks=6, block_elems=1024, iterations=2),
+            "qr": dict(nt=3, tile=16),
+            "redblack": dict(nt=3, tile=16, sweeps=2),
+            "symminv": dict(nt=3, tile=16),
+        }
+        monkeypatch.setattr(
+            "repro.experiments.config.QUICK_APP_PARAMS", tiny
+        )

@@ -1,0 +1,192 @@
+"""Tests for the paper's contribution: RGP window machinery and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_WINDOW_SIZE,
+    RGPLASScheduler,
+    RGPScheduler,
+    initial_window,
+    partition_window,
+)
+from repro.errors import SchedulerError
+from repro.graph import independent_chains
+from repro.machine import bullion_s16
+from repro.partition import DualRecursiveBipartitioner, RandomPartitioner
+from repro.runtime import Simulator, TaskProgram, simulate
+from repro.schedulers import make_scheduler
+
+
+def chains_program(n_chains=16, length=8, nbytes=65536):
+    p = TaskProgram("chains")
+    for c in range(n_chains):
+        a = p.data(f"a{c}", nbytes)
+        p.task(f"init{c}", outs=[a], work=0.1)
+        for i in range(length):
+            p.task(f"t{c}_{i}", inouts=[a], work=0.1)
+    return p.finalize()
+
+
+class TestWindow:
+    def test_initial_window_size_limit(self):
+        p = chains_program(4, 10)
+        assert initial_window(p, 7) == 7
+
+    def test_initial_window_barrier_trigger(self):
+        p = TaskProgram()
+        for _ in range(5):
+            p.task()
+        p.barrier()
+        for _ in range(5):
+            p.task()
+        assert initial_window(p.finalize(), 1000) == 5
+
+    def test_initial_window_bad_size(self):
+        with pytest.raises(SchedulerError):
+            initial_window(chains_program(1, 1), 0)
+
+    def test_partition_window_covers_prefix(self, topo8):
+        p = chains_program(16, 8)
+        plan = partition_window(p.tdg, 64, topo8,
+                                DualRecursiveBipartitioner(), seed=0)
+        assert plan.cutoff == 64
+        assert len(plan.assignment) == 64
+        assert plan.assignment.max() < 8
+
+    def test_partition_window_groups_chains(self, topo8):
+        """Tasks of one chain must land on one socket (zero-cut optimum)."""
+        p = chains_program(16, 8)
+        n_per_chain = 9
+        plan = partition_window(p.tdg, p.n_tasks, topo8,
+                                DualRecursiveBipartitioner(), seed=1)
+        for c in range(16):
+            sockets = set(plan.assignment[c * n_per_chain:(c + 1) * n_per_chain])
+            assert len(sockets) == 1
+
+
+class TestRGPScheduler:
+    def test_window_tasks_follow_partition(self, topo8):
+        p = chains_program(8, 6)
+        sched = RGPScheduler(window_size=p.n_tasks, partition_seed=7)
+        res = simulate(p, topo8, sched, seed=0, steal=False)
+        # Every chain executes on a single socket.
+        per_chain = {}
+        for r in res.records:
+            chain = r.tid // 7
+            per_chain.setdefault(chain, set()).add(r.socket)
+        assert all(len(s) == 1 for s in per_chain.values())
+
+    def test_propagation_beyond_window(self, topo8):
+        p = chains_program(8, 10)
+        sched = RGPLASScheduler(window_size=16, partition_seed=3)
+        res = simulate(p, topo8, sched, seed=0, steal=False)
+        assert res.n_tasks == p.n_tasks
+
+    def test_las_propagation_keeps_chain_locality(self, topo8):
+        """With an interleaved creation order the window holds one task per
+        chain; LAS propagation then keeps every later task on its chain's
+        socket, so remote traffic stays negligible."""
+        p = TaskProgram("interleaved-chains")
+        objs = []
+        for c in range(8):
+            a = p.data(f"a{c}", 65536)
+            p.task(f"init{c}", outs=[a], work=0.1)
+            objs.append(a)
+        for it in range(10):
+            for c in range(8):
+                p.task(f"t{c}_{it}", inouts=[objs[c]], work=0.1)
+        res = simulate(p.finalize(), topo8,
+                       RGPLASScheduler(window_size=16, partition_seed=3),
+                       seed=0, steal=False, duration_jitter=0.0)
+        assert res.remote_fraction < 0.05
+
+    def test_small_window_fragments_chains(self, topo8):
+        """A window far smaller than the parallel width chops chains into
+        segments — RGP then pays remote handoffs (a real RGP property)."""
+        p = chains_program(8, 10)
+        res = simulate(p, topo8, RGPLASScheduler(window_size=16,
+                                                 partition_seed=3),
+                       seed=0, steal=False, duration_jitter=0.0)
+        full = simulate(p, topo8, RGPLASScheduler(window_size=p.n_tasks,
+                                                  partition_seed=3),
+                        seed=0, steal=False, duration_jitter=0.0)
+        assert full.remote_fraction <= res.remote_fraction
+
+    def test_partition_delay_parks_tasks(self, topo8):
+        p = chains_program(8, 4)
+        sched = RGPLASScheduler(window_size=p.n_tasks, partition_delay=2.0,
+                                partition_seed=1)
+        res = simulate(p, topo8, sched, seed=0)
+        assert res.parked_tasks > 0
+        # Nothing can finish before the partition is available.
+        assert min(r.finish for r in res.records) >= 2.0
+
+    def test_zero_delay_parks_nothing(self, topo8):
+        p = chains_program(8, 4)
+        res = simulate(p, topo8, RGPLASScheduler(window_size=64), seed=0)
+        assert res.parked_tasks == 0
+
+    def test_propagation_policies_run(self, topo8):
+        p = chains_program(6, 6)
+        for prop in ("las", "repartition", "cyclic", "random"):
+            sched = RGPScheduler(window_size=16, propagation=prop,
+                                 partition_seed=0)
+            res = simulate(p, topo8, sched, seed=0)
+            assert res.n_tasks == p.n_tasks
+
+    def test_repartition_counts_windows(self, topo8):
+        p = chains_program(8, 10)  # 88 tasks
+        sched = RGPScheduler(window_size=22, propagation="repartition",
+                             partition_seed=0)
+        simulate(p, topo8, sched, seed=0)
+        assert sched.windows_partitioned >= 3
+
+    def test_bad_propagation(self):
+        with pytest.raises(SchedulerError):
+            RGPScheduler(propagation="telepathy")
+
+    def test_bad_window(self):
+        with pytest.raises(SchedulerError):
+            RGPScheduler(window_size=0)
+
+    def test_bad_delay(self):
+        with pytest.raises(SchedulerError):
+            RGPScheduler(partition_delay=-1.0)
+
+    def test_custom_partitioner_used(self, topo8):
+        p = chains_program(8, 6)
+        a = simulate(p, topo8, RGPLASScheduler(
+            window_size=p.n_tasks, partition_seed=5,
+            partitioner=DualRecursiveBipartitioner()), seed=0,
+            duration_jitter=0.0, steal=False)
+        b = simulate(p, topo8, RGPLASScheduler(
+            window_size=p.n_tasks, partition_seed=5,
+            partitioner=RandomPartitioner()), seed=0,
+            duration_jitter=0.0, steal=False)
+        # DRB keeps chains whole -> strictly less remote traffic than random.
+        assert a.remote_fraction < b.remote_fraction
+
+    def test_default_window_size(self):
+        assert RGPScheduler().window_size == DEFAULT_WINDOW_SIZE
+
+    def test_rgp_las_name(self):
+        assert RGPLASScheduler().name == "rgp+las"
+        assert RGPLASScheduler().propagation == "las"
+
+    def test_barrier_closes_window_early(self, topo8):
+        """With a barrier before the window limit, only the pre-barrier
+        prefix is statically assigned."""
+        p = TaskProgram()
+        objs = []
+        for i in range(8):
+            a = p.data(f"a{i}", 65536)
+            p.task(outs=[a], work=0.1)
+            objs.append(a)
+        p.barrier()
+        for a in objs:
+            p.task(ins=[a], work=0.1)
+        prog = p.finalize()
+        sched = RGPLASScheduler(window_size=1000, partition_seed=0)
+        simulate(prog, topo8, sched, seed=0)
+        assert sched._cutoff == 8

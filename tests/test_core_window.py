@@ -1,0 +1,66 @@
+"""Unit tests for the RGP window helpers (complementing test_core_rgp)."""
+
+import numpy as np
+import pytest
+
+from repro.core.window import WindowPlan, initial_window, partition_window
+from repro.errors import SchedulerError
+from repro.graph import independent_chains
+from repro.machine import bullion_s16, two_socket
+from repro.partition import DualRecursiveBipartitioner
+from repro.runtime import TaskProgram
+
+
+class TestPartitionWindow:
+    def test_zero_cutoff(self, topo8):
+        tdg = independent_chains(4, 4)
+        plan = partition_window(tdg, 0, topo8, DualRecursiveBipartitioner())
+        assert plan.cutoff == 0
+        assert len(plan.assignment) == 0
+
+    def test_cutoff_clamps_to_graph(self, topo8):
+        tdg = independent_chains(2, 3)  # 6 nodes
+        plan = partition_window(tdg, 100, topo8, DualRecursiveBipartitioner())
+        assert len(plan.assignment) == 6
+
+    def test_negative_cutoff_rejected(self, topo8):
+        tdg = independent_chains(2, 3)
+        with pytest.raises(SchedulerError):
+            partition_window(tdg, -1, topo8, DualRecursiveBipartitioner())
+
+    def test_two_socket_target(self):
+        topo = two_socket()
+        tdg = independent_chains(8, 6)
+        plan = partition_window(tdg, tdg.n_nodes, topo,
+                                DualRecursiveBipartitioner(), seed=1)
+        counts = np.bincount(plan.assignment, minlength=2)
+        assert abs(counts[0] - counts[1]) <= 6  # one chain of slack
+
+    def test_plan_is_frozen_dataclass(self, topo8):
+        tdg = independent_chains(2, 2)
+        plan = partition_window(tdg, 4, topo8, DualRecursiveBipartitioner())
+        assert isinstance(plan, WindowPlan)
+        with pytest.raises(AttributeError):
+            plan.cutoff = 7
+
+
+class TestInitialWindow:
+    def test_program_without_barriers(self):
+        p = TaskProgram()
+        for _ in range(30):
+            p.task()
+        assert initial_window(p.finalize(), 12) == 12
+
+    def test_empty_program(self):
+        assert initial_window(TaskProgram().finalize(), 10) == 0
+
+    def test_barrier_beats_window(self):
+        p = TaskProgram()
+        p.task()
+        p.task()
+        p.barrier()
+        for _ in range(10):
+            p.task()
+        prog = p.finalize()
+        assert initial_window(prog, 8) == 2
+        assert initial_window(prog, 1) == 1

@@ -1,0 +1,237 @@
+"""Edge cases and failure injection across subsystems.
+
+Pathological machines, degenerate programs, and adversarial scheduler
+behaviour: everything here either works or fails with a library error —
+never a bare crash or a hang.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SimulationError
+from repro.graph import CSRGraph, TaskGraph
+from repro.machine import (
+    Interconnect,
+    MemoryManager,
+    NumaTopology,
+    custom,
+    single_socket,
+    uniform_distance_matrix,
+)
+from repro.partition import DualRecursiveBipartitioner, edge_cut
+from repro.runtime import Placement, Simulator, TaskProgram, simulate
+from repro.schedulers import make_scheduler
+from repro.schedulers.base import Scheduler
+
+
+class TestPathologicalMachines:
+    def test_one_core_machine(self):
+        topo = single_socket(cores=1)
+        p = TaskProgram()
+        for _ in range(5):
+            p.task(work=1.0)
+        res = simulate(p.finalize(), topo, make_scheduler("dfifo"),
+                       duration_jitter=0.0)
+        assert res.makespan == pytest.approx(5.0)
+
+    def test_many_sockets_one_core_each(self):
+        topo = custom(16, 1, remote=30.0)
+        p = TaskProgram()
+        a = p.data("a", 65536)
+        p.task(outs=[a], work=0.1)
+        for _ in range(10):
+            p.task(inouts=[a], work=0.1)
+        res = simulate(p.finalize(), topo, make_scheduler("las"), seed=0)
+        assert res.n_tasks == 11
+
+    def test_extreme_distance_ratio(self):
+        dist = uniform_distance_matrix(2, remote=1000.0)
+        topo = NumaTopology(2, 2, dist, 1e6, name="far")
+        p = TaskProgram()
+        a = p.data("a", 262144, initial_node=0)
+        p.task(ins=[a], work=0.0)
+        res = simulate(p.finalize(), topo, make_scheduler("random"), seed=1)
+        assert np.isfinite(res.makespan)
+
+    def test_tiny_page_size(self):
+        topo = single_socket(cores=2)
+        p = TaskProgram()
+        a = p.data("a", 1000)
+        p.task(outs=[a], work=0.1)
+        res = Simulator(p.finalize(), topo, make_scheduler("random"),
+                        page_size=1).run()
+        assert res.n_tasks == 1
+
+    def test_huge_object(self):
+        topo = single_socket(cores=1)
+        mm = MemoryManager(1)
+        mm.register(0, 10**9)  # 1 GB -> 244k pages
+        assert mm.touch(0, 0) == -(-(10**9) // mm.page_size)
+
+
+class TestDegeneratePrograms:
+    def test_single_task(self, topo8):
+        p = TaskProgram()
+        p.task(work=1.0)
+        res = simulate(p.finalize(), topo8, make_scheduler("rgp+las"))
+        assert res.n_tasks == 1
+
+    def test_zero_work_zero_bytes_tasks(self, topo8):
+        p = TaskProgram()
+        for _ in range(20):
+            p.task(work=0.0)
+        res = simulate(p.finalize(), topo8, make_scheduler("las"), seed=0)
+        assert res.makespan == pytest.approx(0.0, abs=1e-6)
+
+    def test_only_barriers(self, topo8):
+        p = TaskProgram()
+        p.barrier()
+        p.barrier()
+        res = simulate(p.finalize(), topo8, make_scheduler("las"))
+        assert res.makespan == 0.0
+
+    def test_wide_fan_in(self, topo8):
+        """1000 producers feeding one consumer (flat reduction)."""
+        p = TaskProgram()
+        objs = []
+        for i in range(1000):
+            a = p.data(f"a{i}", 1024)
+            p.task(outs=[a], work=0.001)
+            objs.append(a)
+        p.task("sink", ins=objs, work=0.001)
+        res = simulate(p.finalize(), topo8, make_scheduler("las"), seed=0)
+        order = res.completion_order()
+        assert order[-1] == 1000
+
+    def test_deep_chain(self, topo8):
+        p = TaskProgram()
+        a = p.data("a", 4096)
+        p.task(outs=[a], work=0.001)
+        for _ in range(2000):
+            p.task(inouts=[a], work=0.001)
+        res = simulate(p.finalize(), topo8, make_scheduler("rgp+las",
+                                                           window_size=100),
+                       seed=0)
+        assert res.n_tasks == 2001
+
+    def test_single_object_all_modes(self, topo8):
+        p = TaskProgram()
+        a = p.data("a", 8192)
+        p.task(outs=[a])
+        p.task(ins=[a])
+        p.task(inouts=[a])
+        p.task(ins=[a])
+        res = simulate(p.finalize(), topo8, make_scheduler("las"), seed=0)
+        from repro.runtime import execute_in_order
+
+        execute_in_order(p, res.completion_order())
+
+
+class TestAdversarialSchedulers:
+    def test_scheduler_raising_in_choose(self, topo8, chain_program):
+        class Bomb(Scheduler):
+            name = "bomb"
+
+            def choose(self, task):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            simulate(chain_program, topo8, Bomb())
+
+    def test_scheduler_with_side_effect_timers(self, topo8):
+        """Timers that enqueue more timers must not hang the simulation."""
+
+        class Ticker(Scheduler):
+            name = "ticker"
+            ticks = 0
+
+            def on_program_start(self):
+                self.sim.schedule_timer(0.5, self._tick)
+
+            def _tick(self):
+                self.ticks += 1
+                if self.ticks < 5:
+                    self.sim.schedule_timer(0.5, self._tick)
+
+            def choose(self, task):
+                return Placement(socket=0)
+
+        p = TaskProgram()
+        p.task(work=10.0)
+        sched = Ticker()
+        res = simulate(p.finalize(), topo8, sched, duration_jitter=0.0)
+        assert sched.ticks == 5
+        assert res.makespan == pytest.approx(10.0)
+
+    def test_all_to_one_socket_still_completes(self, topo8):
+        from repro.apps import make_app
+
+        class Pin(Scheduler):
+            name = "pin"
+
+            def choose(self, task):
+                return Placement(socket=3)
+
+        prog = make_app("jacobi", nt=3, tile=8, sweeps=2).build(8)
+        res = simulate(prog, topo8, Pin(), steal=False)
+        assert set(r.socket for r in res.records) == {3}
+
+
+class TestPartitionerEdgeCases:
+    def test_k_exceeds_vertices(self):
+        g = CSRGraph.from_edges(3, [(0, 1, 1.0)])
+        res = DualRecursiveBipartitioner().partition(g, 8, seed=0)
+        assert len(res.parts) == 3
+        assert res.parts.max() < 8
+
+    def test_star_graph(self):
+        """Stars coarsen badly (matching saturates) — must still work."""
+        edges = [(0, i, 1.0) for i in range(1, 40)]
+        g = CSRGraph.from_edges(40, edges)
+        res = DualRecursiveBipartitioner().partition(g, 4, seed=0)
+        assert len(np.unique(res.parts)) >= 2
+
+    def test_zero_weight_edges(self):
+        g = CSRGraph.from_edges(4, [(0, 1, 0.0), (2, 3, 0.0)])
+        res = DualRecursiveBipartitioner().partition(g, 2, seed=0)
+        assert edge_cut(g, res.parts) == 0.0
+
+    def test_single_heavy_vertex(self):
+        """A vertex heavier than any balanced part must not crash or spin:
+        caps are clamped to the heaviest vertex, so any total assignment is
+        acceptable."""
+        g = CSRGraph.from_edges(
+            5, [(0, 1, 1.0)], vwgt=np.array([100.0, 1.0, 1.0, 1.0, 1.0])
+        )
+        res = DualRecursiveBipartitioner().partition(g, 2, seed=0)
+        assert len(res.parts) == 5
+        assert res.parts.max() < 2
+
+    def test_empty_graph_partition(self):
+        g = CSRGraph.from_edges(0, [])
+        res = DualRecursiveBipartitioner().partition(g, 4, seed=0)
+        assert len(res.parts) == 0
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj not in (ReproError, Exception)):
+                assert issubclass(obj, ReproError), name
+
+    def test_simulation_error_catchable_as_repro_error(self, topo8):
+        p = TaskProgram()
+        p.task()
+
+        class ParkAll(Scheduler):
+            name = "park"
+
+            def choose(self, task):
+                return Placement(park=True)
+
+        with pytest.raises(ReproError):
+            simulate(p.finalize(), topo8, ParkAll())

@@ -1,0 +1,140 @@
+"""Tests of the experiment harness (config, runner, Figure 1, ablations).
+
+These use tiny app sizes and single seeds: they validate the machinery, not
+the published numbers (shape checks live in test_integration.py and the
+benchmarks).
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    FIGURE1_APPS,
+    PAPER_FIGURE1,
+    ExperimentConfig,
+    build_program,
+    run_figure1,
+    run_figure1_app,
+    run_las_ablation,
+    run_partitioner_ablation,
+    run_policy,
+    run_propagation_ablation,
+    run_socket_ablation,
+    run_window_ablation,
+)
+
+TINY = {
+    "cg": dict(nt=2, tile=16, iterations=2),
+    "gauss-seidel": dict(nt=4, tile=16, sweeps=2),
+    "histogram": dict(nt=4, tile=16, n_bins=4, repeats=2),
+    "jacobi": dict(nt=4, tile=16, sweeps=2),
+    "nstream": dict(n_blocks=8, block_elems=1024, iterations=3),
+    "qr": dict(nt=3, tile=16),
+    "redblack": dict(nt=4, tile=16, sweeps=2),
+    "symminv": dict(nt=3, tile=16),
+}
+
+
+def tiny_config(**overrides):
+    defaults = dict(app_params={k: dict(v) for k, v in TINY.items()},
+                    seeds=(0,), window_size=64)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestConfig:
+    def test_paper_and_quick_presets(self):
+        paper = ExperimentConfig.paper()
+        quick = ExperimentConfig.quick()
+        assert len(paper.seeds) >= len(quick.seeds)
+        assert paper.app_params["jacobi"]["nt"] >= quick.app_params["jacobi"]["nt"]
+
+    def test_baseline_not_in_policies(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(policies=("las", "ep"))
+
+    def test_needs_seeds(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(seeds=())
+
+    def test_interconnect_uses_knobs(self):
+        cfg = ExperimentConfig(remote_penalty_exp=2.0, link_fraction=0.3,
+                               core_fraction=0.2)
+        ic = cfg.interconnect()
+        assert ic.remote_penalty_exp == 2.0
+        assert ic.link_fraction == 0.3
+        assert ic.core_fraction == 0.2
+
+    def test_apps_cover_figure1(self):
+        assert set(ExperimentConfig.paper().app_params) == set(FIGURE1_APPS)
+
+
+class TestRunner:
+    def test_build_program(self):
+        cfg = tiny_config()
+        prog = build_program(cfg, "nstream")
+        assert prog.n_tasks == 8 * 4
+
+    def test_build_program_unknown_app(self):
+        with pytest.raises(ExperimentError):
+            build_program(tiny_config(), "linpack")
+
+    def test_run_policy_stats(self):
+        cfg = tiny_config(seeds=(0, 1))
+        prog = build_program(cfg, "nstream")
+        stats = run_policy(cfg, prog, "dfifo")
+        assert len(stats.makespans) == 2
+        assert stats.makespan_mean > 0
+        assert 0 <= stats.remote_fraction_mean <= 1
+
+
+class TestFigure1:
+    def test_single_app(self):
+        speedups = run_figure1_app("nstream", tiny_config())
+        assert set(speedups) == {"dfifo", "rgp+las", "ep"}
+        assert all(v > 0 for v in speedups.values())
+
+    def test_full_run_structure(self):
+        cfg = tiny_config(apps=("nstream", "jacobi"))
+        result = run_figure1(cfg)
+        assert result.table.apps == ["nstream", "jacobi"]
+        text = result.render()
+        assert "geomean" in text
+        for (app, pol), stats in result.raw.items():
+            assert stats.makespan_mean > 0
+
+    def test_progress_callback(self):
+        lines = []
+        run_figure1(tiny_config(apps=("nstream",)), progress=lines.append)
+        assert any("nstream" in line for line in lines)
+
+    def test_paper_reference_values_present(self):
+        assert PAPER_FIGURE1[("geomean", "rgp+las")] == 1.12
+        assert PAPER_FIGURE1[("nstream", "ep")] == 1.75
+
+
+class TestAblations:
+    def test_window_ablation(self):
+        res = run_window_ablation(tiny_config(), window_sizes=(8, 64),
+                                  apps=("nstream",))
+        assert res.settings == ["window=8", "window=64"]
+        assert "geomean" in res.render()
+
+    def test_partitioner_ablation(self):
+        res = run_partitioner_ablation(
+            tiny_config(), partitioners=("drb", "random"), apps=("nstream",)
+        )
+        assert set(res.settings) == {"drb", "random"}
+
+    def test_socket_ablation(self):
+        res = run_socket_ablation(tiny_config(), socket_counts=(2, 4),
+                                  apps=("nstream",))
+        assert res.settings == ["2 sockets", "4 sockets"]
+
+    def test_las_ablation(self):
+        res = run_las_ablation(tiny_config(), apps=("nstream",))
+        assert len(res.settings) == 3
+
+    def test_propagation_ablation(self):
+        res = run_propagation_ablation(tiny_config(), apps=("nstream",))
+        assert set(res.settings) == {"las", "repartition", "cyclic", "random"}

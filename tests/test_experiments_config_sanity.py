@@ -1,0 +1,77 @@
+"""Sanity checks on the shipped experiment configurations.
+
+The committed numbers in EXPERIMENTS.md depend on these staying sane: the
+paper-scale programs must be big enough to exercise the window yet small
+enough that the benchmark suite completes in minutes.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.config import FIGURE1_APPS, PAPER_APP_PARAMS
+from repro.experiments.runner import build_program
+
+
+@pytest.fixture(scope="module")
+def paper_programs():
+    cfg = ExperimentConfig.paper()
+    return {app: build_program(cfg, app) for app in FIGURE1_APPS}
+
+
+class TestPaperScale:
+    def test_task_counts_in_budget(self, paper_programs):
+        """Each app: enough tasks to be interesting, few enough to be fast."""
+        for app, prog in paper_programs.items():
+            assert 300 <= prog.n_tasks <= 6000, (app, prog.n_tasks)
+
+    def test_parallelism_exceeds_machine(self, paper_programs):
+        """Every app must be able to keep 32 cores busy at least once."""
+        from repro.graph import level_widths
+
+        for app, prog in paper_programs.items():
+            assert level_widths(prog.tdg).max() >= 32, app
+
+    def test_window_covers_meaningful_prefix(self, paper_programs):
+        cfg = ExperimentConfig.paper()
+        for app, prog in paper_programs.items():
+            cutoff = prog.first_partition_point(cfg.window_size)
+            assert cutoff >= 64, (app, cutoff)
+
+    def test_memory_bound_apps_are_memory_bound(self, paper_programs):
+        """NStream / jacobi / histogram tasks carry far more memory time
+        than compute (at the calibrated core bandwidth)."""
+        core_bw = 0.30 * 1_000_000.0
+        for app in ("nstream", "jacobi", "histogram"):
+            prog = paper_programs[app]
+            heavy = max(prog.tasks, key=lambda t: t.traffic_bytes)
+            mem_time = heavy.traffic_bytes / core_bw
+            assert mem_time > 3 * heavy.work, app
+
+    def test_qr_much_more_compute_intense_than_nstream(self, paper_programs):
+        """QR's compute/memory ratio must dwarf NStream's — the contrast
+        behind Figure 1's flat QR bars."""
+        core_bw = 0.30 * 1_000_000.0
+
+        def intensity(task):
+            return task.work / (task.traffic_bytes / core_bw)
+
+        qr_kernel = next(t for t in paper_programs["qr"].tasks
+                         if t.name.startswith("ssrfb"))
+        triad = next(t for t in paper_programs["nstream"].tasks
+                     if t.name.startswith("triad"))
+        assert intensity(qr_kernel) > 10 * intensity(triad)
+
+    def test_every_app_supports_ep(self, paper_programs):
+        for app, prog in paper_programs.items():
+            sockets = {t.meta.get("ep_socket") for t in prog.tasks}
+            assert None not in sockets, app
+            assert len(sockets) == 8, app
+
+    def test_quick_strictly_smaller(self):
+        quick = ExperimentConfig.quick()
+        for app in FIGURE1_APPS:
+            quick_prog = build_program(quick, app)
+            assert quick_prog.n_tasks <= 2500, app
+
+    def test_paper_params_cover_figure1_apps(self):
+        assert set(PAPER_APP_PARAMS) == set(FIGURE1_APPS)

@@ -1,0 +1,84 @@
+"""Tests for the generic parameter-sweep harness."""
+
+import csv
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentConfig,
+    ParameterGrid,
+    run_sweep,
+    write_sweep_csv,
+)
+
+TINY = {
+    "nstream": dict(n_blocks=6, block_elems=1024, iterations=2),
+    "jacobi": dict(nt=3, tile=16, sweeps=2),
+}
+
+
+def tiny_config():
+    return ExperimentConfig(app_params=TINY, seeds=(0,), window_size=16)
+
+
+class TestGrid:
+    def test_cartesian_size(self):
+        grid = ParameterGrid(app=["a", "b"], policy=["x"], k=[1, 2, 3])
+        assert len(grid) == 6
+        assert len(list(grid.points())) == 6
+
+    def test_points_carry_all_axes(self):
+        grid = ParameterGrid(app=["a"], policy=["x"], k=[1])
+        (point,) = grid.points()
+        assert point == {"app": "a", "policy": "x", "k": 1}
+
+    def test_requires_app_and_policy(self):
+        with pytest.raises(ExperimentError):
+            ParameterGrid(app=["a"])
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ExperimentError):
+            ParameterGrid(app=["a"], policy=[])
+
+
+class TestRunSweep:
+    def test_runs_all_points(self):
+        grid = ParameterGrid(app=["nstream", "jacobi"],
+                             policy=["las", "dfifo"])
+        rows = run_sweep(tiny_config(), grid)
+        assert len(rows) == 4
+        assert all(r.makespan_mean > 0 for r in rows)
+
+    def test_scheduler_kwargs_axis(self):
+        grid = ParameterGrid(app=["nstream"], policy=["rgp+las"],
+                             window_size=[4, 64])
+        rows = run_sweep(tiny_config(), grid)
+        assert len(rows) == 2
+        assert rows[0].params["window_size"] == 4
+
+    def test_bad_kwargs_reported(self):
+        grid = ParameterGrid(app=["nstream"], policy=["las"],
+                             window_size=[4])
+        with pytest.raises(ExperimentError, match="rejected kwargs"):
+            run_sweep(tiny_config(), grid)
+
+    def test_progress_callback(self):
+        lines = []
+        grid = ParameterGrid(app=["nstream"], policy=["las"])
+        run_sweep(tiny_config(), grid, progress=lines.append)
+        assert len(lines) == 1
+
+    def test_csv_output(self, tmp_path):
+        grid = ParameterGrid(app=["nstream"], policy=["las", "dfifo"])
+        rows = run_sweep(tiny_config(), grid)
+        path = tmp_path / "sweep.csv"
+        write_sweep_csv(rows, path)
+        with open(path) as fh:
+            parsed = list(csv.DictReader(fh))
+        assert len(parsed) == 2
+        assert {"app", "policy", "makespan_mean"} <= set(parsed[0])
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_sweep_csv([], tmp_path / "x.csv")

@@ -1,0 +1,118 @@
+"""Unit tests for TDG analyses (topological order, critical path, levels)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    TaskGraph,
+    chain,
+    critical_path,
+    critical_path_weight,
+    fork_join,
+    independent_chains,
+    is_acyclic,
+    level_widths,
+    levels,
+    summarize,
+    topological_order,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture
+def diamond():
+    g = TaskGraph()
+    for w in (1.0, 2.0, 5.0, 1.0):
+        g.add_node(w)
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 3)
+    g.add_edge(2, 3)
+    return g
+
+
+class TestTopologicalOrder:
+    def test_valid_order(self, diamond):
+        order = topological_order(diamond)
+        pos = {v: i for i, v in enumerate(order)}
+        for src, dst, _ in diamond.edges():
+            assert pos[src] < pos[dst]
+
+    def test_complete(self, diamond):
+        assert sorted(topological_order(diamond)) == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert topological_order(TaskGraph()) == []
+
+    def test_acyclic_by_construction(self, diamond):
+        assert is_acyclic(diamond)
+
+
+class TestLevels:
+    def test_diamond_levels(self, diamond):
+        assert list(levels(diamond)) == [0, 1, 1, 2]
+
+    def test_chain_levels(self):
+        assert list(levels(chain(4))) == [0, 1, 2, 3]
+
+    def test_level_widths(self, diamond):
+        assert list(level_widths(diamond)) == [1, 2, 1]
+
+    def test_independent_chains_widths(self):
+        g = independent_chains(3, 5)
+        assert list(level_widths(g)) == [3, 3, 3, 3, 3]
+
+
+class TestCriticalPath:
+    def test_diamond_weight(self, diamond):
+        # Heaviest path 0 -> 2 -> 3 = 1 + 5 + 1.
+        assert critical_path_weight(diamond) == 7.0
+
+    def test_diamond_path(self, diamond):
+        assert critical_path(diamond) == [0, 2, 3]
+
+    def test_chain(self):
+        g = chain(6, node_weight=2.0)
+        assert critical_path_weight(g) == 12.0
+        assert critical_path(g) == list(range(6))
+
+    def test_empty(self):
+        assert critical_path_weight(TaskGraph()) == 0.0
+        assert critical_path(TaskGraph()) == []
+
+    def test_fork_join(self):
+        g = fork_join(width=4, n_phases=2)
+        # source + (task + join) per phase.
+        assert critical_path_weight(g) == 5.0
+
+
+class TestComponents:
+    def test_single_component(self, diamond):
+        assert weakly_connected_components(diamond) == [[0, 1, 2, 3]]
+
+    def test_independent_chains(self):
+        comps = weakly_connected_components(independent_chains(4, 3))
+        assert len(comps) == 4
+        assert all(len(c) == 3 for c in comps)
+
+    def test_isolated_nodes(self):
+        g = TaskGraph()
+        g.add_node()
+        g.add_node()
+        assert weakly_connected_components(g) == [[0], [1]]
+
+
+class TestSummary:
+    def test_summary_fields(self, diamond):
+        s = summarize(diamond)
+        assert s.n_nodes == 4
+        assert s.n_edges == 4
+        assert s.total_work == 9.0
+        assert s.critical_path == 7.0
+        assert s.n_levels == 3
+        assert s.max_width == 2
+        assert s.avg_parallelism == pytest.approx(9.0 / 7.0)
+        assert s.n_components == 1
+
+    def test_summary_str(self, diamond):
+        assert "nodes=4" in str(summarize(diamond))

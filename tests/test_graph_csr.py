@@ -1,0 +1,94 @@
+"""Unit tests for the CSR graph used by the partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, TaskGraph, chain
+
+
+class TestFromEdges:
+    def test_basic_triangle(self):
+        g = CSRGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        assert g.n_vertices == 3
+        assert g.n_edges == 3
+        assert g.degree(0) == 2
+        assert set(g.neighbors(1)) == {0, 2}
+
+    def test_duplicate_edges_merge(self):
+        g = CSRGraph.from_edges(2, [(0, 1, 1.0), (1, 0, 2.0), (0, 1, 3.0)])
+        assert g.n_edges == 1
+        assert g.neighbor_weights(0)[0] == 6.0
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges(2, [(0, 0, 5.0), (0, 1, 1.0)])
+        assert g.n_edges == 1
+
+    def test_each_edge_twice_in_adjacency(self):
+        g = CSRGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert len(g.adjncy) == 4
+
+    def test_default_unit_vertex_weights(self):
+        g = CSRGraph.from_edges(3, [(0, 1, 1.0)])
+        assert list(g.vwgt) == [1.0, 1.0, 1.0]
+        assert g.total_vertex_weight == 3.0
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, [(0, 5, 1.0)])
+
+    def test_isolated_vertices_ok(self):
+        g = CSRGraph.from_edges(4, [(0, 1, 1.0)])
+        assert g.degree(3) == 0
+
+
+class TestFromTDG:
+    def test_symmetrisation(self):
+        tdg = TaskGraph()
+        a = tdg.add_node(2.0)
+        b = tdg.add_node(3.0)
+        tdg.add_edge(a, b, 7.0)
+        g = CSRGraph.from_tdg(tdg)
+        assert g.n_edges == 1
+        assert list(g.vwgt) == [2.0, 3.0]
+        assert g.neighbor_weights(0)[0] == 7.0
+        assert g.neighbor_weights(1)[0] == 7.0
+
+    def test_chain_structure(self):
+        g = CSRGraph.from_tdg(chain(5))
+        assert g.n_vertices == 5
+        assert g.n_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_tdg(TaskGraph())
+        assert g.n_vertices == 0
+        assert g.n_edges == 0
+
+
+class TestValidation:
+    def test_bad_xadj_start(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0]), np.array([1.0]),
+                     np.array([1.0]))
+
+    def test_xadj_decreasing(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1]), np.array([1, 0]),
+                     np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_adjacency_out_of_range(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([5]), np.array([1.0]),
+                     np.array([1.0]))
+
+    def test_mismatched_weights(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1, 2]), np.array([1, 0]),
+                     np.array([1.0]), np.array([1.0, 1.0]))
+
+    def test_negative_weights(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1, 2]), np.array([1, 0]),
+                     np.array([-1.0, -1.0]), np.array([1.0, 1.0]))

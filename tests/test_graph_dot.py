@@ -1,0 +1,47 @@
+"""Tests for DOT export of TDGs."""
+
+import numpy as np
+
+from repro.graph import chain, to_dot, write_dot
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self):
+        g = chain(3)
+        dot = to_dot(g)
+        assert dot.startswith("digraph")
+        assert "n0 -> n1" in dot and "n1 -> n2" in dot
+        assert dot.count("fillcolor") == 3
+
+    def test_partition_colors(self):
+        g = chain(4)
+        dot = to_dot(g, parts=np.array([0, 0, 1, 1]))
+        assert "lightblue" in dot and "lightcoral" in dot
+
+    def test_truncation(self):
+        g = chain(50)
+        dot = to_dot(g, max_nodes=10)
+        assert "truncated" in dot
+        assert "n10 " not in dot.replace("n10 ->", "")
+
+    def test_edge_penwidth_scales(self):
+        from repro.graph import TaskGraph
+
+        g = TaskGraph()
+        for _ in range(3):
+            g.add_node()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 100.0)
+        dot = to_dot(g)
+        assert "penwidth=3.5" in dot  # the heavy edge
+        assert "penwidth=0.5" in dot or "penwidth=0.53" in dot
+
+    def test_write_dot(self, tmp_path):
+        path = tmp_path / "g.dot"
+        write_dot(chain(3), path)
+        assert path.read_text().startswith("digraph")
+
+    def test_labels_used(self):
+        g = chain(2)
+        # chain() has no labels; default t<i> used.
+        assert 'label="t0"' in to_dot(g)

@@ -1,0 +1,116 @@
+"""Unit tests for synthetic DAG generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    binary_in_tree,
+    chain,
+    fork_join,
+    grid_graph,
+    independent_chains,
+    is_acyclic,
+    random_layered,
+    stencil_2d,
+    topological_order,
+)
+
+
+class TestChain:
+    def test_structure(self):
+        g = chain(4, edge_bytes=3.0)
+        assert g.n_nodes == 4
+        assert g.n_edges == 3
+        assert g.edge_weight(1, 2) == 3.0
+
+    def test_empty(self):
+        assert chain(0).n_nodes == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            chain(-1)
+
+
+class TestIndependentChains:
+    def test_counts(self):
+        g = independent_chains(5, 4)
+        assert g.n_nodes == 20
+        assert g.n_edges == 15
+
+    def test_no_cross_edges(self):
+        g = independent_chains(3, 3)
+        for src, dst, _ in g.edges():
+            assert src // 3 == dst // 3
+
+
+class TestForkJoin:
+    def test_counts(self):
+        g = fork_join(width=3, n_phases=2)
+        assert g.n_nodes == 1 + 2 * 4
+        assert g.roots() == [0]
+        assert len(g.leaves()) == 1
+
+
+class TestStencil:
+    def test_first_sweep_independent(self):
+        g = stencil_2d(3, 3, 1)
+        assert g.n_edges == 0
+
+    def test_second_sweep_dependencies(self):
+        g = stencil_2d(2, 2, 2)
+        # Each sweep-2 node depends on its own + up to 2 neighbours (2x2).
+        assert g.n_nodes == 8
+        assert all(g.in_degree(v) == 3 for v in range(4, 8))
+
+    def test_bad_dims(self):
+        with pytest.raises(GraphError):
+            stencil_2d(0, 3, 1)
+
+
+class TestTree:
+    def test_reduction_counts(self):
+        g = binary_in_tree(3)
+        assert g.n_nodes == 8 + 4 + 2 + 1
+        assert len(g.leaves()) == 1
+        assert len(g.roots()) == 8
+
+    def test_depth_zero(self):
+        assert binary_in_tree(0).n_nodes == 1
+
+
+class TestRandomLayered:
+    def test_deterministic_by_seed(self):
+        a = random_layered(4, 6, seed=7)
+        b = random_layered(4, 6, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seed_differs(self):
+        a = random_layered(4, 6, seed=1)
+        b = random_layered(4, 6, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_all_nonroot_layers_have_parents(self):
+        g = random_layered(5, 4, edge_prob=0.05, seed=3)
+        for v in range(4, g.n_nodes):
+            assert g.in_degree(v) >= 1
+
+    def test_acyclic(self):
+        g = random_layered(6, 5, seed=11)
+        assert is_acyclic(g)
+        topological_order(g)
+
+    def test_bad_prob(self):
+        with pytest.raises(GraphError):
+            random_layered(2, 2, edge_prob=1.5)
+
+
+class TestGrid:
+    def test_counts(self):
+        g = grid_graph(3, 4)
+        assert g.n_nodes == 12
+        # right edges: 2*4, down edges: 3*3
+        assert g.n_edges == 2 * 4 + 3 * 3
+
+    def test_bad_dims(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 1)

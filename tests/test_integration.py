@@ -1,0 +1,116 @@
+"""End-to-end shape tests: the paper's qualitative claims on small runs.
+
+These assert the *direction* of Figure 1's effects at reduced scale (kept
+small so the suite stays fast; the full-scale numbers live in benchmarks/
+and EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.experiments import ExperimentConfig
+from repro.machine import bullion_s16, single_socket
+from repro.runtime import Simulator, simulate
+from repro.schedulers import make_scheduler
+
+CFG = ExperimentConfig.quick(seeds=(0, 1))
+TOPO = CFG.topology
+
+
+def mean_makespan(prog, policy, seeds=(0, 1), **sched_kwargs):
+    out = []
+    for seed in seeds:
+        sim = Simulator(
+            prog, TOPO, make_scheduler(policy, **sched_kwargs),
+            interconnect=CFG.interconnect(), steal=CFG.steal, seed=seed,
+        )
+        out.append(sim.run().makespan)
+    return float(np.mean(out))
+
+
+@pytest.fixture(scope="module")
+def nstream_prog():
+    return make_app("nstream", n_blocks=40, block_elems=16 * 1024,
+                    iterations=8).build(8)
+
+
+@pytest.fixture(scope="module")
+def jacobi_prog():
+    return make_app("jacobi", nt=8, tile=64, sweeps=6).build(8)
+
+
+class TestFigure1Shape:
+    def test_dfifo_loses_on_memory_bound(self, nstream_prog, jacobi_prog):
+        for prog in (nstream_prog, jacobi_prog):
+            las = mean_makespan(prog, "las")
+            dfifo = mean_makespan(prog, "dfifo")
+            assert dfifo > las * 1.3, "DFIFO must collapse on streams"
+
+    def test_ep_and_rgp_beat_las_on_nstream(self, nstream_prog):
+        las = mean_makespan(nstream_prog, "las")
+        ep = mean_makespan(nstream_prog, "ep")
+        rgp = mean_makespan(nstream_prog, "rgp+las", window_size=1024)
+        assert las / ep > 1.3
+        assert las / rgp > 1.3
+
+    def test_rgp_close_to_ep_on_nstream(self, nstream_prog):
+        ep = mean_makespan(nstream_prog, "ep")
+        rgp = mean_makespan(nstream_prog, "rgp+las", window_size=1024)
+        assert abs(ep - rgp) / ep < 0.2
+
+    def test_qr_insensitive_to_policy(self):
+        prog = make_app("qr", nt=6, tile=64).build(8)
+        las = mean_makespan(prog, "las")
+        dfifo = mean_makespan(prog, "dfifo")
+        # Compute-bound: even DFIFO stays within ~2x (vs ~3x on streams).
+        assert dfifo / las < 2.0
+
+    def test_rgp_las_improves_locality_over_las(self, nstream_prog):
+        seeds = (0, 1, 2)
+        las_remote = np.mean([
+            Simulator(nstream_prog, TOPO, make_scheduler("las"),
+                      interconnect=CFG.interconnect(), steal=CFG.steal,
+                      seed=s).run().load_imbalance()
+            for s in seeds
+        ])
+        rgp_remote = np.mean([
+            Simulator(nstream_prog, TOPO, make_scheduler("rgp+las"),
+                      interconnect=CFG.interconnect(), steal=CFG.steal,
+                      seed=s).run().load_imbalance()
+            for s in seeds
+        ])
+        assert rgp_remote <= las_remote + 1e-9
+
+
+class TestNUMASensitivity:
+    def test_uma_machine_flattens_policies(self):
+        """On a single socket all placements are equivalent (+/- jitter)."""
+        topo = single_socket(cores=8)
+        prog = make_app("nstream", n_blocks=16, block_elems=16 * 1024,
+                        iterations=4).build(1)
+        res_las = simulate(prog, topo, make_scheduler("las"), seed=0)
+        res_dfifo = simulate(prog, topo, make_scheduler("dfifo"), seed=0)
+        assert res_las.remote_fraction == 0.0
+        assert res_dfifo.remote_fraction == 0.0
+        assert abs(res_las.makespan - res_dfifo.makespan) / res_las.makespan < 0.15
+
+    def test_remote_fraction_orders_policies(self, jacobi_prog):
+        remote = {}
+        for pol in ("dfifo", "las", "ep"):
+            res = Simulator(jacobi_prog, TOPO, make_scheduler(pol),
+                            interconnect=CFG.interconnect(),
+                            steal=CFG.steal, seed=0).run()
+            remote[pol] = res.remote_fraction
+        assert remote["dfifo"] > remote["las"]
+        assert remote["dfifo"] > remote["ep"]
+
+
+class TestWindowEffect:
+    def test_window_one_degenerates_towards_las(self, nstream_prog):
+        """A 1-task window leaves almost everything to LAS propagation, so
+        RGP+LAS(w=1) must behave like LAS rather than like EP."""
+        las = mean_makespan(nstream_prog, "las")
+        tiny = mean_makespan(nstream_prog, "rgp+las", window_size=1)
+        full = mean_makespan(nstream_prog, "rgp+las", window_size=1024)
+        assert abs(tiny - las) < abs(tiny - full)

@@ -1,0 +1,171 @@
+"""Unit tests for the interconnect bandwidth model (max-min fair rates)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Interconnect, StreamKey, bullion_s16, two_socket
+from repro.machine.interconnect import _waterfill
+
+
+def rates_of(ic, specs):
+    """specs: list of (socket, node, group)."""
+    return ic.stream_rates([StreamKey(s, n, g) for s, n, g in specs])
+
+
+class TestWaterfill:
+    def test_under_budget_runs_at_caps(self):
+        caps = np.array([10.0, 20.0])
+        assert list(_waterfill(caps, 100.0)) == [10.0, 20.0]
+
+    def test_over_budget_equal_split(self):
+        caps = np.array([100.0, 100.0])
+        assert list(_waterfill(caps, 50.0)) == [25.0, 25.0]
+
+    def test_slack_redistributed(self):
+        caps = np.array([5.0, 100.0])
+        r = _waterfill(caps, 50.0)
+        assert r[0] == 5.0
+        assert r[1] == pytest.approx(45.0)
+
+    def test_total_never_exceeds_budget(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            caps = rng.uniform(0.1, 10.0, size=8)
+            budget = rng.uniform(1.0, 20.0)
+            r = _waterfill(caps, budget)
+            assert r.sum() <= min(budget, caps.sum()) + 1e-9
+            assert np.all(r <= caps + 1e-12)
+
+
+class TestSingleStream:
+    def test_local_stream_core_capped(self):
+        topo = two_socket()
+        ic = Interconnect(topo, core_fraction=0.35)
+        (r,) = rates_of(ic, [(0, 0, 0)])
+        assert r == pytest.approx(0.35 * topo.node_bandwidth[0])
+
+    def test_local_stream_uncapped_without_core_limit(self):
+        topo = two_socket()
+        ic = Interconnect(topo, core_fraction=None)
+        (r,) = rates_of(ic, [(0, 0, 0)])
+        assert r == pytest.approx(topo.node_bandwidth[0])
+
+    def test_remote_slower_than_local_when_binding(self):
+        topo = bullion_s16()
+        ic = Interconnect(topo, core_fraction=None, link_fraction=None)
+        (local,) = rates_of(ic, [(0, 0, 0)])
+        (far,) = rates_of(ic, [(0, 7, 0)])
+        assert far < local
+        assert far == pytest.approx(local * topo.bandwidth_factor(0, 7))
+
+    def test_remote_penalty_exponent(self):
+        topo = bullion_s16()
+        ic1 = Interconnect(topo, remote_penalty_exp=1.0, core_fraction=None,
+                           link_fraction=None)
+        ic2 = Interconnect(topo, remote_penalty_exp=2.0, core_fraction=None,
+                           link_fraction=None)
+        (r1,) = rates_of(ic1, [(0, 7, 0)])
+        (r2,) = rates_of(ic2, [(0, 7, 0)])
+        assert r2 < r1
+
+
+class TestContention:
+    def test_node_budget_shared(self):
+        topo = two_socket()
+        ic = Interconnect(topo, core_fraction=None, link_fraction=None)
+        rates = rates_of(ic, [(0, 0, 0), (0, 0, 1), (0, 0, 2)])
+        assert rates.sum() == pytest.approx(topo.node_bandwidth[0])
+        assert np.allclose(rates, rates[0])  # symmetric streams share equally
+
+    def test_remote_cannot_starve_local(self):
+        topo = bullion_s16()
+        ic = Interconnect(topo, core_fraction=None, link_fraction=0.45)
+        # Seven far remote readers + one local on node 0.
+        specs = [(s, 0, s) for s in range(1, 8)] + [(0, 0, 0)]
+        rates = rates_of(ic, specs)
+        local = rates[-1]
+        assert local >= max(rates[:-1]) - 1e-9
+
+    def test_link_caps_aggregate_remote(self):
+        topo = bullion_s16()
+        ic = Interconnect(topo, core_fraction=None, link_fraction=0.45)
+        # Socket 0 reading from every other node: its link bounds the sum.
+        specs = [(0, n, n) for n in range(1, 8)]
+        rates = rates_of(ic, specs)
+        link = 0.45 * topo.node_bandwidth[0]
+        assert rates.sum() <= link + 1e-6
+
+    def test_core_budget_shared_within_task(self):
+        topo = two_socket()
+        ic = Interconnect(topo, core_fraction=0.4, link_fraction=None)
+        # One task (group 7) reading from both nodes.
+        rates = rates_of(ic, [(0, 0, 7), (0, 1, 7)])
+        assert rates.sum() <= 0.4 * topo.node_bandwidth[0] + 1e-6
+
+    def test_distinct_tasks_not_core_coupled(self):
+        topo = two_socket()
+        ic = Interconnect(topo, core_fraction=0.4, link_fraction=None)
+        rates = rates_of(ic, [(0, 0, 1), (0, 0, 2)])
+        assert rates.sum() == pytest.approx(0.8 * topo.node_bandwidth[0])
+
+    def test_empty_stream_list(self):
+        ic = Interconnect(two_socket())
+        assert len(ic.stream_rates([])) == 0
+
+    def test_all_rates_positive(self):
+        topo = bullion_s16()
+        ic = Interconnect(topo)
+        rng = np.random.default_rng(3)
+        specs = [
+            (int(rng.integers(8)), int(rng.integers(8)), g) for g in range(64)
+        ]
+        rates = rates_of(ic, specs)
+        assert np.all(rates > 0)
+
+    def test_node_budgets_never_exceeded(self):
+        topo = bullion_s16()
+        ic = Interconnect(topo)
+        rng = np.random.default_rng(7)
+        for trial in range(20):
+            specs = [
+                (int(rng.integers(8)), int(rng.integers(8)), g)
+                for g in range(int(rng.integers(1, 40)))
+            ]
+            rates = rates_of(ic, specs)
+            per_node = np.zeros(8)
+            for (s, node, g), r in zip(specs, rates):
+                per_node[node] += r
+            assert np.all(per_node <= topo.node_bandwidth + 1e-6)
+
+
+class TestAuxiliary:
+    def test_best_case_time_prefers_local(self):
+        topo = bullion_s16()
+        ic = Interconnect(topo, core_fraction=None, link_fraction=None)
+        local = ic.best_case_time(0, np.array([1e6, 0, 0, 0, 0, 0, 0, 0]))
+        remote = ic.best_case_time(7, np.array([1e6, 0, 0, 0, 0, 0, 0, 0]))
+        assert local < remote
+
+    def test_access_latency_zero_by_default(self):
+        ic = Interconnect(two_socket())
+        assert ic.access_latency(0, 1) == 0.0
+
+    def test_access_latency_scales_with_distance(self):
+        topo = bullion_s16()
+        ic = Interconnect(topo, latency_cost_per_access=1.0)
+        assert ic.access_latency(0, 0) == pytest.approx(1.0)
+        assert ic.access_latency(0, 7) == pytest.approx(2.2)
+
+    def test_bad_link_fraction(self):
+        with pytest.raises(ValueError):
+            Interconnect(two_socket(), link_fraction=-1.0)
+
+    def test_bad_core_fraction(self):
+        with pytest.raises(ValueError):
+            Interconnect(two_socket(), core_fraction=0.0)
+
+    def test_efficiency_matrix(self):
+        topo = bullion_s16()
+        ic = Interconnect(topo)
+        assert ic.efficiency(0, 0) == pytest.approx(1.0)
+        assert ic.efficiency(0, 1) == pytest.approx(10.0 / 16.0)

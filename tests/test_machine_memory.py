@@ -1,0 +1,188 @@
+"""Unit tests for the page-granularity memory manager."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.machine import UNBOUND, MemoryManager
+
+
+@pytest.fixture
+def mm():
+    return MemoryManager(n_nodes=4, page_size=4096)
+
+
+class TestRegistration:
+    def test_register_and_size(self, mm):
+        mm.register(0, 10000)
+        assert mm.is_registered(0)
+        assert mm.size_of(0) == 10000
+
+    def test_pages_rounded_up(self, mm):
+        mm.register(0, 4097)
+        assert len(mm.page_nodes(0)) == 2
+
+    def test_double_register_rejected(self, mm):
+        mm.register(0, 100)
+        with pytest.raises(MemoryError_):
+            mm.register(0, 100)
+
+    def test_zero_size_rejected(self, mm):
+        with pytest.raises(MemoryError_):
+            mm.register(0, 0)
+
+    def test_unknown_object(self, mm):
+        with pytest.raises(MemoryError_):
+            mm.touch(5, 0)
+
+    def test_bad_node_count(self):
+        with pytest.raises(MemoryError_):
+            MemoryManager(0)
+
+
+class TestFirstTouch:
+    def test_touch_binds_unbound_pages(self, mm):
+        mm.register(0, 8192)
+        n = mm.touch(0, 2)
+        assert n == 2
+        assert np.all(mm.page_nodes(0) == 2)
+
+    def test_first_touch_wins(self, mm):
+        mm.register(0, 8192)
+        mm.touch(0, 2)
+        n = mm.touch(0, 3)  # second touch must not move pages
+        assert n == 0
+        assert np.all(mm.page_nodes(0) == 2)
+
+    def test_partial_range_touch(self, mm):
+        mm.register(0, 16384)  # 4 pages
+        mm.touch(0, 1, offset=0, length=4096)
+        pages = mm.page_nodes(0)
+        assert pages[0] == 1
+        assert np.all(pages[1:] == UNBOUND)
+
+    def test_range_spanning_partial_pages(self, mm):
+        mm.register(0, 16384)
+        # Bytes 2000..6000 span pages 0 and 1.
+        n = mm.touch(0, 3, offset=2000, length=4000)
+        assert n == 2
+        assert list(mm.page_nodes(0)[:2]) == [3, 3]
+
+    def test_bytes_accounting(self, mm):
+        mm.register(0, 8192)
+        mm.touch(0, 1)
+        assert mm.bytes_on_node[1] == 8192
+        assert mm.touch_count == 2
+
+    def test_out_of_range_rejected(self, mm):
+        mm.register(0, 4096)
+        with pytest.raises(MemoryError_):
+            mm.touch(0, 0, offset=0, length=5000)
+
+    def test_bad_node_rejected(self, mm):
+        mm.register(0, 4096)
+        with pytest.raises(MemoryError_):
+            mm.touch(0, 4)
+
+    def test_zero_length_touch(self, mm):
+        mm.register(0, 4096)
+        assert mm.touch(0, 0, offset=0, length=0) == 0
+
+
+class TestExplicitPlacement:
+    def test_bind_moves_pages(self, mm):
+        mm.register(0, 8192)
+        mm.touch(0, 1)
+        mm.bind(0, 2)
+        assert np.all(mm.page_nodes(0) == 2)
+        assert mm.bytes_on_node[1] == 0
+        assert mm.bytes_on_node[2] == 8192
+        assert mm.migrated_pages == 2
+
+    def test_migrate_only_bound(self, mm):
+        mm.register(0, 16384)
+        mm.touch(0, 0, offset=0, length=8192)
+        moved = mm.migrate(0, 3)
+        assert moved == 2
+        pages = mm.page_nodes(0)
+        assert list(pages[:2]) == [3, 3]
+        assert np.all(pages[2:] == UNBOUND)
+
+    def test_migrate_noop_when_already_there(self, mm):
+        mm.register(0, 4096)
+        mm.touch(0, 3)
+        assert mm.migrate(0, 3) == 0
+
+    def test_interleave_round_robin(self, mm):
+        mm.register(0, 4096 * 8)
+        mm.interleave(0, [0, 1])
+        pages = mm.page_nodes(0)
+        assert list(pages) == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_interleave_all_nodes_default(self, mm):
+        mm.register(0, 4096 * 4)
+        mm.interleave(0)
+        assert sorted(mm.page_nodes(0)) == [0, 1, 2, 3]
+
+    def test_interleave_empty_nodes_rejected(self, mm):
+        mm.register(0, 4096)
+        with pytest.raises(MemoryError_):
+            mm.interleave(0, [])
+
+
+class TestPlacementQueries:
+    def test_node_bytes_full_object(self, mm):
+        mm.register(0, 12000)
+        mm.touch(0, 1)
+        pl = mm.node_bytes_of_range(0)
+        assert pl.bytes_per_node[1] == 12000
+        assert pl.unbound_bytes == 0
+        assert pl.dominant_node() == 1
+
+    def test_node_bytes_sum_to_length(self, mm):
+        mm.register(0, 20000)
+        mm.touch(0, 0, offset=0, length=10000)
+        pl = mm.node_bytes_of_range(0, offset=5000, length=9000)
+        assert pl.bytes_per_node.sum() + pl.unbound_bytes == 9000
+
+    def test_partial_page_attribution(self, mm):
+        mm.register(0, 8192)
+        mm.touch(0, 2)
+        pl = mm.node_bytes_of_range(0, offset=100, length=200)
+        assert pl.bytes_per_node[2] == 200
+
+    def test_dominant_node_none_when_unbound(self, mm):
+        mm.register(0, 4096)
+        pl = mm.node_bytes_of_range(0)
+        assert pl.dominant_node() is None
+        assert pl.unbound_bytes == 4096
+
+    def test_mixed_placement(self, mm):
+        mm.register(0, 8192)
+        mm.touch(0, 0, offset=0, length=4096)
+        mm.touch(0, 3, offset=4096, length=4096)
+        pl = mm.node_bytes_of_range(0)
+        assert pl.bytes_per_node[0] == 4096
+        assert pl.bytes_per_node[3] == 4096
+
+    def test_fraction_bound(self, mm):
+        mm.register(0, 16384)
+        assert mm.fraction_bound(0) == 0.0
+        mm.touch(0, 1, offset=0, length=8192)
+        assert mm.fraction_bound(0) == pytest.approx(0.5)
+
+    def test_page_nodes_read_only(self, mm):
+        mm.register(0, 4096)
+        with pytest.raises(ValueError):
+            mm.page_nodes(0)[0] = 1
+
+
+class TestReset:
+    def test_reset_placement(self, mm):
+        mm.register(0, 8192)
+        mm.touch(0, 1)
+        mm.reset_placement()
+        assert np.all(mm.page_nodes(0) == UNBOUND)
+        assert mm.bytes_on_node.sum() == 0
+        assert mm.touch_count == 0
+        assert mm.is_registered(0)  # registry survives

@@ -1,0 +1,84 @@
+"""Tests for topology serialisation and numactl parsing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine import (
+    bullion_s16,
+    load_topology,
+    parse_numactl_hardware,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+NUMACTL_OUTPUT = """\
+available: 2 nodes (0-1)
+node 0 cpus: 0 1 2 3
+node 0 size: 64215 MB
+node 0 free: 60000 MB
+node 1 cpus: 4 5 6 7
+node 1 size: 64509 MB
+node 1 free: 61000 MB
+node distances:
+node   0   1
+  0:  10  21
+  1:  21  10
+"""
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        topo = bullion_s16()
+        clone = topology_from_dict(topology_to_dict(topo))
+        assert clone.n_sockets == topo.n_sockets
+        assert clone.cores_per_socket == topo.cores_per_socket
+        assert np.array_equal(clone.distance, topo.distance)
+        assert clone.name == topo.name
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "machine.json"
+        save_topology(bullion_s16(), path)
+        clone = load_topology(path)
+        assert clone.describe() == bullion_s16().describe()
+
+    def test_missing_field(self):
+        with pytest.raises(TopologyError, match="missing field"):
+            topology_from_dict({"n_sockets": 2})
+
+    def test_invalid_document_validated(self):
+        doc = topology_to_dict(bullion_s16())
+        doc["distance"][0][1] = -5.0
+        with pytest.raises(TopologyError):
+            topology_from_dict(doc)
+
+
+class TestNumactl:
+    def test_parses_two_socket_machine(self):
+        topo = parse_numactl_hardware(NUMACTL_OUTPUT)
+        assert topo.n_sockets == 2
+        assert topo.cores_per_socket == 4
+        assert topo.dist(0, 1) == 21.0
+        assert topo.dist(0, 0) == 10.0
+
+    def test_explicit_core_count_wins(self):
+        topo = parse_numactl_hardware(NUMACTL_OUTPUT, cores_per_socket=2)
+        assert topo.cores_per_socket == 2
+
+    def test_missing_distances_section(self):
+        with pytest.raises(TopologyError, match="node distances"):
+            parse_numactl_hardware("available: 2 nodes (0-1)\n")
+
+    def test_simulatable(self):
+        """The parsed machine must plug straight into the simulator."""
+        from repro.runtime import TaskProgram, simulate
+        from repro.schedulers import make_scheduler
+
+        topo = parse_numactl_hardware(NUMACTL_OUTPUT)
+        p = TaskProgram()
+        a = p.data("a", 65536)
+        p.task(outs=[a], work=0.5)
+        p.task(ins=[a], work=0.5)
+        res = simulate(p.finalize(), topo, make_scheduler("las"), seed=0)
+        assert res.n_tasks == 2

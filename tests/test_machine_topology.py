@@ -1,0 +1,160 @@
+"""Unit tests for NUMA topology construction and queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine import (
+    NumaTopology,
+    bullion_s16,
+    by_name,
+    custom,
+    four_socket,
+    hierarchical_distance_matrix,
+    single_socket,
+    two_socket,
+    uniform_distance_matrix,
+)
+
+
+class TestConstruction:
+    def test_core_and_node_counts(self):
+        topo = bullion_s16()
+        assert topo.n_sockets == 8
+        assert topo.cores_per_socket == 4
+        assert topo.n_cores == 32
+        assert topo.n_nodes == 8
+
+    def test_socket_of_core_grouping(self):
+        topo = bullion_s16()
+        assert topo.socket_of_core(0) == 0
+        assert topo.socket_of_core(3) == 0
+        assert topo.socket_of_core(4) == 1
+        assert topo.socket_of_core(31) == 7
+
+    def test_cores_of_socket_contiguous(self):
+        topo = bullion_s16()
+        assert list(topo.cores_of_socket(2)) == [8, 9, 10, 11]
+
+    def test_core_out_of_range(self):
+        with pytest.raises(TopologyError):
+            bullion_s16().socket_of_core(32)
+
+    def test_socket_out_of_range(self):
+        with pytest.raises(TopologyError):
+            bullion_s16().cores_of_socket(8)
+
+    def test_rejects_zero_sockets(self):
+        with pytest.raises(TopologyError):
+            NumaTopology(0, 4, uniform_distance_matrix(1), 1e6)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(TopologyError):
+            NumaTopology(2, 0, uniform_distance_matrix(2), 1e6)
+
+    def test_rejects_asymmetric_distance(self):
+        dist = uniform_distance_matrix(2)
+        dist = dist.copy()
+        dist[0, 1] = 30.0
+        with pytest.raises(TopologyError):
+            NumaTopology(2, 2, dist, 1e6)
+
+    def test_rejects_nonminimal_diagonal(self):
+        dist = np.array([[25.0, 20.0], [20.0, 10.0]])
+        with pytest.raises(TopologyError):
+            NumaTopology(2, 2, dist, 1e6)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(TopologyError):
+            NumaTopology(2, 2, uniform_distance_matrix(2), 0.0)
+
+    def test_distance_matrix_immutable(self):
+        topo = two_socket()
+        with pytest.raises(ValueError):
+            topo.distance[0, 1] = 5.0
+
+
+class TestDistances:
+    def test_bandwidth_factor_local_is_one(self):
+        topo = bullion_s16()
+        for s in topo.sockets():
+            assert topo.bandwidth_factor(s, s) == pytest.approx(1.0)
+
+    def test_bandwidth_factor_decreases_with_distance(self):
+        topo = bullion_s16()
+        near = topo.bandwidth_factor(0, 1)  # same module
+        far = topo.bandwidth_factor(0, 7)  # across modules
+        assert 0 < far < near < 1.0
+
+    def test_sockets_by_distance_starts_local(self):
+        topo = bullion_s16()
+        order = topo.sockets_by_distance(3)
+        assert order[0] == 3
+        assert order[1] == 2  # module sibling of socket 3
+        assert sorted(order) == list(range(8))
+
+    def test_sockets_by_distance_deterministic_ties(self):
+        topo = four_socket()
+        assert topo.sockets_by_distance(2) == [2, 0, 1, 3]
+
+    def test_max_distance(self):
+        assert bullion_s16().max_distance() == pytest.approx(22.0)
+
+    def test_dist_symmetry(self):
+        topo = bullion_s16()
+        for a in topo.sockets():
+            for b in topo.sockets():
+                assert topo.dist(a, b) == topo.dist(b, a)
+
+
+class TestMatrices:
+    def test_uniform_matrix(self):
+        m = uniform_distance_matrix(3, remote=21.0)
+        assert m.shape == (3, 3)
+        assert np.all(np.diag(m) == 10.0)
+        assert m[0, 1] == 21.0
+
+    def test_uniform_rejects_remote_below_local(self):
+        with pytest.raises(TopologyError):
+            uniform_distance_matrix(3, remote=5.0)
+
+    def test_hierarchical_matrix_groups(self):
+        m = hierarchical_distance_matrix(8, group_size=2, near=16.0, far=22.0)
+        assert m[0, 1] == 16.0  # same module
+        assert m[0, 2] == 22.0  # across modules
+        assert m[6, 7] == 16.0
+        assert np.all(np.diag(m) == 10.0)
+
+    def test_hierarchical_rejects_bad_group(self):
+        with pytest.raises(TopologyError):
+            hierarchical_distance_matrix(8, group_size=3)
+
+    def test_hierarchical_rejects_unordered(self):
+        with pytest.raises(TopologyError):
+            hierarchical_distance_matrix(8, group_size=2, near=30.0, far=22.0)
+
+
+class TestPresets:
+    def test_by_name_round_trip(self):
+        for name in ("bullion-s16", "two-socket", "four-socket", "single-socket"):
+            assert by_name(name).name == name
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError, match="unknown machine preset"):
+            by_name("cray")
+
+    def test_single_socket_is_uma(self):
+        topo = single_socket(cores=6)
+        assert topo.n_sockets == 1
+        assert topo.n_cores == 6
+        assert topo.bandwidth_factor(0, 0) == 1.0
+
+    def test_custom(self):
+        topo = custom(3, 5, remote=30.0, name="weird")
+        assert topo.n_sockets == 3
+        assert topo.cores_per_socket == 5
+        assert topo.dist(0, 2) == 30.0
+
+    def test_describe_mentions_counts(self):
+        text = bullion_s16().describe()
+        assert "8 sockets" in text and "32 cores" in text

@@ -1,0 +1,118 @@
+"""Unit tests for post-mortem schedule analysis and the ASCII figure."""
+
+import numpy as np
+import pytest
+
+from repro.machine import two_socket
+from repro.metrics import (
+    SpeedupCell,
+    SpeedupTable,
+    idle_gaps_per_socket,
+    node_pressure,
+    phase_profile,
+    render_figure,
+    schedule_report,
+    schedule_efficiency,
+    utilization_timeline,
+)
+from repro.runtime import TaskProgram, simulate
+from repro.schedulers import make_scheduler
+
+from conftest import make_fan_program
+
+
+@pytest.fixture(scope="module")
+def run():
+    topo = two_socket(cores_per_socket=2)
+    prog = make_fan_program(width=8)
+    res = simulate(prog, topo, make_scheduler("las"), seed=0)
+    return topo, prog, res
+
+
+class TestTimeline:
+    def test_timeline_shape_and_bounds(self, run):
+        topo, prog, res = run
+        times, busy = utilization_timeline(res, n_points=64)
+        assert len(times) == len(busy) == 64
+        assert busy.max() <= topo.n_cores
+        assert busy.min() >= 0
+        assert busy[0] > 0  # work starts immediately
+
+    def test_timeline_empty(self):
+        topo = two_socket()
+        res = simulate(TaskProgram().finalize(), topo, make_scheduler("random"))
+        times, busy = utilization_timeline(res)
+        assert len(times) == 0
+
+
+class TestEfficiency:
+    def test_bounds_hold(self, run):
+        topo, prog, res = run
+        eff = schedule_efficiency(prog, res, topo.n_cores)
+        assert 0.0 < eff.core_utilization <= 1.0
+        assert 0.0 < eff.critical_path_bound <= 1.0 + 1e-9
+        assert 0.0 < eff.throughput_bound <= 1.0 + 1e-9
+        assert eff.dominant_limit in ("critical-path", "throughput")
+
+    def test_serial_program_is_cp_limited(self):
+        topo = two_socket(cores_per_socket=2)
+        p = TaskProgram()
+        a = p.data("a", 4096)
+        p.task(outs=[a], work=1.0)
+        for _ in range(9):
+            p.task(inouts=[a], work=1.0)
+        res = simulate(p.finalize(), topo, make_scheduler("las"), seed=0,
+                       duration_jitter=0.0)
+        eff = schedule_efficiency(p, res, topo.n_cores)
+        assert eff.dominant_limit == "critical-path"
+        assert eff.critical_path_bound > 0.9
+
+
+class TestPressureAndPhases:
+    def test_node_pressure_sums_to_one(self, run):
+        _, _, res = run
+        pressure = node_pressure(res)
+        assert pressure.sum() == pytest.approx(1.0)
+
+    def test_phase_profile_groups_by_prefix(self, run):
+        _, _, res = run
+        profile = phase_profile(res)
+        assert "prod" in profile and "cons" in profile and "join" in profile
+        assert profile["prod"]["count"] == 8
+
+    def test_idle_gaps_nonnegative(self, run):
+        topo, _, res = run
+        gaps = idle_gaps_per_socket(res, topo.n_sockets, topo.cores_per_socket)
+        assert np.all(gaps >= 0)
+
+    def test_report_renders(self, run):
+        topo, prog, res = run
+        text = schedule_report(prog, res, topo)
+        assert "core utilization" in text
+        assert "phases:" in text
+
+
+class TestAsciiFigure:
+    def make_table(self):
+        t = SpeedupTable(baseline="las", policies=["dfifo", "rgp+las", "ep"])
+        for app, vals in (
+            ("jacobi", (0.42, 1.2, 1.25)),
+            ("nstream", (0.49, 1.74, 1.75)),
+        ):
+            for pol, v in zip(t.policies, vals):
+                t.add(app, pol, SpeedupCell(v, 0.0, 1.0, 0.1))
+        return t
+
+    def test_out_of_band_annotated(self):
+        text = render_figure(self.make_table())
+        assert "*" in text  # clipped markers
+        assert "1.75" in text and "0.42" in text
+
+    def test_structure(self):
+        text = render_figure(self.make_table())
+        assert "jacobi:" in text and "nstream:" in text
+        assert "geomean:" in text
+        assert text.count("[") == text.count("]")
+
+    def test_baseline_marker_present(self):
+        assert "|" in render_figure(self.make_table())

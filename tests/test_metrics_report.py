@@ -1,0 +1,72 @@
+"""Unit tests for speedup tables and the geometric mean."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics import SpeedupCell, SpeedupTable, geometric_mean
+
+
+class TestGeometricMean:
+    def test_identity(self):
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_classic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_paper_value(self):
+        # Mix straddling 1.0 like Figure 1's RGP+LAS bars.
+        vals = [1.26, 1.0, 1.0, 1.26, 1.7, 0.9, 1.07, 0.95]
+        assert geometric_mean(vals) == pytest.approx(1.12, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean([1.0, 0.0])
+
+
+def cell(speedup):
+    return SpeedupCell(speedup=speedup, speedup_std=0.01,
+                       makespan_mean=1.0, remote_fraction=0.1)
+
+
+class TestSpeedupTable:
+    def make(self):
+        t = SpeedupTable(baseline="las", policies=["dfifo", "ep"])
+        t.add("jacobi", "dfifo", cell(0.42))
+        t.add("jacobi", "ep", cell(1.2))
+        t.add("nstream", "dfifo", cell(0.49))
+        t.add("nstream", "ep", cell(1.75))
+        return t
+
+    def test_lookup(self):
+        t = self.make()
+        assert t.speedup("jacobi", "dfifo") == 0.42
+
+    def test_missing_lookup(self):
+        with pytest.raises(ExperimentError):
+            self.make().speedup("qr", "ep")
+
+    def test_geomean_per_policy(self):
+        t = self.make()
+        assert t.geomean("ep") == pytest.approx((1.2 * 1.75) ** 0.5)
+
+    def test_rows_include_geomean(self):
+        rows = self.make().rows()
+        assert rows[-1][0] == "geomean"
+        assert len(rows) == 3
+
+    def test_render_contains_apps_and_policies(self):
+        text = self.make().render(title="Fig")
+        assert "Fig" in text
+        assert "jacobi" in text and "nstream" in text
+        assert "dfifo" in text and "ep" in text
+        assert "0.42" in text and "1.75" in text
+
+    def test_missing_cells_render_dash(self):
+        t = SpeedupTable(baseline="las", policies=["dfifo"])
+        t.add("qr", "dfifo", cell(1.0))
+        t.apps.append("extra")
+        assert "-" in t.render()

@@ -1,0 +1,63 @@
+"""Unit tests for trace export (CSV/JSON/Gantt)."""
+
+import csv
+import json
+
+from repro.machine import two_socket
+from repro.metrics import gantt_ascii, to_rows, write_csv, write_json
+from repro.runtime import simulate
+from repro.schedulers import make_scheduler
+
+from conftest import make_fan_program
+
+
+def result():
+    return simulate(make_fan_program(), two_socket(cores_per_socket=2),
+                    make_scheduler("las"), seed=0)
+
+
+class TestRows:
+    def test_rows_sorted_by_start(self):
+        rows = to_rows(result())
+        starts = [r["start"] for r in rows]
+        assert starts == sorted(starts)
+
+    def test_rows_have_all_fields(self):
+        rows = to_rows(result())
+        assert set(rows[0]) == {"tid", "name", "socket", "core", "start",
+                                "finish", "local_bytes", "remote_bytes"}
+
+
+class TestFiles:
+    def test_csv_round_trip(self, tmp_path):
+        res = result()
+        path = tmp_path / "trace.csv"
+        write_csv(res, path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == res.n_tasks
+        assert {r["name"] for r in rows} == {rec.name for rec in res.records}
+
+    def test_json_contents(self, tmp_path):
+        res = result()
+        path = tmp_path / "trace.json"
+        write_json(res, path)
+        doc = json.loads(path.read_text())
+        assert doc["scheduler"] == "las"
+        assert doc["makespan"] == res.makespan
+        assert len(doc["tasks"]) == res.n_tasks
+        assert len(doc["bytes_by_pair"]) == 2
+
+
+class TestGantt:
+    def test_gantt_mentions_cores(self):
+        text = gantt_ascii(result())
+        assert "core" in text
+        assert "#" in text
+
+    def test_gantt_empty(self):
+        from repro.runtime import TaskProgram
+
+        res = simulate(TaskProgram().finalize(), two_socket(),
+                       make_scheduler("random"))
+        assert gantt_ascii(res) == "(empty trace)"

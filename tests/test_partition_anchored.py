@@ -1,0 +1,101 @@
+"""Tests for fixed-vertex (anchored) partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import CSRGraph, grid_graph
+from repro.machine import bullion_s16
+from repro.partition import (
+    DualRecursiveBipartitioner,
+    TargetArchitecture,
+    edge_cut,
+    partition_with_anchors,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return CSRGraph.from_tdg(grid_graph(10, 10))
+
+
+@pytest.fixture(scope="module")
+def target():
+    return TargetArchitecture.from_topology(bullion_s16())
+
+
+class TestAnchors:
+    def test_anchors_never_move(self, grid, target):
+        anchors = {0: 3, 99: 5, 50: 0}
+        res = partition_with_anchors(
+            grid, 8, anchors, DualRecursiveBipartitioner(), target=target,
+            seed=0,
+        )
+        for v, p in anchors.items():
+            assert res.parts[v] == p
+
+    def test_no_anchors_equals_plain_partition_quality(self, grid, target):
+        plain = DualRecursiveBipartitioner().partition(grid, 8, target=target,
+                                                       seed=0)
+        anchored = partition_with_anchors(
+            grid, 8, {}, DualRecursiveBipartitioner(), target=target, seed=0
+        )
+        # Same machinery + one extra refinement pass: no worse cut.
+        assert edge_cut(grid, anchored.parts) <= edge_cut(grid, plain.parts) * 1.2
+
+    def test_anchor_pulls_neighbourhood(self, target):
+        """A corner anchored to part 7 should drag its neighbours along."""
+        grid = CSRGraph.from_tdg(grid_graph(8, 8))
+        res = partition_with_anchors(
+            grid, 8, {0: 7}, DualRecursiveBipartitioner(), target=target,
+            seed=1,
+        )
+        # Vertex 0's grid neighbours are 1 (right) and 8 (down).
+        neighbourhood_parts = {int(res.parts[v]) for v in (0, 1, 8)}
+        assert 7 in neighbourhood_parts
+
+    def test_all_vertices_anchored(self, grid, target):
+        anchors = {v: v % 8 for v in range(grid.n_vertices)}
+        res = partition_with_anchors(
+            grid, 8, anchors, DualRecursiveBipartitioner(), target=target,
+            seed=0,
+        )
+        assert all(res.parts[v] == v % 8 for v in range(grid.n_vertices))
+
+    def test_bad_anchor_vertex(self, grid, target):
+        with pytest.raises(PartitionError):
+            partition_with_anchors(grid, 8, {1000: 0},
+                                   DualRecursiveBipartitioner(),
+                                   target=target)
+
+    def test_bad_anchor_part(self, grid, target):
+        with pytest.raises(PartitionError):
+            partition_with_anchors(grid, 8, {0: 9},
+                                   DualRecursiveBipartitioner(),
+                                   target=target)
+
+
+class TestRepartitionUsesAnchors:
+    def test_repartition_keeps_chain_sockets(self, topo8):
+        """With anchored repartitioning, windows of a chain program follow
+        the sockets of their predecessors instead of re-randomising."""
+        from repro.core import RGPScheduler
+        from repro.runtime import TaskProgram, simulate
+
+        p = TaskProgram()
+        objs = []
+        for c in range(8):
+            a = p.data(f"a{c}", 131072)
+            p.task(f"init{c}", outs=[a], work=0.1)
+            objs.append(a)
+        for it in range(12):
+            for c in range(8):
+                p.task(f"t{c}_{it}", inouts=[objs[c]], work=0.1)
+        prog = p.finalize()
+        sched = RGPScheduler(window_size=16, propagation="repartition",
+                             partition_seed=0)
+        res = simulate(prog, topo8, sched, seed=0, steal=False,
+                       duration_jitter=0.0)
+        assert sched.windows_partitioned > 2
+        # Anchoring keeps chains on their sockets: little remote traffic.
+        assert res.remote_fraction < 0.25

@@ -1,0 +1,91 @@
+"""Unit tests for heavy-edge matching coarsening."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, chain, grid_graph
+from repro.partition import coarsen_once, coarsen_to, heavy_edge_matching
+
+
+def csr_of(tdg):
+    return CSRGraph.from_tdg(tdg)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self, rng):
+        g = csr_of(grid_graph(6, 6))
+        match = heavy_edge_matching(g, rng)
+        for v in range(g.n_vertices):
+            assert match[match[v]] == v
+
+    def test_heavy_edge_preferred(self, rng):
+        # Path 0 -1- 1 -100- 2: vertex 1 must match its heavy neighbour 2
+        # whenever 1 is visited before its neighbours are taken.
+        # Unless vertex 0 is visited first (prob 1/3) and grabs vertex 1,
+        # the heavy 1-2 edge is always matched.
+        g = CSRGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 100.0)])
+        heavy_pairs = 0
+        for seed in range(40):
+            match = heavy_edge_matching(g, np.random.default_rng(seed))
+            if match[1] == 2:
+                heavy_pairs += 1
+        assert heavy_pairs >= 20  # expectation is ~27 of 40
+
+    def test_singletons_allowed(self, rng):
+        g = CSRGraph.from_edges(3, [])  # no edges: everyone self-matched
+        match = heavy_edge_matching(g, rng)
+        assert list(match) == [0, 1, 2]
+
+
+class TestCoarsenOnce:
+    def test_shrinks_chain(self, rng):
+        # Random-order matching on a path leaves some singletons, so the
+        # coarse graph has between n/2 (perfect) and ~0.75n vertices.
+        g = csr_of(chain(16))
+        level = coarsen_once(g, rng)
+        assert level is not None
+        assert 8 <= level.graph.n_vertices <= 12
+
+    def test_weight_conservation(self, rng):
+        g = csr_of(grid_graph(5, 5))
+        level = coarsen_once(g, rng)
+        assert level.graph.vwgt.sum() == pytest.approx(g.vwgt.sum())
+
+    def test_edge_weight_conservation_minus_internal(self, rng):
+        g = csr_of(chain(8, edge_bytes=2.0))
+        level = coarsen_once(g, rng)
+        internal = g.adjwgt.sum() / 2 - level.graph.adjwgt.sum() / 2
+        assert internal > 0  # matched pairs hide their edge
+
+    def test_map_is_dense(self, rng):
+        g = csr_of(grid_graph(4, 4))
+        level = coarsen_once(g, rng)
+        n_coarse = level.graph.n_vertices
+        assert set(level.fine_to_coarse) == set(range(n_coarse))
+
+    def test_no_progress_returns_none(self, rng):
+        g = CSRGraph.from_edges(3, [])  # isolated vertices cannot match
+        assert coarsen_once(g, rng) is None
+
+
+class TestCoarsenTo:
+    def test_respects_target(self, rng):
+        g = csr_of(grid_graph(12, 12))
+        levels = coarsen_to(g, max_vertices=20, rng=rng)
+        assert levels
+        assert levels[-1].graph.n_vertices <= max(20, 144 * 0.95)
+        assert levels[-1].graph.n_vertices < 144
+
+    def test_already_small(self, rng):
+        g = csr_of(chain(4))
+        assert coarsen_to(g, max_vertices=10, rng=rng) == []
+
+    def test_total_weight_invariant_through_hierarchy(self, rng):
+        g = csr_of(grid_graph(10, 10))
+        for level in coarsen_to(g, max_vertices=10, rng=rng):
+            assert level.graph.vwgt.sum() == pytest.approx(100.0)

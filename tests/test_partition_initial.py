@@ -1,0 +1,68 @@
+"""Unit tests for initial bisection (greedy graph growing, random)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import CSRGraph, grid_graph, independent_chains
+from repro.partition import edge_cut, greedy_graph_growing, random_bisection
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRandomBisection:
+    def test_hits_target_fraction(self, rng):
+        g = CSRGraph.from_tdg(grid_graph(8, 8))
+        parts = random_bisection(g, 0.5, rng)
+        w0 = g.vwgt[parts == 0].sum()
+        assert abs(w0 - 32.0) <= g.vwgt.max()
+
+    def test_skewed_fraction(self, rng):
+        g = CSRGraph.from_tdg(grid_graph(10, 10))
+        parts = random_bisection(g, 0.2, rng)
+        w0 = g.vwgt[parts == 0].sum()
+        assert abs(w0 - 20.0) <= g.vwgt.max()
+
+    def test_bad_fraction(self, rng):
+        g = CSRGraph.from_tdg(grid_graph(2, 2))
+        with pytest.raises(PartitionError):
+            random_bisection(g, 1.0, rng)
+
+
+class TestGreedyGraphGrowing:
+    def test_better_than_random(self, rng):
+        g = CSRGraph.from_tdg(grid_graph(12, 12))
+        cut_ggg = np.mean([
+            edge_cut(g, greedy_graph_growing(g, 0.5, np.random.default_rng(s)))
+            for s in range(5)
+        ])
+        cut_rand = np.mean([
+            edge_cut(g, random_bisection(g, 0.5, np.random.default_rng(s)))
+            for s in range(5)
+        ])
+        assert cut_ggg < cut_rand / 2
+
+    def test_balanced(self, rng):
+        g = CSRGraph.from_tdg(grid_graph(10, 10))
+        parts = greedy_graph_growing(g, 0.5, rng)
+        w0 = g.vwgt[parts == 0].sum()
+        assert abs(w0 - 50.0) <= g.vwgt.max() + 1
+
+    def test_disconnected_graph_reseeds(self, rng):
+        g = CSRGraph.from_tdg(independent_chains(8, 4))
+        parts = greedy_graph_growing(g, 0.5, rng)
+        assert set(parts) == {0, 1}
+        w0 = g.vwgt[parts == 0].sum()
+        assert abs(w0 - 16.0) <= g.vwgt.max()
+
+    def test_zero_cut_on_two_components(self, rng):
+        g = CSRGraph.from_tdg(independent_chains(2, 10))
+        parts = greedy_graph_growing(g, 0.5, rng, n_trials=8)
+        assert edge_cut(g, parts) == 0.0
+
+    def test_empty_graph(self, rng):
+        g = CSRGraph.from_edges(0, [])
+        assert len(greedy_graph_growing(g, 0.5, rng)) == 0

@@ -1,0 +1,72 @@
+"""Tests for Kernighan-Lin refinement and the multilevel-KL variant."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, grid_graph, independent_chains
+from repro.partition import (
+    MultilevelKWayKL,
+    RandomPartitioner,
+    edge_cut,
+    imbalance,
+    kl_bisection_refine,
+)
+
+
+@pytest.fixture
+def grid():
+    return CSRGraph.from_tdg(grid_graph(8, 8))
+
+
+class TestKLRefine:
+    def test_improves_random_bisection(self, grid):
+        rng = np.random.default_rng(0)
+        parts = (np.arange(grid.n_vertices) % 2).astype(np.int64)
+        rng.shuffle(parts)
+        refined = kl_bisection_refine(grid, parts)
+        assert edge_cut(grid, refined) < edge_cut(grid, parts)
+
+    def test_preserves_balance_exactly(self, grid):
+        """Pair swaps keep side sizes invariant — KL's defining property."""
+        rng = np.random.default_rng(1)
+        parts = (np.arange(grid.n_vertices) % 2).astype(np.int64)
+        rng.shuffle(parts)
+        n0_before = int((parts == 0).sum())
+        refined = kl_bisection_refine(grid, parts)
+        assert int((refined == 0).sum()) == n0_before
+
+    def test_does_not_mutate_input(self, grid):
+        parts = (np.arange(grid.n_vertices) % 2).astype(np.int64)
+        snapshot = parts.copy()
+        kl_bisection_refine(grid, parts)
+        assert np.array_equal(parts, snapshot)
+
+    def test_never_worsens(self, grid):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            parts = (np.arange(grid.n_vertices) % 2).astype(np.int64)
+            rng.shuffle(parts)
+            before = edge_cut(grid, parts)
+            assert edge_cut(grid, kl_bisection_refine(grid, parts)) <= before
+
+    def test_tiny_graph(self):
+        g = CSRGraph.from_edges(1, [])
+        out = kl_bisection_refine(g, np.zeros(1, dtype=np.int64))
+        assert list(out) == [0]
+
+
+class TestMultilevelKL:
+    def test_partition_contract(self, grid):
+        res = MultilevelKWayKL().partition(grid, 4, seed=0)
+        assert res.parts.min() >= 0 and res.parts.max() < 4
+        assert imbalance(grid, res.parts, 4) < 0.6
+
+    def test_beats_random(self, grid):
+        kl_cut = edge_cut(grid, MultilevelKWayKL().partition(grid, 4, seed=0).parts)
+        rnd_cut = edge_cut(grid, RandomPartitioner().partition(grid, 4, seed=0).parts)
+        assert kl_cut < rnd_cut
+
+    def test_zero_cut_on_chains(self):
+        g = CSRGraph.from_tdg(independent_chains(8, 8))
+        res = MultilevelKWayKL().partition(g, 4, seed=0)
+        assert edge_cut(g, res.parts) == 0.0

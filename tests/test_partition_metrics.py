@@ -1,0 +1,87 @@
+"""Unit tests for partition quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import CSRGraph
+from repro.partition import (
+    communication_volume,
+    edge_cut,
+    imbalance,
+    mapping_cost,
+    part_sizes,
+)
+
+
+@pytest.fixture
+def square():
+    """4-cycle 0-1-2-3-0 with unit weights."""
+    return CSRGraph.from_edges(
+        4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]
+    )
+
+
+class TestEdgeCut:
+    def test_no_cut(self, square):
+        assert edge_cut(square, np.zeros(4, dtype=int)) == 0.0
+
+    def test_full_cut(self, square):
+        assert edge_cut(square, np.array([0, 1, 0, 1])) == 4.0
+
+    def test_half_cut(self, square):
+        assert edge_cut(square, np.array([0, 0, 1, 1])) == 2.0
+
+    def test_weighted(self):
+        g = CSRGraph.from_edges(2, [(0, 1, 7.5)])
+        assert edge_cut(g, np.array([0, 1])) == 7.5
+
+    def test_length_mismatch(self, square):
+        with pytest.raises(PartitionError):
+            edge_cut(square, np.zeros(3, dtype=int))
+
+
+class TestImbalance:
+    def test_perfect(self, square):
+        assert imbalance(square, np.array([0, 0, 1, 1]), 2) == pytest.approx(0.0)
+
+    def test_skewed(self, square):
+        # 3 vs 1 on k=2: heaviest part = 3 / ideal 2 -> 0.5.
+        assert imbalance(square, np.array([0, 0, 0, 1]), 2) == pytest.approx(0.5)
+
+    def test_empty_part_counts(self, square):
+        # All on part 0 of 4: 4 / 1 - 1 = 3.
+        assert imbalance(square, np.zeros(4, dtype=int), 4) == pytest.approx(3.0)
+
+    def test_capacities(self, square):
+        caps = np.array([3.0, 1.0])
+        assert imbalance(square, np.array([0, 0, 0, 1]), 2, caps) == pytest.approx(0.0)
+
+
+class TestMappingCost:
+    def test_local_only(self, square):
+        arch = np.array([[10.0, 20.0], [20.0, 10.0]])
+        cost = mapping_cost(square, np.zeros(4, dtype=int), arch)
+        assert cost == pytest.approx(4 * 10.0)
+
+    def test_cut_pays_distance(self, square):
+        arch = np.array([[10.0, 20.0], [20.0, 10.0]])
+        cost = mapping_cost(square, np.array([0, 0, 1, 1]), arch)
+        assert cost == pytest.approx(2 * 10.0 + 2 * 20.0)
+
+    def test_prefers_near_parts(self, square):
+        arch = np.array(
+            [[10.0, 12.0, 30.0], [12.0, 10.0, 30.0], [30.0, 30.0, 10.0]]
+        )
+        near = mapping_cost(square, np.array([0, 0, 1, 1]), arch)
+        far = mapping_cost(square, np.array([0, 0, 2, 2]), arch)
+        assert near < far
+
+
+class TestVolumes:
+    def test_communication_volume(self, square):
+        # Parts 0,1 alternating: every vertex sees one foreign part.
+        assert communication_volume(square, np.array([0, 1, 0, 1]), 2) == 4.0
+
+    def test_part_sizes(self):
+        assert list(part_sizes(np.array([0, 1, 1, 3]), 4)) == [1, 2, 0, 1]

@@ -1,0 +1,178 @@
+"""Tests of the full partitioners: multilevel, DRB, spectral, baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import (
+    CSRGraph,
+    binary_in_tree,
+    grid_graph,
+    independent_chains,
+    random_layered,
+)
+from repro.machine import bullion_s16
+from repro.partition import (
+    PARTITIONERS,
+    BlockPartitioner,
+    CyclicPartitioner,
+    DualRecursiveBipartitioner,
+    MultilevelKWay,
+    RandomPartitioner,
+    SpectralPartitioner,
+    TargetArchitecture,
+    by_name,
+    edge_cut,
+    imbalance,
+    mapping_cost,
+    split_architecture,
+)
+
+SERIOUS = [DualRecursiveBipartitioner, MultilevelKWay, SpectralPartitioner]
+ALL = SERIOUS + [RandomPartitioner, CyclicPartitioner, BlockPartitioner]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return CSRGraph.from_tdg(grid_graph(16, 16))
+
+
+@pytest.fixture(scope="module")
+def chains():
+    return CSRGraph.from_tdg(independent_chains(16, 8, edge_bytes=10.0))
+
+
+@pytest.fixture(scope="module")
+def target8():
+    return TargetArchitecture.from_topology(bullion_s16())
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestContract:
+    def test_partition_in_range(self, cls, grid):
+        res = cls().partition(grid, 5, seed=0)
+        assert res.k == 5
+        assert res.parts.min() >= 0 and res.parts.max() < 5
+        assert len(res) == grid.n_vertices
+
+    def test_balance_within_tolerance(self, cls, grid):
+        res = cls(tolerance=0.05).partition(grid, 4, seed=1)
+        slack = grid.vwgt.max() / (grid.vwgt.sum() / 4)
+        assert imbalance(grid, res.parts, 4) <= 0.05 + slack + 1e-9
+
+    def test_k1_trivial(self, cls, grid):
+        res = cls().partition(grid, 1, seed=0)
+        assert set(res.parts) == {0}
+
+    def test_bad_k(self, cls, grid):
+        with pytest.raises(PartitionError):
+            cls().partition(grid, 0)
+
+
+@pytest.mark.parametrize("cls", SERIOUS)
+class TestQuality:
+    def test_beats_random_on_grid(self, cls, grid):
+        cut = edge_cut(grid, cls().partition(grid, 8, seed=0).parts)
+        rand = edge_cut(grid, RandomPartitioner().partition(grid, 8, seed=0).parts)
+        assert cut < rand / 3
+
+    def test_zero_cut_on_disjoint_chains(self, cls, chains):
+        res = cls().partition(chains, 8, seed=0)
+        assert edge_cut(chains, res.parts) == 0.0
+
+    def test_deterministic_given_seed(self, cls, grid):
+        a = cls().partition(grid, 4, seed=9).parts
+        b = cls().partition(grid, 4, seed=9).parts
+        assert np.array_equal(a, b)
+
+    def test_tree_partition_quality(self, cls):
+        g = CSRGraph.from_tdg(binary_in_tree(7))
+        res = cls().partition(g, 4, seed=0)
+        # A reduction tree of 255 nodes can be 4-way cut with few edges.
+        assert edge_cut(g, res.parts) <= 30
+
+    def test_random_layered_reasonable(self, cls):
+        g = CSRGraph.from_tdg(random_layered(12, 24, seed=5))
+        res = cls().partition(g, 8, seed=0)
+        rand = RandomPartitioner().partition(g, 8, seed=0)
+        assert edge_cut(g, res.parts) < edge_cut(g, rand.parts)
+
+
+class TestArchitectureAwareness:
+    def test_drb_mapping_cost_beats_multilevel(self, grid, target8):
+        """On a hierarchical machine DRB should place heavy-edge groups on
+        nearby sockets, beating a distance-oblivious partitioner on the
+        mapping-cost objective (averaged over seeds)."""
+        topo = bullion_s16()
+        drb_costs, ml_costs = [], []
+        for seed in range(5):
+            drb = DualRecursiveBipartitioner().partition(
+                grid, 8, target=target8, seed=seed
+            )
+            ml = MultilevelKWay(arch_refine=False).partition(
+                grid, 8, target=target8, seed=seed
+            )
+            drb_costs.append(mapping_cost(grid, drb.parts, topo.distance))
+            ml_costs.append(mapping_cost(grid, ml.parts, topo.distance))
+        assert np.mean(drb_costs) <= np.mean(ml_costs) * 1.02
+
+    def test_capacity_respected(self, grid):
+        target = TargetArchitecture(
+            distance=np.array([[10.0, 20.0], [20.0, 10.0]]),
+            capacity=np.array([3.0, 1.0]),
+        )
+        res = DualRecursiveBipartitioner().partition(grid, 2, target=target, seed=0)
+        w = res.part_weights(grid.vwgt)
+        assert w[0] > w[1] * 2  # 3:1 capacity split
+
+    def test_target_k_mismatch(self, grid, target8):
+        with pytest.raises(PartitionError):
+            DualRecursiveBipartitioner().partition(grid, 4, target=target8)
+
+    def test_split_architecture_module_aligned(self):
+        topo = bullion_s16()
+        half_a, half_b = split_architecture(list(range(8)), topo.distance)
+        # Module pairs (0,1), (2,3), (4,5), (6,7) must not be separated.
+        for pair in ((0, 1), (2, 3), (4, 5), (6, 7)):
+            in_a = sum(s in half_a for s in pair)
+            assert in_a in (0, 2), f"module {pair} split across halves"
+
+    def test_split_architecture_two(self):
+        topo = bullion_s16()
+        assert split_architecture([3, 5], topo.distance) == ([3], [5])
+
+    def test_split_architecture_rejects_singleton(self):
+        with pytest.raises(PartitionError):
+            split_architecture([1], bullion_s16().distance)
+
+
+class TestBaselines:
+    def test_cyclic_is_cyclic(self, grid):
+        res = CyclicPartitioner().partition(grid, 4, seed=0)
+        assert list(res.parts[:8]) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_block_is_contiguous(self, grid):
+        res = BlockPartitioner().partition(grid, 4, seed=0)
+        assert np.all(np.diff(res.parts) >= 0)
+
+    def test_random_is_seeded(self, grid):
+        a = RandomPartitioner().partition(grid, 4, seed=5).parts
+        b = RandomPartitioner().partition(grid, 4, seed=5).parts
+        c = RandomPartitioner().partition(grid, 4, seed=6).parts
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(PARTITIONERS) == {
+            "drb", "multilevel", "multilevel-kl", "spectral", "random",
+            "cyclic", "block",
+        }
+
+    def test_by_name(self):
+        assert isinstance(by_name("drb"), DualRecursiveBipartitioner)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            by_name("metis")

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the partitioning substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph
+from repro.partition import (
+    DualRecursiveBipartitioner,
+    MultilevelKWay,
+    coarsen_once,
+    edge_cut,
+    fm_bisection_refine,
+    imbalance,
+)
+from repro.machine.interconnect import _waterfill
+
+
+@st.composite
+def csr_graphs(draw, max_vertices=40, max_edges=120):
+    """Random small undirected weighted graphs."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(n_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        w = draw(st.floats(min_value=0.1, max_value=50.0,
+                           allow_nan=False, allow_infinity=False))
+        edges.append((u, v, w))
+    vwgt = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    return CSRGraph.from_edges(n, edges, vwgt)
+
+
+@given(csr_graphs(), st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, deadline=None)
+def test_multilevel_partition_is_total_and_in_range(graph, k, seed):
+    res = MultilevelKWay().partition(graph, k, seed=seed)
+    assert len(res.parts) == graph.n_vertices
+    assert res.parts.min() >= 0
+    assert res.parts.max() < k
+
+
+@given(csr_graphs(), st.integers(min_value=2, max_value=5),
+       st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_drb_balance_bounded_by_heaviest_vertex(graph, k, seed):
+    """The k-way imbalance never exceeds tolerance + the granularity floor
+    imposed by the single heaviest vertex."""
+    res = DualRecursiveBipartitioner(tolerance=0.05).partition(
+        graph, k, seed=seed
+    )
+    ideal = graph.vwgt.sum() / k
+    slack = graph.vwgt.max() / ideal if ideal > 0 else 0.0
+    assert imbalance(graph, res.parts, k) <= 0.05 + k * slack + 1e-9
+
+
+@given(csr_graphs(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=50, deadline=None)
+def test_fm_never_worsens_cut_of_balanced_start(graph, seed):
+    rng = np.random.default_rng(seed)
+    parts = rng.integers(0, 2, graph.n_vertices)
+    before = edge_cut(graph, parts)
+    refined = fm_bisection_refine(graph, parts, 0.5, tolerance=1.0)
+    # With a tolerance this loose every state is feasible, so the rolled
+    # back best prefix can never be worse than the start.
+    assert edge_cut(graph, refined) <= before + 1e-9
+
+
+@given(csr_graphs(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=50, deadline=None)
+def test_coarsening_preserves_vertex_weight(graph, seed):
+    level = coarsen_once(graph, np.random.default_rng(seed))
+    if level is not None:
+        np.testing.assert_allclose(level.graph.vwgt.sum(), graph.vwgt.sum())
+        assert level.graph.n_vertices < graph.n_vertices
+        # every fine vertex maps to a valid coarse vertex
+        assert level.fine_to_coarse.min() >= 0
+        assert level.fine_to_coarse.max() < level.graph.n_vertices
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20),
+    st.floats(min_value=0.01, max_value=200.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_waterfill_feasible_and_work_conserving(caps, budget):
+    caps = np.asarray(caps)
+    rates = _waterfill(caps, budget)
+    assert np.all(rates <= caps + 1e-9)
+    assert rates.sum() <= budget + 1e-6
+    # Work conservation: either the budget or every cap is exhausted.
+    assert (
+        abs(rates.sum() - min(budget, caps.sum())) < 1e-6
+    )

@@ -1,0 +1,119 @@
+"""Unit tests for FM bisection refinement and greedy k-way refinement."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, grid_graph
+from repro.partition import (
+    edge_cut,
+    fm_bisection_refine,
+    greedy_kway_refine,
+    imbalance,
+    mapping_cost,
+)
+
+
+def grid_csr(n=8):
+    return CSRGraph.from_tdg(grid_graph(n, n))
+
+
+class TestFMBisection:
+    def test_improves_random_start(self):
+        g = grid_csr(8)
+        rng = np.random.default_rng(0)
+        parts = rng.integers(0, 2, g.n_vertices)
+        # rebalance the random start roughly
+        before = edge_cut(g, parts)
+        refined = fm_bisection_refine(g, parts, 0.5, 0.05)
+        after = edge_cut(g, refined)
+        assert after < before
+
+    def test_does_not_break_balance(self):
+        g = grid_csr(8)
+        rng = np.random.default_rng(1)
+        parts = (np.arange(g.n_vertices) % 2).astype(np.int64)
+        refined = fm_bisection_refine(g, parts, 0.5, 0.05)
+        assert imbalance(g, refined, 2) <= 0.05 + 1e-9
+
+    def test_restores_broken_balance(self):
+        g = grid_csr(8)
+        parts = np.zeros(g.n_vertices, dtype=np.int64)  # everything on side 0
+        refined = fm_bisection_refine(g, parts, 0.5, 0.05)
+        assert imbalance(g, refined, 2) <= 0.05 + 1e-9
+
+    def test_optimal_partition_untouched(self):
+        # Two 4x4 grids joined by one edge: the single-edge cut is optimal.
+        left = grid_graph(4, 4)
+        edges = [(u, v, w) for u, v, w in left.edges()]
+        offset = 16
+        right = [(u + offset, v + offset, w) for u, v, w in left.edges()]
+        bridge = [(15, 16, 0.5)]
+        g = CSRGraph.from_edges(32, edges + right + bridge)
+        parts = np.array([0] * 16 + [1] * 16)
+        refined = fm_bisection_refine(g, parts, 0.5, 0.05)
+        assert edge_cut(g, refined) == pytest.approx(0.5)
+
+    def test_unbalanced_fraction(self):
+        g = grid_csr(6)
+        rng = np.random.default_rng(2)
+        parts = rng.integers(0, 2, g.n_vertices)
+        refined = fm_bisection_refine(g, parts, 0.25, 0.05)
+        w0 = g.vwgt[refined == 0].sum()
+        assert w0 <= 0.25 * g.vwgt.sum() * 1.05 + g.vwgt.max()
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(0, [])
+        out = fm_bisection_refine(g, np.zeros(0, dtype=np.int64), 0.5, 0.05)
+        assert len(out) == 0
+
+    def test_bad_fraction_rejected(self):
+        g = grid_csr(4)
+        from repro.errors import PartitionError
+
+        with pytest.raises(PartitionError):
+            fm_bisection_refine(g, np.zeros(16, dtype=np.int64), 0.0, 0.05)
+
+
+class TestGreedyKWay:
+    def test_reduces_cut(self):
+        g = grid_csr(8)
+        rng = np.random.default_rng(3)
+        parts = rng.integers(0, 4, g.n_vertices)
+        refined = greedy_kway_refine(g, parts, 4)
+        assert edge_cut(g, refined) < edge_cut(g, parts)
+
+    def test_respects_balance(self):
+        g = grid_csr(8)
+        rng = np.random.default_rng(4)
+        parts = rng.integers(0, 4, g.n_vertices)
+        refined = greedy_kway_refine(g, parts, 4, tolerance=0.05)
+        assert imbalance(g, refined, 4) <= max(
+            imbalance(g, parts, 4), 0.05 + 1e-9
+        )
+
+    def test_arch_aware_reduces_mapping_cost(self):
+        from repro.machine import bullion_s16
+
+        topo = bullion_s16()
+        g = grid_csr(8)
+        rng = np.random.default_rng(5)
+        parts = rng.integers(0, 8, g.n_vertices)
+        refined = greedy_kway_refine(
+            g, parts, 8, arch_distance=topo.distance
+        )
+        assert mapping_cost(g, refined, topo.distance) < mapping_cost(
+            g, parts, topo.distance
+        )
+
+    def test_k1_noop(self):
+        g = grid_csr(4)
+        parts = np.zeros(g.n_vertices, dtype=np.int64)
+        assert np.array_equal(greedy_kway_refine(g, parts, 1), parts)
+
+    def test_does_not_mutate_input(self):
+        g = grid_csr(4)
+        rng = np.random.default_rng(6)
+        parts = rng.integers(0, 2, g.n_vertices)
+        snapshot = parts.copy()
+        greedy_kway_refine(g, parts, 2)
+        assert np.array_equal(parts, snapshot)

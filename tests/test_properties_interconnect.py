@@ -1,0 +1,76 @@
+"""Property-based tests for the multi-resource max-min fair allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Interconnect, StreamKey, bullion_s16
+
+TOPO = bullion_s16()
+BW = float(TOPO.node_bandwidth[0])
+
+
+@st.composite
+def stream_sets(draw, max_streams=24):
+    n = draw(st.integers(min_value=1, max_value=max_streams))
+    return [
+        StreamKey(
+            socket=draw(st.integers(min_value=0, max_value=7)),
+            node=draw(st.integers(min_value=0, max_value=7)),
+            group=draw(st.integers(min_value=0, max_value=n)),
+        )
+        for _ in range(n)
+    ]
+
+
+@given(stream_sets(),
+       st.sampled_from([None, 0.3, 0.45]),
+       st.sampled_from([None, 0.25, 0.35]))
+@settings(max_examples=120, deadline=None)
+def test_allocation_feasible(streams, link, core):
+    ic = Interconnect(TOPO, link_fraction=link, core_fraction=core)
+    rates = ic.stream_rates(streams)
+    assert np.all(rates > 0)
+    # Node budgets.
+    per_node = np.zeros(8)
+    per_link = np.zeros(8)
+    per_group: dict[int, float] = {}
+    for s, r in zip(streams, rates):
+        per_node[s.node] += r
+        if s.socket != s.node:
+            per_link[s.socket] += r
+            per_link[s.node] += r
+        per_group[s.group] = per_group.get(s.group, 0.0) + r
+        # Per-stream cap.
+        assert r <= ic.efficiency(s.socket, s.node) * BW + 1e-6
+    assert np.all(per_node <= BW + 1e-6)
+    if link is not None:
+        assert np.all(per_link <= link * BW + 1e-6)
+    if core is not None:
+        for total in per_group.values():
+            assert total <= core * BW + 1e-6
+
+
+@given(stream_sets())
+@settings(max_examples=60, deadline=None)
+def test_allocation_deterministic(streams):
+    ic = Interconnect(TOPO)
+    a = ic.stream_rates(streams)
+    b = ic.stream_rates(list(streams))
+    assert np.array_equal(a, b)
+
+
+@given(stream_sets())
+@settings(max_examples=60, deadline=None)
+def test_single_node_work_conservation(streams):
+    """If every stream is local to one node, the node either saturates or
+    every stream hits its cap (no bandwidth left on the table)."""
+    localised = [StreamKey(0, 0, s.group) for s in streams]
+    ic = Interconnect(TOPO, link_fraction=None, core_fraction=0.35)
+    rates = ic.stream_rates(localised)
+    total = rates.sum()
+    n_groups = len({s.group for s in localised})
+    cap_total = min(BW, 0.35 * BW * n_groups)
+    assert total == pytest.approx(cap_total, rel=1e-6)
+

@@ -1,0 +1,100 @@
+"""Property-based tests for the memory manager (hypothesis).
+
+Random sequences of register/touch/bind/migrate/interleave must preserve
+the accounting invariants: per-node byte counters always equal the page
+map, placements always sum to the queried range, and first-touch never
+moves a bound page.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import UNBOUND, MemoryManager
+
+N_NODES = 4
+PAGE = 4096
+
+
+@st.composite
+def op_sequences(draw, max_objects=4, max_ops=30):
+    n_objects = draw(st.integers(min_value=1, max_value=max_objects))
+    sizes = [
+        draw(st.integers(min_value=1, max_value=10 * PAGE))
+        for _ in range(n_objects)
+    ]
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_ops))):
+        kind = draw(st.sampled_from(["touch", "bind", "migrate", "interleave"]))
+        key = draw(st.integers(min_value=0, max_value=n_objects - 1))
+        node = draw(st.integers(min_value=0, max_value=N_NODES - 1))
+        offset = draw(st.integers(min_value=0, max_value=max(0, sizes[key] - 1)))
+        length = draw(st.integers(min_value=0,
+                                  max_value=sizes[key] - offset))
+        ops.append((kind, key, node, offset, length))
+    return sizes, ops
+
+
+def apply_ops(sizes, ops):
+    mm = MemoryManager(N_NODES, page_size=PAGE)
+    for key, size in enumerate(sizes):
+        mm.register(key, size)
+    for kind, key, node, offset, length in ops:
+        if kind == "touch":
+            mm.touch(key, node, offset, length)
+        elif kind == "bind":
+            mm.bind(key, node, offset, length)
+        elif kind == "migrate":
+            mm.migrate(key, node)
+        else:
+            mm.interleave(key, [node, (node + 1) % N_NODES])
+    return mm
+
+
+@given(op_sequences())
+@settings(max_examples=80, deadline=None)
+def test_byte_counters_match_page_map(seq):
+    sizes, ops = seq
+    mm = apply_ops(sizes, ops)
+    recount = np.zeros(N_NODES, dtype=np.int64)
+    for key in range(len(sizes)):
+        pages = mm.page_nodes(key)
+        for node in range(N_NODES):
+            recount[node] += int((pages == node).sum()) * PAGE
+    assert np.array_equal(recount, mm.bytes_on_node)
+
+
+@given(op_sequences())
+@settings(max_examples=80, deadline=None)
+def test_range_query_sums_to_length(seq):
+    sizes, ops = seq
+    mm = apply_ops(sizes, ops)
+    for key, size in enumerate(sizes):
+        pl = mm.node_bytes_of_range(key)
+        assert pl.bytes_per_node.sum() + pl.unbound_bytes == size
+
+
+@given(op_sequences(), st.integers(min_value=0, max_value=N_NODES - 1))
+@settings(max_examples=60, deadline=None)
+def test_first_touch_never_moves_bound_pages(seq, node):
+    sizes, ops = seq
+    mm = apply_ops(sizes, ops)
+    before = {k: mm.page_nodes(k).copy() for k in range(len(sizes))}
+    for key in range(len(sizes)):
+        mm.touch(key, node)
+    for key in range(len(sizes)):
+        after = mm.page_nodes(key)
+        bound_before = before[key] != UNBOUND
+        assert np.array_equal(after[bound_before], before[key][bound_before])
+        assert np.all(after != UNBOUND)
+
+
+@given(op_sequences())
+@settings(max_examples=60, deadline=None)
+def test_reset_restores_clean_state(seq):
+    sizes, ops = seq
+    mm = apply_ops(sizes, ops)
+    mm.reset_placement()
+    assert mm.bytes_on_node.sum() == 0
+    for key in range(len(sizes)):
+        assert np.all(mm.page_nodes(key) == UNBOUND)

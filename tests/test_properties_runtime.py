@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the runtime and simulator.
+
+Random programs with random dependence structures must always simulate to
+completion, respect every dependence, account traffic exactly, and produce
+the same numerical results under any scheduler.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import bullion_s16, two_socket
+from repro.runtime import TaskProgram, execute_in_order, simulate
+from repro.schedulers import make_scheduler
+
+TOPO2 = two_socket(cores_per_socket=2)
+TOPO8 = bullion_s16()
+
+
+@st.composite
+def programs(draw, max_objects=6, max_tasks=25):
+    """Random task programs with arbitrary in/out/inout patterns."""
+    n_objects = draw(st.integers(min_value=1, max_value=max_objects))
+    n_tasks = draw(st.integers(min_value=1, max_value=max_tasks))
+    prog = TaskProgram("random")
+    objs = [
+        prog.data(f"o{i}", draw(st.integers(min_value=1024, max_value=262144)))
+        for i in range(n_objects)
+    ]
+    for t in range(n_tasks):
+        if draw(st.booleans()) and draw(st.integers(0, 9)) == 0:
+            prog.barrier()
+        n_acc = draw(st.integers(min_value=0, max_value=3))
+        ins, outs, inouts = [], [], []
+        used = set()
+        for _ in range(n_acc):
+            oi = draw(st.integers(0, n_objects - 1))
+            if oi in used:
+                continue
+            used.add(oi)
+            kind = draw(st.sampled_from(["in", "out", "inout"]))
+            (ins if kind == "in" else outs if kind == "out" else inouts).append(
+                objs[oi]
+            )
+        prog.task(
+            f"t{t}", ins=ins, outs=outs, inouts=inouts,
+            work=draw(st.floats(min_value=0.0, max_value=2.0,
+                                allow_nan=False)),
+        )
+    return prog.finalize()
+
+
+POLICY = st.sampled_from(["dfifo", "las", "ep", "random", "rgp+las"])
+
+
+def _annotate_ep(prog):
+    for t in prog.tasks:
+        t.meta.setdefault("ep_socket", t.tid % 8)
+
+
+@given(programs(), POLICY, st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_simulation_completes_and_respects_dependences(prog, policy, seed):
+    _annotate_ep(prog)
+    kwargs = {"window_size": 8} if policy.startswith("rgp") else {}
+    res = simulate(prog, TOPO8, make_scheduler(policy, **kwargs), seed=seed)
+    assert res.n_tasks == prog.n_tasks
+    # Completion order is a legal topological + barrier-respecting order.
+    execute_in_order(prog, res.completion_order())
+    # Start-after-predecessor-finish, checked directly on the records.
+    rec = {r.tid: r for r in res.records}
+    for src, dst, _ in prog.tdg.edges():
+        assert rec[dst].start >= rec[src].finish - 1e-6
+
+
+@given(programs(), st.integers(min_value=0, max_value=100))
+@settings(max_examples=40, deadline=None)
+def test_traffic_accounted_exactly(prog, seed):
+    res = simulate(prog, TOPO2, make_scheduler("las"), seed=seed,
+                   duration_jitter=0.0)
+    assert res.total_traffic == prog.total_traffic_bytes()
+    assert res.local_bytes >= 0 and res.remote_bytes >= -1e-9
+
+
+@given(programs(), st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_makespan_lower_bounds(prog, seed):
+    """Makespan >= critical path of compute work and >= total work / cores."""
+    from repro.graph import critical_path_weight
+
+    res = simulate(prog, TOPO2, make_scheduler("random"), seed=seed,
+                   duration_jitter=0.0)
+    cp = critical_path_weight(prog.tdg)
+    # Node weights in the TDG are max(work, eps), so cp is a valid bound.
+    assert res.makespan >= cp - 1e-6
+    assert res.makespan >= prog.total_work() / TOPO2.n_cores - 1e-6
+
+
+@given(programs(), st.integers(min_value=0, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_simulation_is_deterministic(prog, seed):
+    a = simulate(prog, TOPO8, make_scheduler("las"), seed=seed)
+    b = simulate(prog, TOPO8, make_scheduler("las"), seed=seed)
+    assert a.makespan == b.makespan
+    assert a.completion_order() == b.completion_order()
+
+
+@given(programs())
+@settings(max_examples=30, deadline=None)
+def test_memory_never_double_binds(prog):
+    """After a run every object's pages are bound at most once: total bound
+    bytes equal page-rounded object footprints of touched objects."""
+    from repro.runtime.simulator import Simulator
+
+    sim = Simulator(prog, TOPO2, make_scheduler("las"), seed=0)
+    sim.run()
+    page = sim.memory.page_size
+    total_bound = int(sim.memory.bytes_on_node.sum())
+    expected_max = sum(
+        -(-o.size_bytes // page) * page for o in prog.objects
+    )
+    assert total_bound <= expected_max

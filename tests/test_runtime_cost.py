@@ -1,0 +1,67 @@
+"""Unit tests for the cost-model helpers (LAS weighting, traffic streams)."""
+
+import numpy as np
+
+from repro.machine import MemoryManager
+from repro.runtime import (
+    TaskProgram,
+    allocated_bytes_per_node,
+    traffic_streams,
+)
+
+
+def setup():
+    p = TaskProgram()
+    a = p.data("a", 8192)
+    b = p.data("b", 4096)
+    t = p.task(ins=[a], outs=[b])
+    mm = MemoryManager(4)
+    for o in p.objects:
+        mm.register(o.key, o.size_bytes)
+    return p, t, mm
+
+
+class TestAllocatedBytes:
+    def test_all_unbound(self):
+        _, t, mm = setup()
+        per_node, unbound = allocated_bytes_per_node(t, mm)
+        assert per_node.sum() == 0
+        assert unbound == 8192 + 4096
+
+    def test_partial_binding(self):
+        _, t, mm = setup()
+        mm.touch(0, 2)  # a on node 2
+        per_node, unbound = allocated_bytes_per_node(t, mm)
+        assert per_node[2] == 8192
+        assert unbound == 4096
+
+    def test_split_object(self):
+        _, t, mm = setup()
+        mm.touch(0, 1, offset=0, length=4096)
+        mm.touch(0, 3, offset=4096, length=4096)
+        per_node, _ = allocated_bytes_per_node(t, mm)
+        assert per_node[1] == 4096
+        assert per_node[3] == 4096
+
+
+class TestTrafficStreams:
+    def test_streams_after_binding(self):
+        _, t, mm = setup()
+        mm.touch(0, 1)
+        mm.touch(1, 2)
+        streams = traffic_streams(t, mm)
+        assert streams == {1: 8192.0, 2: 4096.0}
+
+    def test_inout_doubles(self):
+        p = TaskProgram()
+        a = p.data("a", 1000)
+        t = p.task(inouts=[a])
+        mm = MemoryManager(2)
+        mm.register(0, 1000)
+        mm.touch(0, 0)
+        assert traffic_streams(t, mm) == {0: 2000.0}
+
+    def test_unbound_bytes_not_charged(self):
+        _, t, mm = setup()
+        streams = traffic_streams(t, mm)
+        assert streams == {}

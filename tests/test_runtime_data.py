@@ -1,0 +1,71 @@
+"""Unit tests for data objects and accesses."""
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.runtime import AccessMode, DataAccess, DataObject, reads_of, writes_of
+
+
+def obj(size=4096, **kwargs):
+    return DataObject(key=0, name="a", size_bytes=size, **kwargs)
+
+
+class TestAccessMode:
+    def test_reads_writes(self):
+        assert AccessMode.IN.reads and not AccessMode.IN.writes
+        assert AccessMode.OUT.writes and not AccessMode.OUT.reads
+        assert AccessMode.INOUT.reads and AccessMode.INOUT.writes
+
+    def test_traffic_multiplier(self):
+        assert AccessMode.IN.traffic_multiplier == 1
+        assert AccessMode.OUT.traffic_multiplier == 1
+        assert AccessMode.INOUT.traffic_multiplier == 2
+
+
+class TestDataObject:
+    def test_basic(self):
+        o = obj(100)
+        assert o.size_bytes == 100
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(RuntimeStateError):
+            obj(0)
+
+    def test_initial_node_and_interleaved_exclusive(self):
+        with pytest.raises(RuntimeStateError):
+            obj(100, initial_node=1, interleaved=True)
+
+    def test_repr(self):
+        assert "4096B" in repr(obj())
+
+
+class TestDataAccess:
+    def test_full_object_bytes(self):
+        a = DataAccess(obj(1000), AccessMode.IN)
+        assert a.bytes == 1000
+        assert a.traffic_bytes == 1000
+
+    def test_range_bytes(self):
+        a = DataAccess(obj(1000), AccessMode.OUT, offset=100, length=200)
+        assert a.bytes == 200
+
+    def test_inout_traffic_doubles(self):
+        a = DataAccess(obj(1000), AccessMode.INOUT)
+        assert a.traffic_bytes == 2000
+
+    def test_out_of_range(self):
+        with pytest.raises(RuntimeStateError):
+            DataAccess(obj(100), AccessMode.IN, offset=50, length=100)
+
+    def test_negative_offset(self):
+        with pytest.raises(RuntimeStateError):
+            DataAccess(obj(100), AccessMode.IN, offset=-1)
+
+    def test_filters(self):
+        accesses = [
+            DataAccess(obj(10), AccessMode.IN),
+            DataAccess(obj(10), AccessMode.OUT),
+            DataAccess(obj(10), AccessMode.INOUT),
+        ]
+        assert len(reads_of(accesses)) == 2
+        assert len(writes_of(accesses)) == 2

@@ -1,0 +1,117 @@
+"""Unit tests for dependence derivation (RAW / WAW / WAR)."""
+
+import pytest
+
+from repro.runtime import TaskProgram
+
+
+def edges(prog):
+    return {(s, d): w for s, d, w in prog.tdg.edges()}
+
+
+class TestRAW:
+    def test_reader_depends_on_writer(self):
+        p = TaskProgram()
+        a = p.data("a", 1000)
+        p.task("w", outs=[a])
+        p.task("r", ins=[a])
+        assert edges(p) == {(0, 1): 1000.0}
+
+    def test_two_readers_share_writer(self):
+        p = TaskProgram()
+        a = p.data("a", 500)
+        p.task("w", outs=[a])
+        p.task("r1", ins=[a])
+        p.task("r2", ins=[a])
+        assert edges(p) == {(0, 1): 500.0, (0, 2): 500.0}
+
+    def test_edge_weight_is_consumer_bytes(self):
+        from repro.runtime import AccessMode, DataAccess
+
+        p = TaskProgram()
+        a = p.data("a", 1000)
+        p.task("w", outs=[a])
+        p.task("r", ins=[DataAccess(a, AccessMode.IN, offset=0, length=100)])
+        assert edges(p)[(0, 1)] == 100.0
+
+
+class TestWAW:
+    def test_writer_chain(self):
+        p = TaskProgram()
+        a = p.data("a", 100)
+        p.task("w1", outs=[a])
+        p.task("w2", outs=[a])
+        assert (0, 1) in edges(p)
+        assert edges(p)[(0, 1)] == 0.0  # ordering only, no data moved
+
+    def test_inout_chain_carries_bytes(self):
+        p = TaskProgram()
+        a = p.data("a", 256)
+        p.task("w1", outs=[a])
+        p.task("w2", inouts=[a])
+        assert edges(p)[(0, 1)] == 256.0  # the read part of inout
+
+
+class TestWAR:
+    def test_writer_after_readers(self):
+        p = TaskProgram()
+        a = p.data("a", 100)
+        p.task("w1", outs=[a])
+        p.task("r", ins=[a])
+        p.task("w2", outs=[a])
+        e = edges(p)
+        assert (1, 2) in e and e[(1, 2)] == 0.0
+
+    def test_war_after_multiple_readers(self):
+        p = TaskProgram()
+        a = p.data("a", 100)
+        p.task("w1", outs=[a])
+        p.task("r1", ins=[a])
+        p.task("r2", ins=[a])
+        p.task("w2", outs=[a])
+        e = edges(p)
+        assert (1, 3) in e and (2, 3) in e
+
+    def test_readers_reset_after_write(self):
+        p = TaskProgram()
+        a = p.data("a", 100)
+        p.task("w1", outs=[a])
+        p.task("r1", ins=[a])
+        p.task("w2", outs=[a])
+        p.task("w3", outs=[a])
+        e = edges(p)
+        assert (1, 3) not in e  # r1 was before w2; w3 only orders after w2
+
+
+class TestMultiObject:
+    def test_independent_objects_no_edges(self):
+        p = TaskProgram()
+        a = p.data("a", 100)
+        b = p.data("b", 100)
+        p.task("w1", outs=[a])
+        p.task("w2", outs=[b])
+        assert edges(p) == {}
+
+    def test_edge_weights_accumulate_across_objects(self):
+        p = TaskProgram()
+        a = p.data("a", 100)
+        b = p.data("b", 300)
+        p.task("w", outs=[a, b])
+        p.task("r", ins=[a, b])
+        assert edges(p) == {(0, 1): 400.0}
+
+    def test_unwritten_input_has_no_edge(self):
+        p = TaskProgram()
+        a = p.data("a", 100, initial_node=0)
+        p.task("r", ins=[a])
+        assert edges(p) == {}
+        assert p.tdg.in_degree(0) == 0
+
+    def test_last_writer_query(self):
+        from repro.runtime import DependencyTracker
+
+        p = TaskProgram()
+        a = p.data("a", 100)
+        p.task("w", outs=[a])
+        assert p._tracker.last_writer(a.key) == 0
+        assert p._tracker.last_writer(99) is None

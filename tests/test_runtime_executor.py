@@ -1,0 +1,69 @@
+"""Unit tests for the sequential executor (payload + order validation)."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.runtime import TaskProgram, execute, execute_in_order
+
+
+def make_program():
+    log = []
+    p = TaskProgram()
+    a = p.data("a", 10)
+    p.task("w", outs=[a], fn=lambda: log.append("w"))
+    p.task("r1", ins=[a], fn=lambda: log.append("r1"))
+    p.task("r2", ins=[a], fn=lambda: log.append("r2"))
+    return p.finalize(), log
+
+
+class TestExecute:
+    def test_creation_order(self):
+        p, log = make_program()
+        execute(p)
+        assert log == ["w", "r1", "r2"]
+
+    def test_custom_legal_order(self):
+        p, log = make_program()
+        execute_in_order(p, [0, 2, 1])
+        assert log == ["w", "r2", "r1"]
+
+    def test_illegal_order_rejected(self):
+        p, log = make_program()
+        with pytest.raises(DependencyError, match="before its dependency"):
+            execute_in_order(p, [1, 0, 2])
+        assert log == []  # validation happens before any payload runs
+
+    def test_incomplete_order_rejected(self):
+        p, _ = make_program()
+        with pytest.raises(DependencyError, match="permutation"):
+            execute_in_order(p, [0, 1])
+
+    def test_duplicate_order_rejected(self):
+        p, _ = make_program()
+        with pytest.raises(DependencyError):
+            execute_in_order(p, [0, 1, 1])
+
+    def test_tasks_without_fn_ok(self):
+        p = TaskProgram()
+        p.task()
+        execute(p.finalize())
+
+
+class TestBarrierLegality:
+    def test_barrier_violation_rejected(self):
+        p = TaskProgram()
+        p.task("a")
+        p.barrier()
+        p.task("b")
+        with pytest.raises(DependencyError, match="barrier"):
+            execute_in_order(p.finalize(), [1, 0])
+
+    def test_barrier_respecting_order_ok(self):
+        hits = []
+        p = TaskProgram()
+        p.task("a", fn=lambda: hits.append("a"))
+        p.task("b", fn=lambda: hits.append("b"))
+        p.barrier()
+        p.task("c", fn=lambda: hits.append("c"))
+        execute_in_order(p.finalize(), [1, 0, 2])
+        assert hits == ["b", "a", "c"]

@@ -1,0 +1,117 @@
+"""Unit tests for TaskProgram construction and queries."""
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.runtime import AccessMode, DataAccess, TaskProgram
+
+
+class TestConstruction:
+    def test_task_ids_dense(self):
+        p = TaskProgram()
+        a = p.data("a", 10)
+        t0 = p.task(outs=[a])
+        t1 = p.task(ins=[a])
+        assert (t0.tid, t1.tid) == (0, 1)
+        assert p.n_tasks == 2
+
+    def test_default_names(self):
+        p = TaskProgram()
+        t = p.task()
+        assert t.name == "task0"
+
+    def test_object_keys_dense(self):
+        p = TaskProgram()
+        assert p.data("a", 1).key == 0
+        assert p.data("b", 1).key == 1
+        assert p.n_objects == 2
+
+    def test_explicit_access_mode_must_match_list(self):
+        p = TaskProgram()
+        a = p.data("a", 10)
+        acc = DataAccess(a, AccessMode.OUT)
+        with pytest.raises(RuntimeStateError):
+            p.task(ins=[acc])
+
+    def test_finalize_blocks_changes(self):
+        p = TaskProgram().finalize()
+        with pytest.raises(RuntimeStateError):
+            p.data("a", 1)
+        with pytest.raises(RuntimeStateError):
+            p.task()
+        with pytest.raises(RuntimeStateError):
+            p.barrier()
+
+    def test_meta_and_work(self):
+        p = TaskProgram()
+        t = p.task(work=2.5, meta={"ep_socket": 3})
+        assert t.work == 2.5
+        assert t.meta["ep_socket"] == 3
+
+
+class TestBarriers:
+    def test_epochs(self):
+        p = TaskProgram()
+        p.task()
+        p.barrier()
+        p.task()
+        p.task()
+        p.barrier()
+        p.task()
+        assert p.n_epochs == 3
+        assert [t.epoch for t in p.tasks] == [0, 1, 1, 2]
+        assert p.epoch_task_counts() == [1, 2, 1]
+
+    def test_consecutive_barriers_collapse(self):
+        p = TaskProgram()
+        p.task()
+        p.barrier()
+        p.barrier()
+        assert p.n_epochs == 2
+        assert p.barriers == [1]
+
+    def test_first_partition_point_window(self):
+        p = TaskProgram()
+        for _ in range(10):
+            p.task()
+        assert p.first_partition_point(4) == 4
+
+    def test_first_partition_point_barrier(self):
+        p = TaskProgram()
+        for _ in range(3):
+            p.task()
+        p.barrier()
+        for _ in range(5):
+            p.task()
+        assert p.first_partition_point(100) == 3
+        assert p.first_partition_point(2) == 2
+
+    def test_first_partition_point_small_program(self):
+        p = TaskProgram()
+        p.task()
+        assert p.first_partition_point(100) == 1
+
+    def test_bad_window(self):
+        with pytest.raises(RuntimeStateError):
+            TaskProgram().first_partition_point(0)
+
+
+class TestQueries:
+    def test_totals(self):
+        p = TaskProgram()
+        a = p.data("a", 100)
+        p.task(outs=[a], work=1.0)
+        p.task(inouts=[a], work=2.0)
+        assert p.total_work() == 3.0
+        assert p.total_traffic_bytes() == 100 + 200
+
+    def test_validate_ok(self):
+        p = TaskProgram()
+        a = p.data("a", 10)
+        p.task(outs=[a])
+        p.task(ins=[a])
+        p.validate()
+
+    def test_repr(self):
+        p = TaskProgram("myprog")
+        assert "myprog" in repr(p)

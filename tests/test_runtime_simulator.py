@@ -1,0 +1,307 @@
+"""Unit and behavioural tests for the discrete-event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine import Interconnect, single_socket, two_socket
+from repro.runtime import Placement, Simulator, TaskProgram, simulate
+from repro.schedulers import make_scheduler
+from repro.schedulers.base import Scheduler
+
+from conftest import make_fan_program
+
+
+class PinScheduler(Scheduler):
+    """Test helper: pins every task to a fixed socket."""
+
+    name = "pin"
+
+    def __init__(self, socket=0):
+        super().__init__()
+        self.socket = socket
+
+    def choose(self, task):
+        return Placement(socket=self.socket)
+
+
+class ScriptScheduler(Scheduler):
+    """Test helper: placement per task id from a dict (default socket 0)."""
+
+    name = "script"
+
+    def __init__(self, script):
+        super().__init__()
+        self.script = script
+
+    def choose(self, task):
+        return self.script.get(task.tid, Placement(socket=0))
+
+
+def compute_only_program(n=4, work=2.0):
+    p = TaskProgram("compute")
+    for i in range(n):
+        p.task(f"t{i}", work=work)
+    return p.finalize()
+
+
+class TestBasicExecution:
+    def test_single_task_compute_time(self, topo2):
+        p = TaskProgram()
+        p.task(work=3.0)
+        res = simulate(p.finalize(), topo2, PinScheduler(), duration_jitter=0.0)
+        assert res.makespan == pytest.approx(3.0)
+        assert res.n_tasks == 1
+
+    def test_parallel_tasks_overlap(self, topo2):
+        p = compute_only_program(n=2, work=5.0)
+        res = simulate(p, topo2, PinScheduler(), duration_jitter=0.0)
+        assert res.makespan == pytest.approx(5.0)
+
+    def test_more_tasks_than_cores_serialise(self, topo2):
+        # 4 tasks of work 1 on a 2-core socket (pinned) -> 2 rounds.
+        p = compute_only_program(n=4, work=1.0)
+        res = simulate(p, topo2, PinScheduler(), steal=False,
+                       duration_jitter=0.0)
+        assert res.makespan == pytest.approx(2.0)
+
+    def test_dependency_serialises(self, topo2, chain_program):
+        res = simulate(chain_program, topo2, PinScheduler(),
+                       duration_jitter=0.0)
+        # 3 chained tasks of work 1 + memory time for the 8 KiB object.
+        assert res.makespan >= 3.0
+        order = res.completion_order()
+        assert order == [0, 1, 2]
+
+    def test_memory_time_added(self):
+        topo = single_socket(cores=1)
+        p = TaskProgram()
+        a = p.data("a", 1_000_000)  # 1 MB = 1 time unit at full bw
+        p.task(outs=[a], work=0.0)
+        ic = Interconnect(topo, core_fraction=None, link_fraction=None)
+        res = simulate(p.finalize(), topo, PinScheduler(), interconnect=ic,
+                       duration_jitter=0.0)
+        assert res.makespan == pytest.approx(1.0, rel=1e-6)
+
+    def test_compute_and_memory_overlap(self):
+        topo = single_socket(cores=1)
+        p = TaskProgram()
+        a = p.data("a", 1_000_000)
+        p.task(outs=[a], work=5.0)  # compute dominates
+        ic = Interconnect(topo, core_fraction=None, link_fraction=None)
+        res = simulate(p.finalize(), topo, PinScheduler(), interconnect=ic,
+                       duration_jitter=0.0)
+        assert res.makespan == pytest.approx(5.0, rel=1e-6)
+
+
+class TestDeferredAllocation:
+    def test_output_first_touch_binds_locally(self, topo2):
+        p = TaskProgram()
+        a = p.data("a", 8192)
+        p.task(outs=[a])
+        sim = Simulator(p.finalize(), topo2, PinScheduler(socket=1),
+                        duration_jitter=0.0)
+        sim.run()
+        assert sim.memory.bytes_on_node[1] == 8192
+        assert sim.memory.bytes_on_node[0] == 0
+
+    def test_initial_node_prebinds(self, topo2):
+        p = TaskProgram()
+        a = p.data("a", 8192, initial_node=0)
+        p.task(ins=[a])
+        sim = Simulator(p.finalize(), topo2, PinScheduler(socket=1),
+                        duration_jitter=0.0)
+        res = sim.run()
+        assert sim.memory.bytes_on_node[0] == 8192
+        assert res.remote_bytes == 8192  # read from socket 1
+
+    def test_interleaved_prebinding(self, topo2):
+        p = TaskProgram()
+        a = p.data("a", 8192, interleaved=True)
+        p.task(ins=[a])
+        sim = Simulator(p.finalize(), topo2, PinScheduler(), duration_jitter=0.0)
+        sim.run()
+        assert sim.memory.bytes_on_node[0] == 4096
+        assert sim.memory.bytes_on_node[1] == 4096
+
+    def test_remote_placement_slower(self, topo2):
+        ic = Interconnect(topo2, core_fraction=None, link_fraction=None)
+
+        def run(consumer_socket):
+            p = TaskProgram()
+            a = p.data("a", 500_000)
+            p.task("w", outs=[a])
+            p.task("r", ins=[a])
+            script = {0: Placement(socket=0), 1: Placement(socket=consumer_socket)}
+            return simulate(p.finalize(), topo2, ScriptScheduler(script),
+                            interconnect=Interconnect(topo2, core_fraction=None,
+                                                      link_fraction=None),
+                            steal=False, duration_jitter=0.0).makespan
+
+        assert run(1) > run(0)
+
+
+class TestBarriers:
+    def test_barrier_orders_epochs(self, topo2):
+        p = TaskProgram()
+        p.task("a", work=1.0)
+        p.task("b", work=5.0)
+        p.barrier()
+        p.task("c", work=1.0)
+        res = simulate(p.finalize(), topo2, PinScheduler(), duration_jitter=0.0)
+        rec = {r.name: r for r in res.records}
+        assert rec["c"].start >= rec["b"].finish - 1e-9
+
+    def test_barrier_with_no_deps_still_gates(self, topo2):
+        p = TaskProgram()
+        p.task("early", work=2.0)
+        p.barrier()
+        p.task("late", work=1.0)  # no data deps at all
+        res = simulate(p.finalize(), topo2, PinScheduler(), duration_jitter=0.0)
+        rec = {r.name: r for r in res.records}
+        assert rec["late"].start >= rec["early"].finish - 1e-9
+
+    def test_leading_barrier_is_harmless(self, topo2):
+        p = TaskProgram()
+        p.barrier()
+        p.task(work=1.0)
+        res = simulate(p.finalize(), topo2, PinScheduler(), duration_jitter=0.0)
+        assert res.n_tasks == 1
+
+
+class TestStealing:
+    def test_steal_balances_pinned_load(self, topo2):
+        p = compute_only_program(n=8, work=1.0)
+        busy = simulate(p, topo2, PinScheduler(), steal=True,
+                        duration_jitter=0.0)
+        idle = simulate(p, topo2, PinScheduler(), steal=False,
+                        duration_jitter=0.0)
+        assert busy.makespan < idle.makespan
+        assert busy.steals > 0
+
+    def test_steal_off_means_zero_steals(self, topo2, fan_program):
+        res = simulate(fan_program, topo2, make_scheduler("random"),
+                       steal="off")
+        assert res.steals == 0
+
+    def test_near_steal_stays_in_module(self, topo8):
+        # Pin everything to socket 0; near stealing only lets socket 1
+        # (module sibling) help, so records run on sockets {0, 1} only.
+        p = compute_only_program(n=32, work=1.0)
+        res = simulate(p, topo8, PinScheduler(), steal="near",
+                       duration_jitter=0.0)
+        assert set(r.socket for r in res.records) <= {0, 1}
+
+    def test_global_steal_uses_whole_machine(self, topo8):
+        p = compute_only_program(n=64, work=1.0)
+        res = simulate(p, topo8, PinScheduler(), steal="global",
+                       duration_jitter=0.0)
+        assert len(set(r.socket for r in res.records)) > 2
+
+    def test_bad_steal_mode(self, topo2, chain_program):
+        with pytest.raises(SimulationError):
+            Simulator(chain_program, topo2, PinScheduler(), steal="sometimes")
+
+
+class TestParkingAndTimers:
+    def test_parked_task_released_by_timer(self, topo2):
+        class ParkOnce(Scheduler):
+            name = "park-once"
+
+            def __init__(self):
+                super().__init__()
+                self.parked_once = False
+
+            def on_program_start(self):
+                self.sim.schedule_timer(5.0, self._release)
+
+            def _release(self):
+                self.sim.reoffer(list(self.sim.parked))
+
+            def choose(self, task):
+                if not self.parked_once:
+                    self.parked_once = True
+                    return Placement(park=True)
+                return Placement(socket=0)
+
+        p = compute_only_program(n=2, work=1.0)
+        res = simulate(p, topo2, ParkOnce(), duration_jitter=0.0)
+        assert res.parked_tasks == 1
+        assert res.makespan >= 5.0
+
+    def test_parked_forever_deadlocks(self, topo2):
+        class ParkAll(Scheduler):
+            name = "park-all"
+
+            def choose(self, task):
+                return Placement(park=True)
+
+        p = compute_only_program(n=1)
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate(p, topo2, ParkAll())
+
+    def test_negative_timer_rejected(self, topo2, chain_program):
+        sim = Simulator(chain_program, topo2, PinScheduler())
+        with pytest.raises(SimulationError):
+            sim.schedule_timer(-1.0, lambda: None)
+
+
+class TestValidationAndStats:
+    def test_bad_placement_socket(self, topo2):
+        p = compute_only_program(n=1)
+        with pytest.raises(SimulationError):
+            simulate(p, topo2, PinScheduler(socket=7))
+
+    def test_bad_scheduler_return(self, topo2):
+        class Broken(Scheduler):
+            name = "broken"
+
+            def choose(self, task):
+                return 3  # not a Placement
+
+        with pytest.raises(SimulationError, match="Placement"):
+            simulate(compute_only_program(1), topo2, Broken())
+
+    def test_traffic_accounting_consistent(self, topo2, fan_program):
+        res = simulate(fan_program, topo2, make_scheduler("las"), seed=1,
+                       duration_jitter=0.0)
+        assert res.total_traffic == pytest.approx(
+            fan_program.total_traffic_bytes()
+        )
+
+    def test_busy_time_bounded_by_makespan(self, topo2, fan_program):
+        res = simulate(fan_program, topo2, make_scheduler("las"), seed=0)
+        assert np.all(res.busy_time_per_socket
+                      <= res.makespan * topo2.cores_per_socket + 1e-6)
+
+    def test_records_cover_all_tasks(self, topo8, fan_program):
+        res = simulate(fan_program, topo8, make_scheduler("dfifo"))
+        assert sorted(r.tid for r in res.records) == list(
+            range(fan_program.n_tasks)
+        )
+
+    def test_determinism_same_seed(self, topo8, fan_program):
+        a = simulate(fan_program, topo8, make_scheduler("las"), seed=5)
+        b = simulate(fan_program, topo8, make_scheduler("las"), seed=5)
+        assert a.makespan == b.makespan
+        assert [r.core for r in a.records] == [r.core for r in b.records]
+
+    def test_different_seeds_differ(self, topo8):
+        p = make_fan_program(width=16)
+        a = simulate(p, topo8, make_scheduler("random"), seed=1)
+        b = simulate(p, topo8, make_scheduler("random"), seed=2)
+        assert a.makespan != b.makespan
+
+    def test_jitter_bounds(self, topo2):
+        with pytest.raises(SimulationError):
+            Simulator(compute_only_program(1), topo2, PinScheduler(),
+                      duration_jitter=1.5)
+
+    def test_summary_text(self, topo2, chain_program):
+        res = simulate(chain_program, topo2, PinScheduler())
+        assert "makespan" in res.summary()
+
+    def test_empty_program(self, topo2):
+        res = simulate(TaskProgram().finalize(), topo2, PinScheduler())
+        assert res.makespan == 0.0
+        assert res.n_tasks == 0

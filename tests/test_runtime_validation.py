@@ -1,0 +1,119 @@
+"""Tests for the record-level schedule validator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine import bullion_s16, two_socket
+from repro.runtime import TaskProgram, simulate, validate_schedule
+from repro.runtime.result import SimulationResult, TaskRecord
+from repro.schedulers import make_scheduler
+
+from conftest import make_fan_program
+
+
+def run(prog, topo, policy="las", seed=0):
+    return simulate(prog, topo, make_scheduler(policy), seed=seed)
+
+
+class TestAcceptsRealSchedules:
+    @pytest.mark.parametrize("policy", ["dfifo", "las", "ep", "rgp+las"])
+    def test_all_policies_produce_valid_schedules(self, topo8, policy):
+        from repro.apps import make_app
+
+        app = make_app("jacobi", nt=3, tile=8, sweeps=2)
+        prog = app.build(8)
+        res = run(prog, topo8, policy)
+        validate_schedule(prog, res, topo8)
+
+    def test_barriered_program(self, topo8):
+        from repro.apps import make_app
+
+        prog = make_app("symminv", nt=3, tile=8).build(8)
+        res = run(prog, topo8)
+        validate_schedule(prog, res, topo8)
+
+
+def _result_from_records(records, makespan, topo):
+    import numpy as np
+
+    return SimulationResult(
+        program_name="x", scheduler_name="y", machine_name=topo.name,
+        makespan=makespan, records=records,
+        bytes_by_pair=np.zeros((topo.n_sockets, topo.n_sockets)),
+        busy_time_per_socket=np.zeros(topo.n_sockets),
+    )
+
+
+class TestRejectsBrokenSchedules:
+    def setup_method(self):
+        self.topo = two_socket(cores_per_socket=2)
+        self.prog = TaskProgram()
+        a = self.prog.data("a", 4096)
+        self.prog.task("w", outs=[a], work=1.0)
+        self.prog.task("r", ins=[a], work=1.0)
+        self.prog.finalize()
+
+    def test_missing_task(self):
+        records = [TaskRecord(0, "w", 0, 0, 0.0, 1.0)]
+        res = _result_from_records(records, 1.0, self.topo)
+        with pytest.raises(SimulationError, match="covers"):
+            validate_schedule(self.prog, res, self.topo)
+
+    def test_dependence_violation(self):
+        records = [
+            TaskRecord(0, "w", 0, 0, 0.0, 1.0),
+            TaskRecord(1, "r", 0, 1, 0.5, 1.5),  # starts before w finishes
+        ]
+        res = _result_from_records(records, 1.5, self.topo)
+        with pytest.raises(SimulationError, match="dependence violated"):
+            validate_schedule(self.prog, res, self.topo)
+
+    def test_core_overlap(self):
+        records = [
+            TaskRecord(0, "w", 0, 0, 0.0, 1.0),
+            TaskRecord(1, "r", 0, 0, 0.5, 2.0),  # same core, overlapping
+        ]
+        res = _result_from_records(records, 2.0, self.topo)
+        with pytest.raises(SimulationError, match="overlap"):
+            validate_schedule(self.prog, res, self.topo)
+
+    def test_wrong_socket_for_core(self):
+        records = [
+            TaskRecord(0, "w", 1, 0, 0.0, 1.0),  # core 0 is socket 0
+            TaskRecord(1, "r", 0, 1, 1.0, 2.0),
+        ]
+        res = _result_from_records(records, 2.0, self.topo)
+        with pytest.raises(SimulationError, match="belongs"):
+            validate_schedule(self.prog, res, self.topo)
+
+    def test_negative_duration(self):
+        records = [
+            TaskRecord(0, "w", 0, 0, 1.0, 0.5),
+            TaskRecord(1, "r", 0, 1, 1.0, 2.0),
+        ]
+        res = _result_from_records(records, 2.0, self.topo)
+        with pytest.raises(SimulationError, match="before it starts"):
+            validate_schedule(self.prog, res, self.topo)
+
+    def test_barrier_violation(self):
+        prog = TaskProgram()
+        prog.task("a", work=1.0)
+        prog.barrier()
+        prog.task("b", work=1.0)
+        prog.finalize()
+        records = [
+            TaskRecord(0, "a", 0, 0, 0.0, 2.0),
+            TaskRecord(1, "b", 0, 1, 1.0, 3.0),  # starts inside epoch 0
+        ]
+        res = _result_from_records(records, 3.0, self.topo)
+        with pytest.raises(SimulationError, match="barrier violated"):
+            validate_schedule(prog, res, self.topo)
+
+    def test_finish_after_makespan(self):
+        records = [
+            TaskRecord(0, "w", 0, 0, 0.0, 5.0),
+            TaskRecord(1, "r", 0, 1, 5.0, 6.0),
+        ]
+        res = _result_from_records(records, 2.0, self.topo)
+        with pytest.raises(SimulationError, match="makespan"):
+            validate_schedule(self.prog, res, self.topo)

@@ -1,0 +1,80 @@
+"""Tests for the scheduler decision audit and per-task locality records."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.machine import bullion_s16
+from repro.runtime import TaskProgram, simulate
+from repro.schedulers import LASScheduler, make_scheduler
+
+
+class TestLASAudit:
+    def test_cold_start_counts_random(self, topo8):
+        p = TaskProgram()
+        for i in range(16):
+            a = p.data(f"a{i}", 65536)
+            p.task(outs=[a], work=0.01)
+        sched = LASScheduler()
+        simulate(p.finalize(), topo8, sched, seed=0)
+        assert sched.audit.get("random", 0) == 16
+        assert sched.audit.get("weighted", 0) == 0
+
+    def test_warm_tasks_count_weighted(self, topo8):
+        p = TaskProgram()
+        a = p.data("a", 262144, initial_node=2)
+        for _ in range(5):
+            p.task(inouts=[a], work=0.01)
+        sched = LASScheduler()
+        simulate(p.finalize(), topo8, sched, seed=0)
+        assert sched.audit.get("weighted", 0) == 5
+        assert sched.audit.get("random", 0) == 0
+
+    def test_tie_counted(self, topo8):
+        p = TaskProgram()
+        a = p.data("a", 65536, initial_node=1)
+        b = p.data("b", 65536, initial_node=6)
+        p.task(ins=[a, b], work=0.01)
+        sched = LASScheduler()
+        simulate(p.finalize(), topo8, sched, seed=0)
+        assert sched.audit.get("tie", 0) == 1
+
+    def test_poster_threshold_shifts_mix(self, topo8):
+        """The 0.5 rule must strictly increase the random fraction on an
+        output-dominated workload."""
+        def mix(threshold):
+            prog = make_app("histogram", nt=4, tile=8, n_bins=4,
+                            repeats=2).build(8)
+            sched = LASScheduler(random_threshold=threshold)
+            simulate(prog, topo8, sched, seed=0)
+            total = sum(sched.audit.values())
+            return sched.audit.get("random", 0) / total
+
+        assert mix(0.5) > mix(0.0)
+
+
+class TestRGPAudit:
+    def test_window_vs_propagated_split(self, topo8):
+        prog = make_app("nstream", n_blocks=8, block_elems=1024,
+                        iterations=4).build(8)
+        sched = make_scheduler("rgp+las", window_size=10)
+        simulate(prog, topo8, sched, seed=0)
+        assert sched.audit["window"] == 10
+        assert sched.audit["propagated"] == prog.n_tasks - 10
+
+
+class TestRecordLocality:
+    def test_record_bytes_sum_to_result_totals(self, topo8):
+        prog = make_app("jacobi", nt=3, tile=16, sweeps=2).build(8)
+        res = simulate(prog, topo8, make_scheduler("las"), seed=0,
+                       duration_jitter=0.0)
+        local = sum(r.local_bytes for r in res.records)
+        remote = sum(r.remote_bytes for r in res.records)
+        assert local == pytest.approx(res.local_bytes)
+        assert remote == pytest.approx(res.remote_bytes)
+
+    def test_record_remote_fraction_bounds(self, topo8):
+        prog = make_app("nstream", n_blocks=6, block_elems=1024,
+                        iterations=3).build(8)
+        res = simulate(prog, topo8, make_scheduler("dfifo"), seed=0)
+        for r in res.records:
+            assert 0.0 <= r.remote_fraction <= 1.0

@@ -1,0 +1,150 @@
+"""Unit tests for the baseline scheduling policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.machine import bullion_s16
+from repro.runtime import Placement, Simulator, TaskProgram, simulate
+from repro.schedulers import (
+    SCHEDULERS,
+    DFIFOScheduler,
+    EPScheduler,
+    LASScheduler,
+    make_scheduler,
+)
+
+from conftest import make_fan_program
+
+
+class TestRegistry:
+    def test_all_policies_present(self):
+        assert set(SCHEDULERS) == {"dfifo", "las", "las+migrate", "ep",
+                                   "heft", "random", "rgp", "rgp+las"}
+
+    def test_make_scheduler_unknown(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            make_scheduler("hefty")
+
+    def test_rgp_lazy_construction(self):
+        s = make_scheduler("rgp+las", window_size=32)
+        assert s.name == "rgp+las"
+        assert s.window_size == 32
+
+
+class TestDFIFO:
+    def test_cyclic_core_assignment(self, topo8):
+        sched = DFIFOScheduler()
+        sched.attach(_FakeSim(topo8), np.random.default_rng(0))
+        p = TaskProgram()
+        tasks = [p.task() for _ in range(40)]
+        cores = [sched.choose(t).core for t in tasks]
+        assert cores[:32] == list(range(32))
+        assert cores[32:] == list(range(8))
+
+    def test_spreads_across_sockets(self, topo8):
+        res = simulate(make_fan_program(width=32), topo8, DFIFOScheduler(),
+                       steal=False)
+        assert len(set(r.socket for r in res.records)) == 8
+
+
+class TestLAS:
+    def test_cold_start_random(self, topo8):
+        """Tasks with no allocated data spread over all sockets."""
+        p = TaskProgram()
+        for i in range(64):
+            a = p.data(f"a{i}", 65536)
+            p.task(outs=[a])
+        res = simulate(p.finalize(), topo8, LASScheduler(), seed=0,
+                       steal=False)
+        assert len(set(r.socket for r in res.records)) >= 6
+
+    def test_follows_allocated_data(self, topo8):
+        """A reader lands on the socket where its input lives."""
+        p = TaskProgram()
+        a = p.data("a", 262144, initial_node=5)
+        p.task("r", ins=[a])
+        res = simulate(p.finalize(), topo8, LASScheduler(), seed=0,
+                       steal=False)
+        assert res.records[0].socket == 5
+
+    def test_weight_majority_wins(self, topo8):
+        p = TaskProgram()
+        big = p.data("big", 1_000_000, initial_node=2)
+        small = p.data("small", 4096, initial_node=6)
+        p.task("r", ins=[big, small])
+        res = simulate(p.finalize(), topo8, LASScheduler(), seed=0,
+                       steal=False)
+        assert res.records[0].socket == 2
+
+    def test_poster_threshold_randomises_output_heavy_tasks(self, topo8):
+        """With the poster-literal 0.5 threshold, a task whose unallocated
+        output dwarfs its allocated input is placed randomly."""
+        sockets = set()
+        for seed in range(12):
+            p = TaskProgram()
+            small_in = p.data("in", 4096, initial_node=3)
+            big_out = p.data("out", 1_000_000)
+            p.task(ins=[small_in], outs=[big_out])
+            res = simulate(p.finalize(), topo8,
+                           LASScheduler(random_threshold=0.5), seed=seed,
+                           steal=False)
+            sockets.add(res.records[0].socket)
+        assert len(sockets) > 2  # randomised
+
+    def test_drebes_threshold_follows_input(self, topo8):
+        for seed in range(6):
+            p = TaskProgram()
+            small_in = p.data("in", 4096, initial_node=3)
+            big_out = p.data("out", 1_000_000)
+            p.task(ins=[small_in], outs=[big_out])
+            res = simulate(p.finalize(), topo8,
+                           LASScheduler(random_threshold=0.0), seed=seed,
+                           steal=False)
+            assert res.records[0].socket == 3
+
+    def test_tie_break_first_deterministic(self, topo8):
+        p = TaskProgram()
+        a = p.data("a", 65536, initial_node=4)
+        b = p.data("b", 65536, initial_node=6)
+        p.task(ins=[a, b])
+        res = simulate(p.finalize(), topo8, LASScheduler(tie_break="first"),
+                       seed=0, steal=False)
+        assert res.records[0].socket == 4
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            LASScheduler(tie_break="coin")
+        with pytest.raises(ValueError):
+            LASScheduler(random_threshold=2.0)
+
+
+class TestEP:
+    def test_follows_annotation(self, topo8):
+        p = TaskProgram()
+        p.task(meta={"ep_socket": 6})
+        res = simulate(p.finalize(), topo8, EPScheduler(), steal=False)
+        assert res.records[0].socket == 6
+
+    def test_missing_annotation_raises(self, topo8):
+        p = TaskProgram()
+        p.task()
+        from repro.errors import SimulationError
+
+        with pytest.raises((SchedulerError, SimulationError)):
+            simulate(p.finalize(), topo8, EPScheduler())
+
+    def test_annotation_wraps_modulo(self, topo2):
+        p = TaskProgram()
+        p.task(meta={"ep_socket": 5})
+        res = simulate(p.finalize(), topo2, EPScheduler(), steal=False)
+        assert res.records[0].socket == 1
+
+
+class _FakeSim:
+    """Minimal simulator stand-in for pure choose() tests."""
+
+    def __init__(self, topology):
+        self.topology = topology
+        self.memory = None
+        self.parked = []

@@ -1,0 +1,87 @@
+"""Tests for the HEFT static list-scheduling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.machine import bullion_s16, two_socket
+from repro.runtime import TaskProgram, execute_in_order, simulate
+from repro.schedulers import HEFTScheduler, make_scheduler
+
+
+class TestPlan:
+    def test_plan_covers_all_tasks(self, topo8):
+        from repro.apps import make_app
+
+        prog = make_app("jacobi", nt=3, tile=8, sweeps=2).build(8)
+        sched = HEFTScheduler()
+        simulate(prog, topo8, sched, seed=0)
+        assert set(sched.plan) == set(range(prog.n_tasks))
+        assert all(0 <= s < 8 for s in sched.plan.values())
+
+    def test_independent_tasks_spread(self, topo8):
+        """With 32 equal independent tasks, EFT fills all sockets."""
+        p = TaskProgram()
+        for _ in range(32):
+            p.task(work=1.0)
+        sched = HEFTScheduler()
+        simulate(p.finalize(), topo8, sched, seed=0, steal=False)
+        used = set(sched.plan.values())
+        assert len(used) == 8
+
+    def test_chain_stays_on_one_socket(self, topo8):
+        """A single dependence chain has no parallelism: moving it would
+        only add communication, so HEFT keeps it in one place."""
+        p = TaskProgram()
+        a = p.data("a", 262144)
+        p.task(outs=[a], work=0.5)
+        for _ in range(10):
+            p.task(inouts=[a], work=0.5)
+        sched = HEFTScheduler()
+        simulate(p.finalize(), topo8, sched, seed=0, steal=False)
+        assert len(set(sched.plan.values())) == 1
+
+    def test_rank_prioritises_critical_path(self, topo8):
+        """The long chain's head must be planned before side tasks can
+        displace it: the chain finishes without waiting behind the
+        independent filler tasks on its socket."""
+        p = TaskProgram()
+        a = p.data("a", 4096)
+        p.task("head", outs=[a], work=1.0)
+        for i in range(6):
+            p.task(f"link{i}", inouts=[a], work=1.0)
+        for i in range(4):
+            p.task(f"filler{i}", work=0.5)
+        res = simulate(p.finalize(), topo8, HEFTScheduler(), seed=0,
+                       steal=False, duration_jitter=0.0)
+        rec = {r.name: r for r in res.records}
+        assert rec["head"].start == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBehaviour:
+    def test_valid_schedules_on_apps(self, topo8):
+        from repro.apps import make_app
+        from repro.runtime import validate_schedule
+
+        for name, params in (("nstream", dict(n_blocks=8, block_elems=1024,
+                                               iterations=3)),
+                             ("symminv", dict(nt=3, tile=8))):
+            prog = make_app(name, **params).build(8)
+            res = simulate(prog, topo8, make_scheduler("heft"), seed=0)
+            validate_schedule(prog, res, topo8)
+
+    def test_numerics_preserved(self, topo8):
+        from repro.apps import make_app
+
+        app = make_app("cg", nt=2, tile=8, iterations=3)
+        prog = app.build(8, with_payload=True)
+        res = simulate(prog, topo8, make_scheduler("heft"), seed=1)
+        execute_in_order(prog, res.completion_order())
+        assert app.verify() < 1e-10
+
+    def test_deterministic(self, topo8):
+        from repro.apps import make_app
+
+        prog = make_app("jacobi", nt=3, tile=8, sweeps=2).build(8)
+        a = simulate(prog, topo8, make_scheduler("heft"), seed=4)
+        b = simulate(prog, topo8, make_scheduler("heft"), seed=4)
+        assert a.makespan == b.makespan
