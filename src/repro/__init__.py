@@ -28,7 +28,28 @@ Quickstart::
 
 from .apps import APPS, TaskApplication, make_app
 from .core import RGPLASScheduler, RGPScheduler
-from .errors import ReproError
+from .errors import (
+    ApplicationError,
+    DependencyError,
+    ExperimentError,
+    FaultError,
+    GraphError,
+    MemoryError_,
+    PartitionError,
+    PartitionTimeoutError,
+    ReproError,
+    RuntimeStateError,
+    SchedulerError,
+    SimulationError,
+    TopologyError,
+)
+from .faults import (
+    CoreFault,
+    CoreSlowdown,
+    FaultPlan,
+    NodeDegradation,
+    TaskCrash,
+)
 from .machine import (
     Interconnect,
     MemoryManager,
@@ -72,27 +93,44 @@ __all__ = [
     "PARTITIONERS",
     "SCHEDULERS",
     "AccessMode",
+    "ApplicationError",
+    "CoreFault",
+    "CoreSlowdown",
     "DFIFOScheduler",
     "DataAccess",
     "DataObject",
+    "DependencyError",
     "DualRecursiveBipartitioner",
     "EPScheduler",
+    "ExperimentError",
+    "FaultError",
+    "FaultPlan",
+    "GraphError",
     "Interconnect",
     "LASScheduler",
+    "MemoryError_",
     "MemoryManager",
     "MultilevelKWay",
+    "NodeDegradation",
     "NumaTopology",
+    "PartitionError",
+    "PartitionTimeoutError",
     "RGPLASScheduler",
     "RGPScheduler",
     "ReproError",
+    "RuntimeStateError",
     "Scheduler",
+    "SchedulerError",
+    "SimulationError",
     "SimulationResult",
     "Simulator",
     "SpectralPartitioner",
     "TargetArchitecture",
     "Task",
     "TaskApplication",
+    "TaskCrash",
     "TaskProgram",
+    "TopologyError",
     "__version__",
     "bullion_s16",
     "execute",

@@ -4,7 +4,11 @@ Commands
 --------
 ``figure1``   — regenerate the paper's Figure 1 (table and/or bar form).
 ``run``       — simulate one app under one scheduler; optional Gantt chart
-                and CSV/JSON trace export.
+                and CSV/JSON trace export; ``--faults plan.json`` injects a
+                fault plan.
+``faults``    — resilience experiment: run an app fault-free and under a
+                fault plan (from a JSON file and/or inline ``--fail-core``
+                style specs) and print the resilience report.
 ``analyze``   — schedule report (efficiency bounds, node pressure, phase
                 profile, utilisation sparkline) plus optional DOT export.
 ``ablation``  — run one of the ablation sweeps (window / partitioner /
@@ -18,6 +22,7 @@ import argparse
 import sys
 
 from .apps import APPS, make_app
+from .errors import ReproError
 from .experiments.config import ExperimentConfig
 from .machine import presets
 from .metrics.trace import gantt_ascii, write_csv, write_json
@@ -57,9 +62,44 @@ def cmd_figure1(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    cfg = _config(args)
-    topo = presets.by_name(args.machine)
+def _load_fault_plan(args):
+    """Assemble a FaultPlan from ``--faults FILE`` plus inline specs."""
+    from .faults import (
+        FaultPlan,
+        TaskCrash,
+        parse_core_fault,
+        parse_core_slowdown,
+        parse_node_degradation,
+    )
+
+    base = (
+        FaultPlan.load(args.faults)
+        if getattr(args, "faults", None)
+        else FaultPlan()
+    )
+    crashes = list(base.task_crashes)
+    if getattr(args, "crash_prob", None):
+        crashes.append(TaskCrash(probability=args.crash_prob))
+    return FaultPlan(
+        core_faults=base.core_faults
+        + tuple(parse_core_fault(s) for s in getattr(args, "fail_core", []) or []),
+        slowdowns=base.slowdowns
+        + tuple(parse_core_slowdown(s) for s in getattr(args, "slow_core", []) or []),
+        task_crashes=tuple(crashes),
+        node_degradations=base.node_degradations
+        + tuple(
+            parse_node_degradation(s)
+            for s in getattr(args, "degrade_node", []) or []
+        ),
+        partition_timeout=(
+            args.partition_timeout
+            if getattr(args, "partition_timeout", None) is not None
+            else base.partition_timeout
+        ),
+    )
+
+
+def _build_sim(cfg, topo, args, faults=None, **sim_kwargs):
     params = dict(cfg.app_params.get(args.app, {}))
     app = make_app(args.app, **params)
     program = app.build(topo.n_sockets)
@@ -75,7 +115,16 @@ def cmd_run(args) -> int:
     sim = Simulator(
         program, topo, make_scheduler(args.scheduler, **kwargs),
         interconnect=interconnect, seed=args.seed, steal=cfg.steal,
+        faults=faults, **sim_kwargs,
     )
+    return program, sim
+
+
+def cmd_run(args) -> int:
+    cfg = _config(args)
+    topo = presets.by_name(args.machine)
+    faults = _load_fault_plan(args) if args.faults else None
+    _, sim = _build_sim(cfg, topo, args, faults=faults)
     result = sim.run()
     print(result.summary())
     if args.gantt:
@@ -86,6 +135,40 @@ def cmd_run(args) -> int:
     if args.trace_json:
         write_json(result, args.trace_json)
         print(f"trace written to {args.trace_json}")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    """Resilience experiment: fault-free vs faulted run + report."""
+    from .metrics.resilience import resilience_report
+    from .runtime.validation import validate_schedule
+
+    cfg = _config(args)
+    topo = presets.by_name(args.machine)
+    plan = _load_fault_plan(args)
+    if plan.is_empty():
+        print("fault plan is empty — nothing to inject", file=sys.stderr)
+        return 2
+    if args.save_plan:
+        plan.dump(args.save_plan)
+        print(f"fault plan written to {args.save_plan}")
+    print("fault plan:")
+    for line in plan.describe().splitlines():
+        print(f"  {line}")
+
+    program, base_sim = _build_sim(cfg, topo, args)
+    fault_free = base_sim.run()
+    _, sim = _build_sim(
+        cfg, topo, args, faults=plan,
+        max_retries=args.max_retries, retry_backoff=args.retry_backoff,
+    )
+    result = sim.run()
+    validate_schedule(program, result, topo)
+    print()
+    print(f"fault-free: {fault_free.summary()}")
+    print(f"faulted:    {result.summary()}")
+    print()
+    print(resilience_report(result, fault_free).render())
     return 0
 
 
@@ -178,7 +261,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gantt", action="store_true", help="ASCII Gantt chart")
     p.add_argument("--trace-csv", default=None)
     p.add_argument("--trace-json", default=None)
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="inject a fault plan (JSON file, see 'faults' cmd)")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "faults",
+        help="resilience experiment: fault-free vs faulted run + report",
+    )
+    _add_common(p)
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--scheduler", required=True, choices=sorted(SCHEDULERS))
+    p.add_argument("--machine", default="bullion-s16",
+                   choices=sorted(presets.PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="load a fault plan file (inline specs add to it)")
+    p.add_argument("--fail-core", action="append", metavar="CORE@AT[:DUR]",
+                   help="kill a core at a time (repeatable)")
+    p.add_argument("--slow-core", action="append",
+                   metavar="CORE@AT*FACTOR[:DUR]",
+                   help="straggler: core runs FACTOR-times slower")
+    p.add_argument("--degrade-node", action="append",
+                   metavar="NODE@AT*FACTOR[:DUR]",
+                   help="scale a memory node's bandwidth by FACTOR<1")
+    p.add_argument("--crash-prob", type=float, default=None,
+                   help="per-attempt task crash probability")
+    p.add_argument("--partition-timeout", type=float, default=None,
+                   help="declare the window partition lost at this time")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="per-task re-execution limit (default 3)")
+    p.add_argument("--retry-backoff", type=float, default=0.0,
+                   help="base of the exponential re-execution backoff")
+    p.add_argument("--save-plan", default=None, metavar="OUT.json",
+                   help="also write the assembled plan to a file")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("ablation", help="run an ablation sweep")
     _add_common(p)
@@ -205,7 +322,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -19,11 +19,20 @@ If ``partition_delay > 0`` the partition result only becomes available at
 that simulated time; window tasks that become ready earlier wait in the
 runtime's *temporary queue* (paper: "If tasks can be executed ... but the
 partition is still pending, they are stored in a temporary queue").
+
+Graceful degradation (DESIGN.md §7): if a ``partition_timeout`` fires
+before the partition result arrives, RGP declares the partition lost,
+re-offers every parked task and falls back to its propagation policy for
+the whole window (``on_timeout="raise"`` raises
+:class:`~repro.errors.PartitionTimeoutError` instead, for harnesses that
+prefer fail-fast).  If an injected core failure kills a socket's last
+core, window assignments targeting that socket are remapped to the
+nearest surviving socket.
 """
 
 from __future__ import annotations
 
-from ..errors import SchedulerError
+from ..errors import PartitionTimeoutError, SchedulerError
 from ..graph.csr import CSRGraph
 from ..partition.anchored import partition_with_anchors
 from ..partition.interface import Partitioner, TargetArchitecture
@@ -49,6 +58,8 @@ class RGPScheduler(Scheduler):
         propagation: str = "las",
         partition_delay: float = 0.0,
         partition_seed: int | None = None,
+        partition_timeout: float | None = None,
+        on_timeout: str = "fallback",
     ) -> None:
         super().__init__()
         if propagation not in PROPAGATION_POLICIES:
@@ -60,15 +71,24 @@ class RGPScheduler(Scheduler):
             raise SchedulerError(f"window size must be >= 1, got {window_size}")
         if partition_delay < 0:
             raise SchedulerError("partition delay must be >= 0")
+        if partition_timeout is not None and partition_timeout < 0:
+            raise SchedulerError("partition timeout must be >= 0")
+        if on_timeout not in ("fallback", "raise"):
+            raise SchedulerError(
+                f"on_timeout must be 'fallback' or 'raise', got {on_timeout!r}"
+            )
         self.partitioner = partitioner or DualRecursiveBipartitioner()
         self.window_size = int(window_size)
         self.propagation = propagation
         self.partition_delay = float(partition_delay)
         self.partition_seed = partition_seed
+        self.partition_timeout = partition_timeout
+        self.on_timeout = on_timeout
         # Run state (reset per attach/run).
         self._assignment: dict[int, int] = {}
         self._cutoff = 0
         self._partition_ready = False
+        self._partition_lost = False
         self._next_cyclic = 0
         self._windows_partitioned = 0
         #: Decision audit: window-placed vs propagated counts (plus the
@@ -76,11 +96,17 @@ class RGPScheduler(Scheduler):
         self.audit: dict[str, int] = {}
 
     # ------------------------------------------------------------------
+    def configure_faults(self, plan) -> None:
+        """Adopt an injected partition deadline from the run's fault plan."""
+        if plan.partition_timeout is not None:
+            self.partition_timeout = float(plan.partition_timeout)
+
     def on_program_start(self) -> None:
         program = self.sim.program
         self._assignment = {}
         self._next_cyclic = 0
         self._windows_partitioned = 0
+        self._partition_lost = False
         self._cutoff = initial_window(program, self.window_size)
         seed = (
             self.partition_seed
@@ -96,22 +122,70 @@ class RGPScheduler(Scheduler):
         if self.partition_delay > 0:
             self._partition_ready = False
             self.sim.schedule_timer(self.partition_delay, self._on_partition_done)
+            if (
+                self.partition_timeout is not None
+                and self.partition_timeout < self.partition_delay
+            ):
+                self.sim.schedule_timer(
+                    self.partition_timeout, self._on_partition_timeout
+                )
         else:
             self._partition_ready = True
 
     def _on_partition_done(self) -> None:
+        if self._partition_lost:
+            return  # timed out earlier; the fallback already took over
         self._partition_ready = True
+        self.sim.reoffer(list(self.sim.parked))
+
+    def _on_partition_timeout(self) -> None:
+        """Partition result declared lost: degrade to the propagation
+        policy for the whole window instead of waiting forever."""
+        if self._partition_ready or self._partition_lost:
+            return
+        if self.on_timeout == "raise":
+            raise PartitionTimeoutError(
+                f"window partition result missed its deadline "
+                f"({self.partition_timeout:g} < delay "
+                f"{self.partition_delay:g})"
+            )
+        self._partition_lost = True
+        self.audit["partition_timeout"] = 1
         self.sim.reoffer(list(self.sim.parked))
 
     # ------------------------------------------------------------------
     def choose(self, task: Task) -> Placement:
         if task.tid < self._cutoff:
+            if self._partition_lost:
+                self.audit["fallback"] = self.audit.get("fallback", 0) + 1
+                return self._propagate(task)
             if not self._partition_ready:
                 return Placement(park=True)
             self.audit["window"] = self.audit.get("window", 0) + 1
             return Placement(socket=self._assignment[task.tid])
         self.audit["propagated"] = self.audit.get("propagated", 0) + 1
         return self._propagate(task)
+
+    # ------------------------------------------------------------------
+    def on_core_failed(self, core: int) -> None:
+        """Remap stale window assignments when a socket loses its last core.
+
+        The simulator already redirects *placements* to surviving sockets;
+        remapping the assignment table as well keeps later lookups (and
+        the "repartition" propagation's anchors) pointing at sockets that
+        can actually run — and hold the data of — the work.
+        """
+        socket = self.sim.topology.socket_of_core(core)
+        if self.sim.socket_alive(socket):
+            return
+        target = self.sim.nearest_alive_socket(socket)
+        remapped = 0
+        for tid, assigned in self._assignment.items():
+            if assigned == socket and not self.sim.done[tid]:
+                self._assignment[tid] = target
+                remapped += 1
+        if remapped:
+            self.audit["remapped"] = self.audit.get("remapped", 0) + remapped
 
     def _propagate(self, task: Task) -> Placement:
         if self.propagation == "las":
@@ -190,6 +264,8 @@ class RGPLASScheduler(RGPScheduler):
         window_size: int = DEFAULT_WINDOW_SIZE,
         partition_delay: float = 0.0,
         partition_seed: int | None = None,
+        partition_timeout: float | None = None,
+        on_timeout: str = "fallback",
     ) -> None:
         super().__init__(
             partitioner=partitioner,
@@ -197,4 +273,6 @@ class RGPLASScheduler(RGPScheduler):
             propagation="las",
             partition_delay=partition_delay,
             partition_seed=partition_seed,
+            partition_timeout=partition_timeout,
+            on_timeout=on_timeout,
         )

@@ -49,3 +49,12 @@ class ApplicationError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment harness failure (unknown app/policy, empty sweep)."""
+
+
+class FaultError(ReproError):
+    """Fault-injection / resilience failure (bad fault plan, retry limit
+    exceeded, no surviving core can run a task)."""
+
+
+class PartitionTimeoutError(FaultError):
+    """The window partition result did not arrive before its deadline."""

@@ -3,6 +3,12 @@
 Programs are built once per app and reused across policies and seeds (the
 simulator never mutates a program), matching the paper's protocol of
 comparing policies on identical TDGs.
+
+Robustness (DESIGN.md §7): ``run_policy`` optionally validates every
+simulation result against the schedule invariants (``validate=True``),
+bounds each run's wall-clock time (``timeout``), retries failed runs
+(``retries``), and injects a :class:`~repro.faults.plan.FaultPlan` for
+resilience experiments (``faults``).
 """
 
 from __future__ import annotations
@@ -12,9 +18,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..apps import make_app
-from ..errors import ExperimentError
+from ..errors import ExperimentError, ReproError
 from ..runtime.program import TaskProgram
 from ..runtime.simulator import Simulator
+from ..runtime.validation import validate_schedule
 from ..schedulers import make_scheduler
 from .config import ExperimentConfig
 
@@ -26,6 +33,8 @@ class PolicyStats:
     policy: str
     makespans: tuple[float, ...]
     remote_fractions: tuple[float, ...]
+    reexecutions: tuple[int, ...] = ()
+    wasted_work: tuple[float, ...] = ()
 
     @property
     def makespan_mean(self) -> float:
@@ -38,6 +47,10 @@ class PolicyStats:
     @property
     def remote_fraction_mean(self) -> float:
         return float(np.mean(self.remote_fractions))
+
+    @property
+    def reexecutions_total(self) -> int:
+        return int(sum(self.reexecutions))
 
 
 def build_program(config: ExperimentConfig, app_name: str) -> TaskProgram:
@@ -62,28 +75,85 @@ def run_policy(
     program: TaskProgram,
     policy: str,
     scheduler_factory=None,
+    *,
+    validate: bool = False,
+    faults=None,
+    timeout: float | None = None,
+    retries: int = 0,
+    sim_kwargs: dict | None = None,
 ) -> PolicyStats:
-    """Simulate ``program`` under ``policy`` for every configured seed."""
+    """Simulate ``program`` under ``policy`` for every configured seed.
+
+    Parameters
+    ----------
+    validate:
+        Run :func:`~repro.runtime.validation.validate_schedule` on every
+        simulation result, so invariant violations surface in experiments
+        and not only in the integration tests.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` injected into every
+        run (resilience experiments).
+    timeout:
+        Per-run wall-clock limit in seconds (cooperative: checked at every
+        simulator event).
+    retries:
+        How many times to retry a seed's run after a
+        :class:`~repro.errors.ReproError` before giving up.  Each retry
+        builds a fresh scheduler and simulator; deterministic failures
+        (e.g. a genuine deadlock) will simply fail ``retries + 1`` times.
+    sim_kwargs:
+        Extra keyword arguments forwarded to the
+        :class:`~repro.runtime.simulator.Simulator` (e.g. ``max_retries``,
+        ``retry_backoff`` for fault recovery tuning).
+    """
+    if retries < 0:
+        raise ExperimentError(f"retries must be >= 0, got {retries}")
     makespans = []
     remotes = []
+    reexecs = []
+    wasted = []
+    extra = dict(sim_kwargs or {})
+    if faults is not None:
+        extra["faults"] = faults
+    if timeout is not None:
+        extra["wall_clock_limit"] = timeout
     for seed in config.seeds:
-        if scheduler_factory is not None:
-            sched = scheduler_factory()
-        else:
-            sched = make_scheduler(policy, **scheduler_kwargs(config, policy))
-        sim = Simulator(
-            program,
-            config.topology,
-            sched,
-            interconnect=config.interconnect(),
-            steal=config.steal,
-            seed=seed,
-        )
-        result = sim.run()
+        last_error: ReproError | None = None
+        result = None
+        for _attempt in range(retries + 1):
+            if scheduler_factory is not None:
+                sched = scheduler_factory()
+            else:
+                sched = make_scheduler(policy, **scheduler_kwargs(config, policy))
+            sim = Simulator(
+                program,
+                config.topology,
+                sched,
+                interconnect=config.interconnect(),
+                steal=config.steal,
+                seed=seed,
+                **extra,
+            )
+            try:
+                result = sim.run()
+                break
+            except ReproError as exc:
+                last_error = exc
+        if result is None:
+            raise ExperimentError(
+                f"policy {policy!r} seed {seed} failed after "
+                f"{retries + 1} attempt(s): {last_error}"
+            ) from last_error
+        if validate:
+            validate_schedule(program, result, config.topology)
         makespans.append(result.makespan)
         remotes.append(result.remote_fraction)
+        reexecs.append(result.reexecutions)
+        wasted.append(result.wasted_work)
     return PolicyStats(
         policy=policy,
         makespans=tuple(makespans),
         remote_fractions=tuple(remotes),
+        reexecutions=tuple(reexecs),
+        wasted_work=tuple(wasted),
     )

@@ -8,12 +8,18 @@ A light harness for exploratory studies beyond the fixed ablations:
 
 Each row carries the full parameter assignment plus the measured
 statistics, ready for a DataFrame or CSV.
+
+Long sweeps can pass ``checkpoint=<path>``: every finished grid point is
+appended to the file (JSON lines) the moment it completes, and a rerun of
+the same sweep skips the points already on disk — a crashed or killed
+sweep resumes where it left off instead of starting over.
 """
 
 from __future__ import annotations
 
 import csv
 import itertools
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -75,15 +81,78 @@ class SweepRow:
         return out
 
 
+def _point_key(point: dict[str, Any]) -> str:
+    """Canonical JSON key for one grid point (order-insensitive)."""
+    return json.dumps(point, sort_keys=True, default=str)
+
+
+def load_checkpoint(path: str | Path) -> dict[str, SweepRow]:
+    """Read previously completed rows from a JSONL checkpoint file.
+
+    Corrupt trailing lines (a run killed mid-write) are ignored, so a
+    resumed sweep simply recomputes that point.
+    """
+    done: dict[str, SweepRow] = {}
+    path = Path(path)
+    if not path.exists():
+        return done
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            row = SweepRow(
+                params=data["params"],
+                makespan_mean=float(data["makespan_mean"]),
+                makespan_std=float(data["makespan_std"]),
+                remote_fraction=float(data["remote_fraction"]),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            continue
+        done[_point_key(row.params)] = row
+    return done
+
+
+def _append_checkpoint(path: Path, row: SweepRow) -> None:
+    record = {
+        "params": row.params,
+        "makespan_mean": row.makespan_mean,
+        "makespan_std": row.makespan_std,
+        "remote_fraction": row.remote_fraction,
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        fh.flush()
+
+
 def run_sweep(
     config: ExperimentConfig,
     grid: ParameterGrid,
     progress=None,
+    checkpoint: str | Path | None = None,
+    **run_kwargs,
 ) -> list[SweepRow]:
-    """Run every grid point; scheduler kwargs come from the extra axes."""
+    """Run every grid point; scheduler kwargs come from the extra axes.
+
+    ``checkpoint`` names a JSONL file: completed points are appended as
+    they finish and skipped on resume.  Extra keyword arguments (e.g.
+    ``validate=True``, ``timeout=...``, ``retries=...``) are forwarded to
+    :func:`~repro.experiments.runner.run_policy` for every point.
+    """
     rows: list[SweepRow] = []
     programs: dict[str, Any] = {}
+    done: dict[str, SweepRow] = {}
+    if checkpoint is not None:
+        checkpoint = Path(checkpoint)
+        done = load_checkpoint(checkpoint)
     for point in grid.points():
+        key = _point_key(point)
+        if key in done:
+            rows.append(done[key])
+            if progress:
+                progress(f"{point} -> (checkpointed)")
+            continue
         app_name = point["app"]
         policy = point["policy"]
         sched_kwargs = {k: v for k, v in point.items() if k not in _RESERVED}
@@ -95,7 +164,7 @@ def run_sweep(
             return make_scheduler(policy, **kwargs)
 
         try:
-            stats = run_policy(config, program, policy, factory)
+            stats = run_policy(config, program, policy, factory, **run_kwargs)
         except TypeError as exc:
             raise ExperimentError(
                 f"policy {policy!r} rejected kwargs {sched_kwargs}: {exc}"
@@ -107,6 +176,8 @@ def run_sweep(
             remote_fraction=stats.remote_fraction_mean,
         )
         rows.append(row)
+        if checkpoint is not None:
+            _append_checkpoint(checkpoint, row)
         if progress:
             progress(f"{point} -> {stats.makespan_mean:.4g}")
     return rows

@@ -1,0 +1,31 @@
+"""Fault injection and resilient execution (DESIGN.md §7).
+
+Declarative :class:`FaultPlan` scenarios — core failures, stragglers,
+probabilistic task crashes, memory-node bandwidth degradation, partition
+timeouts — injected into the discrete-event simulator via timers, plus the
+recovery machinery that keeps runs completing: dependence-safe task
+re-execution with retry limits and exponential backoff, core quarantine
+with queue draining, and scheduler-side graceful degradation.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    CoreFault,
+    CoreSlowdown,
+    FaultPlan,
+    NodeDegradation,
+    TaskCrash,
+)
+from .spec import parse_core_fault, parse_core_slowdown, parse_node_degradation
+
+__all__ = [
+    "CoreFault",
+    "CoreSlowdown",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeDegradation",
+    "TaskCrash",
+    "parse_core_fault",
+    "parse_core_slowdown",
+    "parse_node_degradation",
+]

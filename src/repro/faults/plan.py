@@ -1,0 +1,300 @@
+"""Declarative fault plans: *what* goes wrong, *when*, and for *how long*.
+
+A :class:`FaultPlan` is a pure description — it holds no simulator state —
+so the same plan can be replayed against any (program, topology, policy)
+combination, serialised to JSON for experiment configs, and diffed in
+version control.  The :mod:`repro.faults.injector` turns a plan into timer
+events on a live :class:`~repro.runtime.simulator.Simulator`.
+
+Five fault families (DESIGN.md §7):
+
+* :class:`CoreFault` — a core dies at ``at`` (permanently, or for
+  ``duration`` simulated time units).  A task running on it crashes and is
+  re-executed elsewhere; queued work is re-offered.
+* :class:`CoreSlowdown` — a straggler: the core's compute rate is divided
+  by ``factor`` (2.0 = half speed) from ``at`` on (or for ``duration``).
+* :class:`TaskCrash` — each task attempt whose name contains ``match``
+  (or every attempt, if ``match`` is None) crashes with ``probability``,
+  part-way through its nominal duration (``at_fraction``).
+* :class:`NodeDegradation` — memory node ``node`` serves bandwidth scaled
+  by ``factor`` (0.5 = half bandwidth) from ``at`` on (or for ``duration``).
+* ``partition_timeout`` — the window partition result is declared lost if
+  it has not arrived by this simulated time; partition-based schedulers
+  fall back to their propagation policy (see :mod:`repro.core.rgp`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+from ..errors import FaultError
+
+
+def _check_time(label: str, at: float) -> None:
+    if at < 0:
+        raise FaultError(f"{label}: fault time must be >= 0, got {at}")
+
+
+def _check_duration(label: str, duration: float | None) -> None:
+    if duration is not None and duration <= 0:
+        raise FaultError(
+            f"{label}: duration must be positive (or None = permanent), "
+            f"got {duration}"
+        )
+
+
+@dataclass(frozen=True)
+class CoreFault:
+    """Core ``core`` fails at time ``at``; ``duration=None`` is permanent."""
+
+    core: int
+    at: float
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_time(f"CoreFault(core={self.core})", self.at)
+        _check_duration(f"CoreFault(core={self.core})", self.duration)
+
+
+@dataclass(frozen=True)
+class CoreSlowdown:
+    """Core ``core`` runs ``factor``× slower from ``at`` (straggler)."""
+
+    core: int
+    at: float
+    factor: float
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_time(f"CoreSlowdown(core={self.core})", self.at)
+        _check_duration(f"CoreSlowdown(core={self.core})", self.duration)
+        if self.factor <= 1.0:
+            raise FaultError(
+                f"CoreSlowdown(core={self.core}): factor must be > 1 "
+                f"(slower), got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class TaskCrash:
+    """Task attempts crash with ``probability`` part-way through.
+
+    ``match`` restricts the fault to tasks whose name contains the
+    substring; ``max_crashes`` caps the total number of injected crashes
+    (None = unlimited — the simulator's retry limit still bounds the run).
+    """
+
+    probability: float
+    at_fraction: float = 0.5
+    match: str | None = None
+    max_crashes: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultError(
+                f"TaskCrash: probability must be in [0, 1], got "
+                f"{self.probability}"
+            )
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise FaultError(
+                f"TaskCrash: at_fraction must be in [0, 1], got "
+                f"{self.at_fraction}"
+            )
+        if self.max_crashes is not None and self.max_crashes < 0:
+            raise FaultError(
+                f"TaskCrash: max_crashes must be >= 0, got {self.max_crashes}"
+            )
+
+
+@dataclass(frozen=True)
+class NodeDegradation:
+    """Memory node ``node`` serves ``factor``× its bandwidth from ``at``."""
+
+    node: int
+    at: float
+    factor: float
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_time(f"NodeDegradation(node={self.node})", self.at)
+        _check_duration(f"NodeDegradation(node={self.node})", self.duration)
+        if not 0.0 < self.factor < 1.0:
+            raise FaultError(
+                f"NodeDegradation(node={self.node}): factor must be in "
+                f"(0, 1), got {self.factor}"
+            )
+
+
+_EVENT_TYPES = {
+    "core_faults": CoreFault,
+    "slowdowns": CoreSlowdown,
+    "task_crashes": TaskCrash,
+    "node_degradations": NodeDegradation,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, replayable fault scenario."""
+
+    core_faults: tuple[CoreFault, ...] = ()
+    slowdowns: tuple[CoreSlowdown, ...] = ()
+    task_crashes: tuple[TaskCrash, ...] = ()
+    node_degradations: tuple[NodeDegradation, ...] = ()
+    partition_timeout: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        for name, cls in _EVENT_TYPES.items():
+            events = getattr(self, name)
+            if not isinstance(events, tuple):
+                object.__setattr__(self, name, tuple(events))
+            for ev in getattr(self, name):
+                if not isinstance(ev, cls):
+                    raise FaultError(
+                        f"FaultPlan.{name} expects {cls.__name__} entries, "
+                        f"got {type(ev).__name__}"
+                    )
+        if self.partition_timeout is not None and self.partition_timeout < 0:
+            raise FaultError(
+                f"partition_timeout must be >= 0, got {self.partition_timeout}"
+            )
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing at all (fault-free)."""
+        return (
+            not self.core_faults
+            and not self.slowdowns
+            and not self.task_crashes
+            and not self.node_degradations
+            and self.partition_timeout is None
+        )
+
+    @property
+    def n_events(self) -> int:
+        return (
+            len(self.core_faults)
+            + len(self.slowdowns)
+            + len(self.task_crashes)
+            + len(self.node_degradations)
+            + (self.partition_timeout is not None)
+        )
+
+    def validate_against(self, topology) -> None:
+        """Range-check core/node ids against a concrete topology."""
+        for cf in self.core_faults:
+            if not 0 <= cf.core < topology.n_cores:
+                raise FaultError(
+                    f"CoreFault core {cf.core} out of range "
+                    f"[0, {topology.n_cores})"
+                )
+        for sl in self.slowdowns:
+            if not 0 <= sl.core < topology.n_cores:
+                raise FaultError(
+                    f"CoreSlowdown core {sl.core} out of range "
+                    f"[0, {topology.n_cores})"
+                )
+        for nd in self.node_degradations:
+            if not 0 <= nd.node < topology.n_nodes:
+                raise FaultError(
+                    f"NodeDegradation node {nd.node} out of range "
+                    f"[0, {topology.n_nodes})"
+                )
+        permanent = {cf.core for cf in self.core_faults if cf.duration is None}
+        if len(permanent) >= topology.n_cores:
+            raise FaultError(
+                "fault plan permanently kills every core — nothing could "
+                "ever finish"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialisation (JSON round-trip for experiment configs)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out: dict = {}
+        for name in _EVENT_TYPES:
+            events = getattr(self, name)
+            if events:
+                out[name] = [asdict(ev) for ev in events]
+        if self.partition_timeout is not None:
+            out["partition_timeout"] = self.partition_timeout
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultError(f"fault plan must be a JSON object, got {data!r}")
+        known = set(_EVENT_TYPES) | {"partition_timeout"}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultError(
+                f"unknown fault plan keys {sorted(unknown)}; known: "
+                f"{sorted(known)}"
+            )
+        kwargs: dict = {}
+        for name, ev_cls in _EVENT_TYPES.items():
+            entries = data.get(name, [])
+            allowed = {f.name for f in fields(ev_cls)}
+            parsed = []
+            for entry in entries:
+                bad = set(entry) - allowed
+                if bad:
+                    raise FaultError(
+                        f"{name} entry has unknown fields {sorted(bad)}"
+                    )
+                parsed.append(ev_cls(**entry))
+            kwargs[name] = tuple(parsed)
+        kwargs["partition_timeout"] = data.get("partition_timeout")
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"invalid fault plan JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise FaultError(f"cannot read fault plan {path}: {exc}") from None
+        return cls.from_json(text)
+
+    def describe(self) -> str:
+        """One line per event, for CLI echo and logs."""
+        lines = []
+        for cf in self.core_faults:
+            life = "permanently" if cf.duration is None else f"for {cf.duration:g}"
+            lines.append(f"core {cf.core} fails at t={cf.at:g} {life}")
+        for sl in self.slowdowns:
+            life = "" if sl.duration is None else f" for {sl.duration:g}"
+            lines.append(
+                f"core {sl.core} slows {sl.factor:g}x at t={sl.at:g}{life}"
+            )
+        for tc in self.task_crashes:
+            scope = f"tasks matching {tc.match!r}" if tc.match else "all tasks"
+            lines.append(
+                f"{scope} crash with p={tc.probability:g} at "
+                f"{tc.at_fraction:.0%} of their duration"
+            )
+        for nd in self.node_degradations:
+            life = "" if nd.duration is None else f" for {nd.duration:g}"
+            lines.append(
+                f"node {nd.node} bandwidth x{nd.factor:g} at t={nd.at:g}{life}"
+            )
+        if self.partition_timeout is not None:
+            lines.append(
+                f"partition result lost after t={self.partition_timeout:g}"
+            )
+        return "\n".join(lines) if lines else "(empty plan)"

@@ -1,0 +1,89 @@
+"""Compact command-line specs for fault events.
+
+The CLI accepts repeated ``--fail-core`` / ``--slow-core`` /
+``--degrade-node`` options whose values use a small ``@``/``:`` grammar
+(chosen so a whole scenario fits on one shell line):
+
+* ``CORE@AT`` or ``CORE@AT:DURATION``            → :class:`CoreFault`
+* ``CORE@AT*FACTOR`` or ``CORE@AT*FACTOR:DUR``   → :class:`CoreSlowdown`
+* ``NODE@AT*FACTOR`` or ``NODE@AT*FACTOR:DUR``   → :class:`NodeDegradation`
+
+Examples::
+
+    --fail-core 3@1.5          # core 3 dies permanently at t=1.5
+    --fail-core 3@1.5:2.0      # ... and recovers 2.0 time units later
+    --slow-core 0@0*4          # core 0 runs 4x slower from the start
+    --degrade-node 2@1*0.25    # node 2 at quarter bandwidth from t=1
+"""
+
+from __future__ import annotations
+
+from ..errors import FaultError
+from .plan import CoreFault, CoreSlowdown, NodeDegradation
+
+
+def _split_id_at(spec: str, label: str) -> tuple[int, str]:
+    head, sep, rest = spec.partition("@")
+    if not sep:
+        raise FaultError(f"{label} spec {spec!r} needs an '@' (ID@TIME...)")
+    try:
+        ident = int(head)
+    except ValueError:
+        raise FaultError(f"{label} spec {spec!r}: bad id {head!r}") from None
+    return ident, rest
+
+
+def _split_duration(rest: str, label: str, spec: str) -> tuple[str, float | None]:
+    head, sep, tail = rest.partition(":")
+    if not sep:
+        return head, None
+    try:
+        duration = float(tail)
+    except ValueError:
+        raise FaultError(
+            f"{label} spec {spec!r}: bad duration {tail!r}"
+        ) from None
+    return head, duration
+
+
+def _as_float(text: str, label: str, spec: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise FaultError(f"{label} spec {spec!r}: bad {what} {text!r}") from None
+
+
+def parse_core_fault(spec: str) -> CoreFault:
+    """``CORE@AT[:DURATION]`` → :class:`CoreFault`."""
+    core, rest = _split_id_at(spec, "--fail-core")
+    rest, duration = _split_duration(rest, "--fail-core", spec)
+    at = _as_float(rest, "--fail-core", spec, "time")
+    return CoreFault(core=core, at=at, duration=duration)
+
+
+def parse_core_slowdown(spec: str) -> CoreSlowdown:
+    """``CORE@AT*FACTOR[:DURATION]`` → :class:`CoreSlowdown`."""
+    core, rest = _split_id_at(spec, "--slow-core")
+    rest, duration = _split_duration(rest, "--slow-core", spec)
+    at_text, sep, factor_text = rest.partition("*")
+    if not sep:
+        raise FaultError(
+            f"--slow-core spec {spec!r} needs '*FACTOR' (CORE@AT*FACTOR)"
+        )
+    at = _as_float(at_text, "--slow-core", spec, "time")
+    factor = _as_float(factor_text, "--slow-core", spec, "factor")
+    return CoreSlowdown(core=core, at=at, factor=factor, duration=duration)
+
+
+def parse_node_degradation(spec: str) -> NodeDegradation:
+    """``NODE@AT*FACTOR[:DURATION]`` → :class:`NodeDegradation`."""
+    node, rest = _split_id_at(spec, "--degrade-node")
+    rest, duration = _split_duration(rest, "--degrade-node", spec)
+    at_text, sep, factor_text = rest.partition("*")
+    if not sep:
+        raise FaultError(
+            f"--degrade-node spec {spec!r} needs '*FACTOR' (NODE@AT*FACTOR)"
+        )
+    at = _as_float(at_text, "--degrade-node", spec, "time")
+    factor = _as_float(factor_text, "--degrade-node", spec, "factor")
+    return NodeDegradation(node=node, at=at, factor=factor, duration=duration)

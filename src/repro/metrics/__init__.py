@@ -11,9 +11,11 @@ from .analysis import (
 )
 from .figure import render_figure
 from .report import SpeedupCell, SpeedupTable, geometric_mean
+from .resilience import ResilienceReport, resilience_report
 from .trace import gantt_ascii, to_rows, write_csv, write_json
 
 __all__ = [
+    "ResilienceReport",
     "ScheduleEfficiency",
     "SpeedupCell",
     "SpeedupTable",
@@ -23,6 +25,7 @@ __all__ = [
     "node_pressure",
     "phase_profile",
     "render_figure",
+    "resilience_report",
     "schedule_report",
     "schedule_efficiency",
     "to_rows",

@@ -1,0 +1,116 @@
+"""Resilience report: what fault injection cost a run (DESIGN.md §7).
+
+Quantifies recovery overhead from one faulted
+:class:`~repro.runtime.result.SimulationResult`, optionally against a
+fault-free run of the same (program, policy, machine, seed):
+
+* **re-executions** — crashed attempts that had to be retried;
+* **wasted work** — core-time burned by attempts that never completed;
+* **degradation factor** — faulted / fault-free makespan (≥ 1 when faults
+  actually hurt; the fleet-level SLO number for resilience experiments).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from ..runtime.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Recovery-cost summary of one (possibly faulted) run."""
+
+    program_name: str
+    scheduler_name: str
+    completed_tasks: int
+    reexecutions: int
+    crash_causes: dict[str, int]
+    wasted_work: float
+    busy_work: float
+    cores_failed: int
+    faults_injected: int
+    makespan: float
+    fault_free_makespan: float | None = None
+
+    @property
+    def degradation_factor(self) -> float | None:
+        """Faulted / fault-free makespan; None without a baseline."""
+        if self.fault_free_makespan is None or self.fault_free_makespan <= 0:
+            return None
+        return self.makespan / self.fault_free_makespan
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Share of all core-busy time burned by crashed attempts."""
+        return self.wasted_work / self.busy_work if self.busy_work > 0 else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"resilience report — {self.program_name} / {self.scheduler_name}",
+            f"  tasks completed    {self.completed_tasks}",
+            f"  faults injected    {self.faults_injected}",
+            f"  cores failed       {self.cores_failed}",
+            f"  re-executions      {self.reexecutions}"
+            + (
+                " ("
+                + ", ".join(
+                    f"{cause}: {n}" for cause, n in sorted(self.crash_causes.items())
+                )
+                + ")"
+                if self.crash_causes
+                else ""
+            ),
+            f"  wasted work        {self.wasted_work:.4g} "
+            f"({self.wasted_fraction:.1%} of busy time)",
+            f"  makespan           {self.makespan:.4g}",
+        ]
+        if self.fault_free_makespan is not None:
+            lines.append(
+                f"  fault-free         {self.fault_free_makespan:.4g}"
+            )
+            lines.append(
+                f"  degradation        {self.degradation_factor:.3f}x"
+            )
+        return "\n".join(lines)
+
+
+def resilience_report(
+    result: SimulationResult,
+    fault_free: SimulationResult | None = None,
+) -> ResilienceReport:
+    """Build a :class:`ResilienceReport`; ``fault_free`` enables the
+    degradation factor and must describe the same program and policy."""
+    if fault_free is not None:
+        if (
+            fault_free.program_name != result.program_name
+            or fault_free.scheduler_name != result.scheduler_name
+        ):
+            raise ExperimentError(
+                "fault-free baseline must come from the same program and "
+                f"policy (got {fault_free.program_name!r}/"
+                f"{fault_free.scheduler_name!r} vs {result.program_name!r}/"
+                f"{result.scheduler_name!r})"
+            )
+        if fault_free.reexecutions or fault_free.cores_failed:
+            raise ExperimentError(
+                "the supplied fault-free baseline itself saw faults"
+            )
+    causes = Counter(rec.outcome for rec in result.crashed_records)
+    return ResilienceReport(
+        program_name=result.program_name,
+        scheduler_name=result.scheduler_name,
+        completed_tasks=len(result.records),
+        reexecutions=result.reexecutions,
+        crash_causes=dict(causes),
+        wasted_work=result.wasted_work,
+        busy_work=float(result.busy_time_per_socket.sum()),
+        cores_failed=result.cores_failed,
+        faults_injected=result.faults_injected,
+        makespan=result.makespan,
+        fault_free_makespan=(
+            fault_free.makespan if fault_free is not None else None
+        ),
+    )

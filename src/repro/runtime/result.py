@@ -9,7 +9,14 @@ import numpy as np
 
 @dataclass(frozen=True)
 class TaskRecord:
-    """Execution record of one task."""
+    """Execution record of one task attempt.
+
+    ``attempt`` counts earlier failed attempts of the same task (0 = first
+    try); ``outcome`` is ``"ok"`` for the completing attempt and a short
+    reason (``"crash"``, ``"core-failure"``) for attempts killed by an
+    injected fault — those land in
+    :attr:`SimulationResult.crashed_records`, never in ``records``.
+    """
 
     tid: int
     name: str
@@ -19,6 +26,8 @@ class TaskRecord:
     finish: float
     local_bytes: float = 0.0
     remote_bytes: float = 0.0
+    attempt: int = 0
+    outcome: str = "ok"
 
     @property
     def duration(self) -> float:
@@ -51,6 +60,12 @@ class SimulationResult:
     touch_count: int = 0
     bytes_on_node: np.ndarray = field(default_factory=lambda: np.zeros(0))
     seed: int = 0
+    # Resilience accounting (all zero/empty on fault-free runs).
+    crashed_records: list[TaskRecord] = field(default_factory=list)
+    reexecutions: int = 0
+    wasted_work: float = 0.0
+    cores_failed: int = 0
+    faults_injected: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -101,8 +116,14 @@ class SimulationResult:
         return float(busy.max() / mean) if mean > 0 else 1.0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.program_name} / {self.scheduler_name} @ {self.machine_name}: "
             f"makespan={self.makespan:.4g} remote={self.remote_fraction:.1%} "
             f"imbalance={self.load_imbalance():.2f} steals={self.steals}"
         )
+        if self.reexecutions or self.cores_failed:
+            text += (
+                f" reexec={self.reexecutions} wasted={self.wasted_work:.4g}"
+                f" cores_failed={self.cores_failed}"
+            )
+        return text

@@ -18,18 +18,30 @@ Scheduling protocol: when a task becomes ready the attached scheduler's
 a socket queue (work-pushing), a core queue (DFIFO), or *park* (RGP's
 temporary queue while the window partition is pending).  Idle cores pull
 from their queues; optional distance-aware work stealing rebalances.
+
+Resilient execution (DESIGN.md §7): an optional
+:class:`~repro.faults.plan.FaultPlan` injects core failures, stragglers,
+task crashes and bandwidth degradation through the same timer mechanism
+schedulers use.  Crashed attempts are re-executed (dependence-safe: a
+crashed task never released its successors) up to ``max_retries`` times
+with exponential backoff; failed cores are quarantined and their queued
+work re-offered; placements aimed at dead cores/sockets are transparently
+remapped to the nearest surviving socket.  With no plan (or an empty one)
+every fault path is skipped and results are identical to the fault-free
+simulator.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import FaultError, SimulationError
 from ..machine.interconnect import Interconnect, StreamKey
 from ..machine.memory import DEFAULT_PAGE_SIZE, MemoryManager
 from ..machine.topology import NumaTopology
@@ -87,6 +99,10 @@ class Simulator:
         seed: int = 0,
         duration_jitter: float = 0.03,
         max_iterations: int | None = None,
+        faults=None,
+        max_retries: int = 3,
+        retry_backoff: float = 0.0,
+        wall_clock_limit: float | None = None,
     ) -> None:
         program.validate()
         self.program = program
@@ -184,8 +200,44 @@ class Simulator:
         self.steals = 0
         self.parked_total = 0
 
+        # Fault injection and recovery (all dormant when faults is None).
+        if faults is not None and faults.is_empty():
+            faults = None  # zero-overhead guarantee: empty plan == no plan
+        if faults is not None:
+            faults.validate_against(topology)
+        self.faults = faults
+        if max_retries < 0:
+            raise SimulationError("max_retries must be >= 0")
+        self.max_retries = int(max_retries)
+        if retry_backoff < 0:
+            raise SimulationError("retry_backoff must be >= 0")
+        self.retry_backoff = float(retry_backoff)
+        if wall_clock_limit is not None and wall_clock_limit <= 0:
+            raise SimulationError("wall_clock_limit must be positive or None")
+        self.wall_clock_limit = wall_clock_limit
+        #: Cores currently failed; never idle, never dispatched to.
+        self.quarantined: set[int] = set()
+        self._core_speed: np.ndarray | None = None  # lazily != 1.0
+        self._node_bw_factor: np.ndarray | None = None  # lazily != 1.0
+        self.attempts = np.zeros(n, dtype=np.int64)  # failed attempts per task
+        self.reexecutions = 0
+        self.wasted_work = 0.0
+        self.crashed_records: list[TaskRecord] = []
+        self.cores_failed = 0
+        self._injector = None
+
         self.scheduler = scheduler
         scheduler.attach(self, np.random.default_rng([self.seed, 0xA5]))
+        if faults is not None:
+            from ..faults.injector import FaultInjector
+
+            configure = getattr(scheduler, "configure_faults", None)
+            if configure is not None:
+                configure(faults)
+            self._injector = FaultInjector(
+                faults, self, np.random.default_rng([self.seed, 0xFA17])
+            )
+            self._injector.arm()
 
     # ------------------------------------------------------------------
     # Public API used by schedulers
@@ -211,6 +263,176 @@ class Simulator:
         return self.topology.n_sockets
 
     # ------------------------------------------------------------------
+    # Fault hooks (driven by repro.faults.injector, usable directly too)
+    # ------------------------------------------------------------------
+    def alive_cores_of_socket(self, socket: int) -> list[int]:
+        """Cores of ``socket`` not currently quarantined."""
+        return [
+            c for c in self.topology.cores_of_socket(socket)
+            if c not in self.quarantined
+        ]
+
+    def socket_alive(self, socket: int) -> bool:
+        """True while at least one core of ``socket`` survives."""
+        return bool(self.alive_cores_of_socket(socket))
+
+    def nearest_alive_socket(self, socket: int) -> int:
+        """Closest socket (by SLIT distance, self first) with a live core."""
+        for cand in self.topology.sockets_by_distance(socket):
+            if self.socket_alive(cand):
+                return cand
+        raise FaultError(
+            f"no surviving cores on any socket at t={self.now:.4g} "
+            f"({self.n_done}/{self.program.n_tasks} tasks done)"
+        )
+
+    def fail_core(self, core: int, *, duration: float | None = None) -> None:
+        """Quarantine ``core``; crash its running task, re-offer its queue.
+
+        ``duration=None`` is a permanent failure; otherwise the core
+        returns via :meth:`restore_core` after ``duration`` time units.
+        """
+        if not 0 <= core < self.topology.n_cores:
+            raise FaultError(f"core {core} out of range")
+        if core in self.quarantined:
+            return
+        socket = self.topology.socket_of_core(core)
+        self.quarantined.add(core)
+        self.cores_failed += 1
+        if core in self.idle_cores[socket]:
+            self.idle_cores[socket].remove(core)
+        # Let the scheduler remap its own state (e.g. RGP window
+        # assignments) before any orphaned work is re-offered through it.
+        notify = getattr(self.scheduler, "on_core_failed", None)
+        if notify is not None:
+            notify(core)
+        victim = next(
+            (rt for rt in self.running.values() if rt.core == core), None
+        )
+        if victim is not None:
+            self._crash_running(victim, "core-failure")
+        orphans = list(self.core_queues[core])
+        self.core_queues[core].clear()
+        if not self.socket_alive(socket):
+            orphans.extend(self.socket_queues[socket])
+            self.socket_queues[socket].clear()
+        for task in orphans:
+            self._offer(task)
+        if duration is not None:
+            self.schedule_timer(duration, lambda: self.restore_core(core))
+
+    def restore_core(self, core: int) -> None:
+        """Bring a transiently failed core back into service."""
+        if core not in self.quarantined:
+            return
+        self.quarantined.discard(core)
+        self.idle_cores[self.topology.socket_of_core(core)].append(core)
+        notify = getattr(self.scheduler, "on_core_restored", None)
+        if notify is not None:
+            notify(core)
+
+    def set_core_speed(self, core: int, speed: float) -> None:
+        """Set a core's compute rate (1.0 = nominal, 0.25 = 4× straggler)."""
+        if speed <= 0:
+            raise FaultError(f"core speed must be positive, got {speed}")
+        if not 0 <= core < self.topology.n_cores:
+            raise FaultError(f"core {core} out of range")
+        if self._core_speed is None:
+            if speed == 1.0:
+                return
+            self._core_speed = np.ones(self.topology.n_cores)
+        self._core_speed[core] = speed
+
+    def set_node_bandwidth_factor(self, node: int, factor: float) -> None:
+        """Scale a memory node's served bandwidth (1.0 = nominal)."""
+        if not 0 < factor <= 1.0:
+            raise FaultError(f"bandwidth factor must be in (0, 1], got {factor}")
+        if not 0 <= node < self.topology.n_nodes:
+            raise FaultError(f"node {node} out of range")
+        if self._node_bw_factor is None:
+            if factor == 1.0:
+                return
+            self._node_bw_factor = np.ones(self.topology.n_nodes)
+        self._node_bw_factor[node] = factor
+
+    def crash_if_running(self, token: tuple[int, float]) -> None:
+        """Crash attempt ``token = (tid, start_time)`` if still in flight.
+
+        Used by timer-scheduled task crashes: if the attempt already
+        finished (or was crashed by a core failure) the token no longer
+        matches and the crash fizzles.
+        """
+        tid, start = token
+        rt = self.running.get(tid)
+        if rt is None or rt.start != start or rt.is_done():
+            return
+        self._crash_running(rt, "crash")
+
+    def _crash_running(self, rt: _Running, reason: str) -> None:
+        """Kill a running attempt and queue its re-execution.
+
+        Dependence-safe by construction: the attempt never finished, so no
+        successor was released and no epoch advanced.  The task's already
+        -bound pages stay bound (a real first-touch heap survives a worker
+        crash), so the retry re-reads them from wherever they live.
+        """
+        task = rt.task
+        del self.running[task.tid]
+        if rt.core not in self.quarantined:
+            self.idle_cores[rt.socket].append(rt.core)
+        wasted = self.now - rt.start
+        self.wasted_work += wasted
+        self.busy_time[rt.socket] += wasted
+        local_bytes, remote_bytes = self._start_traffic.pop(
+            task.tid, (0.0, 0.0)
+        )
+        self.crashed_records.append(
+            TaskRecord(
+                tid=task.tid,
+                name=task.name,
+                socket=rt.socket,
+                core=rt.core,
+                start=rt.start,
+                finish=self.now,
+                local_bytes=local_bytes,
+                remote_bytes=remote_bytes,
+                attempt=int(self.attempts[task.tid]),
+                outcome=reason,
+            )
+        )
+        self.attempts[task.tid] += 1
+        self.reexecutions += 1
+        n_failed = int(self.attempts[task.tid])
+        if n_failed > self.max_retries:
+            raise FaultError(
+                f"task {task.tid} ({task.name}) crashed {n_failed} times "
+                f"(last cause: {reason}) — retry limit {self.max_retries} "
+                f"exhausted at t={self.now:.4g}"
+            )
+        delay = (
+            self.retry_backoff * (2.0 ** (n_failed - 1))
+            if self.retry_backoff > 0
+            else 0.0
+        )
+        if delay > 0:
+            self.schedule_timer(delay, lambda: self._offer(task))
+        else:
+            self._offer(task)
+
+    def _remap_placement(self, task: Task, decision: Placement) -> Placement:
+        """Redirect placements aimed at quarantined cores / dead sockets."""
+        if decision.core is not None and decision.core in self.quarantined:
+            socket = self.topology.socket_of_core(decision.core)
+            if self.socket_alive(socket):
+                return Placement(socket=socket)
+            return Placement(socket=self.nearest_alive_socket(socket))
+        if decision.socket is not None and not self.socket_alive(
+            decision.socket
+        ):
+            return Placement(socket=self.nearest_alive_socket(decision.socket))
+        return decision
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -224,12 +446,23 @@ class Simulator:
 
         iterations = 0
         n = self.program.n_tasks
+        deadline = (
+            time.monotonic() + self.wall_clock_limit
+            if self.wall_clock_limit is not None
+            else None
+        )
         while self.n_done < n:
             iterations += 1
             if iterations > self.max_iterations:
                 raise SimulationError(
                     f"no convergence after {iterations} iterations "
-                    f"({self.n_done}/{n} tasks done) — simulator bug?"
+                    f"({self.n_done}/{n} tasks done) — simulator bug? "
+                    + self._stall_detail()
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise SimulationError(
+                    f"wall-clock limit of {self.wall_clock_limit:g}s exceeded "
+                    f"at t={self.now:.4g} ({self.n_done}/{n} tasks done)"
                 )
             next_completion, finish_by_task = self._predict_completions()
             next_timer = self._timers[0].time if self._timers else np.inf
@@ -267,6 +500,13 @@ class Simulator:
             touch_count=self.memory.touch_count,
             bytes_on_node=self.memory.bytes_on_node.copy(),
             seed=self.seed,
+            crashed_records=self.crashed_records,
+            reexecutions=self.reexecutions,
+            wasted_work=self.wasted_work,
+            cores_failed=self.cores_failed,
+            faults_injected=(
+                self._injector.total_injected if self._injector else 0
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -285,6 +525,8 @@ class Simulator:
                 f"scheduler {self.scheduler.name!r} returned {decision!r}, "
                 "expected a Placement"
             )
+        if self.quarantined and not decision.park:
+            decision = self._remap_placement(task, decision)
         if decision.park:
             self.parked.append(task)
             self.parked_total += 1
@@ -393,7 +635,7 @@ class Simulator:
             compute *= factor
             streams = {n: b * factor for n, b in streams.items()}
 
-        self.running[task.tid] = _Running(
+        rt = _Running(
             task=task,
             core=core,
             socket=socket,
@@ -401,6 +643,9 @@ class Simulator:
             compute_remaining=compute,
             streams=streams,
         )
+        self.running[task.tid] = rt
+        if self._injector is not None:
+            self._injector.on_task_start(rt)
 
     def _finish(self, rt: _Running) -> None:
         task = rt.task
@@ -420,6 +665,7 @@ class Simulator:
                 finish=self.now,
                 local_bytes=local_bytes,
                 remote_bytes=remote_bytes,
+                attempt=int(self.attempts[task.tid]),
             )
         )
         self.scheduler.on_task_finished(task)
@@ -452,16 +698,38 @@ class Simulator:
                 refs.append((rt, n))
         return keys, refs
 
+    def _stream_rates(self, keys: list[StreamKey]) -> np.ndarray:
+        """Interconnect rates, degraded per-node when a fault plan says so."""
+        rates = self.interconnect.stream_rates(keys)
+        if self._node_bw_factor is not None and len(keys):
+            nodes = np.fromiter(
+                (k.node for k in keys), dtype=np.int64, count=len(keys)
+            )
+            rates = rates * self._node_bw_factor[nodes]
+        return rates
+
+    def _compute_speed(self, core: int) -> float:
+        """Compute rate of ``core`` (1.0 unless a straggler fault is live)."""
+        if self._core_speed is None:
+            return 1.0
+        return float(self._core_speed[core])
+
     def _predict_completions(self) -> tuple[float, dict[int, float]]:
         """Earliest absolute finish time over running tasks (exact while the
         active set is unchanged)."""
         if not self.running:
             return np.inf, {}
         keys, refs = self._collect_streams()
-        rates = self.interconnect.stream_rates(keys)
-        drain_time: dict[int, float] = {
-            tid: rt.compute_remaining for tid, rt in self.running.items()
-        }
+        rates = self._stream_rates(keys)
+        if self._core_speed is None:
+            drain_time: dict[int, float] = {
+                tid: rt.compute_remaining for tid, rt in self.running.items()
+            }
+        else:
+            drain_time = {
+                tid: rt.compute_remaining / self._compute_speed(rt.core)
+                for tid, rt in self.running.items()
+            }
         for (rt, node), rate in zip(refs, rates):
             if rate <= 0:
                 raise SimulationError("stream with zero rate — bad bandwidth config")
@@ -473,25 +741,68 @@ class Simulator:
 
     def _drain(self, dt: float) -> None:
         keys, refs = self._collect_streams()
-        rates = self.interconnect.stream_rates(keys)
+        rates = self._stream_rates(keys)
         for (rt, node), rate in zip(refs, rates):
             left = rt.streams[node] - rate * dt
             rt.streams[node] = left if left > _EPS_BYTES else 0.0
-        for rt in self.running.values():
-            left = rt.compute_remaining - dt
-            rt.compute_remaining = left if left > _EPS else 0.0
+        if self._core_speed is None:
+            for rt in self.running.values():
+                left = rt.compute_remaining - dt
+                rt.compute_remaining = left if left > _EPS else 0.0
+        else:
+            for rt in self.running.values():
+                left = rt.compute_remaining - self._compute_speed(rt.core) * dt
+                rt.compute_remaining = left if left > _EPS else 0.0
 
     # ------------------------------------------------------------------
-    def _raise_deadlock(self) -> None:
+    def _stuck_tasks(self, limit: int = 8) -> str:
+        """Name the tasks that are neither done nor running (diagnostics)."""
+        stuck = [
+            t for t in self.program.tasks
+            if not self.done[t.tid] and t.tid not in self.running
+        ]
+        names = ", ".join(f"#{t.tid}({t.name})" for t in stuck[:limit])
+        if len(stuck) > limit:
+            names += f", … {len(stuck) - limit} more"
+        return names or "(none)"
+
+    def _stall_detail(self) -> str:
+        """Classify a stall: crashed machine vs busy survivors vs genuine
+        dependence/scheduler cycle (DESIGN.md §7)."""
         queued = sum(len(q) for q in self.socket_queues) + sum(
             len(q) for q in self.core_queues
         )
+        alive = self.topology.n_cores - len(self.quarantined)
+        state = (
+            f"{self.n_done}/{self.program.n_tasks} done, "
+            f"{len(self.running)} running, {queued} queued, "
+            f"{len(self.parked)} parked, active_epoch={self.active_epoch}"
+        )
+        if alive == 0:
+            kind = "every core is quarantined — the fault plan killed the machine"
+        elif self.running:
+            kind = (
+                f"not a dependence cycle: all {alive} surviving cores are "
+                "busy and work is still flowing"
+            )
+        else:
+            kind = (
+                "genuine stall: no task is running and no timer is pending. "
+                "Parked tasks with no pending timer usually mean a scheduler "
+                "never re-offered its temporary queue"
+            )
+        return f"{state}. {kind}. Stuck tasks: {self._stuck_tasks()}"
+
+    def _raise_deadlock(self) -> None:
+        if self.quarantined and not any(
+            self.socket_alive(s) for s in self.topology.sockets()
+        ):
+            raise FaultError(
+                f"no surviving cores at t={self.now:.4g}: "
+                + self._stall_detail()
+            )
         raise SimulationError(
-            f"deadlock at t={self.now:.4g}: {self.n_done}/{self.program.n_tasks} "
-            f"done, {len(self.running)} running, {queued} queued, "
-            f"{len(self.parked)} parked, active_epoch={self.active_epoch}. "
-            "Parked tasks with no pending timer usually mean a scheduler "
-            "never re-offered its temporary queue."
+            f"deadlock at t={self.now:.4g}: " + self._stall_detail()
         )
 
 

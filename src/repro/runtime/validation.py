@@ -6,7 +6,13 @@ schedule* itself, straight from the records:
 * no core runs two tasks at once;
 * every task starts at/after all its TDG predecessors finished;
 * barrier epochs do not overlap;
-* every task ran exactly once, on a core of its recorded socket.
+* every task *completed* exactly once, on a core of its recorded socket.
+
+Fault-injected runs re-execute crashed attempts
+(:attr:`~repro.runtime.result.SimulationResult.crashed_records`); those
+attempts must also obey core exclusivity and dependences, must never
+overlap a later attempt of the same task, and must carry a non-``"ok"``
+outcome — while ``records`` still covers every task exactly once.
 
 Used by the integration tests after every scheduler change, and exported
 for users debugging their own policies.
@@ -36,6 +42,7 @@ def validate_schedule(
     _check_core_exclusivity(result)
     _check_dependences(program, result)
     _check_barriers(program, result)
+    _check_reexecutions(program, result)
 
 
 def _check_coverage(program: TaskProgram, result: SimulationResult) -> None:
@@ -59,7 +66,7 @@ def _check_coverage(program: TaskProgram, result: SimulationResult) -> None:
 def _check_socket_core_consistency(
     result: SimulationResult, topology: NumaTopology
 ) -> None:
-    for rec in result.records:
+    for rec in [*result.records, *result.crashed_records]:
         if topology.socket_of_core(rec.core) != rec.socket:
             raise SimulationError(
                 f"task {rec.tid} recorded on core {rec.core} which belongs "
@@ -69,8 +76,9 @@ def _check_socket_core_consistency(
 
 
 def _check_core_exclusivity(result: SimulationResult) -> None:
+    # Crashed attempts occupied their core for [start, finish) too.
     by_core = defaultdict(list)
-    for rec in result.records:
+    for rec in [*result.records, *result.crashed_records]:
         by_core[rec.core].append(rec)
     for core, recs in by_core.items():
         recs.sort(key=lambda r: r.start)
@@ -115,4 +123,56 @@ def _check_barriers(program: TaskProgram, result: SimulationResult) -> None:
                 f"barrier violated: epoch {cur} starts at "
                 f"{earliest_start_by_epoch[cur]:.6g} before epoch {prev} "
                 f"finishes at {latest_finish_by_epoch[prev]:.6g}"
+            )
+
+
+def _check_reexecutions(program: TaskProgram, result: SimulationResult) -> None:
+    """Crashed attempts must be real, ordered, dependence-safe attempts."""
+    completed = {r.tid: r for r in result.records}
+    pred_finish = {
+        tid: [completed[src].finish for src in program.tdg.predecessors(tid)]
+        for tid in completed
+    }
+    attempts_of = defaultdict(list)
+    for rec in result.crashed_records:
+        if rec.outcome == "ok":
+            raise SimulationError(
+                f"crashed record for task {rec.tid} claims outcome 'ok'"
+            )
+        if rec.tid not in completed:
+            raise SimulationError(
+                f"crashed record for unknown/incomplete task {rec.tid}"
+            )
+        if rec.finish < rec.start - _TOL:
+            raise SimulationError(
+                f"crashed attempt of task {rec.tid} finishes ({rec.finish}) "
+                f"before it starts ({rec.start})"
+            )
+        if rec.finish > result.makespan + _TOL:
+            raise SimulationError(
+                f"crashed attempt of task {rec.tid} outlives the makespan"
+            )
+        # A crashed attempt still had to wait for its dependences.
+        for fin in pred_finish[rec.tid]:
+            if rec.start < fin - _TOL:
+                raise SimulationError(
+                    f"crashed attempt of task {rec.tid} started at "
+                    f"{rec.start:.6g} before a predecessor finished at "
+                    f"{fin:.6g}"
+                )
+        attempts_of[rec.tid].append(rec)
+    for tid, crashed in attempts_of.items():
+        crashed.sort(key=lambda r: r.start)
+        chain = [*crashed, completed[tid]]
+        for prev, cur in zip(chain, chain[1:]):
+            if cur.start < prev.finish - _TOL:
+                raise SimulationError(
+                    f"task {tid} re-executed at {cur.start:.6g} before its "
+                    f"previous attempt ended at {prev.finish:.6g}"
+                )
+        final = completed[tid]
+        if final.attempt != len(crashed):
+            raise SimulationError(
+                f"task {tid} completed as attempt {final.attempt} but has "
+                f"{len(crashed)} crashed attempts on record"
             )

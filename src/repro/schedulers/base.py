@@ -41,6 +41,21 @@ class Scheduler(ABC):
     def on_task_finished(self, task: Task) -> None:
         """Notification after each task completes (for adaptive policies)."""
 
+    # Resilience hooks (repro.faults) -------------------------------------
+    def configure_faults(self, plan) -> None:
+        """Inspect the run's :class:`~repro.faults.plan.FaultPlan` before
+        the program starts (RGP arms its partition-timeout here)."""
+
+    def on_core_failed(self, core: int) -> None:
+        """A core was quarantined; remap any per-core/per-socket state.
+
+        Called *before* the simulator re-offers the core's queued work, so
+        remapped state is already in place when ``choose`` runs again.
+        """
+
+    def on_core_restored(self, core: int) -> None:
+        """A transiently failed core came back into service."""
+
     # Convenience accessors -------------------------------------------------
     @property
     def topology(self):

@@ -90,3 +90,55 @@ class TestCommands:
         monkeypatch.setattr(
             "repro.experiments.config.QUICK_APP_PARAMS", tiny
         )
+
+
+class TestFaultsCommand:
+    _shrink = staticmethod(TestCommands._shrink)
+
+    def test_empty_plan_rejected(self, capsys, monkeypatch):
+        self._shrink(monkeypatch)
+        assert main(["faults", "--app", "nstream", "--scheduler", "las",
+                     "--quick"]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_crash_plan_prints_report(self, capsys, monkeypatch):
+        self._shrink(monkeypatch)
+        assert main(["faults", "--app", "nstream", "--scheduler", "rgp+las",
+                     "--machine", "two-socket", "--quick",
+                     "--crash-prob", "0.5", "--max-retries", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience report" in out
+        assert "re-executions" in out
+        assert "degradation" in out
+
+    def test_inline_specs_and_save_plan(self, tmp_path, capsys, monkeypatch):
+        self._shrink(monkeypatch)
+        plan_path = tmp_path / "plan.json"
+        assert main(["faults", "--app", "nstream", "--scheduler", "las",
+                     "--machine", "two-socket", "--quick",
+                     "--fail-core", "0@0.001",
+                     "--slow-core", "1@0*2",
+                     "--degrade-node", "1@0*0.5",
+                     "--save-plan", str(plan_path)]) == 0
+        out = capsys.readouterr().out
+        assert "core 0 fails" in out
+        assert plan_path.exists()
+
+    def test_plan_file_round_trip_through_run(self, tmp_path, capsys,
+                                              monkeypatch):
+        from repro.faults import FaultPlan, TaskCrash
+
+        self._shrink(monkeypatch)
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(task_crashes=(TaskCrash(probability=0.4),)).dump(plan_path)
+        assert main(["run", "--app", "nstream", "--scheduler", "las",
+                     "--quick", "--faults", str(plan_path)]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_bad_spec_reports_clean_error(self, capsys, monkeypatch):
+        self._shrink(monkeypatch)
+        assert main(["faults", "--app", "nstream", "--scheduler", "las",
+                     "--quick", "--fail-core", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "needs an '@'" in err

@@ -1,0 +1,313 @@
+"""Simulator-side fault injection and recovery (repro.faults + Simulator).
+
+Covers the DESIGN.md §7 mechanisms: zero-overhead when faults are off,
+core quarantine with queue draining, transient recovery, placement
+remapping onto surviving sockets, stragglers, bandwidth degradation,
+probabilistic task crashes, retry limits, and backoff.
+"""
+
+import pytest
+
+from repro.errors import FaultError, SimulationError
+from repro.faults import (
+    CoreFault,
+    CoreSlowdown,
+    FaultPlan,
+    NodeDegradation,
+    TaskCrash,
+)
+from repro.machine import two_socket
+from repro.runtime import Simulator, TaskProgram, simulate
+from repro.runtime.validation import validate_schedule
+from repro.schedulers import make_scheduler
+
+from conftest import make_fan_program
+
+
+def chains_program(n_chains=4, length=4, nbytes=65536):
+    p = TaskProgram("chains")
+    for c in range(n_chains):
+        a = p.data(f"a{c}", nbytes)
+        p.task(f"init{c}", outs=[a], work=0.5)
+        for i in range(length):
+            p.task(f"t{c}_{i}", inouts=[a], work=0.5)
+    return p.finalize()
+
+
+def run(prog, topo, policy="las", faults=None, seed=0, **kw):
+    sched = make_scheduler(policy)
+    sim = Simulator(prog, topo, sched, seed=seed, faults=faults, **kw)
+    return sim.run()
+
+
+class TestZeroOverhead:
+    @pytest.mark.parametrize("policy", ["las", "rgp+las", "dfifo"])
+    def test_empty_plan_is_byte_identical(self, topo2, policy):
+        """Acceptance gate: an empty FaultPlan must not perturb anything."""
+        prog = chains_program()
+        base = run(prog, topo2, policy)
+        faulted = run(prog, topo2, policy, faults=FaultPlan())
+        assert base.makespan == faulted.makespan
+        assert len(base.records) == len(faulted.records)
+        for a, b in zip(base.records, faulted.records):
+            assert (a.tid, a.core, a.start, a.finish) == (
+                b.tid,
+                b.core,
+                b.start,
+                b.finish,
+            )
+
+    def test_empty_plan_disables_machinery(self, topo2, chain_program):
+        sim = Simulator(
+            chain_program, topo2, make_scheduler("las"), faults=FaultPlan()
+        )
+        assert sim.faults is None
+        assert sim._injector is None
+
+    def test_fault_free_result_reports_zero(self, topo2, chain_program):
+        res = run(chain_program, topo2)
+        assert res.reexecutions == 0
+        assert res.wasted_work == 0.0
+        assert res.cores_failed == 0
+        assert res.faults_injected == 0
+        assert res.crashed_records == []
+
+
+class TestCoreFailure:
+    def test_permanent_failure_still_completes(self, topo2):
+        prog = chains_program()
+        plan = FaultPlan(core_faults=(CoreFault(core=0, at=0.2),))
+        res = run(prog, topo2, faults=plan, max_retries=10)
+        assert res.n_tasks == prog.n_tasks
+        assert res.cores_failed == 1
+        validate_schedule(prog, res, topo2)
+        # The dead core never runs anything after the failure time.
+        assert all(
+            r.start < 0.2 for r in res.records + res.crashed_records
+            if r.core == 0
+        )
+
+    def test_running_victim_is_reexecuted(self, topo2):
+        prog = chains_program()
+        plan = FaultPlan(core_faults=(CoreFault(core=0, at=0.2),))
+        res = run(prog, topo2, faults=plan, max_retries=10)
+        assert res.reexecutions >= 1
+        assert res.wasted_work > 0
+        victims = [r for r in res.crashed_records if r.outcome == "core-failure"]
+        assert len(victims) == 1
+        # The victim completed later on a surviving core.
+        final = next(r for r in res.records if r.tid == victims[0].tid)
+        assert final.start >= victims[0].finish
+        assert final.attempt == 1
+
+    def test_socket_wipe_remaps_to_survivor(self, topo2):
+        prog = chains_program()
+        plan = FaultPlan(
+            core_faults=(CoreFault(core=0, at=0.2), CoreFault(core=1, at=0.2))
+        )
+        res = run(prog, topo2, faults=plan, max_retries=10)
+        validate_schedule(prog, res, topo2)
+        # Everything after the wipe runs on socket 1 even though LAS keeps
+        # proposing socket 0 for data bound there.
+        assert all(r.socket == 1 for r in res.records if r.start >= 0.2)
+
+    def test_transient_failure_recovers(self, topo2):
+        prog = chains_program(n_chains=4, length=8)
+        plan = FaultPlan(core_faults=(CoreFault(core=0, at=0.2, duration=1.0),))
+        res = run(prog, topo2, faults=plan, max_retries=10)
+        validate_schedule(prog, res, topo2)
+        # The core comes back at t=1.2 and runs tasks again.
+        assert any(r.core == 0 and r.start >= 1.2 for r in res.records)
+
+    def test_degradation_never_speeds_up(self, topo2):
+        prog = chains_program()
+        plan = FaultPlan(core_faults=(CoreFault(core=0, at=0.2),))
+        base = run(prog, topo2)
+        res = run(prog, topo2, faults=plan, max_retries=10)
+        assert res.makespan >= base.makespan
+
+    def test_fail_core_out_of_range(self, topo2, chain_program):
+        sim = Simulator(chain_program, topo2, make_scheduler("las"))
+        with pytest.raises(FaultError, match="out of range"):
+            sim.fail_core(99)
+
+    def test_double_failure_is_idempotent(self, topo2, chain_program):
+        sim = Simulator(chain_program, topo2, make_scheduler("las"))
+        sim.fail_core(0)
+        sim.fail_core(0)
+        assert sim.cores_failed == 1
+
+
+class TestStragglersAndBandwidth:
+    def test_slowdown_stretches_makespan(self, topo2):
+        prog = chains_program()
+        slow = FaultPlan(
+            slowdowns=tuple(
+                CoreSlowdown(core=c, at=0.0, factor=8.0) for c in range(4)
+            )
+        )
+        base = run(prog, topo2)
+        res = run(prog, topo2, faults=slow)
+        validate_schedule(prog, res, topo2)
+        assert res.makespan > base.makespan * 2
+
+    def test_node_degradation_stretches_makespan(self, topo2):
+        prog = make_fan_program(width=8, obj_bytes=1 << 22)
+        plan = FaultPlan(
+            node_degradations=tuple(
+                NodeDegradation(node=n, at=0.0, factor=0.1) for n in range(2)
+            )
+        )
+        base = run(prog, topo2)
+        res = run(prog, topo2, faults=plan)
+        validate_schedule(prog, res, topo2)
+        assert res.makespan > base.makespan
+
+    def test_set_core_speed_validation(self, topo2, chain_program):
+        sim = Simulator(chain_program, topo2, make_scheduler("las"))
+        with pytest.raises(FaultError):
+            sim.set_core_speed(0, 0.0)
+        with pytest.raises(FaultError):
+            sim.set_core_speed(99, 0.5)
+
+    def test_set_node_bandwidth_validation(self, topo2, chain_program):
+        sim = Simulator(chain_program, topo2, make_scheduler("las"))
+        with pytest.raises(FaultError):
+            sim.set_node_bandwidth_factor(0, 1.5)
+        with pytest.raises(FaultError):
+            sim.set_node_bandwidth_factor(99, 0.5)
+
+
+class TestTaskCrashes:
+    def test_crash_cap_limits_injections(self, topo2):
+        prog = chains_program()
+        plan = FaultPlan(
+            task_crashes=(TaskCrash(probability=1.0, max_crashes=2),)
+        )
+        res = run(prog, topo2, faults=plan, max_retries=10)
+        assert res.reexecutions == 2
+        assert res.faults_injected == 2
+        validate_schedule(prog, res, topo2)
+
+    def test_match_restricts_crashes(self, topo2):
+        prog = chains_program()
+        plan = FaultPlan(
+            task_crashes=(
+                TaskCrash(probability=1.0, match="init", max_crashes=3),
+            )
+        )
+        res = run(prog, topo2, faults=plan, max_retries=10)
+        assert res.reexecutions > 0
+        assert all("init" in r.name for r in res.crashed_records)
+
+    def test_retry_limit_exhaustion_raises(self, topo2):
+        prog = chains_program()
+        plan = FaultPlan(task_crashes=(TaskCrash(probability=1.0),))
+        with pytest.raises(FaultError, match="retry limit"):
+            run(prog, topo2, faults=plan, max_retries=2)
+
+    def test_backoff_delays_reexecution(self, topo2):
+        prog = chains_program(n_chains=1, length=1)
+        plan = FaultPlan(
+            task_crashes=(TaskCrash(probability=1.0, max_crashes=1),)
+        )
+        eager = run(prog, topo2, faults=plan, max_retries=5)
+        patient = run(
+            prog, topo2, faults=plan, max_retries=5, retry_backoff=3.0
+        )
+        assert patient.makespan >= eager.makespan + 3.0
+
+    def test_crashes_are_seed_deterministic(self, topo2):
+        prog = chains_program()
+        plan = FaultPlan(task_crashes=(TaskCrash(probability=0.3),))
+        a = run(prog, topo2, faults=plan, max_retries=20, seed=7)
+        b = run(prog, topo2, faults=plan, max_retries=20, seed=7)
+        assert a.makespan == b.makespan
+        assert [r.tid for r in a.crashed_records] == [
+            r.tid for r in b.crashed_records
+        ]
+
+    def test_crash_timer_fizzles_after_finish(self, topo2, chain_program):
+        """A crash aimed at an attempt that already finished must not hit
+        the re-executed (or any later) attempt."""
+        sim = Simulator(chain_program, topo2, make_scheduler("las"))
+        sim.crash_if_running((0, 0.0))  # nothing running: no-op
+        res = sim.run()
+        assert res.reexecutions == 0
+
+
+class TestGuardRails:
+    def test_negative_max_retries_rejected(self, topo2, chain_program):
+        with pytest.raises(SimulationError, match="max_retries"):
+            Simulator(chain_program, topo2, make_scheduler("las"), max_retries=-1)
+
+    def test_negative_backoff_rejected(self, topo2, chain_program):
+        with pytest.raises(SimulationError, match="retry_backoff"):
+            Simulator(
+                chain_program, topo2, make_scheduler("las"), retry_backoff=-1.0
+            )
+
+    def test_bad_wall_clock_limit_rejected(self, topo2, chain_program):
+        with pytest.raises(SimulationError, match="wall_clock_limit"):
+            Simulator(
+                chain_program, topo2, make_scheduler("las"), wall_clock_limit=0.0
+            )
+
+    def test_wall_clock_limit_enforced(self, topo2):
+        prog = chains_program(n_chains=8, length=8)
+        sim = Simulator(
+            prog, topo2, make_scheduler("las"), wall_clock_limit=1e-9
+        )
+        with pytest.raises(SimulationError, match="wall-clock limit"):
+            sim.run()
+
+    def test_plan_validated_against_topology(self, topo2, chain_program):
+        plan = FaultPlan(core_faults=(CoreFault(core=64, at=0.0),))
+        with pytest.raises(FaultError, match="out of range"):
+            Simulator(chain_program, topo2, make_scheduler("las"), faults=plan)
+
+    def test_total_core_loss_raises_fault_error(self, topo2):
+        """Killing every core mid-run (legal per-plan: staggered transients
+        that overlap in practice) surfaces as FaultError, not a silent hang."""
+        prog = chains_program(n_chains=8, length=8)
+        plan = FaultPlan(
+            core_faults=tuple(
+                CoreFault(core=c, at=0.5, duration=1000.0) for c in range(4)
+            )
+        )
+        with pytest.raises(FaultError, match="no surviving cores"):
+            run(prog, topo2, faults=plan, max_retries=100)
+
+
+class TestValidationOfFaultedRuns:
+    def test_faulted_run_passes_extended_validation(self, topo2):
+        prog = chains_program()
+        plan = FaultPlan(
+            core_faults=(CoreFault(core=1, at=0.3),),
+            task_crashes=(TaskCrash(probability=0.2),),
+        )
+        res = run(prog, topo2, faults=plan, max_retries=20)
+        validate_schedule(prog, res, topo2)
+
+    def test_forged_crash_record_detected(self, topo2):
+        from dataclasses import replace
+
+        prog = chains_program()
+        plan = FaultPlan(
+            task_crashes=(TaskCrash(probability=1.0, max_crashes=1),)
+        )
+        res = run(prog, topo2, faults=plan, max_retries=5)
+        assert res.crashed_records
+        res.crashed_records[0] = replace(res.crashed_records[0], outcome="ok")
+        with pytest.raises(SimulationError, match="outcome 'ok'"):
+            validate_schedule(prog, res, topo2)
+
+    def test_attempt_count_mismatch_detected(self, topo2):
+        prog = chains_program()
+        plan = FaultPlan(
+            task_crashes=(TaskCrash(probability=1.0, max_crashes=1),)
+        )
+        res = run(prog, topo2, faults=plan, max_retries=5)
+        res.crashed_records.append(res.crashed_records[0])
+        with pytest.raises(SimulationError):
+            validate_schedule(prog, res, topo2)

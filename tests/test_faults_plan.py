@@ -1,0 +1,203 @@
+"""Tests for the declarative fault-plan layer (repro.faults.plan / .spec)."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    CoreFault,
+    CoreSlowdown,
+    FaultPlan,
+    NodeDegradation,
+    TaskCrash,
+    parse_core_fault,
+    parse_core_slowdown,
+    parse_node_degradation,
+)
+from repro.machine import two_socket
+
+
+class TestEventValidation:
+    def test_core_fault_negative_time(self):
+        with pytest.raises(FaultError, match="must be >= 0"):
+            CoreFault(core=0, at=-1.0)
+
+    def test_core_fault_bad_duration(self):
+        with pytest.raises(FaultError, match="duration"):
+            CoreFault(core=0, at=0.0, duration=0.0)
+
+    def test_permanent_fault_is_default(self):
+        assert CoreFault(core=0, at=1.0).duration is None
+
+    def test_slowdown_needs_factor_above_one(self):
+        with pytest.raises(FaultError, match="factor"):
+            CoreSlowdown(core=0, at=0.0, factor=1.0)
+
+    def test_task_crash_probability_range(self):
+        with pytest.raises(FaultError, match="probability"):
+            TaskCrash(probability=1.5)
+
+    def test_task_crash_fraction_range(self):
+        with pytest.raises(FaultError, match="at_fraction"):
+            TaskCrash(probability=0.5, at_fraction=2.0)
+
+    def test_task_crash_negative_cap(self):
+        with pytest.raises(FaultError, match="max_crashes"):
+            TaskCrash(probability=0.5, max_crashes=-1)
+
+    def test_degradation_factor_must_shrink(self):
+        with pytest.raises(FaultError, match="factor"):
+            NodeDegradation(node=0, at=0.0, factor=1.5)
+
+
+class TestPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert plan.n_events == 0
+        assert plan.describe() == "(empty plan)"
+
+    def test_counts_events(self):
+        plan = FaultPlan(
+            core_faults=(CoreFault(core=0, at=1.0),),
+            task_crashes=(TaskCrash(probability=0.1),),
+            partition_timeout=2.0,
+        )
+        assert not plan.is_empty()
+        assert plan.n_events == 3
+
+    def test_lists_coerced_to_tuples(self):
+        plan = FaultPlan(core_faults=[CoreFault(core=0, at=1.0)])
+        assert isinstance(plan.core_faults, tuple)
+
+    def test_wrong_event_type_rejected(self):
+        with pytest.raises(FaultError, match="expects CoreFault"):
+            FaultPlan(core_faults=(TaskCrash(probability=0.1),))
+
+    def test_negative_partition_timeout(self):
+        with pytest.raises(FaultError, match="partition_timeout"):
+            FaultPlan(partition_timeout=-1.0)
+
+    def test_validate_against_range_checks(self):
+        topo = two_socket(cores_per_socket=2)  # cores 0..3, nodes 0..1
+        FaultPlan(core_faults=(CoreFault(core=3, at=0.0),)).validate_against(topo)
+        with pytest.raises(FaultError, match="out of range"):
+            FaultPlan(core_faults=(CoreFault(core=4, at=0.0),)).validate_against(topo)
+        with pytest.raises(FaultError, match="out of range"):
+            FaultPlan(
+                slowdowns=(CoreSlowdown(core=9, at=0.0, factor=2.0),)
+            ).validate_against(topo)
+        with pytest.raises(FaultError, match="out of range"):
+            FaultPlan(
+                node_degradations=(NodeDegradation(node=2, at=0.0, factor=0.5),)
+            ).validate_against(topo)
+
+    def test_killing_every_core_rejected(self):
+        topo = two_socket(cores_per_socket=2)
+        plan = FaultPlan(
+            core_faults=tuple(CoreFault(core=c, at=0.0) for c in range(4))
+        )
+        with pytest.raises(FaultError, match="every core"):
+            plan.validate_against(topo)
+
+    def test_transient_kill_of_every_core_allowed(self):
+        topo = two_socket(cores_per_socket=2)
+        plan = FaultPlan(
+            core_faults=tuple(
+                CoreFault(core=c, at=float(c), duration=0.5) for c in range(4)
+            )
+        )
+        plan.validate_against(topo)  # staggered transient faults recover
+
+    def test_describe_mentions_each_family(self):
+        plan = FaultPlan(
+            core_faults=(CoreFault(core=3, at=1.5),),
+            slowdowns=(CoreSlowdown(core=0, at=0.0, factor=4.0),),
+            task_crashes=(TaskCrash(probability=0.1, match="dgemm"),),
+            node_degradations=(NodeDegradation(node=2, at=1.0, factor=0.25),),
+            partition_timeout=0.5,
+        )
+        text = plan.describe()
+        assert "core 3 fails at t=1.5 permanently" in text
+        assert "slows 4x" in text
+        assert "'dgemm'" in text
+        assert "node 2 bandwidth" in text
+        assert "partition result lost" in text
+
+
+class TestSerialisation:
+    def plan(self):
+        return FaultPlan(
+            core_faults=(CoreFault(core=1, at=0.5, duration=2.0),),
+            slowdowns=(CoreSlowdown(core=0, at=0.0, factor=2.0),),
+            task_crashes=(TaskCrash(probability=0.2, match="t", max_crashes=3),),
+            node_degradations=(NodeDegradation(node=1, at=1.0, factor=0.5),),
+            partition_timeout=4.0,
+        )
+
+    def test_json_round_trip(self):
+        plan = self.plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_empty_round_trip(self):
+        assert FaultPlan.from_dict(FaultPlan().to_dict()) == FaultPlan()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = self.plan()
+        plan.dump(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"core_fault": []})
+
+    def test_unknown_event_field_rejected(self):
+        with pytest.raises(FaultError, match="unknown fields"):
+            FaultPlan.from_dict({"core_faults": [{"core": 0, "when": 1.0}]})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultError, match="invalid fault plan JSON"):
+            FaultPlan.from_json("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(FaultError, match="JSON object"):
+            FaultPlan.from_dict([1, 2, 3])
+
+
+class TestSpecGrammar:
+    def test_core_fault_permanent(self):
+        assert parse_core_fault("3@1.5") == CoreFault(core=3, at=1.5)
+
+    def test_core_fault_transient(self):
+        assert parse_core_fault("3@1.5:2.0") == CoreFault(
+            core=3, at=1.5, duration=2.0
+        )
+
+    def test_slowdown(self):
+        assert parse_core_slowdown("0@0*4") == CoreSlowdown(
+            core=0, at=0.0, factor=4.0
+        )
+
+    def test_slowdown_with_duration(self):
+        assert parse_core_slowdown("1@2*2:5") == CoreSlowdown(
+            core=1, at=2.0, factor=2.0, duration=5.0
+        )
+
+    def test_degradation(self):
+        assert parse_node_degradation("2@1*0.25") == NodeDegradation(
+            node=2, at=1.0, factor=0.25
+        )
+
+    @pytest.mark.parametrize("bad", ["3", "x@1", "3@y", "3@1:z"])
+    def test_bad_core_fault_specs(self, bad):
+        with pytest.raises(FaultError):
+            parse_core_fault(bad)
+
+    @pytest.mark.parametrize("bad", ["0@1", "0@1*x", "z@1*2"])
+    def test_bad_slowdown_specs(self, bad):
+        with pytest.raises(FaultError):
+            parse_core_slowdown(bad)
+
+    def test_bad_degradation_spec(self):
+        with pytest.raises(FaultError, match="FACTOR"):
+            parse_node_degradation("2@1")

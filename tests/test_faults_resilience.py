@@ -1,0 +1,199 @@
+"""Resilience report, hardened run_policy, and sweep checkpointing."""
+
+import pytest
+
+from repro.errors import ExperimentError, SimulationError
+from repro.experiments import (
+    ExperimentConfig,
+    ParameterGrid,
+    build_program,
+    run_policy,
+    run_sweep,
+)
+from repro.experiments.sweep import load_checkpoint
+from repro.faults import CoreFault, FaultPlan, TaskCrash
+from repro.machine import two_socket
+from repro.metrics import ResilienceReport, resilience_report
+from repro.runtime import Simulator
+from repro.schedulers import make_scheduler
+
+TINY = {
+    "nstream": dict(n_blocks=6, block_elems=1024, iterations=2),
+    "jacobi": dict(nt=3, tile=16, sweeps=2),
+}
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        app_params={k: dict(v) for k, v in TINY.items()},
+        seeds=(0,),
+        window_size=16,
+        topology=two_socket(cores_per_socket=2),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+# Fault times sized to the tiny apps above (makespans of ~0.1 time units).
+CRASHY = FaultPlan(
+    core_faults=(CoreFault(core=0, at=0.01),),
+    task_crashes=(TaskCrash(probability=0.3),),
+)
+
+
+class TestResilienceReport:
+    def _results(self):
+        cfg = tiny_config()
+        prog = build_program(cfg, "jacobi")
+        base = Simulator(
+            prog, cfg.topology, make_scheduler("las"), seed=0
+        ).run()
+        faulted = Simulator(
+            prog, cfg.topology, make_scheduler("las"), seed=0,
+            faults=CRASHY, max_retries=20,
+        ).run()
+        return base, faulted
+
+    def test_report_fields(self):
+        base, faulted = self._results()
+        rep = resilience_report(faulted, base)
+        assert isinstance(rep, ResilienceReport)
+        assert rep.reexecutions == faulted.reexecutions > 0
+        assert rep.cores_failed == 1
+        assert rep.wasted_work > 0
+        assert 0 < rep.wasted_fraction < 1
+        assert rep.degradation_factor >= 1.0
+        assert sum(rep.crash_causes.values()) == rep.reexecutions
+
+    def test_report_without_baseline(self):
+        _, faulted = self._results()
+        rep = resilience_report(faulted)
+        assert rep.fault_free_makespan is None
+        assert rep.degradation_factor is None
+        assert "fault-free" not in rep.render()
+
+    def test_render_mentions_key_numbers(self):
+        base, faulted = self._results()
+        text = resilience_report(faulted, base).render()
+        assert "re-executions" in text
+        assert "degradation" in text
+        assert "wasted work" in text
+
+    def test_mismatched_baseline_rejected(self):
+        base, faulted = self._results()
+        cfg = tiny_config()
+        other = Simulator(
+            build_program(cfg, "nstream"), cfg.topology,
+            make_scheduler("las"), seed=0,
+        ).run()
+        with pytest.raises(ExperimentError, match="same program"):
+            resilience_report(faulted, other)
+
+    def test_faulted_baseline_rejected(self):
+        _, faulted = self._results()
+        with pytest.raises(ExperimentError, match="baseline itself"):
+            resilience_report(faulted, faulted)
+
+
+class TestHardenedRunPolicy:
+    def test_validate_flag(self):
+        cfg = tiny_config(seeds=(0, 1))
+        prog = build_program(cfg, "nstream")
+        stats = run_policy(cfg, prog, "las", validate=True)
+        assert len(stats.makespans) == 2
+        assert stats.reexecutions == (0, 0)
+
+    def test_faults_threaded_through(self):
+        cfg = tiny_config()
+        prog = build_program(cfg, "jacobi")
+        stats = run_policy(
+            cfg, prog, "las", validate=True, faults=CRASHY,
+            sim_kwargs={"max_retries": 20},
+        )
+        assert stats.reexecutions_total > 0
+        assert sum(stats.wasted_work) > 0
+
+    def test_timeout_surfaces_as_experiment_error(self):
+        cfg = tiny_config()
+        prog = build_program(cfg, "jacobi")
+        with pytest.raises(ExperimentError, match="failed after 1 attempt"):
+            run_policy(cfg, prog, "las", timeout=1e-9)
+
+    def test_retries_count_attempts(self):
+        cfg = tiny_config()
+        prog = build_program(cfg, "jacobi")
+        with pytest.raises(ExperimentError, match="failed after 3 attempt"):
+            run_policy(cfg, prog, "las", timeout=1e-9, retries=2)
+
+    def test_negative_retries_rejected(self):
+        cfg = tiny_config()
+        prog = build_program(cfg, "nstream")
+        with pytest.raises(ExperimentError, match="retries"):
+            run_policy(cfg, prog, "las", retries=-1)
+
+    def test_validation_failure_propagates(self, monkeypatch):
+        cfg = tiny_config()
+        prog = build_program(cfg, "nstream")
+        import repro.experiments.runner as runner_mod
+
+        def bad_validate(*args, **kwargs):
+            raise SimulationError("forged schedule")
+
+        monkeypatch.setattr(runner_mod, "validate_schedule", bad_validate)
+        with pytest.raises(SimulationError, match="forged"):
+            run_policy(cfg, prog, "las", validate=True)
+
+
+class TestSweepCheckpoint:
+    def grid(self):
+        return ParameterGrid(app=["nstream", "jacobi"], policy=["las"])
+
+    def test_checkpoint_written_and_resumed(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        cfg = tiny_config()
+        rows = run_sweep(cfg, self.grid(), checkpoint=ckpt)
+        assert len(rows) == 2
+        assert len(load_checkpoint(ckpt)) == 2
+
+        # A rerun serves every point from the checkpoint.
+        lines = []
+        rows2 = run_sweep(cfg, self.grid(), progress=lines.append,
+                          checkpoint=ckpt)
+        assert [r.params for r in rows2] == [r.params for r in rows]
+        assert [r.makespan_mean for r in rows2] == [
+            r.makespan_mean for r in rows
+        ]
+        assert all("checkpointed" in line for line in lines)
+
+    def test_partial_checkpoint_resumes_missing_points(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        cfg = tiny_config()
+        run_sweep(cfg, ParameterGrid(app=["nstream"], policy=["las"]),
+                  checkpoint=ckpt)
+        lines = []
+        rows = run_sweep(cfg, self.grid(), progress=lines.append,
+                         checkpoint=ckpt)
+        assert len(rows) == 2
+        assert sum("checkpointed" in line for line in lines) == 1
+        assert len(load_checkpoint(ckpt)) == 2
+
+    def test_corrupt_trailing_line_ignored(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        cfg = tiny_config()
+        run_sweep(cfg, self.grid(), checkpoint=ckpt)
+        with open(ckpt, "a") as fh:
+            fh.write('{"params": {"app": "torn-')  # killed mid-write
+        assert len(load_checkpoint(ckpt)) == 2
+        rows = run_sweep(cfg, self.grid(), checkpoint=ckpt)
+        assert len(rows) == 2
+
+    def test_missing_checkpoint_file_is_empty(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.jsonl") == {}
+
+    def test_no_checkpoint_still_works(self):
+        rows = run_sweep(tiny_config(), self.grid())
+        assert len(rows) == 2
+
+    def test_run_kwargs_forwarded(self, tmp_path):
+        with pytest.raises(ExperimentError, match="failed after"):
+            run_sweep(tiny_config(), self.grid(), timeout=1e-9)

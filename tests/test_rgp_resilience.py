@@ -1,0 +1,174 @@
+"""RGP graceful degradation: partition park/re-offer, timeouts, core loss.
+
+Satellite coverage for the ``partition_delay`` park path
+(``_on_partition_done`` → ``sim.reoffer(parked)``) and the DESIGN.md §7
+fallback when the partition result never arrives.
+"""
+
+import pytest
+
+from repro.core.rgp import RGPLASScheduler
+from repro.errors import PartitionTimeoutError, SchedulerError
+from repro.faults import CoreFault, FaultPlan
+from repro.machine import two_socket
+from repro.runtime import Simulator, TaskProgram, simulate
+from repro.runtime.validation import validate_schedule
+
+
+def chains_program(n_chains=8, length=4, nbytes=65536):
+    p = TaskProgram("chains")
+    for c in range(n_chains):
+        a = p.data(f"a{c}", nbytes)
+        p.task(f"init{c}", outs=[a], work=0.5)
+        for i in range(length):
+            p.task(f"t{c}_{i}", inouts=[a], work=0.5)
+    return p.finalize()
+
+
+class TestPartitionDelayParking:
+    def test_ready_tasks_park_until_partition_done(self, topo8):
+        """Window tasks ready at t=0 wait in the temporary queue; the
+        partition-done timer re-offers every one of them."""
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=2.0, partition_seed=1
+        )
+        sim = Simulator(p, topo8, sched, seed=0)
+        res = sim.run()
+        # All roots were ready before the partition and had to park.
+        assert res.parked_tasks == 8
+        # The re-offer drained the temporary queue completely.
+        assert sim.parked == []
+        assert res.n_tasks == p.n_tasks
+        # Nothing ran before the partition arrived, and window placements
+        # were used once it did.
+        assert min(r.start for r in res.records) >= 2.0
+        assert sched.audit["window"] == p.n_tasks
+
+    def test_task_ready_before_partition_still_runs(self, topo8):
+        """A task that becomes ready while the partition is pending must be
+        handled, not lost: window tasks park and wait, tasks beyond the
+        window propagate and run straight through the delay."""
+        p = TaskProgram("mid")
+        a = p.data("a", 65536)
+        p.task("wroot", outs=[a], work=0.5)
+        p.task("wchild", inouts=[a], work=0.5)
+        p.task("wtail", inouts=[a], work=0.5)
+        b = p.data("b", 65536)
+        p.task("proot", outs=[b], work=0.5)
+        p.task("pchild", inouts=[b], work=0.5)
+        p.task("ptail", inouts=[b], work=0.5)
+        prog = p.finalize()
+        # Window = the first chain only; the second chain is propagated.
+        sched = RGPLASScheduler(
+            window_size=3, partition_delay=30.0, partition_seed=1
+        )
+        res = simulate(prog, topo8, sched, seed=0, duration_jitter=0.0)
+        validate_schedule(prog, res, topo8)
+        by_name = {r.name: r for r in res.records}
+        # pchild became ready at t=0.5 — long before the partition — and
+        # ran immediately via the propagation policy.
+        assert by_name["pchild"].start < 30.0
+        assert by_name["ptail"].finish < 30.0
+        # The window chain waited for the partition, then drained.
+        assert by_name["wroot"].start >= 30.0
+        assert by_name["wchild"].start >= by_name["wroot"].finish
+        assert res.parked_tasks == 1
+        assert sched.audit["window"] == 3
+        assert sched.audit["propagated"] == 3
+
+    def test_partition_done_is_noop_after_timeout(self, topo8):
+        """When the timeout already declared the partition lost, the late
+        partition-done event must not resurrect window placements."""
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=5.0,
+            partition_timeout=0.5, partition_seed=1,
+        )
+        res = simulate(p, topo8, sched, seed=0)
+        assert sched.audit.get("window", 0) == 0
+        assert sched.audit["fallback"] == p.n_tasks
+        assert res.n_tasks == p.n_tasks
+
+
+class TestPartitionTimeout:
+    def test_fallback_completes_and_validates(self, topo8):
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=5.0,
+            partition_timeout=0.5, partition_seed=1,
+        )
+        res = simulate(p, topo8, sched, seed=0)
+        validate_schedule(p, res, topo8)
+        assert sched.audit["partition_timeout"] == 1
+        # Parked roots were re-offered at the timeout, well before the
+        # (lost) partition would have arrived.
+        assert min(r.start for r in res.records) < 5.0
+
+    def test_timeout_after_delay_never_fires(self, topo8):
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=1.0,
+            partition_timeout=10.0, partition_seed=1,
+        )
+        res = simulate(p, topo8, sched, seed=0)
+        assert "partition_timeout" not in sched.audit
+        assert sched.audit["window"] == p.n_tasks
+        assert res.n_tasks == p.n_tasks
+
+    def test_raise_mode(self, topo8):
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=5.0,
+            partition_timeout=0.5, on_timeout="raise", partition_seed=1,
+        )
+        with pytest.raises(PartitionTimeoutError, match="deadline"):
+            simulate(p, topo8, sched, seed=0)
+
+    def test_fault_plan_injects_timeout(self, topo8):
+        """configure_faults adopts the plan's partition_timeout."""
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=5.0, partition_seed=1
+        )
+        plan = FaultPlan(partition_timeout=0.5)
+        res = Simulator(p, topo8, sched, seed=0, faults=plan).run()
+        assert sched.partition_timeout == 0.5
+        assert sched.audit["partition_timeout"] == 1
+        assert res.n_tasks == p.n_tasks
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(SchedulerError):
+            RGPLASScheduler(partition_timeout=-1.0)
+
+    def test_bad_on_timeout_rejected(self):
+        with pytest.raises(SchedulerError):
+            RGPLASScheduler(on_timeout="shrug")
+
+
+class TestCoreLossRemapping:
+    def test_socket_wipe_remaps_window_assignments(self):
+        topo = two_socket(cores_per_socket=2)
+        p = chains_program(n_chains=4, length=6)
+        sched = RGPLASScheduler(window_size=p.n_tasks, partition_seed=1)
+        plan = FaultPlan(
+            core_faults=(CoreFault(core=0, at=0.3), CoreFault(core=1, at=0.3))
+        )
+        sim = Simulator(p, topo, sched, seed=0, faults=plan, max_retries=20)
+        res = sim.run()
+        validate_schedule(p, res, topo)
+        # Some window assignments pointed at socket 0 and were remapped.
+        assert sched.audit["remapped"] > 0
+        assert all(0 not in sim.quarantined or r.socket == 1
+                   for r in res.records if r.start >= 0.3)
+
+    def test_partial_core_loss_does_not_remap(self):
+        topo = two_socket(cores_per_socket=2)
+        p = chains_program(n_chains=4, length=6)
+        sched = RGPLASScheduler(window_size=p.n_tasks, partition_seed=1)
+        plan = FaultPlan(core_faults=(CoreFault(core=0, at=0.3),))
+        res = Simulator(p, topo, sched, seed=0, faults=plan,
+                        max_retries=20).run()
+        validate_schedule(p, res, topo)
+        # Socket 0 still has core 1: assignments stay put.
+        assert "remapped" not in sched.audit

@@ -173,3 +173,61 @@ class TestJitter:
         res = Simulator(prog, topo2, SocketZero(), seed=3,
                         duration_jitter=0.0).run()
         assert res.makespan == pytest.approx(1.0)
+
+
+class TestStallDiagnostics:
+    """max_iterations and deadlock errors must fail fast and say *why*."""
+
+    def test_max_iterations_raises_instead_of_looping(self):
+        from repro.errors import SimulationError
+
+        prog = program_of(8, work=1.0)
+        sim = Simulator(prog, two_socket(cores_per_socket=2), SocketZero(),
+                        max_iterations=1, duration_jitter=0.0)
+        with pytest.raises(SimulationError, match="no convergence"):
+            sim.run()
+
+    def test_max_iterations_message_classifies_stall(self):
+        from repro.errors import SimulationError
+
+        prog = program_of(8, work=1.0)
+        sim = Simulator(prog, two_socket(cores_per_socket=2), SocketZero(),
+                        max_iterations=1, duration_jitter=0.0)
+        with pytest.raises(SimulationError, match="not a dependence cycle"):
+            sim.run()
+
+    def test_deadlock_message_names_stuck_tasks(self, topo2):
+        from repro.errors import SimulationError
+
+        class ParkForever(Scheduler):
+            name = "park-forever"
+
+            def choose(self, task):
+                return Placement(park=True)
+
+        p = TaskProgram("stuck")
+        a = p.data("a", 4096)
+        p.task("alpha", outs=[a], work=1.0)
+        p.task("beta", inouts=[a], work=1.0)
+        prog = p.finalize()
+        sim = Simulator(prog, topo2, ParkForever())
+        with pytest.raises(SimulationError) as err:
+            sim.run()
+        msg = str(err.value)
+        assert "deadlock" in msg
+        assert "genuine stall" in msg
+        assert "alpha" in msg  # the stuck task is named
+        assert "0/2 done" in msg  # state summary present
+
+    def test_stuck_task_list_is_truncated(self, topo2):
+        from repro.errors import SimulationError
+
+        class ParkForever(Scheduler):
+            name = "park-forever"
+
+            def choose(self, task):
+                return Placement(park=True)
+
+        prog = program_of(20, work=1.0)
+        with pytest.raises(SimulationError, match="more"):
+            Simulator(prog, topo2, ParkForever()).run()
