@@ -29,6 +29,34 @@ def test_simulator_throughput(benchmark):
     assert n == prog.n_tasks
 
 
+def test_instrumented_simulator_throughput(benchmark):
+    """Same workload with full tracing on — the cost of observation.
+
+    Comparing against :func:`test_simulator_throughput` bounds the
+    instrumentation overhead.  Set ``REPRO_TRACE_OUT=<path>`` to also
+    export the last round's Chrome trace (the CI benchmark-smoke job
+    uploads it as a Perfetto artifact).
+    """
+    import os
+
+    from repro.observability import Instrumentation, write_chrome_trace
+
+    prog = make_app("gauss-seidel", nt=12, tile=32, sweeps=4).build(8)
+
+    def run():
+        obs = Instrumentation()
+        return simulate(
+            prog, TOPO, make_scheduler("rgp+las"), seed=0, instrument=obs
+        )
+
+    result = benchmark(run)
+    assert result.n_tasks == prog.n_tasks
+    assert result.metrics is not None and result.events
+    out = os.environ.get("REPRO_TRACE_OUT")
+    if out:
+        write_chrome_trace(result, out)
+
+
 def test_program_build_throughput(benchmark):
     """TDG construction + dependence derivation speed."""
 

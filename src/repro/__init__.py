@@ -14,7 +14,9 @@ Subsystems (see DESIGN.md for the full inventory):
 * :mod:`repro.schedulers`  — DFIFO / LAS / EP baselines;
 * :mod:`repro.core`        — the paper's contribution: RGP and RGP+LAS;
 * :mod:`repro.apps`        — the eight evaluation benchmarks;
-* :mod:`repro.experiments` — Figure 1 harness and ablations.
+* :mod:`repro.experiments` — Figure 1 harness and ablations;
+* :mod:`repro.observability` — event tracing, metrics registry and
+  Perfetto/Paraver exporters.
 
 Quickstart::
 
@@ -49,6 +51,15 @@ from .faults import (
     FaultPlan,
     NodeDegradation,
     TaskCrash,
+)
+from .observability import (
+    Instrumentation,
+    MetricsRegistry,
+    NullSink,
+    RingBufferSink,
+    write_chrome_trace,
+    write_metrics_json,
+    write_paraver,
 )
 from .machine import (
     Interconnect,
@@ -106,18 +117,22 @@ __all__ = [
     "FaultError",
     "FaultPlan",
     "GraphError",
+    "Instrumentation",
     "Interconnect",
     "LASScheduler",
     "MemoryError_",
     "MemoryManager",
+    "MetricsRegistry",
     "MultilevelKWay",
     "NodeDegradation",
+    "NullSink",
     "NumaTopology",
     "PartitionError",
     "PartitionTimeoutError",
     "RGPLASScheduler",
     "RGPScheduler",
     "ReproError",
+    "RingBufferSink",
     "RuntimeStateError",
     "Scheduler",
     "SchedulerError",
@@ -140,4 +155,7 @@ __all__ = [
     "simulate",
     "single_socket",
     "two_socket",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_paraver",
 ]

@@ -11,6 +11,10 @@ Commands
                 style specs) and print the resilience report.
 ``analyze``   — schedule report (efficiency bounds, node pressure, phase
                 profile, utilisation sparkline) plus optional DOT export.
+``trace``     — instrumented run; exports a Perfetto-loadable Chrome trace
+                (and optionally a Paraver timeline / flat metrics JSON).
+``stats``     — instrumented run; prints the metrics-registry summary and
+                the NUMA socket-by-node traffic matrix.
 ``ablation``  — run one of the ablation sweeps (window / partitioner /
                 sockets / las / propagation).
 ``apps``      — list the available applications, schedulers and machines.
@@ -172,6 +176,55 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Instrumented run + timeline export (DESIGN.md §8)."""
+    from .observability import (
+        Instrumentation,
+        RingBufferSink,
+        write_chrome_trace,
+        write_metrics_json,
+        write_paraver,
+    )
+
+    cfg = _config(args)
+    topo = presets.by_name(args.machine)
+    faults = _load_fault_plan(args) if args.faults else None
+    obs = Instrumentation(sink=RingBufferSink(args.capacity))
+    _, sim = _build_sim(cfg, topo, args, faults=faults, instrument=obs)
+    result = sim.run()
+    print(result.summary())
+    dropped = obs.sink.dropped
+    if dropped:
+        print(f"note: ring buffer dropped {dropped} events "
+              f"(raise --capacity to keep them)", file=sys.stderr)
+    write_chrome_trace(result, args.out)
+    print(f"chrome trace written to {args.out} "
+          f"(open in https://ui.perfetto.dev)")
+    if args.paraver:
+        write_paraver(result, args.paraver)
+        print(f"paraver timeline written to {args.paraver}")
+    if args.metrics_json:
+        write_metrics_json(result, args.metrics_json)
+        print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Instrumented run + metrics-registry summary (no event buffering)."""
+    from .observability import NULL_SINK, Instrumentation
+
+    cfg = _config(args)
+    topo = presets.by_name(args.machine)
+    faults = _load_fault_plan(args) if args.faults else None
+    obs = Instrumentation(sink=NULL_SINK)
+    _, sim = _build_sim(cfg, topo, args, faults=faults, instrument=obs)
+    result = sim.run()
+    print(result.summary())
+    print()
+    print(obs.registry.render())
+    return 0
+
+
 def cmd_ablation(args) -> int:
     from .experiments import ablations
 
@@ -296,6 +349,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-plan", default=None, metavar="OUT.json",
                    help="also write the assembled plan to a file")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "trace",
+        help="instrumented run; export Perfetto/Paraver timelines",
+    )
+    _add_common(p)
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--scheduler", required=True, choices=sorted(SCHEDULERS))
+    p.add_argument("--machine", default="bullion-s16",
+                   choices=sorted(presets.PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, metavar="TRACE.json",
+                   help="Chrome trace output (open in ui.perfetto.dev)")
+    p.add_argument("--paraver", default=None, metavar="TRACE.prv",
+                   help="also write a Paraver-flavoured text timeline")
+    p.add_argument("--metrics-json", default=None, metavar="METRICS.json",
+                   help="also write the flat metrics/registry snapshot")
+    p.add_argument("--capacity", type=int, default=1 << 20,
+                   help="event ring-buffer capacity (default 1Mi events)")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="inject a fault plan (JSON file, see 'faults' cmd)")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="instrumented run; print the metrics-registry summary",
+    )
+    _add_common(p)
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--scheduler", required=True, choices=sorted(SCHEDULERS))
+    p.add_argument("--machine", default="bullion-s16",
+                   choices=sorted(presets.PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="inject a fault plan (JSON file, see 'faults' cmd)")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("ablation", help="run an ablation sweep")
     _add_common(p)

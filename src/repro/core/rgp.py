@@ -32,6 +32,8 @@ nearest surviving socket.
 
 from __future__ import annotations
 
+import time
+
 from ..errors import PartitionTimeoutError, SchedulerError
 from ..graph.csr import CSRGraph
 from ..partition.anchored import partition_with_anchors
@@ -91,6 +93,7 @@ class RGPScheduler(Scheduler):
         self._partition_lost = False
         self._next_cyclic = 0
         self._windows_partitioned = 0
+        self._pending_window_stats: dict | None = None
         #: Decision audit: window-placed vs propagated counts (plus the
         #: LAS branch breakdown when propagation is "las").
         self.audit: dict[str, int] = {}
@@ -103,22 +106,51 @@ class RGPScheduler(Scheduler):
 
     def on_program_start(self) -> None:
         program = self.sim.program
+        obs = self.obs
         self._assignment = {}
         self._next_cyclic = 0
         self._windows_partitioned = 0
         self._partition_lost = False
+        self._pending_window_stats = None
+        # Observer wiring is per-run: instrumented runs stream the
+        # partitioner's coarsen/initial/refine phases as events; untraced
+        # runs must clear any observer left by a previous instrumented
+        # run of the same scheduler object.
+        if obs is not None and obs.events_enabled:
+            self.partitioner.observer = self._partition_phase_observer
+        else:
+            self.partitioner.observer = None
         self._cutoff = initial_window(program, self.window_size)
+        if obs is not None:
+            obs.emit(
+                self.sim.now, "rgp.window",
+                cutoff=self._cutoff, window_size=self.window_size,
+            )
+            obs.emit(
+                self.sim.now, "rgp.partition.begin",
+                window=0, n_tasks=self._cutoff,
+            )
         seed = (
             self.partition_seed
             if self.partition_seed is not None
             else int(self.rng.integers(2**31))
         )
+        t0 = time.perf_counter() if obs is not None else 0.0
         plan = partition_window(
-            program.tdg, self._cutoff, self.topology, self.partitioner, seed=seed
+            program.tdg, self._cutoff, self.topology, self.partitioner,
+            seed=seed, with_stats=obs is not None,
         )
         self._windows_partitioned = 1
         for tid in range(plan.cutoff):
             self._assignment[tid] = int(plan.assignment[tid])
+        if obs is not None:
+            self._pending_window_stats = {
+                "window": 0,
+                "n_tasks": self._cutoff,
+                "edge_cut": plan.edge_cut,
+                "mapping_cost": plan.mapping_cost,
+                "host_us": (time.perf_counter() - t0) * 1e6,
+            }
         if self.partition_delay > 0:
             self._partition_ready = False
             self.sim.schedule_timer(self.partition_delay, self._on_partition_done)
@@ -131,11 +163,31 @@ class RGPScheduler(Scheduler):
                 )
         else:
             self._partition_ready = True
+            self._emit_partition_end(delay=0.0)
+
+    def _partition_phase_observer(self, kind: str, **args) -> None:
+        """Forward partitioner phases as ``partition.*`` events (sim-time
+        stamped: the phases happen at the instant the partition runs)."""
+        self.obs.emit(self.sim.now, f"partition.{kind}", **args)
+
+    def _emit_partition_end(self, delay: float) -> None:
+        """Publish the pending window's quality figures (event + gauge)."""
+        stats, self._pending_window_stats = self._pending_window_stats, None
+        if stats is None or self.obs is None:
+            return
+        self.obs.emit(
+            self.sim.now, "rgp.partition.end", delay=delay, **stats
+        )
+        reg = self.obs.registry
+        if stats["edge_cut"] is not None:
+            reg.gauge("rgp.edge_cut").set(self.sim.now, stats["edge_cut"])
+        reg.counter("rgp.windows_partitioned").inc()
 
     def _on_partition_done(self) -> None:
         if self._partition_lost:
             return  # timed out earlier; the fallback already took over
         self._partition_ready = True
+        self._emit_partition_end(delay=self.partition_delay)
         self.sim.reoffer(list(self.sim.parked))
 
     def _on_partition_timeout(self) -> None:
@@ -151,20 +203,39 @@ class RGPScheduler(Scheduler):
             )
         self._partition_lost = True
         self.audit["partition_timeout"] = 1
+        if self.obs is not None:
+            self.obs.emit(
+                self.sim.now, "rgp.partition.timeout",
+                deadline=self.partition_timeout, delay=self.partition_delay,
+            )
+            self.obs.registry.counter("rgp.partition_timeouts").inc()
         self.sim.reoffer(list(self.sim.parked))
 
     # ------------------------------------------------------------------
     def choose(self, task: Task) -> Placement:
+        obs = self.obs
         if task.tid < self._cutoff:
             if self._partition_lost:
                 self.audit["fallback"] = self.audit.get("fallback", 0) + 1
-                return self._propagate(task)
+                return self._propagate(task, branch="fallback")
             if not self._partition_ready:
+                if obs is not None:
+                    obs.emit(
+                        self.sim.now, "sched.choice",
+                        tid=task.tid, policy=self.name, branch="park",
+                    )
                 return Placement(park=True)
             self.audit["window"] = self.audit.get("window", 0) + 1
-            return Placement(socket=self._assignment[task.tid])
+            socket = self._assignment[task.tid]
+            if obs is not None:
+                obs.emit(
+                    self.sim.now, "sched.choice",
+                    tid=task.tid, policy=self.name, branch="window",
+                    socket=socket,
+                )
+            return Placement(socket=socket)
         self.audit["propagated"] = self.audit.get("propagated", 0) + 1
-        return self._propagate(task)
+        return self._propagate(task, branch="propagated")
 
     # ------------------------------------------------------------------
     def on_core_failed(self, core: int) -> None:
@@ -187,20 +258,33 @@ class RGPScheduler(Scheduler):
         if remapped:
             self.audit["remapped"] = self.audit.get("remapped", 0) + remapped
 
-    def _propagate(self, task: Task) -> Placement:
+    def _propagate(self, task: Task, branch: str = "propagated") -> Placement:
+        obs = self.obs
+        detail: dict | None = (
+            {} if obs is not None and obs.events_enabled else None
+        )
         if self.propagation == "las":
             socket = las_pick_socket(
                 task, self.memory, self.rng, self.topology.n_sockets,
-                audit=self.audit,
+                audit=self.audit, detail=detail,
             )
-            return Placement(socket=socket)
-        if self.propagation == "repartition":
-            return Placement(socket=self._repartition_lookup(task))
-        if self.propagation == "cyclic":
+        elif self.propagation == "repartition":
+            socket = self._repartition_lookup(task)
+        elif self.propagation == "cyclic":
             socket = self._next_cyclic
             self._next_cyclic = (self._next_cyclic + 1) % self.topology.n_sockets
-            return Placement(socket=socket)
-        return Placement(socket=int(self.rng.integers(self.topology.n_sockets)))
+        else:
+            socket = int(self.rng.integers(self.topology.n_sockets))
+        if obs is not None:
+            if detail:  # LAS evidence: keep its branch under its own key
+                detail["las_branch"] = detail.pop("branch")
+            obs.emit(
+                self.sim.now, "sched.choice",
+                tid=task.tid, policy=self.name, branch=branch,
+                propagation=self.propagation, socket=socket,
+                **(detail or {}),
+            )
+        return Placement(socket=socket)
 
     # ------------------------------------------------------------------
     # "repartition" propagation: partition later windows on demand.
@@ -220,8 +304,16 @@ class RGPScheduler(Scheduler):
         repartitioning, see :mod:`repro.partition.anchored`).
         """
         program = self.sim.program
+        obs = self.obs
         lo = self._cutoff + ((tid - self._cutoff) // self.window_size) * self.window_size
         hi = min(lo + self.window_size, program.n_tasks)
+        window_idx = 1 + (lo - self._cutoff) // self.window_size
+        if obs is not None:
+            obs.emit(
+                self.sim.now, "rgp.partition.begin",
+                window=window_idx, n_tasks=hi - lo,
+            )
+        t0 = time.perf_counter() if obs is not None else 0.0
         window = list(range(lo, hi))
         # Assigned tasks adjacent to the window become anchors.
         anchor_olds = sorted({
@@ -246,6 +338,20 @@ class RGPScheduler(Scheduler):
             if old_id >= lo:  # window tasks only; anchors keep their socket
                 self._assignment[old_id] = int(result.parts[new_id])
         self._windows_partitioned += 1
+        if obs is not None:
+            from ..partition.metrics import edge_cut
+
+            # Cut over the anchored subgraph (anchor vertices included).
+            cut = edge_cut(csr, result.parts)
+            obs.emit(
+                self.sim.now, "rgp.partition.end",
+                window=window_idx, n_tasks=hi - lo, delay=0.0,
+                edge_cut=cut, mapping_cost=None,
+                host_us=(time.perf_counter() - t0) * 1e6,
+            )
+            reg = obs.registry
+            reg.gauge("rgp.edge_cut").set(self.sim.now, cut)
+            reg.counter("rgp.windows_partitioned").inc()
 
     @property
     def windows_partitioned(self) -> int:

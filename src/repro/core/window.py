@@ -30,10 +30,17 @@ DEFAULT_WINDOW_SIZE = 1024
 
 @dataclass(frozen=True)
 class WindowPlan:
-    """Result of partitioning the initial window."""
+    """Result of partitioning the initial window.
+
+    ``edge_cut`` / ``mapping_cost`` are partition-quality figures filled
+    only when the caller asked for them (``with_stats=True``); ``None``
+    otherwise so the untraced fast path computes nothing extra.
+    """
 
     cutoff: int  # tasks [0, cutoff) are covered
     assignment: np.ndarray  # shape (cutoff,), socket per task
+    edge_cut: float | None = None
+    mapping_cost: float | None = None
 
 
 def initial_window(program: TaskProgram, window_size: int) -> int:
@@ -49,6 +56,7 @@ def partition_window(
     topology: NumaTopology,
     partitioner: Partitioner,
     seed: int = 0,
+    with_stats: bool = False,
 ) -> WindowPlan:
     """Partition the first ``cutoff`` tasks onto the machine's sockets.
 
@@ -56,6 +64,10 @@ def partition_window(
     are dependence bytes; the target architecture carries the socket
     distance matrix so an architecture-aware partitioner (DRB) keeps heavy
     edges on nearby sockets.
+
+    ``with_stats=True`` additionally computes the plan's edge cut and
+    SCOTCH mapping cost (for ``rgp.partition.end`` trace events and the
+    ``rgp.edge_cut`` gauge); the default skips both.
     """
     if cutoff < 0:
         raise SchedulerError("cutoff must be >= 0")
@@ -63,4 +75,13 @@ def partition_window(
     csr = CSRGraph.from_tdg(prefix)
     target = TargetArchitecture.from_topology(topology)
     result = partitioner.partition(csr, topology.n_sockets, target=target, seed=seed)
-    return WindowPlan(cutoff=cutoff, assignment=result.parts)
+    cut = cost = None
+    if with_stats:
+        from ..partition.metrics import edge_cut, mapping_cost
+
+        cut = edge_cut(csr, result.parts)
+        cost = mapping_cost(csr, result.parts, target.distance)
+    return WindowPlan(
+        cutoff=cutoff, assignment=result.parts,
+        edge_cut=cut, mapping_cost=cost,
+    )

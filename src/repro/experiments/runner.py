@@ -35,6 +35,11 @@ class PolicyStats:
     remote_fractions: tuple[float, ...]
     reexecutions: tuple[int, ...] = ()
     wasted_work: tuple[float, ...] = ()
+    #: Per-seed SimulationResults, kept only when the caller asked for them
+    #: (``keep_results=True`` or an ``instrument_factory`` — instrumented
+    #: results carry the event stream and metrics snapshot, so dropping
+    #: them would waste the instrumentation).
+    results: tuple = ()
 
     @property
     def makespan_mean(self) -> float:
@@ -81,6 +86,8 @@ def run_policy(
     timeout: float | None = None,
     retries: int = 0,
     sim_kwargs: dict | None = None,
+    instrument_factory=None,
+    keep_results: bool = False,
 ) -> PolicyStats:
     """Simulate ``program`` under ``policy`` for every configured seed.
 
@@ -105,6 +112,16 @@ def run_policy(
         Extra keyword arguments forwarded to the
         :class:`~repro.runtime.simulator.Simulator` (e.g. ``max_retries``,
         ``retry_backoff`` for fault recovery tuning).
+    instrument_factory:
+        ``instrument_factory(seed)`` building one fresh
+        :class:`~repro.observability.Instrumentation` per seed (sinks and
+        registries are single-run objects and must not be shared across
+        seeds).  Implies ``keep_results`` so the instrumented results —
+        which carry the event stream and metrics snapshot — survive.
+    keep_results:
+        Retain the per-seed :class:`SimulationResult` objects in
+        :attr:`PolicyStats.results` (off by default: a paper-scale sweep
+        holds thousands of results).
     """
     if retries < 0:
         raise ExperimentError(f"retries must be >= 0, got {retries}")
@@ -112,6 +129,8 @@ def run_policy(
     remotes = []
     reexecs = []
     wasted = []
+    results = []
+    keep_results = keep_results or instrument_factory is not None
     extra = dict(sim_kwargs or {})
     if faults is not None:
         extra["faults"] = faults
@@ -132,6 +151,11 @@ def run_policy(
                 interconnect=config.interconnect(),
                 steal=config.steal,
                 seed=seed,
+                instrument=(
+                    instrument_factory(seed)
+                    if instrument_factory is not None
+                    else None
+                ),
                 **extra,
             )
             try:
@@ -150,10 +174,13 @@ def run_policy(
         remotes.append(result.remote_fraction)
         reexecs.append(result.reexecutions)
         wasted.append(result.wasted_work)
+        if keep_results:
+            results.append(result)
     return PolicyStats(
         policy=policy,
         makespans=tuple(makespans),
         remote_fractions=tuple(remotes),
         reexecutions=tuple(reexecs),
         wasted_work=tuple(wasted),
+        results=tuple(results),
     )

@@ -42,6 +42,14 @@ class FaultInjector:
     def total_injected(self) -> int:
         return sum(self.injected.values())
 
+    def _record(self, family: str, **args) -> None:
+        """Count the injection and, when instrumented, emit ``fault.inject``."""
+        self.injected[family] += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(self.sim.now, "fault.inject", family=family, **args)
+            obs.registry.counter(f"faults.injected.{family}").inc()
+
     # ------------------------------------------------------------------
     def arm(self) -> None:
         """Schedule every timed fault of the plan on the simulator clock."""
@@ -59,14 +67,14 @@ class FaultInjector:
 
     def _make_core_fault(self, core: int, duration: float | None):
         def fire() -> None:
-            self.injected["core_failures"] += 1
+            self._record("core_failures", core=core, duration=duration)
             self.sim.fail_core(core, duration=duration)
 
         return fire
 
     def _make_slowdown(self, core: int, speed: float, duration: float | None):
         def fire() -> None:
-            self.injected["slowdowns"] += 1
+            self._record("slowdowns", core=core, speed=speed, duration=duration)
             self.sim.set_core_speed(core, speed)
             if duration is not None:
                 self.sim.schedule_timer(
@@ -77,7 +85,9 @@ class FaultInjector:
 
     def _make_degradation(self, node: int, factor: float, duration: float | None):
         def fire() -> None:
-            self.injected["node_degradations"] += 1
+            self._record(
+                "node_degradations", node=node, factor=factor, duration=duration
+            )
             self.sim.set_node_bandwidth_factor(node, factor)
             if duration is not None:
                 self.sim.schedule_timer(
@@ -102,7 +112,10 @@ class FaultInjector:
             if float(self.rng.random()) >= tc.probability:
                 continue
             self._crashes_left[i] -= 1
-            self.injected["task_crashes"] += 1
+            self._record(
+                "task_crashes", tid=rt.task.tid, name=rt.task.name,
+                core=rt.core, at_fraction=tc.at_fraction,
+            )
             self._doom(rt, tc)
             return  # at most one crash per attempt
 

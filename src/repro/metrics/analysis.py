@@ -115,15 +115,50 @@ def idle_gaps_per_socket(
 
 def schedule_report(program: TaskProgram, result: SimulationResult,
            topology) -> str:
-    """Human-readable one-screen schedule report."""
+    """Human-readable one-screen schedule report.
+
+    When the run was instrumented (``result.metrics`` holds a registry
+    snapshot, see :mod:`repro.observability`), the remote-byte ratio and
+    per-socket idle times are read from the registry's gauges; otherwise
+    they are recomputed from the result's aggregates — same numbers,
+    different provenance.
+    """
     eff = schedule_efficiency(program, result, topology.n_cores)
     pressure = node_pressure(result)
+    gauges = (result.metrics or {}).get("gauges", {})
+
+    def _gauge(name: str) -> float | None:
+        payload = gauges.get(name)
+        return None if payload is None else float(payload["value"])
+
+    local = _gauge("bytes.local")
+    remote = _gauge("bytes.remote")
+    if local is None or remote is None:
+        local, remote = float(result.local_bytes), float(result.remote_bytes)
+        source = "result"
+    else:
+        source = "registry"
+    total_bytes = local + remote
+    remote_ratio = remote / total_bytes if total_bytes else 0.0
+
+    idle = [
+        _gauge(f"socket.idle.s{s}") for s in range(topology.n_sockets)
+    ]
+    if any(v is None for v in idle):
+        idle = idle_gaps_per_socket(
+            result, topology.n_sockets, topology.cores_per_socket
+        ).tolist()
+
     lines = [
         result.summary(),
         f"core utilization    {eff.core_utilization:6.1%}",
         f"critical-path bound {eff.critical_path_bound:6.1%}  "
         f"throughput bound {eff.throughput_bound:6.1%}  "
         f"(limit: {eff.dominant_limit})",
+        f"remote-byte ratio   {remote_ratio:6.1%}  "
+        f"({remote:.3g} of {total_bytes:.3g} bytes, {source})",
+        "idle time / socket  "
+        + " ".join(f"{v:8.2f}" for v in idle),
         "node traffic share  "
         + " ".join(f"{p:5.1%}" for p in pressure),
     ]

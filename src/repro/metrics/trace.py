@@ -17,15 +17,30 @@ _FIELDS = ("tid", "name", "socket", "core", "start", "finish",
 
 
 def to_rows(result: SimulationResult) -> list[dict]:
-    """Records as plain dicts, sorted by start time."""
+    """Records as plain dicts in a **total** deterministic order.
+
+    Sort key is ``(start, tid, attempt, core)``: start time first (the
+    natural reading order of a timeline), then task id, then attempt and
+    core so that re-executed attempts of the same task — which share a
+    tid and may share a start time — still order identically on every
+    platform.  No tie is left to the input order.
+    """
     return [
         {f: getattr(r, f) for f in _FIELDS}
-        for r in sorted(result.records, key=lambda r: (r.start, r.tid))
+        for r in sorted(
+            result.records,
+            key=lambda r: (r.start, r.tid, r.attempt, r.core),
+        )
     ]
 
 
 def write_csv(result: SimulationResult, path: str | Path) -> None:
-    """Write the task trace as CSV."""
+    """Write the task trace as CSV.
+
+    Uses :class:`csv.DictWriter` with the default (minimal-quoting)
+    dialect, so task names containing commas, quotes or newlines are
+    quoted/escaped per RFC 4180 and round-trip through ``csv.DictReader``.
+    """
     with open(path, "w", newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=_FIELDS)
         writer.writeheader()

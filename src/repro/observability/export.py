@@ -1,0 +1,309 @@
+"""Timeline and metrics exporters: Chrome trace JSON, Paraver text, flat JSON.
+
+Three views of one instrumented run:
+
+* :func:`chrome_trace` — the Trace Event Format understood by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``: one process per
+  socket, one track per core carrying complete ("X") slices for task
+  attempts, a synthetic *metrics* process carrying counter ("C") tracks
+  built from registry gauges, and instant ("i") markers for scheduler /
+  partition / fault events;
+* :func:`paraver_timeline` — a Paraver-flavoured text timeline (the trace
+  format of the paper's OmpSs/Extrae stack): ``1:`` state records for
+  running intervals and ``2:`` punctual event records;
+* :func:`write_metrics_json` — the flat registry snapshot plus run
+  aggregates, for offline plotting.
+
+Simulated time is exported in microseconds (``ts = t * 1e6``) so one
+simulated time unit reads as one millisecond-scale slice in Perfetto.
+All exporters are pure functions of the result: exporting never mutates
+anything and can be repeated.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..runtime.result import SimulationResult
+from .events import Event
+
+#: Simulated time unit -> trace microseconds.
+TIME_SCALE = 1e6
+
+#: Paraver punctual event types (documented in the .prv header comments).
+PRV_TASK_ID = 60000001       # value = tid + 1 at task start, 0 at end
+PRV_EVENT_FAMILY = 60000100  # value = index into the emitted kind table
+
+
+def _us(t: float) -> float:
+    return t * TIME_SCALE
+
+
+def _task_slices(result: SimulationResult) -> list[dict]:
+    """Complete-event slices for every attempt (completed and crashed)."""
+    slices = []
+    for rec in result.records:
+        slices.append(
+            {
+                "name": rec.name,
+                "cat": "task",
+                "ph": "X",
+                "ts": _us(rec.start),
+                "dur": _us(rec.finish - rec.start),
+                "pid": rec.socket,
+                "tid": rec.core,
+                "args": {
+                    "tid": rec.tid,
+                    "local_bytes": rec.local_bytes,
+                    "remote_bytes": rec.remote_bytes,
+                    "attempt": rec.attempt,
+                },
+            }
+        )
+    for rec in result.crashed_records:
+        slices.append(
+            {
+                "name": f"{rec.name} [crashed]",
+                "cat": "crash",
+                "ph": "X",
+                "ts": _us(rec.start),
+                "dur": _us(rec.finish - rec.start),
+                "pid": rec.socket,
+                "tid": rec.core,
+                "args": {
+                    "tid": rec.tid,
+                    "outcome": rec.outcome,
+                    "attempt": rec.attempt,
+                },
+            }
+        )
+    return slices
+
+
+def chrome_trace(
+    result: SimulationResult,
+    *,
+    events: list[Event] | None = None,
+    metrics: dict | None = None,
+) -> dict:
+    """Build a Trace Event Format document from an instrumented result.
+
+    ``events`` / ``metrics`` default to what the simulator attached to the
+    result (``result.events`` / ``result.metrics``); pass them explicitly
+    to export an external sink or registry snapshot.
+    """
+    events = result.events if events is None else events
+    metrics = result.metrics if metrics is None else metrics
+    sockets = sorted(
+        {r.socket for r in result.records}
+        | {r.socket for r in result.crashed_records}
+    )
+    cores = sorted(
+        {(r.socket, r.core) for r in result.records}
+        | {(r.socket, r.core) for r in result.crashed_records}
+    )
+    metrics_pid = (max(sockets) if sockets else 0) + 1
+
+    meta: list[dict] = []
+    for s in sockets:
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": s,
+                "args": {"name": f"socket {s}"},
+            }
+        )
+        meta.append(
+            {"name": "process_sort_index", "ph": "M", "pid": s,
+             "args": {"sort_index": s}}
+        )
+    for s, c in cores:
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": s,
+                "tid": c,
+                "args": {"name": f"core {c}"},
+            }
+        )
+    meta.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": metrics_pid,
+            "args": {"name": "metrics"},
+        }
+    )
+
+    body = _task_slices(result)
+
+    # Counter tracks from gauge sample series (cumulative byte split,
+    # queue depths, busy cores, partition quality ...).
+    gauges = (metrics or {}).get("gauges", {})
+    for name, payload in sorted(gauges.items()):
+        for ts, value in payload.get("samples", []):
+            body.append(
+                {
+                    "name": name,
+                    "cat": "metrics",
+                    "ph": "C",
+                    "ts": _us(ts),
+                    "pid": metrics_pid,
+                    "args": {"value": value},
+                }
+            )
+
+    # Instant markers for everything that is not already a slice.
+    for ev in events or []:
+        if ev.kind in ("task.start", "task.finish"):
+            continue  # already visible as X slices
+        pid = ev.args.get("socket", metrics_pid)
+        marker = {
+            "name": ev.kind,
+            "cat": ev.kind.split(".", 1)[0],
+            "ph": "i",
+            "s": "g",
+            "ts": _us(ev.ts),
+            "pid": pid,
+            "args": dict(ev.args),
+        }
+        if "core" in ev.args:
+            marker["tid"] = ev.args["core"]
+        body.append(marker)
+
+    body.sort(key=lambda e: (e["ts"], e["pid"], e.get("tid", -1)))
+    return {
+        "traceEvents": meta + body,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "program": result.program_name,
+            "scheduler": result.scheduler_name,
+            "machine": result.machine_name,
+            "makespan": result.makespan,
+            "seed": result.seed,
+            "time_scale": TIME_SCALE,
+        },
+    }
+
+
+def write_chrome_trace(
+    result: SimulationResult,
+    path: str | Path,
+    *,
+    events: list[Event] | None = None,
+    metrics: dict | None = None,
+) -> None:
+    """Write :func:`chrome_trace` output; open the file in Perfetto."""
+    doc = chrome_trace(result, events=events, metrics=metrics)
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+# ----------------------------------------------------------------------
+# Paraver-flavoured timeline
+# ----------------------------------------------------------------------
+def paraver_timeline(
+    result: SimulationResult, *, events: list[Event] | None = None
+) -> str:
+    """Paraver-flavoured text timeline of one run.
+
+    Record formats (times are integer microseconds of simulated time):
+
+    * state:  ``1:cpu:appl:task:thread:begin:end:state`` with state 1 =
+      running (the only state a fluid simulation distinguishes);
+    * event:  ``2:cpu:appl:task:thread:time:type:value`` with type
+      ``60000001`` carrying ``tid + 1`` at each task start and ``0`` at
+      the finish, and ``60000100`` carrying an index into the kind table
+      printed in the header for bus events.
+
+    The header date is fixed (no wall-clock reads anywhere in the
+    subsystem) so identical runs produce identical traces.
+    """
+    events = result.events if events is None else events
+    all_recs = list(result.records) + list(result.crashed_records)
+    n_cpus = (max((r.core for r in all_recs), default=0)) + 1
+    ftime = int(round(_us(result.makespan)))
+    kinds = sorted({ev.kind for ev in events or []})
+    kind_index = {k: i + 1 for i, k in enumerate(kinds)}
+
+    lines = [
+        f"#Paraver (01/01/2018 at 00:00):{ftime}_ns:1({n_cpus}):1:1({n_cpus}:1)",
+        f"# program={result.program_name} scheduler={result.scheduler_name}"
+        f" machine={result.machine_name} seed={result.seed}",
+        "# state 1 = task running",
+        f"# event type {PRV_TASK_ID} = task id + 1 (0 at finish)",
+    ]
+    if kinds:
+        lines.append(
+            f"# event type {PRV_EVENT_FAMILY} values: "
+            + ", ".join(f"{kind_index[k]}={k}" for k in kinds)
+        )
+
+    records: list[tuple[float, str]] = []
+    for rec in sorted(all_recs, key=lambda r: (r.start, r.tid, r.attempt)):
+        cpu = rec.core + 1
+        begin, end = int(round(_us(rec.start))), int(round(_us(rec.finish)))
+        records.append(
+            (rec.start, f"1:{cpu}:1:1:{cpu}:{begin}:{end}:1")
+        )
+        records.append(
+            (rec.start, f"2:{cpu}:1:1:{cpu}:{begin}:{PRV_TASK_ID}:{rec.tid + 1}")
+        )
+        records.append(
+            (rec.finish, f"2:{cpu}:1:1:{cpu}:{end}:{PRV_TASK_ID}:0")
+        )
+    for ev in events or []:
+        cpu = int(ev.args.get("core", 0)) + 1
+        ts = int(round(_us(ev.ts)))
+        records.append(
+            (ev.ts,
+             f"2:{cpu}:1:1:{cpu}:{ts}:{PRV_EVENT_FAMILY}:{kind_index[ev.kind]}")
+        )
+    records.sort(key=lambda r: r[0])
+    lines.extend(text for _, text in records)
+    return "\n".join(lines) + "\n"
+
+
+def write_paraver(
+    result: SimulationResult,
+    path: str | Path,
+    *,
+    events: list[Event] | None = None,
+) -> None:
+    Path(path).write_text(paraver_timeline(result, events=events))
+
+
+# ----------------------------------------------------------------------
+# Flat metrics JSON
+# ----------------------------------------------------------------------
+def metrics_document(
+    result: SimulationResult, *, metrics: dict | None = None
+) -> dict:
+    """Registry snapshot plus run aggregates as one flat JSON document."""
+    metrics = result.metrics if metrics is None else metrics
+    return {
+        "program": result.program_name,
+        "scheduler": result.scheduler_name,
+        "machine": result.machine_name,
+        "seed": result.seed,
+        "makespan": result.makespan,
+        "remote_fraction": result.remote_fraction,
+        "local_bytes": result.local_bytes,
+        "remote_bytes": result.remote_bytes,
+        "steals": result.steals,
+        "busy_time_per_socket": result.busy_time_per_socket.tolist(),
+        "registry": metrics or {},
+    }
+
+
+def write_metrics_json(
+    result: SimulationResult,
+    path: str | Path,
+    *,
+    metrics: dict | None = None,
+) -> None:
+    Path(path).write_text(
+        json.dumps(metrics_document(result, metrics=metrics), indent=1)
+    )

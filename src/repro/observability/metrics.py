@@ -1,0 +1,223 @@
+"""Metrics registry: counters, gauges, histograms and traffic matrices.
+
+The quantitative companion of the event bus (:mod:`repro.observability.events`):
+where events answer *what happened*, the registry answers *how much*.
+Everything is driven by **simulated time** — no instrument in this module
+ever reads a wall clock, so two runs with the same seed produce identical
+registries (the property the zero-overhead and golden-trace tests rely on).
+
+Instruments
+-----------
+* :class:`Counter` — monotonically increasing total (steals, bytes, ...);
+* :class:`Gauge` — last-value-wins sample series ``(ts, value)``; the
+  series is what Chrome counter tracks are built from;
+* :class:`Histogram` — fixed explicit bucket boundaries chosen at
+  creation; observation is O(#buckets) with no allocation.
+
+The registry also holds named numpy **matrices** for the NUMA
+socket-by-node traffic matrix (``bytes_by_pair``-shaped) that the paper's
+locality argument is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Default histogram boundaries for task durations (simulated time units).
+#: Roughly logarithmic; the last bucket is open-ended.
+DEFAULT_DURATION_BOUNDS = (
+    0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+)
+
+#: Default boundaries for fractions in [0, 1] (e.g. remote-byte ratios).
+FRACTION_BOUNDS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+@dataclass
+class Counter:
+    """Monotonic total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Sampled value over simulated time; keeps the full series."""
+
+    name: str
+    samples: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def value(self) -> float:
+        return self.samples[-1][1] if self.samples else 0.0
+
+    def set(self, ts: float, value: float) -> None:
+        # Collapse repeated samples at one instant: last write wins, which
+        # keeps Chrome counter tracks strictly monotonic in ts.
+        if self.samples and self.samples[-1][0] == ts:
+            self.samples[-1] = (ts, float(value))
+        else:
+            self.samples.append((float(ts), float(value)))
+
+    def add(self, ts: float, delta: float) -> None:
+        self.set(ts, self.value + delta)
+
+
+class Histogram:
+    """Fixed-boundary histogram: ``len(bounds) + 1`` buckets.
+
+    Bucket ``i`` counts observations ``<= bounds[i]``; the final bucket is
+    the open overflow bucket.  Boundaries are frozen at creation so merged
+    or exported histograms always line up.
+    """
+
+    def __init__(self, name: str, bounds: tuple[float, ...]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = np.zeros(len(self.bounds) + 1, dtype=np.int64)
+        self.sum = 0.0
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        return self.sum / n if n else 0.0
+
+    def observe(self, value: float) -> None:
+        idx = int(np.searchsorted(self.bounds, value, side="left"))
+        self.counts[idx] += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile (upper bound of the bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        n = self.count
+        if n == 0:
+            return 0.0
+        rank = q * n
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += int(c)
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")  # pragma: no cover - defensive
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily, exported as one flat snapshot."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.matrices: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_DURATION_BOUNDS
+    ) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, bounds)
+        elif h.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already exists with different bounds"
+            )
+        return h
+
+    def matrix(self, name: str, shape: tuple[int, int]) -> np.ndarray:
+        m = self.matrices.get(name)
+        if m is None:
+            m = self.matrices[name] = np.zeros(shape, dtype=np.float64)
+        elif m.shape != shape:
+            raise ValueError(f"matrix {name!r} already exists with shape {m.shape}")
+        return m
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every instrument (the flat metrics export)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {"value": g.value, "samples": [list(s) for s in g.samples]}
+                for n, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": h.counts.tolist(),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+            "matrices": {
+                n: m.tolist() for n, m in sorted(self.matrices.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable one-screen summary (the ``repro stats`` body)."""
+        lines: list[str] = []
+        if self.counters:
+            lines.append("counters:")
+            for name, c in sorted(self.counters.items()):
+                lines.append(f"  {name:<28s} {c.value:.6g}")
+        if self.gauges:
+            lines.append("gauges (final value, #samples):")
+            for name, g in sorted(self.gauges.items()):
+                lines.append(
+                    f"  {name:<28s} {g.value:.6g}  ({len(g.samples)} samples)"
+                )
+        if self.histograms:
+            lines.append("histograms:")
+            for name, h in sorted(self.histograms.items()):
+                lines.append(
+                    f"  {name:<28s} n={h.count} mean={h.mean:.4g} "
+                    f"p50<={h.quantile(0.5):.4g} p95<={h.quantile(0.95):.4g}"
+                )
+        for name, m in sorted(self.matrices.items()):
+            lines.append(f"{name} ({m.shape[0]}x{m.shape[1]}):")
+            lines.extend(render_matrix(m, indent="  ").splitlines())
+        return "\n".join(lines) if lines else "(empty registry)"
+
+
+def render_matrix(matrix: np.ndarray, indent: str = "") -> str:
+    """Fixed-width text rendering of a traffic matrix with row/col sums."""
+    m = np.asarray(matrix, dtype=np.float64)
+    header = indent + "        " + " ".join(
+        f"{f'n{j}':>10s}" for j in range(m.shape[1])
+    ) + f" {'row sum':>10s}"
+    lines = [header]
+    for i in range(m.shape[0]):
+        cells = " ".join(f"{v:10.4g}" for v in m[i])
+        lines.append(indent + f"{f's{i}':>7s} " + cells + f" {m[i].sum():10.4g}")
+    col = " ".join(f"{v:10.4g}" for v in m.sum(axis=0))
+    lines.append(indent + f"{'sum':>7s} " + col + f" {m.sum():10.4g}")
+    return "\n".join(lines)

@@ -98,6 +98,12 @@ class Partitioner(ABC):
         if tolerance < 0:
             raise PartitionError(f"tolerance must be >= 0, got {tolerance}")
         self.tolerance = float(tolerance)
+        #: Optional phase observer ``observer(kind, **args)`` — called with
+        #: ``"coarsen"`` / ``"initial"`` / ``"refine"`` progress payloads
+        #: by multilevel partitioners.  ``None`` (the default) skips all
+        #: phase bookkeeping; observers must never mutate the graph or
+        #: draw randomness (observation must not change the partition).
+        self.observer = None
 
     @abstractmethod
     def partition(

@@ -16,6 +16,8 @@ recurse.  This is also the skeleton the SCOTCH-style mapper
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..errors import PartitionError
@@ -28,6 +30,7 @@ from .interface import (
     PartitionResult,
     TargetArchitecture,
 )
+from .metrics import edge_cut
 from .refine import fm_bisection_refine, greedy_kway_refine
 
 
@@ -65,21 +68,42 @@ class MultilevelKWay(Partitioner):
         n = graph.n_vertices
         if n == 0:
             return np.zeros(0, dtype=np.int64)
+        observer = self.observer
         tol = self._level_tol if self._level_tol is not None else self.tolerance
+        t0 = time.perf_counter() if observer is not None else 0.0
         hierarchy = coarsen_to(graph, max_vertices=self.coarse_size, rng=rng)
 
         graphs = [graph] + [lvl.graph for lvl in hierarchy]
         coarsest = graphs[-1]
+        if observer is not None:
+            observer(
+                "coarsen",
+                levels=len(hierarchy), n_fine=n,
+                n_coarse=coarsest.n_vertices,
+                host_us=(time.perf_counter() - t0) * 1e6,
+            )
         parts = greedy_graph_growing(
             coarsest, f0, rng, n_trials=self.n_initial_trials
         )
         parts = fm_bisection_refine(coarsest, parts, f0, tol)
+        if observer is not None:
+            observer(
+                "initial",
+                n_vertices=coarsest.n_vertices,
+                cut=edge_cut(coarsest, parts),
+            )
         # Walk back to the finest level.
         for level_idx in range(len(hierarchy) - 1, -1, -1):
             level = hierarchy[level_idx]
             fine_graph = graphs[level_idx]
             parts = parts[level.fine_to_coarse]
             parts = fm_bisection_refine(fine_graph, parts, f0, tol)
+            if observer is not None:
+                observer(
+                    "refine",
+                    level=level_idx, n_vertices=fine_graph.n_vertices,
+                    cut=edge_cut(fine_graph, parts),
+                )
         return parts
 
     def _level_tolerance(self, k: int) -> float:

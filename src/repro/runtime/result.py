@@ -66,6 +66,11 @@ class SimulationResult:
     wasted_work: float = 0.0
     cores_failed: int = 0
     faults_injected: int = 0
+    # Observability (populated only on instrumented runs): the retained
+    # event stream and the metrics-registry snapshot (see
+    # :mod:`repro.observability`); exporters consume these.
+    events: list = field(default_factory=list)
+    metrics: dict | None = None
 
     # ------------------------------------------------------------------
     @property

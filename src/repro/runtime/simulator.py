@@ -29,6 +29,13 @@ work re-offered; placements aimed at dead cores/sockets are transparently
 remapped to the nearest surviving socket.  With no plan (or an empty one)
 every fault path is skipped and results are identical to the fault-free
 simulator.
+
+Observability (DESIGN.md §8): an optional
+:class:`~repro.observability.Instrumentation` receives structured events
+(task lifecycle, placement decisions, steals, faults, epochs) and feeds a
+metrics registry (queue depths, busy cores, the NUMA traffic matrix,
+cumulative local/remote bytes).  Emitting never touches simulator state
+or an RNG, so instrumented and uninstrumented runs are byte-identical.
 """
 
 from __future__ import annotations
@@ -103,6 +110,7 @@ class Simulator:
         max_retries: int = 3,
         retry_backoff: float = 0.0,
         wall_clock_limit: float | None = None,
+        instrument=None,
     ) -> None:
         program.validate()
         self.program = program
@@ -226,6 +234,16 @@ class Simulator:
         self.cores_failed = 0
         self._injector = None
 
+        # Observability (repro.observability.Instrumentation, or None).
+        # Every emit site is guarded by one ``is not None`` check and no
+        # emit path touches simulator state or an RNG, so results with and
+        # without instrumentation are byte-identical (tested).
+        self.obs = instrument
+        if instrument is not None:
+            self._m_traffic = instrument.registry.matrix(
+                "numa.traffic", (topology.n_sockets, topology.n_nodes)
+            )
+
         self.scheduler = scheduler
         scheduler.attach(self, np.random.default_rng([self.seed, 0xA5]))
         if faults is not None:
@@ -253,6 +271,8 @@ class Simulator:
 
     def reoffer(self, tasks: list[Task]) -> None:
         """Re-offer previously parked tasks to the scheduler."""
+        if self.obs is not None and tasks:
+            self.obs.emit(self.now, "sched.reoffer", n=len(tasks))
         still_parked = {t.tid for t in tasks}
         self.parked = [t for t in self.parked if t.tid not in still_parked]
         for task in tasks:
@@ -299,6 +319,12 @@ class Simulator:
         socket = self.topology.socket_of_core(core)
         self.quarantined.add(core)
         self.cores_failed += 1
+        if self.obs is not None:
+            self.obs.emit(
+                self.now, "fault.core_failed",
+                core=core, socket=socket, transient=duration is not None,
+            )
+            self.obs.registry.counter("faults.cores_failed").inc()
         if core in self.idle_cores[socket]:
             self.idle_cores[socket].remove(core)
         # Let the scheduler remap its own state (e.g. RGP window
@@ -327,6 +353,11 @@ class Simulator:
             return
         self.quarantined.discard(core)
         self.idle_cores[self.topology.socket_of_core(core)].append(core)
+        if self.obs is not None:
+            self.obs.emit(
+                self.now, "fault.core_restored",
+                core=core, socket=self.topology.socket_of_core(core),
+            )
         notify = getattr(self.scheduler, "on_core_restored", None)
         if notify is not None:
             notify(core)
@@ -402,6 +433,14 @@ class Simulator:
         )
         self.attempts[task.tid] += 1
         self.reexecutions += 1
+        if self.obs is not None:
+            self.obs.emit(
+                self.now, "task.crash",
+                tid=task.tid, name=task.name, reason=reason,
+                attempt=int(self.attempts[task.tid]) - 1,
+            )
+            self.obs.registry.counter("tasks.crashed").inc()
+            self.obs.registry.counter("work.wasted").inc(wasted)
         n_failed = int(self.attempts[task.tid])
         if n_failed > self.max_retries:
             raise FaultError(
@@ -487,7 +526,7 @@ class Simulator:
                 self._finish(rt)
             self._dispatch()
 
-        return SimulationResult(
+        result = SimulationResult(
             program_name=self.program.name,
             scheduler_name=self.scheduler.name,
             machine_name=self.topology.name,
@@ -508,6 +547,25 @@ class Simulator:
                 self._injector.total_injected if self._injector else 0
             ),
         )
+        if self.obs is not None:
+            self._finalize_instrumentation(result)
+        return result
+
+    def _finalize_instrumentation(self, result: SimulationResult) -> None:
+        """Close out the run's registry and attach the streams to the
+        result so exporters can consume them without the simulator."""
+        reg = self.obs.registry
+        for s in self.topology.sockets():
+            reg.gauge(f"socket.busy.s{s}").set(
+                self.now, float(self.busy_time[s])
+            )
+            capacity = self.now * self.topology.cores_per_socket
+            reg.gauge(f"socket.idle.s{s}").set(
+                self.now, max(0.0, capacity - float(self.busy_time[s]))
+            )
+        reg.gauge("makespan").set(self.now, self.now)
+        result.events = self.obs.events
+        result.metrics = reg.snapshot()
 
     # ------------------------------------------------------------------
     # Readiness and offering
@@ -530,16 +588,37 @@ class Simulator:
         if decision.park:
             self.parked.append(task)
             self.parked_total += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    self.now, "sched.place", tid=task.tid, target="park"
+                )
+                self.obs.registry.counter("place.park").inc()
         elif decision.core is not None:
             if not 0 <= decision.core < self.topology.n_cores:
                 raise SimulationError(f"placement core {decision.core} out of range")
             self.core_queues[decision.core].append(task)
+            if self.obs is not None:
+                self.obs.emit(
+                    self.now, "sched.place", tid=task.tid, target="core",
+                    core=decision.core,
+                    socket=self.topology.socket_of_core(decision.core),
+                )
+                self.obs.registry.counter("place.core").inc()
         else:
             if not 0 <= decision.socket < self.n_sockets:
                 raise SimulationError(
                     f"placement socket {decision.socket} out of range"
                 )
             self.socket_queues[decision.socket].append(task)
+            if self.obs is not None:
+                self.obs.emit(
+                    self.now, "sched.place", tid=task.tid, target="socket",
+                    socket=decision.socket,
+                )
+                self.obs.registry.counter("place.socket").inc()
+                self.obs.registry.gauge(
+                    f"queue.depth.s{decision.socket}"
+                ).set(self.now, len(self.socket_queues[decision.socket]))
 
     def _advance_empty_epochs(self) -> None:
         while (
@@ -547,6 +626,10 @@ class Simulator:
             and self.remaining_in_epoch[self.active_epoch] == 0
         ):
             self.active_epoch += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    self.now, "epoch.advance", epoch=self.active_epoch
+                )
             for task in self.held_by_epoch[self.active_epoch]:
                 self._offer(task)
             self.held_by_epoch[self.active_epoch] = []
@@ -578,6 +661,12 @@ class Simulator:
                     progress = True
             if self.steal_enabled and self._try_steal():
                 progress = True
+        if self.obs is not None:
+            reg = self.obs.registry
+            for s in range(self.n_sockets):
+                reg.gauge(f"queue.depth.s{s}").set(
+                    self.now, len(self.socket_queues[s])
+                )
 
     def _try_steal(self) -> bool:
         """One round of distance-aware stealing; True if anything moved."""
@@ -595,6 +684,13 @@ class Simulator:
                     continue
                 core = self.idle_cores[s].pop()
                 self.steals += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        self.now, "sched.steal", tid=task.tid, thief=s,
+                        victim=victim,
+                        distance=float(self.topology.dist(s, victim)),
+                    )
+                    self.obs.registry.counter("steals").inc()
                 self._start(task, core, s)
                 stole = True
                 break
@@ -630,6 +726,23 @@ class Simulator:
                 remote_bytes += streams[n]
         self._start_traffic[task.tid] = (local_bytes, remote_bytes)
 
+        if self.obs is not None:
+            reg = self.obs.registry
+            for n, b in streams.items():
+                self._m_traffic[socket, n] += b
+            c_local = reg.counter("bytes.local")
+            c_remote = reg.counter("bytes.remote")
+            c_local.inc(local_bytes)
+            c_remote.inc(remote_bytes)
+            reg.gauge("bytes.local").set(self.now, c_local.value)
+            reg.gauge("bytes.remote").set(self.now, c_remote.value)
+            self.obs.emit(
+                self.now, "task.start",
+                tid=task.tid, name=task.name, core=core, socket=socket,
+                local_bytes=local_bytes, remote_bytes=remote_bytes,
+                attempt=int(self.attempts[task.tid]),
+            )
+
         if self.duration_jitter > 0.0:
             factor = 1.0 + self.duration_jitter * float(self.rng.uniform(-1.0, 1.0))
             compute *= factor
@@ -644,6 +757,10 @@ class Simulator:
             streams=streams,
         )
         self.running[task.tid] = rt
+        if self.obs is not None:
+            self.obs.registry.gauge("cores.busy").set(
+                self.now, len(self.running)
+            )
         if self._injector is not None:
             self._injector.on_task_start(rt)
 
@@ -668,6 +785,24 @@ class Simulator:
                 attempt=int(self.attempts[task.tid]),
             )
         )
+        if self.obs is not None:
+            reg = self.obs.registry
+            duration = self.now - rt.start
+            reg.counter("tasks.completed").inc()
+            reg.histogram("task.duration").observe(duration)
+            total = local_bytes + remote_bytes
+            if total > 0:
+                from ..observability.metrics import FRACTION_BOUNDS
+
+                reg.histogram(
+                    "task.remote_fraction", FRACTION_BOUNDS
+                ).observe(remote_bytes / total)
+            reg.gauge("cores.busy").set(self.now, len(self.running))
+            self.obs.emit(
+                self.now, "task.finish",
+                tid=task.tid, name=task.name, core=rt.core,
+                socket=rt.socket, duration=duration,
+            )
         self.scheduler.on_task_finished(task)
 
         self.remaining_in_epoch[task.epoch] -= 1
@@ -681,6 +816,10 @@ class Simulator:
             and self.remaining_in_epoch[self.active_epoch] == 0
         ):
             self.active_epoch += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    self.now, "epoch.advance", epoch=self.active_epoch
+                )
             released = self.held_by_epoch[self.active_epoch]
             self.held_by_epoch[self.active_epoch] = []
             for held in released:

@@ -65,5 +65,14 @@ class Scheduler(ABC):
     def memory(self):
         return self.sim.memory
 
+    @property
+    def obs(self):
+        """The run's :class:`~repro.observability.Instrumentation`, or
+        ``None`` when the simulation is uninstrumented.  Policies use it
+        to emit ``sched.choice`` decision events (candidates, tie-breaks)
+        without perturbing the schedule.  ``getattr`` keeps unit-test
+        scheduler harnesses (fake sims without instrumentation) working."""
+        return getattr(self.sim, "obs", None)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

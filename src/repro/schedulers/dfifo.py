@@ -32,4 +32,10 @@ class DFIFOScheduler(Scheduler):
     def choose(self, task: Task) -> Placement:
         core = self._counter % self.topology.n_cores
         self._counter += 1
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now, "sched.choice",
+                tid=task.tid, policy=self.name, branch="cyclic", core=core,
+            )
         return Placement(core=core)

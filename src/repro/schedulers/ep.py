@@ -28,4 +28,12 @@ class EPScheduler(Scheduler):
                 f"task {task.name!r} has no {EP_SOCKET_KEY!r} annotation; "
                 "the application does not support the EP policy"
             ) from None
-        return Placement(socket=int(socket) % self.topology.n_sockets)
+        chosen = int(socket) % self.topology.n_sockets
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now, "sched.choice",
+                tid=task.tid, policy=self.name, branch="annotated",
+                socket=chosen,
+            )
+        return Placement(socket=chosen)

@@ -97,7 +97,15 @@ class HEFTScheduler(Scheduler):
             aft[v] = best_eft
 
     def choose(self, task: Task) -> Placement:
-        return Placement(socket=self._plan[task.tid])
+        socket = self._plan[task.tid]
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now, "sched.choice",
+                tid=task.tid, policy=self.name, branch="planned",
+                socket=socket,
+            )
+        return Placement(socket=socket)
 
     @property
     def plan(self) -> dict[int, int]:

@@ -33,6 +33,7 @@ def las_pick_socket(
     n_sockets: int,
     random_threshold: float = 0.0,
     audit: dict | None = None,
+    detail: dict | None = None,
 ) -> int:
     """The LAS socket choice, reusable by RGP+LAS propagation.
 
@@ -45,6 +46,10 @@ def las_pick_socket(
     out the allocated inputs).  The poster's literal wording "if most of
     the data is unallocated" corresponds to 0.5 and is exposed as a LAS
     ablation.
+
+    ``detail``, when given, is filled with the decision evidence (the
+    per-socket byte weights, the branch taken, the candidate set) for
+    ``sched.choice`` trace events; it never influences the choice.
     """
     per_node, unbound = allocated_bytes_per_node(task, memory)
     per_node = per_node[:n_sockets]
@@ -53,12 +58,23 @@ def las_pick_socket(
     if bound_total == 0 or (total > 0 and bound_total <= random_threshold * total):
         if audit is not None:
             audit["random"] = audit.get("random", 0) + 1
+        if detail is not None:
+            detail.update(
+                branch="random", weights=per_node.tolist(),
+                unbound_bytes=int(unbound),
+            )
         return int(rng.integers(n_sockets))
     best = per_node.max()
     ties = np.flatnonzero(per_node == best)
     if audit is not None:
         key = "weighted" if len(ties) == 1 else "tie"
         audit[key] = audit.get(key, 0) + 1
+    if detail is not None:
+        detail.update(
+            branch="weighted" if len(ties) == 1 else "tie",
+            weights=per_node.tolist(),
+            candidates=[int(t) for t in ties],
+        )
     if len(ties) == 1:
         return int(ties[0])
     return int(rng.choice(ties))
@@ -87,11 +103,15 @@ class LASScheduler(Scheduler):
         self.audit: dict[str, int] = {}
 
     def choose(self, task: Task) -> Placement:
+        obs = self.obs
+        detail: dict | None = (
+            {} if obs is not None and obs.events_enabled else None
+        )
         if self.tie_break == "random":
             socket = las_pick_socket(
                 task, self.memory, self.rng, self.topology.n_sockets,
                 random_threshold=self.random_threshold,
-                audit=self.audit,
+                audit=self.audit, detail=detail,
             )
         else:
             per_node, unbound = allocated_bytes_per_node(task, self.memory)
@@ -100,6 +120,15 @@ class LASScheduler(Scheduler):
             total = bound + unbound
             if bound == 0 or (total and bound <= self.random_threshold * total):
                 socket = int(self.rng.integers(self.topology.n_sockets))
+                if detail is not None:
+                    detail.update(branch="random", weights=per_node.tolist())
             else:
                 socket = int(np.argmax(per_node))
+                if detail is not None:
+                    detail.update(branch="first", weights=per_node.tolist())
+        if detail is not None:
+            obs.emit(
+                self.sim.now, "sched.choice",
+                tid=task.tid, policy=self.name, socket=socket, **detail,
+            )
         return Placement(socket=socket)

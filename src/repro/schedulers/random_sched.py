@@ -13,4 +13,12 @@ class RandomScheduler(Scheduler):
     name = "random"
 
     def choose(self, task: Task) -> Placement:
-        return Placement(socket=int(self.rng.integers(self.topology.n_sockets)))
+        socket = int(self.rng.integers(self.topology.n_sockets))
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now, "sched.choice",
+                tid=task.tid, policy=self.name, branch="random",
+                socket=socket,
+            )
+        return Placement(socket=socket)

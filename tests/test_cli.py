@@ -92,6 +92,49 @@ class TestCommands:
         )
 
 
+class TestTraceCommand:
+    _shrink = staticmethod(TestCommands._shrink)
+
+    def test_trace_writes_valid_chrome_json(self, tmp_path, capsys,
+                                            monkeypatch):
+        import json
+
+        self._shrink(monkeypatch)
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--app", "nstream", "--scheduler", "rgp+las",
+                     "--machine", "two-socket", "--quick",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["scheduler"] == "rgp+las"
+
+    def test_trace_optional_paraver_and_metrics(self, tmp_path, capsys,
+                                                monkeypatch):
+        import json
+
+        self._shrink(monkeypatch)
+        chrome = tmp_path / "t.json"
+        prv = tmp_path / "t.prv"
+        met = tmp_path / "m.json"
+        assert main(["trace", "--app", "nstream", "--scheduler", "las",
+                     "--machine", "two-socket", "--quick",
+                     "--out", str(chrome), "--paraver", str(prv),
+                     "--metrics-json", str(met)]) == 0
+        assert prv.read_text().startswith("#Paraver")
+        assert "registry" in json.loads(met.read_text())
+
+    def test_stats_prints_registry_summary(self, capsys, monkeypatch):
+        self._shrink(monkeypatch)
+        assert main(["stats", "--app", "nstream", "--scheduler", "rgp+las",
+                     "--machine", "two-socket", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "numa.traffic" in out
+        assert "tasks.completed" in out
+
+
 class TestFaultsCommand:
     _shrink = staticmethod(TestCommands._shrink)
 

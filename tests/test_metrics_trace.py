@@ -5,7 +5,7 @@ import json
 
 from repro.machine import two_socket
 from repro.metrics import gantt_ascii, to_rows, write_csv, write_json
-from repro.runtime import simulate
+from repro.runtime import TaskProgram, simulate
 from repro.schedulers import make_scheduler
 
 from conftest import make_fan_program
@@ -13,6 +13,17 @@ from conftest import make_fan_program
 
 def result():
     return simulate(make_fan_program(), two_socket(cores_per_socket=2),
+                    make_scheduler("las"), seed=0)
+
+
+def comma_result():
+    """Run of a program whose task names contain CSV metacharacters."""
+    prog = TaskProgram("commas")
+    a = prog.data("a", 8192)
+    prog.task('update(0,1)', outs=[a], work=1.0)
+    prog.task('say "hi", twice', inouts=[a], work=1.0)
+    prog.task("plain", inouts=[a], work=1.0)
+    return simulate(prog.finalize(), two_socket(cores_per_socket=2),
                     make_scheduler("las"), seed=0)
 
 
@@ -27,6 +38,14 @@ class TestRows:
         assert set(rows[0]) == {"tid", "name", "socket", "core", "start",
                                 "finish", "local_bytes", "remote_bytes"}
 
+    def test_sort_key_is_total(self):
+        """The documented (start, tid, attempt, core) key leaves no tie to
+        input order: reversing the record list must not change the rows."""
+        res = result()
+        rows = to_rows(res)
+        res.records.reverse()
+        assert to_rows(res) == rows
+
 
 class TestFiles:
     def test_csv_round_trip(self, tmp_path):
@@ -37,6 +56,22 @@ class TestFiles:
             rows = list(csv.DictReader(fh))
         assert len(rows) == res.n_tasks
         assert {r["name"] for r in rows} == {rec.name for rec in res.records}
+
+    def test_csv_quotes_commas_in_names(self, tmp_path):
+        """Regression: names with commas/quotes must survive a CSV
+        round-trip unmangled (RFC 4180 quoting)."""
+        res = comma_result()
+        path = tmp_path / "trace.csv"
+        write_csv(res, path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == res.n_tasks
+        names = {r["name"] for r in rows}
+        assert names == {'update(0,1)', 'say "hi", twice', "plain"}
+        # Every row still has exactly the declared columns (no spillover
+        # of a comma-split name into the socket/core fields).
+        for row in rows:
+            assert row["socket"].isdigit() and row["core"].isdigit()
 
     def test_json_contents(self, tmp_path):
         res = result()

@@ -1,0 +1,113 @@
+"""The zero-overhead guarantee: instrumentation must not change results.
+
+Three levels, mirroring the fault-injection guarantee of
+``test_faults_injection.py``:
+
+* ``instrument=None`` (the default) — no emit site executes at all;
+* a :class:`NullSink` — emits are state-free no-ops, metrics still accrue;
+* a full :class:`RingBufferSink` — observation reads state but never
+  mutates it or draws randomness.
+
+All three must produce **byte-identical** schedules for every scheduler
+the repo ships, fault-free and under an injected fault plan.
+"""
+
+import pytest
+
+from repro.faults import CoreFault, FaultPlan, TaskCrash
+from repro.machine import two_socket
+from repro.observability import NULL_SINK, Instrumentation
+from repro.runtime import TaskProgram, simulate
+from repro.schedulers import SCHEDULERS, make_scheduler
+
+ALL_POLICIES = sorted(SCHEDULERS)
+
+
+def make_program(width: int = 8, obj_bytes: int = 65536) -> TaskProgram:
+    """Fan-shaped program with ``ep_socket`` annotations so every policy
+    (including EP) can schedule it."""
+    prog = TaskProgram("fan")
+    lanes = []
+    for i in range(width):
+        a = prog.data(f"a{i}", obj_bytes)
+        prog.task(f"prod{i}", outs=[a], work=0.5,
+                  meta={"ep_socket": i % 2})
+        lanes.append(a)
+    for i, a in enumerate(lanes):
+        prog.task(f"cons{i}", ins=[a], work=0.5,
+                  meta={"ep_socket": i % 2})
+    sink = prog.data("sink", 4096)
+    prog.task("join", ins=lanes, outs=[sink], work=0.1,
+              meta={"ep_socket": 0})
+    return prog.finalize()
+
+
+def run(policy, instrument=None, seed=3, faults=None):
+    topo = two_socket(cores_per_socket=2)
+    return simulate(
+        make_program(), topo, make_scheduler(policy),
+        seed=seed, instrument=instrument, faults=faults,
+    )
+
+
+def schedule_fingerprint(result):
+    """Everything that defines the schedule, byte for byte."""
+    return (
+        result.makespan,
+        result.local_bytes,
+        result.remote_bytes,
+        result.steals,
+        result.busy_time_per_socket.tobytes(),
+        result.bytes_by_pair.tobytes(),
+        tuple(
+            (r.tid, r.core, r.socket, r.start, r.finish,
+             r.local_bytes, r.remote_bytes, r.attempt)
+            for r in result.records
+        ),
+    )
+
+
+class TestZeroOverhead:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_null_sink_is_byte_identical(self, policy):
+        """Acceptance gate: every seed scheduler, sink disabled, identical
+        SimulationResult aggregates and records."""
+        base = run(policy)
+        instrumented = run(policy, instrument=Instrumentation(sink=NULL_SINK))
+        assert schedule_fingerprint(base) == schedule_fingerprint(instrumented)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_ring_buffer_is_byte_identical(self, policy):
+        """Even full event collection must not perturb the schedule."""
+        base = run(policy)
+        instrumented = run(policy, instrument=Instrumentation())
+        assert schedule_fingerprint(base) == schedule_fingerprint(instrumented)
+
+    def test_uninstrumented_result_has_no_observability_payload(self):
+        base = run("las")
+        assert base.events == []
+        assert base.metrics is None
+
+    @pytest.mark.parametrize("policy", ["las", "rgp+las", "dfifo"])
+    def test_faulted_runs_also_byte_identical(self, policy):
+        """Instrumentation must not perturb fault injection either (the
+        injector's RNG stream is independent of the sink)."""
+        plan = FaultPlan(
+            core_faults=(CoreFault(core=1, at=0.4, duration=1.0),),
+            task_crashes=(TaskCrash(probability=0.25, max_crashes=3),),
+        )
+        base = run(policy, faults=plan)
+        instrumented = run(policy, faults=plan, instrument=Instrumentation())
+        assert schedule_fingerprint(base) == schedule_fingerprint(instrumented)
+
+    def test_instrumented_rerun_of_same_scheduler_object(self):
+        """An instrumented run must not leave state (e.g. a partitioner
+        observer) behind that changes a later uninstrumented run."""
+        topo = two_socket(cores_per_socket=2)
+        sched = make_scheduler("rgp+las")
+        prog = make_program()
+        r1 = simulate(prog, topo, sched, seed=3, instrument=Instrumentation())
+        r2 = simulate(prog, topo, sched, seed=3)
+        assert r2.events == []
+        assert r2.metrics is None
+        assert schedule_fingerprint(r1) == schedule_fingerprint(r2)
