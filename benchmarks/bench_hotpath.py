@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Standalone entry point for the scheduling hot-path benchmark.
+
+Thin wrapper over :mod:`repro.bench.hotpath` so the harness can run
+without installing the package::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --validate BENCH_hotpath.json
+
+Measures scheduler decisions/sec (LAS placement query, cache on/off) and
+end-to-end simulation wall-clock across graph sizes, writes the schema
+-checked ``BENCH_hotpath.json``, and verifies cached and uncached runs
+produce byte-identical schedules.  ``repro bench`` is the same harness
+behind the installed CLI.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench"] + list(sys.argv[1:] if argv is None else argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

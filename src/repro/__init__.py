@@ -32,6 +32,7 @@ from .apps import APPS, TaskApplication, make_app
 from .core import RGPLASScheduler, RGPScheduler
 from .errors import (
     ApplicationError,
+    BenchmarkError,
     DependencyError,
     ExperimentError,
     FaultError,
@@ -105,6 +106,7 @@ __all__ = [
     "SCHEDULERS",
     "AccessMode",
     "ApplicationError",
+    "BenchmarkError",
     "CoreFault",
     "CoreSlowdown",
     "DFIFOScheduler",

@@ -1,0 +1,32 @@
+"""Benchmark harnesses measuring the simulator itself (DESIGN.md §9).
+
+Unlike :mod:`repro.experiments` (which measures *simulated* makespans),
+this package measures *host wall-clock* performance of the reproduction's
+hot paths — scheduler decisions per second and end-to-end simulation
+throughput — and emits the machine-readable ``BENCH_hotpath.json`` the
+perf trajectory is tracked with.
+"""
+
+from .hotpath import (
+    BENCH_SCHEMA_KEYS,
+    bench_decision_rate,
+    bench_end_to_end,
+    build_bench_program,
+    check_cache_equivalence,
+    headline_speedup,
+    run_hotpath_bench,
+    validate_entries,
+    write_entries,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_KEYS",
+    "bench_decision_rate",
+    "bench_end_to_end",
+    "build_bench_program",
+    "check_cache_equivalence",
+    "headline_speedup",
+    "run_hotpath_bench",
+    "validate_entries",
+    "write_entries",
+]

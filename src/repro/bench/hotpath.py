@@ -1,0 +1,303 @@
+"""Scheduling hot-path benchmark: decisions/sec and end-to-end sim speed.
+
+The scheduling hot path is one query — "how many of this task's bytes are
+bound to each NUMA node?" (:func:`repro.runtime.cost.allocated_bytes_per_node`).
+Every LAS decision asks it, the simulator asks it again at task start, and
+RGP's propagation inherits it.  This harness measures that query two ways,
+with the :class:`~repro.machine.memory.MemoryManager` placement cache on
+and off:
+
+* **decision rate** — replay the LAS decision query over every task of a
+  bound placement, the steady-state cost of one scheduling decision;
+* **end-to-end** — wall-clock of a complete simulation, where the query
+  is interleaved with first-touch binding (the adversarial case for the
+  cache: every producer invalidates its output object).
+
+Entries follow the fixed schema ``{name, n_tasks, policy, wall_s,
+decisions_per_s}`` and are written to ``BENCH_hotpath.json``; cached and
+uncached runs of the same workload sit side by side so the speedup is
+recorded in the file, and :func:`check_cache_equivalence` proves (under
+``REPRO_CHECK_CACHE`` oracle semantics) that the cache never changes a
+schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from ..apps import make_app
+from ..errors import BenchmarkError
+from ..machine import presets
+from ..machine.memory import MemoryManager
+from ..runtime.cost import allocated_bytes_per_node
+from ..runtime.program import TaskProgram
+from ..runtime.simulator import Simulator
+from ..schedulers import make_scheduler
+
+#: Required schema of one ``BENCH_hotpath.json`` entry (extra keys allowed).
+BENCH_SCHEMA_KEYS: dict[str, type] = {
+    "name": str,
+    "n_tasks": int,
+    "policy": str,
+    "wall_s": float,
+    "decisions_per_s": float,
+}
+
+#: Default task-count targets (the large one satisfies the >= 10k-task
+#: acceptance bar for the cache speedup measurement).
+FULL_SIZES = (1_000, 4_000, 10_000)
+QUICK_SIZES = (300, 1_200)
+
+#: Policies timed end-to-end (the decision bench is LAS by definition).
+E2E_POLICIES = ("las", "rgp+las")
+
+
+def build_bench_program(n_tasks: int, n_sockets: int) -> TaskProgram:
+    """A stencil task program with at least ``n_tasks`` tasks.
+
+    The 2-D stencil is the cache's worst realistic workload: every task
+    reads five neighbour tiles (high range-sharing across consumers) while
+    sweeps keep first-touching fresh output objects (steady invalidation).
+    """
+    if n_tasks < 3:
+        raise BenchmarkError(f"need at least 3 tasks, got {n_tasks}")
+    # SyntheticApp stencil builds 3 sweeps of a scale x scale grid.
+    scale = 1
+    while 3 * scale * scale < n_tasks:
+        scale += 1
+    app = make_app("synthetic", kind="stencil", scale=scale)
+    return app.build(n_sockets)
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def bench_decision_rate(
+    program: TaskProgram,
+    topology,
+    *,
+    cache: bool,
+    reps: int = 3,
+    label: str | None = None,
+) -> dict[str, Any]:
+    """Time the LAS decision query over a fully bound placement.
+
+    Pages are bound round-robin (tid mod node) before timing, modelling
+    the steady state where producers have run and the scheduler weighs
+    settled data — exactly what LAS does for every ready task.
+    """
+    memory = MemoryManager(topology.n_nodes, cache=cache)
+    for obj in program.objects:
+        memory.register(obj.key, obj.size_bytes)
+    for task in program.tasks:
+        node = task.tid % topology.n_nodes
+        for access in task.accesses:
+            memory.touch(access.obj.key, node, access.offset, access.length)
+
+    def replay() -> None:
+        for _ in range(reps):
+            for task in program.tasks:
+                allocated_bytes_per_node(task, memory)
+
+    _, wall = _timed(replay)
+    n_decisions = reps * program.n_tasks
+    return {
+        "name": label or f"decision/{program.name}-{program.n_tasks}/"
+        f"{'cached' if cache else 'uncached'}",
+        "n_tasks": program.n_tasks,
+        "policy": "las",
+        "wall_s": wall,
+        "decisions_per_s": n_decisions / wall if wall > 0 else float("inf"),
+    }
+
+
+def bench_end_to_end(
+    program: TaskProgram,
+    topology,
+    policy: str,
+    *,
+    cache: bool,
+    seed: int = 0,
+    label: str | None = None,
+) -> dict[str, Any]:
+    """Wall-clock one full simulation; decisions/sec = tasks placed / wall."""
+    sim = Simulator(
+        program, topology, make_scheduler(policy),
+        seed=seed, placement_cache=cache,
+    )
+    _, wall = _timed(sim.run)
+    return {
+        "name": label or f"e2e/{program.name}-{program.n_tasks}/{policy}/"
+        f"{'cached' if cache else 'uncached'}",
+        "n_tasks": program.n_tasks,
+        "policy": policy,
+        "wall_s": wall,
+        "decisions_per_s": program.n_tasks / wall if wall > 0 else float("inf"),
+    }
+
+
+def check_cache_equivalence(
+    program: TaskProgram, topology, policy: str, seed: int = 0
+) -> None:
+    """Prove cached and uncached runs produce byte-identical schedules.
+
+    The cached run executes with the oracle enabled (the in-process
+    equivalent of ``REPRO_CHECK_CACHE=1``): every cache hit is cross
+    -checked against a fresh recompute, and the resulting schedules must
+    match record for record.
+    """
+    cached_sim = Simulator(
+        program, topology, make_scheduler(policy), seed=seed,
+        placement_cache=True,
+    )
+    cached_sim.memory.check_cache = True  # REPRO_CHECK_CACHE oracle mode
+    cached = cached_sim.run()
+    uncached = Simulator(
+        program, topology, make_scheduler(policy), seed=seed,
+        placement_cache=False,
+    ).run()
+    if cached.makespan != uncached.makespan or len(cached.records) != len(
+        uncached.records
+    ):
+        raise BenchmarkError(
+            f"cache changed the {policy} schedule: makespan "
+            f"{cached.makespan} vs {uncached.makespan}"
+        )
+    for a, b in zip(cached.records, uncached.records):
+        if (
+            a.tid != b.tid or a.core != b.core or a.socket != b.socket
+            or a.start != b.start or a.finish != b.finish
+            or a.local_bytes != b.local_bytes
+            or a.remote_bytes != b.remote_bytes
+        ):
+            raise BenchmarkError(
+                f"cache changed the {policy} schedule at task {a.tid}: "
+                f"{a} vs {b}"
+            )
+
+
+def validate_entries(entries: Any) -> None:
+    """Enforce the ``BENCH_hotpath.json`` schema; raise on any violation."""
+    if not isinstance(entries, list) or not entries:
+        raise BenchmarkError("bench output must be a non-empty list of entries")
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BenchmarkError(f"entry {i} is not an object: {entry!r}")
+        for key, typ in BENCH_SCHEMA_KEYS.items():
+            if key not in entry:
+                raise BenchmarkError(f"entry {i} missing key {key!r}: {entry}")
+            value = entry[key]
+            if typ is float:
+                ok = isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                )
+            elif typ is int:
+                ok = isinstance(value, int) and not isinstance(value, bool)
+            else:
+                ok = isinstance(value, typ)
+            if not ok:
+                raise BenchmarkError(
+                    f"entry {i} key {key!r} must be {typ.__name__}, "
+                    f"got {value!r}"
+                )
+        if entry["wall_s"] < 0 or entry["decisions_per_s"] < 0:
+            raise BenchmarkError(f"entry {i} has negative measurements: {entry}")
+        if entry["n_tasks"] < 1:
+            raise BenchmarkError(f"entry {i} has no tasks: {entry}")
+
+
+def write_entries(entries: list[dict[str, Any]], path: str | Path) -> None:
+    """Validate and write the bench entries as ``BENCH_hotpath.json``."""
+    validate_entries(entries)
+    Path(path).write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def run_hotpath_bench(
+    *,
+    quick: bool = False,
+    sizes: tuple[int, ...] | None = None,
+    machine: str = "four-socket",
+    reps: int = 3,
+    seed: int = 0,
+    verify: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> list[dict[str, Any]]:
+    """The full hot-path suite: decision rates + end-to-end, cached/uncached.
+
+    Returns schema-valid entries; the largest size carries the headline
+    cached-vs-uncached decision-rate comparison.  ``verify=True`` also
+    runs the oracle equivalence check (cached vs uncached schedules must
+    be byte-identical) on the smallest size for every end-to-end policy.
+    """
+    say = progress or (lambda _msg: None)
+    topology = presets.by_name(machine)
+    sizes = tuple(sizes) if sizes else (QUICK_SIZES if quick else FULL_SIZES)
+    entries: list[dict[str, Any]] = []
+    programs = {}
+    for n in sizes:
+        say(f"building ~{n}-task stencil program")
+        programs[n] = build_bench_program(n, topology.n_sockets)
+
+    if verify:
+        smallest = programs[min(sizes)]
+        for policy in E2E_POLICIES:
+            say(
+                f"oracle check ({policy}, {smallest.n_tasks} tasks): "
+                "cached vs uncached schedules"
+            )
+            check_cache_equivalence(smallest, topology, policy, seed=seed)
+        say("oracle check passed: schedules byte-identical")
+
+    for n in sizes:
+        program = programs[n]
+        for cache in (False, True):
+            entry = bench_decision_rate(
+                program, topology, cache=cache, reps=reps
+            )
+            entries.append(entry)
+            say(
+                f"{entry['name']}: {entry['decisions_per_s']:,.0f} "
+                f"decisions/s ({entry['wall_s']:.3f}s)"
+            )
+    # End-to-end at the smaller sizes only: the uncached simulator at the
+    # largest size is exactly the bottleneck this cache removes.
+    e2e_sizes = sizes[:-1] if len(sizes) > 1 else sizes
+    for n in e2e_sizes:
+        program = programs[n]
+        for policy in E2E_POLICIES:
+            for cache in (False, True):
+                entry = bench_end_to_end(
+                    program, topology, policy, cache=cache, seed=seed,
+                    label=(
+                        f"e2e/{program.name}-{program.n_tasks}/{policy}/"
+                        f"{'cached' if cache else 'uncached'}"
+                    ),
+                )
+                entries.append(entry)
+                say(
+                    f"{entry['name']}: {entry['wall_s']:.3f}s wall, "
+                    f"{entry['decisions_per_s']:,.0f} tasks/s"
+                )
+    validate_entries(entries)
+    return entries
+
+
+def headline_speedup(entries: list[dict[str, Any]]) -> float | None:
+    """Cached/uncached decision-rate ratio at the largest benched size."""
+    best: dict[int, dict[str, float]] = {}
+    for entry in entries:
+        if not entry["name"].startswith("decision/"):
+            continue
+        mode = entry["name"].rsplit("/", 1)[-1]
+        best.setdefault(entry["n_tasks"], {})[mode] = entry["decisions_per_s"]
+    for n in sorted(best, reverse=True):
+        modes = best[n]
+        if "cached" in modes and "uncached" in modes and modes["uncached"] > 0:
+            return modes["cached"] / modes["uncached"]
+    return None

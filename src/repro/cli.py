@@ -17,6 +17,8 @@ Commands
                 the NUMA socket-by-node traffic matrix.
 ``ablation``  — run one of the ablation sweeps (window / partitioner /
                 sockets / las / propagation).
+``bench``     — host-performance benchmark of the scheduling hot path
+                (placement-cache on/off); emits ``BENCH_hotpath.json``.
 ``apps``      — list the available applications, schedulers and machines.
 """
 
@@ -240,6 +242,46 @@ def cmd_ablation(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Hot-path benchmark: decisions/sec and end-to-end sim wall-clock."""
+    import json
+
+    from .bench import (
+        headline_speedup,
+        run_hotpath_bench,
+        validate_entries,
+        write_entries,
+    )
+
+    if args.validate:
+        from .errors import BenchmarkError
+
+        try:
+            entries = json.loads(open(args.validate).read())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BenchmarkError(
+                f"cannot read bench file {args.validate}: {exc}"
+            ) from exc
+        validate_entries(entries)
+        print(f"{args.validate}: schema OK")
+        return 0
+    entries = run_hotpath_bench(
+        quick=args.quick,
+        sizes=tuple(args.sizes) if args.sizes else None,
+        machine=args.machine,
+        reps=args.reps,
+        seed=args.seed,
+        verify=not args.no_verify,
+        progress=lambda m: print(f"  {m}", file=sys.stderr),
+    )
+    write_entries(entries, args.out)
+    print(f"bench results written to {args.out} ({len(entries)} entries)")
+    speedup = headline_speedup(entries)
+    if speedup is not None:
+        print(f"placement-cache decision-rate speedup: {speedup:.2f}x")
+    return 0
+
+
 def cmd_apps(args) -> int:
     print("applications:", ", ".join(sorted(APPS)))
     print("schedulers:  ", ", ".join(sorted(SCHEDULERS)))
@@ -391,6 +433,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("which", choices=["window", "partitioner", "sockets",
                                      "las", "propagation"])
     p.set_defaults(fn=cmd_ablation)
+
+    p = sub.add_parser(
+        "bench",
+        help="hot-path host benchmark; emits BENCH_hotpath.json",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller graph sizes (CI smoke)")
+    p.add_argument("--out", default="BENCH_hotpath.json",
+                   metavar="OUT.json",
+                   help="output file (default BENCH_hotpath.json)")
+    p.add_argument("--sizes", type=int, nargs="+", default=None,
+                   help="task-count targets (default 1k/4k/10k, quick 300/1200)")
+    p.add_argument("--machine", default="four-socket",
+                   choices=sorted(presets.PRESETS))
+    p.add_argument("--reps", type=int, default=3,
+                   help="decision-replay repetitions (default 3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the cached-vs-uncached schedule oracle check")
+    p.add_argument("--validate", default=None, metavar="FILE.json",
+                   help="only validate an existing bench file's schema")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("apps", help="list apps/schedulers/machines")
     p.set_defaults(fn=cmd_apps)

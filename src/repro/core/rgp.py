@@ -85,6 +85,11 @@ class RGPScheduler(Scheduler):
         self.partition_delay = float(partition_delay)
         self.partition_seed = partition_seed
         self.partition_timeout = partition_timeout
+        #: The constructor-configured deadline, kept so a fault plan's
+        #: injected deadline (configure_faults) can be undone on the next
+        #: attach — a reused scheduler must not carry a previous run's
+        #: injected timeout into a fault-free run.
+        self._configured_timeout = partition_timeout
         self.on_timeout = on_timeout
         # Run state (reset per attach/run).
         self._assignment: dict[int, int] = {}
@@ -99,8 +104,23 @@ class RGPScheduler(Scheduler):
         self.audit: dict[str, int] = {}
 
     # ------------------------------------------------------------------
+    def attach(self, sim, rng) -> None:
+        """Bind to a simulator; restore the configured partition deadline.
+
+        The simulator attaches *before* it applies any fault plan
+        (configure_faults), so a faulted run still sees its injected
+        deadline, while a later fault-free run of the same scheduler
+        object starts from the constructor value again.
+        """
+        super().attach(sim, rng)
+        self.partition_timeout = self._configured_timeout
+
     def configure_faults(self, plan) -> None:
-        """Adopt an injected partition deadline from the run's fault plan."""
+        """Adopt an injected partition deadline from the run's fault plan.
+
+        The override lasts for this run only: the next :meth:`attach`
+        restores the constructor-configured deadline.
+        """
         if plan.partition_timeout is not None:
             self.partition_timeout = float(plan.partition_timeout)
 

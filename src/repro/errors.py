@@ -58,3 +58,7 @@ class FaultError(ReproError):
 
 class PartitionTimeoutError(FaultError):
     """The window partition result did not arrive before its deadline."""
+
+
+class BenchmarkError(ReproError):
+    """Benchmark harness failure (schema violation, divergent schedules)."""

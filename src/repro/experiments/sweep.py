@@ -13,6 +13,13 @@ Long sweeps can pass ``checkpoint=<path>``: every finished grid point is
 appended to the file (JSON lines) the moment it completes, and a rerun of
 the same sweep skips the points already on disk — a crashed or killed
 sweep resumes where it left off instead of starting over.
+
+``workers=N`` (N > 1) fans the grid points out over a process pool:
+points are independent (each worker rebuilds its program from the config,
+because task closures do not pickle) and seeded identically, so parallel
+and sequential sweeps produce the same rows.  Checkpointing stays safe —
+rows are appended from the parent as each point completes, and a resumed
+sweep only submits the missing points.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from __future__ import annotations
 import csv
 import itertools
 import json
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -126,60 +134,113 @@ def _append_checkpoint(path: Path, row: SweepRow) -> None:
         fh.flush()
 
 
+#: Per-worker-process program memo: (app, params-json, n_sockets) -> program.
+#: Programs cannot cross the process boundary (task closures don't pickle),
+#: so each worker builds them once and reuses them across its points.
+_WORKER_PROGRAMS: dict[tuple, Any] = {}
+
+
+def _program_for(config: ExperimentConfig, app_name: str):
+    key = (
+        app_name,
+        json.dumps(config.app_params.get(app_name, {}), sort_keys=True,
+                   default=str),
+        config.topology.n_sockets,
+    )
+    program = _WORKER_PROGRAMS.get(key)
+    if program is None:
+        program = build_program(config, app_name)
+        _WORKER_PROGRAMS[key] = program
+    return program
+
+
+def _run_point(
+    config: ExperimentConfig, point: dict[str, Any], run_kwargs: dict
+) -> SweepRow:
+    """Measure one grid point (top-level so a process pool can pickle it)."""
+    policy = point["policy"]
+    sched_kwargs = {k: v for k, v in point.items() if k not in _RESERVED}
+    program = _program_for(config, point["app"])
+
+    def factory(policy=policy, kwargs=sched_kwargs):
+        return make_scheduler(policy, **kwargs)
+
+    try:
+        stats = run_policy(config, program, policy, factory, **run_kwargs)
+    except TypeError as exc:
+        raise ExperimentError(
+            f"policy {policy!r} rejected kwargs {sched_kwargs}: {exc}"
+        ) from None
+    return SweepRow(
+        params=point,
+        makespan_mean=stats.makespan_mean,
+        makespan_std=stats.makespan_std,
+        remote_fraction=stats.remote_fraction_mean,
+    )
+
+
 def run_sweep(
     config: ExperimentConfig,
     grid: ParameterGrid,
     progress=None,
     checkpoint: str | Path | None = None,
+    workers: int | None = None,
     **run_kwargs,
 ) -> list[SweepRow]:
     """Run every grid point; scheduler kwargs come from the extra axes.
 
     ``checkpoint`` names a JSONL file: completed points are appended as
-    they finish and skipped on resume.  Extra keyword arguments (e.g.
-    ``validate=True``, ``timeout=...``, ``retries=...``) are forwarded to
-    :func:`~repro.experiments.runner.run_policy` for every point.
+    they finish and skipped on resume.  ``workers`` > 1 runs the pending
+    points on a process pool (rows still come back in grid order, and the
+    config plus any ``run_kwargs`` must be picklable).  Extra keyword
+    arguments (e.g. ``validate=True``, ``timeout=...``, ``retries=...``)
+    are forwarded to :func:`~repro.experiments.runner.run_policy` for
+    every point.
     """
-    rows: list[SweepRow] = []
-    programs: dict[str, Any] = {}
     done: dict[str, SweepRow] = {}
     if checkpoint is not None:
         checkpoint = Path(checkpoint)
         done = load_checkpoint(checkpoint)
-    for point in grid.points():
+    points = list(grid.points())
+    computed: dict[str, SweepRow] = {}
+    pending = [p for p in points if _point_key(p) not in done]
+    if workers is not None and workers > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_point, config, point, run_kwargs): point
+                for point in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for fut in finished:
+                    point = futures[fut]
+                    row = fut.result()  # re-raises worker failures
+                    computed[_point_key(point)] = row
+                    if checkpoint is not None:
+                        _append_checkpoint(checkpoint, row)
+                    if progress:
+                        progress(f"{point} -> {row.makespan_mean:.4g}")
+    else:
+        for point in pending:
+            row = _run_point(config, point, run_kwargs)
+            computed[_point_key(point)] = row
+            if checkpoint is not None:
+                _append_checkpoint(checkpoint, row)
+            if progress:
+                progress(f"{point} -> {row.makespan_mean:.4g}")
+
+    rows: list[SweepRow] = []
+    for point in points:
         key = _point_key(point)
         if key in done:
             rows.append(done[key])
             if progress:
                 progress(f"{point} -> (checkpointed)")
-            continue
-        app_name = point["app"]
-        policy = point["policy"]
-        sched_kwargs = {k: v for k, v in point.items() if k not in _RESERVED}
-        if app_name not in programs:
-            programs[app_name] = build_program(config, app_name)
-        program = programs[app_name]
-
-        def factory(policy=policy, kwargs=sched_kwargs):
-            return make_scheduler(policy, **kwargs)
-
-        try:
-            stats = run_policy(config, program, policy, factory, **run_kwargs)
-        except TypeError as exc:
-            raise ExperimentError(
-                f"policy {policy!r} rejected kwargs {sched_kwargs}: {exc}"
-            ) from None
-        row = SweepRow(
-            params=point,
-            makespan_mean=stats.makespan_mean,
-            makespan_std=stats.makespan_std,
-            remote_fraction=stats.remote_fraction_mean,
-        )
-        rows.append(row)
-        if checkpoint is not None:
-            _append_checkpoint(checkpoint, row)
-        if progress:
-            progress(f"{point} -> {stats.makespan_mean:.4g}")
+        else:
+            rows.append(computed[key])
     return rows
 
 

@@ -16,10 +16,21 @@ task.  :class:`MemoryManager` models exactly that:
 
 Explicit binding (``bind``) and page migration (``migrate``) are provided
 for the expert-programmer policy and for ablations.
+
+Placement cache (DESIGN.md §9): ``node_bytes_of_range`` is the scheduling
+hot path — every LAS decision and every task start re-queries it.  The
+manager therefore memoises query results behind per-object *version
+counters*: a version bumps only when the object's placement actually
+changes (a first-touch that binds new pages, an explicit bind, a
+migration, an interleave), so queries against a settled object collapse
+into a dict lookup.  ``cache=False`` restores the always-recompute
+behaviour, and ``REPRO_CHECK_CACHE=1`` (or ``check=True``) turns every hit
+into an oracle check against a fresh recompute.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,6 +42,11 @@ DEFAULT_PAGE_SIZE = 4096
 
 #: Sentinel node id for a page that has not been first-touched yet.
 UNBOUND = -1
+
+
+def _check_cache_env() -> bool:
+    """Oracle mode default: ``REPRO_CHECK_CACHE=1`` in the environment."""
+    return os.environ.get("REPRO_CHECK_CACHE", "").strip() not in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -54,7 +70,14 @@ class RegionPlacement:
 class MemoryManager:
     """Tracks the NUMA node of every page of every registered object."""
 
-    def __init__(self, n_nodes: int, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        n_nodes: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        cache: bool = True,
+        check: bool | None = None,
+    ) -> None:
         if n_nodes < 1:
             raise MemoryError_(f"need at least one node, got {n_nodes}")
         if page_size < 1:
@@ -70,6 +93,19 @@ class MemoryManager:
         self.touch_count = 0
         #: number of pages moved by migrate()
         self.migrated_pages = 0
+        # Placement cache: per-object version counters plus memo tables.
+        # ``_ver[key]`` bumps on every placement change of the object, so a
+        # memo entry is valid iff it was computed at the current version.
+        self.cache_enabled = bool(cache)
+        self.check_cache = _check_cache_env() if check is None else bool(check)
+        self._ver: dict[int, int] = {}
+        #: (key, offset, length) -> (version, RegionPlacement)
+        self._range_cache: dict[tuple[int, int, int], tuple[int, RegionPlacement]] = {}
+        #: task object -> (version signature, per_node, unbound); owned here
+        #: so placement mutations invalidate it, filled by runtime.cost.
+        self.task_cache: dict[object, tuple[tuple[int, ...], np.ndarray, int]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -86,6 +122,7 @@ class MemoryManager:
         n_pages = -(-size_bytes // self.page_size)  # ceil div
         self._pages[key] = np.full(n_pages, UNBOUND, dtype=np.int32)
         self._sizes[key] = int(size_bytes)
+        self._ver[key] = 0
 
     def is_registered(self, key: int) -> bool:
         return key in self._pages
@@ -114,6 +151,23 @@ class MemoryManager:
         return slice(first, last)
 
     # ------------------------------------------------------------------
+    # Placement cache
+    # ------------------------------------------------------------------
+    def object_version(self, key: int) -> int:
+        """Placement version of an object (bumps on every placement change)."""
+        self._check_key(key)
+        return self._ver[key]
+
+    def _invalidate(self, key: int) -> None:
+        """The object's placement changed: retire its memoised queries."""
+        self._ver[key] += 1
+
+    @property
+    def cache_entries(self) -> int:
+        """Number of memoised range queries currently held (diagnostics)."""
+        return len(self._range_cache)
+
+    # ------------------------------------------------------------------
     # Placement changes
     # ------------------------------------------------------------------
     def touch(
@@ -135,6 +189,7 @@ class MemoryManager:
             window[newly] = node
             self.bytes_on_node[node] += n_new * self.page_size
             self.touch_count += n_new
+            self._invalidate(key)
         return n_new
 
     def bind(
@@ -150,15 +205,19 @@ class MemoryManager:
         pages = self._pages[key]
         sl = self._page_range(key, offset, length)
         window = pages[sl]
+        changed = False
         for old in np.unique(window):
             if old == node:
                 continue
+            changed = True
             count = int((window == old).sum())
             if old != UNBOUND:
                 self.bytes_on_node[old] -= count * self.page_size
                 self.migrated_pages += count
             self.bytes_on_node[node] += count * self.page_size
         window[:] = node
+        if changed:
+            self._invalidate(key)
 
     def migrate(self, key: int, node: int) -> int:
         """Migrate all *bound* pages of an object to ``node``.
@@ -177,6 +236,7 @@ class MemoryManager:
             pages[moving] = node
             self.bytes_on_node[node] += n_moved * self.page_size
             self.migrated_pages += n_moved
+            self._invalidate(key)
         return n_moved
 
     def interleave(self, key: int, nodes: list[int] | None = None) -> None:
@@ -195,6 +255,7 @@ class MemoryManager:
         pages = self._pages[key]
         for i in range(len(pages)):
             self._rebind_page(pages, i, nodes[i % len(nodes)])
+        self._invalidate(key)
 
     def _rebind_page(self, pages: np.ndarray, idx: int, node: int) -> None:
         old = int(pages[idx])
@@ -221,14 +282,44 @@ class MemoryManager:
         Partial first/last pages are attributed proportionally to the bytes
         of the access that fall inside the page, so the totals sum exactly
         to the requested length.
+
+        Results are memoised per (object, range) and stay valid until the
+        object's placement version changes; the returned byte array is
+        read-only (copy it before mutating).
         """
         self._check_key(key)
         size = self._sizes[key]
         if length is None:
             length = size - offset
+        if not self.cache_enabled:
+            return self._compute_range(key, offset, length)
+        cache_key = (key, offset, length)
+        ver = self._ver[key]
+        hit = self._range_cache.get(cache_key)
+        if hit is not None and hit[0] == ver:
+            self.cache_hits += 1
+            if self.check_cache:
+                fresh = self._compute_range(key, offset, length)
+                if (
+                    fresh.unbound_bytes != hit[1].unbound_bytes
+                    or not np.array_equal(fresh.bytes_per_node, hit[1].bytes_per_node)
+                ):
+                    raise MemoryError_(
+                        f"placement-cache divergence on object {key} range "
+                        f"[{offset}, {offset + length}): cached {hit[1]} "
+                        f"vs recomputed {fresh}"
+                    )
+            return hit[1]
+        self.cache_misses += 1
+        placement = self._compute_range(key, offset, length)
+        self._range_cache[cache_key] = (ver, placement)
+        return placement
+
+    def _compute_range(self, key: int, offset: int, length: int) -> RegionPlacement:
         sl = self._page_range(key, offset, length)
         per_node = np.zeros(self.n_nodes, dtype=np.int64)
         if sl.stop == sl.start:
+            per_node.setflags(write=False)
             return RegionPlacement(bytes_per_node=per_node, unbound_bytes=0)
         pages = self._pages[key]
         window = pages[sl]
@@ -240,6 +331,7 @@ class MemoryManager:
         bound = window != UNBOUND
         np.add.at(per_node, window[bound], overlap[bound])
         unbound = int(overlap[~bound].sum())
+        per_node.setflags(write=False)
         return RegionPlacement(bytes_per_node=per_node, unbound_bytes=unbound)
 
     def page_nodes(self, key: int) -> np.ndarray:
@@ -263,3 +355,7 @@ class MemoryManager:
         self.bytes_on_node[:] = 0
         self.touch_count = 0
         self.migrated_pages = 0
+        for key in self._ver:
+            self._ver[key] += 1
+        self._range_cache.clear()
+        self.task_cache.clear()

@@ -3,23 +3,33 @@
 The quantities here are *queries* over the current memory placement; the
 authoritative accounting (what actually gets charged) happens inside the
 simulator when a task starts.
+
+Both queries ride the :class:`~repro.machine.memory.MemoryManager`
+placement cache (DESIGN.md §9): per-range results are memoised inside the
+manager, and :func:`allocated_bytes_per_node` additionally memoises the
+per-task aggregate keyed by the *version signature* of the task's objects,
+so a re-query of a task whose data did not move is a dict lookup.  With
+``cache=False`` managers (or ``REPRO_CHECK_CACHE=1`` oracle mode) the
+cached and recomputed values are guaranteed identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..errors import MemoryError_
 from ..machine.memory import MemoryManager
 from .task import Task
 
 
-def allocated_bytes_per_node(task: Task, memory: MemoryManager) -> tuple[np.ndarray, int]:
-    """(bytes of the task's data already bound, per node; unbound bytes).
+def _signature(task: Task, memory: MemoryManager) -> tuple[int, ...]:
+    """Placement-version signature of every object the task accesses."""
+    return tuple(memory.object_version(a.obj.key) for a in task.accesses)
 
-    This is the socket weighting of the locality-aware scheduler: "the
-    runtime explores its dependencies and weights the sockets using the
-    size of the allocated input and output data".
-    """
+
+def _compute_allocated(
+    task: Task, memory: MemoryManager
+) -> tuple[np.ndarray, int]:
     per_node = np.zeros(memory.n_nodes, dtype=np.int64)
     unbound = 0
     for access in task.accesses:
@@ -28,6 +38,38 @@ def allocated_bytes_per_node(task: Task, memory: MemoryManager) -> tuple[np.ndar
         )
         per_node += placement.bytes_per_node
         unbound += placement.unbound_bytes
+    per_node.setflags(write=False)
+    return per_node, unbound
+
+
+def allocated_bytes_per_node(task: Task, memory: MemoryManager) -> tuple[np.ndarray, int]:
+    """(bytes of the task's data already bound, per node; unbound bytes).
+
+    This is the socket weighting of the locality-aware scheduler: "the
+    runtime explores its dependencies and weights the sockets using the
+    size of the allocated input and output data".
+
+    The returned array is read-only and may be shared with the cache; copy
+    it before mutating.
+    """
+    if not memory.cache_enabled:
+        return _compute_allocated(task, memory)
+    sig = _signature(task, memory)
+    hit = memory.task_cache.get(task)
+    if hit is not None and hit[0] == sig:
+        memory.cache_hits += 1
+        if memory.check_cache:
+            fresh_node, fresh_unbound = _compute_allocated(task, memory)
+            if fresh_unbound != hit[2] or not np.array_equal(fresh_node, hit[1]):
+                raise MemoryError_(
+                    f"placement-cache divergence on task {task.tid} "
+                    f"({task.name!r}): cached ({hit[1]}, {hit[2]}) vs "
+                    f"recomputed ({fresh_node}, {fresh_unbound})"
+                )
+        return hit[1], hit[2]
+    memory.cache_misses += 1
+    per_node, unbound = _compute_allocated(task, memory)
+    memory.task_cache[task] = (sig, per_node, unbound)
     return per_node, unbound
 
 
@@ -38,6 +80,9 @@ def traffic_streams(task: Task, memory: MemoryManager) -> dict[int, float]:
     pages, so no bytes should remain unbound; any that do (task reading an
     object no one wrote or pre-bound) are attributed nowhere and surface in
     the unbound counter of :func:`allocated_bytes_per_node` instead.
+
+    Returns a fresh dict each call (the simulator drains it in place); the
+    per-range placements underneath come from the manager's cache.
     """
     streams: dict[int, float] = {}
     for access in task.accesses:

@@ -111,6 +111,7 @@ class Simulator:
         retry_backoff: float = 0.0,
         wall_clock_limit: float | None = None,
         instrument=None,
+        placement_cache: bool = True,
     ) -> None:
         program.validate()
         self.program = program
@@ -158,7 +159,13 @@ class Simulator:
         )
 
         # Memory image: register all objects, apply explicit pre-bindings.
-        self.memory = MemoryManager(topology.n_nodes, page_size)
+        # ``placement_cache=False`` forces every placement query to
+        # recompute (the pre-cache behaviour; used by benchmarks and the
+        # cache-equivalence tests).  Cached and uncached runs are
+        # byte-identical — the cache is a pure memoisation layer.
+        self.memory = MemoryManager(
+            topology.n_nodes, page_size, cache=placement_cache
+        )
         for obj in program.objects:
             self.memory.register(obj.key, obj.size_bytes)
             if obj.initial_node is not None:

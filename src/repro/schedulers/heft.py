@@ -24,18 +24,28 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.cost import allocated_bytes_per_node
 from ..runtime.placement import Placement
 from ..runtime.task import Task
 from .base import Scheduler
 
 
 class HEFTScheduler(Scheduler):
-    """Static earliest-finish-time list scheduler over sockets."""
+    """Static earliest-finish-time list scheduler over sockets.
+
+    ``respect_prebound=True`` additionally charges each candidate socket
+    for transferring the task's *pre-bound* bytes (objects with an
+    ``initial_node`` or interleaved placement, already bound when the plan
+    is computed) that live off-socket, via the memory manager's cached
+    placement query.  The default ``False`` is classic HEFT: placement
+    estimates only, blind to the actual page layout.
+    """
 
     name = "heft"
 
-    def __init__(self) -> None:
+    def __init__(self, respect_prebound: bool = False) -> None:
         super().__init__()
+        self.respect_prebound = bool(respect_prebound)
         self._plan: dict[int, int] = {}
 
     # ------------------------------------------------------------------
@@ -72,6 +82,19 @@ class HEFTScheduler(Scheduler):
                     best = cand
             rank[v] = exec_est(task) + best
 
+        # Pre-bound data penalty: bytes of each task's data already living
+        # off a candidate socket (deferred allocations are all unbound at
+        # planning time, so only initial_node / interleaved objects count).
+        # Rides the memory manager's placement cache — the same ranges are
+        # queried again by the simulator's traffic accounting.
+        prebound: dict[int, np.ndarray] | None = None
+        if self.respect_prebound:
+            prebound = {}
+            for task in program.tasks:
+                per_node, _ = allocated_bytes_per_node(task, self.memory)
+                if int(per_node.sum()):
+                    prebound[task.tid] = per_node[:k]
+
         # EFT assignment in decreasing rank order.
         core_free = np.zeros((k, topo.cores_per_socket))
         aft = np.zeros(n)  # actual (planned) finish times
@@ -90,6 +113,9 @@ class HEFTScheduler(Scheduler):
                 core = int(np.argmin(core_free[s]))
                 est = max(ready, core_free[s, core])
                 eft = est + base
+                if prebound is not None and v in prebound:
+                    per_node = prebound[v]
+                    eft += comm_est(float(per_node.sum() - per_node[s]))
                 if eft < best_eft - 1e-12:
                     best_socket, best_eft, best_core = s, eft, core
             self._plan[v] = best_socket

@@ -34,6 +34,7 @@ def las_pick_socket(
     random_threshold: float = 0.0,
     audit: dict | None = None,
     detail: dict | None = None,
+    tie_break: str = "random",
 ) -> int:
     """The LAS socket choice, reusable by RGP+LAS propagation.
 
@@ -47,21 +48,33 @@ def las_pick_socket(
     the data is unallocated" corresponds to 0.5 and is exposed as a LAS
     ablation.
 
+    Bytes bound to memory nodes the runtime's sockets cannot claim (node id
+    >= ``n_sockets``, possible when the machine model has more memory nodes
+    than sockets) carry no placement signal and are folded into the
+    unallocated total, so they still count against the cold-start rule
+    instead of silently vanishing.
+
+    ``tie_break`` resolves equal-weight sockets: ``"random"`` (the paper)
+    picks uniformly among the tied sockets, ``"first"`` deterministically
+    takes the lowest socket id.  Both take the same branches and feed the
+    same audit counters, so decision taxonomies stay comparable.
+
     ``detail``, when given, is filled with the decision evidence (the
     per-socket byte weights, the branch taken, the candidate set) for
     ``sched.choice`` trace events; it never influences the choice.
     """
-    per_node, unbound = allocated_bytes_per_node(task, memory)
-    per_node = per_node[:n_sockets]
+    per_node_full, unbound = allocated_bytes_per_node(task, memory)
+    per_node = per_node_full[:n_sockets]
     bound_total = int(per_node.sum())
-    total = bound_total + unbound
+    unreachable = int(per_node_full[n_sockets:].sum())
+    total = bound_total + unbound + unreachable
     if bound_total == 0 or (total > 0 and bound_total <= random_threshold * total):
         if audit is not None:
             audit["random"] = audit.get("random", 0) + 1
         if detail is not None:
             detail.update(
                 branch="random", weights=per_node.tolist(),
-                unbound_bytes=int(unbound),
+                unbound_bytes=int(unbound + unreachable),
             )
         return int(rng.integers(n_sockets))
     best = per_node.max()
@@ -75,7 +88,7 @@ def las_pick_socket(
             weights=per_node.tolist(),
             candidates=[int(t) for t in ties],
         )
-    if len(ties) == 1:
+    if len(ties) == 1 or tie_break == "first":
         return int(ties[0])
     return int(rng.choice(ties))
 
@@ -107,25 +120,14 @@ class LASScheduler(Scheduler):
         detail: dict | None = (
             {} if obs is not None and obs.events_enabled else None
         )
-        if self.tie_break == "random":
-            socket = las_pick_socket(
-                task, self.memory, self.rng, self.topology.n_sockets,
-                random_threshold=self.random_threshold,
-                audit=self.audit, detail=detail,
-            )
-        else:
-            per_node, unbound = allocated_bytes_per_node(task, self.memory)
-            per_node = per_node[: self.topology.n_sockets]
-            bound = int(per_node.sum())
-            total = bound + unbound
-            if bound == 0 or (total and bound <= self.random_threshold * total):
-                socket = int(self.rng.integers(self.topology.n_sockets))
-                if detail is not None:
-                    detail.update(branch="random", weights=per_node.tolist())
-            else:
-                socket = int(np.argmax(per_node))
-                if detail is not None:
-                    detail.update(branch="first", weights=per_node.tolist())
+        # Both tie-break modes go through las_pick_socket so the audit
+        # counters and the sched.choice branch taxonomy agree; "first" only
+        # changes how an actual tie is resolved.
+        socket = las_pick_socket(
+            task, self.memory, self.rng, self.topology.n_sockets,
+            random_threshold=self.random_threshold,
+            audit=self.audit, detail=detail, tie_break=self.tie_break,
+        )
         if detail is not None:
             obs.emit(
                 self.sim.now, "sched.choice",

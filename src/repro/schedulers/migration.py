@@ -80,15 +80,19 @@ class MigratingLASWrapper(Scheduler):
             placement = memory.node_bytes_of_range(
                 access.obj.key, access.offset, access.length
             )
-            remote = placement.bytes_per_node.copy()
-            remote[socket] = 0  # local references are fine
-            if remote.any():
+            # The placement array may be shared with the memory manager's
+            # cache (read-only); sum around the local node instead of
+            # zeroing a copy.
+            remote_total = placement.total_bound - int(
+                placement.bytes_per_node[socket]
+            )
+            if remote_total:
                 refs = self._remote_refs.setdefault(
                     access.obj.key, np.zeros(self.topology.n_sockets)
                 )
                 # Attribute the remote bytes to the *referencing* socket:
                 # that is where the pages should move.
-                refs[socket] += float(remote.sum())
+                refs[socket] += float(remote_total)
 
     # ------------------------------------------------------------------
     def _wake(self) -> None:

@@ -1,0 +1,169 @@
+"""Tests for the hot-path benchmark harness and its JSON schema."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_KEYS,
+    bench_decision_rate,
+    bench_end_to_end,
+    build_bench_program,
+    check_cache_equivalence,
+    headline_speedup,
+    run_hotpath_bench,
+    validate_entries,
+    write_entries,
+)
+from repro.cli import main
+from repro.errors import BenchmarkError
+from repro.machine import presets
+
+
+def good_entry(**over):
+    entry = {
+        "name": "decision/test-10/cached",
+        "n_tasks": 10,
+        "policy": "las",
+        "wall_s": 0.5,
+        "decisions_per_s": 20.0,
+    }
+    entry.update(over)
+    return entry
+
+
+class TestSchema:
+    def test_valid_entries_pass(self):
+        validate_entries([good_entry(), good_entry(extra="ok")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError, match="non-empty"):
+            validate_entries([])
+        with pytest.raises(BenchmarkError):
+            validate_entries("not a list")
+
+    @pytest.mark.parametrize("key", sorted(BENCH_SCHEMA_KEYS))
+    def test_missing_key_rejected(self, key):
+        entry = good_entry()
+        del entry[key]
+        with pytest.raises(BenchmarkError, match="missing key"):
+            validate_entries([entry])
+
+    def test_wrong_types_rejected(self):
+        with pytest.raises(BenchmarkError, match="must be"):
+            validate_entries([good_entry(n_tasks="ten")])
+        with pytest.raises(BenchmarkError, match="must be"):
+            validate_entries([good_entry(wall_s="fast")])
+        # booleans are ints in Python but not in the schema
+        with pytest.raises(BenchmarkError, match="must be"):
+            validate_entries([good_entry(n_tasks=True)])
+
+    def test_negative_measurements_rejected(self):
+        with pytest.raises(BenchmarkError, match="negative"):
+            validate_entries([good_entry(wall_s=-1.0)])
+        with pytest.raises(BenchmarkError, match="no tasks"):
+            validate_entries([good_entry(n_tasks=0)])
+
+    def test_write_entries_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_hotpath.json"
+        write_entries([good_entry()], path)
+        assert json.loads(path.read_text()) == [good_entry()]
+
+    def test_write_refuses_invalid(self, tmp_path):
+        path = tmp_path / "bad.json"
+        with pytest.raises(BenchmarkError):
+            write_entries([good_entry(policy=7)], path)
+        assert not path.exists()
+
+
+class TestHarness:
+    def test_build_bench_program_meets_floor(self):
+        program = build_bench_program(100, 4)
+        assert program.n_tasks >= 100
+        with pytest.raises(BenchmarkError):
+            build_bench_program(1, 4)
+
+    def test_decision_rate_entries(self):
+        topo = presets.by_name("two-socket")
+        program = build_bench_program(50, topo.n_sockets)
+        for cache in (False, True):
+            entry = bench_decision_rate(program, topo, cache=cache, reps=1)
+            validate_entries([entry])
+            assert entry["policy"] == "las"
+            assert entry["decisions_per_s"] > 0
+
+    def test_end_to_end_entry(self):
+        topo = presets.by_name("two-socket")
+        program = build_bench_program(30, topo.n_sockets)
+        entry = bench_end_to_end(program, topo, "las", cache=True)
+        validate_entries([entry])
+        assert entry["policy"] == "las"
+        assert entry["wall_s"] > 0
+
+    def test_equivalence_check_passes_on_real_cache(self):
+        topo = presets.by_name("two-socket")
+        program = build_bench_program(30, topo.n_sockets)
+        check_cache_equivalence(program, topo, "las")
+        check_cache_equivalence(program, topo, "rgp+las")
+
+    def test_run_hotpath_bench_tiny(self):
+        entries = run_hotpath_bench(sizes=(30, 60), machine="two-socket",
+                                    reps=1)
+        validate_entries(entries)
+        names = [e["name"] for e in entries]
+        assert any(n.startswith("decision/") and n.endswith("/cached")
+                   for n in names)
+        assert any(n.startswith("e2e/") for n in names)
+        # e2e skips the largest size; decision covers both sizes.
+        assert sum(n.startswith("decision/") for n in names) == 4
+        speedup = headline_speedup(entries)
+        assert speedup is not None and speedup > 0
+
+    def test_headline_speedup_uses_largest_size(self):
+        entries = [
+            good_entry(name="decision/x-10/uncached", n_tasks=10,
+                       decisions_per_s=100.0),
+            good_entry(name="decision/x-10/cached", n_tasks=10,
+                       decisions_per_s=500.0),
+            good_entry(name="decision/x-99/uncached", n_tasks=99,
+                       decisions_per_s=100.0),
+            good_entry(name="decision/x-99/cached", n_tasks=99,
+                       decisions_per_s=300.0),
+            good_entry(name="e2e/x-10/las/cached", n_tasks=10),
+        ]
+        assert headline_speedup(entries) == pytest.approx(3.0)
+
+    def test_headline_speedup_none_without_pairs(self):
+        assert headline_speedup([good_entry(name="e2e/x/las/cached")]) is None
+
+
+class TestBenchCLI:
+    def test_bench_quick_writes_schema_valid_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_hotpath.json"
+        assert main(["bench", "--sizes", "30", "60", "--reps", "1",
+                     "--machine", "two-socket", "--out", str(out)]) == 0
+        entries = json.loads(out.read_text())
+        validate_entries(entries)
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bench_validate_mode(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_hotpath.json"
+        write_entries([good_entry()], out)
+        assert main(["bench", "--validate", str(out)]) == 0
+        assert "schema OK" in capsys.readouterr().out
+
+    def test_bench_validate_rejects_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps([{"name": "x"}]))
+        assert main(["bench", "--validate", str(bad)]) != 0
+
+    def test_bench_validate_clean_error_on_unreadable_file(self, tmp_path,
+                                                           capsys):
+        """Missing or malformed files follow the CLI's `error: ...`
+        contract instead of raising a traceback."""
+        assert main(["bench", "--validate", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json")
+        assert main(["bench", "--validate", str(garbled)]) == 1
+        assert "error:" in capsys.readouterr().err

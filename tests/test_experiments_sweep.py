@@ -82,3 +82,56 @@ class TestRunSweep:
     def test_empty_rows_rejected(self, tmp_path):
         with pytest.raises(ExperimentError):
             write_sweep_csv([], tmp_path / "x.csv")
+
+
+class TestParallelSweep:
+    def test_parallel_rows_equal_sequential(self):
+        """workers=2 must reproduce the sequential sweep exactly: points
+        are independently seeded and rows come back in grid order."""
+        grid = ParameterGrid(app=["nstream", "jacobi"],
+                             policy=["las", "dfifo"])
+        sequential = run_sweep(tiny_config(), grid)
+        parallel = run_sweep(tiny_config(), grid, workers=2)
+        assert len(parallel) == len(sequential) == 4
+        for seq, par in zip(sequential, parallel):
+            assert par.params == seq.params
+            assert par.makespan_mean == seq.makespan_mean
+            assert par.remote_fraction == seq.remote_fraction
+
+    def test_parallel_checkpoint_and_resume(self, tmp_path):
+        """A parallel sweep checkpoints every finished point; a resumed
+        sweep (parallel or not) reuses them instead of recomputing."""
+        path = tmp_path / "sweep.jsonl"
+        grid = ParameterGrid(app=["nstream"], policy=["las", "dfifo"])
+        first = run_sweep(tiny_config(), grid, checkpoint=path, workers=2)
+        assert len(path.read_text().splitlines()) == 2
+
+        lines = []
+        resumed = run_sweep(tiny_config(), grid, checkpoint=path,
+                            workers=2, progress=lines.append)
+        assert all("(checkpointed)" in line for line in lines)
+        assert [r.makespan_mean for r in resumed] == [
+            r.makespan_mean for r in first
+        ]
+        # Nothing was re-appended on resume.
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_partial_checkpoint_only_runs_missing_points(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        half = ParameterGrid(app=["nstream"], policy=["las"])
+        run_sweep(tiny_config(), half, checkpoint=path)
+        full = ParameterGrid(app=["nstream"], policy=["las", "dfifo"])
+        lines = []
+        rows = run_sweep(tiny_config(), full, checkpoint=path, workers=2,
+                         progress=lines.append)
+        assert len(rows) == 2
+        checkpointed = [line for line in lines if "(checkpointed)" in line]
+        assert len(checkpointed) == 1
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_single_pending_point_stays_sequential(self, tmp_path):
+        """workers > 1 with one pending point avoids pool overhead but
+        still returns the right row."""
+        grid = ParameterGrid(app=["nstream"], policy=["las"])
+        (row,) = run_sweep(tiny_config(), grid, workers=4)
+        assert row.makespan_mean > 0

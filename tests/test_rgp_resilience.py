@@ -137,6 +137,49 @@ class TestPartitionTimeout:
         assert sched.audit["partition_timeout"] == 1
         assert res.n_tasks == p.n_tasks
 
+    def test_reused_scheduler_restores_configured_timeout(self, topo8):
+        """Regression: a faulted run must not permanently adopt the plan's
+        ``partition_timeout``.  Reusing the same scheduler object for a
+        clean run must behave exactly like a freshly constructed one."""
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=5.0, partition_seed=1
+        )
+        Simulator(p, topo8, sched, seed=0,
+                  faults=FaultPlan(partition_timeout=0.5)).run()
+        assert sched.audit["partition_timeout"] == 1
+        assert sched.partition_timeout == 0.5  # adopted for that run only
+
+        res = Simulator(p, topo8, sched, seed=0).run()
+        # attach() restored the constructor value, so the clean run waited
+        # for the delayed partition instead of inheriting the 0.5 deadline.
+        assert sched.partition_timeout is None
+        assert min(r.start for r in res.records) >= 5.0  # no early fallback
+
+        fresh = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=5.0, partition_seed=1
+        )
+        ref = Simulator(p, topo8, fresh, seed=0).run()
+        assert res.makespan == ref.makespan
+        assert [r.tid for r in res.records] == [r.tid for r in ref.records]
+
+    def test_reuse_keeps_injected_timeout_within_faulted_runs(self, topo8):
+        """The restore must not break re-injection: a second faulted run on
+        the same scheduler still adopts its plan's deadline."""
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=5.0, partition_seed=1
+        )
+        for _ in range(2):
+            res = Simulator(p, topo8, sched, seed=0,
+                            faults=FaultPlan(partition_timeout=0.5)).run()
+            assert res.n_tasks == p.n_tasks
+            # The injected deadline fired: fallback placements started
+            # before the 5.0 partition delay elapsed.
+            assert sched.partition_timeout == 0.5
+            assert min(r.start for r in res.records) < 5.0
+            assert sched.audit["partition_timeout"] == 1
+
     def test_bad_timeout_rejected(self):
         with pytest.raises(SchedulerError):
             RGPLASScheduler(partition_timeout=-1.0)

@@ -52,6 +52,31 @@ class TestLASAudit:
         assert mix(0.5) > mix(0.0)
 
 
+class TestAuditCompleteness:
+    """Both tie-break modes share one decision path, so every placed task
+    lands in exactly one audit bucket (regression for the duplicated
+    ``tie_break="first"`` branch that bypassed the taxonomy)."""
+
+    @pytest.mark.parametrize("tie_break", ["random", "first"])
+    def test_audit_totals_equal_task_count(self, topo8, tie_break):
+        prog = make_app("jacobi", nt=3, tile=16, sweeps=2).build(8)
+        sched = LASScheduler(tie_break=tie_break)
+        res = simulate(prog, topo8, sched, seed=0)
+        assert sum(sched.audit.values()) == prog.n_tasks == res.n_tasks
+        assert set(sched.audit) <= {"random", "weighted", "tie"}
+
+    def test_tie_break_modes_agree_on_taxonomy(self, topo8):
+        """Same workload, same seed: the branch mix is identical — "first"
+        only changes how a tie is resolved, never how it is classified."""
+        audits = {}
+        for tie_break in ("random", "first"):
+            prog = make_app("jacobi", nt=3, tile=16, sweeps=2).build(8)
+            sched = LASScheduler(tie_break=tie_break)
+            simulate(prog, topo8, sched, seed=0)
+            audits[tie_break] = dict(sched.audit)
+        assert audits["random"] == audits["first"]
+
+
 class TestRGPAudit:
     def test_window_vs_propagated_split(self, topo8):
         prog = make_app("nstream", n_blocks=8, block_elems=1024,

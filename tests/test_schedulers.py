@@ -118,6 +118,71 @@ class TestLAS:
         with pytest.raises(ValueError):
             LASScheduler(random_threshold=2.0)
 
+    def test_unreachable_node_bytes_count_as_unallocated(self):
+        """Regression: with more memory nodes than sockets, bytes bound
+        beyond the socket range must fold into the unallocated total, not
+        silently vanish from the cold-start rule."""
+        from repro.machine import MemoryManager
+        from repro.schedulers.las import las_pick_socket
+
+        p = TaskProgram()
+        a = p.data("a", 65536)
+        b = p.data("b", 65536)
+        task = p.task(ins=[a, b])
+        mm = MemoryManager(n_nodes=4)
+        for o in p.objects:
+            mm.register(o.key, o.size_bytes)
+        mm.bind(0, 3)  # all of `a` on node 3 — no socket can claim it
+        mm.bind(1, 0, length=4096)  # one page of `b` on socket 0
+
+        # bound-to-sockets fraction = 4096 / 131072, well under 0.5: the
+        # cold-start rule must fire.  Before the fix the unreachable 64 KiB
+        # disappeared and the rule saw 4096 / 65536 — still random, but the
+        # evidence (and any threshold between the two ratios) disagreed.
+        detail = {}
+        socket = las_pick_socket(
+            task, mm, np.random.default_rng(0), n_sockets=2,
+            random_threshold=0.5, audit=None, detail=detail,
+        )
+        assert socket in (0, 1)
+        assert detail["branch"] == "random"
+        assert detail["unbound_bytes"] == 65536 + 61440  # b tail + all of a
+        assert detail["weights"] == [4096, 0]
+
+        # With the threshold at 0: socket 0 holds the only reachable bytes
+        # and must win the weighted branch outright.
+        detail = {}
+        socket = las_pick_socket(
+            task, mm, np.random.default_rng(0), n_sockets=2,
+            random_threshold=0.0, audit=None, detail=detail,
+        )
+        assert socket == 0
+        assert detail["branch"] == "weighted"
+
+    def test_threshold_sensitive_to_unreachable_bytes(self):
+        """A threshold between the buggy and fixed ratios flips the branch:
+        proof the truncated bytes now count against the cold-start rule."""
+        from repro.machine import MemoryManager
+        from repro.schedulers.las import las_pick_socket
+
+        p = TaskProgram()
+        a = p.data("a", 65536)
+        b = p.data("b", 65536)
+        task = p.task(ins=[a, b])
+        mm = MemoryManager(n_nodes=4)
+        for o in p.objects:
+            mm.register(o.key, o.size_bytes)
+        mm.bind(0, 3)
+        mm.bind(1, 0, length=8192)
+        # fixed ratio: 8192/131072 = 0.0625; buggy ratio (a vanished):
+        # 8192/65536 = 0.125.  threshold 0.08 separates them.
+        detail = {}
+        las_pick_socket(
+            task, mm, np.random.default_rng(0), n_sockets=2,
+            random_threshold=0.08, audit=None, detail=detail,
+        )
+        assert detail["branch"] == "random"
+
 
 class TestEP:
     def test_follows_annotation(self, topo8):
