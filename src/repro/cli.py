@@ -16,7 +16,7 @@ Commands
 ``stats``     — instrumented run; prints the metrics-registry summary and
                 the NUMA socket-by-node traffic matrix.
 ``ablation``  — run one of the ablation sweeps (window / partitioner /
-                sockets / las / propagation).
+                sockets / las / propagation / pipeline).
 ``bench``     — host-performance benchmark of the scheduling hot path
                 (placement-cache on/off); emits ``BENCH_hotpath.json``.
 ``apps``      — list the available applications, schedulers and machines.
@@ -36,13 +36,37 @@ from .runtime.simulator import Simulator
 from .schedulers import SCHEDULERS, make_scheduler
 
 
+def _window_spec(value: str):
+    """``--window`` accepts a task count or ``auto`` (adaptive sizing)."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"window must be an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quick", action="store_true",
                         help="reduced problem sizes and fewer seeds")
     parser.add_argument("--seeds", type=int, default=None,
                         help="number of seeds (default: config preset)")
-    parser.add_argument("--window", type=int, default=None,
-                        help="RGP window size limit")
+    parser.add_argument("--window", type=_window_spec, default=None,
+                        metavar="N|auto",
+                        help="RGP window size limit, or 'auto' for the "
+                             "adaptive controller")
+    parser.add_argument("--propagation", default=None,
+                        choices=["las", "repartition", "random", "cyclic"],
+                        help="RGP propagation policy ('rgp' scheduler only)")
+    parser.add_argument("--partition-delay", type=float, default=None,
+                        help="simulated latency of a window partition")
+    parser.add_argument("--prefetch-threshold", type=float, default=None,
+                        metavar="F",
+                        help="pipelined repartitioning: launch window k+1 "
+                             "once fraction F of window k has finished "
+                             "(implies --propagation repartition)")
 
 
 def _config(args) -> ExperimentConfig:
@@ -105,11 +129,29 @@ def _load_fault_plan(args):
     )
 
 
+def _scheduler_kwargs(cfg, args) -> dict:
+    """Scheduler kwargs from CLI flags (RGP schedulers only)."""
+    if not args.scheduler.startswith("rgp"):
+        return {}
+    kwargs = {"window_size": cfg.window_size}
+    if getattr(args, "partition_delay", None) is not None:
+        kwargs["partition_delay"] = args.partition_delay
+    if args.scheduler == "rgp":
+        if getattr(args, "propagation", None) is not None:
+            kwargs["propagation"] = args.propagation
+        if getattr(args, "prefetch_threshold", None) is not None:
+            # Pipelining implies repartition propagation; an explicitly
+            # conflicting --propagation is rejected by the scheduler.
+            kwargs.setdefault("propagation", "repartition")
+            kwargs["prefetch_threshold"] = args.prefetch_threshold
+    return kwargs
+
+
 def _build_sim(cfg, topo, args, faults=None, **sim_kwargs):
     params = dict(cfg.app_params.get(args.app, {}))
     app = make_app(args.app, **params)
     program = app.build(topo.n_sockets)
-    kwargs = {"window_size": cfg.window_size} if args.scheduler.startswith("rgp") else {}
+    kwargs = _scheduler_kwargs(cfg, args)
     from .machine.interconnect import Interconnect
 
     interconnect = Interconnect(
@@ -237,6 +279,7 @@ def cmd_ablation(args) -> int:
         "sockets": ablations.run_socket_ablation,
         "las": ablations.run_las_ablation,
         "propagation": ablations.run_propagation_ablation,
+        "pipeline": ablations.run_pipeline_ablation,
     }[args.which]
     print(runner(cfg).render())
     return 0
@@ -298,7 +341,7 @@ def cmd_analyze(args) -> int:
     params = dict(cfg.app_params.get(args.app, {}))
     app = make_app(args.app, **params)
     program = app.build(topo.n_sockets)
-    kwargs = {"window_size": cfg.window_size} if args.scheduler.startswith("rgp") else {}
+    kwargs = _scheduler_kwargs(cfg, args)
     from .machine.interconnect import Interconnect
 
     sim = Simulator(
@@ -431,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ablation", help="run an ablation sweep")
     _add_common(p)
     p.add_argument("which", choices=["window", "partitioner", "sockets",
-                                     "las", "propagation"])
+                                     "las", "propagation", "pipeline"])
     p.set_defaults(fn=cmd_ablation)
 
     p = sub.add_parser(

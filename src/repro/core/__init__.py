@@ -6,18 +6,30 @@ See :mod:`repro.core.rgp` for the schedulers and
 
 from .rgp import PROPAGATION_POLICIES, RGPLASScheduler, RGPScheduler
 from .window import (
+    AUTO_MAX_WINDOW,
+    AUTO_MIN_WINDOW,
+    AUTO_WINDOW,
     DEFAULT_WINDOW_SIZE,
     WindowPlan,
+    WindowTracker,
     initial_window,
+    next_auto_window_size,
     partition_window,
+    resolve_window_size,
 )
 
 __all__ = [
+    "AUTO_MAX_WINDOW",
+    "AUTO_MIN_WINDOW",
+    "AUTO_WINDOW",
     "DEFAULT_WINDOW_SIZE",
     "PROPAGATION_POLICIES",
     "RGPLASScheduler",
     "RGPScheduler",
     "WindowPlan",
+    "WindowTracker",
     "initial_window",
+    "next_auto_window_size",
     "partition_window",
+    "resolve_window_size",
 ]

@@ -20,18 +20,43 @@ that simulated time; window tasks that become ready earlier wait in the
 runtime's *temporary queue* (paper: "If tasks can be executed ... but the
 partition is still pending, they are stored in a temporary queue").
 
+Pipelined asynchronous repartitioning (DESIGN.md §10): with
+``propagation="repartition"``, ``partition_delay > 0`` and a
+``prefetch_threshold`` in ``(0, 1]``, later windows stop being free.
+Window *k+1*'s partition is *launched* — a sim-time activity delivered
+``partition_delay`` later through the same timer machinery as the initial
+window — as soon as ``prefetch_threshold`` of window *k*'s tasks have
+finished (or on demand, when a window *k+1* task becomes ready first).
+Tasks arriving before the delivery park in the temporary queue keyed by
+their window; the per-window ``partition_timeout`` degradation mirrors the
+initial window's.  ``prefetch_threshold=1.0`` is the *blocking* reference
+point (no overlap ahead of need); ``prefetch_threshold=None`` (default)
+disables the machinery entirely and later windows are partitioned
+synchronously at zero simulated cost, byte-identical to the original
+scheduler (the inertness guarantee, pinned by a golden-schedule test).
+
+Adaptive window sizing: ``window_size="auto"`` sizes each later window so
+the measured partition latency stays hidden behind the current window's
+remaining execution time, using the simulator's observed task throughput
+(control law in :func:`repro.core.window.next_auto_window_size`); resizes
+emit ``rgp.window.resize`` events and any exposed latency accumulates in
+the ``rgp.pipeline.stall_us`` gauge.
+
 Graceful degradation (DESIGN.md §7): if a ``partition_timeout`` fires
 before the partition result arrives, RGP declares the partition lost,
 re-offers every parked task and falls back to its propagation policy for
 the whole window (``on_timeout="raise"`` raises
 :class:`~repro.errors.PartitionTimeoutError` instead, for harnesses that
-prefer fail-fast).  If an injected core failure kills a socket's last
-core, window assignments targeting that socket are remapped to the
-nearest surviving socket.
+prefer fail-fast).  The deadline is *strict* and applies only while a
+delivery is pending: a result arriving exactly at the deadline is late,
+and ``partition_delay=0`` delivers at launch so no deadline ever applies.
+If an injected core failure kills a socket's last core, window assignments
+targeting that socket are remapped to the nearest surviving socket.
 """
 
 from __future__ import annotations
 
+import math
 import time
 
 from ..errors import PartitionTimeoutError, SchedulerError
@@ -43,9 +68,21 @@ from ..runtime.placement import Placement
 from ..runtime.task import Task
 from ..schedulers.base import Scheduler
 from ..schedulers.las import las_pick_socket
-from .window import DEFAULT_WINDOW_SIZE, initial_window, partition_window
+from .window import (
+    AUTO_WINDOW,
+    DEFAULT_WINDOW_SIZE,
+    WindowTracker,
+    initial_window,
+    next_auto_window_size,
+    partition_window,
+    resolve_window_size,
+)
 
 PROPAGATION_POLICIES = ("las", "repartition", "random", "cyclic")
+
+#: Pipelined window delivery states (later windows only; window 0 keeps
+#: its original ``_partition_ready`` / ``_partition_lost`` flags).
+_PENDING, _READY, _LOST = "pending", "ready", "lost"
 
 
 class RGPScheduler(Scheduler):
@@ -56,12 +93,13 @@ class RGPScheduler(Scheduler):
     def __init__(
         self,
         partitioner: Partitioner | None = None,
-        window_size: int = DEFAULT_WINDOW_SIZE,
+        window_size: int | str = DEFAULT_WINDOW_SIZE,
         propagation: str = "las",
         partition_delay: float = 0.0,
         partition_seed: int | None = None,
         partition_timeout: float | None = None,
         on_timeout: str = "fallback",
+        prefetch_threshold: float | None = None,
     ) -> None:
         super().__init__()
         if propagation not in PROPAGATION_POLICIES:
@@ -69,8 +107,9 @@ class RGPScheduler(Scheduler):
                 f"unknown propagation {propagation!r}; "
                 f"known: {PROPAGATION_POLICIES}"
             )
-        if window_size < 1:
-            raise SchedulerError(f"window size must be >= 1, got {window_size}")
+        #: Base size for the initial window (and fixed later windows);
+        #: validates the spec, so a bad ``window_size`` fails here.
+        self._base_window_size = resolve_window_size(window_size)
         if partition_delay < 0:
             raise SchedulerError("partition delay must be >= 0")
         if partition_timeout is not None and partition_timeout < 0:
@@ -79,8 +118,22 @@ class RGPScheduler(Scheduler):
             raise SchedulerError(
                 f"on_timeout must be 'fallback' or 'raise', got {on_timeout!r}"
             )
+        if prefetch_threshold is not None:
+            if not 0.0 < prefetch_threshold <= 1.0:
+                raise SchedulerError(
+                    f"prefetch_threshold must be in (0, 1] or None, "
+                    f"got {prefetch_threshold}"
+                )
+            if propagation != "repartition":
+                raise SchedulerError(
+                    "prefetch_threshold requires propagation='repartition' "
+                    f"(pipelined repartitioning), got {propagation!r}"
+                )
         self.partitioner = partitioner or DualRecursiveBipartitioner()
-        self.window_size = int(window_size)
+        self.window_size = (
+            AUTO_WINDOW if window_size == AUTO_WINDOW else int(window_size)
+        )
+        self._auto_window = window_size == AUTO_WINDOW
         self.propagation = propagation
         self.partition_delay = float(partition_delay)
         self.partition_seed = partition_seed
@@ -91,7 +144,11 @@ class RGPScheduler(Scheduler):
         #: injected timeout into a fault-free run.
         self._configured_timeout = partition_timeout
         self.on_timeout = on_timeout
-        # Run state (reset per attach/run).
+        self.prefetch_threshold = (
+            float(prefetch_threshold) if prefetch_threshold is not None
+            else None
+        )
+        # Run state (reset per run in on_program_start).
         self._assignment: dict[int, int] = {}
         self._cutoff = 0
         self._partition_ready = False
@@ -99,6 +156,17 @@ class RGPScheduler(Scheduler):
         self._next_cyclic = 0
         self._windows_partitioned = 0
         self._pending_window_stats: dict | None = None
+        self._windows: WindowTracker | None = None
+        self._pipeline = False
+        self._window_state: dict[int, str] = {}
+        self._pending_assignments: dict[int, dict[int, int]] = {}
+        self._pending_stats: dict[int, dict | None] = {}
+        self._finished_in_window: dict[int, int] = {}
+        self._first_park_ts: dict[int, float] = {}
+        #: Cumulative exposed pipeline latency (sim time a window's first
+        #: parked task waited past its arrival); mirrored into the
+        #: ``rgp.pipeline.stall_us`` gauge on instrumented runs.
+        self.pipeline_stall_time = 0.0
         #: Decision audit: window-placed vs propagated counts (plus the
         #: LAS branch breakdown when propagation is "las").
         self.audit: dict[str, int] = {}
@@ -127,11 +195,25 @@ class RGPScheduler(Scheduler):
     def on_program_start(self) -> None:
         program = self.sim.program
         obs = self.obs
+        # Per-run state: a scheduler object reused across runs must start
+        # every run from scratch (the audit-accumulation regression).
+        self.audit = {}
         self._assignment = {}
         self._next_cyclic = 0
         self._windows_partitioned = 0
         self._partition_lost = False
         self._pending_window_stats = None
+        self._window_state = {}
+        self._pending_assignments = {}
+        self._pending_stats = {}
+        self._finished_in_window = {}
+        self._first_park_ts = {}
+        self.pipeline_stall_time = 0.0
+        self._pipeline = (
+            self.prefetch_threshold is not None
+            and self.propagation == "repartition"
+            and self.partition_delay > 0
+        )
         # Observer wiring is per-run: instrumented runs stream the
         # partitioner's coarsen/initial/refine phases as events; untraced
         # runs must clear any observer left by a previous instrumented
@@ -140,7 +222,10 @@ class RGPScheduler(Scheduler):
             self.partitioner.observer = self._partition_phase_observer
         else:
             self.partitioner.observer = None
-        self._cutoff = initial_window(program, self.window_size)
+        self._cutoff = initial_window(program, self._base_window_size)
+        self._windows = WindowTracker(
+            self._cutoff, program.n_tasks, self._base_window_size
+        )
         if obs is not None:
             obs.emit(
                 self.sim.now, "rgp.window",
@@ -173,16 +258,17 @@ class RGPScheduler(Scheduler):
             }
         if self.partition_delay > 0:
             self._partition_ready = False
-            self.sim.schedule_timer(self.partition_delay, self._on_partition_done)
-            if (
-                self.partition_timeout is not None
-                and self.partition_timeout < self.partition_delay
-            ):
+            self._window_state[0] = _PENDING
+            # Strict deadline: at ``timeout == delay`` the deadline timer
+            # is scheduled first, so it pops first and the delivery loses.
+            if self.partition_timeout is not None:
                 self.sim.schedule_timer(
                     self.partition_timeout, self._on_partition_timeout
                 )
+            self.sim.schedule_timer(self.partition_delay, self._on_partition_done)
         else:
             self._partition_ready = True
+            self._window_state[0] = _READY
             self._emit_partition_end(delay=0.0)
 
     def _partition_phase_observer(self, kind: str, **args) -> None:
@@ -195,10 +281,13 @@ class RGPScheduler(Scheduler):
         stats, self._pending_window_stats = self._pending_window_stats, None
         if stats is None or self.obs is None:
             return
-        self.obs.emit(
-            self.sim.now, "rgp.partition.end", delay=delay, **stats
-        )
-        reg = self.obs.registry
+        self._publish_window_stats(stats, delay=delay)
+
+    def _publish_window_stats(self, stats: dict, delay: float) -> None:
+        """``rgp.partition.end`` event plus the edge-cut gauge/counter."""
+        obs = self.obs
+        obs.emit(self.sim.now, "rgp.partition.end", delay=delay, **stats)
+        reg = obs.registry
         if stats["edge_cut"] is not None:
             reg.gauge("rgp.edge_cut").set(self.sim.now, stats["edge_cut"])
         reg.counter("rgp.windows_partitioned").inc()
@@ -207,8 +296,13 @@ class RGPScheduler(Scheduler):
         if self._partition_lost:
             return  # timed out earlier; the fallback already took over
         self._partition_ready = True
+        self._window_state[0] = _READY
         self._emit_partition_end(delay=self.partition_delay)
-        self.sim.reoffer(list(self.sim.parked))
+        if self._pipeline:
+            self._record_stall(0)
+            self.sim.reoffer_key(0)
+        else:
+            self.sim.reoffer(list(self.sim.parked))
 
     def _on_partition_timeout(self) -> None:
         """Partition result declared lost: degrade to the propagation
@@ -218,10 +312,11 @@ class RGPScheduler(Scheduler):
         if self.on_timeout == "raise":
             raise PartitionTimeoutError(
                 f"window partition result missed its deadline "
-                f"({self.partition_timeout:g} < delay "
+                f"({self.partition_timeout:g} <= delay "
                 f"{self.partition_delay:g})"
             )
         self._partition_lost = True
+        self._window_state[0] = _LOST
         self.audit["partition_timeout"] = 1
         if self.obs is not None:
             self.obs.emit(
@@ -229,7 +324,11 @@ class RGPScheduler(Scheduler):
                 deadline=self.partition_timeout, delay=self.partition_delay,
             )
             self.obs.registry.counter("rgp.partition_timeouts").inc()
-        self.sim.reoffer(list(self.sim.parked))
+        if self._pipeline:
+            self._record_stall(0)
+            self.sim.reoffer_key(0)
+        else:
+            self.sim.reoffer(list(self.sim.parked))
 
     # ------------------------------------------------------------------
     def choose(self, task: Task) -> Placement:
@@ -244,6 +343,9 @@ class RGPScheduler(Scheduler):
                         self.sim.now, "sched.choice",
                         tid=task.tid, policy=self.name, branch="park",
                     )
+                if self._pipeline:
+                    self._first_park_ts.setdefault(0, self.sim.now)
+                    return Placement(park=True, park_key=0)
                 return Placement(park=True)
             self.audit["window"] = self.audit.get("window", 0) + 1
             socket = self._assignment[task.tid]
@@ -254,8 +356,47 @@ class RGPScheduler(Scheduler):
                     socket=socket,
                 )
             return Placement(socket=socket)
+        if self._pipeline:
+            window = self._windows.index_of(task.tid)
+            state = self._window_state.get(window)
+            if state is None:
+                # The window's partition was never launched (its tasks
+                # became ready before the previous window hit the
+                # prefetch threshold): launch it now and park.
+                self._launch_window_partition(window, trigger="demand")
+                state = self._window_state.get(window, _READY)
+            if state == _PENDING:
+                self._first_park_ts.setdefault(window, self.sim.now)
+                if obs is not None:
+                    obs.emit(
+                        self.sim.now, "sched.choice",
+                        tid=task.tid, policy=self.name, branch="park",
+                        window=window,
+                    )
+                return Placement(park=True, park_key=window)
+            if state == _LOST:
+                self.audit["fallback"] = self.audit.get("fallback", 0) + 1
+                return self._propagate(task, branch="fallback")
         self.audit["propagated"] = self.audit.get("propagated", 0) + 1
         return self._propagate(task, branch="propagated")
+
+    # ------------------------------------------------------------------
+    def on_task_finished(self, task: Task) -> None:
+        """Prefetch trigger: launch window *k+1* once ``prefetch_threshold``
+        of window *k*'s tasks have finished (pipelining only)."""
+        if not self._pipeline:
+            return
+        window = self._windows.index_of(task.tid)
+        done = self._finished_in_window.get(window, 0) + 1
+        self._finished_in_window[window] = done
+        nxt = window + 1
+        if nxt in self._window_state:
+            return  # already launched (or delivered / lost)
+        lo = self._windows.bounds[window]
+        hi = self._windows.bounds[window + 1]
+        trigger_at = max(1, math.ceil(self.prefetch_threshold * (hi - lo)))
+        if done >= trigger_at and hi < self.sim.program.n_tasks:
+            self._launch_window_partition(nxt, trigger="prefetch")
 
     # ------------------------------------------------------------------
     def on_core_failed(self, core: int) -> None:
@@ -275,6 +416,13 @@ class RGPScheduler(Scheduler):
             if assigned == socket and not self.sim.done[tid]:
                 self._assignment[tid] = target
                 remapped += 1
+        # In-flight pipelined partitions are placement promises too: a
+        # delivery after the socket died must not target it.
+        for pending in self._pending_assignments.values():
+            for tid, assigned in pending.items():
+                if assigned == socket:
+                    pending[tid] = target
+                    remapped += 1
         if remapped:
             self.audit["remapped"] = self.audit.get("remapped", 0) + remapped
 
@@ -315,34 +463,46 @@ class RGPScheduler(Scheduler):
         return self._assignment[task.tid]
 
     def _partition_window_of(self, tid: int) -> None:
-        """Partition the whole window containing ``tid``.
+        """Synchronously partition the whole window containing ``tid``
+        (the zero-latency legacy path used when pipelining is off)."""
+        window = self._windows.index_of(tid)
+        assignment, stats = self._compute_window_partition(window)
+        self._assignment.update(assignment)
+        self._windows_partitioned += 1
+        if stats is not None:
+            self._publish_window_stats(stats, delay=0.0)
+
+    def _compute_window_partition(
+        self, window: int
+    ) -> tuple[dict[int, int], dict | None]:
+        """Partition one later window, anchored to placed predecessors.
 
         The window subgraph is augmented with **anchor** vertices: already
         -assigned tasks that have dependence edges into the window appear
         as fixed vertices on their sockets, so the partitioner pulls the
         window towards the data it consumes (proper fixed-vertex
-        repartitioning, see :mod:`repro.partition.anchored`).
+        repartitioning, see :mod:`repro.partition.anchored`).  Returns the
+        window's ``tid -> socket`` assignment plus the quality stats for
+        the ``rgp.partition.end`` event (``None`` when uninstrumented).
         """
         program = self.sim.program
         obs = self.obs
-        lo = self._cutoff + ((tid - self._cutoff) // self.window_size) * self.window_size
-        hi = min(lo + self.window_size, program.n_tasks)
-        window_idx = 1 + (lo - self._cutoff) // self.window_size
+        lo, hi = self._windows.span(window)
         if obs is not None:
             obs.emit(
                 self.sim.now, "rgp.partition.begin",
-                window=window_idx, n_tasks=hi - lo,
+                window=window, n_tasks=hi - lo,
             )
         t0 = time.perf_counter() if obs is not None else 0.0
-        window = list(range(lo, hi))
+        tids = list(range(lo, hi))
         # Assigned tasks adjacent to the window become anchors.
         anchor_olds = sorted({
             pred
-            for t in window
+            for t in tids
             for pred in program.tdg.predecessors(t)
             if pred in self._assignment
         })
-        sub, old_ids = program.tdg.subgraph(anchor_olds + window)
+        sub, old_ids = program.tdg.subgraph(anchor_olds + tids)
         new_of_old = {old: new for new, old in enumerate(old_ids)}
         anchors = {
             new_of_old[old]: self._assignment[old] for old in anchor_olds
@@ -354,29 +514,149 @@ class RGPScheduler(Scheduler):
             csr, self.topology.n_sockets, anchors, self.partitioner,
             target=target, seed=seed,
         )
-        for new_id, old_id in enumerate(old_ids):
-            if old_id >= lo:  # window tasks only; anchors keep their socket
-                self._assignment[old_id] = int(result.parts[new_id])
-        self._windows_partitioned += 1
+        assignment = {
+            old_id: int(result.parts[new_id])
+            for new_id, old_id in enumerate(old_ids)
+            if old_id >= lo  # window tasks only; anchors keep their socket
+        }
+        stats = None
         if obs is not None:
             from ..partition.metrics import edge_cut
 
             # Cut over the anchored subgraph (anchor vertices included).
-            cut = edge_cut(csr, result.parts)
-            obs.emit(
-                self.sim.now, "rgp.partition.end",
-                window=window_idx, n_tasks=hi - lo, delay=0.0,
-                edge_cut=cut, mapping_cost=None,
-                host_us=(time.perf_counter() - t0) * 1e6,
+            stats = {
+                "window": window,
+                "n_tasks": hi - lo,
+                "edge_cut": edge_cut(csr, result.parts),
+                "mapping_cost": None,
+                "host_us": (time.perf_counter() - t0) * 1e6,
+            }
+        return assignment, stats
+
+    # ------------------------------------------------------------------
+    # Pipelined asynchronous repartitioning (DESIGN.md §10).
+    # ------------------------------------------------------------------
+    def _launch_window_partition(self, window: int, trigger: str) -> None:
+        """Start window ``window``'s partition as a sim-time activity.
+
+        The partition itself is computed host-side now (with the anchors
+        known *at launch time* — pipelining trades anchor freshness for
+        overlap), but its result is only delivered ``partition_delay``
+        later; a configured ``partition_timeout`` arms a strict per-window
+        deadline relative to the launch instant.
+        """
+        if window == 0 or window in self._window_state:
+            return
+        if self._auto_window:
+            self._adapt_window_size(window)
+        self._windows.ensure(window)
+        if window >= self._windows.n_windows:
+            return  # beyond the program end; nothing to partition
+        if self.obs is not None:
+            lo, hi = self._windows.span(window)
+            self.obs.emit(
+                self.sim.now, "rgp.partition.launch",
+                window=window, n_tasks=hi - lo, trigger=trigger,
             )
-            reg = obs.registry
-            reg.gauge("rgp.edge_cut").set(self.sim.now, cut)
-            reg.counter("rgp.windows_partitioned").inc()
+        self._window_state[window] = _PENDING
+        assignment, stats = self._compute_window_partition(window)
+        self._pending_assignments[window] = assignment
+        self._pending_stats[window] = stats
+        self._windows_partitioned += 1
+        if self.partition_timeout is not None:
+            # Deadline timer first: at ``timeout == delay`` it pops first
+            # (strict deadline, same ordering as window 0).
+            self.sim.schedule_timer(
+                self.partition_timeout,
+                lambda: self._on_window_partition_timeout(window),
+            )
+        self.sim.schedule_timer(
+            self.partition_delay,
+            lambda: self._on_window_partition_done(window),
+        )
+
+    def _adapt_window_size(self, window: int) -> None:
+        """Steer the size of not-yet-materialised windows (DESIGN.md §10)."""
+        sim = self.sim
+        if sim.now <= 0.0 or sim.n_done == 0:
+            return
+        throughput = sim.n_done / sim.now
+        old = self._windows.next_size
+        new = next_auto_window_size(
+            old, throughput, self.partition_delay, self.prefetch_threshold
+        )
+        if new != old:
+            self._windows.next_size = new
+            if self.obs is not None:
+                self.obs.emit(
+                    sim.now, "rgp.window.resize",
+                    window=window, old=old, new=new, throughput=throughput,
+                )
+
+    def _on_window_partition_done(self, window: int) -> None:
+        if self._window_state.get(window) != _PENDING:
+            return  # timed out earlier; the fallback already took over
+        self._window_state[window] = _READY
+        self._assignment.update(self._pending_assignments.pop(window, {}))
+        stats = self._pending_stats.pop(window, None)
+        if stats is not None and self.obs is not None:
+            self._publish_window_stats(stats, delay=self.partition_delay)
+        self._record_stall(window)
+        self.sim.reoffer_key(window)
+
+    def _on_window_partition_timeout(self, window: int) -> None:
+        """Per-window deadline: declare the window's partition lost.
+
+        Degradation for the "repartition" propagation mirrors window 0's:
+        the host-computed assignment is adopted at zero further charge
+        (the model stops waiting for the delivery), parked tasks are
+        re-offered immediately and audit as ``fallback``.
+        """
+        if self._window_state.get(window) != _PENDING:
+            return
+        if self.on_timeout == "raise":
+            raise PartitionTimeoutError(
+                f"window {window} partition result missed its deadline "
+                f"({self.partition_timeout:g} <= delay "
+                f"{self.partition_delay:g} after launch)"
+            )
+        self._window_state[window] = _LOST
+        self.audit["partition_timeout"] = (
+            self.audit.get("partition_timeout", 0) + 1
+        )
+        if self.obs is not None:
+            self.obs.emit(
+                self.sim.now, "rgp.partition.timeout",
+                window=window, deadline=self.partition_timeout,
+                delay=self.partition_delay,
+            )
+            self.obs.registry.counter("rgp.partition_timeouts").inc()
+        self._assignment.update(self._pending_assignments.pop(window, {}))
+        self._pending_stats.pop(window, None)
+        self._record_stall(window)
+        self.sim.reoffer_key(window)
+
+    def _record_stall(self, window: int) -> None:
+        """Accumulate exposed pipeline latency for ``window`` (time its
+        first parked task spent waiting past arrival)."""
+        first = self._first_park_ts.pop(window, None)
+        if first is None:
+            return
+        self.pipeline_stall_time += self.sim.now - first
+        if self.obs is not None:
+            self.obs.registry.gauge("rgp.pipeline.stall_us").set(
+                self.sim.now, self.pipeline_stall_time
+            )
 
     @property
     def windows_partitioned(self) -> int:
         """How many windows have been partitioned so far (diagnostics)."""
         return self._windows_partitioned
+
+    @property
+    def pipelining_active(self) -> bool:
+        """True while pipelined repartitioning is in effect for this run."""
+        return self._pipeline
 
 
 class RGPLASScheduler(RGPScheduler):
@@ -387,7 +667,7 @@ class RGPLASScheduler(RGPScheduler):
     def __init__(
         self,
         partitioner: Partitioner | None = None,
-        window_size: int = DEFAULT_WINDOW_SIZE,
+        window_size: int | str = DEFAULT_WINDOW_SIZE,
         partition_delay: float = 0.0,
         partition_seed: int | None = None,
         partition_timeout: float | None = None,

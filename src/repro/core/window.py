@@ -13,6 +13,8 @@ mapping target.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +28,118 @@ from ..runtime.program import TaskProgram
 
 #: Default window-size limit (tasks).
 DEFAULT_WINDOW_SIZE = 1024
+
+#: ``window_size`` spec selecting the adaptive controller (DESIGN.md §10).
+AUTO_WINDOW = "auto"
+
+#: Clamp range of the adaptive window controller.  The floor keeps the
+#: partitioner fed with subgraphs worth partitioning; the ceiling bounds
+#: the host-side partitioning cost of any single window.
+AUTO_MIN_WINDOW = 32
+AUTO_MAX_WINDOW = 16384
+
+
+def resolve_window_size(spec: int | str) -> int:
+    """Base window size for a ``window_size`` spec (int or ``"auto"``).
+
+    ``"auto"`` starts from :data:`AUTO_MIN_WINDOW` (small first window,
+    fast first partition) and lets the adaptive controller
+    (:func:`next_auto_window_size`) grow later windows towards the
+    latency-hiding target; a fixed integer is validated and returned
+    unchanged.
+    """
+    if spec == AUTO_WINDOW:
+        return AUTO_MIN_WINDOW
+    size = int(spec)
+    if size < 1:
+        raise SchedulerError(f"window size must be >= 1, got {spec!r}")
+    return size
+
+
+def next_auto_window_size(
+    current: int,
+    throughput: float,
+    partition_delay: float,
+    prefetch_threshold: float,
+    lo: int = AUTO_MIN_WINDOW,
+    hi: int = AUTO_MAX_WINDOW,
+) -> int:
+    """Adaptive window control law (DESIGN.md §10).
+
+    Window *k+1*'s partition is launched once ``prefetch_threshold`` of
+    window *k* has finished, so the latency ``partition_delay`` must hide
+    behind the remaining ``(1 - prefetch_threshold)`` fraction of the
+    window.  With an observed task throughput ``lam`` (tasks per simulated
+    time unit) that fraction of a window of size ``W`` takes
+    ``(1 - f) * W / lam``, giving the steady-state target::
+
+        W* = lam * partition_delay / (1 - f)
+
+    The next size moves halfway from ``current`` towards the clamped
+    target (geometric damping: one noisy throughput sample must not slam
+    the window from the floor to the ceiling).
+    """
+    if throughput <= 0.0 or partition_delay <= 0.0:
+        return current
+    hide_fraction = max(1.0 - prefetch_threshold, 0.05)
+    target = math.ceil(throughput * partition_delay / hide_fraction)
+    target = max(lo, min(hi, target))
+    return max(lo, min(hi, int(round((current + target) / 2))))
+
+
+class WindowTracker:
+    """Window boundaries of the task-id space, extended lazily.
+
+    Window 0 is the initial window ``[0, cutoff)``; window *i* covers
+    ``[bounds[i], bounds[i+1])``.  Later boundaries are materialised on
+    first demand using :attr:`next_size` at that moment, which is how the
+    adaptive controller (``window_size="auto"``) takes effect: resizing
+    only ever changes windows whose boundaries are not yet fixed.
+
+    With a constant :attr:`next_size` the boundaries reduce to
+    ``cutoff + i * size`` — exactly the arithmetic the pre-pipelining
+    repartition path used, which the inertness guarantee relies on.
+    """
+
+    def __init__(self, cutoff: int, n_tasks: int, next_size: int) -> None:
+        if not 0 <= cutoff <= n_tasks:
+            raise SchedulerError(
+                f"cutoff {cutoff} outside [0, {n_tasks}]"
+            )
+        if next_size < 1:
+            raise SchedulerError(f"window size must be >= 1, got {next_size}")
+        self.n_tasks = int(n_tasks)
+        self.next_size = int(next_size)
+        self.bounds: list[int] = [0, int(cutoff)]
+
+    @property
+    def n_windows(self) -> int:
+        """Windows with materialised boundaries so far."""
+        return len(self.bounds) - 1
+
+    def ensure(self, window: int) -> None:
+        """Materialise boundaries up to and including ``window``."""
+        while self.n_windows <= window and self.bounds[-1] < self.n_tasks:
+            self.bounds.append(
+                min(self.bounds[-1] + self.next_size, self.n_tasks)
+            )
+
+    def index_of(self, tid: int) -> int:
+        """Window index containing ``tid`` (extends boundaries on demand)."""
+        if not 0 <= tid < self.n_tasks:
+            raise SchedulerError(f"tid {tid} outside [0, {self.n_tasks})")
+        while tid >= self.bounds[-1]:
+            self.bounds.append(
+                min(self.bounds[-1] + self.next_size, self.n_tasks)
+            )
+        return bisect_right(self.bounds, tid) - 1
+
+    def span(self, window: int) -> tuple[int, int]:
+        """``[lo, hi)`` task-id range of ``window``."""
+        self.ensure(window)
+        if not 0 <= window < self.n_windows:
+            raise SchedulerError(f"window {window} beyond the program end")
+        return self.bounds[window], self.bounds[window + 1]
 
 
 @dataclass(frozen=True)

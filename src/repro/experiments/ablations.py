@@ -176,6 +176,70 @@ def run_las_ablation(
     return result
 
 
+#: Apps for the pipelining ablation: dependence structures deep enough
+#: that later windows' tasks are not all ready at t=0 (otherwise every
+#: window is demand-launched immediately and prefetching cannot help —
+#: jacobi/nstream are exactly that degenerate case).
+PIPELINE_APPS = ("cg", "qr", "redblack", "symminv")
+
+
+def run_pipeline_ablation(
+    config: ExperimentConfig | None = None,
+    apps: tuple[str, ...] = PIPELINE_APPS,
+    window_fraction: float = 0.15,
+    delay_fraction: float = 0.10,
+) -> AblationResult:
+    """Pipelined vs blocking repartitioning (speedup vs blocking).
+
+    All settings run RGP with ``propagation="repartition"`` and a charged
+    partition latency (``delay_fraction`` of the app's zero-latency RGP
+    makespan, so the latency is material but not dominant).  The baseline
+    row is the *blocking* scheduler (``prefetch_threshold=1.0``: a window's
+    partition only launches when demanded, exposing the full latency);
+    the pipelined rows launch window *k+1* when half / a quarter of window
+    *k* has finished, and the last row additionally lets the adaptive
+    controller size the windows (``window_size="auto"``).
+    """
+    config = config or ExperimentConfig.quick()
+    result = AblationResult(
+        title="Ablation H: pipelined vs blocking repartitioning "
+              f"(speedup vs blocking, window = {window_fraction:.0%} of "
+              f"program, delay = {delay_fraction:.0%} of RGP makespan)"
+    )
+    for app_name in apps:
+        program = build_program(config, app_name)
+        window = max(8, int(program.n_tasks * window_fraction))
+        free = run_policy(
+            config, program, f"rgp/repart(w={window},free)",
+            lambda w=window: RGPScheduler(window_size=w,
+                                          propagation="repartition"),
+        )
+        delay = delay_fraction * free.makespan_mean
+        settings: list[tuple[str, dict]] = [
+            ("blocking (f=1.0)", dict(window_size=window,
+                                      prefetch_threshold=1.0)),
+            ("pipelined (f=0.5)", dict(window_size=window,
+                                       prefetch_threshold=0.5)),
+            ("pipelined (f=0.25)", dict(window_size=window,
+                                        prefetch_threshold=0.25)),
+            ("pipelined+auto (f=0.5)", dict(window_size="auto",
+                                            prefetch_threshold=0.5)),
+        ]
+        base = None
+        for sname, kwargs in settings:
+            stats = run_policy(
+                config, program, f"rgp/pipe[{sname}](w={window})",
+                lambda kw=kwargs, d=delay: RGPScheduler(
+                    propagation="repartition", partition_delay=d, **kw
+                ),
+            )
+            if base is None:
+                base = stats
+            result.add(sname, app_name,
+                       base.makespan_mean / stats.makespan_mean)
+    return result
+
+
 def run_propagation_ablation(
     config: ExperimentConfig | None = None,
     apps: tuple[str, ...] = ABLATION_APPS,

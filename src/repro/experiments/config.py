@@ -72,7 +72,9 @@ class ExperimentConfig:
     remote_penalty_exp: float = 1.0
     link_fraction: float | None = 0.45
     core_fraction: float | None = 0.30
-    window_size: int = 1024
+    #: RGP window-size limit: a task count, or ``"auto"`` for the
+    #: adaptive controller (meaningful with pipelined repartitioning).
+    window_size: int | str = 1024
     seeds: tuple[int, ...] = (0, 1, 2, 3, 4)
     app_params: dict[str, dict[str, Any]] = field(
         default_factory=lambda: {k: dict(v) for k, v in PAPER_APP_PARAMS.items()}

@@ -52,10 +52,21 @@ class Figure1Result:
         return render_figure(self.table)
 
 
-def run_figure1(config: ExperimentConfig | None = None, progress=None) -> Figure1Result:
-    """Run the full Figure 1 sweep."""
+def run_figure1(
+    config: ExperimentConfig | None = None,
+    progress=None,
+    extra_policies: dict | None = None,
+) -> Figure1Result:
+    """Run the full Figure 1 sweep.
+
+    ``extra_policies`` maps extra column labels to scheduler factories
+    (``label -> () -> Scheduler``), rendered after the configured policy
+    columns — e.g. a pipelined-RGP variant next to the standard bars.
+    """
     config = config or ExperimentConfig.paper()
-    table = SpeedupTable(baseline=config.baseline, policies=list(config.policies))
+    extra_policies = extra_policies or {}
+    columns = list(config.policies) + list(extra_policies)
+    table = SpeedupTable(baseline=config.baseline, policies=columns)
     raw: dict[tuple[str, str], PolicyStats] = {}
     for app_name in config.apps:
         program = build_program(config, app_name)
@@ -63,8 +74,10 @@ def run_figure1(config: ExperimentConfig | None = None, progress=None) -> Figure
         raw[(app_name, config.baseline)] = baseline
         if progress:
             progress(f"{app_name}: {config.baseline} {baseline.makespan_mean:.4g}")
-        for policy in config.policies:
-            stats = run_policy(config, program, policy)
+        for policy in columns:
+            stats = run_policy(
+                config, program, policy, extra_policies.get(policy)
+            )
             raw[(app_name, policy)] = stats
             speedup = baseline.makespan_mean / stats.makespan_mean
             # Error propagation of the ratio of means (first order).

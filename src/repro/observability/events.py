@@ -54,8 +54,14 @@ TAXONOMY: dict[str, str] = {
     "rgp.partition.end": "a window partition result became available "
                          "(args: window, n_tasks, edge_cut, delay, "
                          "host_us)",
+    "rgp.partition.launch": "a later window's partition was launched as "
+                            "a sim-time activity (args: window, n_tasks, "
+                            "trigger = prefetch | demand)",
     "rgp.partition.timeout": "the partition result was declared lost "
-                             "(args: deadline)",
+                             "(args: deadline, delay; window for "
+                             "pipelined later windows)",
+    "rgp.window.resize": "the adaptive controller resized future windows "
+                         "(args: window, old, new, throughput)",
     "partition.coarsen": "multilevel coarsening finished (args: levels, "
                          "n_fine, n_coarse, host_us)",
     "partition.initial": "initial bisection of the coarsest graph "

@@ -87,7 +87,16 @@ def partition_with_anchors(
         passes=refine_passes,
         fixed=fixed,
     )
-    # Anchors must not have moved.
-    for v, p in anchors.items():
-        assert refined[v] == p
+    # Anchors must not have moved.  A real error, not an ``assert``: the
+    # check guards against a refinement bug silently unpinning placed
+    # tasks, and must survive ``python -O``.
+    moved = {v: int(refined[v]) for v, p in anchors.items() if refined[v] != p}
+    if moved:
+        raise PartitionError(
+            f"refinement moved {len(moved)} anchor(s): "
+            + ", ".join(
+                f"v{v}: {anchors[v]} -> {p}"
+                for v, p in sorted(moved.items())[:5]
+            )
+        )
     return PartitionResult(parts=refined, k=k)

@@ -21,11 +21,19 @@ class Placement:
       queue (RGP: ready before the window partition is available); the
       scheduler must later re-offer it via
       :meth:`~repro.runtime.simulator.Simulator.reoffer`.
+
+    A parked placement may carry a ``park_key`` (RGP pipelining: the
+    window index the task is waiting on); the simulator then additionally
+    indexes the task under that key so the scheduler can re-offer one
+    window's tasks with
+    :meth:`~repro.runtime.simulator.Simulator.reoffer_key` when that
+    window's partition is delivered.
     """
 
     socket: int | None = None
     core: int | None = None
     park: bool = False
+    park_key: int | None = None
 
     def __post_init__(self) -> None:
         n_set = (self.socket is not None) + (self.core is not None) + bool(self.park)
@@ -33,4 +41,8 @@ class Placement:
             raise SchedulerError(
                 "Placement needs exactly one of socket=, core=, park=True; "
                 f"got {self!r}"
+            )
+        if self.park_key is not None and not self.park:
+            raise SchedulerError(
+                f"park_key= is only meaningful with park=True; got {self!r}"
             )

@@ -48,7 +48,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import FaultError, SimulationError
+from ..errors import FaultError, ReproError, SimulationError
 from ..machine.interconnect import Interconnect, StreamKey
 from ..machine.memory import DEFAULT_PAGE_SIZE, MemoryManager
 from ..machine.topology import NumaTopology
@@ -182,6 +182,11 @@ class Simulator:
             list(reversed(topology.cores_of_socket(s))) for s in topology.sockets()
         ]
         self.parked: list[Task] = []
+        #: Parked tasks additionally indexed by the scheduler's ``park_key``
+        #: (RGP pipelining: key = the window index a task waits on), so one
+        #: window's temporary queue can be re-offered without touching the
+        #: others.  Untouched when schedulers park without a key.
+        self.parked_by_key: dict[int, list[Task]] = {}
 
         # Task state.
         n = program.n_tasks
@@ -277,13 +282,42 @@ class Simulator:
         )
 
     def reoffer(self, tasks: list[Task]) -> None:
-        """Re-offer previously parked tasks to the scheduler."""
-        if self.obs is not None and tasks:
+        """Re-offer previously parked tasks to the scheduler.
+
+        Idempotent: tasks not currently in the temporary queue are skipped,
+        so a double re-offer (e.g. a partition timeout fires and the late
+        partition-done delivery arrives afterwards) can never duplicate an
+        execution.
+        """
+        parked_tids = {t.tid for t in self.parked}
+        tasks = [t for t in tasks if t.tid in parked_tids]
+        if not tasks:
+            return
+        if self.obs is not None:
             self.obs.emit(self.now, "sched.reoffer", n=len(tasks))
-        still_parked = {t.tid for t in tasks}
-        self.parked = [t for t in self.parked if t.tid not in still_parked]
+        leaving = {t.tid for t in tasks}
+        self.parked = [t for t in self.parked if t.tid not in leaving]
+        if self.parked_by_key:
+            for key in list(self.parked_by_key):
+                kept = [
+                    t for t in self.parked_by_key[key]
+                    if t.tid not in leaving
+                ]
+                if kept:
+                    self.parked_by_key[key] = kept
+                else:
+                    del self.parked_by_key[key]
         for task in tasks:
             self._offer(task)
+
+    def reoffer_key(self, key: int) -> None:
+        """Re-offer the parked tasks waiting under ``key`` (and only those).
+
+        RGP pipelining re-offers window *k*'s temporary queue when window
+        *k*'s partition is delivered (or declared lost) without disturbing
+        tasks parked for other windows.  Idempotent like :meth:`reoffer`.
+        """
+        self.reoffer(list(self.parked_by_key.get(key, ())))
 
     @property
     def n_sockets(self) -> int:
@@ -497,41 +531,46 @@ class Simulator:
             if self.wall_clock_limit is not None
             else None
         )
-        while self.n_done < n:
-            iterations += 1
-            if iterations > self.max_iterations:
-                raise SimulationError(
-                    f"no convergence after {iterations} iterations "
-                    f"({self.n_done}/{n} tasks done) — simulator bug? "
-                    + self._stall_detail()
-                )
-            if deadline is not None and time.monotonic() > deadline:
-                raise SimulationError(
-                    f"wall-clock limit of {self.wall_clock_limit:g}s exceeded "
-                    f"at t={self.now:.4g} ({self.n_done}/{n} tasks done)"
-                )
-            next_completion, finish_by_task = self._predict_completions()
-            next_timer = self._timers[0].time if self._timers else np.inf
-            t_next = min(next_completion, next_timer)
-            if not np.isfinite(t_next):
-                self._raise_deadlock()
-            dt = t_next - self.now
-            if dt > 0:
-                self._drain(dt)
-                self.now = t_next
-            else:
-                self.now = max(self.now, t_next)
+        try:
+            while self.n_done < n:
+                iterations += 1
+                if iterations > self.max_iterations:
+                    raise SimulationError(
+                        f"no convergence after {iterations} iterations "
+                        f"({self.n_done}/{n} tasks done) — simulator bug? "
+                        + self._stall_detail()
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    raise SimulationError(
+                        f"wall-clock limit of {self.wall_clock_limit:g}s "
+                        f"exceeded at t={self.now:.4g} "
+                        f"({self.n_done}/{n} tasks done)"
+                    )
+                next_completion, finish_by_task = self._predict_completions()
+                next_timer = self._timers[0].time if self._timers else np.inf
+                t_next = min(next_completion, next_timer)
+                if not np.isfinite(t_next):
+                    self._raise_deadlock()
+                dt = t_next - self.now
+                if dt > 0:
+                    self._drain(dt)
+                    self.now = t_next
+                else:
+                    self.now = max(self.now, t_next)
 
-            while self._timers and self._timers[0].time <= self.now + _EPS:
-                heapq.heappop(self._timers).callback()
+                while self._timers and self._timers[0].time <= self.now + _EPS:
+                    heapq.heappop(self._timers).callback()
 
-            completed = sorted(
-                (rt for rt in self.running.values() if rt.is_done()),
-                key=lambda rt: rt.task.tid,
-            )
-            for rt in completed:
-                self._finish(rt)
-            self._dispatch()
+                completed = sorted(
+                    (rt for rt in self.running.values() if rt.is_done()),
+                    key=lambda rt: rt.task.tid,
+                )
+                for rt in completed:
+                    self._finish(rt)
+                self._dispatch()
+        except ReproError:
+            self._abort_run()
+            raise
 
         result = SimulationResult(
             program_name=self.program.name,
@@ -557,6 +596,24 @@ class Simulator:
         if self.obs is not None:
             self._finalize_instrumentation(result)
         return result
+
+    def _abort_run(self) -> None:
+        """Release run state before an error propagates out of :meth:`run`.
+
+        A scheduler callback raising mid-run (e.g. RGP's
+        ``on_timeout="raise"`` partition deadline) must not leave cores
+        marked busy or half-drained attempts in :attr:`running`: callers
+        that catch the error and inspect the simulator (harnesses, tests,
+        the retry loop in ``run_policy``) need a consistent machine state.
+        Aborted attempts are dropped without a completion record — the run
+        produced no :class:`SimulationResult`, so there is no schedule for
+        them to corrupt.
+        """
+        for rt in self.running.values():
+            if rt.core not in self.quarantined:
+                self.idle_cores[rt.socket].append(rt.core)
+            self._start_traffic.pop(rt.task.tid, None)
+        self.running.clear()
 
     def _finalize_instrumentation(self, result: SimulationResult) -> None:
         """Close out the run's registry and attach the streams to the
@@ -594,6 +651,10 @@ class Simulator:
             decision = self._remap_placement(task, decision)
         if decision.park:
             self.parked.append(task)
+            if decision.park_key is not None:
+                self.parked_by_key.setdefault(
+                    decision.park_key, []
+                ).append(task)
             self.parked_total += 1
             if self.obs is not None:
                 self.obs.emit(

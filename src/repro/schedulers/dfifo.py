@@ -29,6 +29,11 @@ class DFIFOScheduler(Scheduler):
         super().__init__()
         self._counter = 0
 
+    def on_program_start(self) -> None:
+        # Per-run state: a reused scheduler must restart its cyclic order,
+        # not continue from wherever the previous run left the counter.
+        self._counter = 0
+
     def choose(self, task: Task) -> Placement:
         core = self._counter % self.topology.n_cores
         self._counter += 1

@@ -115,6 +115,11 @@ class LASScheduler(Scheduler):
         #: fired — the observability handle for the cold-start ablation.
         self.audit: dict[str, int] = {}
 
+    def on_program_start(self) -> None:
+        # Per-run state: a reused scheduler must not accumulate a previous
+        # run's branch counts.
+        self.audit = {}
+
     def choose(self, task: Task) -> Placement:
         obs = self.obs
         detail: dict | None = (

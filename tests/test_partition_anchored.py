@@ -74,6 +74,25 @@ class TestAnchors:
                                    DualRecursiveBipartitioner(),
                                    target=target)
 
+    def test_refinement_moving_anchor_raises(self, grid, target, monkeypatch):
+        """The moved-anchor check must be a real error (it guards against a
+        refinement bug unpinning placed tasks), not a bare ``assert`` that
+        ``python -O`` strips.  Simulate the bug by monkeypatching the
+        refinement to move an anchored vertex."""
+        import repro.partition.anchored as anchored_mod
+
+        def buggy_refine(graph, parts, k, **kwargs):
+            out = np.asarray(parts, dtype=np.int64).copy()
+            out[0] = (out[0] + 1) % k  # move the anchor, ignore `fixed`
+            return out
+
+        monkeypatch.setattr(anchored_mod, "greedy_kway_refine", buggy_refine)
+        with pytest.raises(PartitionError, match="anchor"):
+            partition_with_anchors(
+                grid, 8, {0: 3}, DualRecursiveBipartitioner(), target=target,
+                seed=0,
+            )
+
 
 class TestRepartitionUsesAnchors:
     def test_repartition_keeps_chain_sockets(self, topo8):

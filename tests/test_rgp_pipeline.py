@@ -1,0 +1,297 @@
+"""Pipelined asynchronous repartitioning (DESIGN.md §10).
+
+Covers the prefetch trigger, per-window parking/delivery, the blocking
+(``prefetch_threshold=1.0``) reference point, per-window timeout
+degradation, adaptive window sizing, and the inertness guarantee of the
+disabled configuration (the byte-level half of which is pinned by the
+golden fixture in ``test_rgp_inertness.py``).
+"""
+
+import pytest
+
+from repro.core import AUTO_MIN_WINDOW, RGPScheduler
+from repro.core.window import WindowTracker, next_auto_window_size
+from repro.errors import SchedulerError
+from repro.machine import bullion_s16, two_socket
+from repro.observability import Instrumentation
+from repro.runtime import Simulator, TaskProgram, simulate
+from repro.runtime.validation import validate_schedule
+
+
+def staged_program(stages=5, lanes=6, nbytes=65536):
+    """``stages`` all-to-all-gated stages of ``lanes`` parallel tasks.
+
+    Every stage-``s`` task reads all of stage ``s-1``'s outputs, so a
+    stage only becomes ready when the previous stage has *fully* finished
+    — the structure where prefetching (launch at a fraction of the
+    previous window) genuinely beats demand-launching.  Lane works are
+    spread so stage completions stagger.
+    """
+    p = TaskProgram("staged")
+    prev = []
+    for s in range(stages):
+        outs = []
+        for i in range(lanes):
+            a = p.data(f"d{s}_{i}", nbytes)
+            p.task(f"s{s}_{i}", ins=list(prev), outs=[a],
+                   work=0.4 + 0.25 * i)
+            outs.append(a)
+        prev = outs
+    return p.finalize()
+
+
+def make_sched(threshold, window=6, delay=0.6, **kw):
+    return RGPScheduler(
+        window_size=window, propagation="repartition",
+        partition_delay=delay, prefetch_threshold=threshold,
+        partition_seed=1, **kw,
+    )
+
+
+class TestValidation:
+    def test_threshold_range_enforced(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(SchedulerError, match="prefetch_threshold"):
+                RGPScheduler(propagation="repartition",
+                             prefetch_threshold=bad)
+
+    def test_threshold_requires_repartition(self):
+        with pytest.raises(SchedulerError, match="repartition"):
+            RGPScheduler(propagation="las", prefetch_threshold=0.5)
+
+    def test_window_spec_validated(self):
+        with pytest.raises(SchedulerError):
+            RGPScheduler(window_size=0)
+        assert RGPScheduler(window_size="auto").window_size == "auto"
+
+
+class TestPipelinedExecution:
+    def test_completes_and_validates(self):
+        topo = bullion_s16()
+        p = staged_program()
+        sched = make_sched(0.5)
+        sim = Simulator(p, topo, sched, seed=0)
+        res = sim.run()
+        validate_schedule(p, res, topo)
+        assert res.n_tasks == p.n_tasks
+        assert sched.pipelining_active
+        # Every later window went through the async launch machinery.
+        assert sched.windows_partitioned == 5
+        # The temporary queue fully drained, keyed index included.
+        assert sim.parked == []
+        assert sim.parked_by_key == {}
+
+    def test_pipelined_beats_blocking(self):
+        """The tentpole's point: launching window k+1 at half of window k
+        hides partition latency that the blocking scheduler exposes."""
+        topo = bullion_s16()
+        p = staged_program()
+        runs = {}
+        for threshold in (1.0, 0.5):
+            sched = make_sched(threshold)
+            res = simulate(p, topo, sched, seed=0, duration_jitter=0.0)
+            runs[threshold] = (res.makespan, sched.pipeline_stall_time)
+        blocking_makespan, blocking_stall = runs[1.0]
+        pipelined_makespan, pipelined_stall = runs[0.5]
+        assert pipelined_makespan < blocking_makespan
+        assert pipelined_stall < blocking_stall
+
+    def test_blocking_launches_on_demand(self):
+        """With ``prefetch_threshold=1.0`` every stage's tasks park for
+        the full partition latency (the latency is exposed)."""
+        topo = bullion_s16()
+        p = staged_program()
+        sched = make_sched(1.0)
+        sim = Simulator(p, topo, sched, seed=0)
+        res = sim.run()
+        validate_schedule(p, res, topo)
+        # Later-window tasks parked while their partition was in flight.
+        assert res.parked_tasks > 0
+        assert sched.pipeline_stall_time > 0.0
+
+    def test_prefetch_trigger_emits_launch_events(self):
+        topo = two_socket(cores_per_socket=2)
+        p = staged_program(stages=4, lanes=6)
+        obs = Instrumentation()
+        sched = make_sched(0.5)
+        res = simulate(p, topo, sched, seed=0, instrument=obs,
+                       duration_jitter=0.0)
+        launches = [e for e in res.events if e.kind == "rgp.partition.launch"]
+        assert [e.args["window"] for e in launches] == [1, 2, 3]
+        assert all(e.args["trigger"] == "prefetch" for e in launches)
+        # Deliveries publish the window's quality stats with the charged
+        # latency.
+        ends = [e for e in res.events if e.kind == "rgp.partition.end"]
+        assert {e.args["window"] for e in ends} == {0, 1, 2, 3}
+        assert all(
+            e.args["delay"] == 0.6 for e in ends if e.args["window"] > 0
+        )
+
+    def test_early_tasks_in_later_windows_demand_launch(self):
+        """Roots living beyond the cutoff are ready at t=0, before any
+        prefetch trigger: they demand-launch their window and park."""
+        topo = two_socket(cores_per_socket=2)
+        p = TaskProgram("chains")
+        for c in range(6):
+            a = p.data(f"a{c}", 65536)
+            p.task(f"init{c}", outs=[a], work=0.5)
+            for i in range(3):
+                p.task(f"t{c}_{i}", inouts=[a], work=0.5)
+        prog = p.finalize()
+        obs = Instrumentation()
+        sched = make_sched(0.5, window=4, delay=1.0)
+        sim = Simulator(prog, topo, sched, seed=0, instrument=obs)
+        res = sim.run()
+        validate_schedule(prog, res, topo)
+        launches = [e for e in res.events if e.kind == "rgp.partition.launch"]
+        assert any(e.args["trigger"] == "demand" for e in launches)
+        # Demand-launched windows still charge the latency: those roots
+        # parked and started only after the delivery.
+        assert res.parked_tasks > 0
+
+    def test_stall_gauge_recorded(self):
+        topo = two_socket(cores_per_socket=2)
+        p = staged_program(stages=4, lanes=6)
+        obs = Instrumentation()
+        sched = make_sched(1.0)  # blocking: guaranteed stalls
+        res = simulate(p, topo, sched, seed=0, instrument=obs)
+        gauges = res.metrics["gauges"]
+        assert "rgp.pipeline.stall_us" in gauges
+        assert sched.pipeline_stall_time > 0.0
+
+
+class TestPerWindowTimeout:
+    def test_each_window_degrades_independently(self):
+        topo = bullion_s16()
+        p = staged_program()
+        sched = make_sched(0.5, delay=5.0, partition_timeout=0.1)
+        sim = Simulator(p, topo, sched, seed=0)
+        res = sim.run()
+        validate_schedule(p, res, topo)
+        # Window 0 plus every launched later window timed out.
+        assert sched.audit["partition_timeout"] >= 2
+        assert sched.audit.get("fallback", 0) > 0
+        assert res.n_tasks == p.n_tasks
+        assert sim.parked == [] and sim.parked_by_key == {}
+
+    def test_late_delivery_after_window_timeout_is_noop(self):
+        topo = bullion_s16()
+        p = staged_program(stages=3, lanes=6)
+        sched = make_sched(0.5, delay=5.0, partition_timeout=0.1)
+        res = simulate(p, topo, sched, seed=0)
+        # No double re-offer / duplicate execution from the late delivery.
+        assert sorted(r.tid for r in res.records) == list(range(p.n_tasks))
+
+
+class TestAdaptiveWindow:
+    def test_auto_resizes_and_emits_events(self):
+        topo = bullion_s16()
+        # Many short tasks + a latency worth hiding: the steady-state
+        # target W* = throughput * delay / (1 - f) sits far above the
+        # 32-task floor, so the controller must grow the windows.
+        p = TaskProgram("short-stages")
+        prev = []
+        for s in range(5):
+            outs = []
+            for i in range(48):
+                a = p.data(f"d{s}_{i}", 4096)
+                p.task(f"s{s}_{i}", ins=list(prev), outs=[a], work=0.1)
+                outs.append(a)
+            prev = outs
+        p = p.finalize()
+        obs = Instrumentation()
+        sched = RGPScheduler(
+            window_size="auto", propagation="repartition",
+            partition_delay=20.0, prefetch_threshold=0.5, partition_seed=1,
+        )
+        sim = Simulator(p, topo, sched, seed=0, instrument=obs)
+        res = sim.run()
+        validate_schedule(p, res, topo)
+        resizes = [e for e in res.events if e.kind == "rgp.window.resize"]
+        assert resizes, "adaptive controller never adjusted the window"
+        for e in resizes:
+            assert e.args["new"] >= AUTO_MIN_WINDOW
+            assert e.args["throughput"] > 0.0
+        # Window boundaries reflect the resizes (not all equal strides).
+        strides = {
+            b - a for a, b in zip(sched._windows.bounds[1:],
+                                  sched._windows.bounds[2:])
+        }
+        assert len(strides) > 1
+
+    def test_auto_without_pipelining_stays_fixed(self):
+        """``window_size="auto"`` with pipelining off must behave exactly
+        like the default window size (the controller only runs at
+        pipelined launches)."""
+        topo = two_socket(cores_per_socket=2)
+        p = staged_program(stages=3, lanes=6)
+        auto = RGPScheduler(window_size="auto", propagation="repartition",
+                            partition_seed=1)
+        res_a = simulate(p, topo, auto, seed=0)
+        fixed = RGPScheduler(window_size=1024, propagation="repartition",
+                             partition_seed=1)
+        res_f = simulate(p, topo, fixed, seed=0)
+        key = lambda res: [(r.tid, r.core, r.start, r.finish)
+                           for r in res.records]
+        assert key(res_a) == key(res_f)
+
+    def test_control_law_targets_latency_hiding(self):
+        # W* = throughput * delay / (1 - f); damping moves halfway.
+        assert next_auto_window_size(100, throughput=200.0,
+                                     partition_delay=1.0,
+                                     prefetch_threshold=0.5) == 250
+        # Clamped at the floor / ceiling.
+        assert next_auto_window_size(32, 1.0, 0.01, 0.5) == 32
+        assert next_auto_window_size(16384, 1e9, 10.0, 0.99) == 16384
+        # No throughput sample yet: keep the current size.
+        assert next_auto_window_size(64, 0.0, 1.0, 0.5) == 64
+
+
+class TestWindowTracker:
+    def test_constant_size_matches_legacy_arithmetic(self):
+        t = WindowTracker(cutoff=10, n_tasks=100, next_size=16)
+        # Legacy: lo = cutoff + ((tid - cutoff) // size) * size
+        for tid in (10, 25, 26, 99):
+            lo = 10 + ((tid - 10) // 16) * 16
+            hi = min(lo + 16, 100)
+            w = t.index_of(tid)
+            assert t.span(w) == (lo, hi)
+            assert w == 1 + (lo - 10) // 16
+
+    def test_resize_only_affects_unmaterialised_windows(self):
+        t = WindowTracker(cutoff=10, n_tasks=1000, next_size=16)
+        assert t.index_of(30) == 2  # materialises [10,26) and [26,42)
+        t.next_size = 100
+        assert t.span(2) == (26, 42)  # fixed boundary unchanged
+        assert t.span(3) == (42, 142)  # new stride from here on
+
+
+class TestDisabledInertness:
+    """Property-level half of the inertness guarantee; the byte-level
+    golden comparison lives in ``test_rgp_inertness.py``."""
+
+    def test_pipeline_inactive_without_threshold(self):
+        topo = two_socket(cores_per_socket=2)
+        p = staged_program(stages=3, lanes=6)
+        sched = RGPScheduler(window_size=6, propagation="repartition",
+                             partition_delay=0.6, partition_seed=1)
+        sim = Simulator(p, topo, sched, seed=0)
+        sim.run()
+        assert not sched.pipelining_active
+        # The keyed park index is never touched on the legacy path.
+        assert sim.parked_by_key == {}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_disabled_matches_fresh_legacy_run(self, seed):
+        topo = two_socket(cores_per_socket=2)
+        p = staged_program(stages=4, lanes=8)
+        a = RGPScheduler(window_size=8, propagation="repartition",
+                         partition_delay=0.3, partition_seed=None)
+        res_a = simulate(p, topo, a, seed=seed)
+        b = RGPScheduler(window_size=8, propagation="repartition",
+                         partition_delay=0.3, partition_seed=None,
+                         prefetch_threshold=None)
+        res_b = simulate(p, topo, b, seed=seed)
+        key = lambda res: [(r.tid, r.core, r.socket, r.start, r.finish)
+                           for r in res.records]
+        assert key(res_a) == key(res_b)

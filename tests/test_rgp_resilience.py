@@ -215,3 +215,94 @@ class TestCoreLossRemapping:
         validate_schedule(p, res, topo)
         # Socket 0 still has core 1: assignments stay put.
         assert "remapped" not in sched.audit
+
+
+class TestTimeoutBoundarySemantics:
+    """The deadline is *strict*: a pending delivery must arrive strictly
+    before ``partition_timeout``, so at ``timeout == delay`` the timeout
+    wins; and it only applies while a delivery is pending, so with
+    ``partition_delay == 0`` (result available at launch) a configured or
+    injected deadline is inert.  Regression: the timer used to be armed
+    only for ``timeout < delay``, which silently disabled both edges."""
+
+    def test_timeout_equal_to_delay_fires(self, topo8):
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=5.0,
+            partition_timeout=5.0, partition_seed=1,
+        )
+        res = simulate(p, topo8, sched, seed=0)
+        validate_schedule(p, res, topo8)
+        assert sched.audit["partition_timeout"] == 1
+        assert sched.audit["fallback"] == p.n_tasks
+        assert sched.audit.get("window", 0) == 0
+
+    def test_injected_timeout_equal_to_delay_fires(self, topo8):
+        """Same boundary through the configure_faults path."""
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=5.0, partition_seed=1
+        )
+        plan = FaultPlan(partition_timeout=5.0)
+        res = Simulator(p, topo8, sched, seed=0, faults=plan).run()
+        assert sched.audit["partition_timeout"] == 1
+        assert res.n_tasks == p.n_tasks
+
+    def test_timeout_longer_than_delay_still_never_fires(self, topo8):
+        """The timer is now always armed while a delivery is pending, but
+        a delivery arriving strictly before the deadline must win."""
+        p = chains_program()
+        sched = RGPLASScheduler(
+            window_size=p.n_tasks, partition_delay=1.0,
+            partition_timeout=1.0 + 1e-6, partition_seed=1,
+        )
+        res = simulate(p, topo8, sched, seed=0)
+        assert "partition_timeout" not in sched.audit
+        assert sched.audit["window"] == p.n_tasks
+        assert res.n_tasks == p.n_tasks
+
+    def test_injected_timeout_with_zero_delay_is_inert(self, topo8):
+        """``partition_delay=0`` delivers at launch: no deadline ever
+        applies, byte-identically to the fault-free run."""
+        p = chains_program()
+        faulted = RGPLASScheduler(window_size=p.n_tasks, partition_seed=1)
+        res_f = Simulator(
+            p, topo8, faulted, seed=0,
+            faults=FaultPlan(partition_timeout=0.5),
+        ).run()
+        assert "partition_timeout" not in faulted.audit
+
+        clean = RGPLASScheduler(window_size=p.n_tasks, partition_seed=1)
+        res_c = Simulator(p, topo8, clean, seed=0).run()
+        key = lambda res: [
+            (r.tid, r.core, r.start, r.finish) for r in res.records
+        ]
+        assert key(res_f) == key(res_c)
+
+
+class TestRaiseModeSurfacesCleanly:
+    def test_raise_mid_execution_leaves_simulator_clean(self, topo8):
+        """``on_timeout="raise"`` fires from a timer callback while
+        propagated tasks are mid-execution; the simulator must surface
+        the error with no cores still marked busy."""
+        p = TaskProgram("mixed")
+        a = p.data("a", 65536)
+        p.task("w0", outs=[a], work=0.5)
+        p.task("w1", inouts=[a], work=0.5)
+        p.task("w2", inouts=[a], work=0.5)
+        for i in range(8):
+            b = p.data(f"b{i}", 65536)
+            p.task(f"free{i}", outs=[b], work=3.0)
+        prog = p.finalize()
+        sched = RGPLASScheduler(
+            window_size=3, partition_delay=5.0, partition_timeout=0.5,
+            on_timeout="raise", partition_seed=1,
+        )
+        sim = Simulator(prog, topo8, sched, seed=0)
+        with pytest.raises(PartitionTimeoutError, match="deadline"):
+            sim.run()
+        # The free* tasks were running at t=0.5; the abort must have
+        # released their cores.
+        assert sim.running == {}
+        n_idle = sum(len(sim.idle_cores[s]) for s in range(topo8.n_sockets))
+        assert n_idle == topo8.n_cores

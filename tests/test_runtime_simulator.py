@@ -305,3 +305,115 @@ class TestValidationAndStats:
         res = simulate(TaskProgram().finalize(), topo2, PinScheduler())
         assert res.makespan == 0.0
         assert res.n_tasks == 0
+
+
+class TestReofferIdempotence:
+    """Re-offering the same parked tasks twice (e.g. a timeout firing and
+    the partition-done timer arriving in the same instant) must not
+    duplicate executions: ``reoffer`` only releases tasks that are still
+    parked."""
+
+    class DoubleReofferScheduler(Scheduler):
+        name = "double-reoffer"
+
+        def on_program_start(self):
+            self._released = False
+            self.sim.schedule_timer(1.0, self._release)
+
+        def _release(self):
+            self._released = True
+            parked = list(self.sim.parked)
+            self.sim.reoffer(parked)
+            self.sim.reoffer(parked)  # duplicate: must be a no-op
+
+        def choose(self, task):
+            if not self._released:
+                return Placement(park=True)
+            return Placement(socket=0)
+
+    class KeyedParkScheduler(Scheduler):
+        name = "keyed-park"
+
+        def on_program_start(self):
+            self._released = set()
+            self.sim.schedule_timer(1.0, lambda: self._release(0))
+            self.sim.schedule_timer(2.0, lambda: self._release(1))
+
+        def _release(self, key):
+            self._released.add(key)
+            self.sim.reoffer_key(key)
+            self.sim.reoffer_key(key)  # duplicate: must be a no-op
+
+        def choose(self, task):
+            key = task.tid % 2
+            if key not in self._released:
+                return Placement(park=True, park_key=key)
+            return Placement(socket=0)
+
+    def test_double_reoffer_runs_each_task_once(self, topo2):
+        p = TaskProgram("indep")
+        for i in range(6):
+            a = p.data(f"a{i}", 4096)
+            p.task(f"t{i}", outs=[a], work=0.5)
+        prog = p.finalize()
+        sim = Simulator(prog, topo2, self.DoubleReofferScheduler(), seed=0)
+        res = sim.run()
+        assert sorted(r.tid for r in res.records) == list(range(6))
+        assert all(r.attempt == 0 for r in res.records)
+        assert res.parked_tasks == 6
+        assert sim.parked == []
+
+    def test_reoffer_key_releases_only_that_key(self, topo2):
+        p = TaskProgram("indep")
+        for i in range(6):
+            a = p.data(f"a{i}", 4096)
+            p.task(f"t{i}", outs=[a], work=0.1)
+        prog = p.finalize()
+        sim = Simulator(prog, topo2, self.KeyedParkScheduler(), seed=0,
+                        duration_jitter=0.0)
+        res = sim.run()
+        assert sorted(r.tid for r in res.records) == list(range(6))
+        assert all(r.attempt == 0 for r in res.records)
+        by_tid = {r.tid: r for r in res.records}
+        # Even tids released at t=1, odd tids at t=2.
+        assert all(by_tid[t].start >= 1.0 for t in (0, 2, 4))
+        assert all(by_tid[t].start < 2.0 for t in (0, 2, 4))
+        assert all(by_tid[t].start >= 2.0 for t in (1, 3, 5))
+        assert sim.parked == [] and sim.parked_by_key == {}
+
+    def test_reoffer_of_never_parked_tasks_is_ignored(self, topo2):
+        """A stale re-offer naming tasks that already ran must not
+        re-execute them."""
+        p = TaskProgram("indep")
+        for i in range(4):
+            a = p.data(f"a{i}", 4096)
+            p.task(f"t{i}", outs=[a], work=0.2)
+        prog = p.finalize()
+
+        class StaleReoffer(Scheduler):
+            name = "stale-reoffer"
+
+            def on_program_start(self):
+                self._remembered = []
+                self._released = False
+                self.sim.schedule_timer(0.5, self._release)
+                self.sim.schedule_timer(2.0, self._stale)
+
+            def _release(self):
+                self._released = True
+                self._remembered = list(self.sim.parked)
+                self.sim.reoffer(self._remembered)
+
+            def _stale(self):
+                # Tasks finished long ago; this must be a no-op.
+                self.sim.reoffer(self._remembered)
+
+            def choose(self, task):
+                if not self._released:
+                    return Placement(park=True)
+                return Placement(socket=0)
+
+        sim = Simulator(prog, topo2, StaleReoffer(), seed=0)
+        res = sim.run()
+        assert sorted(r.tid for r in res.records) == list(range(4))
+        assert all(r.attempt == 0 for r in res.records)

@@ -103,3 +103,57 @@ class TestRecordLocality:
         res = simulate(prog, topo8, make_scheduler("dfifo"), seed=0)
         for r in res.records:
             assert 0.0 <= r.remote_fraction <= 1.0
+
+
+class TestAuditResetPerRun:
+    """Regression: per-run scheduler state was only initialised in
+    ``__init__``, so a scheduler object reused across runs accumulated the
+    previous run's counts (RGP/LAS audit) or continued a stale cyclic
+    counter (DFIFO)."""
+
+    @staticmethod
+    def _staircase_program(n=16):
+        p = TaskProgram("stairs")
+        a = p.data("a", 65536)
+        p.task("t0", outs=[a], work=0.2)
+        for i in range(1, n):
+            p.task(f"t{i}", inouts=[a], work=0.2)
+        return p.finalize()
+
+    def test_rgp_las_audit_resets_across_runs(self, topo8):
+        from repro.core import RGPLASScheduler
+
+        p = self._staircase_program()
+        sched = RGPLASScheduler(window_size=4, partition_seed=1)
+        for run in (1, 2):
+            simulate(p, topo8, sched, seed=0)
+            placed = (
+                sched.audit.get("window", 0)
+                + sched.audit.get("propagated", 0)
+                + sched.audit.get("fallback", 0)
+            )
+            assert placed == p.n_tasks, f"run {run}: audit {sched.audit}"
+            # The LAS branch breakdown only covers propagated decisions.
+            las_branches = sum(
+                sched.audit.get(k, 0) for k in ("random", "weighted", "tie")
+            )
+            assert las_branches == sched.audit.get("propagated", 0)
+
+    def test_las_audit_resets_across_runs(self, topo8):
+        p = self._staircase_program()
+        sched = LASScheduler()
+        for run in (1, 2):
+            simulate(p, topo8, sched, seed=0)
+            total = sum(
+                sched.audit.get(k, 0) for k in ("random", "weighted", "tie")
+            )
+            assert total == p.n_tasks, f"run {run}: audit {sched.audit}"
+
+    def test_dfifo_cyclic_order_restarts_across_runs(self, topo8):
+        p = self._staircase_program()
+        sched = make_scheduler("dfifo")
+        first = simulate(p, topo8, sched, seed=0)
+        second = simulate(p, topo8, sched, seed=0)
+        assert [(r.tid, r.core) for r in first.records] == [
+            (r.tid, r.core) for r in second.records
+        ]
