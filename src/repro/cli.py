@@ -19,6 +19,10 @@ Commands
                 sockets / las / propagation / pipeline).
 ``bench``     — host-performance benchmark of the scheduling hot path
                 (placement-cache on/off); emits ``BENCH_hotpath.json``.
+``verify``    — differential-oracle verification (DESIGN.md §11):
+                ``fuzz`` random cases against the reference simulator,
+                ``replay`` serialized divergence/corpus files, or ``diff``
+                one named app/scheduler/machine combination.
 ``apps``      — list the available applications, schedulers and machines.
 """
 
@@ -325,6 +329,88 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _parse_budget(value: str) -> float:
+    """``--budget`` accepts seconds (``120``, ``120s``) or minutes (``2m``)."""
+    text = value.strip().lower()
+    try:
+        if text.endswith("m"):
+            return float(text[:-1]) * 60.0
+        if text.endswith("s"):
+            return float(text[:-1])
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"budget must look like '120', '120s' or '2m', got {value!r}"
+        ) from None
+
+
+def cmd_verify(args) -> int:
+    """Differential-oracle verification: fuzz / replay / diff."""
+    from .verify import POLICY_MATRIX, differential_run, fuzz, replay_file
+
+    if args.verify_command == "fuzz":
+        known = [label for label, _, _ in POLICY_MATRIX]
+        for policy in args.policies or []:
+            if policy not in known:
+                print(f"error: unknown policy {policy!r} "
+                      f"(choose from {', '.join(known)})", file=sys.stderr)
+                return 2
+        report = fuzz(
+            args.seeds,
+            policies=args.policies or None,
+            budget_s=args.budget,
+            out_dir=args.out_dir,
+            progress=(
+                (lambda m: print(f"  {m}", file=sys.stderr))
+                if args.verbose else None
+            ),
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.verify_command == "replay":
+        import os
+
+        paths: list[str] = []
+        for target in args.paths:
+            if os.path.isdir(target):
+                paths.extend(
+                    os.path.join(target, name)
+                    for name in sorted(os.listdir(target))
+                    if name.endswith(".json")
+                )
+            else:
+                paths.append(target)
+        if not paths:
+            print("error: no case files to replay", file=sys.stderr)
+            return 2
+        failures = 0
+        for path in paths:
+            report = replay_file(path)
+            print(f"{path}: {report.summary()}")
+            if not report.ok:
+                failures += 1
+        return 1 if failures else 0
+
+    # verify diff
+    report = differential_run(
+        args.scheduler,
+        args.app,
+        args.machine,
+        faults=args.faults,
+        scheduler_kwargs=(
+            {"window_size": args.window} if args.window is not None else None
+        ),
+        seed=args.seed,
+    )
+    print(report.summary())
+    if args.out:
+        from .verify import save_repro
+
+        print(f"case written to {save_repro(report, args.out)}")
+    return 0 if report.ok else 1
+
+
 def cmd_apps(args) -> int:
     print("applications:", ", ".join(sorted(APPS)))
     print("schedulers:  ", ", ".join(sorted(SCHEDULERS)))
@@ -498,6 +584,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--validate", default=None, metavar="FILE.json",
                    help="only validate an existing bench file's schema")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential-oracle verification (fuzz / replay / diff)",
+    )
+    vsub = p.add_subparsers(dest="verify_command", required=True)
+
+    v = vsub.add_parser(
+        "fuzz",
+        help="random programs/topologies/faults diffed against the oracle",
+    )
+    v.add_argument("--seeds", type=int, default=50,
+                   help="number of fuzz seeds (default 50)")
+    v.add_argument("--budget", type=_parse_budget, default=None,
+                   metavar="120s|2m",
+                   help="wall-clock budget; stop early when exceeded")
+    v.add_argument("--policies", nargs="+", default=None,
+                   help="restrict to these policy labels "
+                        "(default: the full matrix)")
+    v.add_argument("--out-dir", default="verify-repros",
+                   help="directory for divergence repro files "
+                        "(default verify-repros/)")
+    v.add_argument("-v", "--verbose", action="store_true",
+                   help="print one progress line per seed")
+    v.set_defaults(fn=cmd_verify)
+
+    v = vsub.add_parser(
+        "replay",
+        help="re-run serialized cases (repro files, corpus entries)",
+    )
+    v.add_argument("paths", nargs="+", metavar="FILE|DIR",
+                   help="case files, or directories of *.json cases")
+    v.set_defaults(fn=cmd_verify)
+
+    v = vsub.add_parser(
+        "diff",
+        help="diff one production run against the reference oracle",
+    )
+    v.add_argument("--app", required=True, choices=sorted(APPS))
+    v.add_argument("--scheduler", required=True, choices=sorted(SCHEDULERS))
+    v.add_argument("--machine", default="two-socket",
+                   choices=sorted(presets.PRESETS))
+    v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--window", type=int, default=None,
+                   help="RGP window size (rgp schedulers only)")
+    v.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="inject a fault plan during the diffed run")
+    v.add_argument("--out", default=None, metavar="DIR",
+                   help="serialize the case (divergent or not) to DIR")
+    v.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("apps", help="list apps/schedulers/machines")
     p.set_defaults(fn=cmd_apps)

@@ -84,6 +84,10 @@ PROPAGATION_POLICIES = ("las", "repartition", "random", "cyclic")
 #: its original ``_partition_ready`` / ``_partition_lost`` flags).
 _PENDING, _READY, _LOST = "pending", "ready", "lost"
 
+#: Public aliases for end-of-run validation (runtime.validation drains the
+#: pipeline state; repro.verify inspects it in divergence diagnostics).
+WINDOW_PENDING, WINDOW_READY, WINDOW_LOST = _PENDING, _READY, _LOST
+
 
 class RGPScheduler(Scheduler):
     """Window-partitioning scheduler with pluggable propagation."""

@@ -62,3 +62,11 @@ class PartitionTimeoutError(FaultError):
 
 class BenchmarkError(ReproError):
     """Benchmark harness failure (schema violation, divergent schedules)."""
+
+
+class VerificationError(ReproError):
+    """A runtime invariant or a differential-oracle check failed.
+
+    Raised by :mod:`repro.verify`: the online :class:`InvariantChecker`
+    (``REPRO_VERIFY=1``) when a mid-run invariant breaks, and the reference
+    oracle when the recorded decision trace cannot be replayed."""

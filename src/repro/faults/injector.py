@@ -45,6 +45,9 @@ class FaultInjector:
     def _record(self, family: str, **args) -> None:
         """Count the injection and, when instrumented, emit ``fault.inject``."""
         self.injected[family] += 1
+        probe = getattr(self.sim, "probe", None)
+        if probe is not None:
+            probe.on_inject(family)
         obs = self.sim.obs
         if obs is not None:
             obs.emit(self.sim.now, "fault.inject", family=family, **args)

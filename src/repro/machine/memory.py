@@ -106,6 +106,10 @@ class MemoryManager:
         self.task_cache: dict[object, tuple[tuple[int, ...], np.ndarray, int]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Verification probe (repro.verify.InvariantChecker, or None).
+        #: Notified after every placement mutation; never installed by
+        #: default, so unverified runs pay one attribute check per mutation.
+        self.probe = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -190,6 +194,8 @@ class MemoryManager:
             self.bytes_on_node[node] += n_new * self.page_size
             self.touch_count += n_new
             self._invalidate(key)
+            if self.probe is not None:
+                self.probe.on_memory_op(self, "touch", key)
         return n_new
 
     def bind(
@@ -218,6 +224,8 @@ class MemoryManager:
         window[:] = node
         if changed:
             self._invalidate(key)
+            if self.probe is not None:
+                self.probe.on_memory_op(self, "bind", key)
 
     def migrate(self, key: int, node: int) -> int:
         """Migrate all *bound* pages of an object to ``node``.
@@ -237,6 +245,8 @@ class MemoryManager:
             self.bytes_on_node[node] += n_moved * self.page_size
             self.migrated_pages += n_moved
             self._invalidate(key)
+            if self.probe is not None:
+                self.probe.on_memory_op(self, "migrate", key)
         return n_moved
 
     def interleave(self, key: int, nodes: list[int] | None = None) -> None:
@@ -256,6 +266,8 @@ class MemoryManager:
         for i in range(len(pages)):
             self._rebind_page(pages, i, nodes[i % len(nodes)])
         self._invalidate(key)
+        if self.probe is not None:
+            self.probe.on_memory_op(self, "interleave", key)
 
     def _rebind_page(self, pages: np.ndarray, idx: int, node: int) -> None:
         old = int(pages[idx])

@@ -46,3 +46,23 @@ class Placement:
             raise SchedulerError(
                 f"park_key= is only meaningful with park=True; got {self!r}"
             )
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (verification repro files, decision traces)."""
+        if self.park:
+            doc: dict = {"park": True}
+            if self.park_key is not None:
+                doc["park_key"] = int(self.park_key)
+            return doc
+        if self.core is not None:
+            return {"core": int(self.core)}
+        return {"socket": int(self.socket)}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> Placement:
+        """Inverse of :meth:`to_dict`."""
+        if doc.get("park"):
+            return cls(park=True, park_key=doc.get("park_key"))
+        if "core" in doc:
+            return cls(core=int(doc["core"]))
+        return cls(socket=int(doc["socket"]))

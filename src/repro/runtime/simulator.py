@@ -41,6 +41,7 @@ or an RNG, so instrumented and uninstrumented runs are byte-identical.
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -60,6 +61,12 @@ from .task import Task
 
 #: Time tolerance (timer coalescing, compute drain).
 _EPS = 1e-9
+def _verify_env() -> bool:
+    """True when ``REPRO_VERIFY`` asks for the online invariant checker."""
+    flag = os.environ.get("REPRO_VERIFY", "").strip().lower()
+    return flag not in ("", "0", "off", "false")
+
+
 #: Byte tolerance: streams hold up to ~1e8 bytes and are drained by
 #: ``rate * dt`` with dt derived from float time arithmetic, so residues of
 #: ~1e-7 bytes are normal round-off, not pending work.  A hundredth of a
@@ -112,6 +119,8 @@ class Simulator:
         wall_clock_limit: float | None = None,
         instrument=None,
         placement_cache: bool = True,
+        probe=None,
+        verify: bool | None = None,
     ) -> None:
         program.validate()
         self.program = program
@@ -220,6 +229,11 @@ class Simulator:
         self.steals = 0
         self.parked_total = 0
 
+        # Verification probe (repro.verify, or None).  Like instrumentation,
+        # every call site is guarded by one ``is not None`` check and no
+        # probe is installed by default, so unverified runs are untouched.
+        self.probe = probe
+
         # Fault injection and recovery (all dormant when faults is None).
         if faults is not None and faults.is_empty():
             faults = None  # zero-overhead guarantee: empty plan == no plan
@@ -269,6 +283,22 @@ class Simulator:
             )
             self._injector.arm()
 
+        # Online invariant checking (DESIGN.md §11): opt-in per run via
+        # ``verify=True`` or globally via ``REPRO_VERIFY=1``.  The checker
+        # rides the same probe slot as a recorder, composed when both are
+        # present, and additionally watches the memory manager.
+        if _verify_env() if verify is None else bool(verify):
+            from ..verify.invariants import InvariantChecker
+
+            checker = InvariantChecker(self)
+            if self.probe is None:
+                self.probe = checker
+            else:
+                from ..verify.probe import CompositeProbe
+
+                self.probe = CompositeProbe([self.probe, checker])
+            self.memory.probe = checker
+
     # ------------------------------------------------------------------
     # Public API used by schedulers
     # ------------------------------------------------------------------
@@ -293,6 +323,8 @@ class Simulator:
         tasks = [t for t in tasks if t.tid in parked_tids]
         if not tasks:
             return
+        if self.probe is not None:
+            self.probe.on_reoffer([t.tid for t in tasks])
         if self.obs is not None:
             self.obs.emit(self.now, "sched.reoffer", n=len(tasks))
         leaving = {t.tid for t in tasks}
@@ -360,6 +392,8 @@ class Simulator:
         socket = self.topology.socket_of_core(core)
         self.quarantined.add(core)
         self.cores_failed += 1
+        if self.probe is not None:
+            self.probe.on_fault("fail_core", core=core, duration=duration)
         if self.obs is not None:
             self.obs.emit(
                 self.now, "fault.core_failed",
@@ -392,6 +426,8 @@ class Simulator:
         """Bring a transiently failed core back into service."""
         if core not in self.quarantined:
             return
+        if self.probe is not None:
+            self.probe.on_fault("restore_core", core=core)
         self.quarantined.discard(core)
         self.idle_cores[self.topology.socket_of_core(core)].append(core)
         if self.obs is not None:
@@ -409,6 +445,8 @@ class Simulator:
             raise FaultError(f"core speed must be positive, got {speed}")
         if not 0 <= core < self.topology.n_cores:
             raise FaultError(f"core {core} out of range")
+        if self.probe is not None:
+            self.probe.on_fault("set_core_speed", core=core, speed=speed)
         if self._core_speed is None:
             if speed == 1.0:
                 return
@@ -421,6 +459,8 @@ class Simulator:
             raise FaultError(f"bandwidth factor must be in (0, 1], got {factor}")
         if not 0 <= node < self.topology.n_nodes:
             raise FaultError(f"node {node} out of range")
+        if self.probe is not None:
+            self.probe.on_fault("set_node_bw", node=node, factor=factor)
         if self._node_bw_factor is None:
             if factor == 1.0:
                 return
@@ -474,6 +514,8 @@ class Simulator:
         )
         self.attempts[task.tid] += 1
         self.reexecutions += 1
+        if self.probe is not None:
+            self.probe.on_crash(rt, reason)
         if self.obs is not None:
             self.obs.emit(
                 self.now, "task.crash",
@@ -495,9 +537,15 @@ class Simulator:
             else 0.0
         )
         if delay > 0:
-            self.schedule_timer(delay, lambda: self._offer(task))
+            self.schedule_timer(delay, lambda: self._retry_offer(task))
         else:
             self._offer(task)
+
+    def _retry_offer(self, task: Task) -> None:
+        """Offer a crashed task again after its backoff delay elapsed."""
+        if self.probe is not None:
+            self.probe.on_retry_offer(task.tid)
+        self._offer(task)
 
     def _remap_placement(self, task: Task, decision: Placement) -> Placement:
         """Redirect placements aimed at quarantined cores / dead sockets."""
@@ -559,7 +607,13 @@ class Simulator:
                     self.now = max(self.now, t_next)
 
                 while self._timers and self._timers[0].time <= self.now + _EPS:
-                    heapq.heappop(self._timers).callback()
+                    timer = heapq.heappop(self._timers)
+                    if self.probe is not None:
+                        # Even a no-op pop is replay-relevant: draining in
+                        # two steps is not float-identical to one step, so
+                        # the oracle must stop wherever production stopped.
+                        self.probe.on_timer(timer.time)
+                    timer.callback()
 
                 completed = sorted(
                     (rt for rt in self.running.values() if rt.is_done()),
@@ -568,6 +622,8 @@ class Simulator:
                 for rt in completed:
                     self._finish(rt)
                 self._dispatch()
+                if self.probe is not None:
+                    self.probe.on_loop(self)
         except ReproError:
             self._abort_run()
             raise
@@ -595,6 +651,8 @@ class Simulator:
         )
         if self.obs is not None:
             self._finalize_instrumentation(result)
+        if self.probe is not None:
+            self.probe.on_run_end(self, result)
         return result
 
     def _abort_run(self) -> None:
@@ -614,6 +672,8 @@ class Simulator:
                 self.idle_cores[rt.socket].append(rt.core)
             self._start_traffic.pop(rt.task.tid, None)
         self.running.clear()
+        if self.probe is not None:
+            self.probe.on_abort(self)
 
     def _finalize_instrumentation(self, result: SimulationResult) -> None:
         """Close out the run's registry and attach the streams to the
@@ -649,6 +709,8 @@ class Simulator:
             )
         if self.quarantined and not decision.park:
             decision = self._remap_placement(task, decision)
+        if self.probe is not None:
+            self.probe.on_offer(task, decision)
         if decision.park:
             self.parked.append(task)
             if decision.park_key is not None:
@@ -811,6 +873,7 @@ class Simulator:
                 attempt=int(self.attempts[task.tid]),
             )
 
+        factor = 1.0
         if self.duration_jitter > 0.0:
             factor = 1.0 + self.duration_jitter * float(self.rng.uniform(-1.0, 1.0))
             compute *= factor
@@ -825,6 +888,8 @@ class Simulator:
             streams=streams,
         )
         self.running[task.tid] = rt
+        if self.probe is not None:
+            self.probe.on_start(rt, factor, int(self.attempts[task.tid]))
         if self.obs is not None:
             self.obs.registry.gauge("cores.busy").set(
                 self.now, len(self.running)
@@ -853,6 +918,8 @@ class Simulator:
                 attempt=int(self.attempts[task.tid]),
             )
         )
+        if self.probe is not None:
+            self.probe.on_finish(rt)
         if self.obs is not None:
             reg = self.obs.registry
             duration = self.now - rt.start

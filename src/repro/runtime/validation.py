@@ -35,14 +35,68 @@ def validate_schedule(
     program: TaskProgram,
     result: SimulationResult,
     topology: NumaTopology,
+    *,
+    simulator=None,
 ) -> None:
-    """Raise :class:`SimulationError` on the first inconsistency found."""
+    """Raise :class:`SimulationError` on the first inconsistency found.
+
+    When ``simulator`` is given (the :class:`~repro.runtime.simulator.
+    Simulator` instance that produced ``result``), the runtime state is
+    additionally checked for drainage: no task may remain parked (either
+    in the flat queue or keyed under ``parked_by_key``), and a pipelined
+    RGP scheduler may not leave a window stuck ``pending``/``lost`` while
+    tasks of that window went unscheduled.
+    """
+    if simulator is not None:
+        _check_runtime_drained(simulator, result)
     _check_coverage(program, result)
     _check_socket_core_consistency(result, topology)
     _check_core_exclusivity(result)
     _check_dependences(program, result)
     _check_barriers(program, result)
     _check_reexecutions(program, result)
+
+
+def _check_runtime_drained(sim, result: SimulationResult) -> None:
+    """End-of-run drainage: parked queues empty, no window left behind.
+
+    Pipelined RGP parks tasks whose window partition has not arrived yet
+    and wakes them via ``Simulator.reoffer_key``; if that wake-up is
+    skipped (or ``reoffer`` forgets to clear ``parked_by_key``), the run
+    can still *appear* complete when a fallback path scheduled the tasks
+    — this check catches the leak itself.
+    """
+    if sim.parked:
+        tids = sorted(t.tid for t in sim.parked)
+        raise SimulationError(
+            f"{len(sim.parked)} task(s) still parked at end of run: {tids}"
+        )
+    if sim.parked_by_key:
+        leaked = {
+            key: sorted(t.tid for t in tasks)
+            for key, tasks in sorted(sim.parked_by_key.items())
+        }
+        raise SimulationError(
+            f"parked_by_key not drained at end of run: {leaked}"
+        )
+    scheduler = getattr(sim, "scheduler", None)
+    window_state = getattr(scheduler, "_window_state", None)
+    windows = getattr(scheduler, "_windows", None)
+    if not window_state or windows is None:
+        return
+    from ..core.rgp import WINDOW_PENDING, WINDOW_LOST
+
+    completed = {r.tid for r in result.records}
+    for window, state in sorted(window_state.items()):
+        if state not in (WINDOW_PENDING, WINDOW_LOST):
+            continue
+        lo, hi = windows.span(window)
+        unscheduled = [tid for tid in range(lo, hi) if tid not in completed]
+        if unscheduled:
+            raise SimulationError(
+                f"window {window} left {state!r} with unscheduled tasks "
+                f"{unscheduled}"
+            )
 
 
 def _check_coverage(program: TaskProgram, result: SimulationResult) -> None:

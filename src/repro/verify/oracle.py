@@ -1,0 +1,728 @@
+"""The reference oracle: a deliberately naive replay simulator.
+
+This is the slow, obviously-correct twin of
+:class:`~repro.runtime.simulator.Simulator` (TaskTorrent-style debugging
+oracle, DESIGN.md §11).  It shares *no* machinery with the production
+simulator beyond the pure :class:`~repro.machine.interconnect.Interconnect`
+rate function and the two drain tolerances: no placement cache, no
+pipelining hooks, no event bus, no timer heap — plain dicts, python-int
+page maps and a sequential recorded-event queue.
+
+It does not schedule.  Scheduling decisions, per-task jitter factors and
+every timer pop of a production run are captured in a
+:class:`~repro.verify.trace.DecisionTrace`; the oracle replays that trace
+against its own independent model of the machine and must land on exactly
+the same task records (core, socket, start, finish), byte traffic, memory
+image and fault accounting.  Any disagreement is a simulator bug (or an
+oracle bug — either way, a divergence worth a repro file).
+
+Replay fidelity note: the oracle's clock stops at every instant the
+production clock stopped (every recorded timer pop, even no-op ones),
+because draining a stream in two steps is not float-identical to draining
+it in one.  With those stop points pinned, both simulators perform the
+same float operations in the same order and agree bit-for-bit, which is
+why the differential comparison can use essentially zero tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import VerificationError
+from ..machine.interconnect import Interconnect, StreamKey
+from ..machine.topology import NumaTopology
+from ..runtime.program import TaskProgram
+from ..runtime.result import TaskRecord
+from ..runtime.simulator import _EPS, _EPS_BYTES
+from ..runtime.task import Task
+from .trace import DecisionTrace, TraceEvent
+
+#: Page-map sentinel (kept separate from MemoryManager on purpose).
+_FREE = -1
+
+
+class NaiveMemory:
+    """First-touch page placement, re-modelled with python ints and lists."""
+
+    def __init__(self, n_nodes: int, page_size: int) -> None:
+        self.n_nodes = n_nodes
+        self.page_size = page_size
+        self.pages: dict[int, list[int]] = {}
+        self.sizes: dict[int, int] = {}
+        self.bytes_on_node = [0] * n_nodes
+        self.touch_count = 0
+
+    def register(self, key: int, size_bytes: int) -> None:
+        n_pages = -(-size_bytes // self.page_size)
+        self.pages[key] = [_FREE] * n_pages
+        self.sizes[key] = size_bytes
+
+    def bind_all(self, key: int, node: int) -> None:
+        pages = self.pages[key]
+        for i in range(len(pages)):
+            if pages[i] != _FREE:
+                self.bytes_on_node[pages[i]] -= self.page_size
+            pages[i] = node
+            self.bytes_on_node[node] += self.page_size
+
+    def interleave(self, key: int) -> None:
+        pages = self.pages[key]
+        for i in range(len(pages)):
+            node = i % self.n_nodes
+            if pages[i] != _FREE:
+                self.bytes_on_node[pages[i]] -= self.page_size
+            pages[i] = node
+            self.bytes_on_node[node] += self.page_size
+
+    def _page_span(self, key: int, offset: int, length: int | None) -> range:
+        if length is None:
+            length = self.sizes[key] - offset
+        if length == 0:
+            return range(0)
+        first = offset // self.page_size
+        last = -(-(offset + length) // self.page_size)
+        return range(first, last)
+
+    def touch(self, key: int, node: int, offset: int, length: int | None) -> None:
+        pages = self.pages[key]
+        for i in self._page_span(key, offset, length):
+            if pages[i] == _FREE:
+                pages[i] = node
+                self.bytes_on_node[node] += self.page_size
+                self.touch_count += 1
+
+    def node_bytes(self, key: int, offset: int, length: int | None) -> list[int]:
+        """Bound bytes of the range per node (partial pages attributed by
+        overlap, like the production manager — but one page at a time)."""
+        if length is None:
+            length = self.sizes[key] - offset
+        per_node = [0] * self.n_nodes
+        pages = self.pages[key]
+        for i in self._page_span(key, offset, length):
+            node = pages[i]
+            if node == _FREE:
+                continue
+            page_start = i * self.page_size
+            overlap = min(page_start + self.page_size, offset + length)
+            overlap -= max(page_start, offset)
+            per_node[node] += overlap
+        return per_node
+
+    def traffic(self, task: Task) -> dict[int, float]:
+        """Naive mirror of :func:`repro.runtime.cost.traffic_streams`."""
+        streams: dict[int, float] = {}
+        for access in task.accesses:
+            per_node = self.node_bytes(
+                access.obj.key, access.offset, access.length
+            )
+            mult = access.mode.traffic_multiplier
+            for node in range(self.n_nodes):
+                if per_node[node]:
+                    streams[node] = (
+                        streams.get(node, 0.0) + float(per_node[node]) * mult
+                    )
+        return streams
+
+
+@dataclass(eq=False)
+class _Attempt:
+    task: Task
+    core: int
+    socket: int
+    start: float
+    compute_remaining: float
+    streams: dict[int, float]
+
+    def active_nodes(self) -> list[int]:
+        return [n for n, b in self.streams.items() if b > _EPS_BYTES]
+
+    def is_done(self) -> bool:
+        return self.compute_remaining <= _EPS and not self.active_nodes()
+
+
+@dataclass
+class OracleOutcome:
+    """What the oracle computed for one replayed run."""
+
+    makespan: float
+    records: list[TaskRecord]
+    crashed_records: list[TaskRecord]
+    bytes_by_pair: np.ndarray
+    busy_time: np.ndarray
+    steals: int
+    parked_total: int
+    touch_count: int
+    bytes_on_node: list[int]
+    reexecutions: int
+    wasted_work: float
+    cores_failed: int
+    faults_injected: int = 0
+
+    @property
+    def local_bytes(self) -> float:
+        return float(np.trace(self.bytes_by_pair))
+
+    @property
+    def remote_bytes(self) -> float:
+        return float(self.bytes_by_pair.sum()) - self.local_bytes
+
+
+@dataclass(frozen=True)
+class OracleParams:
+    """The production run's resolved knobs the oracle must honour."""
+
+    seed: int
+    steal_enabled: bool
+    steal_distance: float
+    duration_jitter: float
+    page_size: int
+    max_retries: int
+    retry_backoff: float
+    max_iterations: int
+
+    @classmethod
+    def of_simulator(cls, sim) -> "OracleParams":
+        return cls(
+            seed=sim.seed,
+            steal_enabled=sim.steal_enabled,
+            steal_distance=sim.steal_distance,
+            duration_jitter=sim.duration_jitter,
+            page_size=sim.memory.page_size,
+            max_retries=sim.max_retries,
+            retry_backoff=sim.retry_backoff,
+            max_iterations=sim.max_iterations,
+        )
+
+
+class ReferenceSimulator:
+    """Replay one recorded run against the naive machine model."""
+
+    def __init__(
+        self,
+        program: TaskProgram,
+        topology: NumaTopology,
+        interconnect: Interconnect,
+        trace: DecisionTrace,
+        params: OracleParams,
+    ) -> None:
+        self.program = program
+        self.topology = topology
+        self.interconnect = interconnect
+        self.params = params
+        self.trace = trace
+        self._placements = {
+            tid: deque(fifo) for tid, fifo in trace.placements.items()
+        }
+        self._events: list[TraceEvent] = list(trace.events)
+        self._ev = 0
+
+        self.memory = NaiveMemory(topology.n_nodes, params.page_size)
+        for obj in program.objects:
+            self.memory.register(obj.key, obj.size_bytes)
+            if obj.initial_node is not None:
+                self.memory.bind_all(obj.key, obj.initial_node)
+            elif obj.interleaved:
+                self.memory.interleave(obj.key)
+
+        n = program.n_tasks
+        self.socket_queues: list[deque[Task]] = [
+            deque() for _ in range(topology.n_sockets)
+        ]
+        self.core_queues: list[deque[Task]] = [
+            deque() for _ in range(topology.n_cores)
+        ]
+        self.idle_cores: list[list[int]] = [
+            list(reversed(topology.cores_of_socket(s)))
+            for s in topology.sockets()
+        ]
+        self.parked: list[Task] = []
+        self.parked_by_key: dict[int, list[Task]] = {}
+        self.pending_deps = [
+            program.tdg.in_degree(t) for t in range(n)
+        ]
+        self.done = [False] * n
+        self.n_done = 0
+        self.running: dict[int, _Attempt] = {}
+        self.n_epochs = program.n_epochs
+        self.remaining_in_epoch = [0] * self.n_epochs
+        for t in program.tasks:
+            self.remaining_in_epoch[t.epoch] += 1
+        self.active_epoch = 0
+        self.held_by_epoch: list[list[Task]] = [[] for _ in range(self.n_epochs)]
+
+        self.now = 0.0
+        self.records: list[TaskRecord] = []
+        self.crashed_records: list[TaskRecord] = []
+        self._start_traffic: dict[int, tuple[float, float]] = {}
+        self.bytes_by_pair = np.zeros(
+            (topology.n_sockets, topology.n_nodes), dtype=np.float64
+        )
+        self.busy_time = np.zeros(topology.n_sockets, dtype=np.float64)
+        self.steals = 0
+        self.parked_total = 0
+        self.quarantined: set[int] = set()
+        self._core_speed: np.ndarray | None = None
+        self._node_bw_factor: np.ndarray | None = None
+        self.attempts = [0] * n
+        self.reexecutions = 0
+        self.wasted_work = 0.0
+        self.cores_failed = 0
+
+    # ------------------------------------------------------------------
+    def _desync(self, message: str) -> None:
+        raise VerificationError(
+            f"oracle desync at t={self.now:.6g}: {message}"
+        )
+
+    # ------------------------------------------------------------------
+    # Offering and parking (replayed decisions, no scheduler)
+    # ------------------------------------------------------------------
+    def _on_deps_satisfied(self, task: Task) -> None:
+        if task.epoch > self.active_epoch:
+            self.held_by_epoch[task.epoch].append(task)
+        else:
+            self._offer(task)
+
+    def _offer(self, task: Task) -> None:
+        fifo = self._placements.get(task.tid)
+        if not fifo:
+            self._desync(
+                f"no recorded placement left for task {task.tid} — the "
+                "production run offered it fewer times"
+            )
+        decision = fifo.popleft()
+        if decision.park:
+            self.parked.append(task)
+            if decision.park_key is not None:
+                self.parked_by_key.setdefault(
+                    decision.park_key, []
+                ).append(task)
+            self.parked_total += 1
+        elif decision.core is not None:
+            self.core_queues[decision.core].append(task)
+        else:
+            self.socket_queues[decision.socket].append(task)
+
+    def _advance_empty_epochs(self) -> None:
+        while (
+            self.active_epoch + 1 < self.n_epochs
+            and self.remaining_in_epoch[self.active_epoch] == 0
+        ):
+            self.active_epoch += 1
+            for task in self.held_by_epoch[self.active_epoch]:
+                self._offer(task)
+            self.held_by_epoch[self.active_epoch] = []
+
+    # ------------------------------------------------------------------
+    # Dispatch (mirrors the production pull + steal order exactly)
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for s in range(self.topology.n_sockets):
+                idle = self.idle_cores[s]
+                if not idle:
+                    continue
+                for core in list(idle):
+                    if self.core_queues[core]:
+                        idle.remove(core)
+                        task = self.core_queues[core].popleft()
+                        self._start(task, core, s)
+                        progress = True
+                while self.idle_cores[s] and self.socket_queues[s]:
+                    core = self.idle_cores[s].pop()
+                    task = self.socket_queues[s].popleft()
+                    self._start(task, core, s)
+                    progress = True
+            if self.params.steal_enabled and self._try_steal():
+                progress = True
+
+    def _try_steal(self) -> bool:
+        stole = False
+        for s in range(self.topology.n_sockets):
+            if not self.idle_cores[s]:
+                continue
+            for victim in self.topology.sockets_by_distance(s):
+                if victim == s:
+                    continue
+                if self.topology.dist(s, victim) > self.params.steal_distance:
+                    break
+                task = self._pop_victim_work(victim)
+                if task is None:
+                    continue
+                core = self.idle_cores[s].pop()
+                self.steals += 1
+                self._start(task, core, s)
+                stole = True
+                break
+        return stole
+
+    def _pop_victim_work(self, victim: int) -> Task | None:
+        if self.socket_queues[victim]:
+            return self.socket_queues[victim].popleft()
+        for core in self.topology.cores_of_socket(victim):
+            if self.core_queues[core]:
+                return self.core_queues[core].popleft()
+        return None
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def _start(self, task: Task, core: int, socket: int) -> None:
+        node = socket
+        for access in task.accesses:
+            self.memory.touch(access.obj.key, node, access.offset, access.length)
+        streams = self.memory.traffic(task)
+
+        compute = task.work
+        local_bytes = remote_bytes = 0.0
+        for n in streams:
+            compute += self.interconnect.access_latency(socket, n)
+            self.bytes_by_pair[socket, n] += streams[n]
+            if n == socket:
+                local_bytes += streams[n]
+            else:
+                remote_bytes += streams[n]
+        self._start_traffic[task.tid] = (local_bytes, remote_bytes)
+
+        if self.params.duration_jitter > 0.0:
+            factor = self.trace.jitter.get((task.tid, self.attempts[task.tid]))
+            if factor is None:
+                self._desync(
+                    f"no recorded jitter factor for task {task.tid} "
+                    f"attempt {self.attempts[task.tid]}"
+                )
+            compute *= factor
+            streams = {n: b * factor for n, b in streams.items()}
+
+        self.running[task.tid] = _Attempt(
+            task=task,
+            core=core,
+            socket=socket,
+            start=self.now,
+            compute_remaining=compute,
+            streams=streams,
+        )
+
+    def _finish(self, rt: _Attempt) -> None:
+        task = rt.task
+        del self.running[task.tid]
+        self.idle_cores[rt.socket].append(rt.core)
+        self.done[task.tid] = True
+        self.n_done += 1
+        self.busy_time[rt.socket] += self.now - rt.start
+        local_bytes, remote_bytes = self._start_traffic.pop(task.tid, (0.0, 0.0))
+        self.records.append(
+            TaskRecord(
+                tid=task.tid,
+                name=task.name,
+                socket=rt.socket,
+                core=rt.core,
+                start=rt.start,
+                finish=self.now,
+                local_bytes=local_bytes,
+                remote_bytes=remote_bytes,
+                attempt=self.attempts[task.tid],
+            )
+        )
+        self.remaining_in_epoch[task.epoch] -= 1
+        for succ in self.program.tdg.successors(task.tid):
+            self.pending_deps[succ] -= 1
+            if self.pending_deps[succ] == 0:
+                self._on_deps_satisfied(self.program.tasks[succ])
+        while (
+            self.active_epoch + 1 < self.n_epochs
+            and self.remaining_in_epoch[self.active_epoch] == 0
+        ):
+            self.active_epoch += 1
+            released = self.held_by_epoch[self.active_epoch]
+            self.held_by_epoch[self.active_epoch] = []
+            for held in released:
+                self._offer(held)
+
+    def _crash(self, rt: _Attempt, reason: str) -> None:
+        task = rt.task
+        del self.running[task.tid]
+        if rt.core not in self.quarantined:
+            self.idle_cores[rt.socket].append(rt.core)
+        wasted = self.now - rt.start
+        self.wasted_work += wasted
+        self.busy_time[rt.socket] += wasted
+        local_bytes, remote_bytes = self._start_traffic.pop(
+            task.tid, (0.0, 0.0)
+        )
+        self.crashed_records.append(
+            TaskRecord(
+                tid=task.tid,
+                name=task.name,
+                socket=rt.socket,
+                core=rt.core,
+                start=rt.start,
+                finish=self.now,
+                local_bytes=local_bytes,
+                remote_bytes=remote_bytes,
+                attempt=self.attempts[task.tid],
+                outcome=reason,
+            )
+        )
+        self.attempts[task.tid] += 1
+        self.reexecutions += 1
+        n_failed = self.attempts[task.tid]
+        if n_failed > self.params.max_retries:
+            self._desync(
+                f"task {task.tid} exceeded the retry limit in replay but "
+                "the production run completed"
+            )
+        delay = (
+            self.params.retry_backoff * (2.0 ** (n_failed - 1))
+            if self.params.retry_backoff > 0
+            else 0.0
+        )
+        if delay > 0:
+            # The backoff re-offer is a recorded ``retry_offer`` event; the
+            # oracle has no timers to wait on.
+            return
+        self._offer(task)
+
+    # ------------------------------------------------------------------
+    # Recorded-event application (the oracle's only notion of a timer)
+    # ------------------------------------------------------------------
+    def _apply(self, ev: TraceEvent) -> None:
+        if ev.kind == "tick":
+            return
+        if ev.kind == "reoffer":
+            self._reoffer(list(ev.data[0]))
+        elif ev.kind == "retry_offer":
+            self._offer(self.program.tasks[ev.data[0]])
+        elif ev.kind == "crash":
+            rt = self.running.get(ev.data[0])
+            if rt is None:
+                self._desync(
+                    f"recorded crash of task {ev.data[0]} which is not "
+                    "running in the replay"
+                )
+            self._crash(rt, "crash")
+        elif ev.kind == "fail_core":
+            self._fail_core(ev.data[0])
+        elif ev.kind == "restore_core":
+            self._restore_core(ev.data[0])
+        elif ev.kind == "speed":
+            self._set_core_speed(*ev.data)
+        elif ev.kind == "bw":
+            self._set_node_bw(*ev.data)
+        else:
+            self._desync(f"unknown recorded event kind {ev.kind!r}")
+
+    def _reoffer(self, tids: list[int]) -> None:
+        parked_tids = {t.tid for t in self.parked}
+        missing = [tid for tid in tids if tid not in parked_tids]
+        if missing:
+            self._desync(
+                f"recorded reoffer of tasks {missing} which are not parked "
+                "in the replay"
+            )
+        leaving = set(tids)
+        self.parked = [t for t in self.parked if t.tid not in leaving]
+        if self.parked_by_key:
+            for key in list(self.parked_by_key):
+                kept = [
+                    t for t in self.parked_by_key[key]
+                    if t.tid not in leaving
+                ]
+                if kept:
+                    self.parked_by_key[key] = kept
+                else:
+                    del self.parked_by_key[key]
+        for tid in tids:
+            self._offer(self.program.tasks[tid])
+
+    def _alive(self, socket: int) -> bool:
+        return any(
+            c not in self.quarantined
+            for c in self.topology.cores_of_socket(socket)
+        )
+
+    def _fail_core(self, core: int) -> None:
+        if core in self.quarantined:
+            return
+        socket = self.topology.socket_of_core(core)
+        self.quarantined.add(core)
+        self.cores_failed += 1
+        if core in self.idle_cores[socket]:
+            self.idle_cores[socket].remove(core)
+        victim = next(
+            (rt for rt in self.running.values() if rt.core == core), None
+        )
+        if victim is not None:
+            self._crash(victim, "core-failure")
+        orphans = list(self.core_queues[core])
+        self.core_queues[core].clear()
+        if not self._alive(socket):
+            orphans.extend(self.socket_queues[socket])
+            self.socket_queues[socket].clear()
+        for task in orphans:
+            self._offer(task)
+
+    def _restore_core(self, core: int) -> None:
+        if core not in self.quarantined:
+            return
+        self.quarantined.discard(core)
+        self.idle_cores[self.topology.socket_of_core(core)].append(core)
+
+    def _set_core_speed(self, core: int, speed: float) -> None:
+        if self._core_speed is None:
+            if speed == 1.0:
+                return
+            self._core_speed = np.ones(self.topology.n_cores)
+        self._core_speed[core] = speed
+
+    def _set_node_bw(self, node: int, factor: float) -> None:
+        if self._node_bw_factor is None:
+            if factor == 1.0:
+                return
+            self._node_bw_factor = np.ones(self.topology.n_nodes)
+        self._node_bw_factor[node] = factor
+
+    # ------------------------------------------------------------------
+    # Fluid mechanics (same arithmetic, same order, same tolerances)
+    # ------------------------------------------------------------------
+    def _collect_streams(self):
+        keys: list[StreamKey] = []
+        refs: list[tuple[_Attempt, int]] = []
+        for rt in self.running.values():
+            for n in rt.active_nodes():
+                keys.append(StreamKey(rt.socket, n, group=rt.task.tid))
+                refs.append((rt, n))
+        return keys, refs
+
+    def _stream_rates(self, keys: list[StreamKey]) -> np.ndarray:
+        rates = self.interconnect.stream_rates(keys)
+        if self._node_bw_factor is not None and len(keys):
+            nodes = np.fromiter(
+                (k.node for k in keys), dtype=np.int64, count=len(keys)
+            )
+            rates = rates * self._node_bw_factor[nodes]
+        return rates
+
+    def _speed(self, core: int) -> float:
+        if self._core_speed is None:
+            return 1.0
+        return float(self._core_speed[core])
+
+    def _predict(self) -> float:
+        if not self.running:
+            return math.inf
+        keys, refs = self._collect_streams()
+        rates = self._stream_rates(keys)
+        if self._core_speed is None:
+            drain_time = {
+                tid: rt.compute_remaining for tid, rt in self.running.items()
+            }
+        else:
+            drain_time = {
+                tid: rt.compute_remaining / self._speed(rt.core)
+                for tid, rt in self.running.items()
+            }
+        for (rt, node), rate in zip(refs, rates):
+            if rate <= 0:
+                self._desync("stream with zero rate")
+            t = rt.streams[node] / rate
+            if t > drain_time[rt.task.tid]:
+                drain_time[rt.task.tid] = t
+        finish = {tid: self.now + t for tid, t in drain_time.items()}
+        return min(finish.values())
+
+    def _drain(self, dt: float) -> None:
+        keys, refs = self._collect_streams()
+        rates = self._stream_rates(keys)
+        for (rt, node), rate in zip(refs, rates):
+            left = rt.streams[node] - rate * dt
+            rt.streams[node] = left if left > _EPS_BYTES else 0.0
+        if self._core_speed is None:
+            for rt in self.running.values():
+                left = rt.compute_remaining - dt
+                rt.compute_remaining = left if left > _EPS else 0.0
+        else:
+            for rt in self.running.values():
+                left = rt.compute_remaining - self._speed(rt.core) * dt
+                rt.compute_remaining = left if left > _EPS else 0.0
+
+    # ------------------------------------------------------------------
+    def run(self) -> OracleOutcome:
+        """Replay the trace to completion."""
+        self._advance_empty_epochs()
+        for task in self.program.tasks:
+            if self.pending_deps[task.tid] == 0:
+                self._on_deps_satisfied(task)
+        self._dispatch()
+
+        iterations = 0
+        n = self.program.n_tasks
+        while self.n_done < n:
+            iterations += 1
+            if iterations > self.params.max_iterations:
+                self._desync(
+                    f"no convergence after {iterations} iterations "
+                    f"({self.n_done}/{n} tasks done)"
+                )
+            next_completion = self._predict()
+            next_event = (
+                self._events[self._ev].time
+                if self._ev < len(self._events)
+                else math.inf
+            )
+            t_next = min(next_completion, next_event)
+            if math.isinf(t_next):
+                self._desync(
+                    f"replay deadlock ({self.n_done}/{n} done, "
+                    f"{len(self.parked)} parked, no event left)"
+                )
+            dt = t_next - self.now
+            if dt > 0:
+                self._drain(dt)
+                self.now = t_next
+            else:
+                self.now = max(self.now, t_next)
+
+            while (
+                self._ev < len(self._events)
+                and self._events[self._ev].time <= self.now + _EPS
+            ):
+                ev = self._events[self._ev]
+                self._ev += 1
+                self._apply(ev)
+
+            completed = sorted(
+                (rt for rt in self.running.values() if rt.is_done()),
+                key=lambda rt: rt.task.tid,
+            )
+            for rt in completed:
+                self._finish(rt)
+            self._dispatch()
+
+        leftovers = sum(len(f) for f in self._placements.values())
+        if leftovers:
+            self._desync(
+                f"{leftovers} recorded placements were never consumed — "
+                "the production run offered more tasks than the replay"
+            )
+        return OracleOutcome(
+            makespan=self.now,
+            records=self.records,
+            crashed_records=self.crashed_records,
+            bytes_by_pair=self.bytes_by_pair,
+            busy_time=self.busy_time,
+            steals=self.steals,
+            parked_total=self.parked_total,
+            touch_count=self.memory.touch_count,
+            bytes_on_node=list(self.memory.bytes_on_node),
+            reexecutions=self.reexecutions,
+            wasted_work=self.wasted_work,
+            cores_failed=self.cores_failed,
+            faults_injected=sum(self.trace.injected.values()),
+        )

@@ -1,0 +1,124 @@
+"""The simulator's verification-probe interface.
+
+A *probe* is the verification counterpart of
+:class:`~repro.observability.Instrumentation`: the simulator calls into it
+at every decision point (offers, starts, finishes, crashes, timer pops,
+fault events, loop iterations), and the :class:`~repro.machine.memory.
+MemoryManager` notifies it after every placement mutation.  Two probes
+exist:
+
+* :class:`~repro.verify.trace.DecisionRecorder` — captures everything the
+  reference oracle needs to replay the run;
+* :class:`~repro.verify.invariants.InvariantChecker` — asserts runtime
+  invariants as the run unfolds.
+
+Like instrumentation, a probe must never touch simulator state or an RNG:
+probed and unprobed runs are byte-identical (tested).  The base class is a
+complete no-op so probes only override what they watch.
+"""
+
+from __future__ import annotations
+
+
+class SimProbe:
+    """No-op base probe; subclasses override the hooks they care about."""
+
+    def on_offer(self, task, placement) -> None:
+        """A ready task was offered; ``placement`` is post-fault-remap."""
+
+    def on_start(self, rt, factor: float, attempt: int) -> None:
+        """Attempt ``attempt`` of ``rt.task`` started (jitter ``factor``)."""
+
+    def on_finish(self, rt) -> None:
+        """``rt`` completed; its record has been appended."""
+
+    def on_crash(self, rt, reason: str) -> None:
+        """``rt`` was killed (``"crash"`` timer or ``"core-failure"``)."""
+
+    def on_timer(self, time: float) -> None:
+        """A timer popped at ``time`` (before its callback runs)."""
+
+    def on_reoffer(self, tids: list[int]) -> None:
+        """Parked tasks ``tids`` leave the temporary queue (post-filter)."""
+
+    def on_retry_offer(self, tid: int) -> None:
+        """A crashed task is re-offered after its backoff delay."""
+
+    def on_fault(self, kind: str, **args) -> None:
+        """A fault hook fired: ``fail_core``, ``restore_core``,
+        ``set_core_speed`` or ``set_node_bw``."""
+
+    def on_inject(self, family: str) -> None:
+        """The injector counted an injection of ``family``."""
+
+    def on_loop(self, sim) -> None:
+        """One main-loop iteration ended (timers, finishes, dispatch done)."""
+
+    def on_abort(self, sim) -> None:
+        """``_abort_run`` released the run state before an error."""
+
+    def on_run_end(self, sim, result) -> None:
+        """The run completed and ``result`` is fully built."""
+
+    def on_memory_op(self, memory, op: str, key: int) -> None:
+        """Object ``key``'s placement changed (``touch``/``bind``/
+        ``migrate``/``interleave``)."""
+
+
+class CompositeProbe(SimProbe):
+    """Fan one probe slot out to several probes, in order."""
+
+    def __init__(self, probes) -> None:
+        self.probes = list(probes)
+
+    def on_offer(self, task, placement) -> None:
+        for p in self.probes:
+            p.on_offer(task, placement)
+
+    def on_start(self, rt, factor: float, attempt: int) -> None:
+        for p in self.probes:
+            p.on_start(rt, factor, attempt)
+
+    def on_finish(self, rt) -> None:
+        for p in self.probes:
+            p.on_finish(rt)
+
+    def on_crash(self, rt, reason: str) -> None:
+        for p in self.probes:
+            p.on_crash(rt, reason)
+
+    def on_timer(self, time: float) -> None:
+        for p in self.probes:
+            p.on_timer(time)
+
+    def on_reoffer(self, tids: list[int]) -> None:
+        for p in self.probes:
+            p.on_reoffer(tids)
+
+    def on_retry_offer(self, tid: int) -> None:
+        for p in self.probes:
+            p.on_retry_offer(tid)
+
+    def on_fault(self, kind: str, **args) -> None:
+        for p in self.probes:
+            p.on_fault(kind, **args)
+
+    def on_inject(self, family: str) -> None:
+        for p in self.probes:
+            p.on_inject(family)
+
+    def on_loop(self, sim) -> None:
+        for p in self.probes:
+            p.on_loop(sim)
+
+    def on_abort(self, sim) -> None:
+        for p in self.probes:
+            p.on_abort(sim)
+
+    def on_run_end(self, sim, result) -> None:
+        for p in self.probes:
+            p.on_run_end(sim, result)
+
+    def on_memory_op(self, memory, op: str, key: int) -> None:
+        for p in self.probes:
+            p.on_memory_op(memory, op, key)

@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Run the whole suite with the online invariant checker armed: every
+# Simulator constructed anywhere in the tests carries the repro.verify
+# probe unless a test opts out explicitly (verify=False or monkeypatched
+# env).  Tests asserting the zero-overhead guarantee construct their
+# simulators with explicit ``verify=`` so this default never skews them.
+os.environ.setdefault("REPRO_VERIFY", "1")
 
 from repro.machine import bullion_s16, two_socket
 from repro.runtime import TaskProgram

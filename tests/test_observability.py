@@ -177,7 +177,12 @@ class TestSimulatorIntegration:
         assert "partition.coarsen" in kinds or "partition.initial" in kinds
         end = next(e for e in result.events if e.kind == "rgp.partition.end")
         assert end.args["edge_cut"] is not None
+        # host_us is real wall clock: range and finiteness only, never an
+        # exact value — anything tighter couples the suite to host speed.
+        import math
+
         assert end.args["host_us"] >= 0.0
+        assert math.isfinite(end.args["host_us"])
 
     def test_las_choice_events_carry_evidence(self):
         result, _, topo = instrumented_run("las")

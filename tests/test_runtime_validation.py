@@ -117,3 +117,76 @@ class TestRejectsBrokenSchedules:
         res = _result_from_records(records, 2.0, self.topo)
         with pytest.raises(SimulationError, match="makespan"):
             validate_schedule(self.prog, res, self.topo)
+
+
+class TestRuntimeDrainage:
+    """``validate_schedule(..., simulator=sim)``: end-of-run drain checks.
+
+    Pipelined RGP parks tasks under a window key and wakes them through
+    ``Simulator.reoffer_key``; these regressions pin that the validator
+    catches both a leaked ``parked_by_key`` index (run completes anyway)
+    and a skipped ``reoffer_key`` (run stalls outright).
+    """
+
+    def _pipelined_sim(self, seed=0):
+        from repro.machine.interconnect import Interconnect
+        from repro.runtime import Simulator
+
+        topo = two_socket(cores_per_socket=2)
+        prog = make_fan_program(width=6)
+        sim = Simulator(
+            prog, topo,
+            make_scheduler("rgp", window_size=4, propagation="repartition",
+                           partition_delay=0.1, prefetch_threshold=0.5),
+            interconnect=Interconnect(topo), seed=seed, verify=False,
+        )
+        return prog, topo, sim
+
+    def test_pipelined_run_validates_clean(self):
+        prog, topo, sim = self._pipelined_sim()
+        res = sim.run()
+        validate_schedule(prog, res, topo, simulator=sim)
+
+    def test_parked_by_key_leak_detected(self, monkeypatch):
+        from repro.runtime import Simulator
+
+        orig = Simulator.reoffer
+
+        def leaky(self, tasks):
+            snapshot = {k: list(v) for k, v in self.parked_by_key.items()}
+            orig(self, tasks)
+            # "Forget" the index cleanup: tasks run, but the key stays.
+            self.parked_by_key.update(snapshot)
+
+        monkeypatch.setattr(Simulator, "reoffer", leaky)
+        prog, topo, sim = self._pipelined_sim()
+        res = sim.run()
+        with pytest.raises(SimulationError, match="parked_by_key"):
+            validate_schedule(prog, res, topo, simulator=sim)
+
+    def test_skipped_reoffer_key_stalls_run(self, monkeypatch):
+        from repro.runtime import Simulator
+
+        monkeypatch.setattr(
+            Simulator, "reoffer_key", lambda self, key: None
+        )
+        prog, topo, sim = self._pipelined_sim()
+        with pytest.raises(SimulationError):
+            sim.run()
+        # The stall leaves the parked index populated; the drain check
+        # names it even on the aborted state.
+        with pytest.raises(SimulationError, match="parked"):
+            from repro.runtime.validation import _check_runtime_drained
+
+            _check_runtime_drained(sim, None)
+
+    def test_pending_window_with_unscheduled_tasks_detected(self):
+        from repro.core.rgp import WINDOW_PENDING
+
+        prog, topo, sim = self._pipelined_sim()
+        res = sim.run()
+        # Forge a stuck window covering a task with no record.
+        sim.scheduler._window_state[0] = WINDOW_PENDING
+        res.records[:] = [r for r in res.records if r.tid != 0]
+        with pytest.raises(SimulationError, match="left 'pending'"):
+            validate_schedule(prog, res, topo, simulator=sim)

@@ -1,0 +1,259 @@
+"""Metamorphic laws + hypothesis-driven differential fuzzing.
+
+Metamorphic testing needs no oracle for the *absolute* schedule — only
+relations between runs that must hold exactly:
+
+* scaling every task's work by a power of two scales a compute-only
+  FIFO makespan by exactly that factor (floats are exact under
+  power-of-two multiplication);
+* task names are decoration — relabeling changes nothing;
+* a fully symmetric machine makes EP placement equivariant under socket
+  permutation, so the makespan is invariant;
+* a serial chain leaves any work-conserving policy no choice — LAS and
+  DFIFO produce the same makespan;
+* an empty :class:`FaultPlan` is byte-identical to ``faults=None``.
+
+On top of the laws, hypothesis-generated programs are diffed against the
+reference oracle (shrinking gives a minimal counterexample on failure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+from repro.machine import two_socket
+from repro.machine.interconnect import Interconnect
+from repro.machine.topology import NumaTopology, uniform_distance_matrix
+from repro.runtime import Simulator, TaskProgram
+from repro.schedulers import make_scheduler
+from repro.verify import VerifyCase, make_case, make_strategies, run_case
+
+strategies = make_strategies()
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _compute_only(works):
+    """A dependence-free compute-only program (no objects, no traffic)."""
+    prog = TaskProgram("meta")
+    for i, w in enumerate(works):
+        prog.task(f"t{i}", work=w)
+    return prog.finalize()
+
+
+def _run(program, scheduler, topo=None, **kwargs):
+    topo = topo or two_socket(cores_per_socket=2)
+    kwargs.setdefault("steal", False)
+    return Simulator(
+        program, topo, make_scheduler(scheduler),
+        interconnect=Interconnect(topo), seed=0, **kwargs,
+    ).run()
+
+
+# ----------------------------------------------------------------------
+# Law 1: power-of-two work scaling is exactly linear (compute-only FIFO)
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(
+    works=st.lists(st.sampled_from([0.125, 0.25, 0.5, 1.0, 2.0]),
+                   min_size=1, max_size=12),
+    scale=st.sampled_from([2.0, 4.0, 0.5]),
+)
+def test_power_of_two_work_scaling(works, scale):
+    base = _run(_compute_only(works), "dfifo")
+    scaled = _run(_compute_only([w * scale for w in works]), "dfifo")
+    assert scaled.makespan == base.makespan * scale
+
+
+# ----------------------------------------------------------------------
+# Law 2: task names are decoration
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(data=st.data())
+def test_task_relabel_invariance(data):
+    program = data.draw(strategies.programs(n_sockets=2, max_tasks=10))
+
+    def rebuild(suffix):
+        from repro.runtime.data import DataAccess
+
+        prog = TaskProgram("relabel")
+        objs = {}
+        for obj in program.objects:
+            objs[obj.key] = prog.data(
+                f"{obj.name}{suffix}", obj.size_bytes,
+                initial_node=obj.initial_node,
+                interleaved=obj.interleaved,
+            )
+
+        def clone(task, mode):
+            return [
+                DataAccess(objs[a.obj.key], a.mode, a.offset, a.length)
+                for a in task.accesses if a.mode.name == mode
+            ]
+
+        epoch = 0
+        for task in program.tasks:
+            while task.epoch > epoch:
+                prog.barrier()
+                epoch += 1
+            prog.task(
+                f"{task.name}{suffix}",
+                ins=clone(task, "IN"),
+                outs=clone(task, "OUT"),
+                inouts=clone(task, "INOUT"),
+                work=task.work,
+                meta=dict(task.meta),
+            )
+        return prog.finalize()
+
+    res_a = _run(rebuild(""), "las")
+    res_b = _run(rebuild("_renamed_xyz"), "las")
+    recs_a = [(r.tid, r.core, r.start, r.finish) for r in res_a.records]
+    recs_b = [(r.tid, r.core, r.start, r.finish) for r in res_b.records]
+    assert recs_a == recs_b
+
+
+# ----------------------------------------------------------------------
+# Law 3: EP is equivariant under socket permutation on a symmetric machine
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(
+    perm_seed=st.integers(0, 1000),
+    n_lanes=st.integers(2, 6),
+)
+def test_ep_socket_permutation_invariance(perm_seed, n_lanes):
+    n_sockets = 3
+    topo = NumaTopology(
+        n_sockets=n_sockets, cores_per_socket=2,
+        distance=uniform_distance_matrix(n_sockets, remote=20.0),
+        node_bandwidth=1e6, name="sym",
+    )
+    perm = np.random.default_rng(perm_seed).permutation(n_sockets)
+
+    def build(mapping):
+        prog = TaskProgram("ep")
+        for i in range(n_lanes):
+            a = prog.data(f"a{i}", 65536)
+            s = int(mapping[i % n_sockets])
+            prog.task(f"p{i}", outs=[a], work=0.5, meta={"ep_socket": s})
+            prog.task(f"c{i}", ins=[a], work=0.5, meta={"ep_socket": s})
+        return prog.finalize()
+
+    base = _run(build(np.arange(n_sockets)), "ep", topo=topo)
+    permuted = _run(build(perm), "ep", topo=topo)
+    assert permuted.makespan == base.makespan
+    assert permuted.local_bytes == base.local_bytes
+    assert permuted.remote_bytes == base.remote_bytes
+
+
+# ----------------------------------------------------------------------
+# Law 4: a serial chain leaves no scheduling freedom
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(
+    works=st.lists(st.sampled_from([0.1, 0.3, 0.7, 1.0]),
+                   min_size=1, max_size=10),
+)
+def test_serial_chain_policy_invariance(works):
+    def chain():
+        prog = TaskProgram("serial")
+        a = prog.data("a", 4096)
+        for i, w in enumerate(works):
+            prog.task(f"t{i}", inouts=[a], work=w)
+        return prog.finalize()
+
+    las = _run(chain(), "las")
+    dfifo = _run(chain(), "dfifo")
+    assert las.makespan == pytest.approx(dfifo.makespan, rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Law 5: an empty fault plan is byte-identical to no injector at all
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(data=st.data())
+def test_empty_fault_plan_is_identity(data):
+    program = data.draw(strategies.programs(n_sockets=2, max_tasks=8))
+    res_none = _run(program, "las", duration_jitter=0.05)
+    res_empty = _run(program, "las", duration_jitter=0.05,
+                     faults=FaultPlan())
+    assert [(r.tid, r.core, r.start, r.finish) for r in res_none.records] \
+        == [(r.tid, r.core, r.start, r.finish) for r in res_empty.records]
+    assert res_none.makespan == res_empty.makespan
+    assert np.array_equal(res_none.bytes_by_pair, res_empty.bytes_by_pair)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis-driven differential fuzz (shrinks to a minimal case)
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(data=st.data(), scheduler=st.sampled_from(["dfifo", "las", "rgp+las"]))
+def test_generated_cases_match_oracle(data, scheduler):
+    topo = data.draw(strategies.topologies())
+    program = data.draw(
+        strategies.programs(n_sockets=topo.n_sockets, max_tasks=10)
+    )
+    kwargs = {"window_size": 8} if scheduler.startswith("rgp") else {}
+    case = VerifyCase(
+        program=program, topology=topo, scheduler=scheduler,
+        scheduler_kwargs=kwargs, interconnect_kwargs={},
+        sim_kwargs={"seed": data.draw(st.integers(0, 100)),
+                    "duration_jitter": data.draw(st.sampled_from([0.0, 0.05]))},
+        label=f"hyp-{scheduler}",
+    )
+    report = run_case(case)
+    assert report.status in ("ok", "production-error"), report.summary()
+
+
+@_SETTINGS
+@given(data=st.data())
+def test_generated_faulted_cases_match_oracle(data):
+    topo = two_socket(cores_per_socket=2)
+    program = data.draw(strategies.programs(n_sockets=2, max_tasks=8))
+    plan = data.draw(strategies.fault_plans(n_cores=4, n_nodes=2))
+    case = VerifyCase(
+        program=program, topology=topo, scheduler="las",
+        scheduler_kwargs={}, interconnect_kwargs={},
+        sim_kwargs={"seed": 3, "max_retries": 10},
+        faults=plan, label="hyp-faulted",
+    )
+    report = run_case(case)
+    assert report.status in ("ok", "production-error"), report.summary()
+
+
+# ----------------------------------------------------------------------
+# The fuzz driver itself
+# ----------------------------------------------------------------------
+def test_fuzz_driver_smoke(tmp_path):
+    from repro.verify import fuzz
+
+    report = fuzz(2, out_dir=str(tmp_path))
+    assert report.ok, report.summary()
+    assert report.n_cases == 2 * 6
+    assert not list(tmp_path.iterdir())  # no divergences, no repro files
+
+
+def test_fuzz_policy_filter():
+    from repro.verify import fuzz
+
+    report = fuzz(1, policies=["dfifo", "las"])
+    assert report.n_cases == 2
+    with pytest.raises(ValueError):
+        fuzz(1, policies=["no-such-policy"])
+
+
+def test_fuzz_budget_stops_early():
+    from repro.verify import fuzz
+
+    report = fuzz(10_000, budget_s=0.0)
+    assert report.budget_exhausted
+    assert len(report.seeds) <= 1

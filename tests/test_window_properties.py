@@ -1,0 +1,161 @@
+"""Hypothesis properties of the adaptive window controller (DESIGN.md §10).
+
+The control law and the boundary tracker carry three contracts the rest of
+the pipelined-RGP machinery leans on:
+
+* the next size (and the steady-state target ``W*``) always lands in
+  ``[AUTO_MIN_WINDOW, AUTO_MAX_WINDOW]``;
+* geometric damping moves *monotonically toward* the clamped target and
+  never overshoots it;
+* resizing ``next_size`` never moves a window boundary that was already
+  materialised — only future windows feel the controller.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.window import (
+    AUTO_MAX_WINDOW,
+    AUTO_MIN_WINDOW,
+    WindowTracker,
+    next_auto_window_size,
+    resolve_window_size,
+)
+from repro.errors import SchedulerError
+
+sizes = st.integers(1, 4 * AUTO_MAX_WINDOW)
+throughputs = st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+delays = st.floats(0.0, 1e3, allow_nan=False, allow_infinity=False)
+fractions = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+
+_SETTINGS = settings(max_examples=200, deadline=None)
+
+
+def _clamped_target(throughput, delay, threshold):
+    import math
+
+    hide = max(1.0 - threshold, 0.05)
+    target = math.ceil(throughput * delay / hide)
+    return max(AUTO_MIN_WINDOW, min(AUTO_MAX_WINDOW, target))
+
+
+# ----------------------------------------------------------------------
+# The control law
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(current=sizes, lam=throughputs, delay=delays, f=fractions)
+def test_next_size_always_in_clamp_range(current, lam, delay, f):
+    nxt = next_auto_window_size(current, lam, delay, f)
+    if lam <= 0.0 or delay <= 0.0:
+        assert nxt == current  # no signal: hold the window
+    else:
+        assert AUTO_MIN_WINDOW <= nxt <= AUTO_MAX_WINDOW
+
+
+@_SETTINGS
+@given(current=st.integers(AUTO_MIN_WINDOW, AUTO_MAX_WINDOW),
+       lam=st.floats(1e-6, 1e6, allow_nan=False, allow_infinity=False),
+       delay=st.floats(1e-6, 1e3, allow_nan=False, allow_infinity=False),
+       f=fractions)
+def test_damping_moves_toward_target_without_overshoot(current, lam, delay, f):
+    target = _clamped_target(lam, delay, f)
+    nxt = next_auto_window_size(current, lam, delay, f)
+    lo, hi = min(current, target), max(current, target)
+    assert lo <= nxt <= hi  # never overshoots either side
+    if abs(target - current) >= 2:
+        assert abs(nxt - target) < abs(current - target)  # strictly closer
+
+
+@_SETTINGS
+@given(current=st.integers(AUTO_MIN_WINDOW, AUTO_MAX_WINDOW),
+       lam=st.floats(1e-6, 1e6, allow_nan=False, allow_infinity=False),
+       delay=st.floats(1e-6, 1e3, allow_nan=False, allow_infinity=False),
+       f=fractions)
+def test_fixed_point_at_target(current, lam, delay, f):
+    """Iterating the law converges: the target is its only fixed point."""
+    target = _clamped_target(lam, delay, f)
+    size = current
+    for _ in range(64):
+        size = next_auto_window_size(size, lam, delay, f)
+    assert abs(size - target) <= 1
+    assert next_auto_window_size(target, lam, delay, f) == target
+
+
+# ----------------------------------------------------------------------
+# The boundary tracker
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(
+    n_tasks=st.integers(1, 2000),
+    data=st.data(),
+)
+def test_resize_never_moves_materialised_boundaries(n_tasks, data):
+    cutoff = data.draw(st.integers(0, n_tasks))
+    tracker = WindowTracker(
+        cutoff, n_tasks, data.draw(st.integers(1, 256))
+    )
+    for _ in range(data.draw(st.integers(0, 8))):
+        frozen = list(tracker.bounds)
+        # Interleave lookups (which materialise) with resizes.
+        tid = data.draw(st.integers(0, n_tasks - 1))
+        tracker.index_of(tid)
+        assert tracker.bounds[: len(frozen)] == frozen
+        tracker.next_size = data.draw(st.integers(1, 256))
+    # Boundaries are strictly increasing except a possibly-empty window 0,
+    # and never exceed the program end.
+    assert tracker.bounds[0] == 0
+    assert all(b2 >= b1 for b1, b2 in zip(tracker.bounds, tracker.bounds[1:]))
+    assert all(
+        b2 > b1 for b1, b2 in zip(tracker.bounds[1:], tracker.bounds[2:])
+    )
+    assert tracker.bounds[-1] <= n_tasks
+
+
+@_SETTINGS
+@given(
+    n_tasks=st.integers(1, 2000),
+    cutoff_frac=st.floats(0.0, 1.0, allow_nan=False),
+    size=st.integers(1, 256),
+    tid=st.integers(0, 1999),
+)
+def test_index_and_span_are_consistent(n_tasks, cutoff_frac, size, tid):
+    tid = tid % n_tasks
+    cutoff = int(cutoff_frac * n_tasks)
+    tracker = WindowTracker(cutoff, n_tasks, size)
+    window = tracker.index_of(tid)
+    lo, hi = tracker.span(window)
+    assert lo <= tid < hi
+
+
+@_SETTINGS
+@given(size=st.integers(1, 64), n_tasks=st.integers(1, 500),
+       cutoff=st.integers(0, 500))
+def test_constant_size_reduces_to_arithmetic(size, n_tasks, cutoff):
+    """With a constant next_size the bounds are cutoff + i*size (inertness)."""
+    cutoff = min(cutoff, n_tasks)
+    tracker = WindowTracker(cutoff, n_tasks, size)
+    tracker.index_of(n_tasks - 1)  # materialise everything
+    for i, b in enumerate(tracker.bounds[1:], start=0):
+        assert b == min(cutoff + i * size, n_tasks)
+
+
+def test_resolve_window_size_contract():
+    assert resolve_window_size("auto") == AUTO_MIN_WINDOW
+    assert resolve_window_size(128) == 128
+    with pytest.raises(SchedulerError):
+        resolve_window_size(0)
+
+
+def test_tracker_rejects_bad_construction():
+    with pytest.raises(SchedulerError):
+        WindowTracker(-1, 10, 4)
+    with pytest.raises(SchedulerError):
+        WindowTracker(11, 10, 4)
+    with pytest.raises(SchedulerError):
+        WindowTracker(0, 10, 0)
+    with pytest.raises(SchedulerError):
+        WindowTracker(0, 10, 4).index_of(10)
