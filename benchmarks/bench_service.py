@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Service load benchmark: jobs/s, p50/p99 latency, cache hits, recovery.
+
+Boots a real ``repro serve`` process, drives it through the four-phase
+chaos scenario of :func:`repro.service.loadgen.run_service_bench` (cold
+batch, warm cache batch, worker-kill + poison-job chaos, SIGTERM +
+restart zero-loss check) and writes the schema-validated
+``BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+    PYTHONPATH=src python benchmarks/bench_service.py --validate BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_service.json",
+                        metavar="OUT.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller batch (CI smoke)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="unique jobs in the cold/warm batches "
+                             "(default 40, quick 12)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="server worker processes (default 3, quick 2)")
+    parser.add_argument("--concurrency", type=int, default=16,
+                        help="concurrent in-flight submissions (default 16)")
+    parser.add_argument("--chaos-jobs", type=int, default=None,
+                        help="slow jobs in the chaos phase "
+                             "(default 8, quick 4)")
+    parser.add_argument("--data-dir", default=None, metavar="DIR",
+                        help="server persistence dir (default: a tempdir)")
+    parser.add_argument("--validate", default=None, metavar="FILE.json",
+                        help="only validate an existing bench file's schema")
+    args = parser.parse_args(argv)
+
+    from repro.errors import BenchmarkError
+    from repro.service.loadgen import (
+        run_service_bench,
+        validate_service_entries,
+        write_service_entries,
+    )
+
+    if args.validate:
+        try:
+            entries = json.loads(open(args.validate).read())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.validate}: {exc}",
+                  file=sys.stderr)
+            return 6
+        try:
+            validate_service_entries(entries)
+        except BenchmarkError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 6
+        print(f"{args.validate}: schema OK ({len(entries)} entries)")
+        return 0
+
+    jobs = args.jobs if args.jobs is not None else (12 if args.quick else 40)
+    workers = args.workers if args.workers is not None else (2 if args.quick else 3)
+    chaos_jobs = (
+        args.chaos_jobs if args.chaos_jobs is not None
+        else (4 if args.quick else 8)
+    )
+
+    def run(data_dir: str) -> list[dict]:
+        return run_service_bench(
+            data_dir,
+            jobs=jobs,
+            workers=workers,
+            concurrency=args.concurrency,
+            chaos_jobs=chaos_jobs,
+            progress=lambda m: print(f"  {m}", file=sys.stderr),
+        )
+
+    try:
+        if args.data_dir:
+            entries = run(args.data_dir)
+        else:
+            with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+                entries = run(tmp)
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 6
+    write_service_entries(entries, args.out)
+    print(f"bench results written to {args.out} ({len(entries)} entries)")
+    for entry in entries:
+        print(f"  {entry['name']:<24s} {entry['jobs']:>4d} jobs  "
+              f"{entry['jobs_per_s']:8.1f} jobs/s  "
+              f"p50 {entry['p50_ms']:7.1f}ms  p99 {entry['p99_ms']:7.1f}ms  "
+              f"hit rate {entry['cache_hit_rate']:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

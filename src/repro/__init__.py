@@ -33,18 +33,27 @@ from .core import RGPLASScheduler, RGPScheduler
 from .errors import (
     ApplicationError,
     BenchmarkError,
+    DeadlineExceededError,
     DependencyError,
     ExperimentError,
     FaultError,
     GraphError,
+    JobNotFoundError,
+    JobSpecError,
     MemoryError_,
     PartitionError,
     PartitionTimeoutError,
+    PoisonJobError,
+    QueueFullError,
+    RateLimitError,
     ReproError,
     RuntimeStateError,
     SchedulerError,
+    ServiceError,
+    ShuttingDownError,
     SimulationError,
     TopologyError,
+    exit_code_for,
 )
 from .faults import (
     CoreFault,
@@ -110,6 +119,7 @@ __all__ = [
     "CoreFault",
     "CoreSlowdown",
     "DFIFOScheduler",
+    "DeadlineExceededError",
     "DataAccess",
     "DataObject",
     "DependencyError",
@@ -121,6 +131,8 @@ __all__ = [
     "GraphError",
     "Instrumentation",
     "Interconnect",
+    "JobNotFoundError",
+    "JobSpecError",
     "LASScheduler",
     "MemoryError_",
     "MemoryManager",
@@ -131,13 +143,18 @@ __all__ = [
     "NumaTopology",
     "PartitionError",
     "PartitionTimeoutError",
+    "PoisonJobError",
+    "QueueFullError",
     "RGPLASScheduler",
     "RGPScheduler",
+    "RateLimitError",
     "ReproError",
     "RingBufferSink",
     "RuntimeStateError",
     "Scheduler",
     "SchedulerError",
+    "ServiceError",
+    "ShuttingDownError",
     "SimulationError",
     "SimulationResult",
     "Simulator",
@@ -152,6 +169,7 @@ __all__ = [
     "bullion_s16",
     "execute",
     "execute_in_order",
+    "exit_code_for",
     "make_app",
     "make_scheduler",
     "simulate",

@@ -23,7 +23,21 @@ Commands
                 ``fuzz`` random cases against the reference simulator,
                 ``replay`` serialized divergence/corpus files, or ``diff``
                 one named app/scheduler/machine combination.
+``serve``     — boot the fault-tolerant simulation job service
+                (DESIGN.md §12): asyncio HTTP/JSON API, content-hash
+                result cache, supervised worker pool.
+``submit``    — submit one job to a running service and (optionally)
+                wait for its result.
 ``apps``      — list the available applications, schedulers and machines.
+
+Exit codes
+----------
+Every :class:`~repro.errors.ReproError` maps to a documented exit code
+(see ``EXIT_CODE_MAP`` in :mod:`repro.errors`): 0 success, 1 other
+library error, 2 configuration error (also argparse usage errors),
+3 partition timeout, 4 verification failure, 5 fault/resilience failure,
+6 benchmark failure, 7 service failure.  No traceback is printed unless
+``--debug`` is given, which re-raises the error instead.
 """
 
 from __future__ import annotations
@@ -32,7 +46,7 @@ import argparse
 import sys
 
 from .apps import APPS, make_app
-from .errors import ReproError
+from .errors import ReproError, exit_code_for
 from .experiments.config import ExperimentConfig
 from .machine import presets
 from .metrics.trace import gantt_ascii, write_csv, write_json
@@ -411,6 +425,80 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    """Boot the simulation job service (DESIGN.md §12)."""
+    import asyncio
+
+    from .service import ServiceConfig
+    from .service.http import serve
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        poison_threshold=args.poison_threshold,
+        rate_per_s=args.rate,
+        burst=args.burst,
+        default_deadline_s=args.deadline,
+        drain_grace_s=args.drain_grace,
+        data_dir=args.data_dir,
+    )
+
+    def ready(port: int) -> None:
+        print(f"serving on http://{args.host}:{port} "
+              f"({args.workers} workers, queue {args.queue_capacity}"
+              + (f", data dir {args.data_dir}" if args.data_dir else "")
+              + ")", flush=True)
+
+    asyncio.run(serve(config, args.host, args.port, ready_message=ready))
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one job to a running service; optionally wait for it."""
+    import json as _json
+
+    from .service.client import ServiceClient
+    from .service.jobs import JobState
+
+    if args.spec:
+        spec = _json.loads(open(args.spec).read())
+    elif args.app is None or args.scheduler is None:
+        print("error: need --spec FILE or both --app and --scheduler",
+              file=sys.stderr)
+        return 2
+    else:
+        spec = {
+            "app": args.app,
+            "policy": args.scheduler,
+            "machine": args.machine,
+            "seed": args.seed,
+        }
+        if args.faults:
+            from .faults import FaultPlan
+
+            spec["faults"] = FaultPlan.load(args.faults).to_dict()
+        if args.tenant:
+            spec["tenant"] = args.tenant
+        if args.deadline is not None:
+            spec["deadline_s"] = args.deadline
+    client = ServiceClient(args.host, args.port)
+    response = client.submit(spec, wait=args.wait,
+                             wait_timeout=args.wait_timeout)
+    if response.status == 429:
+        hint = response.retry_after_s
+        print(f"shed (HTTP 429), retry after {hint}s", file=sys.stderr)
+        return 75  # EX_TEMPFAIL: transient, retry later
+    if response.status >= 400:
+        print(f"error: HTTP {response.status}: "
+              f"{response.body.get('error', response.body)}", file=sys.stderr)
+        return 1
+    print(_json.dumps(response.body, indent=2, sort_keys=True))
+    state = response.body.get("state")
+    if args.wait and state != JobState.DONE:
+        return 1
+    return 0
+
+
 def cmd_apps(args) -> int:
     print("applications:", ", ".join(sorted(APPS)))
     print("schedulers:  ", ", ".join(sorted(SCHEDULERS)))
@@ -465,6 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Graph partitioning applied to DAG scheduling "
             "to reduce NUMA effects' (PPoPP 2018)"
         ),
+    )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="re-raise library errors with a full traceback instead of "
+             "the one-line 'error: ...' + documented exit code",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -635,6 +728,57 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serialize the case (divergent or not) to DIR")
     v.set_defaults(fn=cmd_verify)
 
+    p = sub.add_parser(
+        "serve",
+        help="boot the fault-tolerant simulation job service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8023,
+                   help="listen port (0 = pick a free one; default 8023)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="simulation worker processes (default 2)")
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="bounded admission queue size (default 64)")
+    p.add_argument("--poison-threshold", type=int, default=2,
+                   help="worker crashes before a job is quarantined "
+                        "(default 2)")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="per-tenant admission rate in jobs/s "
+                        "(0 disables quotas; default 0)")
+    p.add_argument("--burst", type=float, default=None,
+                   help="per-tenant token-bucket burst (default: rate)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-job deadline in seconds")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   help="SIGTERM drain grace period (default 10s)")
+    p.add_argument("--data-dir", default=None, metavar="DIR",
+                   help="persistence root (result cache, journal, "
+                        "quarantine); omit for in-memory only")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one job to a running service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8023)
+    p.add_argument("--spec", default=None, metavar="SPEC.json",
+                   help="full job spec file (overrides the flags below)")
+    p.add_argument("--app", default=None, choices=sorted(APPS))
+    p.add_argument("--scheduler", default=None, choices=sorted(SCHEDULERS))
+    p.add_argument("--machine", default="two-socket",
+                   choices=sorted(presets.PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault plan injected into the simulated machine")
+    p.add_argument("--tenant", default=None)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-job deadline in seconds")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job reaches a terminal state")
+    p.add_argument("--wait-timeout", type=float, default=None)
+    p.set_defaults(fn=cmd_submit)
+
     p = sub.add_parser("apps", help="list apps/schedulers/machines")
     p.set_defaults(fn=cmd_apps)
 
@@ -657,8 +801,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.fn(args)
     except ReproError as exc:
+        if getattr(args, "debug", False):
+            raise
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

@@ -70,3 +70,109 @@ class VerificationError(ReproError):
     Raised by :mod:`repro.verify`: the online :class:`InvariantChecker`
     (``REPRO_VERIFY=1``) when a mid-run invariant breaks, and the reference
     oracle when the recorded decision trace cannot be replayed."""
+
+
+# ---------------------------------------------------------------------------
+# Service errors (DESIGN.md §12)
+
+
+class ServiceError(ReproError):
+    """Base class for the simulation job service (:mod:`repro.service`)."""
+
+
+class JobSpecError(ServiceError):
+    """A submitted job specification is malformed (unknown app/policy/
+    machine, bad seed, unparsable fault plan).  Maps to HTTP 400."""
+
+
+class QueueFullError(ServiceError):
+    """The bounded admission queue is full; the job was shed.
+
+    Maps to HTTP 429 with a ``Retry-After`` hint."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class RateLimitError(ServiceError):
+    """A tenant exhausted its token bucket.  Maps to HTTP 429."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class JobNotFoundError(ServiceError):
+    """No job/result with the requested id/hash.  Maps to HTTP 404."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A job missed its deadline (queued too long, or ran past its
+    per-job wall-clock timeout and was killed)."""
+
+
+class PoisonJobError(ServiceError):
+    """A job crashed the configured number of workers and was quarantined;
+    it will never be retried again."""
+
+
+class ShuttingDownError(ServiceError):
+    """The server is draining (SIGTERM received); no new jobs accepted.
+    Maps to HTTP 503."""
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+#
+# ``repro`` maps every :class:`ReproError` subtree to a distinct,
+# documented process exit code so scripts and CI can branch on the
+# failure class without parsing stderr:
+#
+# ===== =====================================================
+# code  meaning
+# ===== =====================================================
+# 0     success
+# 1     other library error (simulation invariant, memory, graph...)
+# 2     configuration error (bad app/policy/machine/arguments)
+# 3     partition timeout (window partition missed its deadline)
+# 4     verification failure (oracle divergence, invariant break)
+# 5     fault-injection / resilience failure
+# 6     benchmark harness failure (schema violation, divergence)
+# 7     service failure (queue full, rate limited, poison job...)
+# ===== =====================================================
+#
+# Code 2 intentionally matches argparse's usage-error exit code: both are
+# "the invocation was wrong", and scripts treat them identically.
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_CONFIG = 2
+EXIT_PARTITION_TIMEOUT = 3
+EXIT_VERIFICATION = 4
+EXIT_FAULT = 5
+EXIT_BENCHMARK = 6
+EXIT_SERVICE = 7
+
+#: Most-derived-first mapping from error class to exit code; the first
+#: ``isinstance`` match wins, so subclasses (PartitionTimeoutError before
+#: FaultError) must precede their bases.
+EXIT_CODE_MAP: tuple[tuple[type, int], ...] = (
+    (PartitionTimeoutError, EXIT_PARTITION_TIMEOUT),
+    (VerificationError, EXIT_VERIFICATION),
+    (FaultError, EXIT_FAULT),
+    (BenchmarkError, EXIT_BENCHMARK),
+    (ServiceError, EXIT_SERVICE),
+    (ExperimentError, EXIT_CONFIG),
+    (ApplicationError, EXIT_CONFIG),
+    (TopologyError, EXIT_CONFIG),
+    (SchedulerError, EXIT_CONFIG),
+)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Documented CLI exit code for a library error (1 if unmapped)."""
+    for klass, code in EXIT_CODE_MAP:
+        if isinstance(exc, klass):
+            return code
+    return EXIT_ERROR

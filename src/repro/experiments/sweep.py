@@ -27,6 +27,7 @@ from __future__ import annotations
 import csv
 import itertools
 import json
+import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -94,31 +95,55 @@ def _point_key(point: dict[str, Any]) -> str:
     return json.dumps(point, sort_keys=True, default=str)
 
 
+def _parse_checkpoint_line(line: str) -> SweepRow:
+    data = json.loads(line)
+    return SweepRow(
+        params=data["params"],
+        makespan_mean=float(data["makespan_mean"]),
+        makespan_std=float(data["makespan_std"]),
+        remote_fraction=float(data["remote_fraction"]),
+    )
+
+
 def load_checkpoint(path: str | Path) -> dict[str, SweepRow]:
     """Read previously completed rows from a JSONL checkpoint file.
 
-    Corrupt trailing lines (a run killed mid-write) are ignored, so a
-    resumed sweep simply recomputes that point.
+    A run killed mid-append can leave exactly one torn record at the end
+    of the file (``_append_checkpoint`` fsyncs after every full record, so
+    at most the *final* line can be partial).  That torn tail is tolerated
+    — and **truncated** from the file so the next append starts on a clean
+    line instead of gluing two records together; the sweep simply
+    recomputes the lost point.  A malformed line anywhere *before* the
+    tail is genuine corruption and raises :class:`ExperimentError` rather
+    than silently dropping completed work.
     """
     done: dict[str, SweepRow] = {}
     path = Path(path)
     if not path.exists():
         return done
-    for line in path.read_text().splitlines():
-        line = line.strip()
+    text = path.read_text()
+    lines = text.splitlines(keepends=True)
+    keep_bytes = 0
+    for i, raw in enumerate(lines):
+        line = raw.strip()
+        is_last = i == len(lines) - 1
         if not line:
+            keep_bytes += len(raw.encode())
             continue
         try:
-            data = json.loads(line)
-            row = SweepRow(
-                params=data["params"],
-                makespan_mean=float(data["makespan_mean"]),
-                makespan_std=float(data["makespan_std"]),
-                remote_fraction=float(data["remote_fraction"]),
-            )
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            continue
+            row = _parse_checkpoint_line(line)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if is_last:
+                # Torn final append: drop it from memory *and* from disk.
+                with open(path, "r+") as fh:
+                    fh.truncate(keep_bytes)
+                break
+            raise ExperimentError(
+                f"checkpoint {path} is corrupt at line {i + 1} "
+                f"(only the final line may be torn): {exc}"
+            ) from exc
         done[_point_key(row.params)] = row
+        keep_bytes += len(raw.encode())
     return done
 
 
@@ -129,9 +154,13 @@ def _append_checkpoint(path: Path, row: SweepRow) -> None:
         "makespan_std": row.makespan_std,
         "remote_fraction": row.remote_fraction,
     }
+    # flush + fsync after the full line: a crash can tear at most the
+    # record currently being appended, never an earlier one — the
+    # invariant load_checkpoint's tolerate-and-truncate relies on.
     with open(path, "a") as fh:
         fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
         fh.flush()
+        os.fsync(fh.fileno())
 
 
 #: Per-worker-process program memo: (app, params-json, n_sockets) -> program.
@@ -205,6 +234,11 @@ def run_sweep(
     computed: dict[str, SweepRow] = {}
     pending = [p for p in points if _point_key(p) not in done]
     if workers is not None and workers > 1 and len(pending) > 1:
+        # A failing grid point must not discard the others: drain every
+        # future, checkpointing each finished row as it lands, and only
+        # re-raise the first failure once nothing else is in flight.  A
+        # resumed sweep then recomputes just the failed point(s).
+        first_error: BaseException | None = None
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(_run_point, config, point, run_kwargs): point
@@ -217,12 +251,21 @@ def run_sweep(
                 )
                 for fut in finished:
                     point = futures[fut]
-                    row = fut.result()  # re-raises worker failures
+                    try:
+                        row = fut.result()
+                    except BaseException as exc:
+                        if first_error is None:
+                            first_error = exc
+                        if progress:
+                            progress(f"{point} -> FAILED: {exc}")
+                        continue
                     computed[_point_key(point)] = row
                     if checkpoint is not None:
                         _append_checkpoint(checkpoint, row)
                     if progress:
                         progress(f"{point} -> {row.makespan_mean:.4g}")
+        if first_error is not None:
+            raise first_error
     else:
         for point in pending:
             row = _run_point(config, point, run_kwargs)

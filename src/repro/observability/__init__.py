@@ -32,6 +32,7 @@ from .export import (
     chrome_trace,
     metrics_document,
     paraver_timeline,
+    render_prometheus,
     write_chrome_trace,
     write_metrics_json,
     write_paraver,
@@ -100,6 +101,7 @@ __all__ = [
     "metrics_document",
     "paraver_timeline",
     "render_matrix",
+    "render_prometheus",
     "validate_events",
     "write_chrome_trace",
     "write_metrics_json",

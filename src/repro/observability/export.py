@@ -307,3 +307,42 @@ def write_metrics_json(
     Path(path).write_text(
         json.dumps(metrics_document(result, metrics=metrics), indent=1)
     )
+
+
+# ----------------------------------------------------------------------
+def render_prometheus(registry) -> str:
+    """Prometheus text exposition of a :class:`MetricsRegistry`.
+
+    Serves the job service's ``GET /metrics?format=prometheus``
+    (DESIGN.md §12) so standard scrapers can watch queue depth, cache
+    hits, retries and sheds.  Metric names are sanitised to the
+    ``[a-zA-Z0-9_]`` charset (dots and dashes become underscores);
+    counters export their total, gauges their last sample, histograms a
+    cumulative ``_bucket`` series plus ``_sum``/``_count``.
+    """
+
+    def mangle(name: str) -> str:
+        return "".join(
+            ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+        )
+
+    lines: list[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counter.value:.10g}")
+    for name, gauge in sorted(registry.gauges.items()):
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauge.value:.10g}")
+    for name, hist in sorted(registry.histograms.items()):
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += int(count)
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {hist.sum:.10g}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

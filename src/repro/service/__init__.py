@@ -1,0 +1,71 @@
+"""Simulation-as-a-service: a fault-tolerant async job server.
+
+DESIGN.md §12.  The deterministic simulator (bit-exactness proven by the
+differential oracle, §11) composed into a long-running service:
+
+* :mod:`repro.service.jobs`    — job spec, content hash, state machine;
+* :mod:`repro.service.queue`   — bounded admission queue, token buckets;
+* :mod:`repro.service.cache`   — content-addressed result cache;
+* :mod:`repro.service.journal` — crash-safe JSONL write-ahead log;
+* :mod:`repro.service.pool`    — supervised worker processes;
+* :mod:`repro.service.service` — the orchestrator (retries, quarantine,
+  drain/resume);
+* :mod:`repro.service.http`    — asyncio HTTP/JSON front end;
+* :mod:`repro.service.client`  — sync + async stdlib clients;
+* :mod:`repro.service.loadgen` — load generator / chaos harness behind
+  ``benchmarks/bench_service.py``.
+
+Quickstart::
+
+    repro serve --port 8023 --workers 4 --data-dir /tmp/repro-service &
+    curl -s localhost:8023/v1/jobs?wait=1 -d \\
+        '{"app": "jacobi", "policy": "rgp+las", "seed": 1}'
+"""
+
+from .cache import ResultCache
+from .client import ServiceClient, arequest_json, request_json
+from .http import HttpServer, serve
+from .jobs import JobRecord, JobSpec, JobState, execute_spec
+from .journal import Journal
+from .loadgen import (
+    SERVICE_BENCH_SCHEMA_KEYS,
+    ServerProcess,
+    make_job_specs,
+    run_batch,
+    run_service_bench,
+    submit_and_wait,
+    validate_service_entries,
+    write_service_entries,
+)
+from .pool import Outcome, WorkerPool
+from .queue import AdmissionQueue, RateLimiter, TokenBucket
+from .service import ServiceConfig, SimulationService
+
+__all__ = [
+    "AdmissionQueue",
+    "HttpServer",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "Journal",
+    "Outcome",
+    "RateLimiter",
+    "ResultCache",
+    "SERVICE_BENCH_SCHEMA_KEYS",
+    "ServerProcess",
+    "ServiceClient",
+    "ServiceConfig",
+    "SimulationService",
+    "TokenBucket",
+    "WorkerPool",
+    "arequest_json",
+    "execute_spec",
+    "make_job_specs",
+    "request_json",
+    "run_batch",
+    "run_service_bench",
+    "serve",
+    "submit_and_wait",
+    "validate_service_entries",
+    "write_service_entries",
+]

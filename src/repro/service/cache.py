@@ -1,0 +1,66 @@
+"""Content-addressed result cache: the dedupe layer of the service.
+
+Simulations are deterministic (DESIGN.md §11 proves bit-exactness), so a
+result is fully identified by the SHA-256 of its canonical request JSON
+(:meth:`~repro.service.jobs.JobSpec.content_hash`).  That makes caching
+*sound by construction* — there is no invalidation problem, only storage.
+
+Two tiers:
+
+* an in-memory dict (always on) for the hot working set;
+* an optional on-disk tier (``cache_dir``) holding one
+  ``<hash>.json`` per result, written atomically (tmp + fsync + rename)
+  so a crash can never leave a half-written entry that would later be
+  served as a result.  The disk tier is what lets a restarted server
+  answer for work done in a previous life.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+
+class ResultCache:
+    """Two-tier content-addressed store: hash -> result dict."""
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        n = len(self._memory)
+        if self.cache_dir is not None:
+            on_disk = {p.stem for p in self.cache_dir.glob("*.json")}
+            n = len(on_disk | set(self._memory))
+        return n
+
+    def get(self, content_hash: str) -> dict[str, Any] | None:
+        hit = self._memory.get(content_hash)
+        if hit is not None:
+            return hit
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{content_hash}.json"
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        self._memory[content_hash] = data
+        return data
+
+    def put(self, content_hash: str, result: dict[str, Any]) -> None:
+        self._memory[content_hash] = result
+        if self.cache_dir is None:
+            return
+        path = self.cache_dir / f"{content_hash}.json"
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(result, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)  # atomic: readers see old-or-new, never torn

@@ -1,0 +1,168 @@
+"""Clients for the simulation service: sync (CLI) and async (load gen).
+
+Both speak the minimal one-request-per-connection HTTP/1.1 dialect of
+:mod:`repro.service.http` using only the stdlib.  The sync client backs
+``repro submit``; the async one is what the load generator fans out
+with (hundreds of concurrent requests on one event loop, no thread per
+connection).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any
+
+from ..errors import ServiceError
+
+
+class ServiceResponse:
+    """Status + parsed JSON body + the headers backpressure lives in."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: dict[str, str],
+                 body: Any) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    @property
+    def retry_after_s(self) -> float | None:
+        value = self.headers.get("retry-after")
+        return float(value) if value is not None else None
+
+
+# ---------------------------------------------------------------------------
+# sync (CLI)
+
+
+def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    timeout: float = 30.0,
+) -> ServiceResponse:
+    """One synchronous JSON request (stdlib ``http.client``)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        raw = response.read()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        try:
+            data = json.loads(raw.decode() or "null")
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"{method} {path}: non-JSON response ({exc})"
+            ) from exc
+        return ServiceResponse(response.status, headers, data)
+    except OSError as exc:
+        raise ServiceError(
+            f"cannot reach service at {host}:{port}: {exc}"
+        ) from exc
+    finally:
+        conn.close()
+
+
+class ServiceClient:
+    """Convenience wrapper bound to one server address."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str,
+              body: dict | None = None) -> ServiceResponse:
+        return request_json(self.host, self.port, method, path, body,
+                            timeout=self.timeout)
+
+    def submit(self, spec: dict, *, wait: bool = False,
+               wait_timeout: float | None = None) -> ServiceResponse:
+        path = "/v1/jobs"
+        if wait:
+            path += "?wait=1"
+            if wait_timeout is not None:
+                path += f"&timeout={wait_timeout:g}"
+        return self._call("POST", path, spec)
+
+    def job(self, job_id: str) -> ServiceResponse:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, content_hash: str) -> ServiceResponse:
+        return self._call("GET", f"/v1/results/{content_hash}")
+
+    def metrics(self) -> ServiceResponse:
+        return self._call("GET", "/metrics")
+
+    def workers(self) -> ServiceResponse:
+        return self._call("GET", "/v1/workers")
+
+    def ready(self) -> bool:
+        try:
+            return self._call("GET", "/readyz").status == 200
+        except ServiceError:
+            return False
+
+
+# ---------------------------------------------------------------------------
+# async (load generator)
+
+
+async def arequest_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    timeout: float = 30.0,
+) -> ServiceResponse:
+    """One asynchronous JSON request over a fresh connection."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + payload)
+        await writer.drain()
+
+        async def read_response() -> ServiceResponse:
+            status_line = await reader.readline()
+            parts = status_line.decode().split(maxsplit=2)
+            if len(parts) < 2:
+                raise ServiceError(
+                    f"{method} {path}: malformed status line {status_line!r}"
+                )
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode().partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", 0) or 0)
+            raw = await reader.readexactly(length) if length else b""
+            data = json.loads(raw.decode() or "null")
+            return ServiceResponse(status, headers, data)
+
+        return await asyncio.wait_for(read_response(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,270 @@
+"""Stdlib-only asyncio HTTP/1.1 JSON API for the simulation service.
+
+A deliberately small hand-rolled server (no aiohttp in the container):
+request line + headers + Content-Length body, one request per
+connection, JSON in / JSON out.  Enough HTTP for curl, the CLI client
+and the load generator — and every robustness decision of the service
+maps onto a precise status code:
+
+====== ================================================================
+status meaning
+====== ================================================================
+200    success (results, health, metrics)
+202    job admitted (or coalesced onto an in-flight duplicate)
+400    malformed request / job spec
+404    unknown path, job id or result hash
+409    the job is quarantined (poison); result will never exist
+413    request body too large
+429    backpressure: queue full (shed) or tenant over quota;
+       carries ``Retry-After`` seconds
+500    unexpected server error
+503    draining after SIGTERM (``/readyz`` also reports this)
+====== ================================================================
+
+Endpoints::
+
+    POST /v1/jobs            submit a job spec; ``?wait=1`` blocks for
+                             the terminal state (``&timeout=S``)
+    GET  /v1/jobs/<id>       job status (+ result when DONE)
+    GET  /v1/results/<hash>  cached result by content hash
+    GET  /v1/workers         worker pids (chaos tooling)
+    GET  /healthz            liveness
+    GET  /readyz             readiness (503 while draining)
+    GET  /metrics            service stats (JSON), ``?format=prometheus``
+                             for a text exposition of the registry
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any
+
+from ..errors import (
+    JobNotFoundError,
+    JobSpecError,
+    PoisonJobError,
+    QueueFullError,
+    RateLimitError,
+    ReproError,
+    ShuttingDownError,
+)
+from ..observability.export import render_prometheus
+from .jobs import JobState
+from .service import ServiceConfig, SimulationService
+
+#: Largest accepted request body (a job spec is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str,
+                 headers: dict[str, str] | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+def _parse_query(target: str) -> tuple[str, dict[str, str]]:
+    path, _, query = target.partition("?")
+    params: dict[str, str] = {}
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        params[key] = value
+    return path, params
+
+
+class HttpServer:
+    """One service instance behind one listening socket."""
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_until_signalled(self) -> None:
+        """Run until SIGTERM/SIGINT, then drain gracefully."""
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        await self.stop()           # stop accepting connections
+        await self.service.drain()  # finish running jobs, checkpoint
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, headers, body = await self._respond(reader)
+        except ConnectionError:
+            writer.close()
+            return
+        except Exception as exc:  # defensive: a handler bug must not hang curl
+            status, headers, body = 500, {}, {"error": f"internal: {exc}"}
+        payload = json.dumps(body, sort_keys=True).encode()
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        head.extend(f"{k}: {v}" for k, v in headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, str], Any]:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), 30.0)
+        except asyncio.TimeoutError:
+            raise ConnectionError("request timed out") from None
+        if not request_line:
+            raise ConnectionError("empty request")
+        try:
+            method, target, _version = request_line.decode().split()
+        except ValueError:
+            return 400, {}, {"error": "malformed request line"}
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            return 413, {}, {"error": f"body over {MAX_BODY_BYTES} bytes"}
+        raw = await reader.readexactly(length) if length else b""
+
+        try:
+            return await self._route(method, target, headers, raw)
+        except _HttpError as exc:
+            return exc.status, exc.headers, {"error": str(exc)}
+        except (QueueFullError, RateLimitError) as exc:
+            return 429, {"Retry-After": f"{exc.retry_after_s:.3f}"}, {
+                "error": str(exc),
+                "retry_after_s": exc.retry_after_s,
+            }
+        except JobSpecError as exc:
+            return 400, {}, {"error": str(exc)}
+        except (JobNotFoundError,) as exc:
+            return 404, {}, {"error": str(exc)}
+        except PoisonJobError as exc:
+            return 409, {}, {"error": str(exc)}
+        except ShuttingDownError as exc:
+            return 503, {}, {"error": str(exc)}
+        except ReproError as exc:
+            return 500, {}, {"error": str(exc)}
+
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, target: str, headers: dict[str, str], raw: bytes
+    ) -> tuple[int, dict[str, str], Any]:
+        path, params = _parse_query(target)
+        svc = self.service
+
+        if path == "/healthz":
+            return (200 if svc.healthy() else 503), {}, {
+                "healthy": svc.healthy()
+            }
+        if path == "/readyz":
+            return (200 if svc.ready() else 503), {}, {
+                "ready": svc.ready(),
+                "accepting": svc.accepting,
+            }
+        if path == "/metrics":
+            if params.get("format") == "prometheus":
+                text = render_prometheus(svc.registry)
+                # Exposition format is text; wrap it for the JSON writer.
+                return 200, {}, {"prometheus": text}
+            return 200, {}, svc.stats()
+        if path == "/v1/workers":
+            return 200, {}, {"pids": svc.pool.pids(),
+                             "replacements": svc.pool.replacements}
+
+        if path == "/v1/jobs" and method == "POST":
+            try:
+                spec = json.loads(raw.decode() or "{}")
+            except json.JSONDecodeError as exc:
+                raise _HttpError(400, f"body is not JSON: {exc}") from None
+            record = svc.submit(spec)
+            if params.get("wait") in ("1", "true", "yes"):
+                timeout = float(params["timeout"]) if "timeout" in params else None
+                try:
+                    record = await svc.wait(record.job_id, timeout=timeout)
+                except asyncio.TimeoutError:
+                    pass  # fall through: still-running jobs answer 202
+            status = 200 if record.state in JobState.TERMINAL else 202
+            return status, {}, record.status_dict()
+
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return 200, {}, svc.get_job(path[len("/v1/jobs/"):]).status_dict()
+
+        if path.startswith("/v1/results/") and method == "GET":
+            content_hash = path[len("/v1/results/"):]
+            return 200, {}, {"hash": content_hash,
+                             "result": svc.get_result(content_hash)}
+
+        if path.startswith("/v1/") or path in ("/v1", "/"):
+            if method not in ("GET", "POST"):
+                return 405, {}, {"error": f"method {method} not allowed"}
+            raise _HttpError(404, f"no route for {method} {path}")
+        raise _HttpError(404, f"no route for {method} {path}")
+
+
+async def serve(
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 8023,
+    *,
+    ready_message=None,
+) -> None:
+    """Boot a service + HTTP front end and run until SIGTERM/SIGINT."""
+    service = SimulationService(config)
+    server = HttpServer(service, host, port)
+    await server.start()
+    if ready_message is not None:
+        ready_message(server.port)
+    await server.serve_until_signalled()

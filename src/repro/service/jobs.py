@@ -1,0 +1,280 @@
+"""Job model for the simulation service: spec, content hash, lifecycle.
+
+A **job** is one deterministic simulation request: ``(program spec,
+machine preset, policy, fault plan, seed)``.  Determinism (proven
+bit-exact by the differential oracle, DESIGN.md §11) is what makes every
+robustness mechanism in the service sound by construction:
+
+* the **content hash** — SHA-256 over the canonical JSON of the
+  result-determining fields — is a complete identity for the result, so
+  duplicate submissions coalesce and cached results can be served to any
+  tenant without staleness;
+* a **retry** after a worker crash re-produces the identical result, so
+  re-dispatch is always safe;
+* a cached result equals a recomputed one bit for bit, so the cache never
+  needs invalidation.
+
+Tenant and deadline are *delivery* parameters, not result parameters —
+they are deliberately excluded from the hash so two tenants asking for
+the same simulation share one execution and one cache entry.
+
+The lifecycle state machine (DESIGN.md §12)::
+
+    submit ──► QUEUED ──► RUNNING ──► DONE
+                 │    ▲      │  ├───► FAILED      (sim error / deadline)
+                 │    └──────┘  └───► QUARANTINED (crashed N workers)
+                 │      RETRYING (worker crashed, backoff+jitter)
+                 └───► SHED  (queue full at admission, or deadline
+                              expired while still queued)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..apps import APPS
+from ..errors import JobSpecError
+from ..experiments.config import QUICK_APP_PARAMS
+from ..faults.plan import FaultPlan
+from ..machine import presets
+from ..schedulers import SCHEDULERS
+
+# ---------------------------------------------------------------------------
+# Lifecycle states
+
+
+class JobState:
+    """String constants for the job state machine (JSON-friendly)."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    RETRYING = "RETRYING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    QUARANTINED = "QUARANTINED"
+    SHED = "SHED"
+
+    #: States a job can never leave.
+    TERMINAL = frozenset({DONE, FAILED, QUARANTINED, SHED})
+
+
+# ---------------------------------------------------------------------------
+# Spec
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation request.
+
+    ``chaos`` is the fault-injection hook for the *service itself* (as
+    opposed to ``faults``, which injects failures into the simulated
+    machine): ``{"sleep_s": 0.5}`` makes the worker sleep before running
+    (so tests and the load generator can kill it mid-job), and
+    ``{"kill_worker": true}`` makes the worker SIGKILL itself — a
+    reproducible poison job for quarantine testing.
+    """
+
+    app: str
+    policy: str
+    machine: str = "two-socket"
+    seed: int = 0
+    app_params: dict[str, Any] = field(default_factory=dict)
+    sched_kwargs: dict[str, Any] = field(default_factory=dict)
+    faults: dict[str, Any] | None = None
+    chaos: dict[str, Any] = field(default_factory=dict)
+    # Delivery parameters — never part of the content hash.
+    tenant: str = "default"
+    deadline_s: float | None = None
+
+    # -- validation / normalisation -------------------------------------
+    def validated(self) -> "JobSpec":
+        """Validate and canonicalise (fill default app params); raise
+        :class:`~repro.errors.JobSpecError` on anything malformed."""
+        if self.app not in APPS:
+            raise JobSpecError(
+                f"unknown app {self.app!r}; known: {sorted(APPS)}"
+            )
+        if self.policy not in SCHEDULERS:
+            raise JobSpecError(
+                f"unknown policy {self.policy!r}; known: {sorted(SCHEDULERS)}"
+            )
+        if self.machine not in presets.PRESETS:
+            raise JobSpecError(
+                f"unknown machine {self.machine!r}; "
+                f"known: {sorted(presets.PRESETS)}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise JobSpecError(f"seed must be an integer, got {self.seed!r}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise JobSpecError(
+                f"deadline_s must be positive, got {self.deadline_s!r}"
+            )
+        unknown = set(self.chaos) - {"sleep_s", "kill_worker"}
+        if unknown:
+            raise JobSpecError(f"unknown chaos keys: {sorted(unknown)}")
+        if self.faults is not None:
+            try:
+                FaultPlan.from_dict(self.faults)
+            except Exception as exc:
+                raise JobSpecError(f"bad fault plan: {exc}") from exc
+        params = dict(self.app_params)
+        if not params:
+            # Canonical default sizes keep ad-hoc submissions cheap and —
+            # because normalisation happens *before* hashing — cacheable.
+            params = dict(QUICK_APP_PARAMS.get(self.app, {}))
+        if params == self.app_params:
+            return self
+        return JobSpec(
+            app=self.app, policy=self.policy, machine=self.machine,
+            seed=self.seed, app_params=params,
+            sched_kwargs=dict(self.sched_kwargs), faults=self.faults,
+            chaos=dict(self.chaos), tenant=self.tenant,
+            deadline_s=self.deadline_s,
+        )
+
+    # -- identity --------------------------------------------------------
+    def canonical_dict(self) -> dict[str, Any]:
+        """The result-determining fields only (hash input)."""
+        return {
+            "app": self.app,
+            "app_params": self.app_params,
+            "chaos": self.chaos,
+            "faults": self.faults,
+            "machine": self.machine,
+            "policy": self.policy,
+            "sched_kwargs": self.sched_kwargs,
+            "seed": self.seed,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":"),
+            default=str,
+        )
+
+    def content_hash(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out = self.canonical_dict()
+        out["tenant"] = self.tenant
+        out["deadline_s"] = self.deadline_s
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise JobSpecError(f"job spec must be an object, got {type(data).__name__}")
+        unknown = set(data) - {
+            "app", "app_params", "chaos", "faults", "machine", "policy",
+            "sched_kwargs", "seed", "tenant", "deadline_s",
+        }
+        if unknown:
+            raise JobSpecError(f"unknown job spec fields: {sorted(unknown)}")
+        try:
+            return cls(
+                app=data["app"],
+                policy=data["policy"],
+                machine=data.get("machine", "two-socket"),
+                seed=data.get("seed", 0),
+                app_params=dict(data.get("app_params") or {}),
+                sched_kwargs=dict(data.get("sched_kwargs") or {}),
+                faults=data.get("faults"),
+                chaos=dict(data.get("chaos") or {}),
+                tenant=str(data.get("tenant") or "default"),
+                deadline_s=data.get("deadline_s"),
+            )
+        except KeyError as exc:
+            raise JobSpecError(f"job spec missing field {exc.args[0]!r}") from None
+        except (TypeError, ValueError) as exc:
+            raise JobSpecError(f"bad job spec: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Record
+
+
+@dataclass
+class JobRecord:
+    """Mutable server-side view of one admitted job."""
+
+    job_id: str
+    spec: JobSpec
+    hash: str
+    state: str = JobState.QUEUED
+    submitted_at: float = 0.0
+    finished_at: float | None = None
+    attempts: int = 0
+    crashes: int = 0
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    #: True when this record was served straight from the result cache.
+    cached: bool = False
+
+    def status_dict(self) -> dict[str, Any]:
+        """JSON body for ``GET /v1/jobs/<id>``."""
+        out = {
+            "job_id": self.job_id,
+            "hash": self.hash,
+            "state": self.state,
+            "attempts": self.attempts,
+            "crashes": self.crashes,
+            "cached": self.cached,
+            "tenant": self.spec.tenant,
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def execute_spec(spec_dict: dict[str, Any]) -> dict[str, Any]:
+    """Run one job's simulation to completion (worker-process side).
+
+    Deliberately a pure function of the canonical spec: same dict in,
+    bit-identical result dict out — the property the dedupe cache and
+    crash-retry logic rely on.
+    """
+    import os
+    import signal
+    import time
+
+    spec = JobSpec.from_dict(spec_dict).validated()
+    chaos = spec.chaos
+    if chaos.get("sleep_s"):
+        time.sleep(float(chaos["sleep_s"]))
+    if chaos.get("kill_worker"):
+        os.kill(os.getpid(), signal.SIGKILL)  # poison job: die uncleanly
+
+    from ..apps import make_app
+    from ..machine.interconnect import Interconnect
+    from ..runtime.simulator import Simulator
+    from ..schedulers import make_scheduler
+
+    topo = presets.by_name(spec.machine)
+    program = make_app(spec.app, **spec.app_params).build(topo.n_sockets)
+    scheduler = make_scheduler(spec.policy, **spec.sched_kwargs)
+    faults = FaultPlan.from_dict(spec.faults) if spec.faults else None
+    sim = Simulator(
+        program, topo, scheduler,
+        interconnect=Interconnect(
+            topo, remote_penalty_exp=1.0, link_fraction=0.45,
+            core_fraction=0.30,
+        ),
+        seed=spec.seed, steal="near", faults=faults,
+    )
+    result = sim.run()
+    # Plain Python scalars: the result must JSON-round-trip bit-exactly
+    # (cache hits are compared against recomputed results in the tests).
+    return {
+        "makespan": float(result.makespan),
+        "remote_fraction": float(result.remote_fraction),
+        "reexecutions": int(result.reexecutions),
+        "wasted_work": float(result.wasted_work),
+        "n_tasks": int(program.n_tasks),
+    }

@@ -1,0 +1,82 @@
+"""Crash-safe JSONL journal: the service's write-ahead log.
+
+Every admission and every terminal transition is appended as one JSON
+line and fsynced, so after a crash or SIGTERM the journal replays into
+exactly the set of jobs that were accepted but never finished — those are
+resubmitted on restart (their results may meanwhile be servable straight
+from the content-addressed cache).
+
+Torn-write discipline matches the sweep checkpoint
+(:mod:`repro.experiments.sweep`): because each append is flushed and
+fsynced as a whole line, at most the *final* line of the file can be
+partial after a crash.  Replay tolerates that torn tail and truncates it
+so the next append starts on a clean line; a malformed line anywhere
+earlier is real corruption and raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..errors import ServiceError
+
+
+class Journal:
+    """Append-only JSONL event log with tolerate-and-truncate replay."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = None
+
+    # -- writing ---------------------------------------------------------
+    def append(self, record: dict[str, Any]) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+        self._fh.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":"),
+                       default=str) + "\n"
+        )
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- replay ----------------------------------------------------------
+    def replay(self) -> list[dict[str, Any]]:
+        """All intact records, oldest first; truncates a torn final line."""
+        if self._fh is not None:
+            raise ServiceError("cannot replay a journal that is open for writing")
+        if not self.path.exists():
+            return []
+        text = self.path.read_text()
+        lines = text.splitlines(keepends=True)
+        records: list[dict[str, Any]] = []
+        keep_bytes = 0
+        for i, raw in enumerate(lines):
+            line = raw.strip()
+            if not line:
+                keep_bytes += len(raw.encode())
+                continue
+            try:
+                data = json.loads(line)
+                if not isinstance(data, dict):
+                    raise ValueError("journal records must be objects")
+            except ValueError as exc:
+                if i == len(lines) - 1:
+                    with open(self.path, "r+") as fh:
+                        fh.truncate(keep_bytes)
+                    break
+                raise ServiceError(
+                    f"journal {self.path} corrupt at line {i + 1} "
+                    f"(only the final line may be torn): {exc}"
+                ) from exc
+            records.append(data)
+            keep_bytes += len(raw.encode())
+        return records

@@ -1,0 +1,409 @@
+"""Load generator + chaos harness for the simulation service.
+
+Drives a real ``repro serve`` server process over HTTP and measures the
+numbers the ROADMAP asks for — jobs/s, p50/p99 latency, cache hit rate —
+plus the robustness headline: recovery time under injected worker kills,
+poison-job quarantine, and a SIGTERM/restart round trip that must lose
+zero completed results.  ``benchmarks/bench_service.py`` is the CLI
+wrapper that writes the schema-validated ``BENCH_service.json``.
+
+The generator submits with ``?wait=1`` (one connection per in-flight
+job, bounded by a concurrency semaphore) and honours ``Retry-After`` on
+429 — i.e. it is a *well-behaved* client, so a full queue shows up as
+increased latency rather than failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from ..errors import BenchmarkError, ServiceError
+from .client import ServiceClient, arequest_json
+
+#: Required schema of one ``BENCH_service.json`` entry (extra keys allowed).
+SERVICE_BENCH_SCHEMA_KEYS: dict[str, type] = {
+    "name": str,
+    "jobs": int,
+    "wall_s": float,
+    "jobs_per_s": float,
+    "p50_ms": float,
+    "p99_ms": float,
+    "cache_hit_rate": float,
+}
+
+#: Problem sizes for generated jobs: small enough that service overhead —
+#: not simulation time — dominates, which is what a service bench measures.
+TINY_APP_PARAMS = {"n_blocks": 6, "block_elems": 1024, "iterations": 2}
+
+
+def make_job_specs(
+    n: int,
+    *,
+    app: str = "nstream",
+    policy: str = "las",
+    machine: str = "two-socket",
+    seed_base: int = 0,
+    sleep_s: float = 0.0,
+    tenant: str = "loadgen",
+) -> list[dict[str, Any]]:
+    """``n`` distinct job specs (unique seeds -> unique content hashes)."""
+    specs = []
+    for i in range(n):
+        spec: dict[str, Any] = {
+            "app": app,
+            "policy": policy,
+            "machine": machine,
+            "seed": seed_base + i,
+            "app_params": dict(TINY_APP_PARAMS),
+            "tenant": tenant,
+        }
+        if sleep_s > 0:
+            spec["chaos"] = {"sleep_s": sleep_s}
+        specs.append(spec)
+    return specs
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+async def submit_and_wait(
+    host: str,
+    port: int,
+    spec: dict[str, Any],
+    *,
+    wait_timeout: float = 120.0,
+    max_attempts: int = 200,
+) -> tuple[dict[str, Any], float]:
+    """Submit one job, honouring 429 backpressure; return (body, latency_s).
+
+    Latency is submit-to-terminal wall time, including any backoff spent
+    being shed — the client-observed number.
+    """
+    t0 = time.monotonic()
+    for _ in range(max_attempts):
+        resp = await arequest_json(
+            host, port, "POST", f"/v1/jobs?wait=1&timeout={wait_timeout:g}",
+            spec, timeout=wait_timeout + 30.0,
+        )
+        if resp.status == 429:
+            await asyncio.sleep(min(resp.retry_after_s or 0.2, 0.5))
+            continue
+        if resp.status in (200, 202):
+            body = resp.body
+            # 202 = still running at wait timeout: poll until terminal.
+            while body.get("state") in ("QUEUED", "RUNNING", "RETRYING"):
+                await asyncio.sleep(0.05)
+                poll = await arequest_json(
+                    host, port, "GET", f"/v1/jobs/{body['job_id']}"
+                )
+                body = poll.body
+            return body, time.monotonic() - t0
+        raise ServiceError(
+            f"submit failed: HTTP {resp.status}: {resp.body}"
+        )
+    raise ServiceError(f"job shed {max_attempts} times; giving up")
+
+
+async def run_batch(
+    host: str,
+    port: int,
+    specs: list[dict[str, Any]],
+    *,
+    concurrency: int = 16,
+    wait_timeout: float = 120.0,
+) -> dict[str, Any]:
+    """Submit a batch, bounded concurrency; gather states and latencies."""
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def one(spec: dict[str, Any]):
+        async with semaphore:
+            return await submit_and_wait(
+                host, port, spec, wait_timeout=wait_timeout
+            )
+
+    t0 = time.monotonic()
+    outcomes = await asyncio.gather(*(one(s) for s in specs))
+    wall = time.monotonic() - t0
+    bodies = [b for b, _ in outcomes]
+    latencies = [lat for _, lat in outcomes]
+    return {
+        "wall_s": wall,
+        "bodies": bodies,
+        "latencies_s": latencies,
+        "states": [b.get("state") for b in bodies],
+        "hashes": [b.get("hash") for b in bodies],
+    }
+
+
+def batch_entry(name: str, batch: dict[str, Any],
+                cache_hit_rate: float) -> dict[str, Any]:
+    """Fold one batch run into a ``BENCH_service.json`` entry."""
+    lats = batch["latencies_s"]
+    wall = batch["wall_s"]
+    return {
+        "name": name,
+        "jobs": len(lats),
+        "wall_s": wall,
+        "jobs_per_s": len(lats) / wall if wall > 0 else float("inf"),
+        "p50_ms": percentile(lats, 50) * 1e3,
+        "p99_ms": percentile(lats, 99) * 1e3,
+        "cache_hit_rate": cache_hit_rate,
+    }
+
+
+def validate_service_entries(entries: Any) -> None:
+    """Schema check for ``BENCH_service.json`` (raises BenchmarkError)."""
+    if not isinstance(entries, list) or not entries:
+        raise BenchmarkError("service bench file must be a non-empty list")
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BenchmarkError(f"entry {i} is not an object")
+        for key, typ in SERVICE_BENCH_SCHEMA_KEYS.items():
+            if key not in entry:
+                raise BenchmarkError(f"entry {i} missing key {key!r}")
+            value = entry[key]
+            if typ is float and isinstance(value, int) and not isinstance(value, bool):
+                value = float(value)
+            if not isinstance(value, typ) or isinstance(value, bool):
+                raise BenchmarkError(
+                    f"entry {i} key {key!r}: expected {typ.__name__}, "
+                    f"got {type(entry[key]).__name__}"
+                )
+        if not 0.0 <= float(entry["cache_hit_rate"]) <= 1.0:
+            raise BenchmarkError(
+                f"entry {i}: cache_hit_rate outside [0, 1]"
+            )
+
+
+def write_service_entries(entries: list[dict[str, Any]],
+                          path: str | Path) -> None:
+    validate_service_entries(entries)
+    Path(path).write_text(json.dumps(entries, indent=1, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# server process management
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class ServerProcess:
+    """A ``repro serve`` subprocess with readiness and chaos helpers."""
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        *,
+        workers: int = 2,
+        queue_capacity: int = 64,
+        port: int | None = None,
+        extra_args: list[str] | None = None,
+    ) -> None:
+        self.port = port if port is not None else free_port()
+        self.data_dir = str(data_dir)
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", str(self.port),
+            "--workers", str(workers),
+            "--queue-capacity", str(queue_capacity),
+            "--data-dir", self.data_dir,
+        ] + (extra_args or [])
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.process = subprocess.Popen(
+            argv, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        self.client = ServiceClient("127.0.0.1", self.port, timeout=10.0)
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise ServiceError(
+                    f"server exited early (code {self.process.returncode})"
+                )
+            if self.client.ready():
+                return
+            time.sleep(0.05)
+        self.kill()
+        raise ServiceError(f"server not ready after {timeout}s")
+
+    def worker_pids(self) -> list[int]:
+        return list(self.client.workers().body["pids"])
+
+    def kill_one_worker(self) -> int:
+        """SIGKILL one worker process; returns its pid."""
+        pid = self.worker_pids()[0]
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    def sigterm(self, timeout: float = 30.0) -> int:
+        """Graceful shutdown; returns the exit code."""
+        self.process.send_signal(signal.SIGTERM)
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.kill()
+            raise ServiceError(f"server ignored SIGTERM for {timeout}s") from None
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# the full benchmark scenario
+
+
+def run_service_bench(
+    data_dir: str | Path,
+    *,
+    jobs: int = 40,
+    workers: int = 3,
+    concurrency: int = 16,
+    chaos_jobs: int = 8,
+    chaos_sleep_s: float = 0.3,
+    progress: Callable[[str], None] | None = None,
+) -> list[dict[str, Any]]:
+    """The committed ``BENCH_service.json`` scenario.
+
+    Phases: (1) cold batch of unique jobs, (2) identical warm batch that
+    must be served ~entirely from the cache, (3) chaos batch with an
+    injected worker SIGKILL and one poison job — every non-poison job
+    must complete and the poison job must be quarantined, (4) SIGTERM +
+    restart — every phase-1 result hash must still resolve.
+    """
+
+    def note(message: str) -> None:
+        if progress:
+            progress(message)
+
+    entries: list[dict[str, Any]] = []
+    data_dir = Path(data_dir)
+    server = ServerProcess(
+        data_dir, workers=workers, queue_capacity=max(jobs, 2 * concurrency)
+    )
+    try:
+        server.wait_ready()
+        host, port = "127.0.0.1", server.port
+        specs = make_job_specs(jobs)
+
+        note(f"phase 1: {jobs} unique jobs, concurrency {concurrency}")
+        cold = asyncio.run(
+            run_batch(host, port, specs, concurrency=concurrency)
+        )
+        bad = [s for s in cold["states"] if s != "DONE"]
+        if bad:
+            raise BenchmarkError(f"cold batch: {len(bad)} jobs not DONE: {bad[:5]}")
+        entries.append(batch_entry("service/cold", cold, 0.0))
+
+        note("phase 2: identical batch (cache hits expected)")
+        warm = asyncio.run(
+            run_batch(host, port, specs, concurrency=concurrency)
+        )
+        hits = sum(1 for b in warm["bodies"] if b.get("cached"))
+        warm_hit_rate = hits / len(warm["bodies"])
+        if warm_hit_rate < 0.99:
+            raise BenchmarkError(
+                f"warm batch cache hit rate {warm_hit_rate:.2%} < 99%"
+            )
+        if warm["hashes"] != cold["hashes"]:
+            raise BenchmarkError("warm batch produced different hashes")
+        entries.append(batch_entry("service/warm", warm, warm_hit_rate))
+
+        note(f"phase 3: chaos — {chaos_jobs} slow jobs, worker kill, 1 poison")
+        chaos_specs = make_job_specs(
+            chaos_jobs, seed_base=10_000, sleep_s=chaos_sleep_s
+        )
+        poison = make_job_specs(1, seed_base=99_999)[0]
+        poison["chaos"] = {"kill_worker": True}
+
+        async def chaos_phase() -> dict[str, Any]:
+            batch_task = asyncio.ensure_future(
+                run_batch(host, port, chaos_specs + [poison],
+                          concurrency=concurrency,
+                          wait_timeout=60.0)
+            )
+            # Let jobs occupy the workers, then murder one mid-job.
+            await asyncio.sleep(chaos_sleep_s)
+            t_kill = time.monotonic()
+            pid = server.kill_one_worker()
+            note(f"  killed worker pid {pid}")
+            batch = await batch_task
+            batch["recovery_s"] = time.monotonic() - t_kill
+            return batch
+
+        chaos = asyncio.run(chaos_phase())
+        states = chaos["states"]
+        poison_state = states[-1]
+        nonpoison_states = states[:-1]
+        if poison_state != "QUARANTINED":
+            raise BenchmarkError(
+                f"poison job state {poison_state!r}, expected QUARANTINED"
+            )
+        not_done = [s for s in nonpoison_states if s != "DONE"]
+        if not_done:
+            raise BenchmarkError(
+                f"chaos batch: {len(not_done)} non-poison jobs not DONE"
+            )
+        quarantine_files = list((data_dir / "quarantine").glob("*.json"))
+        if not quarantine_files:
+            raise BenchmarkError("no quarantine diagnostic artifact written")
+        entry = batch_entry("service/chaos", chaos, 0.0)
+        entry["recovery_s"] = chaos["recovery_s"]
+        entry["quarantined"] = 1
+        entry["worker_kills"] = 1
+        entries.append(entry)
+
+        note("phase 4: SIGTERM drain + restart, zero-loss check")
+        server.sigterm()
+        server = ServerProcess(data_dir, workers=workers)
+        server.wait_ready()
+        t0 = time.monotonic()
+        lost = 0
+        for content_hash in cold["hashes"]:
+            resp = server.client.result(content_hash)
+            if resp.status != 200:
+                lost += 1
+        if lost:
+            raise BenchmarkError(
+                f"restart lost {lost}/{len(cold['hashes'])} results"
+            )
+        wall = time.monotonic() - t0
+        entries.append({
+            "name": "service/restart-recall",
+            "jobs": len(cold["hashes"]),
+            "wall_s": wall,
+            "jobs_per_s": len(cold["hashes"]) / wall if wall > 0 else 0.0,
+            "p50_ms": 0.0,
+            "p99_ms": 0.0,
+            "cache_hit_rate": 1.0,
+            "lost_results": 0,
+        })
+        return entries
+    finally:
+        server.kill()

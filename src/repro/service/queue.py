@@ -1,0 +1,159 @@
+"""Admission control: bounded queue, backpressure and per-tenant quotas.
+
+The service never buffers unbounded work.  Admission can fail two ways,
+both surfaced to clients as HTTP 429 with a ``Retry-After`` hint:
+
+* :class:`~repro.errors.QueueFullError` — the global bounded queue is at
+  capacity, so the job is **shed**.  The retry hint is the queue's
+  current drain-time estimate, so well-behaved clients back off to the
+  rate the server can actually sustain.
+* :class:`~repro.errors.RateLimitError` — the submitting tenant's token
+  bucket is empty.  Buckets refill continuously, so the hint is the time
+  until one token is available.
+
+Both mechanisms are deliberately *cheap to hit*: shedding at admission
+costs a counter bump, not a worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, Callable
+
+from ..errors import QueueFullError, RateLimitError
+
+
+class TokenBucket:
+    """Classic continuous-refill token bucket.
+
+    ``clock`` is injectable so tests can step time deterministically.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0 or burst <= 0:
+            raise ValueError("rate_per_s and burst must be positive")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = self._clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate_per_s
+        )
+        self._last = now
+
+    def try_take(self, n: float = 1.0) -> bool:
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    def time_until(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will be available (0 if now)."""
+        self._refill()
+        deficit = n - self._tokens
+        return max(0.0, deficit / self.rate_per_s)
+
+
+class RateLimiter:
+    """Per-tenant token buckets, created lazily with shared defaults.
+
+    ``rate_per_s <= 0`` disables rate limiting entirely (the default:
+    quotas are an opt-in protection).
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float = 0.0,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst) if burst is not None else max(1.0, rate_per_s)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_per_s > 0
+
+    def check(self, tenant: str) -> None:
+        """Take one token for ``tenant`` or raise :class:`RateLimitError`."""
+        if not self.enabled:
+            return
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.rate_per_s, self.burst, clock=self._clock
+            )
+        if not bucket.try_take():
+            retry = bucket.time_until()
+            raise RateLimitError(
+                f"tenant {tenant!r} exceeded {self.rate_per_s:g} jobs/s "
+                f"(burst {self.burst:g})",
+                retry_after_s=retry,
+            )
+
+
+class AdmissionQueue:
+    """Bounded FIFO of admitted jobs with async consumption.
+
+    ``put_nowait`` raises :class:`QueueFullError` instead of blocking —
+    backpressure is explicit and immediate, never a hung request.
+    ``service_rate_hint`` (jobs/s actually completed, fed back by the
+    server) sizes the ``Retry-After`` estimate.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._not_empty = asyncio.Event()
+        self.service_rate_hint: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def _retry_after(self) -> float:
+        rate = self.service_rate_hint
+        if rate <= 0:
+            return 1.0
+        # Time to drain half the queue: a conservative re-admission point.
+        return max(0.1, (self.capacity / 2) / rate)
+
+    def put_nowait(self, item: Any, *, front: bool = False) -> None:
+        if len(self._items) >= self.capacity:
+            raise QueueFullError(
+                f"admission queue full ({self.capacity} jobs)",
+                retry_after_s=self._retry_after(),
+            )
+        if front:
+            self._items.appendleft(item)
+        else:
+            self._items.append(item)
+        self._not_empty.set()
+
+    async def get(self) -> Any:
+        while not self._items:
+            self._not_empty.clear()
+            await self._not_empty.wait()
+        item = self._items.popleft()
+        if self._items:
+            self._not_empty.set()
+        return item

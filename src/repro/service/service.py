@@ -1,0 +1,514 @@
+"""The simulation service orchestrator (DESIGN.md §12).
+
+Composes the admission queue, per-tenant rate limiter, content-addressed
+result cache, crash-safe journal and supervised worker pool into one
+object with a small async API:
+
+* :meth:`SimulationService.submit` — admission control.  Resolution
+  order: quarantine check (poison jobs are *never* re-run), cache lookup
+  (hit → DONE immediately), in-flight coalescing (same hash → same job),
+  tenant quota, bounded queue (full → shed).  Only a genuinely new,
+  admitted job consumes queue space and a journal record.
+* per-slot worker loops — dequeue, enforce deadlines, dispatch to the
+  pool, and translate pool outcomes into state transitions: crash →
+  RETRYING with exponential backoff + deterministic jitter, too many
+  crashes → QUARANTINED with a diagnostic artifact, deadline → FAILED,
+  success → DONE + cache fill.
+* :meth:`SimulationService.drain` — SIGTERM path: stop admitting, let
+  running jobs finish (bounded by a grace period), checkpoint the
+  journal.  Queued-but-unfinished jobs replay into the queue on the next
+  :meth:`start`, and their results may meanwhile be served straight from
+  the persistent cache — a restart loses zero completed work.
+
+Every decision is counted in a
+:class:`~repro.observability.MetricsRegistry` (wall-clock timestamps —
+unlike the simulator's registries, the service lives in real time).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import (
+    JobNotFoundError,
+    PoisonJobError,
+    QueueFullError,
+    RateLimitError,
+    ServiceError,
+    ShuttingDownError,
+)
+from ..observability import MetricsRegistry
+from .cache import ResultCache
+from .jobs import JobRecord, JobSpec, JobState
+from .journal import Journal
+from .pool import WorkerPool
+from .queue import AdmissionQueue, RateLimiter
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one service instance."""
+
+    workers: int = 2
+    queue_capacity: int = 64
+    #: A job that crashes this many workers is quarantined forever.
+    poison_threshold: int = 2
+    retry_base_s: float = 0.05
+    retry_max_s: float = 2.0
+    retry_jitter: float = 0.25
+    #: Per-tenant admission rate (jobs/s); <= 0 disables quotas.
+    rate_per_s: float = 0.0
+    burst: float | None = None
+    #: Applied when a job has no deadline of its own (None = unlimited).
+    default_deadline_s: float | None = None
+    drain_grace_s: float = 10.0
+    #: Persistence root (cache/, journal.jsonl, quarantine/); None = RAM only.
+    data_dir: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError(f"need >= 1 worker, got {self.workers}")
+        if self.poison_threshold < 1:
+            raise ServiceError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold}"
+            )
+
+
+class SimulationService:
+    """Fault-tolerant async job server over the deterministic simulator."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry or MetricsRegistry()
+        data_dir = (
+            Path(self.config.data_dir)
+            if self.config.data_dir is not None else None
+        )
+        self.cache = ResultCache(
+            data_dir / "cache" if data_dir is not None else None
+        )
+        self.journal = (
+            Journal(data_dir / "journal.jsonl") if data_dir is not None else None
+        )
+        self.quarantine_dir = (
+            data_dir / "quarantine" if data_dir is not None else None
+        )
+        self.queue = AdmissionQueue(self.config.queue_capacity)
+        self.limiter = RateLimiter(self.config.rate_per_s, self.config.burst)
+        self.pool = WorkerPool(self.config.workers)
+        self.records: dict[str, JobRecord] = {}
+        #: hash -> the non-terminal record execution is coalesced onto.
+        self.inflight_by_hash: dict[str, JobRecord] = {}
+        #: hash -> quarantined record (poison jobs, never re-run).
+        self.quarantined: dict[str, JobRecord] = {}
+        self._events: dict[str, asyncio.Event] = {}
+        self._job_counter = 0
+        self._loops: list[asyncio.Task] = []
+        self._retry_tasks: set[asyncio.Task] = set()
+        self._running_jobs = 0
+        self._completed = 0
+        self._started_at = time.monotonic()
+        self.accepting = False
+        self.started = False
+
+    # ------------------------------------------------------------------
+    # metric helpers (wall-clock timestamps, relative to service start)
+    def _now(self) -> float:
+        return time.monotonic()
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def _gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(self._now() - self._started_at, value)
+
+    def _note_queue(self) -> None:
+        self._gauge("service.queue.depth", self.queue.depth)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    async def start(self) -> None:
+        """Boot workers, replay the journal, start the dispatch loops."""
+        if self.started:
+            return
+        await asyncio.to_thread(self.pool.start)
+        self.accepting = True
+        self.started = True
+        self._started_at = time.monotonic()
+        self._recover()
+        for slot in range(self.config.workers):
+            self._loops.append(
+                asyncio.create_task(
+                    self._worker_loop(slot), name=f"service-worker-{slot}"
+                )
+            )
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish running jobs, checkpoint, stop."""
+        self.accepting = False
+        deadline = time.monotonic() + self.config.drain_grace_s
+        while (
+            (self._running_jobs > 0 or self._retry_tasks)
+            and time.monotonic() < deadline
+        ):
+            await asyncio.sleep(0.02)
+        for task in list(self._retry_tasks):
+            task.cancel()
+        if self.journal is not None:
+            self.journal.append({"kind": "checkpoint", "t": time.time()})
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Hard stop (no drain): cancel loops, kill workers."""
+        self.accepting = False
+        self.started = False
+        pending = self._loops + list(self._retry_tasks)
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+        self._loops.clear()
+        self._retry_tasks.clear()
+        await asyncio.to_thread(self.pool.stop)
+        if self.journal is not None:
+            self.journal.close()
+
+    # ------------------------------------------------------------------
+    # journal recovery
+    def _recover(self) -> None:
+        """Resubmit jobs the previous life accepted but never finished."""
+        if self.journal is None:
+            return
+        submits: dict[str, dict[str, Any]] = {}
+        terminal: dict[str, str] = {}
+        for rec in self.journal.replay():
+            kind = rec.get("kind")
+            if kind == "submit":
+                submits[rec["id"]] = rec
+            elif kind in ("done", "failed", "quarantined", "shed"):
+                terminal[rec["id"]] = kind
+            # "checkpoint" records only mark clean shutdowns.
+        max_seq = 0
+        for job_id, rec in submits.items():
+            try:
+                max_seq = max(max_seq, int(job_id.rsplit("-", 1)[1]))
+            except (IndexError, ValueError):
+                pass
+            spec = JobSpec.from_dict(rec["spec"]).validated()
+            state = terminal.get(job_id)
+            if state == "quarantined":
+                record = JobRecord(
+                    job_id=job_id, spec=spec, hash=rec["hash"],
+                    state=JobState.QUARANTINED,
+                    error="poison job (quarantined in a previous run)",
+                )
+                self.records[job_id] = record
+                self.quarantined[record.hash] = record
+                continue
+            if state is not None:
+                continue  # finished cleanly; result (if any) is in the cache
+            record = self._new_record(spec, job_id=job_id)
+            cached = self.cache.get(record.hash)
+            if cached is not None:
+                self._finish(record, JobState.DONE, result=cached,
+                             journal_kind="done", cached=True)
+                continue
+            self._count("service.jobs.resumed")
+            self._enqueue(record)
+        self._job_counter = max(self._job_counter, max_seq)
+
+    # ------------------------------------------------------------------
+    # submission
+    def _new_record(self, spec: JobSpec, job_id: str | None = None) -> JobRecord:
+        if job_id is None:
+            self._job_counter += 1
+            job_id = f"j-{self._job_counter}"
+        record = JobRecord(
+            job_id=job_id, spec=spec, hash=spec.content_hash(),
+            submitted_at=time.monotonic(),
+        )
+        self.records[job_id] = record
+        self._events[job_id] = asyncio.Event()
+        return record
+
+    def _enqueue(self, record: JobRecord, *, front: bool = False) -> None:
+        self.queue.put_nowait(record, front=front)
+        self.inflight_by_hash[record.hash] = record
+        self._note_queue()
+
+    def submit(self, spec: JobSpec | dict[str, Any]) -> JobRecord:
+        """Admit one job (or resolve it from cache/coalescing/quarantine).
+
+        Raises
+        ------
+        ShuttingDownError    server is draining (HTTP 503)
+        JobSpecError         malformed spec (HTTP 400)
+        RateLimitError       tenant over quota (HTTP 429)
+        QueueFullError       admission queue full, job shed (HTTP 429)
+        """
+        if not self.accepting:
+            raise ShuttingDownError("server is draining; no new jobs")
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        spec = spec.validated()
+        content_hash = spec.content_hash()
+
+        poisoned = self.quarantined.get(content_hash)
+        if poisoned is not None:
+            self._count("service.jobs.poison_rejected")
+            return poisoned
+
+        cached = self.cache.get(content_hash)
+        if cached is not None:
+            self._count("service.cache.hits")
+            record = self._new_record(spec)
+            self._finish(record, JobState.DONE, result=cached,
+                         journal_kind=None, cached=True)
+            return record
+
+        inflight = self.inflight_by_hash.get(content_hash)
+        if inflight is not None and inflight.state not in JobState.TERMINAL:
+            self._count("service.jobs.coalesced")
+            return inflight
+
+        try:
+            self.limiter.check(spec.tenant)
+        except RateLimitError:
+            self._count("service.jobs.rate_limited")
+            raise
+        record = self._new_record(spec)
+        try:
+            self._enqueue(record)
+        except QueueFullError:
+            record.state = JobState.SHED
+            record.error = "queue full"
+            self._count("service.jobs.shed")
+            self._events[record.job_id].set()
+            raise
+        self._count("service.cache.misses")
+        self._count("service.jobs.submitted")
+        if self.journal is not None:
+            self.journal.append({
+                "kind": "submit", "id": record.job_id, "hash": record.hash,
+                "spec": spec.to_dict(), "t": time.time(),
+            })
+        return record
+
+    # ------------------------------------------------------------------
+    # completion plumbing
+    def _finish(
+        self,
+        record: JobRecord,
+        state: str,
+        *,
+        result: dict[str, Any] | None = None,
+        error: str | None = None,
+        journal_kind: str | None = None,
+        cached: bool = False,
+    ) -> None:
+        record.state = state
+        record.result = result
+        record.error = error
+        record.cached = cached
+        record.finished_at = time.monotonic()
+        self.inflight_by_hash.pop(record.hash, None)
+        if journal_kind is not None and self.journal is not None:
+            self.journal.append({
+                "kind": journal_kind, "id": record.job_id,
+                "hash": record.hash, "t": time.time(),
+                **({"error": error} if error else {}),
+            })
+        event = self._events.get(record.job_id)
+        if event is not None:
+            event.set()
+
+    async def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        """Await a job's terminal state (used by ``submit?wait=1``)."""
+        record = self.get_job(job_id)
+        if record.state in JobState.TERMINAL:
+            return record
+        event = self._events.get(job_id)
+        if event is None:
+            return record
+        await asyncio.wait_for(event.wait(), timeout=timeout)
+        return record
+
+    # ------------------------------------------------------------------
+    # the per-slot dispatch loop
+    def _deadline_remaining(self, record: JobRecord) -> float | None:
+        """Seconds left before this job's deadline (None = unbounded)."""
+        deadline_s = record.spec.deadline_s
+        if deadline_s is None:
+            return self.config.default_deadline_s
+        return deadline_s - (time.monotonic() - record.submitted_at)
+
+    async def _worker_loop(self, slot: int) -> None:
+        while True:
+            record = await self.queue.get()
+            self._note_queue()
+            if record.state not in (JobState.QUEUED,):
+                continue  # stale entry (e.g. quarantined while queued)
+            remaining = self._deadline_remaining(record)
+            if remaining is not None and remaining <= 0:
+                # Stale while queued: shed it rather than burn a worker.
+                self._count("service.jobs.shed")
+                self._count("service.jobs.deadline_expired")
+                self._finish(record, JobState.SHED,
+                             error="deadline expired while queued",
+                             journal_kind="shed")
+                continue
+            record.state = JobState.RUNNING
+            record.attempts += 1
+            self._running_jobs += 1
+            self._gauge("service.jobs.running", self._running_jobs)
+            try:
+                outcome = await asyncio.to_thread(
+                    self.pool.run, slot, record.spec.to_dict(), remaining
+                )
+            finally:
+                self._running_jobs -= 1
+                self._gauge("service.jobs.running", self._running_jobs)
+            self._resolve(record, outcome)
+
+    def _resolve(self, record: JobRecord, outcome) -> None:
+        if outcome.kind == "ok":
+            self.cache.put(record.hash, outcome.payload)
+            self._completed += 1
+            uptime = max(1e-6, time.monotonic() - self._started_at)
+            self.queue.service_rate_hint = self._completed / uptime
+            self._count("service.jobs.done")
+            self._finish(record, JobState.DONE, result=outcome.payload,
+                         journal_kind="done")
+        elif outcome.kind == "error":
+            # Deterministic library error: retrying would fail identically.
+            message = (
+                f"{outcome.payload.get('error')}: "
+                f"{outcome.payload.get('message')}"
+            )
+            self._count("service.jobs.failed")
+            self._finish(record, JobState.FAILED, error=message,
+                         journal_kind="failed")
+        elif outcome.kind == "timeout":
+            self._count("service.jobs.failed")
+            self._count("service.jobs.deadline_expired")
+            self._finish(record, JobState.FAILED,
+                         error="deadline exceeded (worker killed)",
+                         journal_kind="failed")
+        elif outcome.kind == "crashed":
+            record.crashes += 1
+            self._count("service.workers.crashed")
+            if record.crashes >= self.config.poison_threshold:
+                self._quarantine(record, outcome)
+            else:
+                self._count("service.retries")
+                record.state = JobState.RETRYING
+                delay = self._backoff(record)
+                task = asyncio.create_task(self._requeue_later(record, delay))
+                self._retry_tasks.add(task)
+                task.add_done_callback(self._retry_tasks.discard)
+        else:  # pragma: no cover - defensive
+            raise ServiceError(f"unknown outcome kind {outcome.kind!r}")
+
+    def _backoff(self, record: JobRecord) -> float:
+        base = min(
+            self.config.retry_max_s,
+            self.config.retry_base_s * (2 ** (record.crashes - 1)),
+        )
+        # Deterministic jitter: seeded by (hash, crash count) so reruns of
+        # the same failure sequence back off identically — reproducible
+        # chaos tests, yet distinct jobs still decorrelate.
+        rng = random.Random(f"{record.hash}:{record.crashes}")
+        return base * (1.0 + self.config.retry_jitter * rng.random())
+
+    async def _requeue_later(self, record: JobRecord, delay: float) -> None:
+        await asyncio.sleep(delay)
+        record.state = JobState.QUEUED
+        # Retries jump the line: they already waited once, and a full
+        # queue must not strand a half-done job in RETRYING forever.
+        while True:
+            try:
+                self._enqueue(record, front=True)
+                return
+            except QueueFullError:
+                await asyncio.sleep(0.05)
+
+    def _quarantine(self, record: JobRecord, outcome) -> None:
+        self._count("service.jobs.quarantined")
+        diagnostic = {
+            "spec": record.spec.to_dict(),
+            "hash": record.hash,
+            "job_id": record.job_id,
+            "crashes": record.crashes,
+            "attempts": record.attempts,
+            "last_exitcode": outcome.exitcode,
+            "quarantined_at": time.time(),
+        }
+        artifact = None
+        if self.quarantine_dir is not None:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            artifact = self.quarantine_dir / f"{record.hash}.json"
+            artifact.write_text(json.dumps(diagnostic, indent=2,
+                                           sort_keys=True))
+        self._finish(
+            record, JobState.QUARANTINED,
+            error=(
+                f"poison job: crashed {record.crashes} worker(s)"
+                + (f"; diagnostic at {artifact}" if artifact else "")
+            ),
+            journal_kind="quarantined",
+        )
+        self.quarantined[record.hash] = record
+
+    # ------------------------------------------------------------------
+    # queries
+    def get_job(self, job_id: str) -> JobRecord:
+        record = self.records.get(job_id)
+        if record is None:
+            raise JobNotFoundError(f"no job {job_id!r}")
+        return record
+
+    def get_result(self, content_hash: str) -> dict[str, Any]:
+        if content_hash in self.quarantined:
+            raise PoisonJobError(
+                f"result {content_hash} is quarantined (poison job)"
+            )
+        result = self.cache.get(content_hash)
+        if result is None:
+            raise JobNotFoundError(f"no cached result {content_hash!r}")
+        return result
+
+    def healthy(self) -> bool:
+        return self.started
+
+    def ready(self) -> bool:
+        return self.started and self.accepting
+
+    def stats(self) -> dict[str, Any]:
+        """Flat snapshot for ``GET /metrics`` (JSON form)."""
+        counters = {n: c.value for n, c in sorted(self.registry.counters.items())}
+        hits = counters.get("service.cache.hits", 0.0)
+        misses = counters.get("service.cache.misses", 0.0)
+        lookups = hits + misses
+        return {
+            "counters": counters,
+            "gauges": {
+                n: g.value for n, g in sorted(self.registry.gauges.items())
+            },
+            "queue_depth": self.queue.depth,
+            "queue_capacity": self.queue.capacity,
+            "running": self._running_jobs,
+            "workers": self.pool.pids(),
+            "worker_replacements": self.pool.replacements,
+            "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+            "uptime_s": time.monotonic() - self._started_at,
+            "accepting": self.accepting,
+        }

@@ -160,12 +160,13 @@ class TestBenchCLI:
     def test_bench_validate_clean_error_on_unreadable_file(self, tmp_path,
                                                            capsys):
         """Missing or malformed files follow the CLI's `error: ...`
-        contract instead of raising a traceback."""
-        assert main(["bench", "--validate", str(tmp_path / "nope.json")]) == 1
+        contract (exit 6, EXIT_BENCHMARK) instead of raising a
+        traceback."""
+        assert main(["bench", "--validate", str(tmp_path / "nope.json")]) == 6
         assert "error:" in capsys.readouterr().err
         garbled = tmp_path / "garbled.json"
         garbled.write_text("{not json")
-        assert main(["bench", "--validate", str(garbled)]) == 1
+        assert main(["bench", "--validate", str(garbled)]) == 6
         assert "error:" in capsys.readouterr().err
 
 

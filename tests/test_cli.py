@@ -180,8 +180,17 @@ class TestFaultsCommand:
 
     def test_bad_spec_reports_clean_error(self, capsys, monkeypatch):
         self._shrink(monkeypatch)
+        # fault-plan errors map to the documented exit code 5 (EXIT_FAULT)
         assert main(["faults", "--app", "nstream", "--scheduler", "las",
-                     "--quick", "--fail-core", "nope"]) == 1
+                     "--quick", "--fail-core", "nope"]) == 5
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "needs an '@'" in err
+        assert "Traceback" not in err
+
+    def test_debug_flag_reraises(self, monkeypatch):
+        self._shrink(monkeypatch)
+        from repro.errors import FaultError
+        with pytest.raises(FaultError):
+            main(["--debug", "faults", "--app", "nstream",
+                  "--scheduler", "las", "--quick", "--fail-core", "nope"])

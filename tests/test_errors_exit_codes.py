@@ -1,0 +1,83 @@
+"""CLI exit-code contract: every ReproError maps to a documented code."""
+
+import pytest
+
+from repro.errors import (
+    ApplicationError,
+    BenchmarkError,
+    DeadlineExceededError,
+    ExperimentError,
+    FaultError,
+    JobSpecError,
+    PartitionTimeoutError,
+    PoisonJobError,
+    QueueFullError,
+    RateLimitError,
+    ReproError,
+    SchedulerError,
+    ServiceError,
+    TopologyError,
+    VerificationError,
+    exit_code_for,
+)
+
+
+class TestExitCodeMapping:
+    @pytest.mark.parametrize("exc,code", [
+        (ApplicationError("x"), 2),
+        (TopologyError("x"), 2),
+        (SchedulerError("x"), 2),
+        (ExperimentError("x"), 2),
+        (PartitionTimeoutError("x"), 3),
+        (VerificationError("x"), 4),
+        (FaultError("x"), 5),
+        (BenchmarkError("x"), 6),
+        (ServiceError("x"), 7),
+        (JobSpecError("x"), 7),
+        (QueueFullError("x"), 7),
+        (RateLimitError("x"), 7),
+        (PoisonJobError("x"), 7),
+        (DeadlineExceededError("x"), 7),
+    ])
+    def test_documented_codes(self, exc, code):
+        assert exit_code_for(exc) == code
+
+    def test_base_repro_error_is_generic_failure(self):
+        assert exit_code_for(ReproError("x")) == 1
+
+    def test_non_repro_error_is_generic_failure(self):
+        assert exit_code_for(ValueError("x")) == 1
+
+    def test_most_derived_class_wins(self):
+        """PartitionTimeoutError subclasses FaultError: the specific
+        code (3), not the fault code (5), must win."""
+        assert issubclass(PartitionTimeoutError, FaultError)
+        assert exit_code_for(PartitionTimeoutError("x")) == 3
+
+    def test_config_code_matches_argparse(self):
+        # argparse exits with 2 on bad usage; config errors share that
+        # "the request was wrong" meaning deliberately
+        from repro.errors import EXIT_CONFIG
+
+        assert EXIT_CONFIG == 2
+
+
+class TestMainUsesExitCodes:
+    def test_service_error_from_submit_maps_to_7(self, capsys):
+        from repro.cli import main
+
+        # nothing listens on this port -> ServiceError -> exit 7
+        code = main(["submit", "--app", "nstream", "--scheduler", "las",
+                     "--port", "1", "--host", "127.0.0.1"])
+        assert code == 7
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_debug_reraises_service_error(self):
+        from repro.cli import main
+
+        with pytest.raises(ServiceError):
+            main(["--debug", "submit", "--app", "nstream",
+                  "--scheduler", "las", "--port", "1",
+                  "--host", "127.0.0.1"])

@@ -135,3 +135,73 @@ class TestParallelSweep:
         grid = ParameterGrid(app=["nstream"], policy=["las"])
         (row,) = run_sweep(tiny_config(), grid, workers=4)
         assert row.makespan_mean > 0
+
+
+class TestFailureIsolation:
+    def test_poisoned_point_keeps_other_rows(self, tmp_path):
+        """One failing point out of 8 must not discard the 7 finished
+        ones: they are drained and checkpointed before the error
+        re-raises, so a resumed sweep recomputes only the poison."""
+        from repro.experiments.sweep import load_checkpoint
+
+        path = tmp_path / "sweep.jsonl"
+        grid = ParameterGrid(
+            app=["nstream"],
+            policy=["las", "dfifo", "ep", "heft", "random", "rgp",
+                    "rgp+las", "no-such-policy"],
+        )
+        assert len(grid) == 8
+        with pytest.raises(Exception) as info:
+            run_sweep(tiny_config(), grid, checkpoint=path, workers=2)
+        assert "no-such-policy" in str(info.value)
+
+        done = load_checkpoint(path)
+        assert len(done) == 7
+        policies = {row.params["policy"] for row in done.values()}
+        assert "no-such-policy" not in policies
+
+        # resume with the poison removed: all 7 come from the checkpoint
+        good = ParameterGrid(
+            app=["nstream"],
+            policy=["las", "dfifo", "ep", "heft", "random", "rgp",
+                    "rgp+las"],
+        )
+        lines = []
+        rows = run_sweep(tiny_config(), good, checkpoint=path,
+                         workers=2, progress=lines.append)
+        assert len(rows) == 7
+        assert all("(checkpointed)" in line for line in lines)
+
+
+class TestCheckpointDurability:
+    def _one_row_checkpoint(self, path):
+        grid = ParameterGrid(app=["nstream"], policy=["las"])
+        run_sweep(tiny_config(), grid, checkpoint=path)
+        return path.read_text()
+
+    def test_torn_final_line_tolerated_and_truncated(self, tmp_path):
+        from repro.experiments.sweep import load_checkpoint
+
+        path = tmp_path / "sweep.jsonl"
+        clean = self._one_row_checkpoint(path)
+        with open(path, "a") as fh:
+            fh.write('{"params": {"app": "nstr')  # killed mid-append
+        done = load_checkpoint(path)
+        assert len(done) == 1  # the full row survived
+        assert path.read_text() == clean  # torn tail gone from disk
+
+        # a resumed sweep recomputes only the lost point, appending to
+        # a clean line instead of gluing records together
+        grid = ParameterGrid(app=["nstream"], policy=["las", "dfifo"])
+        rows = run_sweep(tiny_config(), grid, checkpoint=path)
+        assert len(rows) == 2
+        assert len(load_checkpoint(path)) == 2
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        from repro.experiments.sweep import load_checkpoint
+
+        path = tmp_path / "sweep.jsonl"
+        clean = self._one_row_checkpoint(path)
+        path.write_text('not json\n' + clean)
+        with pytest.raises(ExperimentError, match="corrupt at line 1"):
+            load_checkpoint(path)

@@ -1,0 +1,186 @@
+"""Service building blocks: journal, cache, rate limiter, queue."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import QueueFullError, RateLimitError, ServiceError
+from repro.service import (
+    AdmissionQueue,
+    Journal,
+    RateLimiter,
+    ResultCache,
+    TokenBucket,
+)
+
+
+class TestJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "submit", "id": "j-1"})
+        journal.append({"kind": "done", "id": "j-1"})
+        journal.close()
+        assert [r["kind"] for r in Journal(tmp_path / "j.jsonl").replay()] \
+            == ["submit", "done"]
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        assert Journal(tmp_path / "nope.jsonl").replay() == []
+
+    def test_torn_final_line_tolerated_and_truncated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"kind": "submit", "id": "j-1"})
+        journal.close()
+        with open(path, "a") as fh:
+            fh.write('{"kind": "done", "id": "j-')  # crash mid-append
+        records = Journal(path).replay()
+        assert [r["id"] for r in records] == ["j-1"]
+        # the torn tail is gone from disk: a fresh append starts clean
+        journal = Journal(path)
+        journal.append({"kind": "done", "id": "j-1"})
+        journal.close()
+        assert [r["kind"] for r in Journal(path).replay()] == ["submit", "done"]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "submit"}\ngarbage\n{"kind": "done"}\n')
+        with pytest.raises(ServiceError):
+            Journal(path).replay()
+
+    def test_replay_while_open_raises(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "submit"})
+        with pytest.raises(ServiceError):
+            journal.replay()
+        journal.close()
+
+
+class TestResultCache:
+    def test_memory_only(self):
+        cache = ResultCache()
+        assert cache.get("h") is None
+        cache.put("h", {"makespan": 1.0})
+        assert cache.get("h") == {"makespan": 1.0}
+
+    def test_disk_tier_survives_new_instance(self, tmp_path):
+        ResultCache(tmp_path).put("abc", {"makespan": 2.0})
+        again = ResultCache(tmp_path)
+        assert again.get("abc") == {"makespan": 2.0}
+        assert len(again) == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "bad.json").write_text("{torn")
+        assert cache.get("bad") is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("x", {"v": 1})
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate_per_s=2.0, burst=2.0,
+                             clock=lambda: clock[0])
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert not bucket.try_take()
+        assert bucket.time_until() == pytest.approx(0.5)
+        clock[0] = 0.5
+        assert bucket.try_take()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 1.0)
+
+
+class TestRateLimiter:
+    def test_disabled_by_default(self):
+        limiter = RateLimiter(0.0)
+        for _ in range(1000):
+            limiter.check("anyone")  # never raises
+
+    def test_per_tenant_isolation(self):
+        clock = [0.0]
+        limiter = RateLimiter(1.0, burst=1.0, clock=lambda: clock[0])
+        limiter.check("alice")
+        with pytest.raises(RateLimitError) as info:
+            limiter.check("alice")
+        assert info.value.retry_after_s > 0
+        limiter.check("bob")  # bob has his own bucket
+
+
+class TestAdmissionQueue:
+    def test_bounded_put_raises_with_retry_after(self):
+        queue = AdmissionQueue(2)
+        queue.put_nowait("a")
+        queue.put_nowait("b")
+        with pytest.raises(QueueFullError) as info:
+            queue.put_nowait("c")
+        assert info.value.retry_after_s > 0
+        assert queue.depth == 2
+
+    def test_retry_after_scales_with_service_rate(self):
+        queue = AdmissionQueue(10)
+        queue.service_rate_hint = 100.0
+        for i in range(10):
+            queue.put_nowait(i)
+        with pytest.raises(QueueFullError) as info:
+            queue.put_nowait("x")
+        assert info.value.retry_after_s == pytest.approx(0.1, abs=0.05)
+
+    def test_async_get_fifo_and_front(self):
+        async def scenario():
+            queue = AdmissionQueue(4)
+            queue.put_nowait("a")
+            queue.put_nowait("b")
+            queue.put_nowait("retry", front=True)
+            return [await queue.get() for _ in range(3)]
+
+        assert asyncio.run(scenario()) == ["retry", "a", "b"]
+
+    def test_get_waits_for_put(self):
+        async def scenario():
+            queue = AdmissionQueue(4)
+
+            async def producer():
+                await asyncio.sleep(0.02)
+                queue.put_nowait("late")
+
+            task = asyncio.ensure_future(producer())
+            item = await asyncio.wait_for(queue.get(), timeout=2.0)
+            await task
+            return item
+
+        assert asyncio.run(scenario()) == "late"
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+
+class TestPrometheusRender:
+    def test_counters_gauges_histograms(self):
+        from repro.observability import MetricsRegistry, render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("service.jobs.done").inc(3)
+        registry.gauge("service.queue.depth").set(1.0, 7)
+        hist = registry.histogram("latency", bounds=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        text = render_prometheus(registry)
+        assert "# TYPE service_jobs_done counter" in text
+        assert "service_jobs_done 3" in text
+        assert "service_queue_depth 7" in text
+        assert 'latency_bucket{le="0.1"} 1' in text
+        assert 'latency_bucket{le="+Inf"} 2' in text
+        assert "latency_count 2" in text
+
+    def test_empty_registry(self):
+        from repro.observability import MetricsRegistry, render_prometheus
+
+        assert render_prometheus(MetricsRegistry()) == ""

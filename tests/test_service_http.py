@@ -1,0 +1,186 @@
+"""HTTP layer: routes, status-code contract, backpressure headers.
+
+Runs an in-process :class:`HttpServer` on an ephemeral port and talks to
+it with the async client — no subprocesses, so these stay fast.
+"""
+
+import asyncio
+
+from repro.service import HttpServer, ServiceConfig, SimulationService
+from repro.service.client import arequest_json
+
+TINY = {"n_blocks": 6, "block_elems": 1024, "iterations": 2}
+
+
+def tiny_spec(seed=0, **overrides):
+    spec = {"app": "nstream", "policy": "las", "seed": seed,
+            "app_params": dict(TINY)}
+    spec.update(overrides)
+    return spec
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=120))
+
+
+async def with_server(scenario, **config_overrides):
+    defaults = dict(workers=1, queue_capacity=8,
+                    retry_base_s=0.02, retry_max_s=0.2)
+    defaults.update(config_overrides)
+    service = SimulationService(ServiceConfig(**defaults))
+    server = HttpServer(service, port=0)
+    await server.start()
+    try:
+
+        async def call(method, path, body=None):
+            return await arequest_json(
+                "127.0.0.1", server.port, method, path, body
+            )
+
+        return await scenario(call, service)
+    finally:
+        await server.stop()
+        await service.stop()
+
+
+class TestHealthAndMetrics:
+    def test_healthz_readyz_metrics(self):
+        async def scenario(call, service):
+            health = await call("GET", "/healthz")
+            assert health.status == 200 and health.body["healthy"]
+            ready = await call("GET", "/readyz")
+            assert ready.status == 200 and ready.body["accepting"]
+            metrics = await call("GET", "/metrics")
+            assert metrics.status == 200
+            assert "counters" in metrics.body
+            assert metrics.body["queue_capacity"] == 8
+            prom = await call("GET", "/metrics?format=prometheus")
+            assert prom.status == 200
+            assert isinstance(prom.body["prometheus"], str)
+            workers = await call("GET", "/v1/workers")
+            assert workers.status == 200
+            assert len(workers.body["pids"]) == 1
+            return True
+
+        assert run(with_server(scenario))
+
+    def test_readyz_503_while_draining(self):
+        async def scenario(call, service):
+            drain = asyncio.ensure_future(service.drain())
+            await asyncio.sleep(0.01)
+            ready = await call("GET", "/readyz")
+            assert ready.status == 503
+            submit = await call("POST", "/v1/jobs", tiny_spec())
+            assert submit.status == 503
+            await drain
+            return True
+
+        assert run(with_server(scenario))
+
+
+class TestJobs:
+    def test_submit_wait_status_result(self):
+        async def scenario(call, service):
+            accepted = await call("POST", "/v1/jobs", tiny_spec(seed=30))
+            assert accepted.status == 202
+            assert accepted.body["state"] in ("QUEUED", "RUNNING")
+            job_id = accepted.body["job_id"]
+
+            done = await call(
+                "POST", f"/v1/jobs?wait=1&timeout=60", tiny_spec(seed=30)
+            )
+            assert done.status == 200
+            assert done.body["state"] == "DONE"
+            assert done.body["result"]["makespan"] > 0
+
+            status = await call("GET", f"/v1/jobs/{job_id}")
+            assert status.status == 200
+            assert status.body["state"] == "DONE"
+
+            result = await call(
+                "GET", f"/v1/results/{done.body['hash']}"
+            )
+            assert result.status == 200
+            assert result.body["result"] == done.body["result"]
+            return True
+
+        assert run(with_server(scenario))
+
+    def test_wait_timeout_answers_202_with_job_id(self):
+        async def scenario(call, service):
+            response = await call(
+                "POST", "/v1/jobs?wait=1&timeout=0.05",
+                tiny_spec(seed=31, chaos={"sleep_s": 0.5}),
+            )
+            assert response.status == 202  # not terminal yet, not an error
+            assert response.body["job_id"]
+            assert response.body["state"] in ("QUEUED", "RUNNING")
+            return True
+
+        assert run(with_server(scenario))
+
+
+class TestErrorContract:
+    def test_bad_spec_400(self):
+        async def scenario(call, service):
+            bad = await call("POST", "/v1/jobs", {"app": "nope",
+                                                  "policy": "las"})
+            assert bad.status == 400
+            assert "nope" in bad.body["error"]
+            unknown_field = await call(
+                "POST", "/v1/jobs", dict(tiny_spec(), frobnicate=1)
+            )
+            assert unknown_field.status == 400
+            return True
+
+        assert run(with_server(scenario))
+
+    def test_unknown_job_and_result_404(self):
+        async def scenario(call, service):
+            assert (await call("GET", "/v1/jobs/j-999")).status == 404
+            assert (await call("GET", "/v1/results/feedbeef")).status == 404
+            assert (await call("GET", "/v1/frobnicate")).status == 404
+            return True
+
+        assert run(with_server(scenario))
+
+    def test_queue_full_429_with_retry_after(self):
+        async def scenario(call, service):
+            # one slow job runs, one sits in the single queue slot
+            await call("POST", "/v1/jobs",
+                       tiny_spec(seed=32, chaos={"sleep_s": 0.5}))
+            await asyncio.sleep(0.1)  # let the worker take it
+            await call("POST", "/v1/jobs", tiny_spec(seed=33))
+            shed = await call("POST", "/v1/jobs", tiny_spec(seed=34))
+            assert shed.status == 429
+            assert shed.retry_after_s is not None
+            assert shed.retry_after_s > 0
+            assert shed.body["retry_after_s"] > 0
+            return True
+
+        assert run(with_server(scenario, queue_capacity=1))
+
+    def test_rate_limited_429(self):
+        async def scenario(call, service):
+            first = await call("POST", "/v1/jobs", tiny_spec(seed=35))
+            assert first.status == 202
+            second = await call("POST", "/v1/jobs", tiny_spec(seed=36))
+            assert second.status == 429
+            assert second.retry_after_s is not None
+            return True
+
+        assert run(with_server(scenario, rate_per_s=0.001, burst=1.0))
+
+    def test_quarantined_result_409(self):
+        async def scenario(call, service):
+            done = await call(
+                "POST", "/v1/jobs?wait=1&timeout=60",
+                tiny_spec(seed=37, chaos={"kill_worker": True}),
+            )
+            assert done.status == 200
+            assert done.body["state"] == "QUARANTINED"
+            result = await call("GET", f"/v1/results/{done.body['hash']}")
+            assert result.status == 409
+            return True
+
+        assert run(with_server(scenario, poison_threshold=1))

@@ -1,0 +1,93 @@
+"""Job spec model: validation, canonical hashing, normalisation."""
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.service import JobSpec, JobState
+
+TINY = {"n_blocks": 6, "block_elems": 1024, "iterations": 2}
+
+
+def spec(**overrides):
+    base = dict(app="nstream", policy="las", seed=1, app_params=dict(TINY))
+    base.update(overrides)
+    return JobSpec.from_dict(base)
+
+
+class TestValidation:
+    def test_valid_spec_passes(self):
+        assert spec().validated().app == "nstream"
+
+    @pytest.mark.parametrize("field,value", [
+        ("app", "nope"),
+        ("policy", "nope"),
+        ("machine", "nope"),
+        ("seed", "zero"),
+        ("seed", True),
+        ("deadline_s", -1.0),
+        ("chaos", {"explode": True}),
+        ("faults", {"core_faults": "garbage"}),
+    ])
+    def test_bad_fields_rejected(self, field, value):
+        with pytest.raises(JobSpecError):
+            spec(**{field: value}).validated()
+
+    def test_unknown_top_level_field_rejected(self):
+        with pytest.raises(JobSpecError):
+            JobSpec.from_dict({"app": "nstream", "policy": "las",
+                               "frobnicate": 1})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(JobSpecError):
+            JobSpec.from_dict({"app": "nstream"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(JobSpecError):
+            JobSpec.from_dict(["app"])
+
+    def test_empty_app_params_filled_with_defaults(self):
+        normalized = spec(app_params={}).validated()
+        assert normalized.app_params  # quick defaults filled in
+        # and the fill happens before hashing: explicit-default == empty
+        explicit = JobSpec.from_dict({
+            "app": "nstream", "policy": "las", "seed": 1,
+            "app_params": dict(normalized.app_params),
+        }).validated()
+        assert explicit.content_hash() == normalized.content_hash()
+
+
+class TestContentHash:
+    def test_deterministic(self):
+        assert spec().content_hash() == spec().content_hash()
+
+    def test_sensitive_to_result_fields(self):
+        base = spec().validated().content_hash()
+        assert spec(seed=2).validated().content_hash() != base
+        assert spec(policy="dfifo").validated().content_hash() != base
+        assert spec(machine="four-socket").validated().content_hash() != base
+        assert (
+            spec(app_params=dict(TINY, iterations=3)).validated().content_hash()
+            != base
+        )
+
+    def test_tenant_and_deadline_not_hashed(self):
+        base = spec().validated().content_hash()
+        assert spec(tenant="alice").validated().content_hash() == base
+        assert spec(deadline_s=5.0).validated().content_hash() == base
+
+    def test_key_order_irrelevant(self):
+        a = JobSpec.from_dict({"app": "nstream", "policy": "las",
+                               "seed": 1, "app_params": dict(TINY)})
+        b = JobSpec.from_dict({"app_params": dict(TINY), "seed": 1,
+                               "policy": "las", "app": "nstream"})
+        assert a.content_hash() == b.content_hash()
+
+
+class TestStateMachine:
+    def test_terminal_states(self):
+        assert JobState.DONE in JobState.TERMINAL
+        assert JobState.FAILED in JobState.TERMINAL
+        assert JobState.QUARANTINED in JobState.TERMINAL
+        assert JobState.SHED in JobState.TERMINAL
+        for live in (JobState.QUEUED, JobState.RUNNING, JobState.RETRYING):
+            assert live not in JobState.TERMINAL
