@@ -22,15 +22,30 @@ import os
 from pathlib import Path
 from typing import Any
 
+from .diskio import WriteBehind
+
 
 class ResultCache:
-    """Two-tier content-addressed store: hash -> result dict."""
+    """Two-tier content-addressed store: hash -> result dict.
 
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
+    ``write_behind=True`` moves the disk tier's fsync+rename onto a
+    :class:`~repro.service.diskio.WriteBehind` thread (the memory tier is
+    always updated synchronously, so a put is immediately readable);
+    :meth:`close` is the durability barrier.  The default stays
+    synchronous: a bare ``put`` then a fresh ``ResultCache`` on the same
+    directory must observe the entry.
+    """
+
+    def __init__(
+        self, cache_dir: str | Path | None = None, *,
+        write_behind: bool = False,
+    ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self._memory: dict[str, dict[str, Any]] = {}
+        self._write_behind = write_behind
+        self._writer: WriteBehind | None = None
 
     def __len__(self) -> int:
         n = len(self._memory)
@@ -57,10 +72,31 @@ class ResultCache:
         self._memory[content_hash] = result
         if self.cache_dir is None:
             return
+        # Serialize on the caller's thread so a later mutation of the
+        # result dict cannot race the deferred disk write.
+        payload = json.dumps(result, sort_keys=True)
+        if self._write_behind:
+            if self._writer is None:
+                self._writer = WriteBehind(f"cache:{self.cache_dir.name}")
+            self._writer.submit(lambda: self._write_entry(content_hash, payload))
+        else:
+            self._write_entry(content_hash, payload)
+
+    def _write_entry(self, content_hash: str, payload: str) -> None:
         path = self.cache_dir / f"{content_hash}.json"
         tmp = path.with_suffix(".json.tmp")
         with open(tmp, "w") as fh:
-            json.dump(result, fh, sort_keys=True)
+            fh.write(payload)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)  # atomic: readers see old-or-new, never torn
+
+    def flush(self) -> None:
+        """Durability barrier: all prior puts are on disk on return."""
+        if self._writer is not None:
+            self._writer.flush()
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None

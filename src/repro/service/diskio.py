@@ -1,0 +1,89 @@
+"""Write-behind disk I/O: keep fsync latency off the asyncio event loop.
+
+The journal and the result cache both end every write with an
+``fsync`` — that is what makes them crash-safe, and it is also a
+millisecond-scale blocking syscall.  Called directly from ``submit()``
+or the dispatch loop it would stall *every* in-flight request for the
+duration of each sync.
+
+:class:`WriteBehind` is the shared escape hatch: a single daemon thread
+per writer executes queued thunks strictly in submission order, so the
+on-disk file sees exactly the sequence of writes the caller issued —
+just slightly later.  ``flush()`` blocks until the queue is empty (a
+durability barrier), ``close()`` flushes and stops the thread, and an
+I/O error raised by any thunk is re-raised to the caller on its next
+``submit``/``flush``/``close`` instead of vanishing into the thread.
+
+The deliberate trade-off: between ``submit`` and the matching fsync
+there is a small window in which a hard kill (SIGKILL, power loss) can
+lose that one record.  Graceful paths are unaffected — the service's
+drain/stop close the writers, so anything written before shutdown is
+durable — and losing a ``submit`` journal line merely forgets a job that
+never ran; deterministic re-submission rebuilds it bit-identically.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable
+
+
+class WriteBehind:
+    """Single background thread running queued thunks in FIFO order."""
+
+    def __init__(self, name: str = "write-behind") -> None:
+        self.name = name
+        self._queue: queue.Queue[Callable[[], None] | None] = queue.Queue()
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            thunk = self._queue.get()
+            try:
+                if thunk is None:
+                    return
+                try:
+                    thunk()
+                except BaseException as exc:  # surfaced on the next call
+                    self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    # ------------------------------------------------------------------
+    def submit(self, thunk: Callable[[], None]) -> None:
+        """Queue ``thunk`` for ordered execution on the writer thread."""
+        self._raise_pending()
+        if self._closed:
+            raise RuntimeError(f"writer {self.name!r} is closed")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name=self.name, daemon=True
+            )
+            self._thread.start()
+        self._queue.put(thunk)
+
+    def flush(self) -> None:
+        """Block until every queued write has executed (durability barrier)."""
+        self._queue.join()
+        self._raise_pending()
+
+    def close(self) -> None:
+        """Flush, stop the thread, and surface any pending write error."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._queue.put(None)
+            self._thread.join()
+            self._thread = None
+        self._queue.join()
+        self._raise_pending()

@@ -73,6 +73,20 @@ class _HttpError(Exception):
         self.headers = headers or {}
 
 
+def _timeout_param(params: dict[str, str]) -> float | None:
+    """``?timeout=S`` as a non-negative float, or 400 — never a 500."""
+    raw = params.get("timeout")
+    if raw is None:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise _HttpError(400, f"invalid timeout: {raw!r}") from None
+    if timeout != timeout or timeout < 0:  # NaN or negative
+        raise _HttpError(400, f"invalid timeout: {raw!r}")
+    return timeout
+
+
 def _parse_query(target: str) -> tuple[str, dict[str, str]]:
     path, _, query = target.partition("?")
     params: dict[str, str] = {}
@@ -173,7 +187,15 @@ class HttpServer:
                 break
             name, _, value = line.decode().partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", 0) or 0)
+        raw_length = headers.get("content-length", "").strip()
+        try:
+            length = int(raw_length) if raw_length else 0
+        except ValueError:
+            length = -1
+        if length < 0:  # non-integer or negative: the client's fault, 400
+            return 400, {}, {
+                "error": f"invalid Content-Length: {raw_length!r}"
+            }
         if length > MAX_BODY_BYTES:
             return 413, {}, {"error": f"body over {MAX_BODY_BYTES} bytes"}
         raw = await reader.readexactly(length) if length else b""
@@ -229,9 +251,9 @@ class HttpServer:
                 spec = json.loads(raw.decode() or "{}")
             except json.JSONDecodeError as exc:
                 raise _HttpError(400, f"body is not JSON: {exc}") from None
+            timeout = _timeout_param(params)  # reject bad input pre-admission
             record = svc.submit(spec)
             if params.get("wait") in ("1", "true", "yes"):
-                timeout = float(params["timeout"]) if "timeout" in params else None
                 try:
                     record = await svc.wait(record.job_id, timeout=timeout)
                 except asyncio.TimeoutError:

@@ -12,6 +12,12 @@ fsynced as a whole line, at most the *final* line of the file can be
 partial after a crash.  Replay tolerates that torn tail and truncates it
 so the next append starts on a clean line; a malformed line anywhere
 earlier is real corruption and raises.
+
+With ``write_behind=True`` the write+flush+fsync of each line moves to a
+:class:`~repro.service.diskio.WriteBehind` thread so callers (the asyncio
+service) never block on disk; line order and the at-most-one-torn-line
+invariant are preserved, and :meth:`close`/:meth:`flush` are durability
+barriers.
 """
 
 from __future__ import annotations
@@ -22,36 +28,57 @@ from pathlib import Path
 from typing import Any
 
 from ..errors import ServiceError
+from .diskio import WriteBehind
 
 
 class Journal:
     """Append-only JSONL event log with tolerate-and-truncate replay."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, write_behind: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = None
+        self._write_behind = write_behind
+        self._writer: WriteBehind | None = None
+        self._writing = False
 
     # -- writing ---------------------------------------------------------
     def append(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"),
+                          default=str) + "\n"
+        self._writing = True
+        if self._write_behind:
+            if self._writer is None:
+                self._writer = WriteBehind(f"journal:{self.path.name}")
+            self._writer.submit(lambda: self._write_line(line))
+        else:
+            self._write_line(line)
+
+    def _write_line(self, line: str) -> None:
         if self._fh is None:
             self._fh = open(self.path, "a")
-        self._fh.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":"),
-                       default=str) + "\n"
-        )
+        self._fh.write(line)
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
+    def flush(self) -> None:
+        """Durability barrier: all prior appends are on disk on return."""
+        if self._writer is not None:
+            self._writer.flush()
+
     def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        self._writing = False
 
     # -- replay ----------------------------------------------------------
     def replay(self) -> list[dict[str, Any]]:
         """All intact records, oldest first; truncates a torn final line."""
-        if self._fh is not None:
+        if self._writing or self._fh is not None:
             raise ServiceError("cannot replay a journal that is open for writing")
         if not self.path.exists():
             return []

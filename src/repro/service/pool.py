@@ -115,9 +115,18 @@ class WorkerPool:
         if n_workers < 1:
             raise ServiceError(f"need >= 1 worker, got {n_workers}")
         self.n_workers = n_workers
-        # fork keeps worker start cheap (no re-import of numpy/scipy);
-        # workers only run simulation code, never threads of their own.
-        self._ctx = mp.get_context("fork")
+        # Never plain fork: workers are (re)started from asyncio.to_thread
+        # worker threads, and forking a multi-threaded process can leave
+        # the child holding locks (import/logging/malloc) whose owners
+        # don't exist on its side — a deadlock on the child's first
+        # import.  forkserver forks from a dedicated single-threaded
+        # helper instead (preloaded with the simulation modules so worker
+        # start stays cheap); spawn is the portable fallback.
+        try:
+            self._ctx = mp.get_context("forkserver")
+            self._ctx.set_forkserver_preload(["repro.service.jobs"])
+        except ValueError:  # platform without forkserver
+            self._ctx = mp.get_context("spawn")
         self._workers: list[_Worker | None] = [None] * n_workers
         self._started = False
         #: Workers replaced after a crash/timeout (observability).

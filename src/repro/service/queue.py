@@ -137,8 +137,17 @@ class AdmissionQueue:
         # Time to drain half the queue: a conservative re-admission point.
         return max(0.1, (self.capacity / 2) / rate)
 
-    def put_nowait(self, item: Any, *, front: bool = False) -> None:
-        if len(self._items) >= self.capacity:
+    def put_nowait(
+        self, item: Any, *, front: bool = False, force: bool = False
+    ) -> None:
+        """Enqueue ``item`` or raise :class:`QueueFullError` at capacity.
+
+        ``force=True`` bypasses the capacity check: it is reserved for
+        work that was *already admitted once* (journal replay after a
+        crash, retry re-dispatch) and therefore must never be shed —
+        capacity bounds new admissions, not recovery.
+        """
+        if not force and len(self._items) >= self.capacity:
             raise QueueFullError(
                 f"admission queue full ({self.capacity} jobs)",
                 retry_after_s=self._retry_after(),

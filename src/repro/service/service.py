@@ -31,6 +31,7 @@ import asyncio
 import json
 import random
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -68,6 +69,9 @@ class ServiceConfig:
     #: Applied when a job has no deadline of its own (None = unlimited).
     default_deadline_s: float | None = None
     drain_grace_s: float = 10.0
+    #: Terminal job records kept for ``GET /v1/jobs/<id>`` before the
+    #: oldest are evicted (results stay servable from the cache forever).
+    max_records: int = 4096
     #: Persistence root (cache/, journal.jsonl, quarantine/); None = RAM only.
     data_dir: str | Path | None = None
 
@@ -77,6 +81,10 @@ class ServiceConfig:
         if self.poison_threshold < 1:
             raise ServiceError(
                 f"poison_threshold must be >= 1, got {self.poison_threshold}"
+            )
+        if self.max_records < 1:
+            raise ServiceError(
+                f"max_records must be >= 1, got {self.max_records}"
             )
 
 
@@ -94,11 +102,15 @@ class SimulationService:
             Path(self.config.data_dir)
             if self.config.data_dir is not None else None
         )
+        # write_behind: disk syncs happen on a writer thread, never on the
+        # asyncio event loop that is serving requests.
         self.cache = ResultCache(
-            data_dir / "cache" if data_dir is not None else None
+            data_dir / "cache" if data_dir is not None else None,
+            write_behind=True,
         )
         self.journal = (
-            Journal(data_dir / "journal.jsonl") if data_dir is not None else None
+            Journal(data_dir / "journal.jsonl", write_behind=True)
+            if data_dir is not None else None
         )
         self.quarantine_dir = (
             data_dir / "quarantine" if data_dir is not None else None
@@ -112,6 +124,8 @@ class SimulationService:
         #: hash -> quarantined record (poison jobs, never re-run).
         self.quarantined: dict[str, JobRecord] = {}
         self._events: dict[str, asyncio.Event] = {}
+        #: Terminal job ids, oldest first, for bounded record retention.
+        self._terminal_order: deque[str] = deque()
         self._job_counter = 0
         self._loops: list[asyncio.Task] = []
         self._retry_tasks: set[asyncio.Task] = set()
@@ -179,8 +193,11 @@ class SimulationService:
         self._loops.clear()
         self._retry_tasks.clear()
         await asyncio.to_thread(self.pool.stop)
+        # Closing drains the write-behind threads: everything journaled
+        # or cached before stop() is durable once stop() returns.
         if self.journal is not None:
-            self.journal.close()
+            await asyncio.to_thread(self.journal.close)
+        await asyncio.to_thread(self.cache.close)
 
     # ------------------------------------------------------------------
     # journal recovery
@@ -223,7 +240,9 @@ class SimulationService:
                              journal_kind="done", cached=True)
                 continue
             self._count("service.jobs.resumed")
-            self._enqueue(record)
+            # force: recovered jobs were admitted by a previous life; a
+            # full queue must never turn restart into a crash-loop.
+            self._enqueue(record, force=True)
         self._job_counter = max(self._job_counter, max_seq)
 
     # ------------------------------------------------------------------
@@ -240,8 +259,10 @@ class SimulationService:
         self._events[job_id] = asyncio.Event()
         return record
 
-    def _enqueue(self, record: JobRecord, *, front: bool = False) -> None:
-        self.queue.put_nowait(record, front=front)
+    def _enqueue(
+        self, record: JobRecord, *, front: bool = False, force: bool = False
+    ) -> None:
+        self.queue.put_nowait(record, front=front, force=force)
         self.inflight_by_hash[record.hash] = record
         self._note_queue()
 
@@ -327,9 +348,28 @@ class SimulationService:
                 "hash": record.hash, "t": time.time(),
                 **({"error": error} if error else {}),
             })
-        event = self._events.get(record.job_id)
+        # The event is one-shot: waiters hold their own reference, and
+        # wait() short-circuits on terminal records, so drop it now
+        # rather than accumulating one per job forever.
+        event = self._events.pop(record.job_id, None)
         if event is not None:
             event.set()
+        self._retain(record)
+
+    def _retain(self, record: JobRecord) -> None:
+        """Bound ``self.records``: evict the oldest terminal records.
+
+        Quarantined records are exempt — the poison check consults them
+        by hash for the lifetime of the server.  Evicted DONE results
+        remain servable from the content-addressed cache.
+        """
+        self._terminal_order.append(record.job_id)
+        while len(self._terminal_order) > self.config.max_records:
+            old_id = self._terminal_order.popleft()
+            old = self.records.get(old_id)
+            if old is not None and old.state == JobState.QUARANTINED:
+                continue
+            self.records.pop(old_id, None)
 
     async def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
         """Await a job's terminal state (used by ``submit?wait=1``)."""
@@ -432,14 +472,10 @@ class SimulationService:
     async def _requeue_later(self, record: JobRecord, delay: float) -> None:
         await asyncio.sleep(delay)
         record.state = JobState.QUEUED
-        # Retries jump the line: they already waited once, and a full
-        # queue must not strand a half-done job in RETRYING forever.
-        while True:
-            try:
-                self._enqueue(record, front=True)
-                return
-            except QueueFullError:
-                await asyncio.sleep(0.05)
+        # Retries jump the line and bypass the capacity check: they were
+        # already admitted once, and a full queue must not strand a
+        # half-done job in RETRYING forever.
+        self._enqueue(record, front=True, force=True)
 
     def _quarantine(self, record: JobRecord, outcome) -> None:
         self._count("service.jobs.quarantined")

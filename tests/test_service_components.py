@@ -55,6 +55,19 @@ class TestJournal:
             journal.replay()
         journal.close()
 
+    def test_write_behind_same_contents_after_close(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path, write_behind=True)
+        for i in range(20):
+            journal.append({"kind": "submit", "id": f"j-{i}"})
+        with pytest.raises(ServiceError):
+            journal.replay()  # still open for writing
+        journal.flush()  # durability barrier: everything is on disk now
+        assert len(path.read_text().splitlines()) == 20
+        journal.close()
+        records = Journal(path).replay()
+        assert [r["id"] for r in records] == [f"j-{i}" for i in range(20)]
+
 
 class TestResultCache:
     def test_memory_only(self):
@@ -78,6 +91,13 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         cache.put("x", {"v": 1})
         assert not list(tmp_path.glob("*.tmp"))
+
+    def test_write_behind_durable_after_close(self, tmp_path):
+        cache = ResultCache(tmp_path, write_behind=True)
+        cache.put("wb", {"makespan": 3.0})
+        assert cache.get("wb") == {"makespan": 3.0}  # memory tier immediate
+        cache.close()  # durability barrier
+        assert ResultCache(tmp_path).get("wb") == {"makespan": 3.0}
 
 
 class TestTokenBucket:

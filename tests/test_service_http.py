@@ -37,6 +37,7 @@ async def with_server(scenario, **config_overrides):
                 "127.0.0.1", server.port, method, path, body
             )
 
+        call.port = server.port  # for tests that need a raw socket
         return await scenario(call, service)
     finally:
         await server.stop()
@@ -170,6 +171,39 @@ class TestErrorContract:
             return True
 
         assert run(with_server(scenario, rate_per_s=0.001, burst=1.0))
+
+    def test_malformed_client_input_is_400_not_500(self):
+        """Garbage Content-Length / ?timeout= is the client's fault."""
+
+        async def raw(port, request_bytes):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(request_bytes)
+            await writer.drain()
+            status_line = await reader.readline()
+            writer.close()
+            return int(status_line.split()[1])
+
+        async def scenario(call, service):
+            for bad_length in ("abc", "-5", "1e3"):
+                status = await raw(call.port, (
+                    "POST /v1/jobs HTTP/1.1\r\n"
+                    f"Content-Length: {bad_length}\r\n\r\n"
+                ).encode())
+                assert status == 400, bad_length
+            for bad_timeout in ("abc", "-1", "nan", ""):
+                resp = await call(
+                    "POST", f"/v1/jobs?wait=1&timeout={bad_timeout}",
+                    tiny_spec(seed=38),
+                )
+                assert resp.status == 400, bad_timeout
+                assert "timeout" in resp.body["error"]
+            # valid input still works after the rejects
+            ok = await call("POST", "/v1/jobs?wait=1&timeout=60",
+                            tiny_spec(seed=38))
+            assert ok.status == 200
+            return True
+
+        assert run(with_server(scenario))
 
     def test_quarantined_result_409(self):
         async def scenario(call, service):

@@ -304,6 +304,62 @@ class TestQuarantine:
         assert run(scenario())
 
 
+class TestBoundedRetention:
+    def test_terminal_records_and_events_are_evicted(self):
+        async def scenario():
+            service = await make_service(workers=1, max_records=3)
+            try:
+                for seed in range(40, 46):
+                    record = service.submit(tiny_spec(seed=seed))
+                    record = await service.wait(record.job_id)
+                    assert record.state == JobState.DONE
+                # one-shot events are dropped at completion, terminal
+                # records beyond max_records are evicted oldest-first
+                assert not service._events
+                assert len(service.records) <= 3
+                assert "j-6" in service.records  # newest survives
+                return True
+            finally:
+                await service.stop()
+
+        assert run(scenario())
+
+    def test_quarantined_records_survive_eviction(self, tmp_path):
+        async def scenario():
+            service = await make_service(
+                workers=1, data_dir=tmp_path,
+                poison_threshold=1, max_records=1,
+            )
+            try:
+                poison = tiny_spec(seed=50, chaos={"kill_worker": True})
+                record = service.submit(poison)
+                record = await service.wait(record.job_id)
+                assert record.state == JobState.QUARANTINED
+                for seed in range(51, 54):
+                    ok = service.submit(tiny_spec(seed=seed))
+                    await service.wait(ok.job_id)
+                # eviction churned past max_records, but the poison
+                # record is exempt: resubmission still short-circuits
+                again = service.submit(poison)
+                assert again.state == JobState.QUARANTINED
+                assert again.job_id == record.job_id
+                return True
+            finally:
+                await service.stop()
+
+        assert run(scenario())
+
+
+class TestWorkerStartMethod:
+    def test_pool_never_uses_plain_fork(self):
+        # pool workers are (re)started from asyncio.to_thread threads;
+        # plain fork of a multi-threaded process can deadlock the child
+        from repro.service.pool import WorkerPool
+
+        pool = WorkerPool(1)
+        assert pool._ctx.get_start_method() in ("forkserver", "spawn")
+
+
 class TestDrainAndResume:
     def test_drain_rejects_new_finishes_running(self, tmp_path):
         async def scenario():
@@ -323,6 +379,43 @@ class TestDrainAndResume:
             await drain
             assert record.state == JobState.DONE  # running job finished
             return True
+
+        assert run(scenario())
+
+    def test_recovery_with_more_jobs_than_queue_capacity(self, tmp_path):
+        """An unclean crash can journal more unfinished submits than
+        queue_capacity (queued + running + retrying).  Recovery must
+        bypass the capacity check — not raise QueueFullError on every
+        start() in a permanent crash-loop."""
+        from repro.service.jobs import JobSpec
+        from repro.service.journal import Journal
+
+        async def scenario():
+            journal = Journal(tmp_path / "journal.jsonl")
+            n_jobs = 5
+            for i in range(1, n_jobs + 1):
+                spec = JobSpec.from_dict(tiny_spec(seed=60 + i)).validated()
+                journal.append({
+                    "kind": "submit", "id": f"j-{i}",
+                    "hash": spec.content_hash(), "spec": spec.to_dict(),
+                    "t": 0.0,
+                })
+            journal.close()
+
+            service = SimulationService(ServiceConfig(
+                workers=1, queue_capacity=2, data_dir=tmp_path,
+            ))
+            await service.start()  # must not raise despite 5 > capacity 2
+            try:
+                assert service.queue.depth == n_jobs
+                for i in range(1, n_jobs + 1):
+                    record = await service.wait(f"j-{i}")
+                    assert record.state == JobState.DONE
+                counters = service.stats()["counters"]
+                assert counters["service.jobs.resumed"] == n_jobs
+                return True
+            finally:
+                await service.stop()
 
         assert run(scenario())
 
