@@ -18,7 +18,14 @@ Commands
 ``ablation``  — run one of the ablation sweeps (window / partitioner /
                 sockets / las / propagation / pipeline).
 ``bench``     — host-performance benchmark of the scheduling hot path
-                (placement-cache on/off); emits ``BENCH_hotpath.json``.
+                (placement-cache on/off); emits ``BENCH_hotpath.json``,
+                appends to the ``BENCH_history.jsonl`` perf history, and
+                with ``--compare BASELINE.json`` gates on noise-aware
+                regressions (exit code 6).
+``profile``   — critical-path profile of one instrumented run: where the
+                makespan went (compute / local / remote memory / waits),
+                Coz-style what-ifs; ``profile diff`` attributes the
+                makespan delta between two schedulers.
 ``verify``    — differential-oracle verification (DESIGN.md §11):
                 ``fuzz`` random cases against the reference simulator,
                 ``replay`` serialized divergence/corpus files, or ``diff``
@@ -44,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .apps import APPS, make_app
 from .errors import ReproError, exit_code_for
@@ -165,23 +173,26 @@ def _scheduler_kwargs(cfg, args) -> dict:
     return kwargs
 
 
-def _build_sim(cfg, topo, args, faults=None, **sim_kwargs):
-    params = dict(cfg.app_params.get(args.app, {}))
-    app = make_app(args.app, **params)
-    program = app.build(topo.n_sockets)
-    kwargs = _scheduler_kwargs(cfg, args)
+def _interconnect(cfg, topo):
     from .machine.interconnect import Interconnect
 
-    interconnect = Interconnect(
+    return Interconnect(
         topo,
         remote_penalty_exp=cfg.remote_penalty_exp,
         link_fraction=cfg.link_fraction,
         core_fraction=cfg.core_fraction,
     )
+
+
+def _build_sim(cfg, topo, args, faults=None, **sim_kwargs):
+    params = dict(cfg.app_params.get(args.app, {}))
+    app = make_app(args.app, **params)
+    program = app.build(topo.n_sockets)
+    kwargs = _scheduler_kwargs(cfg, args)
     sim = Simulator(
         program, topo, make_scheduler(args.scheduler, **kwargs),
-        interconnect=interconnect, seed=args.seed, steal=cfg.steal,
-        faults=faults, **sim_kwargs,
+        interconnect=_interconnect(cfg, topo), seed=args.seed,
+        steal=cfg.steal, faults=faults, **sim_kwargs,
     )
     return program, sim
 
@@ -252,14 +263,14 @@ def cmd_trace(args) -> int:
     topo = presets.by_name(args.machine)
     faults = _load_fault_plan(args) if args.faults else None
     obs = Instrumentation(sink=RingBufferSink(args.capacity))
-    _, sim = _build_sim(cfg, topo, args, faults=faults, instrument=obs)
+    program, sim = _build_sim(cfg, topo, args, faults=faults, instrument=obs)
     result = sim.run()
     print(result.summary())
     dropped = obs.sink.dropped
     if dropped:
         print(f"note: ring buffer dropped {dropped} events "
               f"(raise --capacity to keep them)", file=sys.stderr)
-    write_chrome_trace(result, args.out)
+    write_chrome_trace(result, args.out, tdg=program.tdg)
     print(f"chrome trace written to {args.out} "
           f"(open in https://ui.perfetto.dev)")
     if args.paraver:
@@ -268,6 +279,73 @@ def cmd_trace(args) -> int:
     if args.metrics_json:
         write_metrics_json(result, args.metrics_json)
         print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
+def _run_profiled(cfg, topo, args, scheduler_name, *, capacity=1 << 20):
+    """Instrumented run of one scheduler + its critical-path profile."""
+    from .observability import Instrumentation, RingBufferSink
+    from .profiling import profile_run
+
+    ns = argparse.Namespace(**vars(args))
+    ns.scheduler = scheduler_name
+    faults = _load_fault_plan(ns) if getattr(ns, "faults", None) else None
+    obs = Instrumentation(sink=RingBufferSink(capacity))
+    program, sim = _build_sim(cfg, topo, ns, faults=faults, instrument=obs)
+    result = sim.run()
+    report = profile_run(
+        program, result, topo, interconnect=_interconnect(cfg, topo)
+    )
+    return program, result, report
+
+
+def cmd_profile(args) -> int:
+    """Critical-path profile: where did this run's makespan go?"""
+    import json as _json
+
+    if args.app is None or args.scheduler is None:
+        print("error: profile needs --app and --scheduler "
+              "(or use 'profile diff')", file=sys.stderr)
+        return 2
+    cfg = _config(args)
+    topo = presets.by_name(args.machine)
+    program, result, report = _run_profiled(
+        cfg, topo, args, args.scheduler, capacity=args.capacity
+    )
+    print(report.render(top=args.top))
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"profile written to {args.json}")
+    if args.perfetto:
+        from .observability import write_chrome_trace
+
+        write_chrome_trace(
+            result, args.perfetto, tdg=program.tdg, critical_path=report
+        )
+        print(f"chrome trace (critical path highlighted) written to "
+              f"{args.perfetto} (open in https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_profile_diff(args) -> int:
+    """Differential profile: why is run B faster/slower than run A?"""
+    import json as _json
+
+    from .profiling import diff_profiles
+
+    cfg = _config(args)
+    topo = presets.by_name(args.machine)
+    _, _, report_a = _run_profiled(cfg, topo, args, args.a)
+    _, _, report_b = _run_profiled(cfg, topo, args, args.b)
+    diff = diff_profiles(report_a, report_b)
+    print(diff.render(top=args.top))
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(diff.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"diff written to {args.json}")
     return 0
 
 
@@ -308,15 +386,29 @@ def cmd_bench(args) -> int:
     import json
 
     from .bench import (
+        append_history,
+        compare_bench_files,
         headline_speedup,
         run_hotpath_bench,
         validate_entries,
         write_entries,
     )
+    from .errors import BenchmarkError
+
+    def compare(current: str) -> None:
+        report = compare_bench_files(
+            args.compare, current,
+            tolerance=args.tolerance, absolute=args.absolute,
+        )
+        print(report.render())
+        if not report.ok:
+            n = len(report.regressions)
+            raise BenchmarkError(
+                f"{n} benchmark regression{'s' if n != 1 else ''} "
+                f"vs baseline {args.compare}"
+            )
 
     if args.validate:
-        from .errors import BenchmarkError
-
         try:
             entries = json.loads(open(args.validate).read())
         except (OSError, json.JSONDecodeError) as exc:
@@ -325,6 +417,10 @@ def cmd_bench(args) -> int:
             ) from exc
         validate_entries(entries)
         print(f"{args.validate}: schema OK")
+        return 0
+    if args.compare and args.against:
+        # Pure file-vs-file comparison: no benchmark run at all.
+        compare(args.against)
         return 0
     entries = run_hotpath_bench(
         quick=args.quick,
@@ -340,6 +436,19 @@ def cmd_bench(args) -> int:
     speedup = headline_speedup(entries)
     if speedup is not None:
         print(f"placement-cache decision-rate speedup: {speedup:.2f}x")
+    if not args.no_history:
+        headline = (
+            {"decision_speedup": speedup} if speedup is not None else None
+        )
+        # Default the history next to the bench file so runs writing to a
+        # scratch --out never touch a history elsewhere.
+        history = args.history or str(
+            Path(args.out).parent / "BENCH_history.jsonl"
+        )
+        append_history(history, "hotpath", entries, headline=headline)
+        print(f"history appended to {history}")
+    if args.compare:
+        compare(args.out)
     return 0
 
 
@@ -676,7 +785,71 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the cached-vs-uncached schedule oracle check")
     p.add_argument("--validate", default=None, metavar="FILE.json",
                    help="only validate an existing bench file's schema")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="compare against this baseline bench file; exits "
+                        "6 on regression (noise-aware, ratio mode)")
+    p.add_argument("--against", default=None, metavar="CURRENT.json",
+                   help="with --compare: diff BASELINE against this "
+                        "existing file instead of running the bench")
+    p.add_argument("--tolerance", type=float, default=None, metavar="F",
+                   help="relative regression tolerance (default 0.30 "
+                        "ratio mode, 0.50 absolute mode)")
+    p.add_argument("--absolute", action="store_true",
+                   help="compare raw throughput numbers instead of "
+                        "machine-portable derived ratios")
+    p.add_argument("--history", default=None, metavar="FILE.jsonl",
+                   help="append-only JSONL perf history (default "
+                        "BENCH_history.jsonl next to --out)")
+    p.add_argument("--no-history", action="store_true",
+                   help="do not append this run to the history file")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "profile",
+        help="critical-path profile of one run; 'profile diff' compares "
+             "two schedulers (DESIGN.md §13)",
+    )
+    psub = p.add_subparsers(dest="profile_command")
+    _add_common(p)
+    p.add_argument("--app", default=None, choices=sorted(APPS))
+    p.add_argument("--scheduler", default=None, choices=sorted(SCHEDULERS))
+    p.add_argument("--machine", default="bullion-s16",
+                   choices=sorted(presets.PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="inject a fault plan (JSON file, see 'faults' cmd)")
+    p.add_argument("--top", type=int, default=5,
+                   help="how many top critical-path tasks to list")
+    p.add_argument("--json", default=None, metavar="OUT.json",
+                   help="also write the full profile as JSON")
+    p.add_argument("--perfetto", default=None, metavar="TRACE.json",
+                   help="also write a Chrome trace with the critical "
+                        "path as a highlighted track")
+    p.add_argument("--capacity", type=int, default=1 << 20,
+                   help="event ring-buffer capacity (default 1Mi events)")
+    p.set_defaults(fn=cmd_profile)
+
+    d = psub.add_parser(
+        "diff",
+        help="differential profile: run two schedulers, attribute the "
+             "makespan delta by component",
+    )
+    _add_common(d)
+    d.add_argument("--app", required=True, choices=sorted(APPS))
+    d.add_argument("-a", "--a", required=True, dest="a", metavar="SCHED",
+                   choices=sorted(SCHEDULERS), help="baseline scheduler")
+    d.add_argument("-b", "--b", required=True, dest="b", metavar="SCHED",
+                   choices=sorted(SCHEDULERS), help="candidate scheduler")
+    d.add_argument("--machine", default="bullion-s16",
+                   choices=sorted(presets.PRESETS))
+    d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="inject the same fault plan into both runs")
+    d.add_argument("--top", type=int, default=8,
+                   help="how many per-task moves to list")
+    d.add_argument("--json", default=None, metavar="OUT.json",
+                   help="also write the diff as JSON")
+    d.set_defaults(fn=cmd_profile_diff)
 
     p = sub.add_parser(
         "verify",

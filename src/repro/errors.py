@@ -64,6 +64,11 @@ class BenchmarkError(ReproError):
     """Benchmark harness failure (schema violation, divergent schedules)."""
 
 
+class ProfilingError(ReproError):
+    """Critical-path profiling failure (decomposition does not sum to the
+    makespan, unalignable runs, malformed profile input)."""
+
+
 class VerificationError(ReproError):
     """A runtime invariant or a differential-oracle check failed.
 

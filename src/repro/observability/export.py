@@ -81,17 +81,91 @@ def _task_slices(result: SimulationResult) -> list[dict]:
     return slices
 
 
+def _flow_events(result: SimulationResult, tdg) -> list[dict]:
+    """Perfetto flow arrows for dependence edges between task slices.
+
+    One flow per TDG edge whose endpoints both completed: a start step
+    ("s") anchored at the producer's finishing slice and a finish step
+    ("f", ``bp="e"`` = bind to enclosing slice) at the consumer's start.
+    Steps pair up by ``id``; crashed attempts never anchor a flow.
+    """
+    rec_by_tid = {r.tid: r for r in result.records}
+    flows: list[dict] = []
+    for src, dst, weight in tdg.edges():
+        prod, cons = rec_by_tid.get(src), rec_by_tid.get(dst)
+        if prod is None or cons is None:
+            continue
+        flow_id = src * tdg.n_nodes + dst
+        common = {
+            "name": "dep",
+            "cat": "dep",
+            "id": flow_id,
+            "args": {"src": src, "dst": dst, "bytes": weight},
+        }
+        flows.append({
+            **common, "ph": "s",
+            "ts": _us(prod.finish), "pid": prod.socket, "tid": prod.core,
+        })
+        flows.append({
+            **common, "ph": "f", "bp": "e",
+            "ts": _us(cons.start), "pid": cons.socket, "tid": cons.core,
+        })
+    return flows
+
+
+#: Perfetto reserved colour names for critical-path segment kinds.
+_PATH_COLORS = {
+    "exec": "thread_state_running",
+    "queue_wait": "thread_state_runnable",
+    "stall": "thread_state_iowait",
+    "dep_wait": "grey",
+    "waste": "terrible",
+}
+
+
+def _critical_path_track(critical_path, pid: int) -> list[dict]:
+    """One highlighted track tiling [0, makespan] with path segments."""
+    slices: list[dict] = []
+    for seg in critical_path.segments:
+        name = seg.name if seg.kind == "exec" else f"[{seg.kind}] {seg.name}"
+        slices.append({
+            "name": name,
+            "cat": "critical_path",
+            "ph": "X",
+            "ts": _us(seg.t0),
+            "dur": _us(seg.t1 - seg.t0),
+            "pid": pid,
+            "tid": 0,
+            "cname": _PATH_COLORS.get(seg.kind, "grey"),
+            "args": {
+                "tid": seg.tid,
+                "kind": seg.kind,
+                "socket": seg.socket,
+                "core": seg.core,
+                **{k: round(v, 9) for k, v in seg.parts.items()},
+            },
+        })
+    return slices
+
+
 def chrome_trace(
     result: SimulationResult,
     *,
     events: list[Event] | None = None,
     metrics: dict | None = None,
+    tdg=None,
+    critical_path=None,
 ) -> dict:
     """Build a Trace Event Format document from an instrumented result.
 
     ``events`` / ``metrics`` default to what the simulator attached to the
     result (``result.events`` / ``result.metrics``); pass them explicitly
-    to export an external sink or registry snapshot.
+    to export an external sink or registry snapshot.  Passing the
+    program's ``tdg`` adds flow arrows (producer slice -> consumer slice)
+    for every satisfied dependence edge; passing a
+    :class:`~repro.profiling.ProfileReport` as ``critical_path`` adds a
+    dedicated highlighted track tiling ``[0, makespan]`` with the path's
+    exec/wait segments.
     """
     events = result.events if events is None else events
     metrics = result.metrics if metrics is None else metrics
@@ -139,6 +213,24 @@ def chrome_trace(
     )
 
     body = _task_slices(result)
+
+    if tdg is not None:
+        body.extend(_flow_events(result, tdg))
+    if critical_path is not None:
+        path_pid = metrics_pid + 1
+        meta.append(
+            {"name": "process_name", "ph": "M", "pid": path_pid,
+             "args": {"name": "critical path"}}
+        )
+        meta.append(
+            {"name": "process_sort_index", "ph": "M", "pid": path_pid,
+             "args": {"sort_index": -1}}  # pin the path above the sockets
+        )
+        meta.append(
+            {"name": "thread_name", "ph": "M", "pid": path_pid, "tid": 0,
+             "args": {"name": "makespan decomposition"}}
+        )
+        body.extend(_critical_path_track(critical_path, path_pid))
 
     # Counter tracks from gauge sample series (cumulative byte split,
     # queue depths, busy cores, partition quality ...).
@@ -195,9 +287,14 @@ def write_chrome_trace(
     *,
     events: list[Event] | None = None,
     metrics: dict | None = None,
+    tdg=None,
+    critical_path=None,
 ) -> None:
     """Write :func:`chrome_trace` output; open the file in Perfetto."""
-    doc = chrome_trace(result, events=events, metrics=metrics)
+    doc = chrome_trace(
+        result, events=events, metrics=metrics, tdg=tdg,
+        critical_path=critical_path,
+    )
     Path(path).write_text(json.dumps(doc, indent=1))
 
 
@@ -318,13 +415,23 @@ def render_prometheus(registry) -> str:
     hits, retries and sheds.  Metric names are sanitised to the
     ``[a-zA-Z0-9_]`` charset (dots and dashes become underscores);
     counters export their total, gauges their last sample, histograms a
-    cumulative ``_bucket`` series plus ``_sum``/``_count``.
+    cumulative ``_bucket`` series plus ``_sum``/``_count`` and a
+    ``_summary`` quantile series (p50/p90/p99 estimated from the bucket
+    upper bounds, ``+Inf`` when the quantile falls in the overflow
+    bucket).
     """
 
     def mangle(name: str) -> str:
         return "".join(
             ch if (ch.isalnum() or ch == "_") else "_" for ch in name
         )
+
+    def number(value: float) -> str:
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        return f"{value:.10g}"
 
     lines: list[str] = []
     for name, counter in sorted(registry.counters.items()):
@@ -345,4 +452,12 @@ def render_prometheus(registry) -> str:
         lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
         lines.append(f"{metric}_sum {hist.sum:.10g}")
         lines.append(f"{metric}_count {hist.count}")
+        lines.append(f"# TYPE {metric}_summary summary")
+        for q in (0.5, 0.9, 0.99):
+            lines.append(
+                f'{metric}_summary{{quantile="{q:g}"}} '
+                f"{number(hist.quantile(q))}"
+            )
+        lines.append(f"{metric}_summary_sum {hist.sum:.10g}")
+        lines.append(f"{metric}_summary_count {hist.count}")
     return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,36 @@
+"""Profiling: turn traces into explanations (DESIGN.md §13).
+
+The analysis layer on top of the observability stack (§8): critical-path
+extraction with a seven-way makespan decomposition that provably sums to
+the makespan, NUMA time-attribution of every execution interval, Coz
+-style what-if estimation, and differential profiling between two runs::
+
+    from repro.profiling import diff_profiles, profile_run
+
+    report = profile_run(program, result, topology, interconnect=ic)
+    print(report.render())                    # where did the makespan go?
+    print(report.whatif_remote_local())       # paper thesis, quantified
+    print(diff_profiles(report_ep, report_rgp).render())
+"""
+
+from .attribution import AttributionModel, ExecSplit
+from .critical_path import (
+    COMPONENTS,
+    EXEC_COMPONENTS,
+    PathSegment,
+    ProfileReport,
+    profile_run,
+)
+from .diff import ProfileDiff, diff_profiles
+
+__all__ = [
+    "AttributionModel",
+    "COMPONENTS",
+    "EXEC_COMPONENTS",
+    "ExecSplit",
+    "PathSegment",
+    "ProfileDiff",
+    "ProfileReport",
+    "diff_profiles",
+    "profile_run",
+]

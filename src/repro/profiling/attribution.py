@@ -1,0 +1,150 @@
+"""NUMA time-attribution model: split an execution interval into
+compute, local-memory and remote-memory time.
+
+The simulator's fluid model overlaps compute with memory streams and
+applies contention, so a task record only tells us *when* it ran, not
+*why it took that long*.  This module reconstructs the why from first
+principles: the nominal (uncontended, single-stream) serial times of the
+three demands a task places on the machine,
+
+* ``t_c``  — compute: ``task.work`` at rate 1;
+* ``t_l``  — local traffic at the local service rate ``B_s``;
+* ``t_r``  — remote traffic at the remote service rate
+  ``min(eff(s,n) * B_n, link_fraction * B_s, link_fraction * B_n)``,
+  traffic-weighted over the remote nodes the socket actually touched
+  (from ``result.bytes_by_pair``).
+
+The interconnect's ``core_fraction`` cap is deliberately *excluded*: it
+throttles local and remote streams of a task identically, so it cancels
+out of the local-vs-remote ratio that attribution (and the remote-as
+-local what-if) is built on — including it would make remote bytes look
+no more expensive than local ones;
+
+and then scales them proportionally so they *exactly* partition the
+observed duration ``D``::
+
+    compute = D * t_c / (t_c + t_l + t_r)
+    mem_local = D * t_l / (t_c + t_l + t_r)
+    mem_remote = D - compute - mem_local        # exact by construction
+
+Proportional attribution deliberately charges contention and jitter to
+all three components pro rata — the decomposition invariant (every
+interval sums exactly to its duration, DESIGN.md §13) matters more than
+second-order accuracy of the split.  The stored ``remote_as_local`` time
+(``t_r`` rescaled to the local rate, same proportional scale) feeds the
+what-if estimator: it is what the remote share *would have cost* had
+every remote byte been local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProfilingError
+from ..machine.interconnect import Interconnect
+
+
+@dataclass(frozen=True)
+class ExecSplit:
+    """One execution interval's attributed components (sum == duration)."""
+
+    compute: float
+    mem_local: float
+    mem_remote: float
+    #: What ``mem_remote`` would have been at the local service rate.
+    remote_as_local: float
+
+    @property
+    def duration(self) -> float:
+        return self.compute + self.mem_local + self.mem_remote
+
+
+class AttributionModel:
+    """Per-socket nominal service rates derived from one interconnect.
+
+    ``remote_rate(s)`` is traffic-weighted over the remote nodes socket
+    ``s`` actually exchanged bytes with (``bytes_by_pair``), falling back
+    to the unweighted mean over all remote nodes when the socket issued
+    no remote traffic.
+    """
+
+    def __init__(
+        self,
+        interconnect: Interconnect,
+        bytes_by_pair: np.ndarray | None = None,
+    ) -> None:
+        topo = interconnect.topology
+        n = topo.n_sockets
+        bw = np.asarray(topo.node_bandwidth, dtype=np.float64)
+        link_frac = interconnect.link_fraction
+
+        local = bw.copy()
+        if np.any(local <= 0):
+            raise ProfilingError("non-positive local service rate")
+        self._local = local
+
+        # Service rate of a socket->node remote transfer (no core cap —
+        # see the module docstring: it cancels out of the ratio).
+        pair = np.zeros((n, n), dtype=np.float64)
+        for s in range(n):
+            for node in range(n):
+                if node == s:
+                    continue
+                rate = interconnect.efficiency(s, node) * bw[node]
+                if link_frac is not None:
+                    rate = min(rate, link_frac * bw[s], link_frac * bw[node])
+                pair[s, node] = rate
+
+        weights = None
+        if bytes_by_pair is not None:
+            weights = np.asarray(bytes_by_pair, dtype=np.float64)
+            if weights.shape != (n, n):
+                weights = None
+        remote = np.zeros(n, dtype=np.float64)
+        off_diag = ~np.eye(n, dtype=bool)
+        for s in range(n):
+            rates = pair[s][off_diag[s]]
+            if len(rates) == 0:  # single-socket machine: remote is moot
+                remote[s] = local[s]
+                continue
+            w = weights[s][off_diag[s]] if weights is not None else None
+            if w is not None and w.sum() > 0:
+                remote[s] = float((rates * w).sum() / w.sum())
+            else:
+                remote[s] = float(rates.mean())
+        if np.any(remote <= 0):
+            raise ProfilingError("non-positive remote service rate")
+        self._remote = remote
+
+    def local_rate(self, socket: int) -> float:
+        return float(self._local[socket])
+
+    def remote_rate(self, socket: int) -> float:
+        return float(self._remote[socket])
+
+    # ------------------------------------------------------------------
+    def split(
+        self,
+        *,
+        work: float,
+        local_bytes: float,
+        remote_bytes: float,
+        socket: int,
+        duration: float,
+    ) -> ExecSplit:
+        """Partition ``duration`` into compute/local/remote components."""
+        if duration < 0:
+            raise ProfilingError(f"negative execution duration {duration!r}")
+        t_c = max(0.0, float(work))
+        t_l = max(0.0, float(local_bytes)) / self._local[socket]
+        t_r = max(0.0, float(remote_bytes)) / self._remote[socket]
+        nominal = t_c + t_l + t_r
+        if nominal <= 0.0:
+            return ExecSplit(float(duration), 0.0, 0.0, 0.0)
+        compute = float(duration * (t_c / nominal))
+        mem_local = float(duration * (t_l / nominal))
+        mem_remote = float(duration - compute - mem_local)  # exact partition
+        ratio = float(self._remote[socket] / self._local[socket])
+        return ExecSplit(compute, mem_local, mem_remote, mem_remote * ratio)

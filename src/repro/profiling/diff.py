@@ -1,0 +1,142 @@
+"""Differential profiling: where did the time go between two runs?
+
+Aligns two :class:`~repro.profiling.critical_path.ProfileReport` objects
+of the *same program* (task ids align by construction — the TDG is
+deterministic for a given app/size) and decomposes the makespan delta by
+component.  Because each report's components sum to its own makespan,
+the component deltas sum exactly to the makespan delta — the diff
+inherits the decomposition invariant.
+
+Two lenses are reported side by side (DESIGN.md §13):
+
+* **critical path** — where the *binding chain* spent its time; answers
+  "what limited this run";
+* **machine view** — busy-time attribution over every record; answers
+  "what did the machine as a whole spend its cycles on".  The paper's
+  thesis (RGP+LAS wins by converting remote accesses into local ones)
+  shows up here as a dominant ``mem_remote`` reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ProfilingError
+from .critical_path import COMPONENTS, ProfileReport
+
+
+@dataclass
+class ProfileDiff:
+    """Attributed difference between run ``a`` (baseline) and ``b``."""
+
+    a: ProfileReport
+    b: ProfileReport
+    delta_makespan: float
+    #: Critical-path component deltas, ``a - b`` (positive = run b saved
+    #: time on that component); sums to ``delta_makespan`` - residual drift.
+    delta_components: dict[str, float]
+    #: Machine-view busy-time deltas (compute/mem_local/mem_remote/waste).
+    delta_machine: dict[str, float]
+    #: Per-task critical-path deltas, largest first: (tid, name, delta).
+    task_moves: list[tuple[int, str, float]]
+
+    # ------------------------------------------------------------------
+    def dominant_component(self) -> str:
+        """Critical-path component with the largest absolute delta."""
+        return max(self.delta_components, key=lambda c: abs(self.delta_components[c]))
+
+    def dominant_machine_component(self) -> str:
+        """Machine-view busy-time component with the largest |delta|."""
+        return max(self.delta_machine, key=lambda c: abs(self.delta_machine[c]))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "a": {"scheduler": self.a.scheduler_name,
+                  "makespan": float(self.a.makespan)},
+            "b": {"scheduler": self.b.scheduler_name,
+                  "makespan": float(self.b.makespan)},
+            "delta_makespan": float(self.delta_makespan),
+            "delta_components": {
+                k: float(v) for k, v in self.delta_components.items()
+            },
+            "delta_machine": {
+                k: float(v) for k, v in self.delta_machine.items()
+            },
+            "dominant_component": self.dominant_component(),
+            "dominant_machine_component": self.dominant_machine_component(),
+            "task_moves": [
+                {"tid": int(t), "name": n, "delta": float(d)}
+                for t, n, d in self.task_moves
+            ],
+        }
+
+    def render(self, top: int = 8) -> str:
+        a, b = self.a, self.b
+        lines = [
+            f"profile diff — {a.program_name} @ {a.machine_name} "
+            f"(seed {a.seed})",
+            f"  a: {a.scheduler_name:<16s} makespan {a.makespan:.6g}",
+            f"  b: {b.scheduler_name:<16s} makespan {b.makespan:.6g}",
+            f"  delta (a - b): {self.delta_makespan:+.6g} "
+            f"({self.delta_makespan / (a.makespan or 1.0):+.1%} of a)",
+            "critical-path component deltas (positive = b saved time):",
+        ]
+        for comp in COMPONENTS:
+            value = self.delta_components[comp]
+            lines.append(f"  {comp:<11s} {value:+10.4g}")
+        lines.append("machine-view busy-time deltas:")
+        for comp, value in self.delta_machine.items():
+            lines.append(f"  {comp:<11s} {value:+10.4g}")
+        lines.append(
+            f"dominant source: {self.dominant_component()} on the critical "
+            f"path, {self.dominant_machine_component()} machine-wide"
+        )
+        what_if = a.whatif_remote_local()
+        lines.append(
+            f"what-if on a (remote=local): {what_if:.6g} "
+            f"({(what_if - a.makespan) / (a.makespan or 1.0):+.1%})"
+        )
+        moves = self.task_moves[:top]
+        if moves:
+            lines.append("largest per-task critical-path moves (a - b):")
+            for tid, name, delta in moves:
+                lines.append(f"  #{tid:<6d} {name:<24s} {delta:+10.4g}")
+        return "\n".join(lines)
+
+
+def diff_profiles(a: ProfileReport, b: ProfileReport) -> ProfileDiff:
+    """Diff two profiles of the same program (align by task id)."""
+    if a.program_name != b.program_name:
+        raise ProfilingError(
+            f"cannot align different programs: {a.program_name!r} vs "
+            f"{b.program_name!r}"
+        )
+    if a.machine_name != b.machine_name:
+        raise ProfilingError(
+            f"cannot align different machines: {a.machine_name!r} vs "
+            f"{b.machine_name!r}"
+        )
+    delta_components = {
+        comp: a.totals[comp] - b.totals[comp] for comp in COMPONENTS
+    }
+    am, bm = a.machine_totals(), b.machine_totals()
+    delta_machine = {comp: am[comp] - bm[comp] for comp in am}
+
+    tids = set(a.per_task) | set(b.per_task)
+    moves = []
+    for tid in tids:
+        da = sum(a.per_task.get(tid, {}).values())
+        db = sum(b.per_task.get(tid, {}).values())
+        name = a.task_names.get(tid) or b.task_names.get(tid) or f"task-{tid}"
+        moves.append((tid, name, da - db))
+    moves.sort(key=lambda m: (-abs(m[2]), m[0]))
+
+    return ProfileDiff(
+        a=a,
+        b=b,
+        delta_makespan=a.makespan - b.makespan,
+        delta_components=delta_components,
+        delta_machine=delta_machine,
+        task_moves=moves,
+    )

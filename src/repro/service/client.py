@@ -45,13 +45,15 @@ def request_json(
     path: str,
     body: dict | None = None,
     timeout: float = 30.0,
+    headers: dict[str, str] | None = None,
 ) -> ServiceResponse:
     """One synchronous JSON request (stdlib ``http.client``)."""
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         payload = json.dumps(body).encode() if body is not None else None
         conn.request(method, path, body=payload,
-                     headers={"Content-Type": "application/json"})
+                     headers={"Content-Type": "application/json",
+                              **(headers or {})})
         response = conn.getresponse()
         raw = response.read()
         headers = {k.lower(): v for k, v in response.getheaders()}
@@ -78,22 +80,30 @@ class ServiceClient:
         self.port = port
         self.timeout = timeout
 
-    def _call(self, method: str, path: str,
-              body: dict | None = None) -> ServiceResponse:
+    def _call(self, method: str, path: str, body: dict | None = None,
+              headers: dict[str, str] | None = None) -> ServiceResponse:
         return request_json(self.host, self.port, method, path, body,
-                            timeout=self.timeout)
+                            timeout=self.timeout, headers=headers)
 
     def submit(self, spec: dict, *, wait: bool = False,
-               wait_timeout: float | None = None) -> ServiceResponse:
+               wait_timeout: float | None = None,
+               correlation_id: str | None = None) -> ServiceResponse:
         path = "/v1/jobs"
         if wait:
             path += "?wait=1"
             if wait_timeout is not None:
                 path += f"&timeout={wait_timeout:g}"
-        return self._call("POST", path, spec)
+        headers = (
+            {"X-Correlation-Id": correlation_id} if correlation_id else None
+        )
+        return self._call("POST", path, spec, headers)
 
     def job(self, job_id: str) -> ServiceResponse:
         return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def profile(self, job_id: str) -> ServiceResponse:
+        """The job's critical-path profile artifact (DESIGN.md §13)."""
+        return self._call("GET", f"/v1/jobs/{job_id}/profile")
 
     def result(self, content_hash: str) -> ServiceResponse:
         return self._call("GET", f"/v1/results/{content_hash}")
@@ -122,6 +132,7 @@ async def arequest_json(
     path: str,
     body: dict | None = None,
     timeout: float = 30.0,
+    headers: dict[str, str] | None = None,
 ) -> ServiceResponse:
     """One asynchronous JSON request over a fresh connection."""
     reader, writer = await asyncio.wait_for(
@@ -129,11 +140,15 @@ async def arequest_json(
     )
     try:
         payload = json.dumps(body).encode() if body is not None else b""
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {host}:{port}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             "Connection: close\r\n\r\n"
         )
         writer.write(head.encode() + payload)

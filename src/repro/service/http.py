@@ -24,8 +24,12 @@ status meaning
 Endpoints::
 
     POST /v1/jobs            submit a job spec; ``?wait=1`` blocks for
-                             the terminal state (``&timeout=S``)
+                             the terminal state (``&timeout=S``); an
+                             ``X-Correlation-Id`` header is attached to
+                             the job and echoed on every response
     GET  /v1/jobs/<id>       job status (+ result when DONE)
+    GET  /v1/jobs/<id>/profile  the job's critical-path profile artifact
+                             (202 while running, 404 if unavailable)
     GET  /v1/results/<hash>  cached result by content hash
     GET  /v1/workers         worker pids (chaos tooling)
     GET  /healthz            liveness
@@ -251,6 +255,12 @@ class HttpServer:
                 spec = json.loads(raw.decode() or "{}")
             except json.JSONDecodeError as exc:
                 raise _HttpError(400, f"body is not JSON: {exc}") from None
+            # Correlation-id propagation: an X-Correlation-Id header rides
+            # the spec (delivery-only, never hashed) into the job record
+            # and simulation profile, and is echoed on the response.
+            header_cid = headers.get("x-correlation-id")
+            if header_cid and isinstance(spec, dict):
+                spec.setdefault("correlation_id", header_cid)
             timeout = _timeout_param(params)  # reject bad input pre-admission
             record = svc.submit(spec)
             if params.get("wait") in ("1", "true", "yes"):
@@ -259,7 +269,34 @@ class HttpServer:
                 except asyncio.TimeoutError:
                     pass  # fall through: still-running jobs answer 202
             status = 200 if record.state in JobState.TERMINAL else 202
-            return status, {}, record.status_dict()
+            echo = {}
+            if record.spec.correlation_id:
+                echo["X-Correlation-Id"] = record.spec.correlation_id
+            return status, echo, record.status_dict()
+
+        if (path.startswith("/v1/jobs/") and path.endswith("/profile")
+                and method == "GET"):
+            job_id = path[len("/v1/jobs/"):-len("/profile")]
+            record = svc.get_job(job_id)
+            if record.state not in JobState.TERMINAL:
+                return 202, {}, {"job_id": record.job_id,
+                                 "state": record.state}
+            result = record.result or {}
+            profile = result.get("profile")
+            if profile is None:
+                raise _HttpError(
+                    404,
+                    result.get("profile_error")
+                    or f"job {job_id} has no profile "
+                       f"(state {record.state})",
+                )
+            body = {"job_id": record.job_id, "hash": record.hash,
+                    "state": record.state, "profile": profile}
+            echo = {}
+            if record.spec.correlation_id:
+                body["correlation_id"] = record.spec.correlation_id
+                echo["X-Correlation-Id"] = record.spec.correlation_id
+            return 200, echo, body
 
         if path.startswith("/v1/jobs/") and method == "GET":
             return 200, {}, svc.get_job(path[len("/v1/jobs/"):]).status_dict()

@@ -88,6 +88,10 @@ class JobSpec:
     # Delivery parameters — never part of the content hash.
     tenant: str = "default"
     deadline_s: float | None = None
+    #: Caller-supplied request id, propagated HTTP -> job -> profile so
+    #: one id follows a request through every layer.  Delivery-only: two
+    #: requests with different correlation ids still share one execution.
+    correlation_id: str | None = None
 
     # -- validation / normalisation -------------------------------------
     def validated(self) -> "JobSpec":
@@ -115,6 +119,18 @@ class JobSpec:
         unknown = set(self.chaos) - {"sleep_s", "kill_worker"}
         if unknown:
             raise JobSpecError(f"unknown chaos keys: {sorted(unknown)}")
+        if self.correlation_id is not None:
+            cid = self.correlation_id
+            if (
+                not isinstance(cid, str)
+                or not 0 < len(cid) <= 128
+                or any(ch.isspace() and ch != " " for ch in cid)
+                or not cid.isprintable()
+            ):
+                raise JobSpecError(
+                    "correlation_id must be a printable string of at most "
+                    "128 characters"
+                )
         if self.faults is not None:
             try:
                 FaultPlan.from_dict(self.faults)
@@ -133,6 +149,7 @@ class JobSpec:
             sched_kwargs=dict(self.sched_kwargs), faults=self.faults,
             chaos=dict(self.chaos), tenant=self.tenant,
             deadline_s=self.deadline_s,
+            correlation_id=self.correlation_id,
         )
 
     # -- identity --------------------------------------------------------
@@ -163,6 +180,8 @@ class JobSpec:
         out = self.canonical_dict()
         out["tenant"] = self.tenant
         out["deadline_s"] = self.deadline_s
+        if self.correlation_id is not None:
+            out["correlation_id"] = self.correlation_id
         return out
 
     @classmethod
@@ -172,6 +191,7 @@ class JobSpec:
         unknown = set(data) - {
             "app", "app_params", "chaos", "faults", "machine", "policy",
             "sched_kwargs", "seed", "tenant", "deadline_s",
+            "correlation_id",
         }
         if unknown:
             raise JobSpecError(f"unknown job spec fields: {sorted(unknown)}")
@@ -187,6 +207,7 @@ class JobSpec:
                 chaos=dict(data.get("chaos") or {}),
                 tenant=str(data.get("tenant") or "default"),
                 deadline_s=data.get("deadline_s"),
+                correlation_id=data.get("correlation_id"),
             )
         except KeyError as exc:
             raise JobSpecError(f"job spec missing field {exc.args[0]!r}") from None
@@ -226,6 +247,8 @@ class JobRecord:
             "cached": self.cached,
             "tenant": self.spec.tenant,
         }
+        if self.spec.correlation_id is not None:
+            out["correlation_id"] = self.spec.correlation_id
         if self.result is not None:
             out["result"] = self.result
         if self.error is not None:
@@ -252,7 +275,10 @@ def execute_spec(spec_dict: dict[str, Any]) -> dict[str, Any]:
         os.kill(os.getpid(), signal.SIGKILL)  # poison job: die uncleanly
 
     from ..apps import make_app
+    from ..errors import ProfilingError
     from ..machine.interconnect import Interconnect
+    from ..observability import Instrumentation, RingBufferSink
+    from ..profiling import profile_run
     from ..runtime.simulator import Simulator
     from ..schedulers import make_scheduler
 
@@ -260,21 +286,34 @@ def execute_spec(spec_dict: dict[str, Any]) -> dict[str, Any]:
     program = make_app(spec.app, **spec.app_params).build(topo.n_sockets)
     scheduler = make_scheduler(spec.policy, **spec.sched_kwargs)
     faults = FaultPlan.from_dict(spec.faults) if spec.faults else None
+    interconnect = Interconnect(
+        topo, remote_penalty_exp=1.0, link_fraction=0.45,
+        core_fraction=0.30,
+    )
+    # Instrumented run (bit-identical to an uninstrumented one, proven by
+    # the §8 tests) so the job's critical-path profile ships with it.
+    obs = Instrumentation(sink=RingBufferSink(1 << 18))
     sim = Simulator(
-        program, topo, scheduler,
-        interconnect=Interconnect(
-            topo, remote_penalty_exp=1.0, link_fraction=0.45,
-            core_fraction=0.30,
-        ),
-        seed=spec.seed, steal="near", faults=faults,
+        program, topo, scheduler, interconnect=interconnect,
+        seed=spec.seed, steal="near", faults=faults, instrument=obs,
     )
     result = sim.run()
     # Plain Python scalars: the result must JSON-round-trip bit-exactly
     # (cache hits are compared against recomputed results in the tests).
-    return {
+    out = {
         "makespan": float(result.makespan),
         "remote_fraction": float(result.remote_fraction),
         "reexecutions": int(result.reexecutions),
         "wasted_work": float(result.wasted_work),
         "n_tasks": int(program.n_tasks),
     }
+    try:
+        report = profile_run(
+            program, result, topo, interconnect=interconnect
+        )
+        out["profile"] = report.to_dict(compact=True)
+    except ProfilingError as exc:
+        # A profiling bug must never fail a successful simulation; the
+        # /profile endpoint surfaces the reason instead.
+        out["profile_error"] = str(exc)
+    return out

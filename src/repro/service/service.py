@@ -341,6 +341,12 @@ class SimulationService:
         record.error = error
         record.cached = cached
         record.finished_at = time.monotonic()
+        if record.submitted_at:
+            # Submit-to-terminal latency histogram; surfaced (with
+            # quantile summaries) by /metrics?format=prometheus.
+            self.registry.histogram("service.job.latency_s").observe(
+                max(0.0, record.finished_at - record.submitted_at)
+            )
         self.inflight_by_hash.pop(record.hash, None)
         if journal_kind is not None and self.journal is not None:
             self.journal.append({

@@ -1,6 +1,7 @@
 """Tests for the hot-path benchmark harness and its JSON schema."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -140,11 +141,18 @@ class TestHarness:
 class TestBenchCLI:
     def test_bench_quick_writes_schema_valid_file(self, tmp_path, capsys):
         out = tmp_path / "BENCH_hotpath.json"
+        # The perf history defaults to living NEXT TO --out — a scratch-dir
+        # bench must never append to a BENCH_history.jsonl in the cwd.
+        cwd_history = Path("BENCH_history.jsonl")
+        before = cwd_history.read_bytes() if cwd_history.exists() else None
         assert main(["bench", "--sizes", "30", "60", "--reps", "1",
                      "--machine", "two-socket", "--out", str(out)]) == 0
         entries = json.loads(out.read_text())
         validate_entries(entries)
         assert "speedup" in capsys.readouterr().out
+        assert (tmp_path / "BENCH_history.jsonl").exists()
+        after = cwd_history.read_bytes() if cwd_history.exists() else None
+        assert before == after
 
     def test_bench_validate_mode(self, tmp_path, capsys):
         out = tmp_path / "BENCH_hotpath.json"

@@ -1,0 +1,215 @@
+"""Exporters under faulted runs + the new trace/metrics surfaces (PR 7).
+
+Satellite coverage: every exporter must stay schema-valid and
+time-monotonic when the run crashed tasks, re-executed them, or
+quarantined cores; plus the dependence flow arrows, the critical-path
+track, and the Prometheus quantile summaries.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps import make_app
+from repro.experiments.config import ExperimentConfig
+from repro.faults import CoreFault, FaultPlan, TaskCrash
+from repro.machine import two_socket
+from repro.machine.interconnect import Interconnect
+from repro.observability import Instrumentation, RingBufferSink
+from repro.observability.export import (
+    chrome_trace,
+    metrics_document,
+    paraver_timeline,
+    render_prometheus,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.profiling import profile_run
+from repro.runtime.simulator import Simulator
+from repro.schedulers import make_scheduler
+
+
+@pytest.fixture(scope="module")
+def faulted():
+    """A run with crashes, re-executions and a dead (quarantined) core."""
+    cfg = ExperimentConfig.quick()
+    topo = two_socket(cores_per_socket=2)
+    program = make_app(
+        "jacobi", **cfg.app_params.get("jacobi", {})
+    ).build(topo.n_sockets)
+    plan = FaultPlan(
+        core_faults=(CoreFault(core=1, at=2.0),),
+        task_crashes=(TaskCrash(probability=0.05),),
+    )
+    obs = Instrumentation(sink=RingBufferSink(1 << 20))
+    sim = Simulator(
+        program, topo, make_scheduler("las"),
+        interconnect=Interconnect(topo), seed=3, steal=cfg.steal,
+        faults=plan, instrument=obs, max_retries=5,
+    )
+    result = sim.run()
+    assert result.crashed_records, "fixture must actually crash attempts"
+    return program, result, topo
+
+
+def test_chrome_trace_faulted_schema_and_monotonic(faulted):
+    program, result, _ = faulted
+    doc = chrome_trace(result, tdg=program.tdg)
+    json.dumps(doc)  # JSON-serializable end to end
+    events = doc["traceEvents"]
+    body = [e for e in events if e["ph"] != "M"]
+    # Time-ordered body, non-negative timestamps and durations.
+    ts = [e["ts"] for e in body]
+    assert ts == sorted(ts)
+    assert all(e["ts"] >= 0 for e in body)
+    assert all(e.get("dur", 0) >= 0 for e in body)
+    # Crashed attempts are visible as crash-category slices.
+    crashes = [e for e in body if e.get("cat") == "crash"]
+    assert len(crashes) == len(result.crashed_records)
+    assert all("[crashed]" in e["name"] for e in crashes)
+    # Every event carries the required Trace Event Format fields.
+    for event in body:
+        assert {"name", "ph", "ts", "pid"} <= set(event)
+
+
+def test_flow_events_pair_and_respect_causality(faulted):
+    program, result, _ = faulted
+    doc = chrome_trace(result, tdg=program.tdg)
+    flows = [e for e in doc["traceEvents"] if e.get("cat") == "dep"]
+    assert flows, "dependence edges must produce flow events"
+    starts = {e["id"]: e for e in flows if e["ph"] == "s"}
+    finishes = {e["id"]: e for e in flows if e["ph"] == "f"}
+    assert set(starts) == set(finishes)  # every arrow has both ends
+    assert all(e.get("bp") == "e" for e in finishes.values())
+    rec_by_tid = {r.tid: r for r in result.records}
+    for fid, start in starts.items():
+        finish = finishes[fid]
+        # Arrow flies forward in time: producer finish <= consumer start.
+        assert start["ts"] <= finish["ts"] + 1e-6
+        src, dst = start["args"]["src"], start["args"]["dst"]
+        assert start["ts"] == pytest.approx(rec_by_tid[src].finish * 1e6)
+        assert finish["ts"] == pytest.approx(rec_by_tid[dst].start * 1e6)
+
+
+def test_flow_events_only_for_completed_endpoints(faulted):
+    program, result, _ = faulted
+    doc = chrome_trace(result, tdg=program.tdg)
+    flows = [e for e in doc["traceEvents"] if e.get("cat") == "dep"]
+    completed = {r.tid for r in result.records}
+    for event in flows:
+        assert event["args"]["src"] in completed
+        assert event["args"]["dst"] in completed
+
+
+def test_no_flow_events_without_tdg(faulted):
+    _, result, _ = faulted
+    doc = chrome_trace(result)
+    assert not [e for e in doc["traceEvents"] if e.get("cat") == "dep"]
+
+
+def test_critical_path_track_tiles_makespan(faulted):
+    program, result, topo = faulted
+    report = profile_run(program, result, topo)
+    doc = chrome_trace(result, critical_path=report)
+    track = [
+        e for e in doc["traceEvents"] if e.get("cat") == "critical_path"
+    ]
+    assert len(track) == len(report.segments)
+    track.sort(key=lambda e: e["ts"])
+    cursor = 0.0
+    for event in track:
+        assert event["ts"] == pytest.approx(cursor, abs=1.0)
+        cursor = event["ts"] + event["dur"]
+    assert cursor == pytest.approx(result.makespan * 1e6, abs=1.0)
+    # The track lives on its own named process above the sockets.
+    pids = {e["pid"] for e in track}
+    assert len(pids) == 1
+    names = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+        and e["pid"] in pids
+    ]
+    assert names and names[0]["args"]["name"] == "critical path"
+
+
+def test_paraver_faulted_monotonic_and_parsable(faulted):
+    _, result, _ = faulted
+    text = paraver_timeline(result)
+    lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+    assert lines
+    times = []
+    for line in lines:
+        fields = line.split(":")
+        assert fields[0] in ("1", "2")
+        # state records carry begin:end; event records a single time
+        if fields[0] == "1":
+            begin, end = int(fields[5]), int(fields[6])
+            assert 0 <= begin <= end
+            times.append(begin)
+        else:
+            times.append(int(fields[5]))
+    assert times == sorted(times)
+
+
+def test_metrics_document_faulted_json_safe(faulted):
+    _, result, _ = faulted
+    doc = metrics_document(result)
+    json.dumps(doc)
+    assert doc["makespan"] == result.makespan
+    assert doc["registry"]  # instrumented run: registry not empty
+    counters = doc["registry"]["counters"]
+    assert counters["tasks.crashed"] == len(result.crashed_records)
+
+
+def test_export_deterministic_under_faults(faulted):
+    program, result, topo = faulted
+    report = profile_run(program, result, topo)
+    doc1 = chrome_trace(result, tdg=program.tdg, critical_path=report)
+    doc2 = chrome_trace(result, tdg=program.tdg, critical_path=report)
+    assert json.dumps(doc1, sort_keys=True) == json.dumps(doc2,
+                                                          sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus quantile summaries (satellite: histogram exposition).
+
+
+def test_prometheus_histogram_summary_lines():
+    registry = MetricsRegistry()
+    hist = registry.histogram("svc.latency", bounds=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0):
+        hist.observe(value)
+    text = render_prometheus(registry)
+    assert "# TYPE svc_latency histogram" in text
+    assert 'svc_latency_bucket{le="0.1"} 1' in text
+    assert 'svc_latency_bucket{le="+Inf"} 4' in text
+    assert "# TYPE svc_latency_summary summary" in text
+    assert 'svc_latency_summary{quantile="0.5"} 1' in text
+    assert 'svc_latency_summary{quantile="0.99"} 10' in text
+    assert "svc_latency_summary_count 4" in text
+    assert "svc_latency_summary_sum 6.05" in text
+
+
+def test_prometheus_summary_overflow_is_inf():
+    registry = MetricsRegistry()
+    registry.histogram("over", bounds=(1.0,)).observe(50.0)
+    text = render_prometheus(registry)
+    assert 'over_summary{quantile="0.99"} +Inf' in text
+    # +Inf is the Prometheus exposition spelling; bare "inf" never leaks.
+    for line in text.splitlines():
+        assert " inf" not in line
+
+
+def test_prometheus_parse_shape():
+    registry = MetricsRegistry()
+    registry.counter("jobs.done").inc(3)
+    registry.histogram("lat", bounds=(1.0, 2.0)).observe(1.5)
+    text = render_prometheus(registry)
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            assert line.startswith("# TYPE ")
+            continue
+        name, _, value = line.rpartition(" ")
+        assert name
+        float(value.replace("+Inf", "inf"))

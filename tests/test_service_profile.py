@@ -1,0 +1,221 @@
+"""Served profiles and correlation-id propagation (PR 7).
+
+One request id follows a job through every layer — HTTP header -> spec
+-> record -> status responses -> the profile artifact — and every served
+job carries its critical-path profile, retrievable at
+``GET /v1/jobs/{id}/profile``.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.service import HttpServer, ServiceConfig, SimulationService
+from repro.service.client import arequest_json
+from repro.service.jobs import JobSpec, execute_spec
+
+TINY = {"n_blocks": 6, "block_elems": 1024, "iterations": 2}
+
+
+def tiny_spec(seed=0, **overrides):
+    spec = {"app": "nstream", "policy": "las", "seed": seed,
+            "app_params": dict(TINY)}
+    spec.update(overrides)
+    return spec
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=120))
+
+
+async def with_server(scenario, **config_overrides):
+    defaults = dict(workers=1, queue_capacity=8,
+                    retry_base_s=0.02, retry_max_s=0.2)
+    defaults.update(config_overrides)
+    service = SimulationService(ServiceConfig(**defaults))
+    server = HttpServer(service, port=0)
+    await server.start()
+    try:
+
+        async def call(method, path, body=None, headers=None):
+            return await arequest_json(
+                "127.0.0.1", server.port, method, path, body,
+                headers=headers,
+            )
+
+        return await scenario(call, service)
+    finally:
+        await server.stop()
+        await service.stop()
+
+
+# ---------------------------------------------------------------------------
+# JobSpec: correlation_id is delivery-only and validated.
+
+
+class TestSpecCorrelationId:
+    def test_accepted_and_carried(self):
+        spec = JobSpec(**tiny_spec(correlation_id="req-abc/42")).validated()
+        assert spec.correlation_id == "req-abc/42"
+        assert spec.to_dict()["correlation_id"] == "req-abc/42"
+        round_trip = JobSpec.from_dict(spec.to_dict())
+        assert round_trip.correlation_id == "req-abc/42"
+
+    def test_excluded_from_content_hash(self):
+        a = JobSpec(**tiny_spec(correlation_id="caller-a")).validated()
+        b = JobSpec(**tiny_spec(correlation_id="caller-b")).validated()
+        plain = JobSpec(**tiny_spec()).validated()
+        assert a.content_hash() == b.content_hash() == plain.content_hash()
+        assert "correlation_id" not in a.canonical_dict()
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "x" * 129, "two\nlines", "tab\tchar", "\x00", 42, ["list"]],
+        ids=["empty", "too-long", "newline", "tab", "control", "int", "list"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(JobSpecError, match="correlation_id"):
+            JobSpec(**tiny_spec(correlation_id=bad)).validated()
+
+    def test_none_is_fine_and_absent_from_dict(self):
+        spec = JobSpec(**tiny_spec()).validated()
+        assert spec.correlation_id is None
+        assert "correlation_id" not in spec.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Worker side: every executed job carries its profile.
+
+
+class TestExecuteSpecProfile:
+    def test_result_includes_exact_profile(self):
+        spec = JobSpec(**tiny_spec()).validated()
+        out = execute_spec(spec.to_dict())
+        profile = out["profile"]
+        json.dumps(profile)  # artifact must be JSON-safe
+        components = profile["components"]
+        assert sum(components.values()) == pytest.approx(
+            out["makespan"], abs=1e-9
+        )
+        assert profile["whatif_remote_local"] <= out["makespan"] + 1e-9
+        # Compact artifact: no per-segment timeline in the stored result.
+        assert "segments" not in profile
+
+    def test_execution_is_still_deterministic(self):
+        spec = JobSpec(**tiny_spec(seed=7)).validated()
+        assert execute_spec(spec.to_dict()) == execute_spec(spec.to_dict())
+
+
+# ---------------------------------------------------------------------------
+# HTTP: header -> spec -> status -> profile route, echoed back out.
+
+
+class TestHttpPropagation:
+    def test_header_rides_job_to_profile(self):
+        async def scenario(call, service):
+            done = await call(
+                "POST", "/v1/jobs?wait=1&timeout=60", tiny_spec(seed=40),
+                headers={"X-Correlation-Id": "trace-40"},
+            )
+            assert done.status == 200
+            assert done.body["state"] == "DONE"
+            assert done.body["correlation_id"] == "trace-40"
+            assert done.headers["x-correlation-id"] == "trace-40"
+
+            job_id = done.body["job_id"]
+            status = await call("GET", f"/v1/jobs/{job_id}")
+            assert status.body["correlation_id"] == "trace-40"
+
+            prof = await call("GET", f"/v1/jobs/{job_id}/profile")
+            assert prof.status == 200
+            assert prof.body["correlation_id"] == "trace-40"
+            assert prof.headers["x-correlation-id"] == "trace-40"
+            assert prof.body["hash"] == done.body["hash"]
+            components = prof.body["profile"]["components"]
+            assert sum(components.values()) == pytest.approx(
+                done.body["result"]["makespan"], abs=1e-9
+            )
+            return True
+
+        assert run(with_server(scenario))
+
+    def test_body_correlation_id_wins_over_header(self):
+        async def scenario(call, service):
+            done = await call(
+                "POST", "/v1/jobs?wait=1&timeout=60",
+                tiny_spec(seed=41, correlation_id="from-body"),
+                headers={"X-Correlation-Id": "from-header"},
+            )
+            assert done.status == 200
+            assert done.body["correlation_id"] == "from-body"
+            assert done.headers["x-correlation-id"] == "from-body"
+            return True
+
+        assert run(with_server(scenario))
+
+    def test_bad_header_correlation_id_rejected(self):
+        async def scenario(call, service):
+            bad = await call(
+                "POST", "/v1/jobs", tiny_spec(seed=42),
+                headers={"X-Correlation-Id": "y" * 200},
+            )
+            assert bad.status == 400
+            assert "correlation_id" in bad.body["error"]
+            return True
+
+        assert run(with_server(scenario))
+
+    def test_no_header_no_echo(self):
+        async def scenario(call, service):
+            done = await call(
+                "POST", "/v1/jobs?wait=1&timeout=60", tiny_spec(seed=43)
+            )
+            assert done.status == 200
+            assert "correlation_id" not in done.body
+            assert "x-correlation-id" not in done.headers
+            return True
+
+        assert run(with_server(scenario))
+
+
+class TestProfileRoute:
+    def test_unknown_job_404(self):
+        async def scenario(call, service):
+            missing = await call("GET", "/v1/jobs/nope/profile")
+            assert missing.status == 404
+            return True
+
+        assert run(with_server(scenario))
+
+    def test_pending_job_202(self):
+        async def scenario(call, service):
+            accepted = await call(
+                "POST", "/v1/jobs",
+                tiny_spec(seed=44, chaos={"sleep_s": 1.0}),
+            )
+            job_id = accepted.body["job_id"]
+            early = await call("GET", f"/v1/jobs/{job_id}/profile")
+            assert early.status == 202
+            assert early.body["state"] in ("QUEUED", "RUNNING")
+            await service.wait(job_id, timeout=60)
+            late = await call("GET", f"/v1/jobs/{job_id}/profile")
+            assert late.status == 200
+            return True
+
+        assert run(with_server(scenario))
+
+    def test_latency_histogram_served(self):
+        async def scenario(call, service):
+            done = await call(
+                "POST", "/v1/jobs?wait=1&timeout=60", tiny_spec(seed=45)
+            )
+            assert done.status == 200
+            prom = await call("GET", "/metrics?format=prometheus")
+            text = prom.body["prometheus"]
+            assert "service_job_latency_s_bucket" in text
+            assert 'service_job_latency_s_summary{quantile="0.99"}' in text
+            return True
+
+        assert run(with_server(scenario))
