@@ -1,0 +1,295 @@
+"""End-to-end engine benchmark: flat vs object simulation wall-clock.
+
+PR 8 rewrote the simulator hot loop onto struct-of-arrays state (the
+*flat* engine, :class:`repro.runtime.engines.FlatEngine`), keeping the
+per-event object engine as a bit-identical oracle twin.  This harness
+measures what that bought end to end: wall-clock of complete simulations
+of the stencil bench program under both engines, at several sizes and
+policies, written to ``BENCH_e2e.json``.
+
+Three engine labels appear in the output:
+
+* ``object`` / ``flat`` — both measured live, in this process, on this
+  machine.  Their ratio (``wall_object / wall_flat``) is the
+  machine-portable metric the perf observatory gates CI on.
+* ``before`` — **frozen** wall-clock numbers measured at commit
+  ``fa211d0`` (the tree immediately before the flat-engine PR), on the
+  development machine.  They document the headline end-to-end speedup of
+  the whole PR (engine rewrite + solver + memory-path work) and are
+  deliberately *excluded* from the ratio metrics CI compares: a frozen
+  dev-machine wall divided by a live CI wall is not a portable number.
+
+Walls are the **min over ``reps`` runs** (each rep builds a fresh
+scheduler and :class:`~repro.runtime.simulator.Simulator`): the minimum
+is the standard noise-robust estimator for a deterministic workload.
+``verify=True`` additionally proves flat and object produce bit-identical
+schedules on the smallest benched size for every policy.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from ..errors import BenchmarkError
+from ..machine import presets
+from ..runtime.simulator import Simulator
+from ..schedulers import make_scheduler
+from .hotpath import FULL_SIZES, QUICK_SIZES, build_bench_program
+
+#: Required schema of one ``BENCH_e2e.json`` entry (extra keys allowed;
+#: live entries also carry ``makespan``, which frozen ``before`` rows
+#: predate).
+E2E_SCHEMA_KEYS: dict[str, type] = {
+    "name": str,
+    "n_tasks": int,
+    "policy": str,
+    "engine": str,
+    "wall_s": float,
+    "tasks_per_s": float,
+}
+
+#: Policies timed end to end (mirrors the hotpath bench).
+E2E_POLICIES = ("las", "rgp+las")
+
+#: Engines measured live.
+ENGINES = ("object", "flat")
+
+#: Commit the ``before`` walls were measured at (pre-flat-engine tree).
+BEFORE_COMMIT = "fa211d0"
+
+#: Frozen pre-PR walls: ``(case, policy) -> wall seconds`` measured at
+#: :data:`BEFORE_COMMIT` on the development machine (four-socket preset,
+#: seed 0, single run).  Never remeasured — the old hot loop no longer
+#: exists in this tree.
+BEFORE_WALLS: dict[tuple[str, str], float] = {
+    ("synthetic-stencil-1083", "las"): 0.9490008050006509,
+    ("synthetic-stencil-1083", "rgp+las"): 0.701877049000359,
+    ("synthetic-stencil-4107", "las"): 3.2332056329996703,
+    ("synthetic-stencil-4107", "rgp+las"): 3.1805794229994717,
+    ("synthetic-stencil-10092", "las"): 7.927745519999917,
+    ("synthetic-stencil-10092", "rgp+las"): 8.140505693000705,
+}
+
+
+def bench_engine_e2e(
+    program,
+    topology,
+    policy: str,
+    engine: str,
+    *,
+    reps: int = 3,
+    seed: int = 0,
+    label: str | None = None,
+) -> dict[str, Any]:
+    """Wall-clock ``reps`` full simulations under ``engine``; keep the min.
+
+    Every rep builds a fresh scheduler and simulator (schedulers are
+    stateful).  The recorded makespan must be identical across reps —
+    the simulation is deterministic, so a flicker here means the engine
+    leaked state between runs.
+    """
+    if reps < 1:
+        raise BenchmarkError(f"need at least 1 rep, got {reps}")
+    walls: list[float] = []
+    makespan: float | None = None
+    for _ in range(reps):
+        sim = Simulator(
+            program, topology, make_scheduler(policy), seed=seed,
+            engine=engine,
+        )
+        t0 = time.perf_counter()
+        result = sim.run()
+        walls.append(time.perf_counter() - t0)
+        if makespan is None:
+            makespan = result.makespan
+        elif result.makespan != makespan:
+            raise BenchmarkError(
+                f"non-deterministic rep: {policy}/{engine} makespan "
+                f"{result.makespan!r} != {makespan!r}"
+            )
+    wall = min(walls)
+    return {
+        "name": label
+        or f"e2e/{program.name}-{program.n_tasks}/{policy}/{engine}",
+        "n_tasks": program.n_tasks,
+        "policy": policy,
+        "engine": engine,
+        "wall_s": wall,
+        "tasks_per_s": program.n_tasks / wall if wall > 0 else float("inf"),
+        "makespan": makespan,
+    }
+
+
+def before_entry(case: str, n_tasks: int, policy: str) -> dict[str, Any]:
+    """The frozen pre-PR entry for ``(case, policy)``; see :data:`BEFORE_WALLS`."""
+    wall = BEFORE_WALLS[(case, policy)]
+    return {
+        "name": f"e2e/{case}/{policy}/before",
+        "n_tasks": n_tasks,
+        "policy": policy,
+        "engine": "before",
+        "wall_s": wall,
+        "tasks_per_s": n_tasks / wall,
+        "measured_at_commit": BEFORE_COMMIT,
+    }
+
+
+def check_engine_equivalence(
+    program, topology, policy: str, seed: int = 0
+) -> None:
+    """Prove flat and object engines produce bit-identical schedules.
+
+    Exact ``==`` on every record field — no tolerance.  The flat engine's
+    correctness contract is bit-identity with the object oracle, and the
+    bench refuses to publish numbers for an engine that breaks it.
+    """
+    results = {}
+    for engine in ENGINES:
+        sim = Simulator(
+            program, topology, make_scheduler(policy), seed=seed,
+            engine=engine,
+        )
+        results[engine] = sim.run()
+    obj, flat = results["object"], results["flat"]
+    if obj.makespan != flat.makespan or len(obj.records) != len(flat.records):
+        raise BenchmarkError(
+            f"engines diverge on {policy}: makespan {obj.makespan!r} "
+            f"(object) vs {flat.makespan!r} (flat)"
+        )
+    for a, b in zip(obj.records, flat.records):
+        if (
+            a.tid != b.tid or a.core != b.core or a.socket != b.socket
+            or a.start != b.start or a.finish != b.finish
+            or a.local_bytes != b.local_bytes
+            or a.remote_bytes != b.remote_bytes
+        ):
+            raise BenchmarkError(
+                f"engines diverge on {policy} at task {a.tid}: "
+                f"{a} (object) vs {b} (flat)"
+            )
+
+
+def validate_e2e_entries(entries: Any) -> None:
+    """Enforce the ``BENCH_e2e.json`` schema; raise on any violation."""
+    if not isinstance(entries, list) or not entries:
+        raise BenchmarkError("bench output must be a non-empty list of entries")
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BenchmarkError(f"entry {i} is not an object: {entry!r}")
+        for key, typ in E2E_SCHEMA_KEYS.items():
+            if key not in entry:
+                raise BenchmarkError(f"entry {i} missing key {key!r}: {entry}")
+            value = entry[key]
+            if typ is float:
+                ok = isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                )
+            elif typ is int:
+                ok = isinstance(value, int) and not isinstance(value, bool)
+            else:
+                ok = isinstance(value, typ)
+            if not ok:
+                raise BenchmarkError(
+                    f"entry {i} key {key!r} must be {typ.__name__}, "
+                    f"got {value!r}"
+                )
+        if entry["engine"] not in ("object", "flat", "before"):
+            raise BenchmarkError(
+                f"entry {i} has unknown engine {entry['engine']!r}"
+            )
+        if entry["wall_s"] < 0 or entry["tasks_per_s"] < 0:
+            raise BenchmarkError(f"entry {i} has negative measurements: {entry}")
+        if entry["n_tasks"] < 1:
+            raise BenchmarkError(f"entry {i} has no tasks: {entry}")
+
+
+def write_e2e_entries(entries: list[dict[str, Any]], path: str | Path) -> None:
+    """Validate and write the bench entries as ``BENCH_e2e.json``."""
+    validate_e2e_entries(entries)
+    Path(path).write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def run_e2e_bench(
+    *,
+    quick: bool = False,
+    sizes: tuple[int, ...] | None = None,
+    machine: str = "four-socket",
+    reps: int = 3,
+    seed: int = 0,
+    verify: bool = True,
+    include_before: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> list[dict[str, Any]]:
+    """The full engine suite: flat vs object end to end at every size.
+
+    Returns schema-valid entries.  ``verify=True`` proves bit-identity of
+    the two engines on the smallest size for every policy before any
+    timing runs.  ``include_before=True`` adds the frozen pre-PR walls
+    for whichever benched cases have one (see :data:`BEFORE_WALLS`).
+    """
+    say = progress or (lambda _msg: None)
+    topology = presets.by_name(machine)
+    sizes = tuple(sizes) if sizes else (QUICK_SIZES if quick else FULL_SIZES)
+    programs = {}
+    for n in sizes:
+        say(f"building ~{n}-task stencil program")
+        programs[n] = build_bench_program(n, topology.n_sockets)
+
+    if verify:
+        smallest = programs[min(sizes)]
+        for policy in E2E_POLICIES:
+            say(
+                f"engine oracle check ({policy}, {smallest.n_tasks} tasks): "
+                "flat vs object schedules"
+            )
+            check_engine_equivalence(smallest, topology, policy, seed=seed)
+        say("engine oracle check passed: schedules bit-identical")
+
+    entries: list[dict[str, Any]] = []
+    for n in sizes:
+        program = programs[n]
+        case = f"{program.name}-{program.n_tasks}"
+        for policy in E2E_POLICIES:
+            if include_before and (case, policy) in BEFORE_WALLS:
+                entry = before_entry(case, program.n_tasks, policy)
+                entries.append(entry)
+                say(
+                    f"{entry['name']}: {entry['wall_s']:.3f}s wall "
+                    f"(frozen, commit {BEFORE_COMMIT})"
+                )
+            for engine in ENGINES:
+                entry = bench_engine_e2e(
+                    program, topology, policy, engine,
+                    reps=reps, seed=seed,
+                )
+                entries.append(entry)
+                say(
+                    f"{entry['name']}: {entry['wall_s']:.3f}s wall "
+                    f"(min of {reps}), {entry['tasks_per_s']:,.0f} tasks/s"
+                )
+    validate_e2e_entries(entries)
+    return entries
+
+
+def headline_e2e_speedup(entries: list[dict[str, Any]]) -> float | None:
+    """Before/flat wall ratio at the largest benched size with both.
+
+    Prefers ``rgp+las`` (the paper's policy); falls back to any policy
+    that has both a frozen ``before`` wall and a live ``flat`` wall.
+    """
+    cases: dict[tuple[int, str], dict[str, float]] = {}
+    for entry in entries:
+        parts = entry["name"].split("/")
+        if len(parts) == 4 and parts[0] == "e2e":
+            key = (entry["n_tasks"], parts[2])
+            cases.setdefault(key, {})[parts[3]] = entry["wall_s"]
+    for n, policy in sorted(
+        cases, key=lambda k: (k[0], k[1] == "rgp+las"), reverse=True
+    ):
+        walls = cases[(n, policy)]
+        if "before" in walls and "flat" in walls and walls["flat"] > 0:
+            return walls["before"] / walls["flat"]
+    return None

@@ -382,18 +382,23 @@ def cmd_ablation(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Hot-path benchmark: decisions/sec and end-to-end sim wall-clock."""
-    import json
-
+    """Host benchmarks: the hot-path suite or the e2e engine suite."""
     from .bench import (
         append_history,
         compare_bench_files,
+        headline_e2e_speedup,
         headline_speedup,
+        load_bench_file,
+        run_e2e_bench,
         run_hotpath_bench,
-        validate_entries,
+        write_e2e_entries,
         write_entries,
     )
     from .errors import BenchmarkError
+
+    out = args.out or (
+        "BENCH_e2e.json" if args.target == "e2e" else "BENCH_hotpath.json"
+    )
 
     def compare(current: str) -> None:
         report = compare_bench_files(
@@ -409,46 +414,60 @@ def cmd_bench(args) -> int:
             )
 
     if args.validate:
-        try:
-            entries = json.loads(open(args.validate).read())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise BenchmarkError(
-                f"cannot read bench file {args.validate}: {exc}"
-            ) from exc
-        validate_entries(entries)
-        print(f"{args.validate}: schema OK")
+        # load_bench_file schema-validates for whichever kind it detects.
+        kind, entries = load_bench_file(args.validate)
+        print(f"{args.validate}: schema OK ({kind}, {len(entries)} entries)")
         return 0
     if args.compare and args.against:
         # Pure file-vs-file comparison: no benchmark run at all.
         compare(args.against)
         return 0
-    entries = run_hotpath_bench(
-        quick=args.quick,
-        sizes=tuple(args.sizes) if args.sizes else None,
-        machine=args.machine,
-        reps=args.reps,
-        seed=args.seed,
-        verify=not args.no_verify,
-        progress=lambda m: print(f"  {m}", file=sys.stderr),
-    )
-    write_entries(entries, args.out)
-    print(f"bench results written to {args.out} ({len(entries)} entries)")
-    speedup = headline_speedup(entries)
-    if speedup is not None:
-        print(f"placement-cache decision-rate speedup: {speedup:.2f}x")
-    if not args.no_history:
-        headline = (
-            {"decision_speedup": speedup} if speedup is not None else None
+
+    progress = lambda m: print(f"  {m}", file=sys.stderr)  # noqa: E731
+    if args.target == "e2e":
+        entries = run_e2e_bench(
+            quick=args.quick,
+            sizes=tuple(args.sizes) if args.sizes else None,
+            machine=args.machine,
+            reps=args.reps,
+            seed=args.seed,
+            verify=not args.no_verify,
+            progress=progress,
         )
+        write_e2e_entries(entries, out)
+        kind = "e2e"
+        speedup = headline_e2e_speedup(entries)
+        headline_key = "e2e_speedup_vs_before"
+        if speedup is not None:
+            print(f"end-to-end speedup vs pre-flat-engine tree: {speedup:.2f}x")
+    else:
+        entries = run_hotpath_bench(
+            quick=args.quick,
+            sizes=tuple(args.sizes) if args.sizes else None,
+            machine=args.machine,
+            reps=args.reps,
+            seed=args.seed,
+            verify=not args.no_verify,
+            progress=progress,
+        )
+        write_entries(entries, out)
+        kind = "hotpath"
+        speedup = headline_speedup(entries)
+        headline_key = "decision_speedup"
+        if speedup is not None:
+            print(f"placement-cache decision-rate speedup: {speedup:.2f}x")
+    print(f"bench results written to {out} ({len(entries)} entries)")
+    if not args.no_history:
+        headline = {headline_key: speedup} if speedup is not None else None
         # Default the history next to the bench file so runs writing to a
         # scratch --out never touch a history elsewhere.
         history = args.history or str(
-            Path(args.out).parent / "BENCH_history.jsonl"
+            Path(out).parent / "BENCH_history.jsonl"
         )
-        append_history(history, "hotpath", entries, headline=headline)
+        append_history(history, kind, entries, headline=headline)
         print(f"history appended to {history}")
     if args.compare:
-        compare(args.out)
+        compare(out)
     return 0
 
 
@@ -483,6 +502,7 @@ def cmd_verify(args) -> int:
             policies=args.policies or None,
             budget_s=args.budget,
             out_dir=args.out_dir,
+            engine=args.engine,
             progress=(
                 (lambda m: print(f"  {m}", file=sys.stderr))
                 if args.verbose else None
@@ -509,10 +529,14 @@ def cmd_verify(args) -> int:
             return 2
         failures = 0
         for path in paths:
-            report = replay_file(path)
+            report = replay_file(path, engine=args.engine)
             print(f"{path}: {report.summary()}")
             if not report.ok:
                 failures += 1
+                if args.out_dir:
+                    from .verify import save_repro
+
+                    print(f"  repro file: {save_repro(report, args.out_dir)}")
         return 1 if failures else 0
 
     # verify diff
@@ -767,22 +791,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="hot-path host benchmark; emits BENCH_hotpath.json",
+        help="host benchmarks; emits BENCH_hotpath.json / BENCH_e2e.json",
     )
+    p.add_argument("--target", default="hotpath", choices=["hotpath", "e2e"],
+                   help="hotpath = decision-rate + cache suite; e2e = "
+                        "flat-vs-object engine wall-clock suite")
     p.add_argument("--quick", action="store_true",
                    help="smaller graph sizes (CI smoke)")
-    p.add_argument("--out", default="BENCH_hotpath.json",
+    p.add_argument("--out", default=None,
                    metavar="OUT.json",
-                   help="output file (default BENCH_hotpath.json)")
+                   help="output file (default BENCH_hotpath.json or "
+                        "BENCH_e2e.json per --target)")
     p.add_argument("--sizes", type=int, nargs="+", default=None,
                    help="task-count targets (default 1k/4k/10k, quick 300/1200)")
     p.add_argument("--machine", default="four-socket",
                    choices=sorted(presets.PRESETS))
     p.add_argument("--reps", type=int, default=3,
-                   help="decision-replay repetitions (default 3)")
+                   help="repetitions: decision replays (hotpath) or timed "
+                        "runs kept as the min (e2e); default 3")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-verify", action="store_true",
-                   help="skip the cached-vs-uncached schedule oracle check")
+                   help="skip the schedule oracle check (cached-vs-uncached "
+                        "for hotpath, flat-vs-object for e2e)")
     p.add_argument("--validate", default=None, metavar="FILE.json",
                    help="only validate an existing bench file's schema")
     p.add_argument("--compare", default=None, metavar="BASELINE.json",
@@ -874,6 +904,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default verify-repros/)")
     v.add_argument("-v", "--verbose", action="store_true",
                    help="print one progress line per seed")
+    v.add_argument("--engine", default=None,
+                   choices=["object", "flat", "both"],
+                   help="production fluid engine to diff against the "
+                        "oracle (default: simulator default); 'both' also "
+                        "demands exact flat-vs-object bit identity")
     v.set_defaults(fn=cmd_verify)
 
     v = vsub.add_parser(
@@ -882,6 +917,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     v.add_argument("paths", nargs="+", metavar="FILE|DIR",
                    help="case files, or directories of *.json cases")
+    v.add_argument("--engine", default=None,
+                   choices=["object", "flat", "both"],
+                   help="production fluid engine to diff against the "
+                        "oracle (default: simulator default); 'both' also "
+                        "demands exact flat-vs-object bit identity")
+    v.add_argument("--out-dir", default=None, metavar="DIR",
+                   help="serialize diverging cases to DIR (CI artifacts)")
     v.set_defaults(fn=cmd_verify)
 
     v = vsub.add_parser(

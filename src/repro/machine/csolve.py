@@ -1,0 +1,124 @@
+"""Lazy build-and-load of the C twin of the interconnect solver.
+
+``_csolve.c`` re-implements :meth:`Interconnect._solve` in C with the
+exact same floating-point operation order, so the two produce
+bit-identical rates (see the contract comment at the top of the C file).
+This module compiles it on first use with whatever system C compiler is
+available and loads it through :mod:`ctypes` — no build system, no
+package installs, and any failure (no compiler, read-only filesystem,
+exotic platform) silently falls back to the pure-python solver.
+
+Environment switches:
+
+``REPRO_PURE_SOLVER=1``
+    Never build or use the C solver (pure-python only).
+``REPRO_CSOLVE_DIR``
+    Directory for the compiled artifact (default: alongside the C
+    source, falling back to a per-user temp directory).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+_SRC = Path(__file__).with_name("_csolve.c")
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
+
+_fn = None
+_failed = False
+
+
+def _build_dir() -> Path:
+    env = os.environ.get("REPRO_CSOLVE_DIR")
+    if env:
+        return Path(env)
+    return _SRC.parent
+
+
+def _compile(out: Path) -> bool:
+    """Compile the solver into ``out``; True on success."""
+    for cc in ("cc", "gcc", "clang"):
+        tmp = out.with_name(
+            f".{out.name}.{os.getpid()}.tmp"
+        )
+        try:
+            res = subprocess.run(
+                [cc, *_CFLAGS, "-o", str(tmp), str(_SRC)],
+                capture_output=True,
+                timeout=60,
+            )
+            if res.returncode == 0 and tmp.exists():
+                os.replace(tmp, out)  # atomic vs concurrent builders
+                return True
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+    return False
+
+
+def _load_from(so: Path) -> ctypes.CFUNCTYPE | None:
+    lib = ctypes.CDLL(str(so))
+    fn = lib.repro_solve
+    fn.restype = ctypes.c_int
+    fn.argtypes = [
+        ctypes.c_int,       # n
+        ctypes.c_void_p,    # sockets (int64*)
+        ctypes.c_void_p,    # nodes (int64*)
+        ctypes.c_void_p,    # groups (int64*)
+        ctypes.c_int,       # n_nodes
+        ctypes.c_int,       # n_sock
+        ctypes.c_void_p,    # bw (double*)
+        ctypes.c_void_p,    # eff (double*, row-major)
+        ctypes.c_void_p,    # link_bw (double* or NULL)
+        ctypes.c_double,    # core_fraction (< 0 disables)
+        ctypes.c_void_p,    # out (double*)
+    ]
+    return fn
+
+
+def load():
+    """Return the compiled ``repro_solve`` or None (pure-python mode).
+
+    Caches the outcome process-wide: one build attempt per process, and
+    a stale artifact (older than the C source) is rebuilt.
+    """
+    global _fn, _failed
+    if _fn is not None or _failed:
+        return _fn
+    if os.environ.get("REPRO_PURE_SOLVER"):
+        _failed = True
+        return None
+    try:
+        tag = f"{sys.implementation.cache_tag or 'py'}"
+        candidates = [
+            _build_dir() / f"_csolve-{tag}.so",
+            Path(tempfile.gettempdir())
+            / f"repro-csolve-{os.getuid()}"
+            / f"_csolve-{tag}.so",
+        ]
+        src_mtime = _SRC.stat().st_mtime
+        for so in candidates:
+            try:
+                if so.exists() and so.stat().st_mtime >= src_mtime:
+                    _fn = _load_from(so)
+                    return _fn
+                so.parent.mkdir(parents=True, exist_ok=True)
+                if _compile(so):
+                    _fn = _load_from(so)
+                    return _fn
+            except OSError:
+                continue
+    except Exception:
+        pass
+    _failed = True
+    return None

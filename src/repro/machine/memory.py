@@ -60,6 +60,23 @@ class RegionPlacement:
     def total_bound(self) -> int:
         return int(self.bytes_per_node.sum())
 
+    def node_items(self) -> list[tuple[int, int]]:
+        """``[(node, bytes), ...]`` for nodes actually holding bytes.
+
+        Computed once and cached on the instance: placements are immutable
+        and shared through the range cache, so the hot consumers
+        (``traffic_streams``, LAS weighting) skip per-query numpy scans.
+        """
+        items = self.__dict__.get("_node_items")
+        if items is None:
+            items = [
+                (n, int(b))
+                for n, b in enumerate(self.bytes_per_node.tolist())
+                if b
+            ]
+            object.__setattr__(self, "_node_items", items)
+        return items
+
     def dominant_node(self) -> int | None:
         """Node holding the most bytes, or ``None`` if nothing is bound."""
         if self.total_bound == 0:
@@ -99,6 +116,10 @@ class MemoryManager:
         self.cache_enabled = bool(cache)
         self.check_cache = _check_cache_env() if check is None else bool(check)
         self._ver: dict[int, int] = {}
+        #: object key -> count of still-unbound pages; lets ``touch`` on a
+        #: fully-bound object (every read of settled data) return without
+        #: touching the page array.
+        self._unbound: dict[int, int] = {}
         #: (key, offset, length) -> (version, RegionPlacement)
         self._range_cache: dict[tuple[int, int, int], tuple[int, RegionPlacement]] = {}
         #: task object -> (version signature, per_node, unbound); owned here
@@ -127,6 +148,7 @@ class MemoryManager:
         self._pages[key] = np.full(n_pages, UNBOUND, dtype=np.int32)
         self._sizes[key] = int(size_bytes)
         self._ver[key] = 0
+        self._unbound[key] = n_pages
 
     def is_registered(self, key: int) -> bool:
         return key in self._pages
@@ -184,6 +206,15 @@ class MemoryManager:
         """
         self._check_node(node)
         self._check_key(key)
+        if self._unbound[key] == 0:
+            if self.check_cache and int(
+                (self._pages[key] == UNBOUND).sum()
+            ) != 0:
+                raise MemoryError_(
+                    f"unbound-page counter diverged for object {key}: "
+                    "counter says fully bound, pages disagree"
+                )
+            return 0  # fully bound: a touch can never move pages
         pages = self._pages[key]
         sl = self._page_range(key, offset, length)
         window = pages[sl]
@@ -191,6 +222,7 @@ class MemoryManager:
         n_new = int(newly.sum())
         if n_new:
             window[newly] = node
+            self._unbound[key] -= n_new
             self.bytes_on_node[node] += n_new * self.page_size
             self.touch_count += n_new
             self._invalidate(key)
@@ -220,6 +252,8 @@ class MemoryManager:
             if old != UNBOUND:
                 self.bytes_on_node[old] -= count * self.page_size
                 self.migrated_pages += count
+            else:
+                self._unbound[key] -= count
             self.bytes_on_node[node] += count * self.page_size
         window[:] = node
         if changed:
@@ -265,6 +299,7 @@ class MemoryManager:
         pages = self._pages[key]
         for i in range(len(pages)):
             self._rebind_page(pages, i, nodes[i % len(nodes)])
+        self._unbound[key] = 0  # every page is bound after an interleave
         self._invalidate(key)
         if self.probe is not None:
             self.probe.on_memory_op(self, "interleave", key)
@@ -299,14 +334,14 @@ class MemoryManager:
         object's placement version changes; the returned byte array is
         read-only (copy it before mutating).
         """
-        self._check_key(key)
-        size = self._sizes[key]
+        ver = self._ver.get(key)
+        if ver is None:
+            self._check_key(key)
         if length is None:
-            length = size - offset
+            length = self._sizes[key] - offset
         if not self.cache_enabled:
             return self._compute_range(key, offset, length)
         cache_key = (key, offset, length)
-        ver = self._ver[key]
         hit = self._range_cache.get(cache_key)
         if hit is not None and hit[0] == ver:
             self.cache_hits += 1
@@ -329,20 +364,35 @@ class MemoryManager:
 
     def _compute_range(self, key: int, offset: int, length: int) -> RegionPlacement:
         sl = self._page_range(key, offset, length)
-        per_node = np.zeros(self.n_nodes, dtype=np.int64)
         if sl.stop == sl.start:
+            per_node = np.zeros(self.n_nodes, dtype=np.int64)
             per_node.setflags(write=False)
             return RegionPlacement(bytes_per_node=per_node, unbound_bytes=0)
-        pages = self._pages[key]
-        window = pages[sl]
+        window = self._pages[key][sl].tolist()
         # Per-page overlap with [offset, offset+length): full pages except
-        # possibly the first and last (vectorised; no per-page Python loop).
-        starts = np.arange(sl.start, sl.stop, dtype=np.int64) * self.page_size
-        overlap = np.minimum(starts + self.page_size, offset + length)
-        overlap -= np.maximum(starts, offset)
-        bound = window != UNBOUND
-        np.add.at(per_node, window[bound], overlap[bound])
-        unbound = int(overlap[~bound].sum())
+        # possibly the first and last.  Ranges here are a handful of pages,
+        # so a plain loop beats the vectorised form (exact int math either
+        # way).
+        page_size = self.page_size
+        end = offset + length
+        last = len(window) - 1
+        acc = [0] * self.n_nodes
+        unbound = 0
+        for i, nd in enumerate(window):
+            if 0 < i < last:
+                ob = page_size
+            else:
+                s = (sl.start + i) * page_size
+                lo = s if s > offset else offset
+                hi = s + page_size
+                if hi > end:
+                    hi = end
+                ob = hi - lo
+            if nd == UNBOUND:
+                unbound += ob
+            else:
+                acc[nd] += ob
+        per_node = np.array(acc, dtype=np.int64)
         per_node.setflags(write=False)
         return RegionPlacement(bytes_per_node=per_node, unbound_bytes=unbound)
 

@@ -23,21 +23,29 @@ from .task import Task
 
 
 def _signature(task: Task, memory: MemoryManager) -> tuple[int, ...]:
-    """Placement-version signature of every object the task accesses."""
-    return tuple(memory.object_version(a.obj.key) for a in task.accesses)
+    """Placement-version signature of every object the task accesses.
+
+    Reads the manager's version table directly (KeyError on an
+    unregistered object carries the same meaning as the public accessor's
+    error, and this runs once per scheduling decision).
+    """
+    ver = memory._ver
+    return tuple(ver[a.obj.key] for a in task.accesses)
 
 
 def _compute_allocated(
     task: Task, memory: MemoryManager
 ) -> tuple[np.ndarray, int]:
-    per_node = np.zeros(memory.n_nodes, dtype=np.int64)
+    acc = [0] * memory.n_nodes
     unbound = 0
     for access in task.accesses:
         placement = memory.node_bytes_of_range(
             access.obj.key, access.offset, access.length
         )
-        per_node += placement.bytes_per_node
+        for n, b in placement.node_items():
+            acc[n] += b
         unbound += placement.unbound_bytes
+    per_node = np.array(acc, dtype=np.int64)
     per_node.setflags(write=False)
     return per_node, unbound
 
@@ -90,7 +98,10 @@ def traffic_streams(task: Task, memory: MemoryManager) -> dict[int, float]:
             access.obj.key, access.offset, access.length
         )
         mult = access.mode.traffic_multiplier
-        for node in np.flatnonzero(placement.bytes_per_node):
-            nbytes = float(placement.bytes_per_node[node]) * mult
-            streams[int(node)] = streams.get(int(node), 0.0) + nbytes
+        for node, b in placement.node_items():
+            nbytes = float(b) * mult
+            if node in streams:
+                streams[node] += nbytes
+            else:
+                streams[node] = nbytes
     return streams

@@ -54,40 +54,23 @@ from ..machine.interconnect import Interconnect, StreamKey
 from ..machine.memory import DEFAULT_PAGE_SIZE, MemoryManager
 from ..machine.topology import NumaTopology
 from .cost import traffic_streams
+from .engines import (  # noqa: F401 (re-export)
+    _EPS,
+    _EPS_BYTES,
+    _INF,
+    ENGINES,
+    _Running,
+)
 from .placement import Placement
 from .program import TaskProgram
 from .result import SimulationResult, TaskRecord
 from .task import Task
 
-#: Time tolerance (timer coalescing, compute drain).
-_EPS = 1e-9
+
 def _verify_env() -> bool:
     """True when ``REPRO_VERIFY`` asks for the online invariant checker."""
     flag = os.environ.get("REPRO_VERIFY", "").strip().lower()
     return flag not in ("", "0", "off", "false")
-
-
-#: Byte tolerance: streams hold up to ~1e8 bytes and are drained by
-#: ``rate * dt`` with dt derived from float time arithmetic, so residues of
-#: ~1e-7 bytes are normal round-off, not pending work.  A hundredth of a
-#: byte is far below anything the model can resolve.
-_EPS_BYTES = 1e-2
-
-
-@dataclass(eq=False)
-class _Running:
-    task: Task
-    core: int
-    socket: int
-    start: float
-    compute_remaining: float
-    streams: dict[int, float]  # node -> remaining bytes
-
-    def active_nodes(self) -> list[int]:
-        return [n for n, b in self.streams.items() if b > _EPS_BYTES]
-
-    def is_done(self) -> bool:
-        return self.compute_remaining <= _EPS and not self.active_nodes()
 
 
 @dataclass(order=True)
@@ -121,6 +104,7 @@ class Simulator:
         placement_cache: bool = True,
         probe=None,
         verify: bool | None = None,
+        engine: str = "flat",
     ) -> None:
         program.validate()
         self.program = program
@@ -206,6 +190,17 @@ class Simulator:
         self.n_done = 0
         self.running: dict[int, _Running] = {}
 
+        # Fluid engine (DESIGN.md §14): object = per-attempt scalar oracle,
+        # flat = struct-of-arrays numpy twin.  Bit-identical by contract.
+        engine_cls = ENGINES.get(engine)
+        if engine_cls is None:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of "
+                + "/".join(sorted(ENGINES))
+            )
+        self.engine_name = engine
+        self.engine = engine_cls(self)
+
         # Barrier epochs.
         self.n_epochs = program.n_epochs
         self.remaining_in_epoch = np.zeros(self.n_epochs, dtype=np.int64)
@@ -249,6 +244,8 @@ class Simulator:
         if wall_clock_limit is not None and wall_clock_limit <= 0:
             raise SimulationError("wall_clock_limit must be positive or None")
         self.wall_clock_limit = wall_clock_limit
+        self._deadline: float | None = None
+        self._starts_since_check = 0
         #: Cores currently failed; never idle, never dispatched to.
         self.quarantined: set[int] = set()
         self._core_speed: np.ndarray | None = None  # lazily != 1.0
@@ -451,6 +448,8 @@ class Simulator:
             if speed == 1.0:
                 return
             self._core_speed = np.ones(self.topology.n_cores)
+        # Close the rate epoch under the old speeds before mutating.
+        self.engine.on_rates_changed()
         self._core_speed[core] = speed
 
     def set_node_bandwidth_factor(self, node: int, factor: float) -> None:
@@ -465,6 +464,8 @@ class Simulator:
             if factor == 1.0:
                 return
             self._node_bw_factor = np.ones(self.topology.n_nodes)
+        # Close the rate epoch under the old bandwidths before mutating.
+        self.engine.on_rates_changed()
         self._node_bw_factor[node] = factor
 
     def crash_if_running(self, token: tuple[int, float]) -> None:
@@ -476,7 +477,7 @@ class Simulator:
         """
         tid, start = token
         rt = self.running.get(tid)
-        if rt is None or rt.start != start or rt.is_done():
+        if rt is None or rt.start != start or self.engine.attempt_done(rt):
             return
         self._crash_running(rt, "crash")
 
@@ -489,6 +490,7 @@ class Simulator:
         crash), so the retry re-reads them from wherever they live.
         """
         task = rt.task
+        self.engine.remove(rt)
         del self.running[task.tid]
         if rt.core not in self.quarantined:
             self.idle_cores[rt.socket].append(rt.core)
@@ -570,7 +572,6 @@ class Simulator:
         for task in self.program.tasks:
             if self.pending_deps[task.tid] == 0:
                 self._on_deps_satisfied(task)
-        self._dispatch()
 
         iterations = 0
         n = self.program.n_tasks
@@ -579,7 +580,15 @@ class Simulator:
             if self.wall_clock_limit is not None
             else None
         )
+        # Per-batch budget enforcement: ``_start`` re-checks this deadline
+        # every few starts so one huge dispatch batch cannot overshoot the
+        # wall-clock budget arbitrarily (the loop-top check below only runs
+        # once per event).
+        self._deadline = deadline
+        self._starts_since_check = 0
+        engine = self.engine
         try:
+            self._dispatch()
             while self.n_done < n:
                 iterations += 1
                 if iterations > self.max_iterations:
@@ -594,32 +603,28 @@ class Simulator:
                         f"exceeded at t={self.now:.4g} "
                         f"({self.n_done}/{n} tasks done)"
                     )
-                next_completion, finish_by_task = self._predict_completions()
-                next_timer = self._timers[0].time if self._timers else np.inf
+                engine.refresh()
+                next_completion = engine.next_completion()
+                next_timer = self._timers[0].time if self._timers else _INF
                 t_next = min(next_completion, next_timer)
-                if not np.isfinite(t_next):
+                if t_next == _INF:
                     self._raise_deadlock()
-                dt = t_next - self.now
-                if dt > 0:
-                    self._drain(dt)
+                if t_next > self.now:
                     self.now = t_next
-                else:
-                    self.now = max(self.now, t_next)
+                    # Mid-epoch stream departures free controller share:
+                    # rebase to byte state if the clock crossed one.
+                    engine.advance()
 
                 while self._timers and self._timers[0].time <= self.now + _EPS:
                     timer = heapq.heappop(self._timers)
                     if self.probe is not None:
-                        # Even a no-op pop is replay-relevant: draining in
-                        # two steps is not float-identical to one step, so
-                        # the oracle must stop wherever production stopped.
+                        # Even a no-op pop is replay-relevant: epoch
+                        # boundaries depend on where production stopped, so
+                        # the oracle must stop at the same instants.
                         self.probe.on_timer(timer.time)
                     timer.callback()
 
-                completed = sorted(
-                    (rt for rt in self.running.values() if rt.is_done()),
-                    key=lambda rt: rt.task.tid,
-                )
-                for rt in completed:
+                for rt in engine.completed():
                     self._finish(rt)
                 self._dispatch()
                 if self.probe is not None:
@@ -667,6 +672,7 @@ class Simulator:
         produced no :class:`SimulationResult`, so there is no schedule for
         them to corrupt.
         """
+        self.engine.clear()
         for rt in self.running.values():
             if rt.core not in self.quarantined:
                 self.idle_cores[rt.socket].append(rt.core)
@@ -847,13 +853,16 @@ class Simulator:
 
         compute = task.work
         local_bytes = remote_bytes = 0.0
-        for n in streams:
-            compute += self.interconnect.access_latency(socket, n)
-            self.bytes_by_pair[socket, n] += streams[n]
+        has_latency = self.interconnect.latency_cost_per_access != 0.0
+        pair_row = self.bytes_by_pair[socket]
+        for n, b in streams.items():
+            if has_latency:
+                compute += self.interconnect.access_latency(socket, n)
+            pair_row[n] += b
             if n == socket:
-                local_bytes += streams[n]
+                local_bytes += b
             else:
-                remote_bytes += streams[n]
+                remote_bytes += b
         self._start_traffic[task.tid] = (local_bytes, remote_bytes)
 
         if self.obs is not None:
@@ -887,7 +896,21 @@ class Simulator:
             compute_remaining=compute,
             streams=streams,
         )
+        # Engine admission BEFORE the running-dict insert: ``add`` closes
+        # the current rate epoch, and a materialize over ``running`` must
+        # only ever see attempts that existed at the last refresh.
+        self.engine.add(rt)
         self.running[task.tid] = rt
+        if self._deadline is not None:
+            self._starts_since_check += 1
+            if self._starts_since_check >= 128:
+                self._starts_since_check = 0
+                if time.monotonic() > self._deadline:
+                    raise SimulationError(
+                        f"wall-clock limit of {self.wall_clock_limit:g}s "
+                        f"exceeded mid-dispatch at t={self.now:.4g} "
+                        f"({self.n_done}/{self.program.n_tasks} tasks done)"
+                    )
         if self.probe is not None:
             self.probe.on_start(rt, factor, int(self.attempts[task.tid]))
         if self.obs is not None:
@@ -899,6 +922,7 @@ class Simulator:
 
     def _finish(self, rt: _Running) -> None:
         task = rt.task
+        self.engine.remove(rt)
         del self.running[task.tid]
         self.idle_cores[rt.socket].append(rt.core)
         self.done[task.tid] = True
@@ -961,17 +985,8 @@ class Simulator:
                 self._offer(held)
 
     # ------------------------------------------------------------------
-    # Fluid-flow mechanics
+    # Fluid-flow mechanics (the drain/predict math lives in .engines)
     # ------------------------------------------------------------------
-    def _collect_streams(self) -> tuple[list[StreamKey], list[tuple[_Running, int]]]:
-        keys: list[StreamKey] = []
-        refs: list[tuple[_Running, int]] = []
-        for rt in self.running.values():
-            for n in rt.active_nodes():
-                keys.append(StreamKey(rt.socket, n, group=rt.task.tid))
-                refs.append((rt, n))
-        return keys, refs
-
     def _stream_rates(self, keys: list[StreamKey]) -> np.ndarray:
         """Interconnect rates, degraded per-node when a fault plan says so."""
         rates = self.interconnect.stream_rates(keys)
@@ -987,46 +1002,6 @@ class Simulator:
         if self._core_speed is None:
             return 1.0
         return float(self._core_speed[core])
-
-    def _predict_completions(self) -> tuple[float, dict[int, float]]:
-        """Earliest absolute finish time over running tasks (exact while the
-        active set is unchanged)."""
-        if not self.running:
-            return np.inf, {}
-        keys, refs = self._collect_streams()
-        rates = self._stream_rates(keys)
-        if self._core_speed is None:
-            drain_time: dict[int, float] = {
-                tid: rt.compute_remaining for tid, rt in self.running.items()
-            }
-        else:
-            drain_time = {
-                tid: rt.compute_remaining / self._compute_speed(rt.core)
-                for tid, rt in self.running.items()
-            }
-        for (rt, node), rate in zip(refs, rates):
-            if rate <= 0:
-                raise SimulationError("stream with zero rate — bad bandwidth config")
-            t = rt.streams[node] / rate
-            if t > drain_time[rt.task.tid]:
-                drain_time[rt.task.tid] = t
-        finish = {tid: self.now + t for tid, t in drain_time.items()}
-        return min(finish.values()), finish
-
-    def _drain(self, dt: float) -> None:
-        keys, refs = self._collect_streams()
-        rates = self._stream_rates(keys)
-        for (rt, node), rate in zip(refs, rates):
-            left = rt.streams[node] - rate * dt
-            rt.streams[node] = left if left > _EPS_BYTES else 0.0
-        if self._core_speed is None:
-            for rt in self.running.values():
-                left = rt.compute_remaining - dt
-                rt.compute_remaining = left if left > _EPS else 0.0
-        else:
-            for rt in self.running.values():
-                left = rt.compute_remaining - self._compute_speed(rt.core) * dt
-                rt.compute_remaining = left if left > _EPS else 0.0
 
     # ------------------------------------------------------------------
     def _stuck_tasks(self, limit: int = 8) -> str:

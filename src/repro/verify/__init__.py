@@ -14,6 +14,7 @@ from .differential import (
     DifferentialReport,
     Divergence,
     VerifyCase,
+    compare_engines,
     differential_run,
     program_from_dict,
     program_to_dict,
@@ -43,6 +44,7 @@ __all__ = [
     "SimProbe",
     "TraceEvent",
     "VerifyCase",
+    "compare_engines",
     "differential_run",
     "fuzz",
     "make_case",

@@ -37,7 +37,13 @@ from ..faults.plan import (
 from ..machine.topology import NumaTopology, uniform_distance_matrix
 from ..runtime.data import AccessMode, DataAccess
 from ..runtime.program import TaskProgram
-from .differential import DifferentialReport, VerifyCase, run_case, save_repro
+from .differential import (
+    DifferentialReport,
+    VerifyCase,
+    compare_engines,
+    run_case,
+    save_repro,
+)
 
 #: One label per verified policy configuration (the acceptance matrix).
 POLICY_MATRIX: list[tuple[str, str, dict]] = [
@@ -276,6 +282,7 @@ def fuzz(
     policies: list[str] | None = None,
     budget_s: float | None = None,
     out_dir: str | None = None,
+    engine: str | None = None,
     progress=None,
 ) -> FuzzReport:
     """Differential-fuzz the given seeds (an int count or an iterable).
@@ -283,7 +290,11 @@ def fuzz(
     ``policies`` filters :data:`POLICY_MATRIX` by label; ``budget_s`` stops
     after a wall-clock budget (the seeds actually covered are reported);
     ``out_dir`` receives a repro file per divergence; ``progress`` is an
-    optional callable receiving one line per seed.
+    optional callable receiving one line per seed.  ``engine`` selects the
+    production fluid engine diffed against the oracle (None = simulator
+    default); ``"both"`` runs each case under *both* engines, demands
+    exact flat-vs-object bit identity, then diffs the flat run against
+    the oracle — the strongest (and slowest) mode.
     """
     if isinstance(seeds, int):
         seeds = range(seeds)
@@ -304,7 +315,12 @@ def fuzz(
         outcomes = []
         for label, scheduler, scheduler_kwargs in matrix:
             case = make_case(seed, label, scheduler, scheduler_kwargs)
-            diff = run_case(case)
+            if engine == "both":
+                diff = compare_engines(case)
+                if diff.status != "divergence":
+                    diff = run_case(case, engine="flat")
+            else:
+                diff = run_case(case, engine=engine)
             report.n_cases += 1
             if diff.status == "ok":
                 report.n_ok += 1

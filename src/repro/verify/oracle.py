@@ -136,12 +136,13 @@ class _Attempt:
     start: float
     compute_remaining: float
     streams: dict[int, float]
-
-    def active_nodes(self) -> list[int]:
-        return [n for n, b in self.streams.items() if b > _EPS_BYTES]
-
-    def is_done(self) -> bool:
-        return self.compute_remaining <= _EPS and not self.active_nodes()
+    # Rate-epoch state (mirrors the production engines, DESIGN.md §14).
+    n_active: int = 0
+    s_rate: dict[int, float] = field(default_factory=dict)
+    s_deadline: dict[int, float] = field(default_factory=dict)
+    c_deadline: float = 0.0
+    fin_deadline: float = math.inf
+    done_deadline: float = math.inf
 
 
 @dataclass
@@ -272,6 +273,11 @@ class ReferenceSimulator:
         self.wasted_work = 0.0
         self.cores_failed = 0
 
+        # Rate-epoch state (same two-phase drain as the production
+        # engines, re-implemented independently; see DESIGN.md §14).
+        self._valid = True
+        self._dep_min = math.inf
+
     # ------------------------------------------------------------------
     def _desync(self, message: str) -> None:
         raise VerificationError(
@@ -400,7 +406,7 @@ class ReferenceSimulator:
             compute *= factor
             streams = {n: b * factor for n, b in streams.items()}
 
-        self.running[task.tid] = _Attempt(
+        rt = _Attempt(
             task=task,
             core=core,
             socket=socket,
@@ -408,9 +414,24 @@ class ReferenceSimulator:
             compute_remaining=compute,
             streams=streams,
         )
+        # Admission mirrors the production engine contract: close the
+        # epoch while the new attempt is still outside ``running``, clamp
+        # sub-tolerance streams, then insert.
+        self._materialize()
+        n_active = 0
+        for node, b in rt.streams.items():
+            if b > _EPS_BYTES:
+                n_active += 1
+            else:
+                rt.streams[node] = 0.0
+        rt.n_active = n_active
+        self._valid = False
+        self.running[task.tid] = rt
 
     def _finish(self, rt: _Attempt) -> None:
         task = rt.task
+        self._materialize()
+        self._valid = False
         del self.running[task.tid]
         self.idle_cores[rt.socket].append(rt.core)
         self.done[task.tid] = True
@@ -447,6 +468,8 @@ class ReferenceSimulator:
 
     def _crash(self, rt: _Attempt, reason: str) -> None:
         task = rt.task
+        self._materialize()
+        self._valid = False
         del self.running[task.tid]
         if rt.core not in self.quarantined:
             self.idle_cores[rt.socket].append(rt.core)
@@ -579,6 +602,8 @@ class ReferenceSimulator:
             if speed == 1.0:
                 return
             self._core_speed = np.ones(self.topology.n_cores)
+        # Close the rate epoch under the old speeds before mutating.
+        self._materialize()
         self._core_speed[core] = speed
 
     def _set_node_bw(self, node: int, factor: float) -> None:
@@ -586,6 +611,8 @@ class ReferenceSimulator:
             if factor == 1.0:
                 return
             self._node_bw_factor = np.ones(self.topology.n_nodes)
+        # Close the rate epoch under the old bandwidths before mutating.
+        self._materialize()
         self._node_bw_factor[node] = factor
 
     # ------------------------------------------------------------------
@@ -595,9 +622,10 @@ class ReferenceSimulator:
         keys: list[StreamKey] = []
         refs: list[tuple[_Attempt, int]] = []
         for rt in self.running.values():
-            for n in rt.active_nodes():
-                keys.append(StreamKey(rt.socket, n, group=rt.task.tid))
-                refs.append((rt, n))
+            for n, b in rt.streams.items():
+                if b > _EPS_BYTES:
+                    keys.append(StreamKey(rt.socket, n, group=rt.task.tid))
+                    refs.append((rt, n))
         return keys, refs
 
     def _stream_rates(self, keys: list[StreamKey]) -> np.ndarray:
@@ -614,43 +642,87 @@ class ReferenceSimulator:
             return 1.0
         return float(self._core_speed[core])
 
-    def _predict(self) -> float:
+    def _materialize(self) -> None:
+        """Rebase deadline state into byte space at ``now``; end the epoch."""
+        if not self._valid:
+            return
+        now = self.now
+        for rt in self.running.values():
+            streams = rt.streams
+            n_active = rt.n_active
+            s_rate = rt.s_rate
+            for node, d in rt.s_deadline.items():
+                b = s_rate[node] * (d - now)
+                if b > _EPS_BYTES:
+                    streams[node] = b
+                else:
+                    streams[node] = 0.0
+                    n_active -= 1
+            rt.n_active = n_active
+            speed = self._speed(rt.core)
+            c = speed * (rt.c_deadline - now)
+            rt.compute_remaining = c if c > _EPS else 0.0
+        self._valid = False
+
+    def _refresh(self) -> None:
+        """Open a rate epoch at ``now``: absolute deadlines per stream."""
+        if self._valid:
+            return
+        dep_min = math.inf
+        if self.running:
+            now = self.now
+            keys, refs = self._collect_streams()
+            for rt in self.running.values():
+                rt.s_rate = {}
+                rt.s_deadline = {}
+            rates = self._stream_rates(keys)
+            for (rt, node), rate in zip(refs, rates):
+                rate = float(rate)
+                rt.s_rate[node] = rate
+                rt.s_deadline[node] = now + rt.streams[node] / rate
+            for rt in self.running.values():
+                speed = self._speed(rt.core)
+                cd = now + rt.compute_remaining / speed
+                fin = cd
+                done = cd - _EPS / speed
+                s_rate = rt.s_rate
+                for node, d in rt.s_deadline.items():
+                    if d > fin:
+                        fin = d
+                    dd = d - _EPS_BYTES / s_rate[node]
+                    if dd > done:
+                        done = dd
+                    if dd < dep_min:
+                        dep_min = dd
+                rt.c_deadline = cd
+                rt.fin_deadline = fin
+                rt.done_deadline = done
+                rt.n_active = len(rt.s_deadline)
+        self._dep_min = dep_min
+        self._valid = True
+
+    def _advance(self) -> None:
+        if self._valid and self.now >= self._dep_min:
+            self._materialize()
+
+    def _next_completion(self) -> float:
         if not self.running:
             return math.inf
-        keys, refs = self._collect_streams()
-        rates = self._stream_rates(keys)
-        if self._core_speed is None:
-            drain_time = {
-                tid: rt.compute_remaining for tid, rt in self.running.items()
-            }
-        else:
-            drain_time = {
-                tid: rt.compute_remaining / self._speed(rt.core)
-                for tid, rt in self.running.items()
-            }
-        for (rt, node), rate in zip(refs, rates):
-            if rate <= 0:
-                self._desync("stream with zero rate")
-            t = rt.streams[node] / rate
-            if t > drain_time[rt.task.tid]:
-                drain_time[rt.task.tid] = t
-        finish = {tid: self.now + t for tid, t in drain_time.items()}
-        return min(finish.values())
+        return min(rt.fin_deadline for rt in self.running.values())
 
-    def _drain(self, dt: float) -> None:
-        keys, refs = self._collect_streams()
-        rates = self._stream_rates(keys)
-        for (rt, node), rate in zip(refs, rates):
-            left = rt.streams[node] - rate * dt
-            rt.streams[node] = left if left > _EPS_BYTES else 0.0
-        if self._core_speed is None:
-            for rt in self.running.values():
-                left = rt.compute_remaining - dt
-                rt.compute_remaining = left if left > _EPS else 0.0
+    def _completed(self) -> list[_Attempt]:
+        now = self.now
+        if self._valid:
+            done = [
+                rt for rt in self.running.values() if rt.done_deadline <= now
+            ]
         else:
-            for rt in self.running.values():
-                left = rt.compute_remaining - self._speed(rt.core) * dt
-                rt.compute_remaining = left if left > _EPS else 0.0
+            done = [
+                rt for rt in self.running.values()
+                if rt.n_active == 0 and rt.compute_remaining <= _EPS
+            ]
+        done.sort(key=lambda rt: rt.task.tid)
+        return done
 
     # ------------------------------------------------------------------
     def run(self) -> OracleOutcome:
@@ -670,7 +742,8 @@ class ReferenceSimulator:
                     f"no convergence after {iterations} iterations "
                     f"({self.n_done}/{n} tasks done)"
                 )
-            next_completion = self._predict()
+            self._refresh()
+            next_completion = self._next_completion()
             next_event = (
                 self._events[self._ev].time
                 if self._ev < len(self._events)
@@ -682,12 +755,9 @@ class ReferenceSimulator:
                     f"replay deadlock ({self.n_done}/{n} done, "
                     f"{len(self.parked)} parked, no event left)"
                 )
-            dt = t_next - self.now
-            if dt > 0:
-                self._drain(dt)
+            if t_next > self.now:
                 self.now = t_next
-            else:
-                self.now = max(self.now, t_next)
+                self._advance()
 
             while (
                 self._ev < len(self._events)
@@ -697,11 +767,7 @@ class ReferenceSimulator:
                 self._ev += 1
                 self._apply(ev)
 
-            completed = sorted(
-                (rt for rt in self.running.values() if rt.is_done()),
-                key=lambda rt: rt.task.tid,
-            )
-            for rt in completed:
+            for rt in self._completed():
                 self._finish(rt)
             self._dispatch()
 

@@ -226,3 +226,81 @@ def test_cli_compare_unreadable_baseline_exits_six(tmp_path):
     code = main(["bench", "--compare", str(tmp_path / "nope.json"),
                  "--against", path])
     assert code == EXIT_BENCHMARK
+
+
+# ---------------------------------------------------------------------------
+# e2e engine-bench kind (PR 8).
+
+E2E_ENTRIES = [
+    {"name": "e2e/stencil-10092/rgp+las/before", "n_tasks": 10092,
+     "policy": "rgp+las", "engine": "before", "wall_s": 8.0,
+     "tasks_per_s": 1261.5},
+    {"name": "e2e/stencil-10092/rgp+las/object", "n_tasks": 10092,
+     "policy": "rgp+las", "engine": "object", "wall_s": 2.0,
+     "tasks_per_s": 5046.0, "makespan": 456.4},
+    {"name": "e2e/stencil-10092/rgp+las/flat", "n_tasks": 10092,
+     "policy": "rgp+las", "engine": "flat", "wall_s": 1.6,
+     "tasks_per_s": 6307.5, "makespan": 456.4},
+]
+
+
+def test_load_bench_file_detects_e2e_kind(tmp_path):
+    path = _write(tmp_path, "e2e.json", E2E_ENTRIES)
+    kind, entries = load_bench_file(path)
+    assert kind == "e2e"
+    assert len(entries) == 3
+
+
+def test_e2e_ratio_metrics_exclude_frozen_before_rows():
+    metrics = derive_metrics("e2e", E2E_ENTRIES)
+    # object/flat wall ratio only; the frozen 'before' wall (another
+    # machine, another commit) must not leak into the CI-gated ratios.
+    assert set(metrics) == {"engine-speedup/stencil-10092/rgp+las"}
+    assert metrics["engine-speedup/stencil-10092/rgp+las"].value == 2.0 / 1.6
+
+
+def test_e2e_absolute_metrics_exclude_before_rows():
+    metrics = derive_metrics("e2e", E2E_ENTRIES, absolute=True)
+    assert set(metrics) == {
+        "e2e/stencil-10092/rgp+las/object",
+        "e2e/stencil-10092/rgp+las/flat",
+    }
+
+
+def test_e2e_headline_prefers_rgp_las():
+    from repro.bench import headline_e2e_speedup
+
+    assert headline_e2e_speedup(E2E_ENTRIES) == 8.0 / 1.6
+
+
+def test_e2e_schema_rejects_unknown_engine(tmp_path):
+    from repro.bench import validate_e2e_entries
+
+    bad = json.loads(json.dumps(E2E_ENTRIES))
+    bad[0]["engine"] = "turbo"
+    with pytest.raises(BenchmarkError, match="unknown engine"):
+        validate_e2e_entries(bad)
+
+
+def test_cli_compare_e2e_regression_exits_six(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", E2E_ENTRIES)
+    worse = json.loads(json.dumps(E2E_ENTRIES))
+    worse[2]["wall_s"] = 4.0  # flat engine got 2.5x slower than object
+    cur = _write(tmp_path, "cur.json", worse)
+    code = main(["bench", "--compare", base, "--against", cur])
+    assert code == EXIT_BENCHMARK == 6
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_committed_e2e_baseline_is_valid():
+    """The committed BENCH_e2e.json must parse, validate, and carry the
+    headline >= 5x before/flat speedup at the 10k-task scenario."""
+    import os
+
+    from repro.bench import headline_e2e_speedup
+
+    path = os.path.join(os.path.dirname(__file__), "..", "BENCH_e2e.json")
+    kind, entries = load_bench_file(path)
+    assert kind == "e2e"
+    speedup = headline_e2e_speedup(entries)
+    assert speedup is not None and speedup >= 5.0
