@@ -125,7 +125,9 @@ def _load_fault_plan(args):
         TaskCrash,
         parse_core_fault,
         parse_core_slowdown,
+        parse_network_degradation,
         parse_node_degradation,
+        parse_node_loss,
     )
 
     base = (
@@ -146,6 +148,16 @@ def _load_fault_plan(args):
         + tuple(
             parse_node_degradation(s)
             for s in getattr(args, "degrade_node", []) or []
+        ),
+        node_losses=base.node_losses
+        + tuple(
+            parse_node_loss(s)
+            for s in getattr(args, "lose_node", []) or []
+        ),
+        network_degradations=base.network_degradations
+        + tuple(
+            parse_network_degradation(s)
+            for s in getattr(args, "degrade_net", []) or []
         ),
         partition_timeout=(
             args.partition_timeout
@@ -184,10 +196,23 @@ def _interconnect(cfg, topo):
     )
 
 
+def build_program(app, machine):
+    """Build ``app``'s task program for ``machine``'s placement domains.
+
+    The placement domains are the machine's *leaf sockets* — the places a
+    task can run and an EP annotation can name.  Cluster machines carry
+    extra memory resources beyond the sockets (one NIC per box, so
+    ``n_resources > n_sockets``); programs must always be sized over the
+    leaf sockets, never the resource axis, and every CLI entry point goes
+    through this one helper so the two cannot drift apart.
+    """
+    return app.build(machine.n_sockets)
+
+
 def _build_sim(cfg, topo, args, faults=None, **sim_kwargs):
     params = dict(cfg.app_params.get(args.app, {}))
     app = make_app(args.app, **params)
-    program = app.build(topo.n_sockets)
+    program = build_program(app, topo)
     kwargs = _scheduler_kwargs(cfg, args)
     sim = Simulator(
         program, topo, make_scheduler(args.scheduler, **kwargs),
@@ -199,7 +224,10 @@ def _build_sim(cfg, topo, args, faults=None, **sim_kwargs):
 
 def cmd_run(args) -> int:
     cfg = _config(args)
-    topo = presets.by_name(args.machine)
+    if getattr(args, "cluster", None) is not None:
+        topo = presets.cluster(args.cluster)
+    else:
+        topo = presets.by_name(args.machine)
     faults = _load_fault_plan(args) if args.faults else None
     _, sim = _build_sim(cfg, topo, args, faults=faults)
     result = sim.run()
@@ -376,6 +404,7 @@ def cmd_ablation(args) -> int:
         "las": ablations.run_las_ablation,
         "propagation": ablations.run_propagation_ablation,
         "pipeline": ablations.run_pipeline_ablation,
+        "cluster": ablations.run_cluster_ablation,
     }[args.which]
     print(runner(cfg).render())
     return 0
@@ -647,7 +676,7 @@ def cmd_analyze(args) -> int:
     topo = presets.by_name(args.machine)
     params = dict(cfg.app_params.get(args.app, {}))
     app = make_app(args.app, **params)
-    program = app.build(topo.n_sockets)
+    program = build_program(app, topo)
     kwargs = _scheduler_kwargs(cfg, args)
     from .machine.interconnect import Interconnect
 
@@ -707,6 +736,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", required=True, choices=sorted(SCHEDULERS))
     p.add_argument("--machine", default="bullion-s16",
                    choices=sorted(presets.PRESETS))
+    p.add_argument("--cluster", type=int, default=None, metavar="N_BOXES",
+                   help="simulate an N_BOXES-node cluster (overrides "
+                        "--machine; each node is a 2-socket NUMA box)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--gantt", action="store_true", help="ASCII Gantt chart")
     p.add_argument("--trace-csv", default=None)
@@ -735,6 +767,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--degrade-node", action="append",
                    metavar="NODE@AT*FACTOR[:DUR]",
                    help="scale a memory node's bandwidth by FACTOR<1")
+    p.add_argument("--lose-node", action="append", metavar="BOX@AT[:DUR]",
+                   help="drop a whole cluster box at a time (repeatable)")
+    p.add_argument("--degrade-net", action="append",
+                   metavar="BOX@AT*FACTOR[:DUR]",
+                   help="scale a cluster box's NIC bandwidth by FACTOR<1")
     p.add_argument("--crash-prob", type=float, default=None,
                    help="per-attempt task crash probability")
     p.add_argument("--partition-timeout", type=float, default=None,
@@ -786,7 +823,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ablation", help="run an ablation sweep")
     _add_common(p)
     p.add_argument("which", choices=["window", "partitioner", "sockets",
-                                     "las", "propagation", "pipeline"])
+                                     "las", "propagation", "pipeline",
+                                     "cluster"])
     p.set_defaults(fn=cmd_ablation)
 
     p = sub.add_parser(

@@ -104,6 +104,7 @@ class RGPScheduler(Scheduler):
         partition_timeout: float | None = None,
         on_timeout: str = "fallback",
         prefetch_threshold: float | None = None,
+        hierarchical: bool | str = "auto",
     ) -> None:
         super().__init__()
         if propagation not in PROPAGATION_POLICIES:
@@ -133,7 +134,19 @@ class RGPScheduler(Scheduler):
                     "prefetch_threshold requires propagation='repartition' "
                     f"(pipelined repartitioning), got {propagation!r}"
                 )
+        if hierarchical not in (True, False, "auto"):
+            raise SchedulerError(
+                f"hierarchical must be True, False or 'auto', got "
+                f"{hierarchical!r}"
+            )
         self.partitioner = partitioner or DualRecursiveBipartitioner()
+        #: Cluster mode: partition across boxes first, then within each
+        #: box (DESIGN.md §15).  ``"auto"`` turns it on exactly when the
+        #: attached machine is a cluster; resolved per run in
+        #: :meth:`on_program_start` because the topology is known only at
+        #: attach time.
+        self.hierarchical = hierarchical
+        self._active_partitioner: Partitioner = self.partitioner
         self.window_size = (
             AUTO_WINDOW if window_size == AUTO_WINDOW else int(window_size)
         )
@@ -218,14 +231,32 @@ class RGPScheduler(Scheduler):
             and self.propagation == "repartition"
             and self.partition_delay > 0
         )
+        # Resolve the per-run partitioner: on a cluster machine (or when
+        # forced on) wrap the configured partitioner in the two-level
+        # hierarchical scheme — boxes first, sockets within each box.
+        use_hier = (
+            self.hierarchical is True
+            or (
+                self.hierarchical == "auto"
+                and getattr(self.topology, "n_boxes", 1) > 1
+            )
+        )
+        if use_hier:
+            from ..partition.hierarchical import HierarchicalPartitioner
+
+            self._active_partitioner = HierarchicalPartitioner.for_topology(
+                self.topology, inner=self.partitioner
+            )
+        else:
+            self._active_partitioner = self.partitioner
         # Observer wiring is per-run: instrumented runs stream the
         # partitioner's coarsen/initial/refine phases as events; untraced
         # runs must clear any observer left by a previous instrumented
         # run of the same scheduler object.
         if obs is not None and obs.events_enabled:
-            self.partitioner.observer = self._partition_phase_observer
+            self._active_partitioner.observer = self._partition_phase_observer
         else:
-            self.partitioner.observer = None
+            self._active_partitioner.observer = None
         self._cutoff = initial_window(program, self._base_window_size)
         self._windows = WindowTracker(
             self._cutoff, program.n_tasks, self._base_window_size
@@ -246,7 +277,7 @@ class RGPScheduler(Scheduler):
         )
         t0 = time.perf_counter() if obs is not None else 0.0
         plan = partition_window(
-            program.tdg, self._cutoff, self.topology, self.partitioner,
+            program.tdg, self._cutoff, self.topology, self._active_partitioner,
             seed=seed, with_stats=obs is not None,
         )
         self._windows_partitioned = 1
@@ -515,7 +546,7 @@ class RGPScheduler(Scheduler):
         target = TargetArchitecture.from_topology(self.topology)
         seed = int(self.rng.integers(2**31))
         result = partition_with_anchors(
-            csr, self.topology.n_sockets, anchors, self.partitioner,
+            csr, self.topology.n_sockets, anchors, self._active_partitioner,
             target=target, seed=seed,
         )
         assignment = {
@@ -676,6 +707,7 @@ class RGPLASScheduler(RGPScheduler):
         partition_seed: int | None = None,
         partition_timeout: float | None = None,
         on_timeout: str = "fallback",
+        hierarchical: bool | str = "auto",
     ) -> None:
         super().__init__(
             partitioner=partitioner,
@@ -685,4 +717,5 @@ class RGPLASScheduler(RGPScheduler):
             partition_seed=partition_seed,
             partition_timeout=partition_timeout,
             on_timeout=on_timeout,
+            hierarchical=hierarchical,
         )

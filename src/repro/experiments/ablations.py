@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.rgp import RGPScheduler
-from ..machine.presets import custom
+from ..core.rgp import RGPLASScheduler, RGPScheduler
+from ..machine.presets import cluster, custom
 from ..metrics.report import geometric_mean
 from ..partition import by_name as partitioner_by_name
 from ..schedulers import LASScheduler
@@ -269,4 +269,69 @@ def run_propagation_ablation(
             )
             result.add(prop, app_name,
                        base.makespan_mean / stats.makespan_mean)
+    return result
+
+
+#: Problem sizes for the cluster sweep.  A 16-box cluster runs 128 cores —
+#: the single-box quick sizes leave most of them idle — and placement only
+#: matters once the tile grid is several times larger than the socket
+#: count.  Iteration counts are raised on the stencils so the steady
+#: state (where the initial placement pays off or doesn't) dominates the
+#: cold start.
+CLUSTER_APP_PARAMS = {
+    "cg": dict(nt=12, tile=128, iterations=3),
+    "histogram": dict(nt=12, tile=64, n_bins=16, repeats=3),
+    "jacobi": dict(nt=12, tile=128, sweeps=6),
+    "redblack": dict(nt=12, tile=128, sweeps=6),
+}
+
+#: Window for the cluster sweep: about one sweep of the 12x12 grids plus
+#: its init tasks.  Larger windows help jacobi but hurt cg/histogram
+#: (whole-graph partitions pin the reduction chains); 256 is the knee of
+#: ablation A on these sizes.
+CLUSTER_WINDOW = 256
+
+
+def run_cluster_ablation(
+    config: ExperimentConfig | None = None,
+    box_counts: tuple[int, ...] = (16,),
+    apps: tuple[str, ...] = tuple(CLUSTER_APP_PARAMS),
+) -> AblationResult:
+    """Hierarchical RGP+LAS vs flat RGP+LAS vs EP across cluster sizes.
+
+    The baseline is **EP** (expert static placement), not LAS: on a
+    cluster the question is whether partitioning the TDG against the
+    machine hierarchy beats the hand annotations that are oblivious to
+    box boundaries.  ``hier`` is ``RGPLASScheduler`` with its default
+    ``hierarchical="auto"`` (boxes first, then sockets within each box);
+    ``flat`` forces one k-way cut over all sockets.
+    """
+    config = config or ExperimentConfig.quick()
+    result = AblationResult(
+        title="Ablation I: cluster placement (speedup vs EP)"
+    )
+    for n_boxes in box_counts:
+        cfg = ExperimentConfig(
+            topology=cluster(n_boxes),
+            remote_penalty_exp=config.remote_penalty_exp,
+            link_fraction=config.link_fraction,
+            core_fraction=config.core_fraction,
+            window_size=CLUSTER_WINDOW,
+            seeds=config.seeds,
+            app_params={k: dict(v) for k, v in CLUSTER_APP_PARAMS.items()},
+            steal=config.steal,
+        )
+        for app_name in apps:
+            program = build_program(cfg, app_name)
+            base = run_policy(cfg, program, "ep")
+            for setting, factory in (
+                ("hier", lambda: RGPLASScheduler(window_size=CLUSTER_WINDOW)),
+                ("flat", lambda: RGPLASScheduler(
+                    window_size=CLUSTER_WINDOW, hierarchical=False)),
+            ):
+                stats = run_policy(
+                    cfg, program, f"rgp+las/{setting}", factory
+                )
+                result.add(f"{n_boxes} boxes / {setting}", app_name,
+                           base.makespan_mean / stats.makespan_mean)
     return result

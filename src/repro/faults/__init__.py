@@ -1,11 +1,12 @@
 """Fault injection and resilient execution (DESIGN.md §7).
 
 Declarative :class:`FaultPlan` scenarios — core failures, stragglers,
-probabilistic task crashes, memory-node bandwidth degradation, partition
-timeouts — injected into the discrete-event simulator via timers, plus the
-recovery machinery that keeps runs completing: dependence-safe task
-re-execution with retry limits and exponential backoff, core quarantine
-with queue draining, and scheduler-side graceful degradation.
+probabilistic task crashes, memory-node bandwidth degradation, cluster
+box loss, network-link degradation, partition timeouts — injected into
+the discrete-event simulator via timers, plus the recovery machinery
+that keeps runs completing: dependence-safe task re-execution with retry
+limits and exponential backoff, core quarantine with queue draining, and
+scheduler-side graceful degradation.
 """
 
 from .injector import FaultInjector
@@ -13,19 +14,31 @@ from .plan import (
     CoreFault,
     CoreSlowdown,
     FaultPlan,
+    NetworkDegradation,
     NodeDegradation,
+    NodeLoss,
     TaskCrash,
 )
-from .spec import parse_core_fault, parse_core_slowdown, parse_node_degradation
+from .spec import (
+    parse_core_fault,
+    parse_core_slowdown,
+    parse_network_degradation,
+    parse_node_degradation,
+    parse_node_loss,
+)
 
 __all__ = [
     "CoreFault",
     "CoreSlowdown",
     "FaultInjector",
     "FaultPlan",
+    "NetworkDegradation",
     "NodeDegradation",
+    "NodeLoss",
     "TaskCrash",
     "parse_core_fault",
     "parse_core_slowdown",
+    "parse_network_degradation",
     "parse_node_degradation",
+    "parse_node_loss",
 ]

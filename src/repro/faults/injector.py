@@ -32,6 +32,8 @@ class FaultInjector:
             "slowdowns": 0,
             "task_crashes": 0,
             "node_degradations": 0,
+            "node_losses": 0,
+            "network_degradations": 0,
         }
         self._crashes_left: dict[int, float] = {
             i: (np.inf if tc.max_crashes is None else tc.max_crashes)
@@ -67,6 +69,15 @@ class FaultInjector:
             sim.schedule_timer(
                 nd.at, self._make_degradation(nd.node, nd.factor, nd.duration)
             )
+        for nl in self.plan.node_losses:
+            sim.schedule_timer(
+                nl.at, self._make_node_loss(nl.box, nl.duration)
+            )
+        for nw in self.plan.network_degradations:
+            sim.schedule_timer(
+                nw.at,
+                self._make_network_degradation(nw.box, nw.factor, nw.duration),
+            )
 
     def _make_core_fault(self, core: int, duration: float | None):
         def fire() -> None:
@@ -100,6 +111,35 @@ class FaultInjector:
 
         return fire
 
+    def _make_node_loss(self, box: int, duration: float | None):
+        def fire() -> None:
+            self._record("node_losses", box=box, duration=duration)
+            # One box loss = every core of the box failing at once; the
+            # simulator's quarantine/remap machinery does the rest.
+            for core in self.sim.topology.cores_of_box(box):
+                self.sim.fail_core(core, duration=duration)
+
+        return fire
+
+    def _make_network_degradation(
+        self, box: int, factor: float, duration: float | None
+    ):
+        nic = self.sim.topology.nic_of_box(box)
+
+        def fire() -> None:
+            self._record(
+                "network_degradations", box=box, factor=factor,
+                duration=duration,
+            )
+            self.sim.set_node_bandwidth_factor(nic, factor)
+            if duration is not None:
+                self.sim.schedule_timer(
+                    duration,
+                    lambda: self.sim.set_node_bandwidth_factor(nic, 1.0),
+                )
+
+        return fire
+
     # ------------------------------------------------------------------
     def on_task_start(self, rt) -> None:
         """Possibly doom the attempt that just started on the simulator.
@@ -126,7 +166,9 @@ class FaultInjector:
         sim = self.sim
         est = rt.compute_remaining
         if rt.streams:
-            bytes_per_node = np.zeros(sim.topology.n_nodes)
+            # Stream keys span the full resource axis (memory nodes plus,
+            # on clusters, NIC resources), not just topology.n_nodes.
+            bytes_per_node = np.zeros(sim.n_resources)
             for node, nbytes in rt.streams.items():
                 bytes_per_node[node] = nbytes
             est += sim.interconnect.best_case_time(rt.socket, bytes_per_node)

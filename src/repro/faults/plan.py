@@ -21,6 +21,17 @@ Five fault families (DESIGN.md §7):
 * ``partition_timeout`` — the window partition result is declared lost if
   it has not arrived by this simulated time; partition-based schedulers
   fall back to their propagation policy (see :mod:`repro.core.rgp`).
+
+Two cluster-only families (DESIGN.md §15; require a
+:class:`~repro.machine.topology.ClusterTopology`):
+
+* :class:`NodeLoss` — box ``box`` drops out of the cluster at ``at``:
+  every core of the box fails (permanently, or for ``duration``), its
+  running tasks crash, in-flight messages to/from it are dropped, and
+  survivors are remapped by machine distance.
+* :class:`NetworkDegradation` — box ``box``'s NIC serves ``factor``× its
+  bandwidth from ``at`` on (or for ``duration``): a congested or flapping
+  network link, distinct from the box's memory nodes degrading.
 """
 
 from __future__ import annotations
@@ -127,11 +138,51 @@ class NodeDegradation:
             )
 
 
+@dataclass(frozen=True)
+class NodeLoss:
+    """Cluster box ``box`` drops out at ``at``; ``duration=None`` is permanent.
+
+    Expands to a core failure on every core of the box: running attempts
+    crash (dropping their in-flight messages), queued work is re-offered,
+    and the remap policy routes it to the nearest surviving box by the
+    machine distance matrix.
+    """
+
+    box: int
+    at: float
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_time(f"NodeLoss(box={self.box})", self.at)
+        _check_duration(f"NodeLoss(box={self.box})", self.duration)
+
+
+@dataclass(frozen=True)
+class NetworkDegradation:
+    """Box ``box``'s NIC serves ``factor``× its bandwidth from ``at``."""
+
+    box: int
+    at: float
+    factor: float
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_time(f"NetworkDegradation(box={self.box})", self.at)
+        _check_duration(f"NetworkDegradation(box={self.box})", self.duration)
+        if not 0.0 < self.factor < 1.0:
+            raise FaultError(
+                f"NetworkDegradation(box={self.box}): factor must be in "
+                f"(0, 1), got {self.factor}"
+            )
+
+
 _EVENT_TYPES = {
     "core_faults": CoreFault,
     "slowdowns": CoreSlowdown,
     "task_crashes": TaskCrash,
     "node_degradations": NodeDegradation,
+    "node_losses": NodeLoss,
+    "network_degradations": NetworkDegradation,
 }
 
 
@@ -143,6 +194,8 @@ class FaultPlan:
     slowdowns: tuple[CoreSlowdown, ...] = ()
     task_crashes: tuple[TaskCrash, ...] = ()
     node_degradations: tuple[NodeDegradation, ...] = ()
+    node_losses: tuple[NodeLoss, ...] = ()
+    network_degradations: tuple[NetworkDegradation, ...] = ()
     partition_timeout: float | None = field(default=None)
 
     def __post_init__(self) -> None:
@@ -169,6 +222,8 @@ class FaultPlan:
             and not self.slowdowns
             and not self.task_crashes
             and not self.node_degradations
+            and not self.node_losses
+            and not self.network_degradations
             and self.partition_timeout is None
         )
 
@@ -179,6 +234,8 @@ class FaultPlan:
             + len(self.slowdowns)
             + len(self.task_crashes)
             + len(self.node_degradations)
+            + len(self.node_losses)
+            + len(self.network_degradations)
             + (self.partition_timeout is not None)
         )
 
@@ -202,7 +259,32 @@ class FaultPlan:
                     f"NodeDegradation node {nd.node} out of range "
                     f"[0, {topology.n_nodes})"
                 )
+        n_boxes = getattr(topology, "n_boxes", 1)
+        for nl in self.node_losses:
+            if n_boxes <= 1:
+                raise FaultError(
+                    "NodeLoss faults need a cluster topology (n_boxes > 1); "
+                    f"{topology.name!r} is a single box"
+                )
+            if not 0 <= nl.box < n_boxes:
+                raise FaultError(
+                    f"NodeLoss box {nl.box} out of range [0, {n_boxes})"
+                )
+        for nd in self.network_degradations:
+            if n_boxes <= 1:
+                raise FaultError(
+                    "NetworkDegradation faults need a cluster topology "
+                    f"(n_boxes > 1); {topology.name!r} is a single box"
+                )
+            if not 0 <= nd.box < n_boxes:
+                raise FaultError(
+                    f"NetworkDegradation box {nd.box} out of range "
+                    f"[0, {n_boxes})"
+                )
         permanent = {cf.core for cf in self.core_faults if cf.duration is None}
+        for nl in self.node_losses:
+            if nl.duration is None:
+                permanent.update(topology.cores_of_box(nl.box))
         if len(permanent) >= topology.n_cores:
             raise FaultError(
                 "fault plan permanently kills every core — nothing could "
@@ -292,6 +374,14 @@ class FaultPlan:
             life = "" if nd.duration is None else f" for {nd.duration:g}"
             lines.append(
                 f"node {nd.node} bandwidth x{nd.factor:g} at t={nd.at:g}{life}"
+            )
+        for nl in self.node_losses:
+            life = "permanently" if nl.duration is None else f"for {nl.duration:g}"
+            lines.append(f"box {nl.box} lost at t={nl.at:g} {life}")
+        for nw in self.network_degradations:
+            life = "" if nw.duration is None else f" for {nw.duration:g}"
+            lines.append(
+                f"box {nw.box} NIC bandwidth x{nw.factor:g} at t={nw.at:g}{life}"
             )
         if self.partition_timeout is not None:
             lines.append(

@@ -7,6 +7,8 @@ The CLI accepts repeated ``--fail-core`` / ``--slow-core`` /
 * ``CORE@AT`` or ``CORE@AT:DURATION``            → :class:`CoreFault`
 * ``CORE@AT*FACTOR`` or ``CORE@AT*FACTOR:DUR``   → :class:`CoreSlowdown`
 * ``NODE@AT*FACTOR`` or ``NODE@AT*FACTOR:DUR``   → :class:`NodeDegradation`
+* ``BOX@AT`` or ``BOX@AT:DURATION``              → :class:`NodeLoss`
+* ``BOX@AT*FACTOR`` or ``BOX@AT*FACTOR:DUR``     → :class:`NetworkDegradation`
 
 Examples::
 
@@ -14,12 +16,20 @@ Examples::
     --fail-core 3@1.5:2.0      # ... and recovers 2.0 time units later
     --slow-core 0@0*4          # core 0 runs 4x slower from the start
     --degrade-node 2@1*0.25    # node 2 at quarter bandwidth from t=1
+    --lose-node 5@2.0          # cluster box 5 drops out at t=2
+    --degrade-net 1@0*0.5      # box 1's NIC at half bandwidth from t=0
 """
 
 from __future__ import annotations
 
 from ..errors import FaultError
-from .plan import CoreFault, CoreSlowdown, NodeDegradation
+from .plan import (
+    CoreFault,
+    CoreSlowdown,
+    NetworkDegradation,
+    NodeDegradation,
+    NodeLoss,
+)
 
 
 def _split_id_at(spec: str, label: str) -> tuple[int, str]:
@@ -87,3 +97,25 @@ def parse_node_degradation(spec: str) -> NodeDegradation:
     at = _as_float(at_text, "--degrade-node", spec, "time")
     factor = _as_float(factor_text, "--degrade-node", spec, "factor")
     return NodeDegradation(node=node, at=at, factor=factor, duration=duration)
+
+
+def parse_node_loss(spec: str) -> NodeLoss:
+    """``BOX@AT[:DURATION]`` → :class:`NodeLoss`."""
+    box, rest = _split_id_at(spec, "--lose-node")
+    rest, duration = _split_duration(rest, "--lose-node", spec)
+    at = _as_float(rest, "--lose-node", spec, "time")
+    return NodeLoss(box=box, at=at, duration=duration)
+
+
+def parse_network_degradation(spec: str) -> NetworkDegradation:
+    """``BOX@AT*FACTOR[:DURATION]`` → :class:`NetworkDegradation`."""
+    box, rest = _split_id_at(spec, "--degrade-net")
+    rest, duration = _split_duration(rest, "--degrade-net", spec)
+    at_text, sep, factor_text = rest.partition("*")
+    if not sep:
+        raise FaultError(
+            f"--degrade-net spec {spec!r} needs '*FACTOR' (BOX@AT*FACTOR)"
+        )
+    at = _as_float(at_text, "--degrade-net", spec, "time")
+    factor = _as_float(factor_text, "--degrade-net", spec, "factor")
+    return NetworkDegradation(box=box, at=at, factor=factor, duration=duration)

@@ -122,6 +122,31 @@ class CSRGraph:
             vwgt = np.ones(n_vertices, dtype=np.float64)
         return cls(xadj, adjncy, adjwgt, np.asarray(vwgt, dtype=np.float64))
 
+    def induced_subgraph(
+        self, vertices: np.ndarray
+    ) -> tuple["CSRGraph", np.ndarray]:
+        """Subgraph on ``vertices`` (edges with both ends inside).
+
+        Returns the new graph and the old-id array (``old_ids[new] ==
+        old``); vertex order is preserved, so partition results map back
+        by position.
+        """
+        old_ids = np.asarray(sorted(set(int(v) for v in vertices)), dtype=np.int64)
+        if len(old_ids) and (old_ids[0] < 0 or old_ids[-1] >= self.n_vertices):
+            raise GraphError("subgraph vertex out of range")
+        new_of_old = {int(old): new for new, old in enumerate(old_ids)}
+        edges: list[tuple[int, int, float]] = []
+        for new_u, old_u in enumerate(old_ids):
+            for old_v, w in zip(self.neighbors(old_u), self.neighbor_weights(old_u)):
+                if old_v > old_u:  # each undirected edge once
+                    new_v = new_of_old.get(int(old_v))
+                    if new_v is not None:
+                        edges.append((new_u, new_v, float(w)))
+        return (
+            self.from_edges(len(old_ids), edges, self.vwgt[old_ids]),
+            old_ids,
+        )
+
     @classmethod
     def from_tdg(cls, tdg: TaskGraph) -> "CSRGraph":
         """Symmetrised CSR view of a task dependency graph."""

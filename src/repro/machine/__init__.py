@@ -9,9 +9,13 @@ accesses share memory-controller bandwidth (see DESIGN.md §2, §4).
 from .interconnect import Interconnect, StreamKey
 from .memory import DEFAULT_PAGE_SIZE, UNBOUND, MemoryManager, RegionPlacement
 from .presets import (
+    DEFAULT_NIC_FRACTION,
     DEFAULT_NODE_BANDWIDTH,
     bullion_s16,
     by_name,
+    cluster,
+    cluster16,
+    cluster64,
     custom,
     four_socket,
     single_socket,
@@ -26,16 +30,20 @@ from .serialize import (
 )
 from .topology import (
     LOCAL_DISTANCE,
+    ClusterTopology,
     NumaTopology,
+    cluster_distance_matrix,
     hierarchical_distance_matrix,
     uniform_distance_matrix,
 )
 
 __all__ = [
+    "DEFAULT_NIC_FRACTION",
     "DEFAULT_NODE_BANDWIDTH",
     "DEFAULT_PAGE_SIZE",
     "LOCAL_DISTANCE",
     "UNBOUND",
+    "ClusterTopology",
     "Interconnect",
     "MemoryManager",
     "NumaTopology",
@@ -43,6 +51,10 @@ __all__ = [
     "StreamKey",
     "bullion_s16",
     "by_name",
+    "cluster",
+    "cluster16",
+    "cluster64",
+    "cluster_distance_matrix",
     "custom",
     "four_socket",
     "hierarchical_distance_matrix",

@@ -39,7 +39,7 @@ int repro_solve(
     int n_sock,
     const double *bw,       /* [n_nodes] */
     const double *eff,      /* [n_sock][n_nodes] row-major */
-    const double *link_bw,  /* [n_sock] or NULL */
+    const double *link_bw,  /* [n_nodes] or NULL */
     double core_fraction,   /* < 0 means disabled */
     double *out)            /* [n] */
 {
@@ -170,7 +170,11 @@ int repro_solve(
         rem_node[nd] = bw[nd];
         node_floor[nd] = eps * bw[nd];
     }
-    int n_link = has_link ? n_sock : 0;
+    /* Link budgets are consumed by *node* id (a remote class drains both
+     * its reader socket's link and its target resource's link), so the
+     * array must span all n_nodes resources — sizing it by n_sock reads
+     * stale memory once clusters append NIC resources past the sockets. */
+    int n_link = has_link ? n_nodes : 0;
     for (int s = 0; s < n_link; s++) {
         rem_link[s] = link_bw[s];
         link_floor[s] = eps * (link_bw[s] > 1.0 ? link_bw[s] : 1.0);

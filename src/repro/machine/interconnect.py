@@ -107,17 +107,26 @@ class Interconnect:
         #: of one task share this budget.  ``None`` disables the constraint.
         self.core_fraction = core_fraction
         n = topology.n_sockets
-        # Precompute efficiency matrix eff[socket, node] in [0, 1].
-        eff = np.empty((n, n), dtype=np.float64)
+        # The solver arbitrates *resources*: the per-socket memory
+        # controllers, plus (on clusters) one NIC per box appended at
+        # resource ids >= n_sockets.  On a single box the resource axis is
+        # exactly the node axis and nothing below changes shape.
+        n_res = getattr(topology, "n_resources", topology.n_nodes)
+        res_bw = np.asarray(
+            getattr(topology, "resource_bandwidth", topology.node_bandwidth),
+            dtype=np.float64,
+        )
+        # Precompute efficiency matrix eff[socket, resource] in [0, 1].
+        eff = np.empty((n, n_res), dtype=np.float64)
         for s in range(n):
-            for m in range(n):
+            for m in range(n_res):
                 eff[s, m] = topology.bandwidth_factor(s, m) ** self.remote_penalty_exp
         self._eff = eff
-        self._bw = topology.node_bandwidth
+        self._bw = res_bw
         self._link_bw = (
             None
             if link_fraction is None
-            else topology.node_bandwidth * float(link_fraction)
+            else res_bw * float(link_fraction)
         )
         # Rate memo (DESIGN.md §14): the water-fill result depends only on
         # the *set* of active streams (sockets, nodes, group partition) —
@@ -165,11 +174,20 @@ class Interconnect:
         return float(self._eff[socket, node])
 
     def access_latency(self, socket: int, node: int) -> float:
-        """Fixed start-up cost of one stream (0 unless configured)."""
+        """Fixed start-up cost of one stream (0 unless configured).
+
+        ``node`` may be a NIC resource id on clusters; the network's
+        latency is charged at the machine diameter (the farthest socket
+        pair) — a message crosses the whole fabric.
+        """
         if self.latency_cost_per_access == 0.0:
             return 0.0
-        d = self.topology.dist(socket, node)
-        local = self.topology.dist(node, node)
+        if node >= self.topology.n_sockets:
+            d = self.topology.max_distance()
+            local = float(self.topology.distance[socket, socket])
+        else:
+            d = self.topology.dist(socket, node)
+            local = self.topology.dist(node, node)
         return self.latency_cost_per_access * d / local
 
     def stream_rates(self, streams: list[StreamKey]) -> np.ndarray:

@@ -8,8 +8,11 @@ cheaper than inter-module ones — a two-level distance matrix.
 
 from __future__ import annotations
 
+from ..errors import TopologyError
 from .topology import (
+    ClusterTopology,
     NumaTopology,
+    cluster_distance_matrix,
     hierarchical_distance_matrix,
     uniform_distance_matrix,
 )
@@ -98,11 +101,63 @@ def custom(
     )
 
 
+#: Default per-box NIC bandwidth as a fraction of one node's bandwidth.
+#: A commodity interconnect moves bytes roughly an order of magnitude
+#: slower than a local memory controller.
+DEFAULT_NIC_FRACTION = 0.125
+
+
+def cluster(
+    n_boxes: int,
+    sockets_per_box: int = 2,
+    cores_per_socket: int = 4,
+    node_bandwidth: float = DEFAULT_NODE_BANDWIDTH,
+    nic_fraction: float = DEFAULT_NIC_FRACTION,
+    near: float = 16.0,
+    network: float = 60.0,
+    name: str | None = None,
+) -> ClusterTopology:
+    """A cluster of identical dual-socket NUMA boxes behind a network.
+
+    Distances: 10 local, ``near`` to the sibling socket of the same box,
+    ``network`` across boxes; each box's NIC moves ``nic_fraction`` of one
+    node's bandwidth.
+    """
+    if n_boxes < 1:
+        raise TopologyError(f"need at least one box, got {n_boxes}")
+    return ClusterTopology(
+        n_sockets=n_boxes * sockets_per_box,
+        cores_per_socket=cores_per_socket,
+        distance=cluster_distance_matrix(
+            n_boxes, sockets_per_box, near=near, network=network
+        ),
+        node_bandwidth=node_bandwidth,
+        name=name or f"cluster{n_boxes}",
+        n_boxes=n_boxes,
+        sockets_per_box=sockets_per_box,
+        nic_bandwidth=node_bandwidth * nic_fraction,
+    )
+
+
+def cluster16(**kwargs) -> ClusterTopology:
+    """16 dual-socket boxes (128 cores) behind a commodity network."""
+    kwargs.setdefault("name", "cluster16")
+    return cluster(16, **kwargs)
+
+
+def cluster64(**kwargs) -> ClusterTopology:
+    """64 dual-socket boxes (512 cores) behind a commodity network."""
+    kwargs.setdefault("name", "cluster64")
+    return cluster(64, **kwargs)
+
+
 PRESETS = {
     "bullion-s16": bullion_s16,
     "two-socket": two_socket,
     "four-socket": four_socket,
     "single-socket": single_socket,
+    "cluster16": cluster16,
+    "cluster64": cluster64,
 }
 
 

@@ -13,23 +13,46 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import TopologyError
-from .topology import NumaTopology
+from .topology import ClusterTopology, NumaTopology
 
 
 def topology_to_dict(topology: NumaTopology) -> dict:
     """Plain-JSON representation of a topology."""
-    return {
+    doc = {
         "name": topology.name,
         "n_sockets": topology.n_sockets,
         "cores_per_socket": topology.cores_per_socket,
         "distance": topology.distance.tolist(),
         "node_bandwidth": topology.node_bandwidth.tolist(),
     }
+    if isinstance(topology, ClusterTopology):
+        doc["cluster"] = {
+            "n_boxes": topology.n_boxes,
+            "sockets_per_box": topology.sockets_per_box,
+            "nic_bandwidth": topology.nic_bandwidth.tolist(),
+        }
+    return doc
 
 
 def topology_from_dict(doc: dict) -> NumaTopology:
     """Inverse of :func:`topology_to_dict` (validates on construction)."""
     try:
+        cluster = doc.get("cluster")
+        if cluster is not None:
+            return ClusterTopology(
+                n_sockets=int(doc["n_sockets"]),
+                cores_per_socket=int(doc["cores_per_socket"]),
+                distance=np.asarray(doc["distance"], dtype=np.float64),
+                node_bandwidth=np.asarray(
+                    doc["node_bandwidth"], dtype=np.float64
+                ),
+                name=str(doc.get("name", "custom")),
+                n_boxes=int(cluster["n_boxes"]),
+                sockets_per_box=int(cluster["sockets_per_box"]),
+                nic_bandwidth=np.asarray(
+                    cluster["nic_bandwidth"], dtype=np.float64
+                ),
+            )
         return NumaTopology(
             n_sockets=int(doc["n_sockets"]),
             cores_per_socket=int(doc["cores_per_socket"]),

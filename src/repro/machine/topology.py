@@ -100,6 +100,22 @@ class NumaTopology:
         """Number of NUMA memory nodes (one per socket)."""
         return self.n_sockets
 
+    @property
+    def n_resources(self) -> int:
+        """Number of bandwidth resources the rate solver arbitrates.
+
+        On a single box this is exactly ``n_nodes`` (one memory controller
+        per socket).  :class:`ClusterTopology` appends one NIC resource per
+        box, so cross-box traffic contends on the network instead of the
+        remote memory controller.
+        """
+        return self.n_sockets
+
+    @property
+    def resource_bandwidth(self) -> np.ndarray:
+        """Peak bandwidth of each solver resource (length ``n_resources``)."""
+        return self.node_bandwidth
+
     def socket_of_core(self, core: int) -> int:
         """Return the socket owning ``core``."""
         if not 0 <= core < self.n_cores:
@@ -161,6 +177,149 @@ class NumaTopology:
             f"{self.name}: {self.n_sockets} sockets x "
             f"{self.cores_per_socket} cores ({self.n_cores} cores total)"
         )
+
+
+@dataclass(frozen=True, eq=False)
+class ClusterTopology(NumaTopology):
+    """A cluster of identical NUMA boxes behind a network tier.
+
+    Sockets are numbered box-major: box ``b`` owns sockets
+    ``[b * sockets_per_box, (b + 1) * sockets_per_box)``, each with its own
+    memory node exactly as on a single box.  The socket-level ``distance``
+    matrix carries the full three-level hierarchy (intra-socket <
+    inter-socket < network) and keeps driving placement, work stealing,
+    fault remapping and partitioning.
+
+    Bandwidth is where the model forks from one box: the solver's resource
+    axis grows by one **NIC resource per box** (resource id
+    ``n_sockets + box``).  Cross-box traffic is re-keyed by the simulator
+    from the remote memory node onto the *data-source box's* NIC, so
+    messages from many readers contend on that box's network port through
+    the same progressive-filling solver — explicit network contention
+    instead of an implicit remote load.
+
+    Parameters (in addition to :class:`NumaTopology`'s)
+    ----------
+    n_boxes:
+        Number of NUMA boxes; must satisfy
+        ``n_boxes * sockets_per_box == n_sockets``.
+    sockets_per_box:
+        Sockets per box.
+    nic_bandwidth:
+        Peak per-box NIC bandwidth in bytes per simulated time unit
+        (scalar broadcast to all boxes).  This single number encodes the
+        network tier's slowness; the NIC's efficiency column is 1.0.
+    """
+
+    n_boxes: int = 1
+    sockets_per_box: int = 1
+    nic_bandwidth: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n_boxes < 1:
+            raise TopologyError(f"need at least one box, got {self.n_boxes}")
+        if self.n_boxes * self.sockets_per_box != self.n_sockets:
+            raise TopologyError(
+                f"{self.n_boxes} boxes x {self.sockets_per_box} sockets "
+                f"!= {self.n_sockets} total sockets"
+            )
+        if self.nic_bandwidth is None:
+            raise TopologyError("a cluster needs an explicit nic_bandwidth")
+        nic = np.broadcast_to(
+            np.asarray(self.nic_bandwidth, dtype=np.float64), (self.n_boxes,)
+        ).copy()
+        if np.any(nic <= 0):
+            raise TopologyError("NIC bandwidth must be strictly positive")
+        nic.setflags(write=False)
+        object.__setattr__(self, "nic_bandwidth", nic)
+        resource_bw = np.concatenate([self.node_bandwidth, nic])
+        resource_bw.setflags(write=False)
+        object.__setattr__(self, "_resource_bandwidth", resource_bw)
+
+    # -- resource axis -------------------------------------------------
+    @property
+    def n_resources(self) -> int:
+        return self.n_sockets + self.n_boxes
+
+    @property
+    def resource_bandwidth(self) -> np.ndarray:
+        return self._resource_bandwidth
+
+    def bandwidth_factor(self, socket: int, resource: int) -> float:
+        """Efficiency of ``resource`` seen from ``socket``.
+
+        Memory-node columns follow the SLIT rule; NIC columns are 1.0 —
+        the NIC bandwidth itself already encodes the network slowness, and
+        every socket drives the wire equally well.
+        """
+        if resource >= self.n_sockets:
+            if resource >= self.n_resources:
+                raise TopologyError(
+                    f"resource {resource} out of range [0, {self.n_resources})"
+                )
+            return 1.0
+        return super().bandwidth_factor(socket, resource)
+
+    # -- box structure -------------------------------------------------
+    def box_of_socket(self, socket: int) -> int:
+        """Return the box owning ``socket``."""
+        self._check_socket(socket)
+        return socket // self.sockets_per_box
+
+    def sockets_of_box(self, box: int) -> range:
+        """Return the (contiguous) socket-id range of ``box``."""
+        self._check_box(box)
+        lo = box * self.sockets_per_box
+        return range(lo, lo + self.sockets_per_box)
+
+    def cores_of_box(self, box: int) -> range:
+        """Return the (contiguous) core-id range of ``box``."""
+        self._check_box(box)
+        per_box = self.sockets_per_box * self.cores_per_socket
+        lo = box * per_box
+        return range(lo, lo + per_box)
+
+    def nic_of_box(self, box: int) -> int:
+        """Solver resource id of ``box``'s NIC."""
+        self._check_box(box)
+        return self.n_sockets + box
+
+    def boxes(self) -> range:
+        """Iterate over box ids."""
+        return range(self.n_boxes)
+
+    def _check_box(self, box: int) -> None:
+        if not 0 <= box < self.n_boxes:
+            raise TopologyError(f"box {box} out of range [0, {self.n_boxes})")
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.n_boxes} boxes x {self.sockets_per_box} "
+            f"sockets x {self.cores_per_socket} cores "
+            f"({self.n_cores} cores total)"
+        )
+
+
+def cluster_distance_matrix(
+    n_boxes: int,
+    sockets_per_box: int,
+    local: float = LOCAL_DISTANCE,
+    near: float = 16.0,
+    network: float = 60.0,
+) -> np.ndarray:
+    """Three-level distance matrix for a cluster of NUMA boxes.
+
+    Sockets within a box are *near* each other; sockets in different boxes
+    sit at the *network* distance.  ``network`` should dwarf ``near`` — the
+    cross-box asymmetry is an order of magnitude steeper than on-box NUMA.
+    """
+    if not (local <= near <= network):
+        raise TopologyError("expected local <= near <= network distances")
+    return hierarchical_distance_matrix(
+        n_boxes * sockets_per_box, sockets_per_box,
+        local=local, near=near, far=network,
+    )
 
 
 def uniform_distance_matrix(

@@ -68,6 +68,11 @@ TAXONOMY: dict[str, str] = {
                          "(args: n_vertices, cut)",
     "partition.refine": "one uncoarsening refinement pass (args: level, "
                         "n_vertices, cut)",
+    # -- cluster network (DESIGN.md §15) -------------------------------
+    "msg.send": "an inter-box transfer started contending on the source "
+                "box's NIC (args: tid, src_box, dst_box, nbytes)",
+    "msg.recv": "an inter-box transfer fully drained at the reader "
+                "(args: tid, src_box, dst_box, nbytes, duration)",
     # -- faults --------------------------------------------------------
     "fault.inject": "a planned fault fired (args: family, plus the "
                     "family's parameters)",

@@ -16,6 +16,7 @@ family from scratch (DESIGN.md §2/§3):
 from .anchored import partition_with_anchors
 from .baselines import BlockPartitioner, CyclicPartitioner, RandomPartitioner
 from .coarsen import CoarseningLevel, coarsen_once, coarsen_to, heavy_edge_matching
+from .hierarchical import HierarchicalPartitioner, topology_groups
 from .initial import greedy_graph_growing, random_bisection
 from .interface import (
     DEFAULT_TOLERANCE,
@@ -68,6 +69,7 @@ __all__ = [
     "CoarseningLevel",
     "CyclicPartitioner",
     "DualRecursiveBipartitioner",
+    "HierarchicalPartitioner",
     "MultilevelKWay",
     "MultilevelKWayKL",
     "Partitioner",
@@ -92,4 +94,5 @@ __all__ = [
     "partition_with_anchors",
     "random_bisection",
     "split_architecture",
+    "topology_groups",
 ]

@@ -1,0 +1,312 @@
+"""Hierarchical (two-level) partitioning for cluster machines.
+
+A cluster's architecture graph is itself hierarchical: sockets cluster
+into boxes behind NICs, and the socket-to-socket distance matrix has
+three levels (intra-socket < inter-socket < network).  Flat k-way
+partitioning over all sockets *can* see that structure through the
+distance matrix, but it optimises all levels at once with one balance
+constraint; the hierarchy in the machine suggests partitioning the way
+SCOTCH maps onto tree architectures — cut the task graph across boxes
+first (where edges are most expensive), then recurse into each box and
+cut its share across the box's sockets.
+
+:class:`HierarchicalPartitioner` does exactly that, reusing any inner
+architecture-aware partitioner (default: the dual recursive bisection
+stand-in) at both levels:
+
+1. **across groups** — partition the graph into ``n_groups`` parts
+   against a *group-level* architecture (group distance = distance
+   between member sockets, capacity = summed socket capacities), so the
+   expensive network cut is minimised under box-level balance;
+2. **within each group** — take each group's induced subgraph and
+   partition it across the group's own sockets with the intra-group
+   distance matrix.
+
+On a single-box machine every socket forms its own group and the scheme
+degenerates to the flat partitioner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import CSRGraph
+from .interface import (
+    DEFAULT_TOLERANCE,
+    PartitionResult,
+    Partitioner,
+    TargetArchitecture,
+)
+from .recursive import DualRecursiveBipartitioner
+from .refine import greedy_kway_refine
+
+
+def topology_groups(topology) -> list[list[int]]:
+    """Socket groups of a machine: one group per cluster box.
+
+    Single-box machines (no ``n_boxes``) yield one singleton group per
+    socket, which makes :class:`HierarchicalPartitioner` equivalent to
+    its top-level pass alone.
+    """
+    n_boxes = getattr(topology, "n_boxes", 1)
+    if n_boxes > 1:
+        return [list(topology.sockets_of_box(b)) for b in range(n_boxes)]
+    return [[s] for s in range(topology.n_sockets)]
+
+
+def _contract_dominant(
+    graph: CSRGraph, weight_limit: float, dominance: float = 1.0
+) -> tuple[np.ndarray, CSRGraph]:
+    """Contract every vertex into its dominant neighbour, transitively.
+
+    A neighbour is *dominant* when its edge outweighs ``dominance`` times
+    the rest of the vertex's incident weight.  Returns the cluster id of
+    every vertex and the contracted graph (cluster vertices, coalesced
+    edges, summed vertex weights).  Unions stop at ``weight_limit`` so a
+    long chain cannot snowball past what one group can balance.
+    """
+    n = graph.n_vertices
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(v: int) -> int:
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        while parent[v] != root:
+            parent[v], v = root, parent[v]
+        return root
+
+    cluster_w = graph.vwgt.astype(np.float64).copy()
+    for v in range(n):
+        wts = graph.neighbor_weights(v)
+        if len(wts) == 0:
+            continue
+        imax = int(np.argmax(wts))
+        rest = float(wts.sum() - wts[imax])
+        if float(wts[imax]) <= dominance * rest:
+            continue
+        a, b = find(v), find(int(graph.neighbors(v)[imax]))
+        if a == b or cluster_w[a] + cluster_w[b] > weight_limit:
+            continue
+        parent[b] = a
+        cluster_w[a] += cluster_w[b]
+
+    roots = np.array([find(v) for v in range(n)], dtype=np.int64)
+    uniq, cluster_of = np.unique(roots, return_inverse=True)
+    vwgt = np.zeros(len(uniq), dtype=np.float64)
+    np.add.at(vwgt, cluster_of, graph.vwgt)
+    edges: list[tuple[int, int, float]] = []
+    for v in range(n):
+        cv = cluster_of[v]
+        for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+            if u > v and cluster_of[u] != cv:
+                edges.append((int(cv), int(cluster_of[u]), float(w)))
+    return cluster_of, CSRGraph.from_edges(len(uniq), edges, vwgt)
+
+
+class HierarchicalPartitioner(Partitioner):
+    """Two-level partitioner: across socket groups, then within each."""
+
+    name = "hier"
+
+    def __init__(
+        self,
+        groups: list[list[int]],
+        inner: Partitioner | None = None,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> None:
+        super().__init__(tolerance=tolerance)
+        if not groups:
+            raise PartitionError("need at least one socket group")
+        seen: set[int] = set()
+        for g in groups:
+            if not g:
+                raise PartitionError("socket groups must be non-empty")
+            if seen & set(g):
+                raise PartitionError("socket groups must be disjoint")
+            seen |= set(g)
+        k = sum(len(g) for g in groups)
+        if seen != set(range(k)):
+            raise PartitionError(
+                f"groups must cover sockets 0..{k - 1} exactly, got {sorted(seen)}"
+            )
+        self.groups = [sorted(g) for g in groups]
+        self.inner = inner or DualRecursiveBipartitioner(tolerance=tolerance)
+
+    @classmethod
+    def for_topology(
+        cls, topology, inner: Partitioner | None = None, **kwargs
+    ) -> "HierarchicalPartitioner":
+        return cls(topology_groups(topology), inner=inner, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _group_target(self, target: TargetArchitecture) -> TargetArchitecture:
+        """Collapse the socket architecture to one vertex per group.
+
+        Group distance is the mean over cross-group socket pairs (on a
+        cluster matrix all such pairs are equal — the network tier);
+        intra-group distance is the mean over the group's own pairs.
+        """
+        g = len(self.groups)
+        dist = np.zeros((g, g), dtype=np.float64)
+        cap = np.zeros(g, dtype=np.float64)
+        for i, gi in enumerate(self.groups):
+            cap[i] = float(target.capacity[gi].sum())
+            dist[i, i] = float(target.distance[np.ix_(gi, gi)].mean())
+            for j in range(i + 1, g):
+                gj = self.groups[j]
+                d = float(target.distance[np.ix_(gi, gj)].mean())
+                dist[i, j] = dist[j, i] = d
+        return TargetArchitecture(distance=dist, capacity=cap)
+
+    def partition(
+        self,
+        graph: CSRGraph,
+        k: int,
+        *,
+        target: TargetArchitecture | None = None,
+        seed: int = 0,
+    ) -> PartitionResult:
+        self._check_k(graph, k)
+        n_sockets = sum(len(g) for g in self.groups)
+        if k != n_sockets:
+            raise PartitionError(
+                f"hierarchical partitioner is built for {n_sockets} sockets, "
+                f"asked for k={k}"
+            )
+        if target is None:
+            target = TargetArchitecture.uniform(k)
+        if target.k != k:
+            raise PartitionError(
+                f"target architecture has {target.k} parts, requested {k}"
+            )
+        # Observer wiring flows down so multilevel phases surface as usual.
+        self.inner.observer = self.observer
+
+        # Level 1: across groups (boxes) — the expensive cut.  Dominant
+        # edges (a vertex bound to one neighbour by more weight than to
+        # everything else combined — producer/consumer chains) are
+        # pre-contracted so the group cut can never separate them: once a
+        # chain is split across groups, no within-group refinement can
+        # ever rejoin it, and on a double-buffered stencil the split costs
+        # network bandwidth on every sweep.
+        n_groups = len(self.groups)
+        if n_groups == 1:
+            group_parts = np.zeros(graph.n_vertices, dtype=np.int64)
+        else:
+            limit = 0.5 * graph.total_vertex_weight * float(
+                target.capacity.min() * max(len(g) for g in self.groups)
+            ) / float(target.capacity.sum())
+            cluster_of, coarse = _contract_dominant(graph, limit)
+            top = self.inner.partition(
+                coarse, n_groups, target=self._group_target(target), seed=seed
+            )
+            group_parts = np.asarray(top.parts, dtype=np.int64)[cluster_of]
+
+        # Level 2: within each group, over its own sockets.
+        parts = np.zeros(graph.n_vertices, dtype=np.int64)
+        for gi, sockets in enumerate(self.groups):
+            members = np.flatnonzero(group_parts == gi)
+            if len(members) == 0:
+                continue
+            if len(sockets) == 1:
+                parts[members] = sockets[0]
+                continue
+            sub, old_ids = graph.induced_subgraph(members)
+            sub_target = TargetArchitecture(
+                distance=target.distance[np.ix_(sockets, sockets)],
+                capacity=target.capacity[sockets],
+            )
+            inner_res = self.inner.partition(
+                sub, len(sockets), target=sub_target, seed=seed + gi + 1
+            )
+            socket_ids = np.asarray(sockets, dtype=np.int64)
+            parts[old_ids] = socket_ids[inner_res.parts]
+
+        # Final full-k repair pass: the level-1 cut fixes box membership
+        # before level 2 ever sees socket distances, so a chain split at a
+        # group boundary stays split across the network — no within-group
+        # refinement can move it back.  A mapping-cost-aware boundary pass
+        # over all sockets fixes exactly those mistakes.
+        parts = greedy_kway_refine(
+            graph, parts, k,
+            capacities=target.capacity,
+            tolerance=self.tolerance,
+            arch_distance=target.distance,
+        )
+        parts = self._swap_repair(graph, parts, k, target)
+        return PartitionResult(parts=parts, k=k)
+
+    def _swap_repair(
+        self,
+        graph: CSRGraph,
+        parts: np.ndarray,
+        k: int,
+        target: TargetArchitecture,
+    ) -> np.ndarray:
+        """Swap-based repair of capacity-locked cross-group splits.
+
+        A heavy producer/consumer pair split across groups often cannot be
+        rejoined by single-vertex relocation: both sockets sit at capacity,
+        so every move is infeasible and the greedy pass stalls.  This pass
+        finds vertices whose dominant edge crosses groups and *swaps* them
+        with a low-connectivity vertex from the target socket, keeping
+        balance while collapsing the expensive cut.
+        """
+        parts = np.asarray(parts, dtype=np.int64).copy()
+        dist = target.distance
+        vwgt = graph.vwgt
+        total = float(vwgt.sum())
+        cap = total * target.capacity / target.capacity.sum()
+        cap = np.maximum(cap * (1.0 + self.tolerance), vwgt.max() if len(vwgt) else 0.0)
+        weights = np.bincount(parts, weights=vwgt, minlength=k).astype(np.float64)
+        group_of = np.zeros(k, dtype=np.int64)
+        for gi, sockets in enumerate(self.groups):
+            group_of[sockets] = gi
+
+        def move_gain(v: int, src: int, dst: int) -> float:
+            g = 0.0
+            for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+                g += w * (dist[src, parts[u]] - dist[dst, parts[u]])
+            return g
+
+        for v in np.argsort(-vwgt, kind="stable"):
+            v = int(v)
+            src = int(parts[v])
+            # Dominant neighbour socket in another group.
+            pull: dict[int, float] = {}
+            for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+                p = int(parts[u])
+                if group_of[p] != group_of[src]:
+                    pull[p] = pull.get(p, 0.0) + float(w)
+            if not pull:
+                continue
+            dst = max(pull, key=lambda p: (pull[p], -p))
+            gain_v = move_gain(v, src, dst)
+            if gain_v <= 0:
+                continue
+            if weights[dst] + vwgt[v] <= cap[dst]:
+                parts[v] = dst
+                weights[src] -= vwgt[v]
+                weights[dst] += vwgt[v]
+                continue
+            # Capacity-locked: find the cheapest counterpart to swap out.
+            best_u, best_total = -1, 0.0
+            for u in np.flatnonzero(parts == dst):
+                u = int(u)
+                if u == v:
+                    continue
+                if (
+                    weights[dst] - vwgt[u] + vwgt[v] > cap[dst]
+                    or weights[src] - vwgt[v] + vwgt[u] > cap[src]
+                ):
+                    continue
+                t = gain_v + move_gain(u, dst, src)
+                if t > best_total:
+                    best_u, best_total = u, t
+            if best_u >= 0:
+                parts[v], parts[best_u] = dst, src
+                weights[src] += vwgt[best_u] - vwgt[v]
+                weights[dst] += vwgt[v] - vwgt[best_u]
+        return parts

@@ -55,10 +55,12 @@ class ExecSplit:
     mem_remote: float
     #: What ``mem_remote`` would have been at the local service rate.
     remote_as_local: float
+    #: Cross-box (network) memory time; 0.0 on single-box machines.
+    mem_network: float = 0.0
 
     @property
     def duration(self) -> float:
-        return self.compute + self.mem_local + self.mem_remote
+        return self.compute + self.mem_local + self.mem_remote + self.mem_network
 
 
 class AttributionModel:
@@ -118,11 +120,27 @@ class AttributionModel:
             raise ProfilingError("non-positive remote service rate")
         self._remote = remote
 
+        # Network service rate: on a cluster, a socket's cross-box bytes
+        # drain through its box's NIC; single-box machines never see
+        # network bytes, so the rate is moot (kept at the local rate).
+        network = local.copy()
+        n_boxes = getattr(topo, "n_boxes", 1)
+        if n_boxes > 1:
+            for s in range(n):
+                nic = topo.nic_of_box(topo.box_of_socket(s))
+                network[s] = float(topo.resource_bandwidth[nic])
+        if np.any(network <= 0):
+            raise ProfilingError("non-positive network service rate")
+        self._network = network
+
     def local_rate(self, socket: int) -> float:
         return float(self._local[socket])
 
     def remote_rate(self, socket: int) -> float:
         return float(self._remote[socket])
+
+    def network_rate(self, socket: int) -> float:
+        return float(self._network[socket])
 
     # ------------------------------------------------------------------
     def split(
@@ -133,18 +151,29 @@ class AttributionModel:
         remote_bytes: float,
         socket: int,
         duration: float,
+        net_bytes: float = 0.0,
     ) -> ExecSplit:
-        """Partition ``duration`` into compute/local/remote components."""
+        """Partition ``duration`` into compute/local/remote/network parts."""
         if duration < 0:
             raise ProfilingError(f"negative execution duration {duration!r}")
         t_c = max(0.0, float(work))
         t_l = max(0.0, float(local_bytes)) / self._local[socket]
         t_r = max(0.0, float(remote_bytes)) / self._remote[socket]
-        nominal = t_c + t_l + t_r
+        t_n = max(0.0, float(net_bytes)) / self._network[socket]
+        nominal = t_c + t_l + t_r + t_n
         if nominal <= 0.0:
             return ExecSplit(float(duration), 0.0, 0.0, 0.0)
         compute = float(duration * (t_c / nominal))
         mem_local = float(duration * (t_l / nominal))
-        mem_remote = float(duration - compute - mem_local)  # exact partition
+        # The heaviest component absorbs the closure so the partition is
+        # exact; with no network bytes this reduces bit-for-bit to the
+        # pre-cluster three-way split.
+        if t_n > 0.0:
+            mem_network = float(duration * (t_n / nominal))
+        else:
+            mem_network = 0.0
+        mem_remote = float(duration - compute - mem_local - mem_network)
         ratio = float(self._remote[socket] / self._local[socket])
-        return ExecSplit(compute, mem_local, mem_remote, mem_remote * ratio)
+        return ExecSplit(
+            compute, mem_local, mem_remote, mem_remote * ratio, mem_network
+        )

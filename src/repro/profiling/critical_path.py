@@ -13,6 +13,7 @@ component  meaning
 compute    critical task executing, compute share (attribution model)
 mem_local  critical task executing, local-memory share
 mem_remote critical task executing, remote-memory share
+mem_network critical task executing, cross-box network share (clusters)
 queue_wait critical task ready (deps + epoch done) but holding no core
 stall      critical task parked by the scheduler (RGP window pending)
 waste      a crashed attempt of the critical task was running
@@ -39,12 +40,12 @@ from .attribution import AttributionModel
 
 #: Every component the decomposition can produce, display order.
 COMPONENTS = (
-    "compute", "mem_local", "mem_remote",
+    "compute", "mem_local", "mem_remote", "mem_network",
     "queue_wait", "dep_wait", "stall", "waste",
 )
 
 #: Components that are execution time (what-if scaling targets).
-EXEC_COMPONENTS = ("compute", "mem_local", "mem_remote")
+EXEC_COMPONENTS = ("compute", "mem_local", "mem_remote", "mem_network")
 
 
 @dataclass(frozen=True)
@@ -123,7 +124,7 @@ class ProfileReport:
     def machine_totals(self) -> dict[str, float]:
         """Machine view summed over sockets (busy-time attribution)."""
         out = {"compute": 0.0, "mem_local": 0.0, "mem_remote": 0.0,
-               "waste": 0.0}
+               "mem_network": 0.0, "waste": 0.0}
         for parts in self.machine_view.values():
             for key in out:
                 out[key] += parts.get(key, 0.0)
@@ -370,6 +371,7 @@ def profile_run(
                     remote_bytes=rec.remote_bytes,
                     socket=rec.socket,
                     duration=cursor - start,
+                    net_bytes=rec.net_bytes,
                 )
                 segments.append(PathSegment(
                     t0=start, t1=cursor, kind="exec", tid=rec.tid,
@@ -378,6 +380,7 @@ def profile_run(
                         "compute": split.compute,
                         "mem_local": split.mem_local,
                         "mem_remote": split.mem_remote,
+                        "mem_network": split.mem_network,
                     },
                     remote_as_local=split.remote_as_local,
                 ))
@@ -435,7 +438,7 @@ def profile_run(
 
     machine_view: dict[int, dict[str, float]] = {
         int(s): {"compute": 0.0, "mem_local": 0.0, "mem_remote": 0.0,
-                 "waste": 0.0}
+                 "mem_network": 0.0, "waste": 0.0}
         for s in range(topology.n_sockets)
     }
     for rec in result.records:
@@ -445,11 +448,13 @@ def profile_run(
             remote_bytes=rec.remote_bytes,
             socket=rec.socket,
             duration=rec.duration,
+            net_bytes=rec.net_bytes,
         )
         view = machine_view[rec.socket]
         view["compute"] += split.compute
         view["mem_local"] += split.mem_local
         view["mem_remote"] += split.mem_remote
+        view["mem_network"] += split.mem_network
     for rec in result.crashed_records:
         machine_view[rec.socket]["waste"] += rec.duration
 

@@ -12,7 +12,7 @@ from .dependencies import DependencyTracker
 from .executor import execute, execute_in_order
 from .placement import Placement
 from .program import TaskProgram
-from .result import SimulationResult, TaskRecord
+from .result import Message, SimulationResult, TaskRecord
 from .simulator import Simulator, simulate
 from .task import Task
 from .validation import validate_schedule
@@ -22,6 +22,7 @@ __all__ = [
     "DataAccess",
     "DataObject",
     "DependencyTracker",
+    "Message",
     "Placement",
     "SimulationResult",
     "Simulator",

@@ -277,7 +277,9 @@ class FlatEngine:
         self.sim = sim
         topo = sim.topology
         nc = topo.n_cores
-        nn = topo.n_nodes
+        # Grid width is the solver's *resource* axis: memory nodes plus,
+        # on clusters, one NIC per box (stream keys may be NIC ids).
+        nn = getattr(topo, "n_resources", topo.n_nodes)
         self.n_cores = nc
         self.n_nodes = nn
         self.core_socket = [topo.socket_of_core(c) for c in range(nc)]

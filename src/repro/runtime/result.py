@@ -28,6 +28,9 @@ class TaskRecord:
     remote_bytes: float = 0.0
     attempt: int = 0
     outcome: str = "ok"
+    #: Bytes that crossed the network (cluster runs; a subset of
+    #: ``remote_bytes``, zero on a single box).
+    net_bytes: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -37,6 +40,31 @@ class TaskRecord:
     def remote_fraction(self) -> float:
         total = self.local_bytes + self.remote_bytes
         return self.remote_bytes / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class Message:
+    """One explicit inter-box message of a cluster run.
+
+    A task reading bytes that live on another box *receives* them over the
+    network: the simulator re-keys that traffic onto the source box's NIC
+    resource, so ``send`` marks when the transfer started contending on
+    the wire (the reader's start) and ``recv`` when the last byte landed
+    (the reader's finish — the fluid stream drains over the whole
+    attempt).  Crashed attempts drop their in-flight messages; only
+    completed transfers appear in :attr:`SimulationResult.messages`.
+    """
+
+    tid: int
+    src_box: int
+    dst_box: int
+    nbytes: float
+    send: float
+    recv: float
+
+    @property
+    def duration(self) -> float:
+        return self.recv - self.send
 
 
 @dataclass(eq=False)
@@ -66,6 +94,12 @@ class SimulationResult:
     wasted_work: float = 0.0
     cores_failed: int = 0
     faults_injected: int = 0
+    # Cluster runs only (both stay empty/None on a single box):
+    # ``bytes_by_link[src_box, dst_box]`` is the network traffic matrix,
+    # ``messages`` the completed inter-box transfers in receive order.
+    bytes_by_link: np.ndarray | None = None
+    messages: list[Message] = field(default_factory=list)
+    messages_dropped: int = 0
     # Observability (populated only on instrumented runs): the retained
     # event stream and the metrics-registry snapshot (see
     # :mod:`repro.observability`); exporters consume these.
@@ -94,6 +128,19 @@ class SimulationResult:
         """Fraction of traffic served from a remote node (0 = all local)."""
         total = self.total_traffic
         return self.remote_bytes / total if total > 0 else 0.0
+
+    @property
+    def net_bytes(self) -> float:
+        """Total bytes moved across the network (0 on a single box)."""
+        if self.bytes_by_link is None:
+            return 0.0
+        return float(self.bytes_by_link.sum())
+
+    @property
+    def net_fraction(self) -> float:
+        """Fraction of all traffic that crossed the network."""
+        total = self.total_traffic
+        return self.net_bytes / total if total > 0 else 0.0
 
     def mean_access_distance(self, distance: np.ndarray) -> float:
         """Traffic-weighted mean SLIT distance of accesses."""
@@ -126,6 +173,10 @@ class SimulationResult:
             f"makespan={self.makespan:.4g} remote={self.remote_fraction:.1%} "
             f"imbalance={self.load_imbalance():.2f} steals={self.steals}"
         )
+        if self.bytes_by_link is not None:
+            text += (
+                f" net={self.net_fraction:.1%} msgs={len(self.messages)}"
+            )
         if self.reexecutions or self.cores_failed:
             text += (
                 f" reexec={self.reexecutions} wasted={self.wasted_work:.4g}"

@@ -63,7 +63,7 @@ from .engines import (  # noqa: F401 (re-export)
 )
 from .placement import Placement
 from .program import TaskProgram
-from .result import SimulationResult, TaskRecord
+from .result import Message, SimulationResult, TaskRecord
 from .task import Task
 
 
@@ -114,11 +114,38 @@ class Simulator:
         if (
             ic_topo.n_sockets != topology.n_sockets
             or ic_topo.cores_per_socket != topology.cores_per_socket
+            or getattr(ic_topo, "n_resources", ic_topo.n_nodes)
+            != getattr(topology, "n_resources", topology.n_nodes)
             or not np.allclose(ic_topo.distance, topology.distance)
         ):
             raise SimulationError(
                 "interconnect was built for a structurally different topology"
             )
+        # Cluster structure (None on a single box): cross-box traffic is
+        # re-keyed from the remote memory node onto the source box's NIC
+        # resource, producing explicit messages instead of implicit remote
+        # loads.  ``n_resources`` sizes every per-resource array below.
+        self.n_resources = getattr(topology, "n_resources", topology.n_nodes)
+        n_boxes = getattr(topology, "n_boxes", 1)
+        self.n_boxes = n_boxes
+        if n_boxes > 1:
+            self._box_of_socket: list[int] | None = [
+                topology.box_of_socket(s) for s in range(topology.n_sockets)
+            ]
+            self._nic_of_box = [
+                topology.nic_of_box(b) for b in range(n_boxes)
+            ]
+            self.bytes_by_link = np.zeros((n_boxes, n_boxes), dtype=np.float64)
+        else:
+            self._box_of_socket = None
+            self._nic_of_box = None
+            self.bytes_by_link = None
+        self.messages: list[Message] = []
+        self.messages_dropped = 0
+        #: Per-attempt in-flight transfers: tid -> [(src_box, dst_box,
+        #: nbytes, send_ts)].  Stamped into Message records at finish,
+        #: dropped on crash; must be empty when the run drains.
+        self._msgs_in_flight: dict[int, list[tuple[int, int, float, float]]] = {}
         # Steal policy: True/"global" (any victim), "near" (victims within
         # ``steal_distance``, default: strictly closer than the machine
         # diameter, i.e. same module on the bullion), False/"off".
@@ -266,6 +293,10 @@ class Simulator:
             self._m_traffic = instrument.registry.matrix(
                 "numa.traffic", (topology.n_sockets, topology.n_nodes)
             )
+            if n_boxes > 1:
+                self._m_link = instrument.registry.matrix(
+                    "net.traffic", (n_boxes, n_boxes)
+                )
 
         self.scheduler = scheduler
         scheduler.attach(self, np.random.default_rng([self.seed, 0xA5]))
@@ -366,11 +397,41 @@ class Simulator:
         """True while at least one core of ``socket`` survives."""
         return bool(self.alive_cores_of_socket(socket))
 
+    def _socket_load(self, socket: int) -> int:
+        """Queued + executing work on ``socket`` (remap tie-breaker)."""
+        busy = len(self.alive_cores_of_socket(socket)) - len(
+            self.idle_cores[socket]
+        )
+        queued = len(self.socket_queues[socket]) + sum(
+            len(self.core_queues[c])
+            for c in self.topology.cores_of_socket(socket)
+        )
+        return busy + queued
+
     def nearest_alive_socket(self, socket: int) -> int:
-        """Closest socket (by SLIT distance, self first) with a live core."""
+        """Closest surviving socket by SLIT distance, spreading ties by load.
+
+        All minimal-distance survivors are equivalent destinations as far
+        as the machine is concerned, so among them the *least loaded* one
+        (queued + executing work, ties by id) wins.  Without the load
+        tie-break, every placement orphaned by a dead socket — or, on a
+        cluster, a whole lost box — funnels onto the single lowest-id
+        survivor while its equidistant siblings sit idle.
+        """
+        best = -1
+        best_dist = 0.0
+        row = self.topology.distance[socket]
         for cand in self.topology.sockets_by_distance(socket):
-            if self.socket_alive(cand):
-                return cand
+            if best >= 0 and row[cand] > best_dist:
+                break  # distance-ordered: no later candidate can tie
+            if not self.socket_alive(cand):
+                continue
+            if best < 0:
+                best, best_dist = cand, float(row[cand])
+            elif self._socket_load(cand) < self._socket_load(best):
+                best = cand
+        if best >= 0:
+            return best
         raise FaultError(
             f"no surviving cores on any socket at t={self.now:.4g} "
             f"({self.n_done}/{self.program.n_tasks} tasks done)"
@@ -453,17 +514,22 @@ class Simulator:
         self._core_speed[core] = speed
 
     def set_node_bandwidth_factor(self, node: int, factor: float) -> None:
-        """Scale a memory node's served bandwidth (1.0 = nominal)."""
+        """Scale a bandwidth resource's served rate (1.0 = nominal).
+
+        ``node`` addresses any solver resource: a memory node, or (on
+        clusters) a NIC at ``n_sockets + box`` — degrading a NIC models a
+        congested or flapping network link.
+        """
         if not 0 < factor <= 1.0:
             raise FaultError(f"bandwidth factor must be in (0, 1], got {factor}")
-        if not 0 <= node < self.topology.n_nodes:
-            raise FaultError(f"node {node} out of range")
+        if not 0 <= node < self.n_resources:
+            raise FaultError(f"bandwidth resource {node} out of range")
         if self.probe is not None:
             self.probe.on_fault("set_node_bw", node=node, factor=factor)
         if self._node_bw_factor is None:
             if factor == 1.0:
                 return
-            self._node_bw_factor = np.ones(self.topology.n_nodes)
+            self._node_bw_factor = np.ones(self.n_resources)
         # Close the rate epoch under the old bandwidths before mutating.
         self.engine.on_rates_changed()
         self._node_bw_factor[node] = factor
@@ -497,9 +563,13 @@ class Simulator:
         wasted = self.now - rt.start
         self.wasted_work += wasted
         self.busy_time[rt.socket] += wasted
-        local_bytes, remote_bytes = self._start_traffic.pop(
-            task.tid, (0.0, 0.0)
+        local_bytes, remote_bytes, net_bytes = self._start_traffic.pop(
+            task.tid, (0.0, 0.0, 0.0)
         )
+        # In-flight transfers die with the attempt (the retry resends).
+        dropped = self._msgs_in_flight.pop(task.tid, None)
+        if dropped is not None:
+            self.messages_dropped += len(dropped)
         self.crashed_records.append(
             TaskRecord(
                 tid=task.tid,
@@ -512,6 +582,7 @@ class Simulator:
                 remote_bytes=remote_bytes,
                 attempt=int(self.attempts[task.tid]),
                 outcome=reason,
+                net_bytes=net_bytes,
             )
         )
         self.attempts[task.tid] += 1
@@ -653,6 +724,9 @@ class Simulator:
             faults_injected=(
                 self._injector.total_injected if self._injector else 0
             ),
+            bytes_by_link=self.bytes_by_link,
+            messages=self.messages,
+            messages_dropped=self.messages_dropped,
         )
         if self.obs is not None:
             self._finalize_instrumentation(result)
@@ -677,6 +751,7 @@ class Simulator:
             if rt.core not in self.quarantined:
                 self.idle_cores[rt.socket].append(rt.core)
             self._start_traffic.pop(rt.task.tid, None)
+            self._msgs_in_flight.pop(rt.task.tid, None)
         self.running.clear()
         if self.probe is not None:
             self.probe.on_abort(self)
@@ -843,6 +918,53 @@ class Simulator:
     # ------------------------------------------------------------------
     # Task lifecycle
     # ------------------------------------------------------------------
+    def _cluster_streams(
+        self, task: Task, socket: int, streams: dict[int, float]
+    ) -> tuple[dict[int, float], float]:
+        """Re-key cross-box traffic onto the data-source boxes' NICs.
+
+        On-box streams keep their memory-node key; bytes living on another
+        box become one aggregated stream per source box, keyed by that
+        box's NIC resource — the explicit message.  Many readers pulling
+        from one box then contend on its NIC through the regular
+        progressive-filling solver, which is the network-contention model.
+        Returns the resource-keyed streams and the total network bytes.
+        """
+        box_of = self._box_of_socket
+        dst_box = box_of[socket]
+        out: dict[int, float] = {}
+        net: dict[int, float] | None = None
+        for node, b in streams.items():
+            src_box = box_of[node]
+            if src_box == dst_box:
+                out[node] = b
+            else:
+                nic = self._nic_of_box[src_box]
+                if nic in out:
+                    out[nic] += b
+                else:
+                    out[nic] = b
+                if net is None:
+                    net = {}
+                net[src_box] = net.get(src_box, 0.0) + b
+        net_bytes = 0.0
+        if net:
+            msgs = self._msgs_in_flight.setdefault(task.tid, [])
+            for src_box, b in net.items():
+                net_bytes += b
+                self.bytes_by_link[src_box, dst_box] += b
+                msgs.append((src_box, dst_box, b, self.now))
+                if self.obs is not None:
+                    self._m_link[src_box, dst_box] += b
+                    self.obs.emit(
+                        self.now, "msg.send",
+                        tid=task.tid, src_box=src_box, dst_box=dst_box,
+                        nbytes=b,
+                    )
+                    self.obs.registry.counter("net.messages").inc()
+                    self.obs.registry.counter("net.bytes").inc(b)
+        return out, net_bytes
+
     def _start(self, task: Task, core: int, socket: int) -> None:
         node = socket  # one memory node per socket
         # Deferred allocation: bind output pages where the producer runs;
@@ -863,7 +985,6 @@ class Simulator:
                 local_bytes += b
             else:
                 remote_bytes += b
-        self._start_traffic[task.tid] = (local_bytes, remote_bytes)
 
         if self.obs is not None:
             reg = self.obs.registry
@@ -881,6 +1002,11 @@ class Simulator:
                 local_bytes=local_bytes, remote_bytes=remote_bytes,
                 attempt=int(self.attempts[task.tid]),
             )
+
+        net_bytes = 0.0
+        if self._box_of_socket is not None:
+            streams, net_bytes = self._cluster_streams(task, socket, streams)
+        self._start_traffic[task.tid] = (local_bytes, remote_bytes, net_bytes)
 
         factor = 1.0
         if self.duration_jitter > 0.0:
@@ -928,7 +1054,9 @@ class Simulator:
         self.done[task.tid] = True
         self.n_done += 1
         self.busy_time[rt.socket] += self.now - rt.start
-        local_bytes, remote_bytes = self._start_traffic.pop(task.tid, (0.0, 0.0))
+        local_bytes, remote_bytes, net_bytes = self._start_traffic.pop(
+            task.tid, (0.0, 0.0, 0.0)
+        )
         self.records.append(
             TaskRecord(
                 tid=task.tid,
@@ -940,8 +1068,24 @@ class Simulator:
                 local_bytes=local_bytes,
                 remote_bytes=remote_bytes,
                 attempt=int(self.attempts[task.tid]),
+                net_bytes=net_bytes,
             )
         )
+        in_flight = self._msgs_in_flight.pop(task.tid, None)
+        if in_flight is not None:
+            for src_box, dst_box, nbytes, send in in_flight:
+                self.messages.append(
+                    Message(
+                        tid=task.tid, src_box=src_box, dst_box=dst_box,
+                        nbytes=nbytes, send=send, recv=self.now,
+                    )
+                )
+                if self.obs is not None:
+                    self.obs.emit(
+                        self.now, "msg.recv",
+                        tid=task.tid, src_box=src_box, dst_box=dst_box,
+                        nbytes=nbytes, duration=self.now - send,
+                    )
         if self.probe is not None:
             self.probe.on_finish(rt)
         if self.obs is not None:

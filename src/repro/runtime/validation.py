@@ -79,6 +79,15 @@ def _check_runtime_drained(sim, result: SimulationResult) -> None:
         raise SimulationError(
             f"parked_by_key not drained at end of run: {leaked}"
         )
+    # Cluster runs: every message sent must have been received (stamped
+    # into a Message record at task finish) or dropped with its crashed
+    # attempt — an entry left here means a send was never closed out.
+    in_flight = getattr(sim, "_msgs_in_flight", None)
+    if in_flight:
+        leaked = {tid: len(msgs) for tid, msgs in sorted(in_flight.items())}
+        raise SimulationError(
+            f"in-flight messages not drained at end of run: {leaked}"
+        )
     scheduler = getattr(sim, "scheduler", None)
     window_state = getattr(scheduler, "_window_state", None)
     windows = getattr(scheduler, "_windows", None)

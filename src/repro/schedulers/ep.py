@@ -28,7 +28,16 @@ class EPScheduler(Scheduler):
                 f"task {task.name!r} has no {EP_SOCKET_KEY!r} annotation; "
                 "the application does not support the EP policy"
             ) from None
-        chosen = int(socket) % self.topology.n_sockets
+        chosen = int(socket)
+        if not 0 <= chosen < self.topology.n_sockets:
+            # A silent ``% n_sockets`` wrap here used to mask apps built
+            # for a different machine (e.g. an 8-socket layout replayed on
+            # 4 sockets), quietly folding the expert placement in half.
+            raise SchedulerError(
+                f"task {task.name!r} has {EP_SOCKET_KEY}={chosen}, out of "
+                f"range for {self.topology.n_sockets} sockets — the "
+                "program was built for a different machine"
+            )
         obs = self.obs
         if obs is not None:
             obs.emit(

@@ -64,12 +64,40 @@ class HEFTScheduler(Scheduler):
         ]
         remote_bw = local_bw * (float(np.mean(effs)) if effs else 1.0)
 
+        # Per-pair bandwidth estimates on cluster machines: an edge that
+        # stays inside a box moves at the interconnect's socket-pair
+        # efficiency, one that crosses boxes drains through the source
+        # box's NIC.  Single-box machines keep the classic flat average
+        # (bit-identical to the pre-cluster planner).
+        n_boxes = getattr(topo, "n_boxes", 1)
+        pair_bw: np.ndarray | None = None
+        if n_boxes > 1:
+            box_of = [topo.box_of_socket(s) for s in range(k)]
+            nic_bw = [
+                float(topo.resource_bandwidth[topo.nic_of_box(b)])
+                for b in range(n_boxes)
+            ]
+            pair_bw = np.empty((k, k))
+            for s in range(k):
+                for m in range(k):
+                    if s == m:
+                        pair_bw[s, m] = local_bw
+                    elif box_of[s] == box_of[m]:
+                        pair_bw[s, m] = local_bw * interconnect.efficiency(s, m)
+                    else:
+                        pair_bw[s, m] = nic_bw[box_of[s]]
+
         def exec_est(task: Task) -> float:
             # Compute overlapped with local streaming of its own traffic.
             return max(task.work, task.traffic_bytes / local_bw)
 
         def comm_est(nbytes: float) -> float:
             return nbytes / remote_bw
+
+        def comm_est_pair(src: int, dst: int, nbytes: float) -> float:
+            if pair_bw is None:
+                return nbytes / remote_bw
+            return nbytes / pair_bw[src, dst]
 
         # Upward ranks (reverse topological = reverse creation order).
         rank = np.zeros(n)
@@ -107,8 +135,9 @@ class HEFTScheduler(Scheduler):
                 ready = 0.0
                 for pred, w in program.tdg.predecessors(v).items():
                     arrive = aft[pred]
-                    if self._plan.get(pred, s) != s:
-                        arrive += comm_est(w)
+                    pred_socket = self._plan.get(pred, s)
+                    if pred_socket != s:
+                        arrive += comm_est_pair(pred_socket, s, w)
                     ready = max(ready, arrive)
                 core = int(np.argmin(core_free[s]))
                 est = max(ready, core_free[s, core])

@@ -272,6 +272,7 @@ def _compare(result, outcome: OracleOutcome) -> list[Divergence]:
             f"{tag}.remote_bytes", pr.remote_bytes, orr.remote_bytes,
             exact=False,
         )
+        check(f"{tag}.net_bytes", pr.net_bytes, orr.net_bytes, exact=False)
     check("local_bytes", result.local_bytes, outcome.local_bytes, exact=False)
     check("remote_bytes", result.remote_bytes, outcome.remote_bytes, exact=False)
     if not np.allclose(
@@ -304,6 +305,37 @@ def _compare(result, outcome: OracleOutcome) -> list[Divergence]:
         [int(b) for b in result.bytes_on_node],
         outcome.bytes_on_node,
     )
+    check(
+        "has_bytes_by_link",
+        result.bytes_by_link is not None,
+        outcome.bytes_by_link is not None,
+    )
+    if result.bytes_by_link is not None and outcome.bytes_by_link is not None:
+        if not np.allclose(
+            result.bytes_by_link, outcome.bytes_by_link,
+            rtol=REL_TOL, atol=ABS_TOL,
+        ):
+            divs.append(
+                Divergence(
+                    "bytes_by_link",
+                    result.bytes_by_link.tolist(),
+                    outcome.bytes_by_link.tolist(),
+                )
+            )
+        check("n_messages", len(result.messages), len(outcome.messages))
+        check(
+            "messages_dropped",
+            result.messages_dropped,
+            outcome.messages_dropped,
+        )
+        for pm, om in zip(result.messages, outcome.messages):
+            tag = f"message[{pm.tid}:{pm.src_box}->{pm.dst_box}]"
+            check(f"{tag}.tid", pm.tid, om.tid)
+            check(f"{tag}.src_box", pm.src_box, om.src_box)
+            check(f"{tag}.dst_box", pm.dst_box, om.dst_box)
+            check(f"{tag}.nbytes", pm.nbytes, om.nbytes, exact=False)
+            check(f"{tag}.send", pm.send, om.send, exact=False)
+            check(f"{tag}.recv", pm.recv, om.recv, exact=False)
     check("reexecutions", result.reexecutions, outcome.reexecutions)
     check("wasted_work", result.wasted_work, outcome.wasted_work, exact=False)
     check("cores_failed", result.cores_failed, outcome.cores_failed)
@@ -447,6 +479,7 @@ def compare_engines(case: VerifyCase) -> DifferentialReport:
         check(f"{tag}.finish", fr.finish, orr.finish)
         check(f"{tag}.local_bytes", fr.local_bytes, orr.local_bytes)
         check(f"{tag}.remote_bytes", fr.remote_bytes, orr.remote_bytes)
+        check(f"{tag}.net_bytes", fr.net_bytes, orr.net_bytes)
     if not np.array_equal(flat.bytes_by_pair, obj.bytes_by_pair):
         divs.append(
             Divergence(
@@ -473,6 +506,25 @@ def compare_engines(case: VerifyCase) -> DifferentialReport:
         [int(b) for b in flat.bytes_on_node],
         [int(b) for b in obj.bytes_on_node],
     )
+    check(
+        "has_bytes_by_link",
+        flat.bytes_by_link is not None,
+        obj.bytes_by_link is not None,
+    )
+    if flat.bytes_by_link is not None and obj.bytes_by_link is not None:
+        if not np.array_equal(flat.bytes_by_link, obj.bytes_by_link):
+            divs.append(
+                Divergence(
+                    "bytes_by_link",
+                    flat.bytes_by_link.tolist(),
+                    obj.bytes_by_link.tolist(),
+                )
+            )
+        check("n_messages", len(flat.messages), len(obj.messages))
+        check("messages_dropped", flat.messages_dropped, obj.messages_dropped)
+        for fm, om in zip(flat.messages, obj.messages):
+            tag = f"message[{fm.tid}:{fm.src_box}->{fm.dst_box}]"
+            check(f"{tag}", fm, om)
     check("reexecutions", flat.reexecutions, obj.reexecutions)
     check("wasted_work", flat.wasted_work, obj.wasted_work)
     check("cores_failed", flat.cores_failed, obj.cores_failed)

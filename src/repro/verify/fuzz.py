@@ -31,9 +31,12 @@ from ..faults.plan import (
     CoreFault,
     CoreSlowdown,
     FaultPlan,
+    NetworkDegradation,
     NodeDegradation,
+    NodeLoss,
     TaskCrash,
 )
+from ..machine.presets import cluster
 from ..machine.topology import NumaTopology, uniform_distance_matrix
 from ..runtime.data import AccessMode, DataAccess
 from ..runtime.program import TaskProgram
@@ -74,6 +77,21 @@ _PAGE = 4096
 # Seeded numpy generators
 # ----------------------------------------------------------------------
 def random_topology(rng: np.random.Generator) -> NumaTopology:
+    # A third of the seeds exercise the cluster machine model: message
+    # events, NIC contention and the per-box fault families all ride the
+    # same differential/bit-identity checks as single-box runs.
+    if rng.random() < 0.35:
+        n_boxes = int(rng.integers(2, 5))
+        spb = int(rng.integers(1, 3))
+        cores = int(rng.integers(1, 4))
+        return cluster(
+            n_boxes,
+            sockets_per_box=spb,
+            cores_per_socket=cores,
+            node_bandwidth=float(rng.uniform(2e5, 2e6)),
+            nic_fraction=float(rng.uniform(0.08, 0.3)),
+            name=f"fuzz-cluster{n_boxes}x{spb}x{cores}",
+        )
     n_sockets = int(rng.integers(2, 5))
     cores = int(rng.integers(1, 5))
     remote = float(rng.uniform(12.0, 30.0))
@@ -196,11 +214,45 @@ def random_faults(
     partition_timeout = (
         float(rng.uniform(0.05, 0.3)) if rng.random() < 0.3 else None
     )
+    # Cluster-only families.  A single box loss out of >= 2 boxes is
+    # survivable (tasks remap to the nearest surviving socket); losing
+    # box 0 is fair game too.
+    node_losses = []
+    net_degradations = []
+    n_boxes = getattr(topology, "n_boxes", 1)
+    if n_boxes > 1:
+        if rng.random() < 0.4:
+            node_losses.append(
+                NodeLoss(
+                    box=int(rng.integers(n_boxes)),
+                    at=float(rng.uniform(0.1, 1.2)),
+                    duration=(
+                        float(rng.uniform(0.3, 1.0))
+                        if rng.random() < 0.6
+                        else None
+                    ),
+                )
+            )
+        if rng.random() < 0.4:
+            net_degradations.append(
+                NetworkDegradation(
+                    box=int(rng.integers(n_boxes)),
+                    at=float(rng.uniform(0.0, 1.0)),
+                    factor=float(rng.uniform(0.3, 0.8)),
+                    duration=(
+                        float(rng.uniform(0.5, 1.5))
+                        if rng.random() < 0.7
+                        else None
+                    ),
+                )
+            )
     plan = FaultPlan(
         core_faults=core_faults,
         slowdowns=slowdowns,
         task_crashes=crashes,
         node_degradations=degradations,
+        node_losses=node_losses,
+        network_degradations=net_degradations,
         partition_timeout=partition_timeout,
     )
     return None if plan.is_empty() else plan

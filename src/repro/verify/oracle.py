@@ -36,7 +36,7 @@ from ..errors import VerificationError
 from ..machine.interconnect import Interconnect, StreamKey
 from ..machine.topology import NumaTopology
 from ..runtime.program import TaskProgram
-from ..runtime.result import TaskRecord
+from ..runtime.result import Message, TaskRecord
 from ..runtime.simulator import _EPS, _EPS_BYTES
 from ..runtime.task import Task
 from .trace import DecisionTrace, TraceEvent
@@ -162,6 +162,10 @@ class OracleOutcome:
     wasted_work: float
     cores_failed: int
     faults_injected: int = 0
+    # Cluster runs only (None/empty on a single box).
+    bytes_by_link: np.ndarray | None = None
+    messages: list = field(default_factory=list)
+    messages_dropped: int = 0
 
     @property
     def local_bytes(self) -> float:
@@ -258,10 +262,28 @@ class ReferenceSimulator:
         self.now = 0.0
         self.records: list[TaskRecord] = []
         self.crashed_records: list[TaskRecord] = []
-        self._start_traffic: dict[int, tuple[float, float]] = {}
+        self._start_traffic: dict[int, tuple[float, float, float]] = {}
         self.bytes_by_pair = np.zeros(
             (topology.n_sockets, topology.n_nodes), dtype=np.float64
         )
+        # Cluster model (mirrors Simulator; None/empty on a single box).
+        self.n_resources = getattr(topology, "n_resources", topology.n_nodes)
+        n_boxes = getattr(topology, "n_boxes", 1)
+        if n_boxes > 1:
+            self._box_of_socket = [
+                topology.box_of_socket(s) for s in range(topology.n_sockets)
+            ]
+            self._nic_of_box = [
+                topology.nic_of_box(b) for b in range(n_boxes)
+            ]
+            self.bytes_by_link = np.zeros((n_boxes, n_boxes), dtype=np.float64)
+        else:
+            self._box_of_socket = None
+            self._nic_of_box = None
+            self.bytes_by_link = None
+        self.messages: list[Message] = []
+        self.messages_dropped = 0
+        self._msgs_in_flight: dict[int, list[tuple[int, int, float, float]]] = {}
         self.busy_time = np.zeros(topology.n_sockets, dtype=np.float64)
         self.steals = 0
         self.parked_total = 0
@@ -379,6 +401,39 @@ class ReferenceSimulator:
     # ------------------------------------------------------------------
     # Task lifecycle
     # ------------------------------------------------------------------
+    def _cluster_streams(
+        self, task: Task, socket: int, streams: dict[int, float]
+    ) -> tuple[dict[int, float], float]:
+        """Independent mirror of ``Simulator._cluster_streams``: re-key
+        cross-box traffic onto the source boxes' NIC resources, in the
+        same float-accumulation order (streams iterate in ascending
+        first-touch node order in both simulators)."""
+        box_of = self._box_of_socket
+        dst_box = box_of[socket]
+        out: dict[int, float] = {}
+        net: dict[int, float] | None = None
+        for node, b in streams.items():
+            src_box = box_of[node]
+            if src_box == dst_box:
+                out[node] = b
+            else:
+                nic = self._nic_of_box[src_box]
+                if nic in out:
+                    out[nic] += b
+                else:
+                    out[nic] = b
+                if net is None:
+                    net = {}
+                net[src_box] = net.get(src_box, 0.0) + b
+        net_bytes = 0.0
+        if net:
+            msgs = self._msgs_in_flight.setdefault(task.tid, [])
+            for src_box, b in net.items():
+                net_bytes += b
+                self.bytes_by_link[src_box, dst_box] += b
+                msgs.append((src_box, dst_box, b, self.now))
+        return out, net_bytes
+
     def _start(self, task: Task, core: int, socket: int) -> None:
         node = socket
         for access in task.accesses:
@@ -394,7 +449,11 @@ class ReferenceSimulator:
                 local_bytes += streams[n]
             else:
                 remote_bytes += streams[n]
-        self._start_traffic[task.tid] = (local_bytes, remote_bytes)
+
+        net_bytes = 0.0
+        if self._box_of_socket is not None:
+            streams, net_bytes = self._cluster_streams(task, socket, streams)
+        self._start_traffic[task.tid] = (local_bytes, remote_bytes, net_bytes)
 
         if self.params.duration_jitter > 0.0:
             factor = self.trace.jitter.get((task.tid, self.attempts[task.tid]))
@@ -437,7 +496,9 @@ class ReferenceSimulator:
         self.done[task.tid] = True
         self.n_done += 1
         self.busy_time[rt.socket] += self.now - rt.start
-        local_bytes, remote_bytes = self._start_traffic.pop(task.tid, (0.0, 0.0))
+        local_bytes, remote_bytes, net_bytes = self._start_traffic.pop(
+            task.tid, (0.0, 0.0, 0.0)
+        )
         self.records.append(
             TaskRecord(
                 tid=task.tid,
@@ -449,8 +510,18 @@ class ReferenceSimulator:
                 local_bytes=local_bytes,
                 remote_bytes=remote_bytes,
                 attempt=self.attempts[task.tid],
+                net_bytes=net_bytes,
             )
         )
+        in_flight = self._msgs_in_flight.pop(task.tid, None)
+        if in_flight is not None:
+            for src_box, dst_box, nbytes, send in in_flight:
+                self.messages.append(
+                    Message(
+                        tid=task.tid, src_box=src_box, dst_box=dst_box,
+                        nbytes=nbytes, send=send, recv=self.now,
+                    )
+                )
         self.remaining_in_epoch[task.epoch] -= 1
         for succ in self.program.tdg.successors(task.tid):
             self.pending_deps[succ] -= 1
@@ -476,9 +547,12 @@ class ReferenceSimulator:
         wasted = self.now - rt.start
         self.wasted_work += wasted
         self.busy_time[rt.socket] += wasted
-        local_bytes, remote_bytes = self._start_traffic.pop(
-            task.tid, (0.0, 0.0)
+        local_bytes, remote_bytes, net_bytes = self._start_traffic.pop(
+            task.tid, (0.0, 0.0, 0.0)
         )
+        dropped = self._msgs_in_flight.pop(task.tid, None)
+        if dropped is not None:
+            self.messages_dropped += len(dropped)
         self.crashed_records.append(
             TaskRecord(
                 tid=task.tid,
@@ -491,6 +565,7 @@ class ReferenceSimulator:
                 remote_bytes=remote_bytes,
                 attempt=self.attempts[task.tid],
                 outcome=reason,
+                net_bytes=net_bytes,
             )
         )
         self.attempts[task.tid] += 1
@@ -610,7 +685,9 @@ class ReferenceSimulator:
         if self._node_bw_factor is None:
             if factor == 1.0:
                 return
-            self._node_bw_factor = np.ones(self.topology.n_nodes)
+            # The factor axis spans every solver resource: memory nodes
+            # plus, on clusters, one NIC per box.
+            self._node_bw_factor = np.ones(self.n_resources)
         # Close the rate epoch under the old bandwidths before mutating.
         self._materialize()
         self._node_bw_factor[node] = factor
@@ -791,4 +868,7 @@ class ReferenceSimulator:
             wasted_work=self.wasted_work,
             cores_failed=self.cores_failed,
             faults_injected=sum(self.trace.injected.values()),
+            bytes_by_link=self.bytes_by_link,
+            messages=self.messages,
+            messages_dropped=self.messages_dropped,
         )

@@ -179,6 +179,15 @@ class TestEngineBitIdentity:
         report = compare_engines(case)
         assert report.status == "ok", report.summary()
 
+    def test_fresh_cluster_fuzz_case(self):
+        # Seed 99 deterministically draws a multi-box cluster topology:
+        # message events and NIC contention ride the same bit-identity
+        # contract as single-box runs.
+        case = make_case(99, "rgp+las", "rgp+las", {"window_size": 8})
+        assert getattr(case.topology, "n_boxes", 1) > 1
+        report = compare_engines(case)
+        assert report.status == "ok", report.summary()
+
     def test_corpus_includes_grain_swept_cases(self):
         labels = [VerifyCase.load(p).label or "" for p in CORPUS]
         assert sum("grain-fine" in label for label in labels) >= 2, (

@@ -1,0 +1,193 @@
+"""Two-level (cluster-aware) partitioning: contracts and repair passes.
+
+The hierarchical partitioner cuts across boxes first, then within each
+box, with a dominant-edge pre-contraction so producer/consumer chains can
+never be split by the network-tier cut (the jacobi double-buffer
+pathology: once a tile's init and first sweep land on different boxes,
+first-touch binding makes one buffer permanently remote).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import CSRGraph, grid_graph
+from repro.machine import cluster, two_socket
+from repro.partition import (
+    HierarchicalPartitioner,
+    TargetArchitecture,
+    topology_groups,
+)
+from repro.partition.hierarchical import _contract_dominant
+from repro.runtime import Simulator
+from repro.schedulers import make_scheduler
+
+
+def paired_graph(n_pairs: int = 16, heavy: float = 100.0, light: float = 1.0):
+    """``n_pairs`` producer/consumer pairs in a light ring.
+
+    Each pair is joined by an edge that dwarfs everything else incident to
+    its endpoints — exactly the structure the contraction must protect.
+    """
+    edges = []
+    for i in range(n_pairs):
+        u, v = 2 * i, 2 * i + 1
+        edges.append((u, v, heavy))
+        w = 2 * ((i + 1) % n_pairs)
+        edges.append((v, w, light))
+    return CSRGraph.from_edges(2 * n_pairs, edges, np.ones(2 * n_pairs))
+
+
+@pytest.fixture(scope="module")
+def topo4():
+    return cluster(2)  # 4 sockets, boxes {0,1} and {2,3}
+
+
+@pytest.fixture(scope="module")
+def target4(topo4):
+    return TargetArchitecture.from_topology(topo4)
+
+
+class TestTopologyGroups:
+    def test_cluster_groups_follow_boxes(self):
+        assert topology_groups(cluster(3)) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_single_box_groups_are_singletons(self):
+        assert topology_groups(two_socket()) == [[0], [1]]
+
+
+class TestConstructionGuards:
+    def test_empty_groups_rejected(self):
+        with pytest.raises(PartitionError):
+            HierarchicalPartitioner([])
+        with pytest.raises(PartitionError):
+            HierarchicalPartitioner([[0], []])
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(PartitionError):
+            HierarchicalPartitioner([[0, 1], [1, 2]])
+
+    def test_gapped_groups_rejected(self):
+        with pytest.raises(PartitionError):
+            HierarchicalPartitioner([[0], [2]])
+
+    def test_k_must_match_socket_count(self, topo4):
+        part = HierarchicalPartitioner.for_topology(topo4)
+        g = CSRGraph.from_tdg(grid_graph(8, 8))
+        with pytest.raises(PartitionError, match="built for 4 sockets"):
+            part.partition(g, 3)
+
+
+class TestPartitionContract:
+    def test_grid_partition_in_range_and_balanced(self, topo4, target4):
+        g = CSRGraph.from_tdg(grid_graph(16, 16))
+        part = HierarchicalPartitioner.for_topology(topo4, tolerance=0.1)
+        res = part.partition(g, 4, target=target4, seed=0)
+        assert res.k == 4
+        assert len(res) == g.n_vertices
+        assert res.parts.min() >= 0 and res.parts.max() < 4
+        sizes = np.bincount(res.parts, weights=g.vwgt, minlength=4)
+        ideal = g.vwgt.sum() / 4
+        # Repair passes keep balance within tolerance plus one vertex.
+        assert sizes.max() <= ideal * 1.1 + g.vwgt.max()
+
+    def test_dominant_pairs_stay_in_one_box(self, topo4, target4):
+        g = paired_graph()
+        part = HierarchicalPartitioner.for_topology(topo4)
+        res = part.partition(g, 4, target=target4, seed=0)
+        box = res.parts // topo4.sockets_per_box
+        for i in range(g.n_vertices // 2):
+            assert box[2 * i] == box[2 * i + 1], (
+                f"pair {i} split across boxes: sockets "
+                f"{res.parts[2 * i]} vs {res.parts[2 * i + 1]}"
+            )
+
+    def test_deterministic_per_seed(self, topo4, target4):
+        g = CSRGraph.from_tdg(grid_graph(12, 12))
+        part = HierarchicalPartitioner.for_topology(topo4)
+        a = part.partition(g, 4, target=target4, seed=3)
+        b = part.partition(g, 4, target=target4, seed=3)
+        assert np.array_equal(a.parts, b.parts)
+
+
+class TestContractDominant:
+    def test_heavy_edge_contracts_light_does_not(self):
+        # 0 -10- 1 -1- 2: vertex 0's only edge dominates, so {0,1} merge;
+        # vertex 2's only edge dominates too, so everything chains into
+        # one cluster when the weight limit allows it.
+        g = CSRGraph.from_edges(
+            3, [(0, 1, 10.0), (1, 2, 1.0)], np.ones(3)
+        )
+        cluster_of, coarse = _contract_dominant(g, weight_limit=3.0)
+        assert coarse.n_vertices == 1
+        assert len(set(cluster_of.tolist())) == 1
+
+    def test_weight_limit_stops_snowballing(self):
+        g = CSRGraph.from_edges(
+            3, [(0, 1, 10.0), (1, 2, 1.0)], np.ones(3)
+        )
+        cluster_of, coarse = _contract_dominant(g, weight_limit=2.5)
+        assert coarse.n_vertices == 2
+        assert cluster_of[0] == cluster_of[1]
+        assert cluster_of[2] != cluster_of[0]
+        # Contracted weights are the summed originals.
+        assert sorted(coarse.vwgt.tolist()) == [1.0, 2.0]
+
+    def test_balanced_edges_do_not_contract(self):
+        # Middle vertex sees two equal edges: neither dominates (the
+        # dominance test is strict), endpoints each see one dominant edge
+        # but capacity-limited unions keep at least two clusters.
+        g = CSRGraph.from_edges(
+            3, [(0, 1, 5.0), (1, 2, 5.0)], np.ones(3)
+        )
+        cluster_of, coarse = _contract_dominant(g, weight_limit=2.0)
+        assert coarse.n_vertices == 2
+
+    def test_cross_cluster_edges_survive_coalesced(self):
+        g = paired_graph(n_pairs=4)
+        cluster_of, coarse = _contract_dominant(g, weight_limit=2.0)
+        assert coarse.n_vertices == 4  # one cluster per pair
+        # Ring of light edges between pairs survives.
+        assert coarse.n_edges > 0
+
+
+class TestSingleBoxEquivalence:
+    def test_rgp_hierarchical_auto_matches_off_on_single_box(self):
+        from repro.apps import make_app
+        from repro.core.rgp import RGPLASScheduler
+
+        topo = two_socket()
+        prog = make_app("jacobi", nt=4, tile=64, sweeps=2).build(
+            topo.n_sockets
+        )
+        results = {}
+        for hierarchical in ("auto", False):
+            sim = Simulator(
+                prog, topo,
+                RGPLASScheduler(window_size=8, hierarchical=hierarchical),
+                seed=0,
+            )
+            results[hierarchical] = sim.run()
+        a, b = results["auto"], results[False]
+        assert a.makespan == b.makespan
+        assert [
+            (r.tid, r.core, r.start, r.finish) for r in a.records
+        ] == [(r.tid, r.core, r.start, r.finish) for r in b.records]
+
+    def test_cluster_auto_resolves_to_hierarchical(self):
+        from repro.core.rgp import RGPLASScheduler
+
+        topo = cluster(2)
+        sched = RGPLASScheduler(window_size=8, hierarchical="auto")
+        prog_sched = make_scheduler("rgp+las", window_size=8)
+        assert prog_sched is not sched  # factory builds fresh instances
+        from repro.apps import make_app
+
+        prog = make_app("jacobi", nt=4, tile=64, sweeps=2).build(
+            topo.n_sockets
+        )
+        sim = Simulator(prog, topo, sched, seed=0)
+        sim.run()
+        assert isinstance(sched._active_partitioner, HierarchicalPartitioner)

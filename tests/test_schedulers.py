@@ -199,11 +199,25 @@ class TestEP:
         with pytest.raises((SchedulerError, SimulationError)):
             simulate(p.finalize(), topo8, EPScheduler())
 
-    def test_annotation_wraps_modulo(self, topo2):
+    def test_out_of_range_annotation_raises(self, topo2):
+        # Regression: EP used to wrap out-of-range hints with
+        # ``% n_sockets``, silently folding a program built for a bigger
+        # machine onto the small one (socket 5 -> socket 1 on 2 sockets).
         p = TaskProgram()
         p.task(meta={"ep_socket": 5})
-        res = simulate(p.finalize(), topo2, EPScheduler(), steal=False)
-        assert res.records[0].socket == 1
+        from repro.errors import SimulationError
+
+        with pytest.raises((SchedulerError, SimulationError)) as exc:
+            simulate(p.finalize(), topo2, EPScheduler(), steal=False)
+        assert "out of range" in str(exc.value)
+
+    def test_negative_annotation_raises(self, topo2):
+        p = TaskProgram()
+        p.task(meta={"ep_socket": -1})
+        from repro.errors import SimulationError
+
+        with pytest.raises((SchedulerError, SimulationError)):
+            simulate(p.finalize(), topo2, EPScheduler(), steal=False)
 
 
 class _FakeSim:
