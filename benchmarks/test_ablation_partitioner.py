@@ -72,6 +72,37 @@ def test_partitioner_speed_and_quality(window_graph, pname, benchmark):
         assert cut <= edge_cut(window_graph, rand.parts)
 
 
+def test_exact_oracle_on_small_window(quick_config_module, benchmark):
+    """Ablation J's oracle: prove a small real window optimal, and time
+    the proof.  DRB must land at or above the proven optimum."""
+    prog = build_program(quick_config_module, "jacobi")
+    small = CSRGraph.from_tdg(prog.tdg.prefix(14))
+    oracle = by_name("exact", budget=200_000)
+
+    result = benchmark(lambda: oracle.partition(small, 4, seed=0))
+    assert result.meta["exact"], "oracle budget must cover a 14-task window"
+    drb = by_name("drb").partition(small, 4, seed=0)
+    assert result.meta["objective"] <= edge_cut(small, drb.parts) + 1e-9
+
+
+@pytest.mark.parametrize("policy", ("calist", "bsp"))
+def test_literature_scheduler_end_to_end(quick_config_module, policy, benchmark):
+    """The literature baselines (comm-aware list, BSP) run the quick
+    jacobi config end to end; they bracket RGP in the policy table."""
+    from repro.schedulers import make_scheduler
+
+    cfg = quick_config_module
+    program = build_program(cfg, "jacobi")
+
+    def run():
+        return run_policy(
+            cfg, program, policy, lambda: make_scheduler(policy)
+        )
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.makespan_mean > 0
+
+
 def test_drb_beats_floors_end_to_end(quick_config_module, benchmark):
     """DRB-driven RGP must beat random-partition RGP on NStream."""
     cfg = quick_config_module

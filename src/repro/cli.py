@@ -16,7 +16,7 @@ Commands
 ``stats``     — instrumented run; prints the metrics-registry summary and
                 the NUMA socket-by-node traffic matrix.
 ``ablation``  — run one of the ablation sweeps (window / partitioner /
-                sockets / las / propagation / pipeline).
+                sockets / las / propagation / pipeline / cluster / gap).
 ``bench``     — host-performance benchmark of the scheduling hot path
                 (placement-cache on/off); emits ``BENCH_hotpath.json``,
                 appends to the ``BENCH_history.jsonl`` perf history, and
@@ -397,6 +397,22 @@ def cmd_ablation(args) -> int:
     from .experiments import ablations
 
     cfg = _config(args)
+    if args.which == "gap":
+        report = ablations.run_gap_ablation(cfg, quick=args.quick)
+        print(report.render())
+        if args.gate_drb is not None:
+            mean = report.mean_gap("drb")
+            if mean > args.gate_drb:
+                print(
+                    f"FAIL: drb mean optimality gap {mean * 100:.1f}% "
+                    f"exceeds gate {args.gate_drb * 100:.1f}%"
+                )
+                return 6
+            print(
+                f"gate ok: drb mean optimality gap {mean * 100:.1f}% "
+                f"<= {args.gate_drb * 100:.1f}%"
+            )
+        return 0
     runner = {
         "window": ablations.run_window_ablation,
         "partitioner": ablations.run_partitioner_ablation,
@@ -824,7 +840,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("which", choices=["window", "partitioner", "sockets",
                                      "las", "propagation", "pipeline",
-                                     "cluster"])
+                                     "cluster", "gap"])
+    p.add_argument("--gate-drb", type=float, default=None, metavar="FRAC",
+                   help="gap only: exit 6 if drb's mean optimality gap "
+                        "exceeds FRAC (e.g. 0.15)")
     p.set_defaults(fn=cmd_ablation)
 
     p = sub.add_parser(

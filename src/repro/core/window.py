@@ -23,7 +23,7 @@ from ..errors import SchedulerError
 from ..graph.csr import CSRGraph
 from ..graph.tdg import TaskGraph
 from ..machine.topology import NumaTopology
-from ..partition.interface import Partitioner, TargetArchitecture
+from ..partition.interface import Partitioner, TargetArchitecture, partition_onto
 from ..runtime.program import TaskProgram
 
 #: Default window-size limit (tasks).
@@ -188,7 +188,9 @@ def partition_window(
     prefix = tdg.prefix(cutoff)
     csr = CSRGraph.from_tdg(prefix)
     target = TargetArchitecture.from_topology(topology)
-    result = partitioner.partition(csr, topology.n_sockets, target=target, seed=seed)
+    result = partition_onto(
+        partitioner, csr, topology.n_sockets, target=target, seed=seed
+    )
     cut = cost = None
     if with_stats:
         from ..partition.metrics import edge_cut, mapping_cost

@@ -27,6 +27,15 @@ class PartitionError(ReproError):
     """Graph partitioning failure (infeasible balance, bad part count)."""
 
 
+class ExactBudgetExceeded(PartitionError):
+    """The exact partitioner's branch-and-bound node budget ran out.
+
+    Only raised when the backend was configured with ``on_budget="raise"``;
+    the default degrades to the multilevel heuristic's answer with a
+    ``meta`` flag instead of hanging or erroring.
+    """
+
+
 class RuntimeStateError(ReproError):
     """Task runtime misuse (submit after finalize, unknown data object...)."""
 

@@ -16,6 +16,7 @@ family from scratch (DESIGN.md §2/§3):
 from .anchored import partition_with_anchors
 from .baselines import BlockPartitioner, CyclicPartitioner, RandomPartitioner
 from .coarsen import CoarseningLevel, coarsen_once, coarsen_to, heavy_edge_matching
+from .exact import DEFAULT_EXACT_BUDGET, ExactPartitioner
 from .hierarchical import HierarchicalPartitioner, topology_groups
 from .initial import greedy_graph_growing, random_bisection
 from .interface import (
@@ -23,6 +24,7 @@ from .interface import (
     Partitioner,
     PartitionResult,
     TargetArchitecture,
+    partition_onto,
 )
 from .kl import MultilevelKWayKL, kl_bisection_refine
 from .metrics import (
@@ -44,6 +46,7 @@ PARTITIONERS: dict[str, type[Partitioner]] = {
         MultilevelKWay,
         MultilevelKWayKL,
         SpectralPartitioner,
+        ExactPartitioner,
         RandomPartitioner,
         CyclicPartitioner,
         BlockPartitioner,
@@ -63,12 +66,14 @@ def by_name(name: str, **kwargs) -> Partitioner:
 
 
 __all__ = [
+    "DEFAULT_EXACT_BUDGET",
     "DEFAULT_TOLERANCE",
     "PARTITIONERS",
     "BlockPartitioner",
     "CoarseningLevel",
     "CyclicPartitioner",
     "DualRecursiveBipartitioner",
+    "ExactPartitioner",
     "HierarchicalPartitioner",
     "MultilevelKWay",
     "MultilevelKWayKL",
@@ -91,6 +96,7 @@ __all__ = [
     "kl_bisection_refine",
     "mapping_cost",
     "part_sizes",
+    "partition_onto",
     "partition_with_anchors",
     "random_bisection",
     "split_architecture",

@@ -27,7 +27,12 @@ from scipy.optimize import linear_sum_assignment
 
 from ..errors import PartitionError
 from ..graph.csr import CSRGraph
-from .interface import PartitionResult, Partitioner, TargetArchitecture
+from .interface import (
+    PartitionResult,
+    Partitioner,
+    TargetArchitecture,
+    partition_onto,
+)
 from .refine import greedy_kway_refine
 
 
@@ -58,7 +63,9 @@ def partition_with_anchors(
         fixed[v] = True
 
     # 1. Partition everything; anchors participate so connectivity counts.
-    base = partitioner.partition(graph, k, target=target, seed=seed)
+    # (partition_onto: a late window plus its anchors can still be smaller
+    # than the machine.)
+    base = partition_onto(partitioner, graph, k, target=target, seed=seed)
     parts = np.asarray(base.parts, dtype=np.int64).copy()
 
     # 2. Optimal part -> socket relabelling by anchor affinity.  An

@@ -37,6 +37,7 @@ from .interface import (
     PartitionResult,
     Partitioner,
     TargetArchitecture,
+    partition_onto,
 )
 from .recursive import DualRecursiveBipartitioner
 from .refine import greedy_kway_refine
@@ -199,8 +200,11 @@ class HierarchicalPartitioner(Partitioner):
                 target.capacity.min() * max(len(g) for g in self.groups)
             ) / float(target.capacity.sum())
             cluster_of, coarse = _contract_dominant(graph, limit)
-            top = self.inner.partition(
-                coarse, n_groups, target=self._group_target(target), seed=seed
+            # partition_onto: pre-contraction can leave fewer clusters
+            # than groups on tiny or chain-dominated windows.
+            top = partition_onto(
+                self.inner, coarse, n_groups,
+                target=self._group_target(target), seed=seed,
             )
             group_parts = np.asarray(top.parts, dtype=np.int64)[cluster_of]
 
@@ -218,8 +222,9 @@ class HierarchicalPartitioner(Partitioner):
                 distance=target.distance[np.ix_(sockets, sockets)],
                 capacity=target.capacity[sockets],
             )
-            inner_res = self.inner.partition(
-                sub, len(sockets), target=sub_target, seed=seed + gi + 1
+            inner_res = partition_onto(
+                self.inner, sub, len(sockets),
+                target=sub_target, seed=seed + gi + 1,
             )
             socket_ids = np.asarray(sockets, dtype=np.int64)
             parts[old_ids] = socket_ids[inner_res.parts]

@@ -6,6 +6,15 @@ absorbing the frontier vertex whose move is cheapest (max gain), until part
 0 reaches its target weight.  Several random seeds are tried and the best
 cut kept.  A weight-balanced random bisection serves as baseline and as a
 fallback for degenerate graphs.
+
+GGG has a blind spot on disconnected graphs: it absorbs whole components
+one at a time but stops the instant part 0 reaches its target weight —
+mid-component — cutting through the final component even when a zero-cut
+packing of whole components exists within tolerance.  TDG windows hit this
+constantly (independent iteration chains linked only by zero-byte ordering
+edges), so :func:`component_packing_bisection` packs the components of the
+*positive-weight* subgraph onto the two sides directly; the multilevel
+driver offers it as a second initial candidate next to GGG.
 """
 
 from __future__ import annotations
@@ -97,6 +106,93 @@ def _ggg_once(graph: CSRGraph, f0: float, rng: np.random.Generator) -> np.ndarra
                 stamp[u] += 1
                 push(int(u))
     return parts
+
+
+def positive_components(graph: CSRGraph) -> np.ndarray:
+    """Component label per vertex, ignoring zero-weight edges.
+
+    Zero-weight edges (pure ordering dependences) are free to cut, so for
+    packing purposes two vertices belong together only if a positive-weight
+    path connects them.
+    """
+    n = graph.n_vertices
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    src = np.repeat(np.arange(n), np.diff(graph.xadj))
+    for u, v, w in zip(src, graph.adjncy, graph.adjwgt):
+        if u < v and w > 0.0:
+            a, b = find(int(u)), find(int(v))
+            if a != b:
+                parent[a] = b
+    roots = np.fromiter((find(v) for v in range(n)), dtype=np.int64, count=n)
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels
+
+
+def component_packing_bisection(
+    graph: CSRGraph, f0: float
+) -> np.ndarray | None:
+    """Bisect by packing whole positive-weight components onto two sides.
+
+    Returns ``None`` when the positive-weight subgraph is connected (packing
+    degenerates to all-or-nothing).  Otherwise packs components greedily by
+    descending weight onto the side with more remaining headroom, then runs
+    a deterministic local search (single-component moves, then pair swaps)
+    minimising the deviation of side 0 from its target weight.  The cut of
+    the result only crosses zero-weight edges.
+    """
+    _check_fraction(f0)
+    n = graph.n_vertices
+    if n == 0:
+        return None
+    labels = positive_components(graph)
+    ncomp = int(labels.max()) + 1
+    if ncomp < 2:
+        return None
+    cw = np.bincount(labels, weights=graph.vwgt, minlength=ncomp)
+    target0 = f0 * float(graph.vwgt.sum())
+
+    side = np.ones(ncomp, dtype=np.int64)
+    w0 = 0.0
+    for c in np.argsort(-cw, kind="stable"):
+        if w0 + cw[c] <= target0 or w0 < target0 - (w0 + cw[c] - target0):
+            side[c] = 0
+            w0 += cw[c]
+
+    def dev(w: float) -> float:
+        return abs(w - target0)
+
+    improved = True
+    while improved:
+        improved = False
+        # Single-component moves.
+        for c in range(ncomp):
+            delta = -cw[c] if side[c] == 0 else cw[c]
+            if dev(w0 + delta) < dev(w0) - 1e-12:
+                side[c] = 1 - side[c]
+                w0 += delta
+                improved = True
+        # Pair swaps across sides.
+        zeros = np.flatnonzero(side == 0)
+        ones = np.flatnonzero(side == 1)
+        for a in zeros:
+            for b in ones:
+                delta = cw[b] - cw[a]
+                if dev(w0 + delta) < dev(w0) - 1e-12:
+                    side[a], side[b] = 1, 0
+                    w0 += delta
+                    improved = True
+                    break
+            else:
+                continue
+            break
+    return side[labels]
 
 
 def _quick_cut(graph: CSRGraph, parts: np.ndarray) -> float:

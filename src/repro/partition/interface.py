@@ -69,12 +69,20 @@ class TargetArchitecture:
 
 @dataclass(frozen=True, eq=False)
 class PartitionResult:
-    """Outcome of a partitioning call."""
+    """Outcome of a partitioning call.
+
+    ``meta`` carries backend-specific provenance (the exact backend uses
+    it to say whether optimality was proven or the budget fallback fired);
+    it never participates in equality or the validity contract.
+    """
 
     parts: np.ndarray  # shape (n,), int64 in [0, k)
     k: int
+    meta: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.k < 1:
+            raise PartitionError(f"k must be >= 1, got {self.k}")
         parts = np.asarray(self.parts, dtype=np.int64)
         if len(parts) and (parts.min() < 0 or parts.max() >= self.k):
             raise PartitionError("part ids out of range")
@@ -125,6 +133,16 @@ class Partitioner(ABC):
     def _check_k(self, graph: CSRGraph, k: int) -> None:
         if k < 1:
             raise PartitionError(f"k must be >= 1, got {k}")
+        if k > graph.n_vertices:
+            # More parts than vertices: there is no partition with every
+            # part id meaningfully populated, and backends used to emit
+            # empty parts in mutually inconsistent ways.  Callers that can
+            # legitimately see tiny graphs (small RGP windows on big
+            # machines) go through :func:`partition_onto`.
+            raise PartitionError(
+                f"cannot partition {graph.n_vertices} vertices into {k} "
+                f"parts; use partition_onto() for graceful spreading"
+            )
 
     def _capacities(
         self, k: int, target: TargetArchitecture | None
@@ -136,3 +154,41 @@ class Partitioner(ABC):
                 f"target architecture has {target.k} parts, requested {k}"
             )
         return target.capacity
+
+
+def partition_onto(
+    partitioner: Partitioner,
+    graph: CSRGraph,
+    k: int,
+    *,
+    target: TargetArchitecture | None = None,
+    seed: int = 0,
+) -> PartitionResult:
+    """Partition ``graph`` into ``k`` parts, tolerating ``k > n_vertices``.
+
+    Backends reject more parts than vertices (``_check_k``), but RGP
+    windows can legitimately be smaller than the machine (a 5-task first
+    window on an 8-socket box).  With fewer vertices than parts the
+    balance constraint ``(1 + tol) * total / k`` already forces (near-)
+    singleton parts, so the backend has nothing to optimise: this helper
+    spreads the vertices injectively — heaviest vertex onto the roomiest
+    part (ties to the lowest id) — and returns a full-``k`` result with
+    the remaining parts empty.  Graphs with ``n >= k`` go straight to the
+    backend.
+    """
+    n = graph.n_vertices
+    if k <= n:
+        return partitioner.partition(graph, k, target=target, seed=seed)
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    if target is not None and target.k != k:
+        raise PartitionError(
+            f"target architecture has {target.k} parts, requested {k}"
+        )
+    capacity = target.capacity if target is not None else np.ones(k)
+    order = np.argsort(-graph.vwgt.astype(np.float64), kind="stable")
+    roomiest = np.argsort(-np.asarray(capacity, dtype=np.float64),
+                          kind="stable")[:n]
+    parts = np.zeros(n, dtype=np.int64)
+    parts[order] = roomiest
+    return PartitionResult(parts=parts, k=k, meta={"spread": True})

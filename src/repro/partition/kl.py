@@ -2,9 +2,12 @@
 
 The historical ancestor of FM: instead of single moves, KL swaps *pairs*
 of vertices (one from each side), which keeps the balance exactly
-invariant — useful when the bisection must not drift at all (e.g. equal
-halves of unit-weight graphs).  Kept as an alternative refiner and an
-ablation subject; FM remains the default (faster, handles weights).
+invariant on *unit-weight* graphs.  With weighted vertices a swap shifts
+``vwgt[b] - vwgt[a]`` across the cut, so unconstrained swapping drifts
+arbitrarily far from balance; pass ``f0``/``tolerance`` to cap the drift
+(swaps that would push a side past its weight cap are skipped).  Kept as
+an alternative refiner and an ablation subject; FM remains the default
+(faster, restores balance rather than merely preserving it).
 
 This implementation is the textbook O(passes * n^2)-ish variant with the
 usual gain bookkeeping, adequate for the window sizes RGP partitions.
@@ -42,16 +45,37 @@ def kl_bisection_refine(
     parts: np.ndarray,
     max_passes: int = 4,
     max_swaps_per_pass: int | None = None,
+    f0: float | None = None,
+    tolerance: float = 0.0,
 ) -> np.ndarray:
-    """Refine a bisection by greedy pair swaps with best-prefix rollback."""
+    """Refine a bisection by greedy pair swaps with best-prefix rollback.
+
+    With ``f0`` set, swaps are constrained to keep both side weights within
+    ``f0``/``1-f0`` of the total (plus ``tolerance`` and single-vertex
+    granularity slack); without it swaps are unconstrained, which is only
+    balance-preserving on unit vertex weights.
+    """
     parts = np.asarray(parts, dtype=np.int64).copy()
     n = graph.n_vertices
     if n < 2:
         return parts
     limit = max_swaps_per_pass or min(n // 2, 64)
+    vwgt = graph.vwgt
+    if f0 is not None:
+        total = float(vwgt.sum())
+        cap = np.array([
+            f0 * total * (1.0 + tolerance),
+            (1.0 - f0) * total * (1.0 + tolerance),
+        ])
+        cap = np.maximum(cap, float(vwgt.max()))
+    else:
+        cap = None
 
     for _ in range(max_passes):
         d = _d_values(graph, parts)
+        weights = np.bincount(parts, weights=vwgt, minlength=2).astype(
+            np.float64
+        )
         locked = np.zeros(n, dtype=bool)
         swaps: list[tuple[int, int]] = []
         cum = 0.0
@@ -69,6 +93,13 @@ def kl_bisection_refine(
             best_pair, best_gain = None, -np.inf
             for a in top0:
                 for b in top1:
+                    if cap is not None:
+                        shift = float(vwgt[b] - vwgt[a])  # into side 0
+                        if (
+                            weights[0] + shift > cap[0]
+                            or weights[1] - shift > cap[1]
+                        ):
+                            continue
                     g = d[a] + d[b] - 2.0 * _edge_weight(graph, int(a), int(b))
                     if g > best_gain:
                         best_gain, best_pair = g, (int(a), int(b))
@@ -76,6 +107,9 @@ def kl_bisection_refine(
                 break
             a, b = best_pair
             parts[a], parts[b] = 1, 0
+            shift = float(vwgt[b] - vwgt[a])
+            weights[0] += shift
+            weights[1] -= shift
             locked[a] = locked[b] = True
             swaps.append((a, b))
             cum += best_gain
@@ -102,27 +136,40 @@ def kl_bisection_refine(
 class MultilevelKWayKL(MultilevelKWay):
     """Multilevel k-way using KL pair swaps instead of FM at each level.
 
-    Registered as ``"multilevel-kl"`` — an ablation subject; balance is
-    inherited exactly from the initial bisection (KL never changes it).
+    Registered as ``"multilevel-kl"`` — an ablation subject.  Swaps are
+    weight-constrained to the per-level tolerance, so balance tracks the
+    initial bisection instead of drifting with every uneven swap.
     """
 
     name = "multilevel-kl"
 
     def bisect(self, graph: CSRGraph, f0: float, rng) -> np.ndarray:
         from .coarsen import coarsen_to
-        from .initial import greedy_graph_growing
+        from .initial import component_packing_bisection, greedy_graph_growing
+        from .multilevel import _bisection_key
 
         n = graph.n_vertices
         if n == 0:
             return np.zeros(0, dtype=np.int64)
+        tol = self._level_tol if self._level_tol is not None else self.tolerance
         hierarchy = coarsen_to(graph, max_vertices=self.coarse_size, rng=rng)
         graphs = [graph] + [lvl.graph for lvl in hierarchy]
+        coarsest = graphs[-1]
         parts = greedy_graph_growing(
-            graphs[-1], f0, rng, n_trials=self.n_initial_trials
+            coarsest, f0, rng, n_trials=self.n_initial_trials
         )
-        parts = kl_bisection_refine(graphs[-1], parts)
+        parts = kl_bisection_refine(coarsest, parts, f0=f0, tolerance=tol)
+        packed = component_packing_bisection(coarsest, f0)
+        if packed is not None:
+            packed = kl_bisection_refine(coarsest, packed, f0=f0, tolerance=tol)
+            if _bisection_key(coarsest, packed, f0, tol) < _bisection_key(
+                coarsest, parts, f0, tol
+            ):
+                parts = packed
         for level_idx in range(len(hierarchy) - 1, -1, -1):
             level = hierarchy[level_idx]
             parts = parts[level.fine_to_coarse]
-            parts = kl_bisection_refine(graphs[level_idx], parts)
+            parts = kl_bisection_refine(
+                graphs[level_idx], parts, f0=f0, tolerance=tol
+            )
         return parts

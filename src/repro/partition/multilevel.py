@@ -23,7 +23,7 @@ import numpy as np
 from ..errors import PartitionError
 from ..graph.csr import CSRGraph
 from .coarsen import coarsen_to
-from .initial import greedy_graph_growing
+from .initial import component_packing_bisection, greedy_graph_growing
 from .interface import (
     DEFAULT_TOLERANCE,
     Partitioner,
@@ -31,7 +31,7 @@ from .interface import (
     TargetArchitecture,
 )
 from .metrics import edge_cut
-from .refine import fm_bisection_refine, greedy_kway_refine
+from .refine import fm_bisection_refine, kway_refine
 
 
 class MultilevelKWay(Partitioner):
@@ -86,6 +86,15 @@ class MultilevelKWay(Partitioner):
             coarsest, f0, rng, n_trials=self.n_initial_trials
         )
         parts = fm_bisection_refine(coarsest, parts, f0, tol)
+        # Disconnected (positive-weight) graphs: GGG stops mid-component,
+        # so also try packing whole components and keep the better bisection.
+        packed = component_packing_bisection(coarsest, f0)
+        if packed is not None:
+            packed = fm_bisection_refine(coarsest, packed, f0, tol)
+            if _bisection_key(coarsest, packed, f0, tol) < _bisection_key(
+                coarsest, parts, f0, tol
+            ):
+                parts = packed
         if observer is not None:
             observer(
                 "initial",
@@ -128,12 +137,12 @@ class MultilevelKWay(Partitioner):
         self._recurse(graph, np.arange(graph.n_vertices), list(range(k)),
                       capacities, parts, rng)
         if self.arch_refine and target is not None and k > 1:
-            parts = greedy_kway_refine(
+            parts = kway_refine(
                 graph, parts, k, capacities, self.tolerance,
                 arch_distance=target.distance,
             )
         elif k > 1:
-            parts = greedy_kway_refine(
+            parts = kway_refine(
                 graph, parts, k, capacities, self.tolerance
             )
         return PartitionResult(parts=parts, k=k)
@@ -180,6 +189,27 @@ class MultilevelKWay(Partitioner):
         """
         mid = (len(part_ids) + 1) // 2
         return part_ids[:mid], part_ids[mid:]
+
+
+def _bisection_key(
+    graph: CSRGraph, parts: np.ndarray, f0: float, tol: float
+) -> tuple[float, float, float]:
+    """Candidate ranking: least cap violation first, then cut, then drift.
+
+    Violation-first (not merely feasible-first) matters: between two
+    infeasible candidates a zero-cut one that dumps 95% of the weight on
+    one side must lose to a mildly-over-cap one the downstream refiners
+    can actually repair.
+    """
+    total = float(graph.vwgt.sum())
+    w0 = float(graph.vwgt[parts == 0].sum())
+    cap0 = f0 * total * (1.0 + tol)
+    cap1 = (1.0 - f0) * total * (1.0 + tol)
+    vmax = float(graph.vwgt.max()) if graph.n_vertices else 0.0
+    violation = max(0.0, w0 - max(cap0, vmax)) + max(
+        0.0, (total - w0) - max(cap1, vmax)
+    )
+    return (violation, edge_cut(graph, parts), abs(w0 - f0 * total))
 
 
 def _extract_subgraph(graph: CSRGraph, mask: np.ndarray) -> CSRGraph:

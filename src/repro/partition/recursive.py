@@ -22,7 +22,7 @@ from .interface import (
     TargetArchitecture,
 )
 from .multilevel import MultilevelKWay
-from .refine import greedy_kway_refine
+from .refine import kway_refine
 
 
 def split_architecture(
@@ -123,7 +123,7 @@ class DualRecursiveBipartitioner(MultilevelKWay):
                 capacities, parts, rng,
             )
             if k > 1:
-                parts = greedy_kway_refine(
+                parts = kway_refine(
                     graph, parts, k, capacities, self.tolerance,
                     arch_distance=target.distance,
                 )

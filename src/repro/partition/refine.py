@@ -78,10 +78,35 @@ def _fm_pass(
         """Best feasible move across both heaps (lazy invalidation)."""
         overweight = [weights[s] > cap[s] for s in (0, 1)]
         must_drain = 0 if overweight[0] else 1 if overweight[1] else None
+        if must_drain is not None:
+            # Balance restoration.  The highest-gain vertex may be heavy
+            # enough to jump clean over the feasible band (src under cap but
+            # dest now over), so prefer the best-gain move that *fits* the
+            # destination; fall back to the overall best to keep progress.
+            side = must_drain
+            dest = 1 - side
+            h = heaps[side]
+            stash: list[tuple[float, int, int]] = []
+            fallback: tuple[float, int, int] | None = None
+            chosen: tuple[float, int, int] | None = None
+            while h:
+                neg_g, st, v = heapq.heappop(h)
+                if moved[v] or st != stamp[v] or parts[v] != side:
+                    continue
+                if weights[dest] + vwgt[v] <= cap[dest]:
+                    chosen = (neg_g, st, v)
+                    break
+                if fallback is None:
+                    fallback = (neg_g, st, v)
+                stash.append((neg_g, st, v))
+            if chosen is None:
+                chosen = fallback
+            for entry in stash:
+                if entry is not chosen:
+                    heapq.heappush(h, entry)
+            return None if chosen is None else chosen[2]
         candidates: list[tuple[float, int]] = []  # (neg_gain, side)
         for side in (0, 1):
-            if must_drain is not None and side != must_drain:
-                continue
             h = heaps[side]
             while h:
                 neg_g, st, v = h[0]
@@ -89,13 +114,9 @@ def _fm_pass(
                     heapq.heappop(h)
                     continue
                 dest = 1 - side
-                if (
-                    must_drain is None
-                    and weights[dest] + vwgt[v] > cap[dest]
-                ):
-                    # Infeasible right now; try the next-best on this side by
-                    # popping it into a stash? Keeping it simple: skip this
-                    # side this round (it will retry after weights change).
+                if weights[dest] + vwgt[v] > cap[dest]:
+                    # Infeasible right now; skip this side this round (it
+                    # will retry after weights change).
                     break
                 candidates.append((neg_g, side))
                 break
@@ -105,16 +126,20 @@ def _fm_pass(
         _, _, v = heapq.heappop(heaps[side])
         return v
 
+    def violation() -> float:
+        return max(0.0, weights[0] - cap[0]) + max(0.0, weights[1] - cap[1])
+
     def feasible() -> bool:
         return weights[0] <= cap[0] and weights[1] <= cap[1]
 
     seq: list[int] = []
     cum = 0.0
-    # Best prefix is chosen lexicographically: a balanced state always beats
-    # an unbalanced one (otherwise rolling back to the highest-gain prefix
-    # would undo balance-restoring moves that have negative cut gain).
-    initial_feasible = feasible()
-    best_key = (initial_feasible, 0.0)
+    # Best prefix: smallest cap violation first, then cut gain.  Ranking by
+    # the violation *amount* (not a feasible/infeasible bit) keeps partial
+    # balance-restoration progress even when the feasible band is narrower
+    # than the vertices being moved, so repeated passes converge.
+    initial_violation = violation()
+    best_viol, best_cum = initial_violation, 0.0
     best_len = 0
     for _ in range(limit):
         v = pop_feasible()
@@ -138,9 +163,11 @@ def _fm_pass(
                 gain[u] += 2.0 * w
             stamp[u] += 1
             push(int(u))
-        key = (feasible(), cum)
-        if key > (best_key[0], best_key[1] + 1e-12):
-            best_key = key
+        viol = violation()
+        if viol < best_viol - 1e-12 or (
+            viol < best_viol + 1e-12 and cum > best_cum + 1e-12
+        ):
+            best_viol, best_cum = viol, cum
             best_len = len(seq)
 
     # Roll back moves past the best prefix.
@@ -149,7 +176,7 @@ def _fm_pass(
         weights[parts[v]] -= w
         parts[v] = 1 - parts[v]
         weights[parts[v]] += w
-    return best_key[1] > 1e-12 or (best_key[0] and not initial_feasible)
+    return best_cum > 1e-12 or best_viol < initial_violation - 1e-12
 
 
 def greedy_kway_refine(
@@ -226,6 +253,151 @@ def greedy_kway_refine(
                 weights[best_part] += vwgt[v]
                 any_move = True
         if not any_move:
+            break
+    return parts
+
+
+def kway_swap_refine(
+    graph: CSRGraph,
+    parts: np.ndarray,
+    k: int,
+    capacities: np.ndarray | None = None,
+    tolerance: float = 0.05,
+    arch_distance: np.ndarray | None = None,
+    max_rounds: int = 64,
+    fixed: np.ndarray | None = None,
+) -> np.ndarray:
+    """KL-style pairwise exchange refinement for k-way partitions.
+
+    Single-vertex relocation (``greedy_kway_refine``) stalls when every
+    profitable move is blocked by the weight caps — common under tight
+    tolerance, where parts sit near capacity and nothing may move anywhere.
+    Exchanging a *pair* across two parts shifts only the weight difference,
+    so it threads through caps that block both individual moves.  Gains use
+    the mapping-cost objective when ``arch_distance`` is given (for a swap
+    the u-v edge itself never changes cost, hence the ``-2 w(u,v) d(p,q)``
+    correction), plain edge cut otherwise.
+
+    Each round evaluates, fully vectorised, the best feasible positive-gain
+    exchange for every ordered part pair and applies them greedily
+    (recomputing connectivity after each applied swap); rounds repeat until
+    no exchange improves or ``max_rounds`` is hit.
+    """
+    parts = np.asarray(parts, dtype=np.int64).copy()
+    n = graph.n_vertices
+    if n == 0 or k < 2:
+        return parts
+    vwgt = graph.vwgt
+    total = float(vwgt.sum())
+    if capacities is None:
+        capacities = np.ones(k, dtype=np.float64)
+    cap = total * capacities / capacities.sum() * (1.0 + tolerance)
+    cap = np.maximum(cap, float(vwgt.max()))
+    if arch_distance is None:
+        dist = np.ones((k, k), dtype=np.float64)
+        np.fill_diagonal(dist, 0.0)
+    else:
+        dist = np.asarray(arch_distance, dtype=np.float64)
+    if fixed is None:
+        fixed = np.zeros(n, dtype=bool)
+
+    from scipy.sparse import csr_matrix
+
+    src = np.repeat(np.arange(n), np.diff(graph.xadj))
+    adj = csr_matrix(
+        (graph.adjwgt, graph.adjncy, graph.xadj), shape=(n, n)
+    )
+
+    def connectivity() -> np.ndarray:
+        conn = np.zeros((n, k), dtype=np.float64)
+        np.add.at(conn, (src, parts[graph.adjncy]), graph.adjwgt)
+        return conn
+
+    conn = connectivity()
+    weights = np.bincount(parts, weights=vwgt, minlength=k).astype(np.float64)
+
+    def update_after(v: int) -> None:
+        """Refresh connectivity rows of v's neighbours (v changed part)."""
+        nbrs = graph.neighbors(v)
+        conn[nbrs] = 0.0
+        for u in nbrs:
+            lo, hi = graph.xadj[u], graph.xadj[u + 1]
+            np.add.at(
+                conn[u], parts[graph.adjncy[lo:hi]], graph.adjwgt[lo:hi]
+            )
+
+    for _ in range(max(1, max_rounds)):
+        # cost[v, q]: v's edge cost if v lived in part q.
+        cost = conn @ dist.T
+        any_swap = False
+        for p in range(k):
+            in_p = np.flatnonzero((parts == p) & ~fixed)
+            if len(in_p) == 0:
+                continue
+            for q in range(p + 1, k):
+                in_q = np.flatnonzero((parts == q) & ~fixed)
+                if len(in_q) == 0:
+                    continue
+                gain_u = cost[in_p, p] - cost[in_p, q]  # u: p -> q
+                gain_v = cost[in_q, q] - cost[in_q, p]  # v: q -> p
+                pair_gain = gain_u[:, None] + gain_v[None, :]
+                # Correct for the u-v edge counted by both sides.
+                if dist[p, q] != 0.0:
+                    uv_w = adj[in_p][:, in_q].toarray()
+                    pair_gain -= 2.0 * dist[p, q] * uv_w
+                # Cap feasibility of the exchange (only the delta moves).
+                delta = vwgt[in_q][None, :] - vwgt[in_p][:, None]
+                ok = (weights[p] + delta <= cap[p]) & (
+                    weights[q] - delta <= cap[q]
+                )
+                pair_gain = np.where(ok, pair_gain, -np.inf)
+                flat = int(np.argmax(pair_gain))
+                i, j = divmod(flat, pair_gain.shape[1])
+                if pair_gain[i, j] <= 1e-12:
+                    continue
+                u, v = int(in_p[i]), int(in_q[j])
+                parts[u], parts[v] = q, p
+                d = float(vwgt[v] - vwgt[u])
+                weights[p] += d
+                weights[q] -= d
+                update_after(u)
+                update_after(v)
+                cost = conn @ dist.T
+                any_swap = True
+        if not any_swap:
+            break
+    return parts
+
+
+def kway_refine(
+    graph: CSRGraph,
+    parts: np.ndarray,
+    k: int,
+    capacities: np.ndarray | None = None,
+    tolerance: float = 0.05,
+    arch_distance: np.ndarray | None = None,
+    fixed: np.ndarray | None = None,
+    alternations: int = 3,
+) -> np.ndarray:
+    """Alternate greedy relocation and pairwise exchange to a fixpoint.
+
+    Moves and swaps escape each other's local optima: relocation stalls on
+    cap-blocked moves that an exchange can realise, and an exchange opens
+    headroom that unlocks further single moves.  Alternation is bounded and
+    stops early once neither pass changes the partition.
+    """
+    parts = np.asarray(parts, dtype=np.int64).copy()
+    for _ in range(max(1, alternations)):
+        before = parts
+        parts = greedy_kway_refine(
+            graph, parts, k, capacities, tolerance,
+            arch_distance=arch_distance, fixed=fixed,
+        )
+        parts = kway_swap_refine(
+            graph, parts, k, capacities, tolerance,
+            arch_distance=arch_distance, fixed=fixed,
+        )
+        if np.array_equal(parts, before):
             break
     return parts
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Callable
 
 from .base import Scheduler
+from .bsp import BSPScheduler
+from .calist import CommScheduleListScheduler
 from .dfifo import DFIFOScheduler
 from .ep import EP_SOCKET_KEY, EPScheduler
 from .heft import HEFTScheduler
@@ -37,6 +39,8 @@ SCHEDULERS: dict[str, Callable[..., Scheduler]] = {
     "las+migrate": MigratingLASWrapper,
     "ep": EPScheduler,
     "heft": HEFTScheduler,
+    "calist": CommScheduleListScheduler,
+    "bsp": BSPScheduler,
     "random": RandomScheduler,
     "rgp": _rgp,
     "rgp+las": _rgp_las,
@@ -57,6 +61,8 @@ def make_scheduler(name: str, **kwargs) -> Scheduler:
 __all__ = [
     "EP_SOCKET_KEY",
     "SCHEDULERS",
+    "BSPScheduler",
+    "CommScheduleListScheduler",
     "DFIFOScheduler",
     "EPScheduler",
     "HEFTScheduler",

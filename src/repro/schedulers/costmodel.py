@@ -1,0 +1,76 @@
+"""Shared cost estimates for static whole-DAG planners (HEFT, calist, BSP).
+
+All three planners price a task's execution and its dependence transfers
+from the same machine summary: the local streaming bandwidth, the average
+remote bandwidth, and (on cluster machines) a per-socket-pair bandwidth
+matrix where cross-box transfers drain through the source box's NIC.
+Keeping the estimates in one place means the planners differ only in
+*model* (earliest finish vs. communication schedule vs. BSP supersteps),
+not in how they read the machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bandwidth_model(topo, interconnect) -> tuple[float, float, np.ndarray | None]:
+    """``(local_bw, remote_bw, pair_bw)`` estimates for a machine.
+
+    ``pair_bw`` is ``None`` on single-box machines (the flat average is
+    exact there); on clusters ``pair_bw[s, m]`` is the planning bandwidth
+    from socket ``s`` to socket ``m`` — intra-box pairs move at the
+    interconnect's socket-pair efficiency, cross-box pairs at the source
+    box's NIC bandwidth.
+    """
+    k = topo.n_sockets
+    local_bw = float(topo.node_bandwidth.mean())
+    effs = [
+        interconnect.efficiency(s, m)
+        for s in range(k) for m in range(k) if s != m
+    ]
+    remote_bw = local_bw * (float(np.mean(effs)) if effs else 1.0)
+
+    n_boxes = getattr(topo, "n_boxes", 1)
+    pair_bw: np.ndarray | None = None
+    if n_boxes > 1:
+        box_of = [topo.box_of_socket(s) for s in range(k)]
+        nic_bw = [
+            float(topo.resource_bandwidth[topo.nic_of_box(b)])
+            for b in range(n_boxes)
+        ]
+        pair_bw = np.empty((k, k))
+        for s in range(k):
+            for m in range(k):
+                if s == m:
+                    pair_bw[s, m] = local_bw
+                elif box_of[s] == box_of[m]:
+                    pair_bw[s, m] = local_bw * interconnect.efficiency(s, m)
+                else:
+                    pair_bw[s, m] = nic_bw[box_of[s]]
+    return local_bw, remote_bw, pair_bw
+
+
+def exec_estimate(task, local_bw: float) -> float:
+    """Planned execution time: compute overlapped with local streaming."""
+    return max(task.work, task.traffic_bytes / local_bw)
+
+
+def upward_ranks(program, local_bw: float, remote_bw: float) -> np.ndarray:
+    """Classic upward ranks: ``rank(v) = exec(v) + max(comm + rank(succ))``.
+
+    Communication is charged at the flat average remote bandwidth — ranks
+    are a priority order, not a schedule, so the flat estimate is enough
+    (and keeps single-box plans bit-identical to the historical HEFT).
+    """
+    n = program.n_tasks
+    rank = np.zeros(n)
+    for v in range(n - 1, -1, -1):
+        task = program.tasks[v]
+        best = 0.0
+        for succ, w in program.tdg.successors(v).items():
+            cand = w / remote_bw + rank[succ]
+            if cand > best:
+                best = cand
+        rank[v] = exec_estimate(task, local_bw) + best
+    return rank

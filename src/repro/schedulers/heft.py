@@ -28,6 +28,7 @@ from ..runtime.cost import allocated_bytes_per_node
 from ..runtime.placement import Placement
 from ..runtime.task import Task
 from .base import Scheduler
+from .costmodel import bandwidth_model, exec_estimate, upward_ranks
 
 
 class HEFTScheduler(Scheduler):
@@ -56,40 +57,16 @@ class HEFTScheduler(Scheduler):
         n = program.n_tasks
         k = topo.n_sockets
 
-        # Cost estimates.
-        local_bw = float(topo.node_bandwidth.mean())
-        effs = [
-            interconnect.efficiency(s, m)
-            for s in range(k) for m in range(k) if s != m
-        ]
-        remote_bw = local_bw * (float(np.mean(effs)) if effs else 1.0)
-
-        # Per-pair bandwidth estimates on cluster machines: an edge that
-        # stays inside a box moves at the interconnect's socket-pair
-        # efficiency, one that crosses boxes drains through the source
-        # box's NIC.  Single-box machines keep the classic flat average
-        # (bit-identical to the pre-cluster planner).
-        n_boxes = getattr(topo, "n_boxes", 1)
-        pair_bw: np.ndarray | None = None
-        if n_boxes > 1:
-            box_of = [topo.box_of_socket(s) for s in range(k)]
-            nic_bw = [
-                float(topo.resource_bandwidth[topo.nic_of_box(b)])
-                for b in range(n_boxes)
-            ]
-            pair_bw = np.empty((k, k))
-            for s in range(k):
-                for m in range(k):
-                    if s == m:
-                        pair_bw[s, m] = local_bw
-                    elif box_of[s] == box_of[m]:
-                        pair_bw[s, m] = local_bw * interconnect.efficiency(s, m)
-                    else:
-                        pair_bw[s, m] = nic_bw[box_of[s]]
+        # Cost estimates (shared with the other static planners).  On
+        # cluster machines an edge that stays inside a box moves at the
+        # interconnect's socket-pair efficiency, one that crosses boxes
+        # drains through the source box's NIC; single-box machines keep
+        # the classic flat average (bit-identical to the pre-cluster
+        # planner).
+        local_bw, remote_bw, pair_bw = bandwidth_model(topo, interconnect)
 
         def exec_est(task: Task) -> float:
-            # Compute overlapped with local streaming of its own traffic.
-            return max(task.work, task.traffic_bytes / local_bw)
+            return exec_estimate(task, local_bw)
 
         def comm_est(nbytes: float) -> float:
             return nbytes / remote_bw
@@ -100,15 +77,7 @@ class HEFTScheduler(Scheduler):
             return nbytes / pair_bw[src, dst]
 
         # Upward ranks (reverse topological = reverse creation order).
-        rank = np.zeros(n)
-        for v in range(n - 1, -1, -1):
-            task = program.tasks[v]
-            best = 0.0
-            for succ, w in program.tdg.successors(v).items():
-                cand = comm_est(w) + rank[succ]
-                if cand > best:
-                    best = cand
-            rank[v] = exec_est(task) + best
+        rank = upward_ranks(program, local_bw, remote_bw)
 
         # Pre-bound data penalty: bytes of each task's data already living
         # off a candidate socket (deferred allocations are all unbound at

@@ -53,6 +53,8 @@ POLICY_MATRIX: list[tuple[str, str, dict]] = [
     ("dfifo", "dfifo", {}),
     ("las", "las", {}),
     ("ep", "ep", {}),
+    ("calist", "calist", {}),
+    ("bsp", "bsp", {}),
     ("rgp+las", "rgp+las", {"window_size": 8}),
     (
         "rgp-pipelined",

@@ -179,10 +179,18 @@ class TestAdversarialSchedulers:
 
 class TestPartitionerEdgeCases:
     def test_k_exceeds_vertices(self):
+        """Backends reject k > n outright; callers that legitimately
+        over-ask go through partition_onto's injective spread."""
+        from repro.errors import PartitionError
+        from repro.partition import partition_onto
+
         g = CSRGraph.from_edges(3, [(0, 1, 1.0)])
-        res = DualRecursiveBipartitioner().partition(g, 8, seed=0)
+        with pytest.raises(PartitionError, match="cannot partition"):
+            DualRecursiveBipartitioner().partition(g, 8, seed=0)
+        res = partition_onto(DualRecursiveBipartitioner(), g, 8, seed=0)
         assert len(res.parts) == 3
         assert res.parts.max() < 8
+        assert res.meta.get("spread") is True
 
     def test_star_graph(self):
         """Stars coarsen badly (matching saturates) — must still work."""
@@ -208,8 +216,13 @@ class TestPartitionerEdgeCases:
         assert res.parts.max() < 2
 
     def test_empty_graph_partition(self):
+        from repro.errors import PartitionError
+        from repro.partition import partition_onto
+
         g = CSRGraph.from_edges(0, [])
-        res = DualRecursiveBipartitioner().partition(g, 4, seed=0)
+        with pytest.raises(PartitionError, match="cannot partition"):
+            DualRecursiveBipartitioner().partition(g, 4, seed=0)
+        res = partition_onto(DualRecursiveBipartitioner(), g, 4, seed=0)
         assert len(res.parts) == 0
 
 

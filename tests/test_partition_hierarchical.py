@@ -11,13 +11,17 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import PartitionError
 from repro.graph import CSRGraph, grid_graph
 from repro.machine import cluster, two_socket
 from repro.partition import (
+    DualRecursiveBipartitioner,
     HierarchicalPartitioner,
     TargetArchitecture,
+    edge_cut,
     topology_groups,
 )
 from repro.partition.hierarchical import _contract_dominant
@@ -191,3 +195,131 @@ class TestSingleBoxEquivalence:
         sim = Simulator(prog, topo, sched, seed=0)
         sim.run()
         assert isinstance(sched._active_partitioner, HierarchicalPartitioner)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: random cluster shapes and random graphs (hypothesis).
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def shaped_instances(draw, max_boxes=3, max_sockets_per_box=3, max_edges=48):
+    """A random cluster shape plus a graph big enough to partition on it."""
+    n_boxes = draw(st.integers(min_value=2, max_value=max_boxes))
+    spb = draw(st.integers(min_value=1, max_value=max_sockets_per_box))
+    k = n_boxes * spb
+    n = draw(st.integers(min_value=k, max_value=24))
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(n_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        w = draw(st.floats(min_value=0.1, max_value=50.0,
+                           allow_nan=False, allow_infinity=False))
+        edges.append((u, v, w))
+    vwgt = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    return CSRGraph.from_edges(n, edges, vwgt), n_boxes, spb
+
+
+class TestShapeProperties:
+    @given(shaped_instances(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_composition_is_valid_full_k_partition(self, instance, seed):
+        """Box-level cut + per-box inner cuts compose: the result is a
+        total, in-range k-way partition whose edge cut decomposes exactly
+        into the cross-box cut plus each box's internal cross-socket cut."""
+        graph, n_boxes, spb = instance
+        topo = cluster(n_boxes, sockets_per_box=spb)
+        k = topo.n_sockets
+        target = TargetArchitecture.from_topology(topo)
+        part = HierarchicalPartitioner.for_topology(topo, tolerance=0.1)
+        res = part.partition(graph, k, target=target, seed=seed)
+
+        assert len(res.parts) == graph.n_vertices
+        assert res.parts.min() >= 0 and res.parts.max() < k
+
+        box_parts = res.parts // spb
+        assert box_parts.max() < n_boxes
+        inner_cut = 0.0
+        for b in range(n_boxes):
+            members = np.flatnonzero(box_parts == b)
+            if len(members) == 0:
+                continue
+            sub, old_ids = graph.induced_subgraph(members)
+            inner_cut += edge_cut(sub, res.parts[old_ids] - b * spb)
+        np.testing.assert_allclose(
+            edge_cut(graph, res.parts),
+            edge_cut(graph, box_parts) + inner_cut,
+            rtol=1e-9, atol=1e-9,
+        )
+
+    @given(shaped_instances(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_under_random_shapes(self, instance, seed):
+        graph, n_boxes, spb = instance
+        topo = cluster(n_boxes, sockets_per_box=spb)
+        target = TargetArchitecture.from_topology(topo)
+        part = HierarchicalPartitioner.for_topology(topo, tolerance=0.1)
+        a = part.partition(graph, topo.n_sockets, target=target, seed=seed)
+        b = part.partition(graph, topo.n_sockets, target=target, seed=seed)
+        assert np.array_equal(a.parts, b.parts)
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_topology_groups_are_box_major_ranges(self, n_boxes, spb):
+        groups = topology_groups(cluster(n_boxes, sockets_per_box=spb))
+        if n_boxes > 1:
+            assert groups == [
+                list(range(b * spb, (b + 1) * spb)) for b in range(n_boxes)
+            ]
+        else:
+            assert groups == [[s] for s in range(spb)]
+
+
+class TestAutoSingleBoxProperty:
+    """``hierarchical="auto"`` on a single box must be the flat partitioner
+    itself — partitions bit-identical to hierarchical=False for any graph."""
+
+    _cache: dict = {}
+
+    @classmethod
+    def _resolved(cls):
+        # Resolve "auto" through the real code path once: attach to a
+        # single-box machine and let on_program_start pick the partitioner.
+        if "active" not in cls._cache:
+            from repro.apps import make_app
+            from repro.core.rgp import RGPLASScheduler
+
+            topo = two_socket()
+            sched = RGPLASScheduler(window_size=8, hierarchical="auto")
+            prog = make_app("jacobi", nt=4, tile=64, sweeps=2).build(
+                topo.n_sockets
+            )
+            Simulator(prog, topo, sched, seed=0).run()
+            cls._cache["active"] = sched._active_partitioner
+        return cls._cache["active"]
+
+    def test_resolves_to_flat(self):
+        active = self._resolved()
+        assert not isinstance(active, HierarchicalPartitioner)
+        assert isinstance(active, DualRecursiveBipartitioner)
+
+    @given(shaped_instances(max_boxes=2, max_sockets_per_box=1),
+           st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_bit_identical_to_flat_on_hypothesis_graphs(self, instance, seed):
+        graph, _, _ = instance
+        active = self._resolved()
+        flat = DualRecursiveBipartitioner()
+        a = active.partition(graph, 2, seed=seed)
+        b = flat.partition(graph, 2, seed=seed)
+        assert np.array_equal(a.parts, b.parts)

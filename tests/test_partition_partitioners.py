@@ -18,6 +18,8 @@ from repro.partition import (
     CyclicPartitioner,
     DualRecursiveBipartitioner,
     MultilevelKWay,
+    MultilevelKWayKL,
+    PartitionResult,
     RandomPartitioner,
     SpectralPartitioner,
     TargetArchitecture,
@@ -25,10 +27,14 @@ from repro.partition import (
     edge_cut,
     imbalance,
     mapping_cost,
+    partition_onto,
     split_architecture,
 )
 
-SERIOUS = [DualRecursiveBipartitioner, MultilevelKWay, SpectralPartitioner]
+SERIOUS = [
+    DualRecursiveBipartitioner, MultilevelKWay, MultilevelKWayKL,
+    SpectralPartitioner,
+]
 ALL = SERIOUS + [RandomPartitioner, CyclicPartitioner, BlockPartitioner]
 
 
@@ -67,6 +73,66 @@ class TestContract:
     def test_bad_k(self, cls, grid):
         with pytest.raises(PartitionError):
             cls().partition(grid, 0)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return CSRGraph.from_edges(
+        3, [(0, 1, 2.0), (1, 2, 1.0)], np.array([1.0, 2.0, 3.0])
+    )
+
+
+@pytest.mark.parametrize("name", sorted(PARTITIONERS))
+class TestInterfaceContract:
+    """Regression tests for the latent _check_k / PartitionResult bugs:
+    every registered backend must reject k > n_vertices and k < 1 instead
+    of silently emitting empty or out-of-range parts."""
+
+    def test_oversized_k_raises(self, name, tiny):
+        with pytest.raises(PartitionError, match="cannot partition"):
+            by_name(name).partition(tiny, 4)
+
+    def test_k_below_one_raises(self, name, tiny):
+        for bad in (0, -1):
+            with pytest.raises(PartitionError):
+                by_name(name).partition(tiny, bad)
+
+
+class TestPartitionResultContract:
+    def test_rejects_k_below_one(self):
+        with pytest.raises(PartitionError, match="k must be >= 1"):
+            PartitionResult(parts=np.zeros(3, dtype=np.int64), k=0)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(PartitionError):
+            PartitionResult(parts=np.zeros(3, dtype=np.int64), k=-2)
+
+
+class TestPartitionOnto:
+    def test_delegates_when_k_fits(self, tiny):
+        res = partition_onto(MultilevelKWay(), tiny, 2, seed=0)
+        assert res.k == 2
+        assert not res.meta.get("spread")
+
+    def test_spreads_when_k_exceeds_n(self, tiny):
+        res = partition_onto(MultilevelKWay(), tiny, 5, seed=0)
+        assert res.k == 5
+        assert res.meta.get("spread") is True
+        # Injective: every vertex alone in its part.
+        assert len(np.unique(res.parts)) == tiny.n_vertices
+
+    def test_spread_matches_heavy_to_roomy(self, tiny):
+        target = TargetArchitecture(
+            distance=np.ones((4, 4)) - np.eye(4),
+            capacity=np.array([1.0, 4.0, 2.0, 3.0]),
+        )
+        res = partition_onto(MultilevelKWay(), tiny, 4, target=target, seed=0)
+        # Heaviest vertex (id 2, weight 3) -> roomiest part (id 1, cap 4).
+        assert res.parts[2] == 1
+
+    def test_rejects_bad_k(self, tiny):
+        with pytest.raises(PartitionError):
+            partition_onto(MultilevelKWay(), tiny, 0)
 
 
 @pytest.mark.parametrize("cls", SERIOUS)
@@ -166,8 +232,8 @@ class TestBaselines:
 class TestRegistry:
     def test_all_registered(self):
         assert set(PARTITIONERS) == {
-            "drb", "multilevel", "multilevel-kl", "spectral", "random",
-            "cyclic", "block",
+            "drb", "multilevel", "multilevel-kl", "spectral", "exact",
+            "random", "cyclic", "block",
         }
 
     def test_by_name(self):

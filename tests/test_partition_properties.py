@@ -12,6 +12,7 @@ from repro.partition import (
     edge_cut,
     fm_bisection_refine,
     imbalance,
+    partition_onto,
 )
 from repro.machine.interconnect import _waterfill
 
@@ -44,10 +45,26 @@ def csr_graphs(draw, max_vertices=40, max_edges=120):
        st.integers(min_value=0, max_value=2**16))
 @settings(max_examples=60, deadline=None)
 def test_multilevel_partition_is_total_and_in_range(graph, k, seed):
+    k = min(k, graph.n_vertices)  # k > n raises by contract
     res = MultilevelKWay().partition(graph, k, seed=seed)
     assert len(res.parts) == graph.n_vertices
     assert res.parts.min() >= 0
     assert res.parts.max() < k
+
+
+@given(csr_graphs(), st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, deadline=None)
+def test_partition_onto_spreads_oversized_k(graph, k, seed):
+    """partition_onto handles any k: backend answer for k <= n, an
+    injective spread (no part gets two vertices) for k > n."""
+    res = partition_onto(MultilevelKWay(), graph, k, seed=seed)
+    assert len(res.parts) == graph.n_vertices
+    assert res.parts.min() >= 0
+    assert res.parts.max() < k
+    if k > graph.n_vertices:
+        assert res.meta.get("spread") is True
+        assert len(np.unique(res.parts)) == graph.n_vertices
 
 
 @given(csr_graphs(), st.integers(min_value=2, max_value=5),
@@ -56,6 +73,7 @@ def test_multilevel_partition_is_total_and_in_range(graph, k, seed):
 def test_drb_balance_bounded_by_heaviest_vertex(graph, k, seed):
     """The k-way imbalance never exceeds tolerance + the granularity floor
     imposed by the single heaviest vertex."""
+    k = min(k, graph.n_vertices)
     res = DualRecursiveBipartitioner(tolerance=0.05).partition(
         graph, k, seed=seed
     )

@@ -20,7 +20,8 @@ from conftest import make_fan_program
 class TestRegistry:
     def test_all_policies_present(self):
         assert set(SCHEDULERS) == {"dfifo", "las", "las+migrate", "ep",
-                                   "heft", "random", "rgp", "rgp+las"}
+                                   "heft", "calist", "bsp", "random",
+                                   "rgp", "rgp+las"}
 
     def test_make_scheduler_unknown(self):
         with pytest.raises(KeyError, match="unknown scheduler"):

@@ -238,7 +238,9 @@ def test_fuzz_driver_smoke(tmp_path):
 
     report = fuzz(2, out_dir=str(tmp_path))
     assert report.ok, report.summary()
-    assert report.n_cases == 2 * 6
+    from repro.verify.fuzz import POLICY_MATRIX
+
+    assert report.n_cases == 2 * len(POLICY_MATRIX)
     assert not list(tmp_path.iterdir())  # no divergences, no repro files
 
 
